@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Architectural what-if studies — the improvements the paper's
+ * analysis suggests (Sections 5.1-5.3), evaluated by re-running the
+ * applications on modified machine descriptions:
+ *
+ *  1. raise the resident-block ceiling from 8 to 16 (GEMM 8x8/16x16
+ *     gain warps and instruction/shared throughput);
+ *  2. double registers and shared memory (GEMM 32x32 regains
+ *     occupancy while keeping its higher computational density);
+ *  3. a prime number (17) of shared-memory banks (removes CR's
+ *     power-of-two conflicts without code changes);
+ *  4. smaller global-memory transaction granularity (SpMV's gathered
+ *     vector entries waste less bandwidth).
+ */
+
+#include "apps/matmul/gemm.h"
+#include "apps/spmv/kernels.h"
+#include "apps/tridiag/cyclic_reduction.h"
+#include "bench_common.h"
+#include "model/device.h"
+
+using namespace gpuperf;
+
+namespace {
+
+double
+runGemm(const arch::GpuSpec &spec, int size, int tile)
+{
+    model::SimulatedDevice device(spec);
+    funcsim::GlobalMemory gmem(
+        static_cast<size_t>(size) * size * 16 + (8 << 20));
+    apps::GemmProblem p = apps::makeGemmProblem(gmem, size, tile);
+    funcsim::RunOptions run;
+    run.homogeneous = true;
+    return device.run(apps::makeGemmKernel(p), p.launch(), gmem, run)
+        .milliseconds();
+}
+
+double
+runCr(const arch::GpuSpec &spec)
+{
+    model::SimulatedDevice device(spec);
+    funcsim::GlobalMemory gmem(64 << 20);
+    apps::TridiagProblem p =
+        apps::makeTridiagProblem(gmem, 512, 512, false);
+    funcsim::RunOptions run;
+    run.homogeneous = true;
+    return device
+        .run(apps::makeCyclicReductionKernel(p), p.launch(), gmem, run)
+        .milliseconds();
+}
+
+double
+runSpmvEll(const arch::GpuSpec &spec, int block_rows)
+{
+    model::SimulatedDevice device(spec);
+    apps::BlockSparseMatrix m =
+        apps::makeBandedBlockMatrix(block_rows, 13, 24);
+    funcsim::GlobalMemory gmem(256 << 20);
+    apps::SpmvVectors v = apps::makeVectors(gmem, m);
+    apps::EllDeviceMatrix ell = apps::buildEll(gmem, m);
+    isa::Kernel k = apps::makeEllKernel(ell, v, false);
+    return device
+        .run(k, {apps::spmvGridDim(ell.rows), apps::kSpmvBlockDim}, gmem)
+        .milliseconds();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const int gemm_size = opts.full ? 1024 : 512;
+    const int spmv_rows = opts.full ? 16384 : 4096;
+
+    printBanner(std::cout, "Architectural what-if studies");
+    Table t({"workload", "architecture change", "baseline (ms)",
+             "variant (ms)", "speedup"});
+
+    auto add = [&](const char *work, const char *change, double base,
+                   double variant) {
+        t.addRow({work, change, Table::num(base, 3),
+                  Table::num(variant, 3), Table::num(base / variant, 2)});
+    };
+
+    const arch::GpuSpec base = arch::GpuSpec::gtx285();
+    {
+        const double b = runGemm(base, gemm_size, 16);
+        const double v =
+            runGemm(arch::GpuSpec::gtx285MoreBlocks(), gemm_size, 16);
+        // On our kernels the 16x16 tile is register-bound at 8 blocks,
+        // so raising the block ceiling alone does not add warps — the
+        // occupancy calculator shows which ceiling binds.
+        add("GEMM 16x16", "max resident blocks 8 -> 16", b, v);
+    }
+    {
+        const double b = runGemm(base, gemm_size, 32);
+        const double v =
+            runGemm(arch::GpuSpec::gtx285BigResources(), gemm_size, 32);
+        add("GEMM 32x32", "2x registers and shared memory", b, v);
+    }
+    {
+        const double b = runCr(base);
+        const double v = runCr(arch::GpuSpec::gtx285PrimeBanks());
+        add("CR tridiagonal", "16 -> 17 shared banks", b, v);
+    }
+    {
+        const double b = runSpmvEll(base, spmv_rows);
+        const double v16 =
+            runSpmvEll(arch::GpuSpec::gtx285SmallSegments(16), spmv_rows);
+        const double v4 =
+            runSpmvEll(arch::GpuSpec::gtx285SmallSegments(4), spmv_rows);
+        add("SpMV ELL", "32 B -> 16 B transactions", b, v16);
+        add("SpMV ELL", "32 B -> 4 B transactions", b, v4);
+        // Smaller transactions trade bytes for per-transaction
+        // overhead; only a memory system whose per-transaction cost
+        // also shrinks realizes the paper's full projection.
+        arch::GpuSpec ideal = arch::GpuSpec::gtx285SmallSegments(4);
+        ideal.transactionOverheadCycles = 0;
+        const double vi = runSpmvEll(ideal, spmv_rows);
+        add("SpMV ELL", "4 B + no per-transaction overhead", b, vi);
+    }
+    bench::emit(t, opts);
+
+    std::cout << "\n(Each row re-runs the unchanged program binary on "
+                 "the modified machine. The paper argues for all four "
+                 "changes qualitatively; the prime-bank variant is the "
+                 "hardware analogue of the CR-NBC padding, and the "
+                 "16 B granularity corresponds to Figure 11's middle "
+                 "columns. Note two substrate-specific findings: the "
+                 "16x16 GEMM tile is register-bound at 8 blocks, so "
+                 "raising the block ceiling alone adds no warps; and "
+                 "smaller transactions only pay off if the "
+                 "per-transaction overhead shrinks with them.)\n";
+    return 0;
+}

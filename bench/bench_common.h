@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration harnesses.
+ *
+ * Each bench binary reproduces one table or figure of the paper and
+ * prints the same rows/series the paper reports. Binaries accept:
+ *   --full   paper-scale problem sizes (slower)
+ *   --csv    machine-readable output
+ */
+
+#ifndef GPUPERF_BENCH_BENCH_COMMON_H
+#define GPUPERF_BENCH_BENCH_COMMON_H
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "model/session.h"
+
+namespace gpuperf {
+namespace bench {
+
+/** Parsed command-line options. */
+struct BenchOptions
+{
+    bool full = false;
+    bool csv = false;
+};
+
+inline BenchOptions
+parseArgs(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            opts.full = true;
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            opts.csv = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::cout << "usage: " << argv[0] << " [--full] [--csv]\n"
+                      << "  --full  paper-scale problem sizes\n"
+                      << "  --csv   machine-readable output\n";
+            std::exit(0);
+        } else {
+            std::cerr << "unknown option " << argv[i] << "\n";
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/** Print a table honoring --csv. */
+inline void
+emit(const Table &t, const BenchOptions &opts)
+{
+    if (opts.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+}
+
+/** Calibration cache file for a spec (shared across binaries). */
+inline std::string
+calibrationCacheFile(const arch::GpuSpec &spec)
+{
+    std::string name = "calibration";
+    for (char c : spec.name) {
+        name.push_back(
+            (std::isalnum(static_cast<unsigned char>(c))) ? c : '_');
+    }
+    return name + ".cache";
+}
+
+} // namespace bench
+} // namespace gpuperf
+
+#endif // GPUPERF_BENCH_BENCH_COMMON_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces paper Figure 11:
+ *  (a) average bytes fetched per processed matrix entry, split into
+ *      matrix values / column indices / vector entries, for ELL,
+ *      BELL+IM and BELL+IMIV at 32/16/4 B transaction granularity;
+ *  (b) measured time and the model's component breakdown for the
+ *      three kernels on the QCD-like blocked matrix.
+ */
+
+#include "apps/spmv/kernels.h"
+#include "apps/spmv/traffic.h"
+#include "bench_common.h"
+
+using namespace gpuperf;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    const int block_rows = opts.full ? 16384 : 4096;
+    model::AnalysisSession session(spec,
+                                   bench::calibrationCacheFile(spec));
+
+    apps::BlockSparseMatrix m = apps::makeBandedBlockMatrix(
+        block_rows, /*blocks_per_row=*/13, /*half_band=*/24);
+
+    printBanner(std::cout,
+                "Figure 11(a): bytes per matrix entry "
+                "(QCD-like, " + std::to_string(m.rows()) + " rows, " +
+                    Table::big(static_cast<long long>(
+                        m.storedEntries())) + " entries)");
+    Table ta({"format", "granularity (B)", "matrix entry", "col index",
+              "vector entry", "total"});
+    const apps::SpmvFormat formats[] = {apps::SpmvFormat::kEll,
+                                        apps::SpmvFormat::kBellIm,
+                                        apps::SpmvFormat::kBellImIv};
+    for (apps::SpmvFormat f : formats) {
+        for (int gran : {32, 16, 4}) {
+            apps::TrafficBreakdown tb = apps::analyzeTraffic(m, f, gran);
+            ta.addRow({apps::spmvFormatName(f), std::to_string(gran),
+                       Table::num(tb.matrixBytes, 2),
+                       Table::num(tb.indexBytes, 2),
+                       Table::num(tb.vectorBytes, 2),
+                       Table::num(tb.total(), 2)});
+        }
+    }
+    bench::emit(ta, opts);
+    std::cout << "\n(Paper at 32 B: vector entry 6.69 for ELL, 4.55 at "
+                 "16 B; BELL cuts the column index to 4/9 = 0.44; "
+                 "interleaving the vector cuts the gather overfetch "
+                 "toward the ideal 4 B.)\n";
+
+    printBanner(std::cout,
+                "Figure 11(b): measured and simulated breakdown");
+    Table tbl({"format", "measured (ms)", "predicted (ms)", "error",
+               "t_global (ms)", "t_instr (ms)", "t_shared (ms)",
+               "bottleneck"});
+    for (apps::SpmvFormat f : formats) {
+        funcsim::GlobalMemory gmem(256 << 20);
+        apps::SpmvVectors v = apps::makeVectors(gmem, m);
+        isa::Kernel k = [&] {
+            if (f == apps::SpmvFormat::kEll) {
+                apps::EllDeviceMatrix ell = apps::buildEll(gmem, m);
+                return apps::makeEllKernel(ell, v, false);
+            }
+            apps::BellDeviceMatrix bell = apps::buildBell(gmem, m, true);
+            return apps::makeBellKernel(
+                bell, v, f == apps::SpmvFormat::kBellImIv, false);
+        }();
+        const int work = f == apps::SpmvFormat::kEll ? m.rows()
+                                                     : m.blockRows;
+        funcsim::LaunchConfig cfg{apps::spmvGridDim(work),
+                                  apps::kSpmvBlockDim};
+        model::Analysis a = session.analyze(k, cfg, gmem);
+        tbl.addRow({apps::spmvFormatName(f),
+                    Table::num(a.measuredMs(), 3),
+                    Table::num(a.predictedMs(), 3),
+                    Table::num(100.0 * a.errorFraction(), 1) + "%",
+                    Table::num(a.prediction.tGlobalTotal * 1e3, 3),
+                    Table::num(a.prediction.tInstrTotal * 1e3, 3),
+                    Table::num(a.prediction.tSharedTotal * 1e3, 3),
+                    model::componentName(a.prediction.bottleneck)});
+    }
+    bench::emit(tbl, opts);
+    std::cout << "\n(Paper: all three formats are global-memory-bound; "
+                 "the bottleneck-component model error is within 5%; "
+                 "if global time shrank further, the instruction "
+                 "pipeline would be next — with computational density "
+                 "near 1/10, far from peak GFLOPS.)\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Figure 2 (left): instruction throughput of each
+ * type as a function of warps per SM, measured by dependent-chain
+ * microbenchmarks on the simulated device.
+ */
+
+#include "bench_common.h"
+
+using namespace gpuperf;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    model::AnalysisSession session(spec,
+                                   bench::calibrationCacheFile(spec));
+    const model::CalibrationTables &tables = session.calibrator().tables();
+
+    printBanner(std::cout,
+                "Figure 2 (left): instruction throughput vs warps/SM");
+    Table t({"warps/SM", "Type I", "Type II", "Type III", "Type IV"});
+    for (int w = 1; w <= tables.maxWarps; ++w) {
+        std::vector<std::string> row{std::to_string(w)};
+        for (arch::InstrType type : arch::kAllInstrTypes) {
+            row.push_back(Table::num(
+                tables.lookupInstr(type, w) / 1e9, 2));
+        }
+        t.addRow(row);
+    }
+    bench::emit(t, opts);
+
+    std::cout << "\n(Giga warp-instructions per second. Paper "
+                 "reference points for Type II: ~8.39 at 6 warps, "
+                 "~9.05 at 16, ~9.33 at 32; theoretical peak "
+              << Table::num(arch::peakThroughput(
+                     spec, arch::InstrType::TypeII) / 1e9, 1)
+              << ". The knee near 6 warps reflects the ~6-stage "
+                 "pipeline the paper infers.)\n";
+    return 0;
+}

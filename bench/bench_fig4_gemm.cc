@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: dense matrix multiply across sub-matrix
+ * sizes 8x8, 16x16, 32x32.
+ *
+ *  (a) dynamic counts: total instructions, MADs, shared-memory
+ *      transactions, global-memory transactions;
+ *  (b) measured time vs. the model's per-component breakdown
+ *      (instruction / shared / global), GFLOPS, and the bottleneck
+ *      shift from the instruction pipeline (8x8, 16x16) to shared
+ *      memory (32x32).
+ */
+
+#include "apps/matmul/gemm.h"
+#include "bench_common.h"
+
+using namespace gpuperf;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    const int size = opts.full ? 1024 : 512;
+    model::AnalysisSession session(spec,
+                                   bench::calibrationCacheFile(spec));
+
+    Table counts({"sub-matrix", "instructions", "MAD", "shared xacts",
+                  "global xacts", "active warps/SM"});
+    Table times({"sub-matrix", "t_instr (ms)", "t_shared (ms)",
+                 "t_global (ms)", "predicted (ms)", "measured (ms)",
+                 "error", "GFLOPS", "bottleneck"});
+
+    for (int tile : {8, 16, 32}) {
+        funcsim::GlobalMemory gmem(
+            static_cast<size_t>(size) * size * 16 + (8 << 20));
+        apps::GemmProblem p = apps::makeGemmProblem(gmem, size, tile);
+        isa::Kernel k = apps::makeGemmKernel(p);
+        funcsim::RunOptions run;
+        run.homogeneous = true;  // every block runs an identical stream
+        model::Analysis a = session.analyze(k, p.launch(), gmem, run);
+
+        const auto &st = a.measurement.stats;
+        counts.addRow({std::to_string(tile) + "x" + std::to_string(tile),
+                       Table::big(static_cast<long long>(
+                           st.totalWarpInstrs())),
+                       Table::big(static_cast<long long>(st.totalMads())),
+                       Table::big(static_cast<long long>(
+                           st.totalSharedTransactions())),
+                       Table::big(static_cast<long long>(
+                           st.totalGlobalTransactions())),
+                       Table::num(a.input.stages.front().activeWarpsPerSm,
+                                  0)});
+
+        const double gflops =
+            p.flops() / a.measurement.seconds() / 1e9;
+        times.addRow(
+            {std::to_string(tile) + "x" + std::to_string(tile),
+             Table::num(a.prediction.tInstrTotal * 1e3, 2),
+             Table::num(a.prediction.tSharedTotal * 1e3, 2),
+             Table::num(a.prediction.tGlobalTotal * 1e3, 2),
+             Table::num(a.predictedMs(), 2),
+             Table::num(a.measuredMs(), 2),
+             Table::num(100.0 * a.errorFraction(), 1) + "%",
+             Table::num(gflops, 0),
+             model::componentName(a.prediction.bottleneck)});
+    }
+
+    printBanner(std::cout, "Figure 4(a): dynamic counts, " +
+                               std::to_string(size) + "x" +
+                               std::to_string(size) + " matrices");
+    bench::emit(counts, opts);
+    std::cout << "\n(Paper at 1024: MADs constant at 33.55M; total "
+                 "instructions and global transactions fall as the "
+                 "tile grows; shared transactions stay flat.)\n";
+
+    printBanner(std::cout,
+                "Figure 4(b): measured vs simulated breakdown");
+    bench::emit(times, opts);
+    std::cout << "\n(Paper: 8x8/16x16 are instruction-pipeline-bound; "
+                 "32x32 shifts to shared memory because 6 resident "
+                 "warps cannot hide the shared pipeline's latency; "
+                 "16x16 is fastest at 399 GFLOPS = 56% of peak.)\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: measured and model-predicted execution
+ * time of the full tridiagonal solve (forward + backward) for CR and
+ * CR-NBC, with the per-component split — CR's time is dominated by
+ * shared memory, CR-NBC's by instruction execution, and the padding
+ * optimization buys roughly the paper's 1.6x.
+ */
+
+#include "apps/tridiag/cyclic_reduction.h"
+#include "bench_common.h"
+#include "model/roofline.h"
+
+using namespace gpuperf;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    const int n = 512;
+    const int systems = 512;
+    model::AnalysisSession session(spec,
+                                   bench::calibrationCacheFile(spec));
+
+    printBanner(std::cout,
+                "Figure 8: CR vs CR-NBC, measured and simulated "
+                "(512 x 512-equation systems, full solve)");
+    Table t({"solver", "measured (ms)", "simulated (ms)", "error",
+             "t_shared (ms)", "t_global (ms)", "t_instr (ms)",
+             "bottleneck"});
+
+    double measured[2] = {0, 0};
+    int idx = 0;
+    for (bool padded : {false, true}) {
+        funcsim::GlobalMemory gmem(64 << 20);
+        apps::TridiagProblem p =
+            apps::makeTridiagProblem(gmem, n, systems, padded);
+        isa::Kernel k = apps::makeCyclicReductionKernel(p);
+        funcsim::RunOptions run;
+        run.homogeneous = true;
+        model::Analysis a = session.analyze(k, p.launch(), gmem, run);
+        measured[idx++] = a.measuredMs();
+        t.addRow({padded ? "CR-NBC" : "CR",
+                  Table::num(a.measuredMs(), 3),
+                  Table::num(a.predictedMs(), 3),
+                  Table::num(100.0 * a.errorFraction(), 1) + "%",
+                  Table::num(a.prediction.tSharedTotal * 1e3, 3),
+                  Table::num(a.prediction.tGlobalTotal * 1e3, 3),
+                  Table::num(a.prediction.tInstrTotal * 1e3, 3),
+                  model::componentName(a.prediction.bottleneck)});
+
+        if (!padded) {
+            // The paper opens Section 5.2 with the traditional model's
+            // failure on this kernel: ~6 GFLOPS and ~7 GB/s.
+            model::RooflineAnalysis roof = model::analyzeRoofline(
+                spec, p.flops(), p.globalBytes(),
+                a.measurement.seconds());
+            std::cout << "traditional model on CR: "
+                      << Table::num(roof.sustainedFlops / 1e9, 1)
+                      << " GFLOPS, "
+                      << Table::num(roof.sustainedBandwidth / 1e9, 1)
+                      << " GB/s -> "
+                      << model::rooflineVerdictName(roof.verdict)
+                      << "\n\n";
+        }
+    }
+    bench::emit(t, opts);
+    std::cout << "\nspeedup from removing bank conflicts: "
+              << Table::num(measured[0] / measured[1], 2)
+              << "x (paper: 1.6x; paper times 0.757 ms -> 0.468 ms "
+                 "measured, 7% model error)\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): how fast
+ * the functional interpreter and the timing replayer run, in simulated
+ * warp-instructions per second. Useful for tracking regressions in the
+ * simulators themselves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/matmul/gemm.h"
+#include "apps/tridiag/cyclic_reduction.h"
+#include "funcsim/interpreter.h"
+#include "timing/simulator.h"
+
+using namespace gpuperf;
+
+namespace {
+
+void
+BM_FunctionalGemm(benchmark::State &state)
+{
+    const int size = static_cast<int>(state.range(0));
+    arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    funcsim::FunctionalSimulator sim(spec);
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        funcsim::GlobalMemory gmem(
+            static_cast<size_t>(size) * size * 16 + (8 << 20));
+        apps::GemmProblem p = apps::makeGemmProblem(gmem, size, 16);
+        auto res = sim.run(apps::makeGemmKernel(p), p.launch(), gmem);
+        ops += res.stats.totalWarpInstrs();
+        benchmark::DoNotOptimize(res.stats.totalMads());
+    }
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void
+BM_TimingReplayGemm(benchmark::State &state)
+{
+    const int size = static_cast<int>(state.range(0));
+    arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    funcsim::FunctionalSimulator fsim(spec);
+    funcsim::GlobalMemory gmem(
+        static_cast<size_t>(size) * size * 16 + (8 << 20));
+    apps::GemmProblem p = apps::makeGemmProblem(gmem, size, 16);
+    funcsim::RunOptions opts;
+    opts.homogeneous = true;
+    opts.collectTrace = true;
+    auto res = fsim.run(apps::makeGemmKernel(p), p.launch(), gmem, opts);
+    timing::TimingSimulator tsim(spec);
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        auto tr = tsim.run(res.trace);
+        ops += tr.totalOps;
+        benchmark::DoNotOptimize(tr.cycles);
+    }
+    state.counters["trace_ops/s"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void
+BM_FunctionalCyclicReduction(benchmark::State &state)
+{
+    arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    funcsim::FunctionalSimulator sim(spec);
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        funcsim::GlobalMemory gmem(16 << 20);
+        apps::TridiagProblem p =
+            apps::makeTridiagProblem(gmem, 512, 4, false);
+        auto res =
+            sim.run(apps::makeCyclicReductionKernel(p), p.launch(), gmem);
+        ops += res.stats.totalWarpInstrs();
+    }
+    state.counters["warp_instrs/s"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_FunctionalGemm)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TimingReplayGemm)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FunctionalCyclicReduction)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces paper Table 1 (instruction types and functional-unit
+ * counts) and the Section 4 peak-throughput derivations: the
+ * theoretical peak throughput of each type and the 710.4 GFLOPS
+ * single-precision peak of the GTX 285.
+ */
+
+#include "bench_common.h"
+
+using namespace gpuperf;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+
+    printBanner(std::cout, "Table 1: instruction types");
+    Table t({"Instruction type", "Number of functional units",
+             "Example instructions", "Peak throughput (Ginstr/s)"});
+    for (arch::InstrType type : arch::kAllInstrTypes) {
+        t.addRow({arch::instrTypeName(type),
+                  std::to_string(arch::functionalUnits(spec, type)),
+                  arch::instrTypeExamples(type),
+                  Table::num(arch::peakThroughput(spec, type) / 1e9, 2)});
+    }
+    bench::emit(t, opts);
+
+    std::cout << "\nDerived peaks (paper Section 4):\n";
+    std::cout << "  MAD throughput: "
+              << Table::num(arch::peakThroughput(
+                     spec, arch::InstrType::TypeII) / 1e9, 2)
+              << " Ginstr/s (paper: 11.1)\n";
+    std::cout << "  single-precision peak: "
+              << Table::num(arch::peakFlops(spec) / 1e9, 1)
+              << " GFLOPS (paper: 710.4)\n";
+    std::cout << "  shared memory peak:    "
+              << Table::num(spec.peakSharedBandwidth() / 1e9, 0)
+              << " GB/s (paper: 1420)\n";
+    std::cout << "  global memory peak:    "
+              << Table::num(spec.peakGlobalBandwidth() / 1e9, 0)
+              << " GB/s (paper: 160)\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Using the library as an architect (paper Section 6): evaluate a
+ * hardware change against a real workload before building it. Here:
+ * would a prime number of shared-memory banks remove the tridiagonal
+ * solver's conflicts without software padding?
+ */
+
+#include <iostream>
+
+#include "apps/tridiag/cyclic_reduction.h"
+#include "common/table.h"
+#include "model/device.h"
+
+using namespace gpuperf;
+
+namespace {
+
+struct Row
+{
+    std::string machine;
+    double ms;
+    double conflictFactor;
+};
+
+Row
+evaluate(const arch::GpuSpec &spec, bool padded)
+{
+    model::SimulatedDevice device(spec);
+    funcsim::GlobalMemory gmem(64 << 20);
+    apps::TridiagProblem p = apps::makeTridiagProblem(gmem, 512, 512,
+                                                      padded);
+    funcsim::RunOptions run;
+    run.homogeneous = true;
+    model::Measurement m = device.run(
+        apps::makeCyclicReductionKernel(p), p.launch(), gmem, run);
+    uint64_t xacts = 0;
+    uint64_t ideal = 0;
+    for (const auto &s : m.stats.stages) {
+        xacts += s.sharedTransactions;
+        ideal += s.sharedTransactionsIdeal;
+    }
+    return {spec.name + (padded ? " + software padding" : ""),
+            m.milliseconds(),
+            ideal ? static_cast<double>(xacts) / ideal : 1.0};
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "architect's view: shared-memory banking vs cyclic "
+                "reduction (512 x 512 systems)");
+
+    Table t({"machine / code", "time (ms)", "bank conflict factor"});
+    for (const Row &row : {
+             evaluate(arch::GpuSpec::gtx285(), false),
+             evaluate(arch::GpuSpec::gtx285(), true),
+             evaluate(arch::GpuSpec::gtx285PrimeBanks(), false),
+             evaluate(arch::GpuSpec::gtx285PrimeBanks(), true),
+         }) {
+        t.addRow({row.machine, Table::num(row.ms, 3),
+                  Table::num(row.conflictFactor, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nA 17-bank shared memory gives unmodified CR more "
+                 "than the padding rewrite gives on 16 banks. Note the "
+                 "last row: padding tuned for 16 banks BACKFIRES on "
+                 "17-bank hardware — software optimizations encode "
+                 "machine assumptions, which is exactly why the paper "
+                 "argues architects should evaluate designs against "
+                 "real application kernels.\n";
+    return 0;
+}

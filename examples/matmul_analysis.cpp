@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Case study: why is the 16x16 sub-matrix the right tile size for
+ * dense matrix multiply (paper Section 5.1)?
+ *
+ * Walks the paper's argument with the library: larger tiles raise
+ * computational density and cut global traffic, but their register and
+ * shared-memory appetite cuts occupancy — at 32x32 only 6 warps remain
+ * per SM, too few to hide the shared-memory pipeline's latency, and
+ * the bottleneck shifts from the instruction pipeline to shared
+ * memory.
+ */
+
+#include <iostream>
+
+#include "apps/matmul/gemm.h"
+#include "arch/occupancy.h"
+#include "common/table.h"
+#include "model/session.h"
+
+using namespace gpuperf;
+
+int
+main(int argc, char **argv)
+{
+    const int size = (argc > 1 && std::string(argv[1]) == "--full")
+                         ? 1024 : 256;
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    model::AnalysisSession session(spec, "calibration_GTX_285.cache");
+
+    std::cout << "Analyzing " << size << "x" << size
+              << " dense matrix multiply on " << spec.name << "\n";
+
+    for (int tile : {8, 16, 32}) {
+        funcsim::GlobalMemory gmem(
+            static_cast<size_t>(size) * size * 16 + (8 << 20));
+        apps::GemmProblem p = apps::makeGemmProblem(gmem, size, tile);
+        isa::Kernel k = apps::makeGemmKernel(p);
+
+        printBanner(std::cout, "tile " + std::to_string(tile) + "x" +
+                                   std::to_string(tile));
+
+        arch::KernelResources res{k.numRegisters(), k.sharedBytes(),
+                                  p.blockDim()};
+        arch::Occupancy occ = arch::computeOccupancy(spec, res);
+        std::cout << "occupancy: " << occ.residentBlocks
+                  << " blocks / SM (" << occ.residentWarps
+                  << " warps), bound by "
+                  << arch::occupancyLimitName(occ.limit) << "\n";
+        std::cout << "  at " << occ.residentWarps
+                  << " warps the machine sustains "
+                  << Table::num(session.calibrator().tables().lookupInstr(
+                         arch::InstrType::TypeII,
+                         occ.residentWarps) / 1e9, 2)
+                  << " Ginstr/s and "
+                  << Table::num(session.calibrator().tables()
+                                    .sharedBandwidth(occ.residentWarps) /
+                                1e9, 0)
+                  << " GB/s of shared bandwidth\n\n";
+
+        funcsim::RunOptions run;
+        run.homogeneous = true;
+        model::Analysis a = session.analyze(k, p.launch(), gmem, run);
+        model::printPrediction(std::cout, a.prediction, &a.measurement);
+        std::cout << "\n";
+        model::printMetrics(std::cout, a.metrics);
+        std::cout << "achieved "
+                  << Table::num(p.flops() / a.measurement.seconds() /
+                                1e9, 0)
+                  << " GFLOPS ("
+                  << Table::num(100.0 * p.flops() /
+                                    a.measurement.seconds() /
+                                    arch::peakFlops(spec), 1)
+                  << "% of peak)\n";
+    }
+
+    std::cout << "\nConclusion (paper Section 5.1): 16x16 wins — 8x8 "
+                 "pays too much bookkeeping and global traffic, 32x32 "
+                 "starves the SM of warps and shifts the bottleneck to "
+                 "shared memory.\n";
+    return 0;
+}

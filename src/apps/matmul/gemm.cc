@@ -1,0 +1,234 @@
+#include "apps/matmul/gemm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "isa/builder.h"
+
+namespace gpuperf {
+namespace apps {
+
+namespace {
+
+int
+log2i(int v)
+{
+    GPUPERF_ASSERT(v > 0 && (v & (v - 1)) == 0, "value must be 2^k");
+    int l = 0;
+    while ((1 << l) < v)
+        ++l;
+    return l;
+}
+
+} // namespace
+
+GemmProblem
+makeGemmProblem(funcsim::GlobalMemory &gmem, int size, int tile,
+                uint64_t seed)
+{
+    if (tile != 8 && tile != 16 && tile != 32)
+        fatal("gemm: tile must be 8, 16 or 32 (got %d)", tile);
+    if (size < 64 || (size & (size - 1)) != 0)
+        fatal("gemm: size must be a power of two >= 64 (got %d)", size);
+
+    GemmProblem p;
+    p.size = size;
+    p.tile = tile;
+    const size_t bytes = static_cast<size_t>(size) * size * 4;
+    p.aBase = gmem.alloc(bytes);
+    p.bBase = gmem.alloc(bytes);
+    p.cBase = gmem.alloc(bytes);
+
+    Rng rng(seed);
+    float *a = gmem.f32(p.aBase);
+    float *b = gmem.f32(p.bBase);
+    for (size_t i = 0; i < static_cast<size_t>(size) * size; ++i) {
+        a[i] = rng.nextFloat() - 0.5f;
+        b[i] = rng.nextFloat() - 0.5f;
+    }
+    return p;
+}
+
+isa::Kernel
+makeGemmKernel(const GemmProblem &p)
+{
+    using isa::Reg;
+    const int n = p.size;
+    const int s = p.tile;
+    const int log_n = log2i(n);
+    const int log_s = log2i(s);
+    const int row_blocks = n / 64;
+    const int chunks = n / s;
+    const int elems_per_thread = s * s / 64;  // B-tile loads per thread
+    const int rows_per_step = 64 / s;         // B-tile rows per element
+    const int pitch = s + 1;                  // padded shared row
+
+    isa::KernelBuilder b("gemm_" + std::to_string(s) + "x" +
+                         std::to_string(s));
+
+    // Live-across-the-loop registers. The prologue's temporaries reuse
+    // accumulator registers (they are zeroed afterwards), the way a
+    // register allocator would — the register count drives occupancy
+    // (Table 2), so it must be compiler-realistic.
+    Reg zero = b.reg();
+    Reg g_a = b.reg();
+    Reg g_b = b.reg();
+    Reg s_b = b.reg();
+    Reg c_addr = b.reg();
+    Reg cnt = b.reg();
+    // A-stream ring buffer: deep enough that a value arrives from
+    // global memory before its MAD group starts (Volkov's register
+    // double-buffering). Smaller tiles have shorter MAD groups and
+    // need a deeper ring.
+    const int a_ring = 4;
+    Reg av = b.regRange(a_ring);
+    // The whole next B sub-tile is double-buffered through registers
+    // (loaded during the previous chunk's MAD phase, stored to shared
+    // right after the barrier).
+    Reg tv = b.regRange(elems_per_thread);
+    Reg acc = b.regRange(s);
+    isa::Pred p_done = b.pred();
+    isa::Pred p_more = b.pred();
+
+    const Reg t = acc;
+    const Reg cta = static_cast<Reg>(acc + 1);
+    const Reg brow = static_cast<Reg>(acc + 2);
+    const Reg bcol = static_cast<Reg>(acc + 3);
+    const Reg r = static_cast<Reg>(acc + 4);
+    const Reg i0 = static_cast<Reg>(acc + 5);
+    const Reg j0 = static_cast<Reg>(acc + 6);
+    const Reg bcol_s = static_cast<Reg>(acc + 7);
+
+    // --- Prologue: tile coordinates and base addresses ------------------
+    b.s2r(t, isa::SpecialReg::kTid);
+    b.s2r(cta, isa::SpecialReg::kCtaid);
+    b.andImm(brow, cta, row_blocks - 1);
+    b.shrImm(bcol, cta, log2i(row_blocks));
+    b.shlImm(r, brow, 6);
+    b.iadd(r, r, t);
+    b.movImm(zero, 0);
+
+    // A (column-major): element (r, k=0) at (0 * n + r) * 4.
+    b.shlImm(g_a, r, 2);
+    b.iaddImm(g_a, g_a, static_cast<int32_t>(p.aBase));
+
+    // B tile cooperative-load coordinates: thread handles elements
+    // idx = t + 64*q, i.e. row i0 + rows_per_step*q, column j0.
+    b.shrImm(i0, t, log_s);              // i0 = t / s
+    b.andImm(j0, t, s - 1);              // j0 = t % s
+    b.shlImm(g_b, i0, log_n);            // i0 * n
+    b.iadd(g_b, g_b, j0);
+    b.shlImm(bcol_s, bcol, log_s);       // bcol * s
+    b.iadd(g_b, g_b, bcol_s);
+    b.shlImm(g_b, g_b, 2);
+    b.iaddImm(g_b, g_b, static_cast<int32_t>(p.bBase));
+    b.imulImm(s_b, i0, pitch);
+    b.iadd(s_b, s_b, j0);
+    b.shlImm(s_b, s_b, 2);
+
+    // C (column-major): first element (r, bcol*s).
+    b.shlImm(c_addr, bcol_s, log_n);
+    b.iadd(c_addr, c_addr, r);
+    b.shlImm(c_addr, c_addr, 2);
+    b.iaddImm(c_addr, c_addr, static_cast<int32_t>(p.cBase));
+
+    for (int j = 0; j < s; ++j)
+        b.movImmF(static_cast<Reg>(acc + j), 0.0f);
+    b.movImm(cnt, 0);
+
+    // Load the first chunk's B sub-tile into registers.
+    for (int q = 0; q < elems_per_thread; ++q)
+        b.ldg(static_cast<Reg>(tv + q), g_b, q * rows_per_step * n * 4);
+
+    // --- k loop over S-wide chunks ----------------------------------------
+    const int depth = a_ring - 1;  // A prefetch distance
+    b.beginLoop();
+    b.setpIImm(p_done, isa::CmpOp::kGe, cnt, chunks);
+    b.brk(p_done);
+
+    // Prefetch the first A values of the chunk; their latency hides
+    // behind the tile store and the barrier.
+    for (int kk = 0; kk < depth; ++kk)
+        b.ldg(static_cast<Reg>(av + kk % a_ring), g_a, kk * n * 4);
+
+    // Protect the shared tile from readers of the previous chunk,
+    // then publish the register-buffered sub-tile.
+    b.bar();
+    for (int q = 0; q < elems_per_thread; ++q) {
+        b.sts(s_b, static_cast<Reg>(tv + q),
+              q * rows_per_step * pitch * 4);
+    }
+    b.bar();
+
+    // Stream the NEXT chunk's sub-tile into the register buffer while
+    // this chunk's MADs run (uniform guard: no next chunk at the end).
+    b.iaddImm(g_b, g_b, s * n * 4);
+    b.setpIImm(p_more, isa::CmpOp::kLt, cnt, chunks - 1);
+    b.beginIf(p_more);
+    for (int q = 0; q < elems_per_thread; ++q) {
+        b.ldg(static_cast<Reg>(tv + q), g_b,
+              q * rows_per_step * n * 4);
+    }
+    b.endIf();
+
+    for (int kk = 0; kk < s; ++kk) {
+        if (kk + depth < s) {
+            b.ldg(static_cast<Reg>(av + (kk + depth) % a_ring), g_a,
+                  (kk + depth) * n * 4);
+        }
+        const Reg a_cur = static_cast<Reg>(av + kk % a_ring);
+        for (int j = 0; j < s; ++j) {
+            b.fmadShared(static_cast<Reg>(acc + j), a_cur, zero,
+                         (kk * pitch + j) * 4,
+                         static_cast<Reg>(acc + j));
+        }
+    }
+    b.iaddImm(g_a, g_a, s * n * 4);
+    b.iaddImm(cnt, cnt, 1);
+    b.endLoop();
+
+    // --- Store the C strip --------------------------------------------------
+    for (int j = 0; j < s; ++j)
+        b.stg(c_addr, static_cast<Reg>(acc + j), j * n * 4);
+
+    return b.build(s * pitch * 4);
+}
+
+void
+cpuGemm(const float *a_colmajor, const float *b_rowmajor, float *c_colmajor,
+        int size)
+{
+    const int n = size;
+    for (int c = 0; c < n; ++c) {
+        for (int r = 0; r < n; ++r) {
+            double sum = 0.0;
+            for (int k = 0; k < n; ++k) {
+                sum += static_cast<double>(a_colmajor[k * n + r]) *
+                       b_rowmajor[k * n + c];
+            }
+            c_colmajor[c * n + r] = static_cast<float>(sum);
+        }
+    }
+}
+
+double
+gemmMaxError(const funcsim::GlobalMemory &gmem, const GemmProblem &p)
+{
+    const int n = p.size;
+    std::vector<float> ref(static_cast<size_t>(n) * n);
+    cpuGemm(gmem.f32(p.aBase), gmem.f32(p.bBase), ref.data(), n);
+
+    const float *c = gmem.f32(p.cBase);
+    double max_err = 0.0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        const double denom = std::max(1.0, std::fabs(
+            static_cast<double>(ref[i])));
+        max_err = std::max(
+            max_err, std::fabs(c[i] - static_cast<double>(ref[i])) / denom);
+    }
+    return max_err;
+}
+
+} // namespace apps
+} // namespace gpuperf

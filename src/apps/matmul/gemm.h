@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Volkov/Demmel-style dense matrix multiply (paper Section 5.1).
+ *
+ * The result matrix is tiled into 64-row x S-column sub-tiles, one per
+ * 64-thread block. Only the B sub-tile (S x S, padded to S x (S+1) to
+ * stay conflict-free) lives in shared memory; A is streamed from
+ * global memory one element per thread per k, and each thread keeps S
+ * accumulators in registers — Volkov's key idea of storing only one
+ * input's tile on chip. MADs read their B operand directly from shared
+ * memory (mad.s), exactly as the GT200 native code does.
+ *
+ * Layouts: A column-major, B row-major, C column-major — all three
+ * make the kernel's global accesses coalesced.
+ */
+
+#ifndef GPUPERF_APPS_MATMUL_GEMM_H
+#define GPUPERF_APPS_MATMUL_GEMM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "funcsim/interpreter.h"
+#include "isa/kernel.h"
+
+namespace gpuperf {
+namespace apps {
+
+/** Device-resident operands of one GEMM problem. */
+struct GemmProblem
+{
+    int size = 0;            ///< square matrix dimension (power of two)
+    int tile = 16;           ///< sub-matrix size S (8, 16, or 32)
+    uint64_t aBase = 0;      ///< A, column-major
+    uint64_t bBase = 0;      ///< B, row-major
+    uint64_t cBase = 0;      ///< C, column-major
+
+    int blockDim() const { return 64; }
+    int gridDim() const { return (size / 64) * (size / tile); }
+    funcsim::LaunchConfig launch() const
+    {
+        return {gridDim(), blockDim()};
+    }
+    /** 2 * size^3 flops. */
+    double flops() const
+    {
+        return 2.0 * size * static_cast<double>(size) * size;
+    }
+};
+
+/**
+ * Allocate A, B, C in @p gmem and fill A, B with deterministic
+ * pseudo-random values.
+ */
+GemmProblem makeGemmProblem(funcsim::GlobalMemory &gmem, int size,
+                            int tile, uint64_t seed = 1);
+
+/** Build the tiled GEMM kernel for @p problem. */
+isa::Kernel makeGemmKernel(const GemmProblem &problem);
+
+/** Reference CPU GEMM with the same layouts (C = A * B). */
+void cpuGemm(const float *a_colmajor, const float *b_rowmajor,
+             float *c_colmajor, int size);
+
+/**
+ * Compare the device C against the CPU reference.
+ * @return largest absolute relative error.
+ */
+double gemmMaxError(const funcsim::GlobalMemory &gmem,
+                    const GemmProblem &problem);
+
+} // namespace apps
+} // namespace gpuperf
+
+#endif // GPUPERF_APPS_MATMUL_GEMM_H

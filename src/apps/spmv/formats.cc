@@ -1,0 +1,156 @@
+#include "apps/spmv/formats.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gpuperf {
+namespace apps {
+
+namespace {
+
+int
+roundUp(int v, int unit)
+{
+    return (v + unit - 1) / unit * unit;
+}
+
+} // namespace
+
+EllDeviceMatrix
+buildEll(funcsim::GlobalMemory &gmem, const BlockSparseMatrix &m)
+{
+    EllDeviceMatrix ell;
+    ell.rows = m.rows();
+    ell.k = m.maxRowEntries();
+    ell.ld = roundUp(ell.rows, 32);
+    const size_t cells = static_cast<size_t>(ell.k) * ell.ld;
+    ell.valsBase = gmem.alloc(cells * 4);
+    ell.colsBase = gmem.alloc(cells * 4);
+
+    float *vals = gmem.f32(ell.valsBase);
+    uint32_t *cols = gmem.u32(ell.colsBase);
+    const int bs = m.blockSize;
+    for (int br = 0; br < m.blockRows; ++br) {
+        for (int er = 0; er < bs; ++er) {
+            const int row = br * bs + er;
+            int j = 0;
+            int last_col = row;  // padding gathers from a local column
+            for (size_t kb = 0; kb < m.blockCols[br].size(); ++kb) {
+                const int c = m.blockCols[br][kb];
+                const float *blk = &m.blockVals[br][kb * bs * bs];
+                for (int ec = 0; ec < bs; ++ec, ++j) {
+                    vals[static_cast<size_t>(j) * ell.ld + row] =
+                        blk[er * bs + ec];
+                    cols[static_cast<size_t>(j) * ell.ld + row] =
+                        static_cast<uint32_t>(c * bs + ec);
+                    last_col = c * bs + ec;
+                }
+            }
+            for (; j < ell.k; ++j) {
+                vals[static_cast<size_t>(j) * ell.ld + row] = 0.0f;
+                cols[static_cast<size_t>(j) * ell.ld + row] =
+                    static_cast<uint32_t>(last_col);
+            }
+        }
+    }
+    // Padded tail rows (row >= rows) gather from column 0 with zeros:
+    // they are masked off in the kernel but keep addresses harmless.
+    return ell;
+}
+
+BellDeviceMatrix
+buildBell(funcsim::GlobalMemory &gmem, const BlockSparseMatrix &m,
+          bool interleaved)
+{
+    BellDeviceMatrix bell;
+    bell.blockRows = m.blockRows;
+    bell.blockSize = m.blockSize;
+    size_t max_blocks = 0;
+    for (const auto &cols : m.blockCols)
+        max_blocks = std::max(max_blocks, cols.size());
+    bell.kBlocks = static_cast<int>(max_blocks);
+    bell.ld = roundUp(bell.blockRows, 32);
+    bell.interleaved = interleaved;
+    const int bs2 = m.blockSize * m.blockSize;
+    const size_t val_cells =
+        static_cast<size_t>(bell.kBlocks) * bs2 * bell.ld;
+    const size_t col_cells = static_cast<size_t>(bell.kBlocks) * bell.ld;
+    bell.valsBase = gmem.alloc(val_cells * 4);
+    bell.colsBase = gmem.alloc(col_cells * 4);
+
+    float *vals = gmem.f32(bell.valsBase);
+    uint32_t *cols = gmem.u32(bell.colsBase);
+    for (int br = 0; br < m.blockRows; ++br) {
+        const size_t nblk = m.blockCols[br].size();
+        for (int kb = 0; kb < bell.kBlocks; ++kb) {
+            const bool pad = static_cast<size_t>(kb) >= nblk;
+            const int c =
+                pad ? m.blockCols[br].back() : m.blockCols[br][kb];
+            const size_t col_idx =
+                interleaved
+                    ? static_cast<size_t>(kb) * bell.ld + br
+                    : static_cast<size_t>(br) * bell.kBlocks + kb;
+            cols[col_idx] = static_cast<uint32_t>(c);
+            for (int j = 0; j < bs2; ++j) {
+                const float v =
+                    pad ? 0.0f : m.blockVals[br][nblk == 0 ? 0 :
+                                                 kb * bs2 + j];
+                const size_t val_idx =
+                    interleaved
+                        ? (static_cast<size_t>(kb) * bs2 + j) * bell.ld +
+                              br
+                        : (static_cast<size_t>(br) * bell.kBlocks + kb) *
+                                  bs2 + j;
+                vals[val_idx] = pad ? 0.0f : v;
+            }
+        }
+    }
+    return bell;
+}
+
+SpmvVectors
+makeVectors(funcsim::GlobalMemory &gmem, const BlockSparseMatrix &m,
+            uint64_t seed)
+{
+    SpmvVectors v;
+    v.rows = m.rows();
+    v.blockRows = m.blockRows;
+    v.blockSize = m.blockSize;
+    const size_t bytes = static_cast<size_t>(v.rows) * 4;
+    v.xBase = gmem.alloc(bytes);
+    v.xIvBase = gmem.alloc(bytes);
+    v.yBase = gmem.alloc(bytes);
+    v.yIvBase = gmem.alloc(bytes);
+
+    Rng rng(seed);
+    float *x = gmem.f32(v.xBase);
+    float *xiv = gmem.f32(v.xIvBase);
+    for (int i = 0; i < v.rows; ++i)
+        x[i] = rng.nextFloat() - 0.5f;
+    for (int r = 0; r < v.blockRows; ++r) {
+        for (int e = 0; e < v.blockSize; ++e)
+            xiv[e * v.blockRows + r] = x[r * v.blockSize + e];
+    }
+    return v;
+}
+
+std::vector<float>
+readY(const funcsim::GlobalMemory &gmem, const SpmvVectors &v,
+      bool interleaved)
+{
+    std::vector<float> y(v.rows);
+    if (!interleaved) {
+        const float *p = gmem.f32(v.yBase);
+        y.assign(p, p + v.rows);
+    } else {
+        const float *p = gmem.f32(v.yIvBase);
+        for (int r = 0; r < v.blockRows; ++r) {
+            for (int e = 0; e < v.blockSize; ++e)
+                y[r * v.blockSize + e] = p[e * v.blockRows + r];
+        }
+    }
+    return y;
+}
+
+} // namespace apps
+} // namespace gpuperf

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Device storage formats for SpMV: ELL, blocked ELL (BELL) with an
+ * interleaved matrix (IM), and the paper's contribution — additionally
+ * interleaving the vector (IV). See paper Figures 9 and 10.
+ */
+
+#ifndef GPUPERF_APPS_SPMV_FORMATS_H
+#define GPUPERF_APPS_SPMV_FORMATS_H
+
+#include <cstdint>
+
+#include "apps/spmv/matrix.h"
+#include "funcsim/interpreter.h"
+
+namespace gpuperf {
+namespace apps {
+
+/** Scalar ELLPACK storage: column-major [k][ld] values + column ids. */
+struct EllDeviceMatrix
+{
+    int rows = 0;
+    int k = 0;             ///< padded entries per row
+    int ld = 0;            ///< leading dimension (rows, warp-aligned)
+    uint64_t valsBase = 0;
+    uint64_t colsBase = 0;
+};
+
+/**
+ * Blocked ELLPACK storage. With interleaving (IM), values are stored
+ * [block][element][blockRow] so consecutive threads (block-rows) read
+ * consecutive words; without it they are stored [blockRow][block][elem]
+ * (paper Figure 9(c), uncoalesced).
+ */
+struct BellDeviceMatrix
+{
+    int blockRows = 0;
+    int blockSize = 3;
+    int kBlocks = 0;       ///< padded blocks per block-row
+    int ld = 0;            ///< leading dimension over block-rows
+    bool interleaved = true;
+    uint64_t valsBase = 0;
+    uint64_t colsBase = 0; ///< one block-column id per block
+};
+
+/** Device-resident x and y vectors, natural and interleaved layouts. */
+struct SpmvVectors
+{
+    int rows = 0;
+    int blockRows = 0;
+    int blockSize = 3;
+    uint64_t xBase = 0;    ///< x in natural order
+    uint64_t xIvBase = 0;  ///< x interleaved: xiv[e*blockRows + R] = x[R*bs+e]
+    uint64_t yBase = 0;    ///< y in natural order (ELL, BELL+IM)
+    uint64_t yIvBase = 0;  ///< y interleaved (BELL+IMIV)
+};
+
+/** Build ELL storage in device memory (pads short rows). */
+EllDeviceMatrix buildEll(funcsim::GlobalMemory &gmem,
+                         const BlockSparseMatrix &m);
+
+/** Build BELL storage; @p interleaved selects the IM layout. */
+BellDeviceMatrix buildBell(funcsim::GlobalMemory &gmem,
+                           const BlockSparseMatrix &m, bool interleaved);
+
+/** Allocate and fill x (plus its interleaved copy) and the outputs. */
+SpmvVectors makeVectors(funcsim::GlobalMemory &gmem,
+                        const BlockSparseMatrix &m, uint64_t seed = 13);
+
+/**
+ * Read back y into natural row order.
+ * @param interleaved read from yIvBase (BELL+IMIV) instead of yBase
+ */
+std::vector<float> readY(const funcsim::GlobalMemory &gmem,
+                         const SpmvVectors &v, bool interleaved);
+
+} // namespace apps
+} // namespace gpuperf
+
+#endif // GPUPERF_APPS_SPMV_FORMATS_H

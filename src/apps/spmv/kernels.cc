@@ -1,0 +1,218 @@
+#include "apps/spmv/kernels.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "isa/builder.h"
+
+namespace gpuperf {
+namespace apps {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+using isa::SpecialReg;
+
+namespace {
+
+Reg
+emitGlobalTid(KernelBuilder &b)
+{
+    Reg tid = b.reg();
+    Reg cta = b.reg();
+    Reg ntid = b.reg();
+    Reg gtid = b.reg();
+    b.s2r(tid, SpecialReg::kTid);
+    b.s2r(cta, SpecialReg::kCtaid);
+    b.s2r(ntid, SpecialReg::kNtid);
+    b.imad(gtid, cta, ntid, tid);
+    return gtid;
+}
+
+} // namespace
+
+int
+spmvGridDim(int work_items)
+{
+    return (work_items + kSpmvBlockDim - 1) / kSpmvBlockDim;
+}
+
+isa::Kernel
+makeEllKernel(const EllDeviceMatrix &ell, const SpmvVectors &v,
+              bool use_texture)
+{
+    KernelBuilder b(std::string("spmv_ell") +
+                    (use_texture ? "_tex" : ""));
+    Reg gtid = emitGlobalTid(b);
+    Reg vp = b.reg();
+    Reg cp = b.reg();
+    Reg xa = b.reg();
+    Reg acc = b.reg();
+    Reg col = b.reg();
+    Reg val = b.reg();
+    Reg xv = b.reg();
+    Reg j = b.reg();
+    Pred p_row = b.pred();
+    Pred p_done = b.pred();
+
+    b.setpIImm(p_row, CmpOp::kLt, gtid, ell.rows);
+    b.beginIf(p_row);
+    {
+        b.shlImm(vp, gtid, 2);
+        b.iaddImm(cp, vp, static_cast<int32_t>(ell.colsBase));
+        b.iaddImm(vp, vp, static_cast<int32_t>(ell.valsBase));
+        b.movImmF(acc, 0.0f);
+        b.movImm(j, 0);
+        b.beginLoop();
+        b.setpIImm(p_done, CmpOp::kGe, j, ell.k);
+        b.brk(p_done);
+        b.ldg(col, cp, 0);
+        b.ldg(val, vp, 0);
+        b.shlImm(xa, col, 2);
+        b.iaddImm(xa, xa, static_cast<int32_t>(v.xBase));
+        if (use_texture)
+            b.ldt(xv, xa, 0);
+        else
+            b.ldg(xv, xa, 0);
+        b.fmad(acc, val, xv, acc);
+        b.iaddImm(vp, vp, ell.ld * 4);
+        b.iaddImm(cp, cp, ell.ld * 4);
+        b.iaddImm(j, j, 1);
+        b.endLoop();
+        b.shlImm(xa, gtid, 2);
+        b.iaddImm(xa, xa, static_cast<int32_t>(v.yBase));
+        b.stg(xa, acc, 0);
+    }
+    b.endIf();
+    return b.build(0);
+}
+
+isa::Kernel
+makeBellKernel(const BellDeviceMatrix &bell, const SpmvVectors &v,
+               bool interleaved_vector, bool use_texture)
+{
+    GPUPERF_ASSERT(bell.blockSize == 3, "BELL kernel is built for 3x3");
+    const int bs = bell.blockSize;
+    const int bs2 = bs * bs;
+
+    std::string name = bell.interleaved ? "spmv_bell_im" : "spmv_bell";
+    if (interleaved_vector)
+        name += "iv";
+    if (use_texture)
+        name += "_tex";
+
+    KernelBuilder b(name);
+    Reg gtid = emitGlobalTid(b);
+    Reg vp = b.reg();
+    Reg cp = b.reg();
+    Reg xa = b.reg();
+    Reg col = b.reg();
+    Reg blk = b.reg();
+    Reg vals = b.regRange(bs2);
+    Reg xv = b.regRange(bs);
+    Reg acc = b.regRange(bs);
+    Pred p_row = b.pred();
+    Pred p_done = b.pred();
+
+    b.setpIImm(p_row, CmpOp::kLt, gtid, bell.blockRows);
+    b.beginIf(p_row);
+    {
+        if (bell.interleaved) {
+            b.shlImm(vp, gtid, 2);
+            b.iaddImm(cp, vp, static_cast<int32_t>(bell.colsBase));
+            b.iaddImm(vp, vp, static_cast<int32_t>(bell.valsBase));
+        } else {
+            // Straightforward storage: each thread's blocks are
+            // contiguous (uncoalesced across threads).
+            b.imulImm(vp, gtid, bell.kBlocks * bs2 * 4);
+            b.imulImm(cp, gtid, bell.kBlocks * 4);
+            b.iaddImm(vp, vp, static_cast<int32_t>(bell.valsBase));
+            b.iaddImm(cp, cp, static_cast<int32_t>(bell.colsBase));
+        }
+        for (int e = 0; e < bs; ++e)
+            b.movImmF(static_cast<Reg>(acc + e), 0.0f);
+        b.movImm(blk, 0);
+
+        const int val_step =
+            bell.interleaved ? bs2 * bell.ld * 4 : bs2 * 4;
+        const int val_off = bell.interleaved ? bell.ld * 4 : 4;
+        const int col_step = bell.interleaved ? bell.ld * 4 : 4;
+
+        b.beginLoop();
+        b.setpIImm(p_done, CmpOp::kGe, blk, bell.kBlocks);
+        b.brk(p_done);
+        // Column index first so the block values stream while the
+        // dependent gather address is being formed.
+        b.ldg(col, cp, 0);
+        for (int e = 0; e < bs2; ++e)
+            b.ldg(static_cast<Reg>(vals + e), vp, e * val_off);
+        if (interleaved_vector) {
+            b.shlImm(xa, col, 2);
+            b.iaddImm(xa, xa, static_cast<int32_t>(v.xIvBase));
+            for (int e = 0; e < bs; ++e) {
+                if (use_texture)
+                    b.ldt(static_cast<Reg>(xv + e), xa,
+                          e * v.blockRows * 4);
+                else
+                    b.ldg(static_cast<Reg>(xv + e), xa,
+                          e * v.blockRows * 4);
+            }
+        } else {
+            b.imulImm(xa, col, bs * 4);
+            b.iaddImm(xa, xa, static_cast<int32_t>(v.xBase));
+            for (int e = 0; e < bs; ++e) {
+                if (use_texture)
+                    b.ldt(static_cast<Reg>(xv + e), xa, e * 4);
+                else
+                    b.ldg(static_cast<Reg>(xv + e), xa, e * 4);
+            }
+        }
+        for (int er = 0; er < bs; ++er) {
+            for (int ec = 0; ec < bs; ++ec) {
+                b.fmad(static_cast<Reg>(acc + er),
+                       static_cast<Reg>(vals + er * bs + ec),
+                       static_cast<Reg>(xv + ec),
+                       static_cast<Reg>(acc + er));
+            }
+        }
+        b.iaddImm(vp, vp, val_step);
+        b.iaddImm(cp, cp, col_step);
+        b.iaddImm(blk, blk, 1);
+        b.endLoop();
+
+        if (interleaved_vector) {
+            b.shlImm(xa, gtid, 2);
+            b.iaddImm(xa, xa, static_cast<int32_t>(v.yIvBase));
+            for (int e = 0; e < bs; ++e)
+                b.stg(xa, static_cast<Reg>(acc + e),
+                      e * v.blockRows * 4);
+        } else {
+            b.imulImm(xa, gtid, bs * 4);
+            b.iaddImm(xa, xa, static_cast<int32_t>(v.yBase));
+            for (int e = 0; e < bs; ++e)
+                b.stg(xa, static_cast<Reg>(acc + e), e * 4);
+        }
+    }
+    b.endIf();
+    return b.build(0);
+}
+
+double
+spmvMaxError(const funcsim::GlobalMemory &gmem, const BlockSparseMatrix &m,
+             const SpmvVectors &v, bool interleaved_y)
+{
+    std::vector<double> ref(m.rows());
+    cpuSpmv(m, gmem.f32(v.xBase), ref.data());
+    std::vector<float> y = readY(gmem, v, interleaved_y);
+    double max_err = 0.0;
+    for (int i = 0; i < m.rows(); ++i) {
+        const double denom = std::max(1.0, std::fabs(ref[i]));
+        max_err =
+            std::max(max_err, std::fabs(y[i] - ref[i]) / denom);
+    }
+    return max_err;
+}
+
+} // namespace apps
+} // namespace gpuperf

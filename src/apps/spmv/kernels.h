@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SpMV kernels for the three storage formats (paper Section 5.3).
+ */
+
+#ifndef GPUPERF_APPS_SPMV_KERNELS_H
+#define GPUPERF_APPS_SPMV_KERNELS_H
+
+#include "apps/spmv/formats.h"
+#include "isa/kernel.h"
+
+namespace gpuperf {
+namespace apps {
+
+/** SpMV launch block size used throughout. */
+constexpr int kSpmvBlockDim = 128;
+
+/**
+ * Scalar ELL kernel: one thread per row, K coalesced (value, column)
+ * loads plus one gathered vector load each.
+ * @param use_texture gather x through the texture cache path (LDT)
+ */
+isa::Kernel makeEllKernel(const EllDeviceMatrix &ell,
+                          const SpmvVectors &v, bool use_texture);
+
+/**
+ * Blocked ELL kernel: one thread per block-row, processing 3x3 blocks
+ * (1 column index + 9 values + 3 vector entries per block).
+ *
+ * @param interleaved_vector gather from the interleaved x copy and
+ *                           store y interleaved (BELL+IMIV)
+ * @param use_texture        gather x through the texture cache path
+ */
+isa::Kernel makeBellKernel(const BellDeviceMatrix &bell,
+                           const SpmvVectors &v, bool interleaved_vector,
+                           bool use_texture);
+
+/** Grid size for a kernel covering @p work_items threads. */
+int spmvGridDim(int work_items);
+
+/** Max relative error of y (device) against the CPU reference. */
+double spmvMaxError(const funcsim::GlobalMemory &gmem,
+                    const BlockSparseMatrix &m, const SpmvVectors &v,
+                    bool interleaved_y);
+
+} // namespace apps
+} // namespace gpuperf
+
+#endif // GPUPERF_APPS_SPMV_KERNELS_H

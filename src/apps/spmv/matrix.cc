@@ -1,0 +1,99 @@
+#include "apps/spmv/matrix.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gpuperf {
+namespace apps {
+
+uint64_t
+BlockSparseMatrix::storedEntries() const
+{
+    uint64_t total = 0;
+    for (const auto &cols : blockCols)
+        total += cols.size() * blockSize * blockSize;
+    return total;
+}
+
+int
+BlockSparseMatrix::maxRowEntries() const
+{
+    size_t max_blocks = 0;
+    for (const auto &cols : blockCols)
+        max_blocks = std::max(max_blocks, cols.size());
+    return static_cast<int>(max_blocks) * blockSize;
+}
+
+bool
+BlockSparseMatrix::uniform() const
+{
+    if (blockCols.empty())
+        return true;
+    const size_t k = blockCols.front().size();
+    for (const auto &cols : blockCols) {
+        if (cols.size() != k)
+            return false;
+    }
+    return true;
+}
+
+BlockSparseMatrix
+makeBandedBlockMatrix(int block_rows, int blocks_per_row, int half_band,
+                      uint64_t seed)
+{
+    if (block_rows <= 0 || blocks_per_row <= 0)
+        fatal("spmv: matrix must have positive dimensions");
+    if (blocks_per_row > 2 * half_band + 1)
+        fatal("spmv: cannot fit %d blocks in a band of width %d",
+              blocks_per_row, 2 * half_band + 1);
+
+    BlockSparseMatrix m;
+    m.blockRows = block_rows;
+    m.blockSize = 3;
+    m.blockCols.resize(block_rows);
+    m.blockVals.resize(block_rows);
+
+    Rng rng(seed);
+    const int bs2 = m.blockSize * m.blockSize;
+    for (int r = 0; r < block_rows; ++r) {
+        std::set<int> cols;
+        cols.insert(r);  // diagonal block
+        while (static_cast<int>(cols.size()) < blocks_per_row) {
+            const int lo = std::max(0, r - half_band);
+            const int hi = std::min(block_rows - 1, r + half_band);
+            cols.insert(static_cast<int>(rng.nextRange(lo, hi)));
+        }
+        m.blockCols[r].assign(cols.begin(), cols.end());
+        m.blockVals[r].resize(m.blockCols[r].size() * bs2);
+        for (auto &v : m.blockVals[r])
+            v = rng.nextFloat() - 0.5f;
+    }
+    return m;
+}
+
+void
+cpuSpmv(const BlockSparseMatrix &m, const float *x, double *y)
+{
+    const int bs = m.blockSize;
+    for (int r = 0; r < m.blockRows; ++r) {
+        for (int e = 0; e < bs; ++e)
+            y[r * bs + e] = 0.0;
+        for (size_t k = 0; k < m.blockCols[r].size(); ++k) {
+            const int c = m.blockCols[r][k];
+            const float *blk = &m.blockVals[r][k * bs * bs];
+            for (int er = 0; er < bs; ++er) {
+                double sum = 0.0;
+                for (int ec = 0; ec < bs; ++ec)
+                    sum += static_cast<double>(blk[er * bs + ec]) *
+                           x[c * bs + ec];
+                y[r * bs + er] += sum;
+            }
+        }
+    }
+}
+
+} // namespace apps
+} // namespace gpuperf

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Block-structured sparse matrices (paper Section 5.3).
+ *
+ * The paper evaluates on QCD, a naturally 3x3-blocked matrix with a
+ * uniform number of blocks per block-row and strong diagonal locality.
+ * makeBandedBlockMatrix() synthesizes a matrix with those properties:
+ * one diagonal block plus further blocks drawn within a narrow band,
+ * so neighboring rows have similar entry positions — the property the
+ * interleaved-vector optimization exploits.
+ */
+
+#ifndef GPUPERF_APPS_SPMV_MATRIX_H
+#define GPUPERF_APPS_SPMV_MATRIX_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gpuperf {
+namespace apps {
+
+/** A sparse matrix of dense blockSize x blockSize blocks. */
+struct BlockSparseMatrix
+{
+    int blockRows = 0;
+    int blockSize = 3;
+    /** Per block-row: sorted unique block-column indices. */
+    std::vector<std::vector<int>> blockCols;
+    /** Per block-row: values, blockSize^2 floats per block, row-major
+     *  within the block, in blockCols order. */
+    std::vector<std::vector<float>> blockVals;
+
+    int rows() const { return blockRows * blockSize; }
+    /** Stored entries (all block elements count, as in BELL/ELL). */
+    uint64_t storedEntries() const;
+    /** Maximum scalar entries in any row. */
+    int maxRowEntries() const;
+    /** True if every block-row has the same number of blocks. */
+    bool uniform() const;
+};
+
+/**
+ * Synthesize a QCD-like banded block matrix.
+ *
+ * @param block_rows     block rows (scalar rows = 3x)
+ * @param blocks_per_row blocks in each block-row (incl. the diagonal)
+ * @param half_band      blocks are drawn from [R-half_band, R+half_band]
+ */
+BlockSparseMatrix makeBandedBlockMatrix(int block_rows, int blocks_per_row,
+                                        int half_band, uint64_t seed = 11);
+
+/** Reference SpMV: y = A * x (double accumulation). */
+void cpuSpmv(const BlockSparseMatrix &m, const float *x, double *y);
+
+} // namespace apps
+} // namespace gpuperf
+
+#endif // GPUPERF_APPS_SPMV_MATRIX_H

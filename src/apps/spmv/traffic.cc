@@ -1,0 +1,204 @@
+#include "apps/spmv/traffic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "memxact/coalescing.h"
+
+namespace gpuperf {
+namespace apps {
+
+const char *
+spmvFormatName(SpmvFormat format)
+{
+    switch (format) {
+      case SpmvFormat::kEll:
+        return "ELL";
+      case SpmvFormat::kBell:
+        return "BELL";
+      case SpmvFormat::kBellIm:
+        return "BELL+IM";
+      case SpmvFormat::kBellImIv:
+        return "BELL+IMIV";
+    }
+    panic("unknown SpMV format %d", static_cast<int>(format));
+}
+
+namespace {
+
+constexpr int kGroup = 16;  // half-warp coalescing group
+
+int
+roundUp(int v, int unit)
+{
+    return (v + unit - 1) / unit * unit;
+}
+
+uint64_t
+groupBytes(const memxact::CoalescingSimulator &sim,
+           const std::vector<memxact::Request> &reqs)
+{
+    return memxact::CoalescingSimulator::totalBytes(sim.coalesce(reqs, 4));
+}
+
+TrafficBreakdown
+analyzeEll(const BlockSparseMatrix &m,
+           const memxact::CoalescingSimulator &sim)
+{
+    const int rows = m.rows();
+    const int k = m.maxRowEntries();
+    const int ld = roundUp(rows, 32);
+    const int bs = m.blockSize;
+
+    // Scalar column ids, padded like buildEll().
+    std::vector<int> cols(static_cast<size_t>(rows) * k);
+    for (int br = 0; br < m.blockRows; ++br) {
+        for (int er = 0; er < bs; ++er) {
+            const int row = br * bs + er;
+            int j = 0;
+            int last = row;
+            for (int c : m.blockCols[br]) {
+                for (int ec = 0; ec < bs; ++ec, ++j) {
+                    last = c * bs + ec;
+                    cols[static_cast<size_t>(row) * k + j] = last;
+                }
+            }
+            for (; j < k; ++j)
+                cols[static_cast<size_t>(row) * k + j] = last;
+        }
+    }
+
+    uint64_t val_bytes = 0;
+    uint64_t idx_bytes = 0;
+    uint64_t vec_bytes = 0;
+    std::vector<memxact::Request> reqs(kGroup);
+    for (int r0 = 0; r0 < rows; r0 += kGroup) {
+        for (int j = 0; j < k; ++j) {
+            for (int l = 0; l < kGroup; ++l) {
+                const int r = r0 + l;
+                reqs[l].active = r < rows;
+                reqs[l].address =
+                    (static_cast<uint64_t>(j) * ld + r) * 4;
+            }
+            val_bytes += groupBytes(sim, reqs);
+            idx_bytes += groupBytes(sim, reqs);
+            for (int l = 0; l < kGroup; ++l) {
+                const int r = r0 + l;
+                if (r < rows) {
+                    reqs[l].address = static_cast<uint64_t>(
+                        cols[static_cast<size_t>(r) * k + j]) * 4;
+                }
+            }
+            vec_bytes += groupBytes(sim, reqs);
+        }
+    }
+
+    const double entries = static_cast<double>(rows) * k;
+    return {val_bytes / entries, idx_bytes / entries,
+            vec_bytes / entries};
+}
+
+TrafficBreakdown
+analyzeBell(const BlockSparseMatrix &m,
+            const memxact::CoalescingSimulator &sim, bool interleaved,
+            bool iv)
+{
+    const int nbr = m.blockRows;
+    const int bs = m.blockSize;
+    const int bs2 = bs * bs;
+    size_t max_blocks = 0;
+    for (const auto &cols : m.blockCols)
+        max_blocks = std::max(max_blocks, cols.size());
+    const int kb = static_cast<int>(max_blocks);
+    const int ld = roundUp(nbr, 32);
+
+    uint64_t val_bytes = 0;
+    uint64_t idx_bytes = 0;
+    uint64_t vec_bytes = 0;
+    std::vector<memxact::Request> reqs(kGroup);
+
+    auto col_of = [&](int br, int blk) {
+        const auto &cols = m.blockCols[br];
+        return blk < static_cast<int>(cols.size()) ? cols[blk]
+                                                   : cols.back();
+    };
+
+    for (int r0 = 0; r0 < nbr; r0 += kGroup) {
+        for (int blk = 0; blk < kb; ++blk) {
+            // Column index load.
+            for (int l = 0; l < kGroup; ++l) {
+                const int r = r0 + l;
+                reqs[l].active = r < nbr;
+                reqs[l].address =
+                    interleaved
+                        ? (static_cast<uint64_t>(blk) * ld + r) * 4
+                        : (static_cast<uint64_t>(r) * kb + blk) * 4;
+            }
+            idx_bytes += groupBytes(sim, reqs);
+
+            // Nine value loads.
+            for (int j = 0; j < bs2; ++j) {
+                for (int l = 0; l < kGroup; ++l) {
+                    const int r = r0 + l;
+                    if (r >= nbr)
+                        continue;
+                    reqs[l].address =
+                        interleaved
+                            ? ((static_cast<uint64_t>(blk) * bs2 + j) *
+                                   ld + r) * 4
+                            : ((static_cast<uint64_t>(r) * kb + blk) *
+                                   bs2 + j) * 4;
+                }
+                val_bytes += groupBytes(sim, reqs);
+            }
+
+            // Three gathered vector loads.
+            for (int e = 0; e < bs; ++e) {
+                for (int l = 0; l < kGroup; ++l) {
+                    const int r = r0 + l;
+                    if (r >= nbr)
+                        continue;
+                    const int c = col_of(r, blk);
+                    reqs[l].address =
+                        iv ? (static_cast<uint64_t>(e) * nbr + c) * 4
+                           : (static_cast<uint64_t>(c) * bs + e) * 4;
+                }
+                vec_bytes += groupBytes(sim, reqs);
+            }
+        }
+    }
+
+    const double entries =
+        static_cast<double>(nbr) * kb * bs2;
+    return {val_bytes / entries, idx_bytes / entries,
+            vec_bytes / entries};
+}
+
+} // namespace
+
+TrafficBreakdown
+analyzeTraffic(const BlockSparseMatrix &m, SpmvFormat format,
+               int granularity)
+{
+    // Sectored transfers keep the what-if granularity series
+    // self-consistent: only touched sectors are fetched, so shrinking
+    // the granularity monotonically reduces the gathered-vector bytes
+    // and at 4 B granularity only useful words move (paper Fig. 11a).
+    memxact::CoalescingSimulator sim(granularity,
+                                     std::max(granularity, 128), kGroup,
+                                     memxact::CoalescePolicy::kSectored);
+    switch (format) {
+      case SpmvFormat::kEll:
+        return analyzeEll(m, sim);
+      case SpmvFormat::kBell:
+        return analyzeBell(m, sim, /*interleaved=*/false, /*iv=*/false);
+      case SpmvFormat::kBellIm:
+        return analyzeBell(m, sim, /*interleaved=*/true, /*iv=*/false);
+      case SpmvFormat::kBellImIv:
+        return analyzeBell(m, sim, /*interleaved=*/true, /*iv=*/true);
+    }
+    panic("unknown SpMV format %d", static_cast<int>(format));
+}
+
+} // namespace apps
+} // namespace gpuperf

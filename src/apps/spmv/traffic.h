@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Static traffic analysis for SpMV formats (paper Figure 11(a)):
+ * drives the format's access pattern through the memory transaction
+ * simulator at a configurable transaction granularity and reports the
+ * average bytes fetched per processed matrix entry, split into matrix
+ * values, column indices, and vector entries.
+ */
+
+#ifndef GPUPERF_APPS_SPMV_TRAFFIC_H
+#define GPUPERF_APPS_SPMV_TRAFFIC_H
+
+#include "apps/spmv/matrix.h"
+
+namespace gpuperf {
+namespace apps {
+
+/** SpMV storage/processing scheme. */
+enum class SpmvFormat
+{
+    kEll,          ///< scalar ELL
+    kBell,         ///< blocked ELL, straightforward storage (Fig 9c)
+    kBellIm,       ///< blocked ELL, interleaved matrix
+    kBellImIv,     ///< interleaved matrix + interleaved vector
+};
+
+const char *spmvFormatName(SpmvFormat format);
+
+/** Average global-memory bytes per processed matrix entry. */
+struct TrafficBreakdown
+{
+    double matrixBytes = 0.0;
+    double indexBytes = 0.0;
+    double vectorBytes = 0.0;
+
+    double total() const
+    {
+        return matrixBytes + indexBytes + vectorBytes;
+    }
+};
+
+/**
+ * Analyze @p format 's traffic on matrix @p m with hardware memory
+ * transactions no smaller than @p granularity bytes (32 on GT200; the
+ * paper also evaluates hypothetical 16 B and 4 B granularities).
+ */
+TrafficBreakdown analyzeTraffic(const BlockSparseMatrix &m,
+                                SpmvFormat format, int granularity);
+
+} // namespace apps
+} // namespace gpuperf
+
+#endif // GPUPERF_APPS_SPMV_TRAFFIC_H

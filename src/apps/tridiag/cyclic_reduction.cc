@@ -1,0 +1,349 @@
+#include "apps/tridiag/cyclic_reduction.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "isa/builder.h"
+
+namespace gpuperf {
+namespace apps {
+
+namespace {
+
+int
+log2i(int v)
+{
+    GPUPERF_ASSERT(v > 0 && (v & (v - 1)) == 0, "value must be 2^k");
+    int l = 0;
+    while ((1 << l) < v)
+        ++l;
+    return l;
+}
+
+} // namespace
+
+double
+TridiagProblem::flops() const
+{
+    // Forward: ~12 flops per eliminated equation (n-1 eliminations);
+    // backward: ~5 flops per solved equation.
+    return (12.0 * (n - 1) + 5.0 * n) * systems;
+}
+
+TridiagProblem
+makeTridiagProblem(funcsim::GlobalMemory &gmem, int n, int systems,
+                   bool padded, uint64_t seed)
+{
+    if (n < 4 || (n & (n - 1)) != 0)
+        fatal("tridiag: n must be a power of two >= 4 (got %d)", n);
+    if (padded && n % 16 != 0)
+        fatal("tridiag: padding requires n to be a multiple of 16");
+
+    TridiagProblem p;
+    p.n = n;
+    p.systems = systems;
+    p.padded = padded;
+    p.inBase = gmem.alloc(static_cast<size_t>(systems) * 4 * n * 4);
+    p.xBase = gmem.alloc(static_cast<size_t>(systems) * n * 4);
+
+    Rng rng(seed);
+    for (int s = 0; s < systems; ++s) {
+        float *base = gmem.f32(p.inBase + static_cast<uint64_t>(s) *
+                                              4 * n * 4);
+        float *a = base;
+        float *b = base + n;
+        float *c = base + 2 * n;
+        float *d = base + 3 * n;
+        for (int i = 0; i < n; ++i) {
+            a[i] = rng.nextFloat() * 2.0f - 1.0f;
+            c[i] = rng.nextFloat() * 2.0f - 1.0f;
+            b[i] = 3.0f + rng.nextFloat();  // diagonally dominant
+            d[i] = rng.nextFloat() * 2.0f - 1.0f;
+        }
+        a[0] = 0.0f;
+        c[n - 1] = 0.0f;
+    }
+    return p;
+}
+
+namespace {
+
+using isa::CmpOp;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+
+/** Register set reused by every step of the kernel. */
+struct CrRegs
+{
+    Reg t, mOne, idx, idxR, sI, sL, sR, tmp;
+    Reg vA, vB, vC, vD;      // center-equation values
+    Reg wA, wB, wC, wD;      // neighbor values (left, then right)
+    Reg r1, k1;
+    Pred pAct, pR;
+};
+
+/**
+ * Emit saddr = mapped byte address of shared index held in @p idx.
+ * With padding, index i is redirected to i + i/16, spreading
+ * power-of-two strides across all banks.
+ */
+void
+emitMapAddr(KernelBuilder &b, const CrRegs &r, bool padded, Reg idx,
+            Reg saddr)
+{
+    if (padded) {
+        b.shrImm(r.tmp, idx, 4);
+        b.iadd(r.tmp, idx, r.tmp);
+        b.shlImm(saddr, r.tmp, 2);
+    } else {
+        b.shlImm(saddr, idx, 2);
+    }
+}
+
+} // namespace
+
+isa::Kernel
+makeCyclicReductionKernel(const TridiagProblem &p, bool forward_only)
+{
+    const int n = p.n;
+    const int steps = log2i(n);
+    const int np = p.paddedLength();
+    const int off_a = 0;
+    const int off_b = np * 4;
+    const int off_c = 2 * np * 4;
+    const int off_d = 3 * np * 4;
+    const int off_x = 4 * np * 4;
+
+    KernelBuilder b(std::string("cyclic_reduction") +
+                    (p.padded ? "_nbc" : "") +
+                    (forward_only ? "_fwd" : ""));
+    CrRegs r;
+    r.t = b.reg();
+    r.mOne = b.reg();
+    r.idx = b.reg();
+    r.idxR = b.reg();
+    r.sI = b.reg();
+    r.sL = b.reg();
+    r.sR = b.reg();
+    r.tmp = b.reg();
+    r.vA = b.reg();
+    r.vB = b.reg();
+    r.vC = b.reg();
+    r.vD = b.reg();
+    r.wA = b.reg();
+    r.wB = b.reg();
+    r.wC = b.reg();
+    r.wD = b.reg();
+    r.r1 = b.reg();
+    r.k1 = b.reg();
+    r.pAct = b.pred();
+    r.pR = b.pred();
+
+    b.s2r(r.t, isa::SpecialReg::kTid);
+    b.movImmF(r.mOne, -1.0f);
+
+    // --- Stage 0: load the system into shared memory ---------------------
+    // inAddr = inBase + ctaid * 16n + t*4 (kept in idxR temporarily).
+    b.s2r(r.tmp, isa::SpecialReg::kCtaid);
+    b.imulImm(r.idxR, r.tmp, 16 * n);
+    b.shlImm(r.tmp, r.t, 2);
+    b.iadd(r.idxR, r.idxR, r.tmp);
+    b.iaddImm(r.idxR, r.idxR, static_cast<int32_t>(p.inBase));
+
+    emitMapAddr(b, r, p.padded, r.t, r.sL);      // shared addr of t
+    b.iaddImm(r.idx, r.t, n / 2);
+    emitMapAddr(b, r, p.padded, r.idx, r.sR);    // shared addr of t + n/2
+    const int offs[4] = {off_a, off_b, off_c, off_d};
+    for (int arr = 0; arr < 4; ++arr) {
+        b.ldg(r.wA, r.idxR, (arr * n) * 4);
+        b.sts(r.sL, r.wA, offs[arr]);
+        b.ldg(r.wB, r.idxR, (arr * n + n / 2) * 4);
+        b.sts(r.sR, r.wB, offs[arr]);
+    }
+    b.bar();
+
+    // --- Forward reduction: steps 1..log2(n) -----------------------------
+    for (int k = 1; k <= steps; ++k) {
+        const int delta = 1 << (k - 1);
+        const int active = n >> k;
+        b.setpIImm(r.pAct, CmpOp::kLt, r.t, active);
+        b.beginIf(r.pAct);
+        {
+            // i = 2*delta*t + 2*delta - 1; neighbors at i -/+ delta.
+            b.shlImm(r.idx, r.t, k);
+            b.iaddImm(r.idx, r.idx, (1 << k) - 1);
+            emitMapAddr(b, r, p.padded, r.idx, r.sI);
+            b.iaddImm(r.idxR, r.idx, -delta);
+            emitMapAddr(b, r, p.padded, r.idxR, r.sL);
+            b.iaddImm(r.idxR, r.idx, delta);
+            emitMapAddr(b, r, p.padded, r.idxR, r.sR);
+
+            b.lds(r.vA, r.sI, off_a);
+            b.lds(r.vB, r.sI, off_b);
+            b.lds(r.vC, r.sI, off_c);
+            b.lds(r.vD, r.sI, off_d);
+
+            // Left elimination: k1 = -a_i / b_L.
+            b.lds(r.wA, r.sL, off_a);
+            b.lds(r.wB, r.sL, off_b);
+            b.lds(r.wC, r.sL, off_c);
+            b.lds(r.wD, r.sL, off_d);
+            b.rcp(r.r1, r.wB);
+            b.fmul(r.k1, r.vA, r.r1);
+            b.fmulFpu(r.k1, r.k1, r.mOne);
+            b.fmulFpu(r.vA, r.wA, r.k1);       // a' = a_L * k1
+            b.fmad(r.vB, r.wC, r.k1, r.vB);    // b' -= c_L * a_i/b_L
+            b.fmad(r.vD, r.wD, r.k1, r.vD);
+
+            // Right elimination (guarded: the last equation has no
+            // right neighbor).
+            b.setpIImm(r.pR, CmpOp::kLt, r.idxR, n);
+            b.beginIf(r.pR);
+            {
+                b.lds(r.wA, r.sR, off_a);
+                b.lds(r.wB, r.sR, off_b);
+                b.lds(r.wC, r.sR, off_c);
+                b.lds(r.wD, r.sR, off_d);
+                b.rcp(r.r1, r.wB);
+                b.fmul(r.k1, r.vC, r.r1);
+                b.fmulFpu(r.k1, r.k1, r.mOne);
+                b.fmad(r.vB, r.wA, r.k1, r.vB);
+                b.fmad(r.vD, r.wD, r.k1, r.vD);
+                b.fmulFpu(r.vC, r.wC, r.k1);   // c' = c_R * k2
+            }
+            b.beginElse();
+            b.movImmF(r.vC, 0.0f);
+            b.endIf();
+
+            b.sts(r.sI, r.vA, off_a);
+            b.sts(r.sI, r.vB, off_b);
+            b.sts(r.sI, r.vC, off_c);
+            b.sts(r.sI, r.vD, off_d);
+        }
+        b.endIf();
+        b.bar();
+    }
+
+    if (forward_only)
+        return b.build(p.sharedBytes());
+
+    // --- Solve the single remaining equation (index n-1) ----------------
+    b.setpIImm(r.pAct, CmpOp::kEq, r.t, 0);
+    b.beginIf(r.pAct);
+    {
+        b.movImm(r.idx, n - 1);
+        emitMapAddr(b, r, p.padded, r.idx, r.sI);
+        b.lds(r.vB, r.sI, off_b);
+        b.lds(r.vD, r.sI, off_d);
+        b.rcp(r.r1, r.vB);
+        b.fmulFpu(r.vD, r.vD, r.r1);
+        b.sts(r.sI, r.vD, off_x);
+    }
+    b.endIf();
+    b.bar();
+
+    // --- Backward substitution: steps log2(n)..1 --------------------------
+    for (int k = steps; k >= 1; --k) {
+        const int delta = 1 << (k - 1);
+        const int active = n >> k;
+        b.setpIImm(r.pAct, CmpOp::kLt, r.t, active);
+        b.beginIf(r.pAct);
+        {
+            // Solve positions i = 2*delta*t + delta - 1 using the
+            // already-known x at i +/- delta.
+            b.shlImm(r.idx, r.t, k);
+            b.iaddImm(r.idx, r.idx, delta - 1);
+            emitMapAddr(b, r, p.padded, r.idx, r.sI);
+            b.iaddImm(r.idxR, r.idx, delta);
+            emitMapAddr(b, r, p.padded, r.idxR, r.sR);
+
+            b.lds(r.vA, r.sI, off_a);
+            b.lds(r.vB, r.sI, off_b);
+            b.lds(r.vC, r.sI, off_c);
+            b.lds(r.vD, r.sI, off_d);
+            b.lds(r.wB, r.sR, off_x);          // x_right (always valid)
+
+            // x_left is out of range for t = 0.
+            b.iaddImm(r.idxR, r.idx, -delta);
+            b.setpIImm(r.pR, CmpOp::kGe, r.idxR, 0);
+            b.beginIf(r.pR);
+            {
+                emitMapAddr(b, r, p.padded, r.idxR, r.sL);
+                b.lds(r.wA, r.sL, off_x);
+            }
+            b.beginElse();
+            b.movImmF(r.wA, 0.0f);
+            b.endIf();
+
+            b.fmulFpu(r.wA, r.wA, r.mOne);
+            b.fmad(r.vD, r.vA, r.wA, r.vD);    // d - a * x_left
+            b.fmulFpu(r.wB, r.wB, r.mOne);
+            b.fmad(r.vD, r.vC, r.wB, r.vD);    // ... - c * x_right
+            b.rcp(r.r1, r.vB);
+            b.fmulFpu(r.vD, r.vD, r.r1);
+            b.sts(r.sI, r.vD, off_x);
+        }
+        b.endIf();
+        b.bar();
+    }
+
+    // --- Store the solution -----------------------------------------------
+    b.s2r(r.tmp, isa::SpecialReg::kCtaid);
+    b.imulImm(r.idxR, r.tmp, n * 4);
+    b.shlImm(r.tmp, r.t, 2);
+    b.iadd(r.idxR, r.idxR, r.tmp);
+    b.iaddImm(r.idxR, r.idxR, static_cast<int32_t>(p.xBase));
+    emitMapAddr(b, r, p.padded, r.t, r.sL);
+    b.iaddImm(r.idx, r.t, n / 2);
+    emitMapAddr(b, r, p.padded, r.idx, r.sR);
+    b.lds(r.vA, r.sL, off_x);
+    b.stg(r.idxR, r.vA, 0);
+    b.lds(r.vB, r.sR, off_x);
+    b.stg(r.idxR, r.vB, (n / 2) * 4);
+
+    return b.build(p.sharedBytes());
+}
+
+void
+cpuThomas(const float *a, const float *b, const float *c, const float *d,
+          double *x, int n)
+{
+    std::vector<double> cp(n);
+    std::vector<double> dp(n);
+    cp[0] = c[0] / b[0];
+    dp[0] = d[0] / b[0];
+    for (int i = 1; i < n; ++i) {
+        const double m = b[i] - a[i] * cp[i - 1];
+        cp[i] = c[i] / m;
+        dp[i] = (d[i] - a[i] * dp[i - 1]) / m;
+    }
+    x[n - 1] = dp[n - 1];
+    for (int i = n - 2; i >= 0; --i)
+        x[i] = dp[i] - cp[i] * x[i + 1];
+}
+
+double
+tridiagMaxError(const funcsim::GlobalMemory &gmem, const TridiagProblem &p)
+{
+    double max_err = 0.0;
+    std::vector<double> ref(p.n);
+    for (int s = 0; s < p.systems; ++s) {
+        const float *base =
+            gmem.f32(p.inBase + static_cast<uint64_t>(s) * 4 * p.n * 4);
+        cpuThomas(base, base + p.n, base + 2 * p.n, base + 3 * p.n,
+                  ref.data(), p.n);
+        const float *x =
+            gmem.f32(p.xBase + static_cast<uint64_t>(s) * p.n * 4);
+        for (int i = 0; i < p.n; ++i) {
+            const double denom = std::max(1.0, std::fabs(ref[i]));
+            max_err = std::max(max_err,
+                               std::fabs(x[i] - ref[i]) / denom);
+        }
+    }
+    return max_err;
+}
+
+} // namespace apps
+} // namespace gpuperf

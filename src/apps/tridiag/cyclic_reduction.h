@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cyclic-reduction tridiagonal solver (paper Section 5.2).
+ *
+ * Solves many independent n-equation tridiagonal systems, one system
+ * per block and one equation pair per thread, entirely in shared
+ * memory. Forward reduction halves the active equations each step; the
+ * power-of-two access stride doubles, so shared-memory bank conflicts
+ * double per step (2-way, 4-way, ... — paper Figure 5). The CR-NBC
+ * variant pads every 16th element, redirecting conflicting accesses to
+ * free banks at the cost of extra address arithmetic.
+ */
+
+#ifndef GPUPERF_APPS_TRIDIAG_CYCLIC_REDUCTION_H
+#define GPUPERF_APPS_TRIDIAG_CYCLIC_REDUCTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "funcsim/interpreter.h"
+#include "isa/kernel.h"
+
+namespace gpuperf {
+namespace apps {
+
+/** A batch of tridiagonal systems on the device. */
+struct TridiagProblem
+{
+    int n = 0;          ///< equations per system (power of two)
+    int systems = 0;    ///< independent systems (one block each)
+    bool padded = false;  ///< CR-NBC bank-conflict-free layout
+    /** Input: per system, arrays a, b, c, d of n floats each,
+     *  consecutively (a = subdiagonal, b = diagonal, c = superdiagonal,
+     *  d = right-hand side). */
+    uint64_t inBase = 0;
+    /** Output: per system, n solution floats. */
+    uint64_t xBase = 0;
+
+    funcsim::LaunchConfig launch() const { return {systems, n / 2}; }
+
+    /** Padded shared array length (n + n/16 when padded). */
+    int paddedLength() const { return padded ? n + n / 16 : n; }
+    /** Shared memory bytes per block (5 arrays: a, b, c, d, x). */
+    int sharedBytes() const { return 5 * paddedLength() * 4; }
+
+    /** Algorithmic flop count for one full solve of all systems. */
+    double flops() const;
+    /** Algorithmic global bytes (load 4n, store n floats per system). */
+    double globalBytes() const
+    {
+        return 5.0 * n * systems * 4.0;
+    }
+};
+
+/**
+ * Allocate and fill @p systems diagonally dominant systems.
+ */
+TridiagProblem makeTridiagProblem(funcsim::GlobalMemory &gmem, int n,
+                                  int systems, bool padded,
+                                  uint64_t seed = 7);
+
+/**
+ * Build the CR kernel.
+ * @param forward_only stop after forward reduction (paper Figure 6
+ *                     analyzes the forward phase only)
+ */
+isa::Kernel makeCyclicReductionKernel(const TridiagProblem &problem,
+                                      bool forward_only = false);
+
+/** Thomas-algorithm reference solve (double precision). */
+void cpuThomas(const float *a, const float *b, const float *c,
+               const float *d, double *x, int n);
+
+/** Max relative error of device solutions vs. the Thomas reference. */
+double tridiagMaxError(const funcsim::GlobalMemory &gmem,
+                       const TridiagProblem &problem);
+
+} // namespace apps
+} // namespace gpuperf
+
+#endif // GPUPERF_APPS_TRIDIAG_CYCLIC_REDUCTION_H

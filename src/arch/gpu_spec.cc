@@ -1,0 +1,97 @@
+#include "arch/gpu_spec.h"
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace arch {
+
+double
+GpuSpec::peakGlobalBandwidth() const
+{
+    return memClockHz * busWidthBits / 8.0;
+}
+
+double
+GpuSpec::peakSharedBandwidth() const
+{
+    // Paper Section 4.2: numberSP * numberSM * frequency * 4 B.
+    return static_cast<double>(spsPerSm) * numSms * coreClockHz *
+           sharedBankWidth;
+}
+
+double
+GpuSpec::clusterBytesPerCycle() const
+{
+    return peakGlobalBandwidth() / numClusters() / coreClockHz;
+}
+
+void
+GpuSpec::validate() const
+{
+    if (numSms <= 0 || smsPerCluster <= 0 || numSms % smsPerCluster != 0)
+        fatal("GpuSpec '%s': SM count %d not divisible into clusters of %d",
+              name.c_str(), numSms, smsPerCluster);
+    if (warpSize <= 0 || warpSize % coalesceGroup != 0)
+        fatal("GpuSpec '%s': warp size %d not a multiple of the coalescing "
+              "group %d", name.c_str(), warpSize, coalesceGroup);
+    if (minSegmentBytes <= 0 || maxSegmentBytes < minSegmentBytes)
+        fatal("GpuSpec '%s': bad segment sizes [%d, %d]", name.c_str(),
+              minSegmentBytes, maxSegmentBytes);
+    if ((minSegmentBytes & (minSegmentBytes - 1)) != 0)
+        fatal("GpuSpec '%s': minimum segment size %d not a power of two",
+              name.c_str(), minSegmentBytes);
+    if (numSharedBanks <= 0)
+        fatal("GpuSpec '%s': need at least one shared bank", name.c_str());
+    if (maxWarpsPerSm * warpSize < maxThreadsPerSm)
+        fatal("GpuSpec '%s': warp ceiling %d cannot cover thread ceiling %d",
+              name.c_str(), maxWarpsPerSm, maxThreadsPerSm);
+}
+
+GpuSpec
+GpuSpec::gtx285()
+{
+    return GpuSpec{};
+}
+
+GpuSpec
+GpuSpec::gtx285MoreBlocks()
+{
+    GpuSpec s;
+    s.name = "GTX 285 + 16 resident blocks";
+    s.maxBlocksPerSm = 16;
+    return s;
+}
+
+GpuSpec
+GpuSpec::gtx285BigResources()
+{
+    GpuSpec s;
+    s.name = "GTX 285 + 2x registers/shared memory";
+    s.registersPerSm *= 2;
+    s.sharedMemPerSm *= 2;
+    return s;
+}
+
+GpuSpec
+GpuSpec::gtx285PrimeBanks()
+{
+    GpuSpec s;
+    s.name = "GTX 285 + 17 shared banks";
+    s.numSharedBanks = 17;
+    return s;
+}
+
+GpuSpec
+GpuSpec::gtx285SmallSegments(int min_segment_bytes)
+{
+    GpuSpec s;
+    s.name = "GTX 285 + " + std::to_string(min_segment_bytes) +
+             "B transactions";
+    s.minSegmentBytes = min_segment_bytes;
+    if (s.maxSegmentBytes < min_segment_bytes)
+        s.maxSegmentBytes = min_segment_bytes;
+    return s;
+}
+
+} // namespace arch
+} // namespace gpuperf

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Machine description for the modeled GPU.
+ *
+ * The default preset reproduces the NVIDIA GeForce GTX 285 (GT200) as
+ * described in Section 4 of Zhang & Owens (HPCA 2011). What-if variants
+ * used for the paper's architectural-improvement studies (Section 5) are
+ * provided as named presets as well.
+ */
+
+#ifndef GPUPERF_ARCH_GPU_SPEC_H
+#define GPUPERF_ARCH_GPU_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace gpuperf {
+namespace arch {
+
+/**
+ * Static hardware parameters of the modeled GPU.
+ *
+ * All per-SM resource ceilings from the paper are represented: register
+ * file size, shared memory size, maximum threads, maximum resident
+ * blocks, and maximum resident warps. Timing-related parameters
+ * (pipeline depths, memory latency) parameterize the timing simulator
+ * that plays the role of the physical board.
+ */
+struct GpuSpec
+{
+    std::string name = "GTX 285";
+
+    // --- Compute organization -------------------------------------------
+    /** Number of streaming multiprocessors. */
+    int numSms = 30;
+    /** SMs per cluster (TPC); cluster shares one memory pipeline. */
+    int smsPerCluster = 3;
+    /** Scalar processors (FPUs) per SM. */
+    int spsPerSm = 8;
+    /** Extra multipliers in the special functional units per SM. */
+    int sfuMulPerSm = 2;
+    /** Special-function units usable for transcendental ops per SM. */
+    int sfuPerSm = 4;
+    /** Double-precision units per SM. */
+    int dpPerSm = 1;
+    /** Threads per warp. */
+    int warpSize = 32;
+    /** Core (shader) clock in Hz. */
+    double coreClockHz = 1.476e9;
+
+    // --- Per-SM resource ceilings ----------------------------------------
+    int registersPerSm = 16384;
+    int sharedMemPerSm = 16384;      ///< bytes
+    int maxThreadsPerSm = 1024;      ///< 32 warps
+    int maxThreadsPerBlock = 512;    ///< launch ceiling per block
+    int maxBlocksPerSm = 8;
+    int maxWarpsPerSm = 32;
+    /** Register allocation granularity (registers rounded per block). */
+    int registerAllocUnit = 512;
+    /** Shared memory allocation granularity in bytes. */
+    int sharedAllocUnit = 512;
+    /** Shared memory reserved per block by the runtime (kernel args). */
+    int sharedStaticPerBlock = 16;
+
+    // --- Shared memory organization ---------------------------------------
+    int numSharedBanks = 16;
+    int sharedBankWidth = 4;         ///< bytes per bank per cycle
+    /** Threads per shared-memory access issue group (half warp). */
+    int sharedIssueGroup = 16;
+
+    // --- Global memory ------------------------------------------------------
+    /** Effective memory clock in Hz (DDR already folded in). */
+    double memClockHz = 2.484e9;
+    /** Memory bus width in bits. */
+    int busWidthBits = 512;
+    /** Threads per coalescing group (half warp for CC 1.2/1.3). */
+    int coalesceGroup = 16;
+    /** Minimum memory segment (transaction) size in bytes. */
+    int minSegmentBytes = 32;
+    /** Maximum memory segment size in bytes. */
+    int maxSegmentBytes = 128;
+
+    // --- Timing-simulator parameters (the "hardware") ---------------------
+    /**
+     * Register read-after-write latency of the arithmetic pipelines, in
+     * core cycles. ~24 cycles gives the paper's observed saturation of
+     * type II instructions at about 6 warps (issue interval 4 cycles).
+     */
+    int aluDepCycles = 24;
+    /**
+     * Dependency latency of the shared-memory pipeline in core cycles.
+     * Longer than the ALU latency, so shared memory needs more warps to
+     * saturate (paper Figure 2, right).
+     */
+    int sharedDepCycles = 72;
+    /**
+     * Minimum interval between shared-memory passes issued by ONE warp,
+     * in core cycles (per-warp bank buffering limit). This is what
+     * makes shared-memory throughput scale with warp-level parallelism
+     * — the paper's central shared-memory observation — regardless of
+     * whether the serialized passes come from bank conflicts or from
+     * independent accesses. One warp alone sustains at most
+     * 1/interval of the pipe's pass rate (the pipe serves one pass
+     * per warpSize/sharedIssueGroup cycles).
+     */
+    double warpSharedPassIntervalCycles = 18.0;
+    /** Round-trip global memory latency in core cycles. */
+    int globalLatencyCycles = 520;
+    /** Fixed cluster-port overhead charged per memory transaction. */
+    int transactionOverheadCycles = 2;
+    /** Issue overhead cycles charged by the scheduler per instruction. */
+    double issueOverheadCycles = 0.35;
+
+    // --- Texture cache (extension; used for Fig. 12 +Cache variants) ------
+    bool textureCacheEnabled = false;
+    int textureCacheBytesPerCluster = 24576;
+    int textureCacheLineBytes = 32;
+    int textureCacheWays = 8;
+    int textureHitLatencyCycles = 40;
+
+    // --- Derived quantities -----------------------------------------------
+    int numClusters() const { return numSms / smsPerCluster; }
+
+    /** Peak DRAM bandwidth in bytes/s: memClock * busWidth / 8. */
+    double peakGlobalBandwidth() const;
+
+    /** Peak shared-memory bandwidth in bytes/s (paper Section 4.2). */
+    double peakSharedBandwidth() const;
+
+    /** DRAM bytes per core cycle for one cluster's memory pipeline. */
+    double clusterBytesPerCycle() const;
+
+    /** Validate internal consistency; fatal() on user error. */
+    void validate() const;
+
+    // --- Presets -----------------------------------------------------------
+    /** The paper's evaluation platform. */
+    static GpuSpec gtx285();
+
+    /** GTX 285 with the max-resident-blocks ceiling raised to 16 (§5.1). */
+    static GpuSpec gtx285MoreBlocks();
+
+    /** GTX 285 with doubled register file and shared memory (§5.1). */
+    static GpuSpec gtx285BigResources();
+
+    /** GTX 285 with a prime (17) number of shared banks (§5.2). */
+    static GpuSpec gtx285PrimeBanks();
+
+    /** GTX 285 with a smaller minimum transaction granularity (§5.3). */
+    static GpuSpec gtx285SmallSegments(int min_segment_bytes);
+};
+
+} // namespace arch
+} // namespace gpuperf
+
+#endif // GPUPERF_ARCH_GPU_SPEC_H

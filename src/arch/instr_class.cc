@@ -1,0 +1,77 @@
+#include "arch/instr_class.h"
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace arch {
+
+const char *
+instrTypeName(InstrType type)
+{
+    switch (type) {
+      case InstrType::TypeI:
+        return "Type I";
+      case InstrType::TypeII:
+        return "Type II";
+      case InstrType::TypeIII:
+        return "Type III";
+      case InstrType::TypeIV:
+        return "Type IV";
+    }
+    panic("unknown instruction type %d", static_cast<int>(type));
+}
+
+const char *
+instrTypeExamples(InstrType type)
+{
+    switch (type) {
+      case InstrType::TypeI:
+        return "mul";
+      case InstrType::TypeII:
+        return "mov, add, mad";
+      case InstrType::TypeIII:
+        return "sin, cos, log, rcp";
+      case InstrType::TypeIV:
+        return "double precision floating point";
+    }
+    panic("unknown instruction type %d", static_cast<int>(type));
+}
+
+int
+functionalUnits(const GpuSpec &spec, InstrType type)
+{
+    switch (type) {
+      case InstrType::TypeI:
+        return spec.spsPerSm + spec.sfuMulPerSm;
+      case InstrType::TypeII:
+        return spec.spsPerSm;
+      case InstrType::TypeIII:
+        return spec.sfuPerSm;
+      case InstrType::TypeIV:
+        return spec.dpPerSm;
+    }
+    panic("unknown instruction type %d", static_cast<int>(type));
+}
+
+double
+issueIntervalCycles(const GpuSpec &spec, InstrType type)
+{
+    return static_cast<double>(spec.warpSize) / functionalUnits(spec, type);
+}
+
+double
+peakThroughput(const GpuSpec &spec, InstrType type)
+{
+    return functionalUnits(spec, type) * spec.coreClockHz * spec.numSms /
+           spec.warpSize;
+}
+
+double
+peakFlops(const GpuSpec &spec)
+{
+    // MAD runs on the 8 FPUs (type II); one MAD = 2 flops per thread.
+    return peakThroughput(spec, InstrType::TypeII) * spec.warpSize * 2.0;
+}
+
+} // namespace arch
+} // namespace gpuperf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Instruction type classification (paper Table 1).
+ *
+ * Instructions are classified by how many functional units per SM can
+ * execute them; the theoretical peak throughput of a type follows as
+ * numberFunctionalUnits * frequency * numberSM / warpSize.
+ */
+
+#ifndef GPUPERF_ARCH_INSTR_CLASS_H
+#define GPUPERF_ARCH_INSTR_CLASS_H
+
+#include <array>
+#include <string>
+
+#include "arch/gpu_spec.h"
+
+namespace gpuperf {
+namespace arch {
+
+/**
+ * The four instruction types of Table 1.
+ *
+ * - TypeI:   10 units (the 8 FPUs plus 2 SFU multipliers) — mul
+ * - TypeII:   8 units — mov, add, mad and most integer/logic ops
+ * - TypeIII:  4 units — transcendental: sin, cos, log, rcp
+ * - TypeIV:   1 unit  — double-precision floating point
+ */
+enum class InstrType : int { TypeI = 0, TypeII = 1, TypeIII = 2, TypeIV = 3 };
+
+constexpr int kNumInstrTypes = 4;
+
+/** All types, for iteration. */
+constexpr std::array<InstrType, kNumInstrTypes> kAllInstrTypes = {
+    InstrType::TypeI, InstrType::TypeII, InstrType::TypeIII,
+    InstrType::TypeIV};
+
+/** Human-readable name ("Type I" .. "Type IV"). */
+const char *instrTypeName(InstrType type);
+
+/** Example instructions for the type, as in Table 1. */
+const char *instrTypeExamples(InstrType type);
+
+/** Number of functional units per SM able to run this type. */
+int functionalUnits(const GpuSpec &spec, InstrType type);
+
+/**
+ * Issue interval in core cycles for one warp-instruction of this type:
+ * warpSize / functionalUnits.
+ */
+double issueIntervalCycles(const GpuSpec &spec, InstrType type);
+
+/**
+ * Theoretical peak throughput in warp-instructions per second
+ * (paper: "Giga instructions/s" counts warp-level instructions).
+ */
+double peakThroughput(const GpuSpec &spec, InstrType type);
+
+/**
+ * Theoretical peak single-precision FLOP rate, counting MAD as two
+ * flops (paper Section 4.1: 710.4 GFLOPS for the GTX 285).
+ */
+double peakFlops(const GpuSpec &spec);
+
+} // namespace arch
+} // namespace gpuperf
+
+#endif // GPUPERF_ARCH_INSTR_CLASS_H

@@ -1,0 +1,101 @@
+#include "arch/occupancy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace arch {
+
+namespace {
+
+/** Round @p v up to a multiple of @p unit. */
+int
+roundUp(int v, int unit)
+{
+    if (unit <= 1)
+        return v;
+    return (v + unit - 1) / unit * unit;
+}
+
+} // namespace
+
+const char *
+occupancyLimitName(OccupancyLimit limit)
+{
+    switch (limit) {
+      case OccupancyLimit::Registers:
+        return "registers";
+      case OccupancyLimit::SharedMemory:
+        return "shared memory";
+      case OccupancyLimit::Threads:
+        return "threads";
+      case OccupancyLimit::Blocks:
+        return "resident-block ceiling";
+      case OccupancyLimit::Warps:
+        return "resident-warp ceiling";
+    }
+    panic("unknown occupancy limit %d", static_cast<int>(limit));
+}
+
+Occupancy
+computeOccupancy(const GpuSpec &spec, const KernelResources &res)
+{
+    if (res.threadsPerBlock <= 0)
+        fatal("occupancy: threads per block must be positive (got %d)",
+              res.threadsPerBlock);
+    if (res.threadsPerBlock > spec.maxThreadsPerBlock)
+        fatal("occupancy: block of %d threads exceeds the %d-thread "
+              "block ceiling", res.threadsPerBlock,
+              spec.maxThreadsPerBlock);
+
+    Occupancy occ;
+    occ.warpsPerBlock =
+        (res.threadsPerBlock + spec.warpSize - 1) / spec.warpSize;
+
+    const int regs_per_block = roundUp(
+        std::max(res.registersPerThread, 1) * res.threadsPerBlock,
+        spec.registerAllocUnit);
+    occ.blocksByRegisters = spec.registersPerSm / regs_per_block;
+
+    const int smem_per_block = roundUp(
+        res.sharedBytesPerBlock + spec.sharedStaticPerBlock,
+        spec.sharedAllocUnit);
+    occ.blocksBySharedMem =
+        smem_per_block > 0 ? spec.sharedMemPerSm / smem_per_block
+                           : spec.maxBlocksPerSm;
+
+    occ.blocksByThreads = spec.maxThreadsPerSm / res.threadsPerBlock;
+    occ.blocksByBlockLimit = spec.maxBlocksPerSm;
+    occ.blocksByWarpLimit = spec.maxWarpsPerSm / occ.warpsPerBlock;
+
+    occ.residentBlocks = std::min(
+        {occ.blocksByRegisters, occ.blocksBySharedMem, occ.blocksByThreads,
+         occ.blocksByBlockLimit, occ.blocksByWarpLimit});
+    if (occ.residentBlocks <= 0)
+        fatal("occupancy: kernel does not fit on one SM (regs/thread %d, "
+              "smem/block %d, threads/block %d)", res.registersPerThread,
+              res.sharedBytesPerBlock, res.threadsPerBlock);
+    occ.residentWarps = occ.residentBlocks * occ.warpsPerBlock;
+
+    // Identify the binding constraint, with ties resolved in the order
+    // the paper discusses them.
+    struct Entry { int blocks; OccupancyLimit limit; };
+    const Entry entries[] = {
+        {occ.blocksByRegisters, OccupancyLimit::Registers},
+        {occ.blocksBySharedMem, OccupancyLimit::SharedMemory},
+        {occ.blocksByThreads, OccupancyLimit::Threads},
+        {occ.blocksByBlockLimit, OccupancyLimit::Blocks},
+        {occ.blocksByWarpLimit, OccupancyLimit::Warps},
+    };
+    for (const auto &e : entries) {
+        if (e.blocks == occ.residentBlocks) {
+            occ.limit = e.limit;
+            break;
+        }
+    }
+    return occ;
+}
+
+} // namespace arch
+} // namespace gpuperf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Occupancy calculator: how many blocks and warps fit on one SM given a
+ * kernel's resource usage (paper Table 2).
+ */
+
+#ifndef GPUPERF_ARCH_OCCUPANCY_H
+#define GPUPERF_ARCH_OCCUPANCY_H
+
+#include "arch/gpu_spec.h"
+
+namespace gpuperf {
+namespace arch {
+
+/** Resource usage of one kernel launch, per thread / per block. */
+struct KernelResources
+{
+    int registersPerThread = 0;
+    int sharedBytesPerBlock = 0;
+    int threadsPerBlock = 0;
+};
+
+/** Which resource ceiling limits occupancy. */
+enum class OccupancyLimit
+{
+    Registers,
+    SharedMemory,
+    Threads,
+    Blocks,
+    Warps,
+};
+
+const char *occupancyLimitName(OccupancyLimit limit);
+
+/** Result of the occupancy computation for one SM. */
+struct Occupancy
+{
+    /** Blocks that fit under each individual ceiling. */
+    int blocksByRegisters = 0;
+    int blocksBySharedMem = 0;
+    int blocksByThreads = 0;
+    int blocksByBlockLimit = 0;
+    int blocksByWarpLimit = 0;
+
+    /** min over the ceilings. */
+    int residentBlocks = 0;
+    /** residentBlocks * warps per block. */
+    int residentWarps = 0;
+    /** The binding constraint (first one reached). */
+    OccupancyLimit limit = OccupancyLimit::Blocks;
+
+    int warpsPerBlock = 0;
+};
+
+/**
+ * Compute occupancy for @p res on @p spec.
+ *
+ * Register usage is rounded to the register allocation unit per block
+ * and shared memory to the shared allocation unit, plus the static
+ * per-block runtime reservation — mirroring how the CUDA 2.x driver
+ * allocated resources on GT200.
+ */
+Occupancy computeOccupancy(const GpuSpec &spec, const KernelResources &res);
+
+} // namespace arch
+} // namespace gpuperf
+
+#endif // GPUPERF_ARCH_OCCUPANCY_H

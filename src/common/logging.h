@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Status-message and error-handling helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in the simulator itself) and aborts; fatal() is for
+ * conditions caused by the user (bad configuration, invalid arguments)
+ * and exits cleanly; warn()/inform() report conditions without stopping
+ * the simulation.
+ */
+
+#ifndef GPUPERF_COMMON_LOGGING_H
+#define GPUPERF_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace gpuperf {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Set the global verbosity level (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity level. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use only for conditions that indicate a bug in this library.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused unrecoverable error and exit(1).
+ * Use for invalid configurations or arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report suspicious-but-survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operational status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format helper used by the logging functions (exposed for tests). */
+std::string vformat(const char *fmt, va_list ap);
+
+/**
+ * Assert an internal invariant; calls panic() with location info on
+ * failure. Active in all build types (unlike assert()).
+ */
+#define GPUPERF_ASSERT(cond, msg)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::gpuperf::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
+                             __FILE__, __LINE__, msg);                     \
+        }                                                                  \
+    } while (0)
+
+} // namespace gpuperf
+
+#endif // GPUPERF_COMMON_LOGGING_H

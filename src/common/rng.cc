@@ -1,0 +1,85 @@
+#include "common/rng.h"
+
+#include "common/logging.h"
+
+namespace gpuperf {
+
+namespace {
+
+/** splitmix64 used to expand the seed into generator state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    s0_ = splitmix64(x);
+    s1_ = splitmix64(x);
+    if (s0_ == 0 && s1_ == 0)
+        s1_ = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    GPUPERF_ASSERT(bound > 0, "nextBelow bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    GPUPERF_ASSERT(lo <= hi, "nextRange requires lo <= hi");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBelow(span));
+}
+
+float
+Rng::nextFloat()
+{
+    return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::nextGaussian()
+{
+    // Irwin-Hall approximation: sum of 12 uniforms minus 6.
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i)
+        acc += nextDouble();
+    return acc - 6.0;
+}
+
+} // namespace gpuperf

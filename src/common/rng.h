@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All stochastic inputs (matrix values, sparsity patterns) flow through
+ * this xorshift-based generator so that experiments are bit-reproducible
+ * across runs and platforms.
+ */
+
+#ifndef GPUPERF_COMMON_RNG_H
+#define GPUPERF_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace gpuperf {
+
+/** A small, fast, deterministic xorshift128+ generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) — bound must be > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform float in [0, 1). */
+    float nextFloat();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Approximately normal (sum of uniforms), mean 0, stddev ~1. */
+    double nextGaussian();
+
+  private:
+    uint64_t s0_;
+    uint64_t s1_;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_COMMON_RNG_H

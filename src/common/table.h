@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASCII/CSV table rendering used by the benchmark harnesses to print
+ * paper tables and figure series.
+ */
+
+#ifndef GPUPERF_COMMON_TABLE_H
+#define GPUPERF_COMMON_TABLE_H
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpuperf {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"tile", "regs", "smem"});
+ *   t.addRow({"8x8", "16", "348"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Convenience: format an integer with thousands separators. */
+    static std::string big(long long v);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+    size_t cols() const { return headers_.size(); }
+
+    /** Access a cell (row-major, excluding the header row). */
+    const std::string &cell(size_t row, size_t col) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner used between experiment blocks. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_COMMON_TABLE_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit conversion helpers shared across the timing simulator and the
+ * analytical model. Cycles are the native unit of the timing simulator;
+ * the model converts between cycles, seconds, and rates using the clock
+ * frequencies in the GpuSpec.
+ */
+
+#ifndef GPUPERF_COMMON_UNITS_H
+#define GPUPERF_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace gpuperf {
+
+/** Simulator time in core clock cycles. */
+using Cycles = uint64_t;
+
+constexpr double kGiga = 1e9;
+constexpr double kMega = 1e6;
+constexpr double kKilo = 1e3;
+constexpr double kMilli = 1e-3;
+
+/** Convert a cycle count at @p hz core frequency to seconds. */
+inline double
+cyclesToSeconds(Cycles cycles, double hz)
+{
+    return static_cast<double>(cycles) / hz;
+}
+
+/** Convert seconds to milliseconds. */
+inline double
+toMilliseconds(double seconds)
+{
+    return seconds * 1e3;
+}
+
+/** Bytes/second to GB/s (decimal gigabytes, as the paper uses). */
+inline double
+toGBps(double bytes_per_second)
+{
+    return bytes_per_second / kGiga;
+}
+
+/** Events/second to Giga-events/s. */
+inline double
+toGigaRate(double per_second)
+{
+    return per_second / kGiga;
+}
+
+} // namespace gpuperf
+
+#endif // GPUPERF_COMMON_UNITS_H

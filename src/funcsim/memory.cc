@@ -1,0 +1,132 @@
+#include "funcsim/memory.h"
+
+namespace gpuperf {
+namespace funcsim {
+
+GlobalMemory::GlobalMemory(size_t capacity)
+    : data_(capacity, 0), next_(256)
+{
+    if (capacity < 512)
+        fatal("global memory capacity %zu too small", capacity);
+}
+
+uint64_t
+GlobalMemory::alloc(size_t bytes, size_t align)
+{
+    GPUPERF_ASSERT(align > 0 && (align & (align - 1)) == 0,
+                   "alignment must be a power of two");
+    size_t base = (next_ + align - 1) & ~(align - 1);
+    if (base + bytes > data_.size())
+        fatal("device out of memory: want %zu B at %zu, capacity %zu",
+              bytes, base, data_.size());
+    next_ = base + bytes;
+    return base;
+}
+
+void
+GlobalMemory::check(uint64_t addr, size_t bytes) const
+{
+    if (addr < 256 || addr + bytes > data_.size())
+        panic("global memory access at %llu (+%zu) out of bounds "
+              "(capacity %zu)", static_cast<unsigned long long>(addr),
+              bytes, data_.size());
+}
+
+uint32_t
+GlobalMemory::load32(uint64_t addr) const
+{
+    check(addr, 4);
+    uint32_t v;
+    std::memcpy(&v, data_.data() + addr, 4);
+    return v;
+}
+
+void
+GlobalMemory::store32(uint64_t addr, uint32_t value)
+{
+    check(addr, 4);
+    std::memcpy(data_.data() + addr, &value, 4);
+}
+
+float
+GlobalMemory::loadF32(uint64_t addr) const
+{
+    uint32_t v = load32(addr);
+    float f;
+    std::memcpy(&f, &v, 4);
+    return f;
+}
+
+void
+GlobalMemory::storeF32(uint64_t addr, float value)
+{
+    uint32_t v;
+    std::memcpy(&v, &value, 4);
+    store32(addr, v);
+}
+
+float *
+GlobalMemory::f32(uint64_t addr)
+{
+    check(addr, 4);
+    return reinterpret_cast<float *>(data_.data() + addr);
+}
+
+const float *
+GlobalMemory::f32(uint64_t addr) const
+{
+    check(addr, 4);
+    return reinterpret_cast<const float *>(data_.data() + addr);
+}
+
+uint32_t *
+GlobalMemory::u32(uint64_t addr)
+{
+    check(addr, 4);
+    return reinterpret_cast<uint32_t *>(data_.data() + addr);
+}
+
+const uint32_t *
+GlobalMemory::u32(uint64_t addr) const
+{
+    check(addr, 4);
+    return reinterpret_cast<const uint32_t *>(data_.data() + addr);
+}
+
+SharedMemory::SharedMemory(int bytes)
+    : data_(static_cast<size_t>(bytes), 0)
+{
+}
+
+void
+SharedMemory::check(uint64_t addr) const
+{
+    if (addr + 4 > data_.size())
+        panic("shared memory access at %llu out of bounds (size %zu)",
+              static_cast<unsigned long long>(addr), data_.size());
+}
+
+uint32_t
+SharedMemory::load32(uint64_t addr) const
+{
+    check(addr);
+    uint32_t v;
+    std::memcpy(&v, data_.data() + addr, 4);
+    return v;
+}
+
+void
+SharedMemory::store32(uint64_t addr, uint32_t value)
+{
+    check(addr);
+    std::memcpy(data_.data() + addr, &value, 4);
+}
+
+void
+SharedMemory::clear()
+{
+    std::fill(data_.begin(), data_.end(), 0);
+}
+
+} // namespace funcsim
+} // namespace gpuperf

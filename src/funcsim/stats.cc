@@ -1,0 +1,90 @@
+#include "funcsim/stats.h"
+
+namespace gpuperf {
+namespace funcsim {
+
+void
+StageStats::accumulate(const StageStats &other)
+{
+    for (size_t t = 0; t < typeCounts.size(); ++t)
+        typeCounts[t] += other.typeCounts[t];
+    madCount += other.madCount;
+    totalWarpInstrs += other.totalWarpInstrs;
+    sharedInstrs += other.sharedInstrs;
+    globalInstrs += other.globalInstrs;
+    sharedTransactions += other.sharedTransactions;
+    sharedTransactionsIdeal += other.sharedTransactionsIdeal;
+    sharedBytes += other.sharedBytes;
+    globalTransactions += other.globalTransactions;
+    globalBytes += other.globalBytes;
+    globalRequestBytes += other.globalRequestBytes;
+    for (const auto &[size, count] : other.globalXactBySize)
+        globalXactBySize[size] += count;
+    // activeWarpsPerBlock is averaged by the caller, not summed here.
+}
+
+uint64_t
+DynamicStats::totalWarpInstrs() const
+{
+    uint64_t sum = 0;
+    for (const auto &s : stages)
+        sum += s.totalWarpInstrs;
+    return sum;
+}
+
+uint64_t
+DynamicStats::totalType(arch::InstrType type) const
+{
+    uint64_t sum = 0;
+    for (const auto &s : stages)
+        sum += s.typeCounts[static_cast<int>(type)];
+    return sum;
+}
+
+uint64_t
+DynamicStats::totalMads() const
+{
+    uint64_t sum = 0;
+    for (const auto &s : stages)
+        sum += s.madCount;
+    return sum;
+}
+
+uint64_t
+DynamicStats::totalSharedTransactions() const
+{
+    uint64_t sum = 0;
+    for (const auto &s : stages)
+        sum += s.sharedTransactions;
+    return sum;
+}
+
+uint64_t
+DynamicStats::totalGlobalTransactions() const
+{
+    uint64_t sum = 0;
+    for (const auto &s : stages)
+        sum += s.globalTransactions;
+    return sum;
+}
+
+uint64_t
+DynamicStats::totalGlobalBytes() const
+{
+    uint64_t sum = 0;
+    for (const auto &s : stages)
+        sum += s.globalBytes;
+    return sum;
+}
+
+uint64_t
+DynamicStats::totalSharedBytes() const
+{
+    uint64_t sum = 0;
+    for (const auto &s : stages)
+        sum += s.sharedBytes;
+    return sum;
+}
+
+} // namespace funcsim
+} // namespace gpuperf

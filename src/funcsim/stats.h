@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dynamic program statistics — the output of the "Barra + info
+ * extractor" stage of the paper's workflow (Figure 1).
+ *
+ * A program is divided into stages at block-wide synchronization
+ * barriers; each stage carries warp-level instruction counts per type,
+ * bank-conflict-corrected shared-memory transaction counts, coalesced
+ * global-memory hardware transaction counts, and the warp-level
+ * parallelism observed while the stage executed.
+ */
+
+#ifndef GPUPERF_FUNCSIM_STATS_H
+#define GPUPERF_FUNCSIM_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/instr_class.h"
+
+namespace gpuperf {
+namespace funcsim {
+
+/** Statistics for one barrier-delimited stage, summed over all blocks. */
+struct StageStats
+{
+    /** Warp-level dynamic instruction counts per pipeline type. */
+    std::array<uint64_t, arch::kNumInstrTypes> typeCounts{};
+    /** MAD (fused multiply-add) warp instructions, a subset of type II. */
+    uint64_t madCount = 0;
+    /** All warp-level instructions including memory operations. */
+    uint64_t totalWarpInstrs = 0;
+    /** LDS/STS warp instructions. */
+    uint64_t sharedInstrs = 0;
+    /** LDG/STG/LDT warp instructions. */
+    uint64_t globalInstrs = 0;
+
+    /** Shared transactions after bank-conflict serialization. */
+    uint64_t sharedTransactions = 0;
+    /** Shared transactions an ideal conflict-free layout would need. */
+    uint64_t sharedTransactionsIdeal = 0;
+    /** Bytes moved through shared memory (active lanes * word size). */
+    uint64_t sharedBytes = 0;
+
+    /** Global hardware transactions after coalescing. */
+    uint64_t globalTransactions = 0;
+    /** Bytes moved by those transactions (includes overfetch). */
+    uint64_t globalBytes = 0;
+    /** Bytes the program actually requested (active lanes * word). */
+    uint64_t globalRequestBytes = 0;
+    /** Transaction count per segment size, e.g. {32: n, 64: m}. */
+    std::map<int, uint64_t> globalXactBySize;
+
+    /**
+     * Warps per block that did the stage's real work, averaged over
+     * blocks (warps executing at least half as many instructions as the
+     * stage's busiest warp count as active — idle warps that only pass
+     * through the barrier do not).
+     */
+    double activeWarpsPerBlock = 0.0;
+
+    /** Merge another block's stage (used during aggregation). */
+    void accumulate(const StageStats &other);
+};
+
+/** Full launch statistics. */
+struct DynamicStats
+{
+    std::vector<StageStats> stages;
+
+    int gridDim = 0;
+    int blockDim = 0;
+    int warpsPerBlock = 0;
+    /** Barriers executed per block (== stages.size() - 1 when > 0). */
+    int barriersPerBlock = 0;
+    /** Number of blocks actually interpreted (rest replicated). */
+    int sampledBlocks = 0;
+
+    /** Sum of a field across stages. */
+    uint64_t totalWarpInstrs() const;
+    uint64_t totalType(arch::InstrType type) const;
+    uint64_t totalMads() const;
+    uint64_t totalSharedTransactions() const;
+    uint64_t totalGlobalTransactions() const;
+    uint64_t totalGlobalBytes() const;
+    uint64_t totalSharedBytes() const;
+};
+
+} // namespace funcsim
+} // namespace gpuperf
+
+#endif // GPUPERF_FUNCSIM_STATS_H

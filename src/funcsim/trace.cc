@@ -1,0 +1,88 @@
+#include "funcsim/trace.h"
+
+namespace gpuperf {
+namespace funcsim {
+
+bool
+TraceOp::operator==(const TraceOp &other) const
+{
+    return unit == other.unit && conflict == other.conflict &&
+           sharedPasses == other.sharedPasses &&
+           dst == other.dst && src[0] == other.src[0] &&
+           src[1] == other.src[1] && src[2] == other.src[2] &&
+           numXacts == other.numXacts && xactBytes == other.xactBytes &&
+           texIdx == other.texIdx;
+}
+
+namespace {
+
+uint64_t
+fnv1a(const void *data, size_t bytes, uint64_t h)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+uint64_t
+WarpTrace::hash() const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const TraceOp &op : ops) {
+        // Hash the semantically meaningful fields explicitly; the
+        // struct may contain padding bytes.
+        h = fnv1a(&op.unit, sizeof(op.unit), h);
+        h = fnv1a(&op.conflict, sizeof(op.conflict), h);
+        h = fnv1a(&op.sharedPasses, sizeof(op.sharedPasses), h);
+        h = fnv1a(&op.dst, sizeof(op.dst), h);
+        h = fnv1a(op.src, sizeof(op.src), h);
+        h = fnv1a(&op.numXacts, sizeof(op.numXacts), h);
+        h = fnv1a(&op.xactBytes, sizeof(op.xactBytes), h);
+        h = fnv1a(&op.texIdx, sizeof(op.texIdx), h);
+    }
+    if (!texLines.empty())
+        h = fnv1a(texLines.data(), texLines.size() * sizeof(uint32_t), h);
+    return h;
+}
+
+bool
+WarpTrace::operator==(const WarpTrace &other) const
+{
+    return ops == other.ops && texLines == other.texLines;
+}
+
+int
+LaunchTrace::intern(WarpTrace &&trace)
+{
+    const uint64_t h = trace.hash();
+    auto it = index_.find(h);
+    if (it != index_.end()) {
+        for (int idx : it->second) {
+            if (pool[idx] == trace)
+                return idx;
+        }
+    }
+    const int idx = static_cast<int>(pool.size());
+    pool.push_back(std::move(trace));
+    index_[h].push_back(idx);
+    return idx;
+}
+
+uint64_t
+LaunchTrace::totalOps() const
+{
+    uint64_t total = 0;
+    for (const BlockTrace &b : blocks) {
+        for (int idx : b.warpTraceIdx)
+            total += pool[idx].ops.size();
+    }
+    return total;
+}
+
+} // namespace funcsim
+} // namespace gpuperf

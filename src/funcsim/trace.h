@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Compact per-warp replay traces.
+ *
+ * The timing simulator does not interpret instructions; it replays
+ * these traces, which carry exactly the information timing needs:
+ * which unit an operation occupies, its register dependencies, how many
+ * serialized shared-memory passes it takes, and which global-memory
+ * transactions it issues. Identical traces (common in regular kernels,
+ * where every warp executes the same instruction stream) are stored
+ * once and shared.
+ */
+
+#ifndef GPUPERF_FUNCSIM_TRACE_H
+#define GPUPERF_FUNCSIM_TRACE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/opcodes.h"
+
+namespace gpuperf {
+namespace funcsim {
+
+/** One warp-level operation in a replay trace. */
+struct TraceOp
+{
+    isa::UnitKind unit = isa::UnitKind::kNone;
+    /** Serialized shared-memory passes for the whole warp (LDS/STS). */
+    uint8_t conflict = 1;
+    /**
+     * For arithmetic units: shared-memory passes additionally consumed
+     * by a shared operand (MAD with smem source); 0 for pure ALU ops.
+     */
+    uint8_t sharedPasses = 0;
+    /** Destination register + 1; 0 means none. */
+    uint16_t dst = 0;
+    /** Source registers + 1; 0 means none. */
+    uint16_t src[3] = {0, 0, 0};
+    /** Global transactions issued by this operation. */
+    uint16_t numXacts = 0;
+    /** Total bytes of those transactions. */
+    uint32_t xactBytes = 0;
+    /** For kTexLoad: first index into WarpTrace::texLines. */
+    uint32_t texIdx = 0;
+
+    bool operator==(const TraceOp &other) const;
+};
+
+/** The full replayable history of one warp. */
+struct WarpTrace
+{
+    std::vector<TraceOp> ops;
+    /** 32 B-line ids requested by texture loads, indexed via texIdx. */
+    std::vector<uint32_t> texLines;
+
+    uint64_t hash() const;
+    bool operator==(const WarpTrace &other) const;
+};
+
+/** Per-block list of warp-trace pool indices. */
+struct BlockTrace
+{
+    std::vector<int> warpTraceIdx;
+};
+
+/** The trace of an entire kernel launch. */
+struct LaunchTrace
+{
+    /** Unique warp traces. */
+    std::vector<WarpTrace> pool;
+    /** One entry per block in the grid. */
+    std::vector<BlockTrace> blocks;
+
+    int blockDim = 0;
+    int warpsPerBlock = 0;
+    int registersPerThread = 0;
+    int sharedBytesPerBlock = 0;
+
+    /** Deduplicating insert; returns the pool index. */
+    int intern(WarpTrace &&trace);
+
+    /** Total warp-level operations across all blocks. */
+    uint64_t totalOps() const;
+
+  private:
+    std::unordered_map<uint64_t, std::vector<int>> index_;
+};
+
+} // namespace funcsim
+} // namespace gpuperf
+
+#endif // GPUPERF_FUNCSIM_TRACE_H

@@ -1,0 +1,449 @@
+#include "isa/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "isa/disasm.h"
+
+namespace gpuperf {
+namespace isa {
+
+namespace {
+
+/** Tokenizer state over one instruction line. */
+struct Line
+{
+    std::string text;
+    size_t pos = 0;
+    int number = 0;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        fatal("assembler: line %d: %s: '%s'", number, why.c_str(),
+              text.c_str());
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    done()
+    {
+        skipSpace();
+        return pos >= text.size();
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!consume(c))
+            fail(std::string("expected '") + c + "'");
+    }
+
+    /** Word of [A-Za-z0-9_.%@!$] characters. */
+    std::string
+    word()
+    {
+        skipSpace();
+        size_t start = pos;
+        while (pos < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                std::string("_.%").find(text[pos]) != std::string::npos))
+            ++pos;
+        return text.substr(start, pos - start);
+    }
+
+    int32_t
+    integer()
+    {
+        skipSpace();
+        size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos == start)
+            fail("expected integer");
+        return static_cast<int32_t>(
+            std::stoll(text.substr(start, pos - start)));
+    }
+};
+
+/** Parsing context tracking resource usage. */
+struct Context
+{
+    int maxReg = -1;
+    int maxPred = -1;
+    int sharedBytes = 0;
+    std::string name = "asm_kernel";
+};
+
+Reg
+parseReg(Line &line, Context &ctx)
+{
+    line.skipSpace();
+    if (!line.consume('$'))
+        line.fail("expected '$r' register");
+    if (line.pos >= line.text.size() || line.text[line.pos] != 'r')
+        line.fail("expected '$r' register");
+    ++line.pos;
+    const int32_t n = line.integer();
+    if (n < 0 || n > 0xfffe)
+        line.fail("register index out of range");
+    ctx.maxReg = std::max(ctx.maxReg, static_cast<int>(n));
+    return static_cast<Reg>(n);
+}
+
+Pred
+parsePred(Line &line, Context &ctx)
+{
+    line.skipSpace();
+    if (!line.consume('$'))
+        line.fail("expected '$p' predicate");
+    if (line.pos >= line.text.size() || line.text[line.pos] != 'p')
+        line.fail("expected '$p' predicate");
+    ++line.pos;
+    const int32_t n = line.integer();
+    if (n < 0 || n > 7)
+        line.fail("predicate index out of range");
+    ctx.maxPred = std::max(ctx.maxPred, static_cast<int>(n));
+    return static_cast<Pred>(n);
+}
+
+/** Either a register or an immediate second operand. */
+void
+parseRegOrImm(Line &line, Context &ctx, Instruction &inst)
+{
+    line.skipSpace();
+    if (line.pos < line.text.size() && line.text[line.pos] == '$') {
+        inst.src[1] = parseReg(line, ctx);
+    } else {
+        inst.imm = line.integer();
+        inst.useImm = true;
+    }
+}
+
+/** "smem[$rN+off]" or "gmem[$rN+off]". */
+void
+parseAddress(Line &line, Context &ctx, const char *space,
+             Instruction &inst)
+{
+    const std::string w = line.word();
+    if (w != space)
+        line.fail(std::string("expected ") + space + " address");
+    line.expect('[');
+    inst.src[0] = parseReg(line, ctx);
+    line.skipSpace();
+    if (line.pos < line.text.size() && line.text[line.pos] == '+') {
+        ++line.pos;
+        inst.imm = line.integer();
+    }
+    line.expect(']');
+}
+
+CmpOp
+parseCmpSuffix(Line &line, const std::string &mnemonic)
+{
+    // mnemonic is like "setp.i.lt".
+    const size_t dot = mnemonic.rfind('.');
+    const std::string cmp = mnemonic.substr(dot + 1);
+    static const std::map<std::string, CmpOp> kOps = {
+        {"lt", CmpOp::kLt}, {"le", CmpOp::kLe}, {"gt", CmpOp::kGt},
+        {"ge", CmpOp::kGe}, {"eq", CmpOp::kEq}, {"ne", CmpOp::kNe},
+    };
+    auto it = kOps.find(cmp);
+    if (it == kOps.end())
+        line.fail("unknown comparison '" + cmp + "'");
+    return it->second;
+}
+
+SpecialReg
+parseSpecial(Line &line)
+{
+    line.skipSpace();
+    const std::string w = line.word();
+    static const std::map<std::string, SpecialReg> kRegs = {
+        {"%tid", SpecialReg::kTid},       {"%ntid", SpecialReg::kNtid},
+        {"%ctaid", SpecialReg::kCtaid},   {"%nctaid", SpecialReg::kNctaid},
+        {"%laneid", SpecialReg::kLaneId}, {"%warpid", SpecialReg::kWarpId},
+    };
+    auto it = kRegs.find(w);
+    if (it == kRegs.end())
+        line.fail("unknown special register '" + w + "'");
+    return it->second;
+}
+
+/** Three-address ALU opcodes keyed by mnemonic. */
+const std::map<std::string, Opcode> &
+binaryOps()
+{
+    static const std::map<std::string, Opcode> kOps = {
+        {"fadd", Opcode::kFadd}, {"fmul.fpu", Opcode::kFmul2},
+        {"iadd", Opcode::kIadd}, {"isub", Opcode::kIsub},
+        {"imul", Opcode::kImul}, {"shl", Opcode::kShl},
+        {"shr", Opcode::kShr},   {"and", Opcode::kAnd},
+        {"or", Opcode::kOr},     {"xor", Opcode::kXor},
+        {"imin", Opcode::kImin}, {"imax", Opcode::kImax},
+        {"mul", Opcode::kFmul},  {"dadd", Opcode::kDadd},
+        {"dmul", Opcode::kDmul},
+    };
+    return kOps;
+}
+
+const std::map<std::string, Opcode> &
+unaryOps()
+{
+    static const std::map<std::string, Opcode> kOps = {
+        {"mov", Opcode::kMov}, {"rcp", Opcode::kRcp},
+        {"sin", Opcode::kSin}, {"cos", Opcode::kCos},
+        {"lg2", Opcode::kLg2}, {"ex2", Opcode::kEx2},
+        {"rsqrt", Opcode::kRsqrt}, {"f2i", Opcode::kF2i},
+        {"i2f", Opcode::kI2f},
+    };
+    return kOps;
+}
+
+const std::map<std::string, Opcode> &
+ternaryOps()
+{
+    static const std::map<std::string, Opcode> kOps = {
+        {"mad", Opcode::kFmad},
+        {"imad", Opcode::kImad},
+        {"dfma", Opcode::kDfma},
+    };
+    return kOps;
+}
+
+const std::map<std::string, Opcode> &
+bareOps()
+{
+    static const std::map<std::string, Opcode> kOps = {
+        {"else", Opcode::kElse},       {"endif", Opcode::kEndif},
+        {"loop", Opcode::kLoop},       {"endloop", Opcode::kEndloop},
+        {"bar.sync", Opcode::kBar},    {"exit", Opcode::kExit},
+    };
+    return kOps;
+}
+
+bool
+parseInstruction(Line &line, Context &ctx, Instruction &inst)
+{
+    line.skipSpace();
+
+    // Guard predicate: @$pN or @!$pN (IF/BRK).
+    if (line.pos < line.text.size() && line.text[line.pos] == '@') {
+        ++line.pos;
+        if (line.pos < line.text.size() && line.text[line.pos] == '!') {
+            inst.predNegate = true;
+            ++line.pos;
+        }
+        inst.pred = parsePred(line, ctx);
+        const std::string mnem = line.word();
+        if (mnem == "if") {
+            inst.op = Opcode::kIf;
+        } else if (mnem == "brk") {
+            inst.op = Opcode::kBrk;
+        } else {
+            line.fail("only if/brk take a guard predicate");
+        }
+        return true;
+    }
+
+    const std::string mnem = line.word();
+    if (mnem.empty())
+        return false;
+
+    if (auto it = bareOps().find(mnem); it != bareOps().end()) {
+        inst.op = it->second;
+        return true;
+    }
+    if (mnem == "movi") {
+        inst.op = Opcode::kMovImm;
+        inst.dst = parseReg(line, ctx);
+        line.expect(',');
+        inst.imm = line.integer();
+        inst.useImm = true;
+        return true;
+    }
+    if (mnem == "s2r") {
+        inst.op = Opcode::kS2r;
+        inst.dst = parseReg(line, ctx);
+        line.expect(',');
+        inst.sreg = parseSpecial(line);
+        return true;
+    }
+    if (mnem == "sel") {
+        inst.op = Opcode::kSel;
+        inst.dst = parseReg(line, ctx);
+        line.expect(',');
+        inst.pred = parsePred(line, ctx);
+        line.expect(',');
+        inst.src[0] = parseReg(line, ctx);
+        line.expect(',');
+        inst.src[1] = parseReg(line, ctx);
+        return true;
+    }
+    if (mnem.rfind("setp.i.", 0) == 0 || mnem.rfind("setp.f.", 0) == 0) {
+        inst.op = mnem[5] == 'i' ? Opcode::kSetpI : Opcode::kSetpF;
+        inst.cmp = parseCmpSuffix(line, mnem);
+        inst.pred = parsePred(line, ctx);
+        line.expect(',');
+        inst.src[0] = parseReg(line, ctx);
+        line.expect(',');
+        parseRegOrImm(line, ctx, inst);
+        return true;
+    }
+    if (mnem == "mad.s") {
+        inst.op = Opcode::kFmadS;
+        inst.dst = parseReg(line, ctx);
+        line.expect(',');
+        inst.src[0] = parseReg(line, ctx);
+        line.expect(',');
+        Instruction addr;
+        parseAddress(line, ctx, "smem", addr);
+        inst.src[1] = addr.src[0];
+        inst.imm = addr.imm;
+        line.expect(',');
+        inst.src[2] = parseReg(line, ctx);
+        return true;
+    }
+    if (mnem == "lds" || mnem == "ldg" || mnem == "ldt") {
+        inst.op = mnem == "lds" ? Opcode::kLds
+                  : mnem == "ldg" ? Opcode::kLdg : Opcode::kLdt;
+        inst.dst = parseReg(line, ctx);
+        line.expect(',');
+        parseAddress(line, ctx, mnem == "lds" ? "smem" : "gmem", inst);
+        return true;
+    }
+    if (mnem == "sts" || mnem == "stg") {
+        inst.op = mnem == "sts" ? Opcode::kSts : Opcode::kStg;
+        parseAddress(line, ctx, mnem == "sts" ? "smem" : "gmem", inst);
+        line.expect(',');
+        inst.src[1] = parseReg(line, ctx);
+        return true;
+    }
+    if (auto it = ternaryOps().find(mnem); it != ternaryOps().end()) {
+        inst.op = it->second;
+        inst.dst = parseReg(line, ctx);
+        line.expect(',');
+        inst.src[0] = parseReg(line, ctx);
+        line.expect(',');
+        inst.src[1] = parseReg(line, ctx);
+        line.expect(',');
+        inst.src[2] = parseReg(line, ctx);
+        return true;
+    }
+    if (auto it = binaryOps().find(mnem); it != binaryOps().end()) {
+        inst.op = it->second;
+        inst.dst = parseReg(line, ctx);
+        line.expect(',');
+        inst.src[0] = parseReg(line, ctx);
+        line.expect(',');
+        parseRegOrImm(line, ctx, inst);
+        return true;
+    }
+    if (auto it = unaryOps().find(mnem); it != unaryOps().end()) {
+        inst.op = it->second;
+        inst.dst = parseReg(line, ctx);
+        line.expect(',');
+        inst.src[0] = parseReg(line, ctx);
+        return true;
+    }
+    line.fail("unknown mnemonic '" + mnem + "'");
+}
+
+} // namespace
+
+Kernel
+assemble(const std::string &source)
+{
+    Context ctx;
+    std::vector<Instruction> instrs;
+    std::istringstream in(source);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+        ++number;
+        // Strip comments.
+        const size_t comment = raw.find("//");
+        if (comment != std::string::npos)
+            raw = raw.substr(0, comment);
+        // Strip a leading "NN:" instruction-index prefix.
+        size_t i = 0;
+        while (i < raw.size() &&
+               std::isspace(static_cast<unsigned char>(raw[i])))
+            ++i;
+        size_t d = i;
+        while (d < raw.size() &&
+               std::isdigit(static_cast<unsigned char>(raw[d])))
+            ++d;
+        if (d > i && d < raw.size() && raw[d] == ':')
+            raw = raw.substr(d + 1);
+
+        Line line{raw, 0, number};
+        if (line.done())
+            continue;
+
+        // Directives.
+        if (line.text[line.pos] == '.') {
+            const std::string directive = line.word();
+            if (directive == ".kernel") {
+                line.skipSpace();
+                ctx.name = line.text.substr(line.pos);
+                while (!ctx.name.empty() && std::isspace(
+                           static_cast<unsigned char>(ctx.name.back())))
+                    ctx.name.pop_back();
+            } else if (directive == ".shared") {
+                ctx.sharedBytes = line.integer();
+            } else {
+                line.fail("unknown directive '" + directive + "'");
+            }
+            continue;
+        }
+
+        Instruction inst;
+        if (parseInstruction(line, ctx, inst)) {
+            if (!line.done())
+                line.fail("trailing characters");
+            instrs.push_back(inst);
+        }
+    }
+    return Kernel(ctx.name, std::move(instrs), ctx.maxReg + 1,
+                  std::max(ctx.maxPred + 1, 1), ctx.sharedBytes);
+}
+
+std::string
+toAssembly(const Kernel &kernel)
+{
+    std::ostringstream os;
+    os << ".kernel " << kernel.name() << "\n";
+    os << ".shared " << kernel.sharedBytes() << "\n";
+    for (const Instruction &inst : kernel.instructions())
+        os << disassemble(inst) << "\n";
+    return os.str();
+}
+
+} // namespace isa
+} // namespace gpuperf

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Textual assembler for the native-style ISA.
+ *
+ * Accepts exactly the disassembler's output format (round-trip safe),
+ * plus directives:
+ *
+ *   .kernel <name>      kernel name
+ *   .shared <bytes>     static shared memory per block
+ *
+ * Line prefixes of the form "  12:" (instruction indices) and "//"
+ * comments are ignored, so a disassembly listing can be edited and
+ * re-assembled directly — the same workflow the paper uses with
+ * Decuda/Cudasm on real CUBINs.
+ */
+
+#ifndef GPUPERF_ISA_ASSEMBLER_H
+#define GPUPERF_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/kernel.h"
+
+namespace gpuperf {
+namespace isa {
+
+/**
+ * Assemble @p source into a kernel.
+ *
+ * Register and predicate counts are inferred from the highest indices
+ * used. Syntax errors call fatal() with the offending line.
+ */
+Kernel assemble(const std::string &source);
+
+/** Render a kernel as assemblable text (disassembly + directives). */
+std::string toAssembly(const Kernel &kernel);
+
+} // namespace isa
+} // namespace gpuperf
+
+#endif // GPUPERF_ISA_ASSEMBLER_H

@@ -1,0 +1,488 @@
+#include "isa/builder.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace isa {
+
+KernelBuilder::KernelBuilder(std::string name)
+    : name_(std::move(name))
+{
+}
+
+Reg
+KernelBuilder::reg()
+{
+    GPUPERF_ASSERT(numRegs_ < 16384, "register allocation runaway");
+    return static_cast<Reg>(numRegs_++);
+}
+
+Reg
+KernelBuilder::regRange(int n)
+{
+    GPUPERF_ASSERT(n > 0, "regRange needs a positive count");
+    Reg first = static_cast<Reg>(numRegs_);
+    numRegs_ += n;
+    return first;
+}
+
+Pred
+KernelBuilder::pred()
+{
+    GPUPERF_ASSERT(numPreds_ < 8, "GT200 exposes at most 8 predicates");
+    return static_cast<Pred>(numPreds_++);
+}
+
+Instruction &
+KernelBuilder::emit(Opcode op)
+{
+    Instruction inst;
+    inst.op = op;
+    instrs_.push_back(inst);
+    return instrs_.back();
+}
+
+KernelBuilder &
+KernelBuilder::mov(Reg dst, Reg src)
+{
+    auto &i = emit(Opcode::kMov);
+    i.dst = dst;
+    i.src[0] = src;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::movImm(Reg dst, int32_t imm)
+{
+    auto &i = emit(Opcode::kMovImm);
+    i.dst = dst;
+    i.imm = imm;
+    i.useImm = true;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::movImmF(Reg dst, float imm)
+{
+    int32_t bits;
+    std::memcpy(&bits, &imm, sizeof(bits));
+    return movImm(dst, bits);
+}
+
+KernelBuilder &
+KernelBuilder::s2r(Reg dst, SpecialReg sreg)
+{
+    auto &i = emit(Opcode::kS2r);
+    i.dst = dst;
+    i.sreg = sreg;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::sel(Reg dst, Pred p, Reg if_true, Reg if_false)
+{
+    auto &i = emit(Opcode::kSel);
+    i.dst = dst;
+    i.pred = p;
+    i.src[0] = if_true;
+    i.src[1] = if_false;
+    return *this;
+}
+
+namespace {
+
+Instruction &
+binop(Instruction &i, Reg dst, Reg a, Reg b)
+{
+    i.dst = dst;
+    i.src[0] = a;
+    i.src[1] = b;
+    return i;
+}
+
+Instruction &
+binopImm(Instruction &i, Reg dst, Reg a, int32_t imm)
+{
+    i.dst = dst;
+    i.src[0] = a;
+    i.imm = imm;
+    i.useImm = true;
+    return i;
+}
+
+} // namespace
+
+KernelBuilder &
+KernelBuilder::iadd(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kIadd), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::iaddImm(Reg dst, Reg a, int32_t imm)
+{
+    binopImm(emit(Opcode::kIadd), dst, a, imm);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::isub(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kIsub), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::imul(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kImul), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::imulImm(Reg dst, Reg a, int32_t imm)
+{
+    binopImm(emit(Opcode::kImul), dst, a, imm);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::imad(Reg dst, Reg a, Reg b, Reg c)
+{
+    auto &i = emit(Opcode::kImad);
+    binop(i, dst, a, b);
+    i.src[2] = c;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::shlImm(Reg dst, Reg a, int32_t sh)
+{
+    binopImm(emit(Opcode::kShl), dst, a, sh);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::shrImm(Reg dst, Reg a, int32_t sh)
+{
+    binopImm(emit(Opcode::kShr), dst, a, sh);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::andImm(Reg dst, Reg a, int32_t mask)
+{
+    binopImm(emit(Opcode::kAnd), dst, a, mask);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::orr(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kOr), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::xorr(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kXor), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::imin(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kImin), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::imax(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kImax), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::fadd(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kFadd), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::fmul(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kFmul), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::fmulFpu(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kFmul2), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::fmad(Reg dst, Reg a, Reg b, Reg c)
+{
+    auto &i = emit(Opcode::kFmad);
+    binop(i, dst, a, b);
+    i.src[2] = c;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::fmadShared(Reg dst, Reg a, Reg addr, int32_t offset, Reg c)
+{
+    auto &i = emit(Opcode::kFmadS);
+    i.dst = dst;
+    i.src[0] = a;
+    i.src[1] = addr;
+    i.src[2] = c;
+    i.imm = offset;
+    return *this;
+}
+
+namespace {
+
+Instruction &
+unop(Instruction &i, Reg dst, Reg a)
+{
+    i.dst = dst;
+    i.src[0] = a;
+    return i;
+}
+
+} // namespace
+
+KernelBuilder &
+KernelBuilder::rcp(Reg dst, Reg a)
+{
+    unop(emit(Opcode::kRcp), dst, a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::fsin(Reg dst, Reg a)
+{
+    unop(emit(Opcode::kSin), dst, a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::fcos(Reg dst, Reg a)
+{
+    unop(emit(Opcode::kCos), dst, a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::lg2(Reg dst, Reg a)
+{
+    unop(emit(Opcode::kLg2), dst, a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::ex2(Reg dst, Reg a)
+{
+    unop(emit(Opcode::kEx2), dst, a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::rsqrt(Reg dst, Reg a)
+{
+    unop(emit(Opcode::kRsqrt), dst, a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::f2i(Reg dst, Reg a)
+{
+    unop(emit(Opcode::kF2i), dst, a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::i2f(Reg dst, Reg a)
+{
+    unop(emit(Opcode::kI2f), dst, a);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::dadd(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kDadd), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::dmul(Reg dst, Reg a, Reg b)
+{
+    binop(emit(Opcode::kDmul), dst, a, b);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::dfma(Reg dst, Reg a, Reg b, Reg c)
+{
+    auto &i = emit(Opcode::kDfma);
+    binop(i, dst, a, b);
+    i.src[2] = c;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::setpI(Pred p, CmpOp cmp, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::kSetpI);
+    i.pred = p;
+    i.cmp = cmp;
+    i.src[0] = a;
+    i.src[1] = b;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::setpIImm(Pred p, CmpOp cmp, Reg a, int32_t imm)
+{
+    auto &i = emit(Opcode::kSetpI);
+    i.pred = p;
+    i.cmp = cmp;
+    i.src[0] = a;
+    i.imm = imm;
+    i.useImm = true;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::setpF(Pred p, CmpOp cmp, Reg a, Reg b)
+{
+    auto &i = emit(Opcode::kSetpF);
+    i.pred = p;
+    i.cmp = cmp;
+    i.src[0] = a;
+    i.src[1] = b;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::lds(Reg dst, Reg addr, int32_t offset)
+{
+    auto &i = emit(Opcode::kLds);
+    i.dst = dst;
+    i.src[0] = addr;
+    i.imm = offset;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::sts(Reg addr, Reg value, int32_t offset)
+{
+    auto &i = emit(Opcode::kSts);
+    i.src[0] = addr;
+    i.src[1] = value;
+    i.imm = offset;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::ldg(Reg dst, Reg addr, int32_t offset)
+{
+    auto &i = emit(Opcode::kLdg);
+    i.dst = dst;
+    i.src[0] = addr;
+    i.imm = offset;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::stg(Reg addr, Reg value, int32_t offset)
+{
+    auto &i = emit(Opcode::kStg);
+    i.src[0] = addr;
+    i.src[1] = value;
+    i.imm = offset;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::ldt(Reg dst, Reg addr, int32_t offset)
+{
+    auto &i = emit(Opcode::kLdt);
+    i.dst = dst;
+    i.src[0] = addr;
+    i.imm = offset;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::beginIf(Pred p, bool negate)
+{
+    auto &i = emit(Opcode::kIf);
+    i.pred = p;
+    i.predNegate = negate;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::beginElse()
+{
+    emit(Opcode::kElse);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::endIf()
+{
+    emit(Opcode::kEndif);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::beginLoop()
+{
+    emit(Opcode::kLoop);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::brk(Pred p, bool negate)
+{
+    auto &i = emit(Opcode::kBrk);
+    i.pred = p;
+    i.predNegate = negate;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::endLoop()
+{
+    emit(Opcode::kEndloop);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::bar()
+{
+    emit(Opcode::kBar);
+    return *this;
+}
+
+Kernel
+KernelBuilder::build(int shared_bytes)
+{
+    return Kernel(name_, instrs_, std::max(numRegs_, 1),
+                  std::max(numPreds_, 1), shared_bytes);
+}
+
+} // namespace isa
+} // namespace gpuperf

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Fluent construction of kernels in the native-style ISA.
+ *
+ * The builder plays the role the paper's CUBIN generator plays for real
+ * hardware: it lets us write binary-level instruction sequences exactly
+ * as we intend, with no compiler interference.
+ */
+
+#ifndef GPUPERF_ISA_BUILDER_H
+#define GPUPERF_ISA_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "isa/kernel.h"
+
+namespace gpuperf {
+namespace isa {
+
+/**
+ * Builds a Kernel instruction by instruction.
+ *
+ * Registers and predicates are allocated through reg()/pred(); the
+ * final counts become the kernel's resource usage, which in turn
+ * drives the occupancy calculation — so kernels should allocate
+ * registers the way a real compiler would (live values in registers).
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    /** Allocate a fresh general-purpose register. */
+    Reg reg();
+
+    /** Allocate @p n consecutive registers, returning the first. */
+    Reg regRange(int n);
+
+    /** Allocate a fresh predicate register. */
+    Pred pred();
+
+    // --- Moves and special registers -----------------------------------
+    KernelBuilder &mov(Reg dst, Reg src);
+    KernelBuilder &movImm(Reg dst, int32_t imm);
+    KernelBuilder &movImmF(Reg dst, float imm);
+    KernelBuilder &s2r(Reg dst, SpecialReg sreg);
+    KernelBuilder &sel(Reg dst, Pred p, Reg if_true, Reg if_false);
+
+    // --- Integer ALU ------------------------------------------------------
+    KernelBuilder &iadd(Reg dst, Reg a, Reg b);
+    KernelBuilder &iaddImm(Reg dst, Reg a, int32_t imm);
+    KernelBuilder &isub(Reg dst, Reg a, Reg b);
+    KernelBuilder &imul(Reg dst, Reg a, Reg b);
+    KernelBuilder &imulImm(Reg dst, Reg a, int32_t imm);
+    KernelBuilder &imad(Reg dst, Reg a, Reg b, Reg c);
+    KernelBuilder &shlImm(Reg dst, Reg a, int32_t sh);
+    KernelBuilder &shrImm(Reg dst, Reg a, int32_t sh);
+    KernelBuilder &andImm(Reg dst, Reg a, int32_t mask);
+    KernelBuilder &orr(Reg dst, Reg a, Reg b);
+    KernelBuilder &xorr(Reg dst, Reg a, Reg b);
+    KernelBuilder &imin(Reg dst, Reg a, Reg b);
+    KernelBuilder &imax(Reg dst, Reg a, Reg b);
+
+    // --- Floating point -----------------------------------------------------
+    KernelBuilder &fadd(Reg dst, Reg a, Reg b);
+    KernelBuilder &fmul(Reg dst, Reg a, Reg b);     ///< type I multiply
+    KernelBuilder &fmulFpu(Reg dst, Reg a, Reg b);  ///< type II multiply
+    KernelBuilder &fmad(Reg dst, Reg a, Reg b, Reg c);
+    /** dst = a * shared[addr + offset] + c (shared-operand MAD). */
+    KernelBuilder &fmadShared(Reg dst, Reg a, Reg addr, int32_t offset,
+                              Reg c);
+    KernelBuilder &rcp(Reg dst, Reg a);
+    KernelBuilder &fsin(Reg dst, Reg a);
+    KernelBuilder &fcos(Reg dst, Reg a);
+    KernelBuilder &lg2(Reg dst, Reg a);
+    KernelBuilder &ex2(Reg dst, Reg a);
+    KernelBuilder &rsqrt(Reg dst, Reg a);
+    KernelBuilder &f2i(Reg dst, Reg a);
+    KernelBuilder &i2f(Reg dst, Reg a);
+
+    // --- Double precision (register pairs dst/dst+1 etc.) ----------------
+    KernelBuilder &dadd(Reg dst, Reg a, Reg b);
+    KernelBuilder &dmul(Reg dst, Reg a, Reg b);
+    KernelBuilder &dfma(Reg dst, Reg a, Reg b, Reg c);
+
+    // --- Predicates ----------------------------------------------------------
+    KernelBuilder &setpI(Pred p, CmpOp cmp, Reg a, Reg b);
+    KernelBuilder &setpIImm(Pred p, CmpOp cmp, Reg a, int32_t imm);
+    KernelBuilder &setpF(Pred p, CmpOp cmp, Reg a, Reg b);
+
+    // --- Memory ---------------------------------------------------------------
+    KernelBuilder &lds(Reg dst, Reg addr, int32_t offset = 0);
+    KernelBuilder &sts(Reg addr, Reg value, int32_t offset = 0);
+    KernelBuilder &ldg(Reg dst, Reg addr, int32_t offset = 0);
+    KernelBuilder &stg(Reg addr, Reg value, int32_t offset = 0);
+    KernelBuilder &ldt(Reg dst, Reg addr, int32_t offset = 0);
+
+    // --- Control --------------------------------------------------------------
+    KernelBuilder &beginIf(Pred p, bool negate = false);
+    KernelBuilder &beginElse();
+    KernelBuilder &endIf();
+    KernelBuilder &beginLoop();
+    /** Lanes where @p p (optionally negated) holds leave the loop. */
+    KernelBuilder &brk(Pred p, bool negate = false);
+    KernelBuilder &endLoop();
+    KernelBuilder &bar();
+
+    /** Number of instructions emitted so far. */
+    int size() const { return static_cast<int>(instrs_.size()); }
+
+    int numRegisters() const { return numRegs_; }
+
+    /**
+     * Finalize.
+     * @param shared_bytes statically allocated shared memory per block.
+     */
+    Kernel build(int shared_bytes = 0);
+
+  private:
+    Instruction &emit(Opcode op);
+
+    std::string name_;
+    std::vector<Instruction> instrs_;
+    int numRegs_ = 0;
+    int numPreds_ = 0;
+};
+
+} // namespace isa
+} // namespace gpuperf
+
+#endif // GPUPERF_ISA_BUILDER_H

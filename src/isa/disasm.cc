@@ -1,0 +1,126 @@
+#include "isa/disasm.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace gpuperf {
+namespace isa {
+
+namespace {
+
+std::string
+regName(Reg r)
+{
+    if (r == kNoReg)
+        return "-";
+    return "$r" + std::to_string(r);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    const Opcode op = inst.op;
+
+    // Guard predicate prefix for IF/BRK.
+    if ((op == Opcode::kIf || op == Opcode::kBrk) && inst.pred != kNoPred) {
+        os << "@" << (inst.predNegate ? "!" : "") << "$p"
+           << int(inst.pred) << " ";
+    }
+
+    os << opcodeName(op);
+
+    if (op == Opcode::kSetpF || op == Opcode::kSetpI) {
+        os << "." << cmpOpName(inst.cmp) << " $p" << int(inst.pred) << ", "
+           << regName(inst.src[0]) << ", ";
+        if (inst.useImm)
+            os << inst.imm;
+        else
+            os << regName(inst.src[1]);
+        return os.str();
+    }
+    if (op == Opcode::kS2r) {
+        os << " " << regName(inst.dst) << ", %" << specialRegName(inst.sreg);
+        return os.str();
+    }
+    if (op == Opcode::kMovImm) {
+        os << " " << regName(inst.dst) << ", " << inst.imm;
+        return os.str();
+    }
+    if (op == Opcode::kSel) {
+        os << " " << regName(inst.dst) << ", $p" << int(inst.pred) << ", "
+           << regName(inst.src[0]) << ", " << regName(inst.src[1]);
+        return os.str();
+    }
+    if (op == Opcode::kFmadS) {
+        os << " " << regName(inst.dst) << ", " << regName(inst.src[0])
+           << ", smem[" << regName(inst.src[1]);
+        if (inst.imm)
+            os << "+" << inst.imm;
+        os << "], " << regName(inst.src[2]);
+        return os.str();
+    }
+    if (op == Opcode::kLds || op == Opcode::kLdg || op == Opcode::kLdt) {
+        const char *space = (op == Opcode::kLds) ? "smem" : "gmem";
+        os << " " << regName(inst.dst) << ", " << space << "["
+           << regName(inst.src[0]);
+        if (inst.imm)
+            os << "+" << inst.imm;
+        os << "]";
+        return os.str();
+    }
+    if (op == Opcode::kSts || op == Opcode::kStg) {
+        const char *space = (op == Opcode::kSts) ? "smem" : "gmem";
+        os << " " << space << "[" << regName(inst.src[0]);
+        if (inst.imm)
+            os << "+" << inst.imm;
+        os << "], " << regName(inst.src[1]);
+        return os.str();
+    }
+    if (isControl(op))
+        return os.str();
+
+    // Generic ALU rendering.
+    os << " " << regName(inst.dst);
+    bool first = true;
+    for (int s = 0; s < 3; ++s) {
+        if (s == 1 && inst.useImm) {
+            os << ", " << inst.imm;
+            first = false;
+            continue;
+        }
+        if (inst.src[s] == kNoReg)
+            continue;
+        os << ", " << regName(inst.src[s]);
+        first = false;
+    }
+    (void)first;
+    return os.str();
+}
+
+void
+disassemble(const Kernel &kernel, std::ostream &os)
+{
+    os << "// kernel " << kernel.name() << ": "
+       << kernel.numRegisters() << " regs, " << kernel.sharedBytes()
+       << " B smem, " << kernel.instructions().size() << " instrs\n";
+    int indent = 0;
+    for (size_t pc = 0; pc < kernel.instructions().size(); ++pc) {
+        const Instruction &inst = kernel.instructions()[pc];
+        if (inst.op == Opcode::kElse || inst.op == Opcode::kEndif ||
+            inst.op == Opcode::kEndloop) {
+            indent = std::max(0, indent - 1);
+        }
+        os << std::setw(4) << pc << ":  " << std::string(indent * 2, ' ')
+           << disassemble(inst) << "\n";
+        if (inst.op == Opcode::kIf || inst.op == Opcode::kElse ||
+            inst.op == Opcode::kLoop) {
+            ++indent;
+        }
+    }
+}
+
+} // namespace isa
+} // namespace gpuperf

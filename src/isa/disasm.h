@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Decuda-style textual disassembly of kernels.
+ */
+
+#ifndef GPUPERF_ISA_DISASM_H
+#define GPUPERF_ISA_DISASM_H
+
+#include <ostream>
+#include <string>
+
+#include "isa/kernel.h"
+
+namespace gpuperf {
+namespace isa {
+
+/** Render one instruction as text. */
+std::string disassemble(const Instruction &inst);
+
+/** Render the whole kernel, one instruction per line with indices. */
+void disassemble(const Kernel &kernel, std::ostream &os);
+
+} // namespace isa
+} // namespace gpuperf
+
+#endif // GPUPERF_ISA_DISASM_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A single decoded instruction of the native-style ISA.
+ */
+
+#ifndef GPUPERF_ISA_INSTRUCTION_H
+#define GPUPERF_ISA_INSTRUCTION_H
+
+#include <cstdint>
+
+#include "isa/opcodes.h"
+
+namespace gpuperf {
+namespace isa {
+
+/** General-purpose register index. */
+using Reg = uint16_t;
+
+/** Predicate register index. */
+using Pred = uint8_t;
+
+/** Sentinel meaning "no predicate". */
+constexpr Pred kNoPred = 0xff;
+
+/** Sentinel register operand meaning "unused". */
+constexpr Reg kNoReg = 0xffff;
+
+/**
+ * One instruction. Operand roles by opcode family:
+ *
+ * - ALU: dst, src[0..2]; if useImm, src[1] is replaced by imm.
+ * - MOVI: dst, imm.
+ * - S2R: dst, sreg.
+ * - SEL: dst = pred ? src[0] : src[1].
+ * - SETP: predDst, src[0], src[1] (or imm), cmp.
+ * - LDS/LDG/LDT: dst, address = src[0] + imm.
+ * - STS/STG: address = src[0] + imm, value = src[1].
+ * - IF/BRK: guard predicate 'pred' (negated when predNegate).
+ * - Everything else: no operands.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kExit;
+    Reg dst = kNoReg;
+    Reg src[3] = {kNoReg, kNoReg, kNoReg};
+    int32_t imm = 0;
+    bool useImm = false;
+
+    Pred pred = kNoPred;       ///< guard (IF/BRK) or SETP destination
+    bool predNegate = false;   ///< negate the guard predicate
+    CmpOp cmp = CmpOp::kLt;
+    SpecialReg sreg = SpecialReg::kTid;
+};
+
+} // namespace isa
+} // namespace gpuperf
+
+#endif // GPUPERF_ISA_INSTRUCTION_H

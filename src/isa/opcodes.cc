@@ -1,0 +1,197 @@
+#include "isa/opcodes.h"
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace isa {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kFadd: return "fadd";
+      case Opcode::kFmul2: return "fmul.fpu";
+      case Opcode::kFmad: return "mad";
+      case Opcode::kFmadS: return "mad.s";
+      case Opcode::kIadd: return "iadd";
+      case Opcode::kIsub: return "isub";
+      case Opcode::kImul: return "imul";
+      case Opcode::kImad: return "imad";
+      case Opcode::kShl: return "shl";
+      case Opcode::kShr: return "shr";
+      case Opcode::kAnd: return "and";
+      case Opcode::kOr: return "or";
+      case Opcode::kXor: return "xor";
+      case Opcode::kImin: return "imin";
+      case Opcode::kImax: return "imax";
+      case Opcode::kMov: return "mov";
+      case Opcode::kMovImm: return "movi";
+      case Opcode::kS2r: return "s2r";
+      case Opcode::kSel: return "sel";
+      case Opcode::kF2i: return "f2i";
+      case Opcode::kI2f: return "i2f";
+      case Opcode::kFmul: return "mul";
+      case Opcode::kRcp: return "rcp";
+      case Opcode::kSin: return "sin";
+      case Opcode::kCos: return "cos";
+      case Opcode::kLg2: return "lg2";
+      case Opcode::kEx2: return "ex2";
+      case Opcode::kRsqrt: return "rsqrt";
+      case Opcode::kDadd: return "dadd";
+      case Opcode::kDmul: return "dmul";
+      case Opcode::kDfma: return "dfma";
+      case Opcode::kSetpF: return "setp.f";
+      case Opcode::kSetpI: return "setp.i";
+      case Opcode::kLds: return "lds";
+      case Opcode::kSts: return "sts";
+      case Opcode::kLdg: return "ldg";
+      case Opcode::kStg: return "stg";
+      case Opcode::kLdt: return "ldt";
+      case Opcode::kIf: return "if";
+      case Opcode::kElse: return "else";
+      case Opcode::kEndif: return "endif";
+      case Opcode::kLoop: return "loop";
+      case Opcode::kBrk: return "brk";
+      case Opcode::kEndloop: return "endloop";
+      case Opcode::kBar: return "bar.sync";
+      case Opcode::kExit: return "exit";
+      case Opcode::kNumOpcodes: break;
+    }
+    panic("unknown opcode %d", static_cast<int>(op));
+}
+
+const char *
+cmpOpName(CmpOp op)
+{
+    switch (op) {
+      case CmpOp::kLt: return "lt";
+      case CmpOp::kLe: return "le";
+      case CmpOp::kGt: return "gt";
+      case CmpOp::kGe: return "ge";
+      case CmpOp::kEq: return "eq";
+      case CmpOp::kNe: return "ne";
+    }
+    panic("unknown cmp op %d", static_cast<int>(op));
+}
+
+const char *
+specialRegName(SpecialReg sreg)
+{
+    switch (sreg) {
+      case SpecialReg::kTid: return "tid";
+      case SpecialReg::kNtid: return "ntid";
+      case SpecialReg::kCtaid: return "ctaid";
+      case SpecialReg::kNctaid: return "nctaid";
+      case SpecialReg::kLaneId: return "laneid";
+      case SpecialReg::kWarpId: return "warpid";
+    }
+    panic("unknown special register %d", static_cast<int>(sreg));
+}
+
+bool
+isMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::kLds:
+      case Opcode::kSts:
+      case Opcode::kLdg:
+      case Opcode::kStg:
+      case Opcode::kLdt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isSharedMem(Opcode op)
+{
+    return op == Opcode::kLds || op == Opcode::kSts;
+}
+
+bool
+isGlobalMem(Opcode op)
+{
+    return op == Opcode::kLdg || op == Opcode::kStg || op == Opcode::kLdt;
+}
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::kIf:
+      case Opcode::kElse:
+      case Opcode::kEndif:
+      case Opcode::kLoop:
+      case Opcode::kBrk:
+      case Opcode::kEndloop:
+      case Opcode::kBar:
+      case Opcode::kExit:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesRegister(Opcode op)
+{
+    if (isControl(op))
+        return false;
+    switch (op) {
+      case Opcode::kSts:
+      case Opcode::kStg:
+      case Opcode::kSetpF:
+      case Opcode::kSetpI:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+writesPredicate(Opcode op)
+{
+    return op == Opcode::kSetpF || op == Opcode::kSetpI;
+}
+
+arch::InstrType
+instrTypeOf(Opcode op)
+{
+    GPUPERF_ASSERT(!isMemory(op), "memory opcodes have no pipeline type");
+    switch (op) {
+      case Opcode::kFmul:
+        return arch::InstrType::TypeI;
+      case Opcode::kRcp:
+      case Opcode::kSin:
+      case Opcode::kCos:
+      case Opcode::kLg2:
+      case Opcode::kEx2:
+      case Opcode::kRsqrt:
+        return arch::InstrType::TypeIII;
+      case Opcode::kDadd:
+      case Opcode::kDmul:
+      case Opcode::kDfma:
+        return arch::InstrType::TypeIV;
+      default:
+        // Everything else — integer/fp32 ALU, moves, predicates,
+        // materialized branches, barriers — runs on the type II path.
+        return arch::InstrType::TypeII;
+    }
+}
+
+int
+dynamicCost(Opcode op)
+{
+    switch (op) {
+      case Opcode::kEndif:
+      case Opcode::kLoop:
+      case Opcode::kExit:
+        return 0;
+      default:
+        return 1;
+    }
+}
+
+} // namespace isa
+} // namespace gpuperf

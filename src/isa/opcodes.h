@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Native-style GPU instruction set.
+ *
+ * The paper models performance at the level of the GPU's *native*
+ * instruction set (decoded with Decuda), because PTX-level counts miss
+ * the bookkeeping instructions — control, address calculation, memory
+ * operations — that dominate low-computational-density kernels. This
+ * ISA mirrors the GT200 native instruction mix at that granularity:
+ * scalar 32-bit register machine, separate predicate registers,
+ * half-warp shared/global memory accesses, and warp-level structured
+ * divergence.
+ */
+
+#ifndef GPUPERF_ISA_OPCODES_H
+#define GPUPERF_ISA_OPCODES_H
+
+#include <cstdint>
+
+#include "arch/instr_class.h"
+
+namespace gpuperf {
+namespace isa {
+
+/** Instruction opcodes. */
+enum class Opcode : uint8_t
+{
+    // Type II single-precision / integer arithmetic (8 FPUs).
+    kFadd,      ///< dst = src0 + src1
+    kFmul2,     ///< dst = src0 * src1 scheduled on the FPUs (type II)
+    kFmad,      ///< dst = src0 * src1 + src2 (counts as the paper's MAD)
+    /**
+     * dst = src0 * shared[src1 + imm] + src2. GT200 MAD instructions
+     * can take one operand directly from shared memory; this is how
+     * dense matrix multiply keeps its shared traffic equal to its MAD
+     * count (paper Figure 4a). Counts as one type II instruction *and*
+     * one shared-memory access.
+     */
+    kFmadS,
+    kIadd,      ///< dst = src0 + src1 (or imm)
+    kIsub,      ///< dst = src0 - src1 (or imm)
+    kImul,      ///< dst = src0 * src1 (or imm), low 32 bits
+    kImad,      ///< dst = src0 * src1 + src2
+    kShl,       ///< dst = src0 << (src1 or imm)
+    kShr,       ///< dst = src0 >> (src1 or imm), logical
+    kAnd,       ///< dst = src0 & (src1 or imm)
+    kOr,        ///< dst = src0 | (src1 or imm)
+    kXor,       ///< dst = src0 ^ (src1 or imm)
+    kImin,      ///< dst = min(src0, src1) signed
+    kImax,      ///< dst = max(src0, src1) signed
+    kMov,       ///< dst = src0
+    kMovImm,    ///< dst = imm
+    kS2r,       ///< dst = special register (tid, ctaid, ...)
+    kSel,       ///< dst = pred ? src0 : src1
+    kF2i,       ///< dst = (int)bitcast<float>(src0)
+    kI2f,       ///< dst = bitcast<uint>((float)(int)src0)
+
+    // Type I multiply (8 FPUs + 2 SFU multipliers).
+    kFmul,      ///< dst = src0 * src1 on the wide multiply path (type I)
+
+    // Type III transcendental (4 SFU lanes).
+    kRcp,       ///< dst = 1 / src0
+    kSin,       ///< dst = sin(src0)
+    kCos,       ///< dst = cos(src0)
+    kLg2,       ///< dst = log2(src0)
+    kEx2,       ///< dst = 2^src0
+    kRsqrt,     ///< dst = 1 / sqrt(src0)
+
+    // Type IV double precision (1 DP unit). Functionally these operate
+    // on pairs of 32-bit registers (dst, dst+1).
+    kDadd,      ///< double add
+    kDmul,      ///< double mul
+    kDfma,      ///< double fused multiply-add
+
+    // Predicate set.
+    kSetpF,     ///< pred dst = cmp(bitcast<float> src0, src1)
+    kSetpI,     ///< pred dst = cmp((int) src0, src1 or imm)
+
+    // Memory. Addresses are byte addresses in 32-bit registers;
+    // 'imm' holds a byte offset added to the address register.
+    kLds,       ///< dst = shared[src0 + imm]
+    kSts,       ///< shared[src0 + imm] = src1
+    kLdg,       ///< dst = global[src0 + imm]
+    kStg,       ///< global[src0 + imm] = src1
+    kLdt,       ///< dst = global[src0 + imm] via the texture cache path
+
+    // Structured control flow. IF/ELSE/ENDIF and LOOP/BRK/ENDLOOP are
+    // interpreted with a divergence mask stack; they correspond to the
+    // predicated-branch + SSY/JOIN reconvergence idiom of GT200 code.
+    kIf,        ///< enter then-branch for lanes where pred holds
+    kElse,      ///< switch to else-branch lanes
+    kEndif,     ///< reconverge
+    kLoop,      ///< loop head marker
+    kBrk,       ///< lanes where pred holds leave the loop
+    kEndloop,   ///< branch back to the loop head
+    kBar,       ///< block-wide synchronization barrier
+    kExit,      ///< end of kernel (implicit at the end)
+
+    kNumOpcodes,
+};
+
+/** Comparison operators for SETP. */
+enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/** Special (read-only) registers exposed through S2R. */
+enum class SpecialReg : uint8_t
+{
+    kTid,       ///< thread index within the block (1-D)
+    kNtid,      ///< threads per block
+    kCtaid,     ///< block index within the grid (1-D)
+    kNctaid,    ///< blocks in the grid
+    kLaneId,    ///< lane within the warp
+    kWarpId,    ///< warp index within the block
+};
+
+/** Functional unit a trace operation occupies in the timing simulator. */
+enum class UnitKind : uint8_t
+{
+    kArithI,      ///< type I arithmetic pipeline slot
+    kArithII,     ///< type II
+    kArithIII,    ///< type III
+    kArithIV,     ///< type IV
+    kSharedMem,   ///< banked shared-memory pipeline
+    kGlobalLoad,  ///< global load (LSU + cluster memory port)
+    kGlobalStore, ///< global store
+    kTexLoad,     ///< global load via texture cache
+    kBarrier,     ///< block barrier
+    kNone,        ///< free marker (ENDIF, LOOP head)
+};
+
+/** Mnemonic for disassembly. */
+const char *opcodeName(Opcode op);
+
+/** Mnemonic for a comparison operator. */
+const char *cmpOpName(CmpOp op);
+
+/** Mnemonic for a special register. */
+const char *specialRegName(SpecialReg sreg);
+
+/** True for LDS/STS/LDG/STG/LDT. */
+bool isMemory(Opcode op);
+
+/** True for LDS/STS. */
+bool isSharedMem(Opcode op);
+
+/** True for LDG/STG/LDT. */
+bool isGlobalMem(Opcode op);
+
+/** True for control-flow opcodes (IF..EXIT). */
+bool isControl(Opcode op);
+
+/** True if the opcode writes a general-purpose destination register. */
+bool writesRegister(Opcode op);
+
+/** True if the opcode writes a predicate register. */
+bool writesPredicate(Opcode op);
+
+/**
+ * Instruction-pipeline type (Table 1) for arithmetic and control
+ * opcodes. Control instructions that materialize as real branches
+ * count as type II. Calling this for memory opcodes is a programming
+ * error (they are modeled by the shared/global components instead).
+ */
+arch::InstrType instrTypeOf(Opcode op);
+
+/**
+ * Number of dynamic native instructions the opcode represents. Pure
+ * reconvergence markers (ENDIF, LOOP) cost zero: on GT200 they are
+ * encoded as .join bits / labels, not separate instructions.
+ */
+int dynamicCost(Opcode op);
+
+} // namespace isa
+} // namespace gpuperf
+
+#endif // GPUPERF_ISA_OPCODES_H

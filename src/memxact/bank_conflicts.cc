@@ -1,0 +1,75 @@
+#include "memxact/bank_conflicts.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace memxact {
+
+BankConflictAnalyzer::BankConflictAnalyzer(int num_banks, int bank_width,
+                                           int group_size)
+    : numBanks_(num_banks), bankWidth_(bank_width), groupSize_(group_size)
+{
+    if (numBanks_ <= 0 || bankWidth_ <= 0 || groupSize_ <= 0)
+        fatal("bank analyzer: all parameters must be positive "
+              "(banks %d, width %d, group %d)", numBanks_, bankWidth_,
+              groupSize_);
+}
+
+BankConflictAnalyzer::BankConflictAnalyzer(const arch::GpuSpec &spec)
+    : BankConflictAnalyzer(spec.numSharedBanks, spec.sharedBankWidth,
+                           spec.sharedIssueGroup)
+{
+}
+
+int
+BankConflictAnalyzer::bankOf(uint64_t address) const
+{
+    return static_cast<int>((address / bankWidth_) % numBanks_);
+}
+
+ConflictInfo
+BankConflictAnalyzer::analyzeGroup(const uint64_t *addresses,
+                                   uint32_t active_mask, int first_lane,
+                                   int num_lanes) const
+{
+    // Distinct words per bank; same-word accesses broadcast.
+    std::vector<std::set<uint64_t>> words(numBanks_);
+    ConflictInfo info;
+    for (int lane = first_lane; lane < first_lane + num_lanes; ++lane) {
+        if (!((active_mask >> lane) & 1u))
+            continue;
+        ++info.activeLanes;
+        const uint64_t word = addresses[lane] / bankWidth_;
+        words[bankOf(addresses[lane])].insert(word);
+    }
+    if (info.activeLanes == 0) {
+        info.degree = 0;
+        return info;
+    }
+    size_t max_words = 1;
+    for (const auto &w : words)
+        max_words = std::max(max_words, w.size());
+    info.degree = static_cast<int>(max_words);
+    return info;
+}
+
+int
+BankConflictAnalyzer::warpTransactions(const uint64_t *addresses,
+                                       uint32_t active_mask,
+                                       int warp_size) const
+{
+    int total = 0;
+    for (int start = 0; start < warp_size; start += groupSize_) {
+        const int lanes = std::min(groupSize_, warp_size - start);
+        ConflictInfo info =
+            analyzeGroup(addresses, active_mask, start, lanes);
+        total += info.degree;
+    }
+    return total;
+}
+
+} // namespace memxact
+} // namespace gpuperf

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared-memory bank-conflict analysis.
+ *
+ * Shared memory stores adjacent 4-byte words in adjacent banks
+ * (16 banks on GT200). When multiple threads of a half-warp access
+ * *different* words in the same bank, the accesses serialize; the
+ * paper's model corrects the shared-memory transaction count by this
+ * serialization degree. Accesses by several threads to the *same* word
+ * are satisfied by a broadcast and do not conflict.
+ *
+ * The paper had to specify conflict degrees by hand because Barra does
+ * not collect them; because our functional simulator interprets real
+ * addresses, this analyzer computes them exactly (addressing the
+ * paper's future-work item 2, "develop a bank-conflict simulator for
+ * more general cases").
+ */
+
+#ifndef GPUPERF_MEMXACT_BANK_CONFLICTS_H
+#define GPUPERF_MEMXACT_BANK_CONFLICTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+
+namespace gpuperf {
+namespace memxact {
+
+/** Conflict analysis result for one access group (half-warp). */
+struct ConflictInfo
+{
+    /** Serialization factor: number of shared-memory passes (>= 1). */
+    int degree = 1;
+    /** Number of active lanes analyzed. */
+    int activeLanes = 0;
+};
+
+/** Computes bank conflict degrees for shared-memory access groups. */
+class BankConflictAnalyzer
+{
+  public:
+    /**
+     * @param num_banks  banks in the shared memory (16 on GT200, 17 in
+     *                   the paper's prime-bank what-if)
+     * @param bank_width bytes per bank row (4)
+     * @param group_size threads that access shared memory together (16)
+     */
+    BankConflictAnalyzer(int num_banks, int bank_width, int group_size);
+
+    explicit BankConflictAnalyzer(const arch::GpuSpec &spec);
+
+    /**
+     * Conflict degree of one access group given per-lane byte
+     * addresses. Inactive lanes (mask bit clear) are ignored.
+     */
+    ConflictInfo analyzeGroup(const uint64_t *addresses,
+                              uint32_t active_mask, int first_lane,
+                              int num_lanes) const;
+
+    /**
+     * Total serialization passes of a full warp access: the warp is
+     * split into groups of groupSize lanes and each group's degree is
+     * summed (each group with any active lane costs >= 1 pass).
+     */
+    int warpTransactions(const uint64_t *addresses, uint32_t active_mask,
+                         int warp_size) const;
+
+    /** Bank index of a byte address. */
+    int bankOf(uint64_t address) const;
+
+    int numBanks() const { return numBanks_; }
+    int groupSize() const { return groupSize_; }
+
+  private:
+    int numBanks_;
+    int bankWidth_;
+    int groupSize_;
+};
+
+} // namespace memxact
+} // namespace gpuperf
+
+#endif // GPUPERF_MEMXACT_BANK_CONFLICTS_H

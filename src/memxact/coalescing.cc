@@ -1,0 +1,177 @@
+#include "memxact/coalescing.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace memxact {
+
+namespace {
+
+bool
+isPow2(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CoalescingSimulator::CoalescingSimulator(int min_segment_bytes,
+                                         int max_segment_bytes,
+                                         int group_size,
+                                         CoalescePolicy policy)
+    : minSegment_(min_segment_bytes),
+      maxSegment_(max_segment_bytes),
+      groupSize_(group_size),
+      policy_(policy)
+{
+    if (!isPow2(minSegment_) || !isPow2(maxSegment_))
+        fatal("coalescing: segment sizes must be powers of two (%d, %d)",
+              minSegment_, maxSegment_);
+    if (minSegment_ > maxSegment_)
+        fatal("coalescing: min segment %d exceeds max segment %d",
+              minSegment_, maxSegment_);
+    if (groupSize_ <= 0)
+        fatal("coalescing: group size must be positive (%d)", groupSize_);
+}
+
+CoalescingSimulator::CoalescingSimulator(const arch::GpuSpec &spec)
+    : CoalescingSimulator(spec.minSegmentBytes, spec.maxSegmentBytes,
+                          spec.coalesceGroup)
+{
+}
+
+std::vector<Transaction>
+CoalescingSimulator::coalesce(const std::vector<Request> &requests,
+                              int word_bytes) const
+{
+    GPUPERF_ASSERT(word_bytes > 0, "word size must be positive");
+    std::vector<Transaction> result;
+    std::vector<bool> served(requests.size(), false);
+    for (size_t i = 0; i < requests.size(); ++i) {
+        if (!requests[i].active)
+            served[i] = true;
+    }
+
+    while (true) {
+        // Step 1: lowest numbered unserved thread.
+        size_t leader = requests.size();
+        for (size_t i = 0; i < requests.size(); ++i) {
+            if (!served[i]) {
+                leader = i;
+                break;
+            }
+        }
+        if (leader == requests.size())
+            break;
+
+        uint64_t seg = static_cast<uint64_t>(maxSegment_);
+        uint64_t base = requests[leader].address / seg * seg;
+
+        // Step 2: all threads whose access falls inside the segment.
+        std::vector<size_t> members;
+        uint64_t lo = UINT64_MAX;
+        uint64_t hi = 0;
+        for (size_t i = leader; i < requests.size(); ++i) {
+            if (served[i])
+                continue;
+            const uint64_t a = requests[i].address;
+            if (a >= base && a + word_bytes <= base + seg) {
+                members.push_back(i);
+                lo = std::min(lo, a);
+                hi = std::max(hi, a + word_bytes);
+            }
+        }
+        GPUPERF_ASSERT(!members.empty(), "leader must be in its segment");
+
+        // Step 3: reduce the segment while one half still covers all
+        // member accesses and the reduced size remains legal.
+        while (seg > static_cast<uint64_t>(minSegment_) &&
+               seg / 2 >= static_cast<uint64_t>(word_bytes)) {
+            const uint64_t half = seg / 2;
+            if (hi <= base + half) {
+                seg = half;
+            } else if (lo >= base + half) {
+                base += half;
+                seg = half;
+            } else {
+                break;
+            }
+        }
+
+        if (policy_ == CoalescePolicy::kSectored) {
+            // Transfer only the touched min-granularity sectors,
+            // merging adjacent touched sectors into one transaction.
+            const uint64_t sector = static_cast<uint64_t>(
+                std::max(minSegment_, word_bytes));
+            const size_t num_sectors = seg / sector;
+            std::vector<bool> touched(num_sectors, false);
+            for (size_t i : members) {
+                const uint64_t first =
+                    (requests[i].address - base) / sector;
+                const uint64_t last =
+                    (requests[i].address + word_bytes - 1 - base) /
+                    sector;
+                for (uint64_t sidx = first; sidx <= last; ++sidx)
+                    touched[sidx] = true;
+            }
+            size_t sidx = 0;
+            while (sidx < num_sectors) {
+                if (!touched[sidx]) {
+                    ++sidx;
+                    continue;
+                }
+                size_t end = sidx;
+                while (end + 1 < num_sectors && touched[end + 1])
+                    ++end;
+                result.push_back(
+                    {base + sidx * sector,
+                     static_cast<int>((end - sidx + 1) * sector)});
+                sidx = end + 1;
+            }
+        } else {
+            result.push_back({base, static_cast<int>(seg)});
+        }
+
+        for (size_t i : members)
+            served[i] = true;
+    }
+    return result;
+}
+
+std::vector<Transaction>
+CoalescingSimulator::coalesceWarp(const uint64_t *addresses,
+                                  uint32_t active_mask, int warp_size,
+                                  int word_bytes) const
+{
+    std::vector<Transaction> all;
+    for (int start = 0; start < warp_size; start += groupSize_) {
+        std::vector<Request> group;
+        group.reserve(groupSize_);
+        bool any = false;
+        const int end = std::min(start + groupSize_, warp_size);
+        for (int lane = start; lane < end; ++lane) {
+            const bool active = (active_mask >> lane) & 1u;
+            group.push_back({addresses[lane], active});
+            any = any || active;
+        }
+        if (!any)
+            continue;
+        auto xacts = coalesce(group, word_bytes);
+        all.insert(all.end(), xacts.begin(), xacts.end());
+    }
+    return all;
+}
+
+uint64_t
+CoalescingSimulator::totalBytes(const std::vector<Transaction> &xacts)
+{
+    uint64_t sum = 0;
+    for (const auto &t : xacts)
+        sum += t.bytes;
+    return sum;
+}
+
+} // namespace memxact
+} // namespace gpuperf

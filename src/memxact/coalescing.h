@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Memory transaction (coalescing) simulator.
+ *
+ * Implements the CUDA compute-capability 1.2/1.3 coalescing protocol
+ * described in Section 4.3 of the paper:
+ *
+ *  1. find the memory segment that contains the address requested by
+ *     the lowest numbered active thread;
+ *  2. find all other threads whose requested address lies in this
+ *     segment;
+ *  3. reduce the segment size if possible;
+ *  4. repeat until all threads in the half-warp are served.
+ *
+ * The minimum segment size is configurable so the paper's transaction-
+ * granularity study (32 B hardware, hypothetical 16 B and 4 B) can be
+ * reproduced.
+ */
+
+#ifndef GPUPERF_MEMXACT_COALESCING_H
+#define GPUPERF_MEMXACT_COALESCING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+
+namespace gpuperf {
+namespace memxact {
+
+/** One hardware memory transaction. */
+struct Transaction
+{
+    uint64_t base = 0;   ///< segment-aligned start address
+    int bytes = 0;       ///< segment size
+
+    bool operator==(const Transaction &other) const = default;
+};
+
+/** A thread's memory request within an access group. */
+struct Request
+{
+    uint64_t address = 0;
+    bool active = false;
+};
+
+/** How a served segment is turned into wire transactions. */
+enum class CoalescePolicy
+{
+    /**
+     * The literal CC 1.2/1.3 behaviour: one transaction per serviced
+     * segment, halved only while one half covers every member access.
+     */
+    kSegment,
+    /**
+     * Sectored transfer: within the serviced segment, only the
+     * min-granularity sectors actually touched are transferred
+     * (adjacent touched sectors merge into one transaction). Used for
+     * the paper's hypothetical smaller-transaction-granularity
+     * studies, where ideal gathers fetch exactly the touched words.
+     */
+    kSectored,
+};
+
+/**
+ * Simulates the half-warp coalescing hardware.
+ *
+ * Thread-safe: all state is immutable configuration.
+ */
+class CoalescingSimulator
+{
+  public:
+    /**
+     * @param min_segment_bytes smallest transaction the memory system
+     *                          issues (32 on GT200)
+     * @param max_segment_bytes largest transaction (128 on GT200)
+     * @param group_size        threads coalesced together (16 = half warp)
+     * @param policy            segment vs. sectored transfer
+     */
+    CoalescingSimulator(int min_segment_bytes, int max_segment_bytes,
+                        int group_size,
+                        CoalescePolicy policy = CoalescePolicy::kSegment);
+
+    /** Configure from a GpuSpec. */
+    explicit CoalescingSimulator(const arch::GpuSpec &spec);
+
+    /**
+     * Coalesce one access group.
+     *
+     * @param requests   one request per thread in the group (size may be
+     *                   smaller than the group for tail warps)
+     * @param word_bytes bytes read/written per thread (4 for float)
+     * @return the hardware transactions issued, in service order
+     */
+    std::vector<Transaction>
+    coalesce(const std::vector<Request> &requests, int word_bytes) const;
+
+    /**
+     * Coalesce a full warp given per-lane byte addresses and an active
+     * mask; the warp is split into groups of groupSize threads.
+     */
+    std::vector<Transaction>
+    coalesceWarp(const uint64_t *addresses, uint32_t active_mask,
+                 int warp_size, int word_bytes) const;
+
+    int minSegmentBytes() const { return minSegment_; }
+    int maxSegmentBytes() const { return maxSegment_; }
+    int groupSize() const { return groupSize_; }
+
+    /** Sum of transaction bytes. */
+    static uint64_t totalBytes(const std::vector<Transaction> &xacts);
+
+  private:
+    int minSegment_;
+    int maxSegment_;
+    int groupSize_;
+    CoalescePolicy policy_;
+};
+
+} // namespace memxact
+} // namespace gpuperf
+
+#endif // GPUPERF_MEMXACT_COALESCING_H

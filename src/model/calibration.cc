@@ -1,0 +1,303 @@
+#include "model/calibration.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+#include "model/microbench.h"
+
+namespace gpuperf {
+namespace model {
+
+namespace {
+
+/** Clamped linear interpolation over a 1-based table. */
+double
+interp(const std::vector<double> &table, double warps)
+{
+    GPUPERF_ASSERT(table.size() >= 2, "empty calibration table");
+    const double max_w = static_cast<double>(table.size() - 1);
+    const double w = std::clamp(warps, 1.0, max_w);
+    const int lo = static_cast<int>(std::floor(w));
+    const int hi = std::min<int>(lo + 1, static_cast<int>(max_w));
+    const double frac = w - lo;
+    return table[lo] * (1.0 - frac) + table[hi] * frac;
+}
+
+} // namespace
+
+double
+CalibrationTables::lookupInstr(arch::InstrType type, double warps) const
+{
+    return interp(instrThroughput[static_cast<int>(type)], warps);
+}
+
+double
+CalibrationTables::lookupSharedPasses(double warps) const
+{
+    return interp(sharedPassThroughput, warps);
+}
+
+double
+CalibrationTables::sharedBandwidth(double warps) const
+{
+    return lookupSharedPasses(warps) * bytesPerPass;
+}
+
+Calibrator::Calibrator(SimulatedDevice &device)
+    : device_(device)
+{
+}
+
+std::vector<int>
+Calibrator::sweepWarpCounts(const arch::GpuSpec &spec)
+{
+    std::vector<int> warps;
+    const int one_block_max = spec.maxThreadsPerBlock / spec.warpSize;
+    for (int w = 1; w <= spec.maxWarpsPerSm; ++w) {
+        if (w <= one_block_max || w % 2 == 0)
+            warps.push_back(w);
+    }
+    return warps;
+}
+
+funcsim::LaunchConfig
+Calibrator::configForWarps(int warps) const
+{
+    const arch::GpuSpec &spec = device_.spec();
+    const int one_block_max = spec.maxThreadsPerBlock / spec.warpSize;
+    funcsim::LaunchConfig cfg;
+    if (warps <= one_block_max) {
+        cfg.gridDim = spec.numSms;
+        cfg.blockDim = warps * spec.warpSize;
+    } else {
+        GPUPERF_ASSERT(warps % 2 == 0,
+                       "odd warp counts above one block are unreachable");
+        cfg.gridDim = 2 * spec.numSms;
+        cfg.blockDim = warps / 2 * spec.warpSize;
+    }
+    return cfg;
+}
+
+void
+Calibrator::calibrate()
+{
+    const arch::GpuSpec &spec = device_.spec();
+    CalibrationTables tables;
+    tables.maxWarps = spec.maxWarpsPerSm;
+    tables.bytesPerPass = spec.sharedIssueGroup * spec.sharedBankWidth;
+
+    const auto warp_counts = sweepWarpCounts(spec);
+    for (auto &t : tables.instrThroughput)
+        t.assign(tables.maxWarps + 1, 0.0);
+    tables.sharedPassThroughput.assign(tables.maxWarps + 1, 0.0);
+
+    // Large unroll keeps loop bookkeeping (4 type II ops/iteration)
+    // from polluting the measured type's throughput.
+    constexpr int kUnroll = 60;
+    constexpr int kIters = 8;
+    constexpr int kSharedIters = 400;
+    const size_t scratch = 8u << 20;
+    const uint64_t out_base = 4096;
+
+    for (int w : warp_counts) {
+        const funcsim::LaunchConfig cfg = configForWarps(w);
+        for (arch::InstrType type : arch::kAllInstrTypes) {
+            isa::Kernel k =
+                makeInstructionBench(type, kUnroll, kIters, out_base);
+            funcsim::GlobalMemory gmem(scratch);
+            gmem.alloc(static_cast<size_t>(cfg.gridDim) * cfg.blockDim * 4);
+            funcsim::RunOptions opts;
+            opts.homogeneous = true;
+            Measurement m = device_.run(k, cfg, gmem, opts);
+            const uint64_t count = m.stats.totalType(type);
+            GPUPERF_ASSERT(count > 0, "instruction bench executed nothing");
+            tables.instrThroughput[static_cast<int>(type)][w] =
+                count / m.seconds();
+        }
+        {
+            isa::Kernel k =
+                makeSharedCopyBench(cfg.blockDim, kSharedIters, out_base);
+            funcsim::GlobalMemory gmem(scratch);
+            gmem.alloc(static_cast<size_t>(cfg.gridDim) * cfg.blockDim * 4);
+            funcsim::RunOptions opts;
+            opts.homogeneous = true;
+            Measurement m = device_.run(k, cfg, gmem, opts);
+            const uint64_t passes = m.stats.totalSharedTransactions();
+            GPUPERF_ASSERT(passes > 0, "shared bench executed nothing");
+            tables.sharedPassThroughput[w] = passes / m.seconds();
+        }
+    }
+
+    // Fill unreachable (odd, > one-block-max) warp counts by linear
+    // interpolation between measured neighbours.
+    auto fill_gaps = [&](std::vector<double> &t) {
+        for (int w = 1; w <= tables.maxWarps; ++w) {
+            if (t[w] != 0.0)
+                continue;
+            int lo = w - 1;
+            int hi = w + 1;
+            while (hi <= tables.maxWarps && t[hi] == 0.0)
+                ++hi;
+            if (hi > tables.maxWarps) {
+                t[w] = t[lo];
+            } else {
+                t[w] = 0.5 * (t[lo] + t[hi]);
+            }
+        }
+    };
+    for (auto &t : tables.instrThroughput)
+        fill_gaps(t);
+    fill_gaps(tables.sharedPassThroughput);
+
+    tables_ = std::move(tables);
+}
+
+void
+Calibrator::setCacheFile(const std::string &path)
+{
+    cacheFile_ = path;
+}
+
+void
+Calibrator::setTablesForTesting(CalibrationTables tables)
+{
+    tables_ = std::move(tables);
+}
+
+std::string
+Calibrator::fingerprint() const
+{
+    const arch::GpuSpec &s = device_.spec();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "v3|%s|sms=%d|sp=%d|clk=%.0f|banks=%d|seg=%d|alu=%d|"
+                  "sh=%d|lat=%d",
+                  s.name.c_str(), s.numSms, s.spsPerSm, s.coreClockHz,
+                  s.numSharedBanks, s.minSegmentBytes, s.aluDepCycles,
+                  s.sharedDepCycles, s.globalLatencyCycles);
+    return buf;
+}
+
+bool
+Calibrator::loadCache()
+{
+    if (cacheFile_.empty())
+        return false;
+    std::ifstream in(cacheFile_);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line) || line != fingerprint())
+        return false;
+    CalibrationTables t;
+    if (!(in >> t.maxWarps >> t.bytesPerPass) || t.maxWarps <= 0 ||
+        t.maxWarps > 1024) {
+        return false;
+    }
+    for (auto &table : t.instrThroughput) {
+        table.assign(t.maxWarps + 1, 0.0);
+        for (int w = 1; w <= t.maxWarps; ++w) {
+            if (!(in >> table[w]))
+                return false;
+        }
+    }
+    t.sharedPassThroughput.assign(t.maxWarps + 1, 0.0);
+    for (int w = 1; w <= t.maxWarps; ++w) {
+        if (!(in >> t.sharedPassThroughput[w]))
+            return false;
+    }
+    tables_ = std::move(t);
+    return true;
+}
+
+void
+Calibrator::saveCache() const
+{
+    if (cacheFile_.empty() || !tables_)
+        return;
+    // Write-then-rename so concurrent readers never see a torn file.
+    const std::string tmp =
+        cacheFile_ + ".tmp." + std::to_string(::getpid());
+    std::ofstream out(tmp);
+    if (!out) {
+        warn("cannot write calibration cache '%s'", cacheFile_.c_str());
+        return;
+    }
+    out << fingerprint() << "\n";
+    out << tables_->maxWarps << " " << tables_->bytesPerPass << "\n";
+    out.precision(17);
+    for (const auto &table : tables_->instrThroughput) {
+        for (int w = 1; w <= tables_->maxWarps; ++w)
+            out << table[w] << " ";
+        out << "\n";
+    }
+    for (int w = 1; w <= tables_->maxWarps; ++w)
+        out << tables_->sharedPassThroughput[w] << " ";
+    out << "\n";
+    out.close();
+    if (std::rename(tmp.c_str(), cacheFile_.c_str()) != 0)
+        warn("cannot move calibration cache into '%s'",
+             cacheFile_.c_str());
+}
+
+const CalibrationTables &
+Calibrator::tables()
+{
+    if (!tables_) {
+        if (!loadCache()) {
+            calibrate();
+            saveCache();
+        }
+    }
+    return *tables_;
+}
+
+GlobalBenchResult
+Calibrator::runGlobalBench(int blocks, int threads_per_block,
+                           int requests_per_thread)
+{
+    GPUPERF_ASSERT(blocks > 0 && threads_per_block > 0 &&
+                       requests_per_thread > 0,
+                   "global bench needs a positive configuration");
+    const auto key =
+        std::make_tuple(blocks, threads_per_block, requests_per_thread);
+    auto it = globalMemo_.find(key);
+    if (it != globalMemo_.end())
+        return it->second;
+
+    constexpr int kBatch = 8;
+    constexpr uint32_t kBufBytes = 4u << 20;
+    const int total_threads = blocks * threads_per_block;
+    const size_t slack =
+        static_cast<size_t>(kBatch) * total_threads * 4 + 4096;
+
+    funcsim::GlobalMemory gmem(kBufBytes + slack + (1u << 20));
+    const uint64_t buf = gmem.alloc(kBufBytes + slack, 4096);
+    isa::Kernel k = makeGlobalStreamBench(requests_per_thread, kBatch,
+                                          total_threads, buf, kBufBytes);
+    funcsim::LaunchConfig cfg;
+    cfg.gridDim = blocks;
+    cfg.blockDim = threads_per_block;
+    funcsim::RunOptions opts;
+    opts.homogeneous = true;
+    Measurement m = device_.run(k, cfg, gmem, opts);
+
+    GlobalBenchResult res;
+    res.seconds = m.seconds();
+    res.transactions = m.stats.totalGlobalTransactions();
+    res.requestBytes = 0;
+    for (const auto &s : m.stats.stages)
+        res.requestBytes += s.globalRequestBytes;
+    res.bandwidth = res.requestBytes / res.seconds;
+    res.xactThroughput = res.transactions / res.seconds;
+    globalMemo_[key] = res;
+    return res;
+}
+
+} // namespace model
+} // namespace gpuperf

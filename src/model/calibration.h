@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Microbenchmark-driven calibration (paper Figure 2 / Figure 3).
+ *
+ * The calibrator measures, against a device:
+ *  - instruction throughput per type as a function of warps per SM,
+ *  - shared-memory throughput (in serialized half-warp passes/s, which
+ *    is bandwidth divided by 64 B) as a function of warps per SM,
+ *  - global-memory throughput for arbitrary launch configurations via
+ *    the synthetic streaming benchmark (memoized).
+ */
+
+#ifndef GPUPERF_MODEL_CALIBRATION_H
+#define GPUPERF_MODEL_CALIBRATION_H
+
+#include <array>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "arch/instr_class.h"
+#include "model/device.h"
+
+namespace gpuperf {
+namespace model {
+
+/** Lookup tables produced by calibration. */
+struct CalibrationTables
+{
+    /** Max warps per SM covered by the tables. */
+    int maxWarps = 0;
+    /**
+     * instrThroughput[type][w] = warp-instructions per second with w
+     * warps resident per SM (w = 1..maxWarps; index 0 unused).
+     */
+    std::array<std::vector<double>, arch::kNumInstrTypes> instrThroughput;
+    /** sharedPassThroughput[w] = serialized half-warp passes per second. */
+    std::vector<double> sharedPassThroughput;
+    /** Bytes carried by one conflict-free pass (16 lanes * 4 B). */
+    int bytesPerPass = 64;
+
+    /** Linear interpolation, clamped to [1, maxWarps]. */
+    double lookupInstr(arch::InstrType type, double warps) const;
+    double lookupSharedPasses(double warps) const;
+    /** Shared bandwidth in bytes/s at @p warps. */
+    double sharedBandwidth(double warps) const;
+};
+
+/** Result of one synthetic global-memory benchmark run. */
+struct GlobalBenchResult
+{
+    double seconds = 0.0;
+    uint64_t transactions = 0;   ///< hardware transactions issued
+    uint64_t requestBytes = 0;   ///< bytes the program asked for
+    /** Useful-byte bandwidth, bytes/s (the paper's Figure 3 metric). */
+    double bandwidth = 0.0;
+    /** Transactions per second (used by the model). */
+    double xactThroughput = 0.0;
+};
+
+/** Runs and caches microbenchmarks on a device. */
+class Calibrator
+{
+  public:
+    explicit Calibrator(SimulatedDevice &device);
+
+    /** Instruction + shared tables; first call runs the benchmarks. */
+    const CalibrationTables &tables();
+
+    /**
+     * Cache the tables in @p path: tables() loads them if the file
+     * exists and matches this device, and writes it after calibrating.
+     * Avoids re-running the microbenchmark sweep in every process.
+     */
+    void setCacheFile(const std::string &path);
+
+    /** Inject tables directly (unit tests of downstream consumers). */
+    void setTablesForTesting(CalibrationTables tables);
+
+    /**
+     * Synthetic global-memory benchmark at a launch configuration
+     * (paper Section 4.3): fully coalesced streaming reads.
+     *
+     * @param blocks              grid size
+     * @param threads_per_block   block size
+     * @param requests_per_thread 4 B load instructions per thread
+     */
+    GlobalBenchResult runGlobalBench(int blocks, int threads_per_block,
+                                     int requests_per_thread);
+
+    SimulatedDevice &device() { return device_; }
+
+    /** Warp counts the instruction/shared sweep samples. */
+    static std::vector<int> sweepWarpCounts(const arch::GpuSpec &spec);
+
+  private:
+    /** Launch shape realizing @p warps warps per SM. */
+    funcsim::LaunchConfig configForWarps(int warps) const;
+
+    void calibrate();
+
+    /** Spec-derived string guarding cache-file validity. */
+    std::string fingerprint() const;
+    bool loadCache();
+    void saveCache() const;
+
+    SimulatedDevice &device_;
+    std::optional<CalibrationTables> tables_;
+    std::map<std::tuple<int, int, int>, GlobalBenchResult> globalMemo_;
+    std::string cacheFile_;
+};
+
+} // namespace model
+} // namespace gpuperf
+
+#endif // GPUPERF_MODEL_CALIBRATION_H

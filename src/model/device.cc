@@ -1,0 +1,26 @@
+#include "model/device.h"
+
+namespace gpuperf {
+namespace model {
+
+SimulatedDevice::SimulatedDevice(const arch::GpuSpec &spec)
+    : spec_(spec), funcSim_(spec), timingSim_(spec)
+{
+}
+
+Measurement
+SimulatedDevice::run(const isa::Kernel &kernel,
+                     const funcsim::LaunchConfig &cfg,
+                     funcsim::GlobalMemory &gmem,
+                     funcsim::RunOptions options)
+{
+    options.collectTrace = true;
+    funcsim::RunResult func = funcSim_.run(kernel, cfg, gmem, options);
+    Measurement m;
+    m.timing = timingSim_.run(func.trace);
+    m.stats = std::move(func.stats);
+    return m;
+}
+
+} // namespace model
+} // namespace gpuperf

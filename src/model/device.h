@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The "hardware" a model is calibrated against.
+ *
+ * In the paper this is a physical GTX 285; here it is the functional
+ * simulator (for dynamic statistics) plus the timing simulator (for
+ * measured execution times), glued behind one interface so the
+ * analytical model never peeks inside the machine.
+ */
+
+#ifndef GPUPERF_MODEL_DEVICE_H
+#define GPUPERF_MODEL_DEVICE_H
+
+#include <memory>
+
+#include "arch/gpu_spec.h"
+#include "funcsim/interpreter.h"
+#include "timing/simulator.h"
+
+namespace gpuperf {
+namespace model {
+
+/** Combined functional + timing result of one kernel launch. */
+struct Measurement
+{
+    funcsim::DynamicStats stats;
+    timing::TimingResult timing;
+
+    double seconds() const { return timing.seconds; }
+    double milliseconds() const { return timing.milliseconds(); }
+};
+
+/**
+ * A simulated GTX 285-class device.
+ *
+ * Owns the functional and timing simulators; run() executes a kernel
+ * functionally (collecting traces) and then replays it for timing.
+ */
+class SimulatedDevice
+{
+  public:
+    explicit SimulatedDevice(const arch::GpuSpec &spec);
+
+    /**
+     * Execute and time a kernel.
+     *
+     * @param kernel  the kernel
+     * @param cfg     launch shape
+     * @param gmem    device memory
+     * @param options functional-run options (collectTrace is forced on)
+     */
+    Measurement run(const isa::Kernel &kernel,
+                    const funcsim::LaunchConfig &cfg,
+                    funcsim::GlobalMemory &gmem,
+                    funcsim::RunOptions options = {});
+
+    const arch::GpuSpec &spec() const { return spec_; }
+    funcsim::FunctionalSimulator &funcSim() { return funcSim_; }
+    const timing::TimingSimulator &timingSim() const { return timingSim_; }
+
+  private:
+    arch::GpuSpec spec_;
+    funcsim::FunctionalSimulator funcSim_;
+    timing::TimingSimulator timingSim_;
+};
+
+} // namespace model
+} // namespace gpuperf
+
+#endif // GPUPERF_MODEL_DEVICE_H

@@ -1,0 +1,78 @@
+#include "model/extractor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace model {
+
+double
+ModelInput::totalEffective64Xacts() const
+{
+    double sum = 0.0;
+    for (const auto &s : stages)
+        sum += s.effective64Xacts;
+    return sum;
+}
+
+InfoExtractor::InfoExtractor(const arch::GpuSpec &spec)
+    : spec_(spec)
+{
+}
+
+ModelInput
+InfoExtractor::extract(const funcsim::DynamicStats &stats,
+                       const arch::KernelResources &resources) const
+{
+    GPUPERF_ASSERT(!stats.stages.empty(), "no stages to extract");
+
+    ModelInput input;
+    input.gridDim = stats.gridDim;
+    input.blockDim = stats.blockDim;
+    input.occupancy = arch::computeOccupancy(spec_, resources);
+    const int blocks_per_sm_by_grid = std::max(
+        1, (stats.gridDim + spec_.numSms - 1) / spec_.numSms);
+    input.concurrentBlocksPerSm =
+        std::min(input.occupancy.residentBlocks, blocks_per_sm_by_grid);
+    input.stagesSerialized = input.concurrentBlocksPerSm == 1;
+
+    // Port-service-time equivalence constants: the time a transaction
+    // of size s occupies the memory pipeline is overhead + s / rate;
+    // these are fit from synthetic-benchmark measurements at two
+    // transaction sizes (here taken from the machine description).
+    const double rate = spec_.clusterBytesPerCycle();
+    const double service64 = spec_.transactionOverheadCycles + 64.0 / rate;
+
+    for (const auto &s : stats.stages) {
+        StageInput si;
+        si.typeCounts = s.typeCounts;
+        si.madCount = s.madCount;
+        si.totalWarpInstrs = s.totalWarpInstrs;
+        si.sharedTransactions = s.sharedTransactions;
+        si.sharedTransactionsIdeal = s.sharedTransactionsIdeal;
+        si.sharedBytes = s.sharedBytes;
+        si.globalTransactions = s.globalTransactions;
+        si.globalBytes = s.globalBytes;
+        si.globalRequestBytes = s.globalRequestBytes;
+
+        double service = 0.0;
+        for (const auto &[size, count] : s.globalXactBySize) {
+            service += count * (spec_.transactionOverheadCycles +
+                                static_cast<double>(size) / rate);
+        }
+        si.effective64Xacts = service / service64;
+
+        si.activeWarpsPerSm =
+            std::max(1.0, s.activeWarpsPerBlock) *
+            input.concurrentBlocksPerSm;
+        si.activeWarpsPerSm = std::min(
+            si.activeWarpsPerSm, static_cast<double>(spec_.maxWarpsPerSm));
+        input.stages.push_back(si);
+    }
+    return input;
+}
+
+} // namespace model
+} // namespace gpuperf

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The info extractor (paper Figure 1): converts raw dynamic statistics
+ * into the performance model's per-stage inputs.
+ */
+
+#ifndef GPUPERF_MODEL_EXTRACTOR_H
+#define GPUPERF_MODEL_EXTRACTOR_H
+
+#include <array>
+#include <vector>
+
+#include "arch/occupancy.h"
+#include "funcsim/stats.h"
+
+namespace gpuperf {
+namespace model {
+
+/** Model inputs for one barrier-delimited stage. */
+struct StageInput
+{
+    std::array<uint64_t, arch::kNumInstrTypes> typeCounts{};
+    uint64_t madCount = 0;
+    uint64_t totalWarpInstrs = 0;
+
+    uint64_t sharedTransactions = 0;
+    uint64_t sharedTransactionsIdeal = 0;
+    uint64_t sharedBytes = 0;
+
+    uint64_t globalTransactions = 0;
+    uint64_t globalBytes = 0;
+    uint64_t globalRequestBytes = 0;
+    /**
+     * Global traffic expressed in port-time-equivalent fully coalesced
+     * 64 B transactions, so traffic of any granularity can be matched
+     * against the synthetic streaming benchmark.
+     */
+    double effective64Xacts = 0.0;
+
+    /** Warps concurrently resident per SM while this stage runs. */
+    double activeWarpsPerSm = 0.0;
+};
+
+/** Model inputs for a whole launch. */
+struct ModelInput
+{
+    std::vector<StageInput> stages;
+
+    int gridDim = 0;
+    int blockDim = 0;
+    arch::Occupancy occupancy;
+    /** Blocks actually concurrent per SM (residency vs. grid size). */
+    int concurrentBlocksPerSm = 1;
+    /**
+     * True when only one block fits per SM: stages are serialized at
+     * barriers; otherwise stages of different blocks overlap and the
+     * program has a single overall bottleneck (paper Section 3).
+     */
+    bool stagesSerialized = false;
+
+    /** Sum of effective64Xacts across stages. */
+    double totalEffective64Xacts() const;
+};
+
+/** Converts DynamicStats into ModelInput. */
+class InfoExtractor
+{
+  public:
+    explicit InfoExtractor(const arch::GpuSpec &spec);
+
+    ModelInput extract(const funcsim::DynamicStats &stats,
+                       const arch::KernelResources &resources) const;
+
+  private:
+    arch::GpuSpec spec_;
+};
+
+} // namespace model
+} // namespace gpuperf
+
+#endif // GPUPERF_MODEL_EXTRACTOR_H

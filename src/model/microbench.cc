@@ -1,0 +1,184 @@
+#include "model/microbench.h"
+
+#include "common/logging.h"
+#include "isa/builder.h"
+
+namespace gpuperf {
+namespace model {
+
+using isa::CmpOp;
+using isa::Kernel;
+using isa::KernelBuilder;
+using isa::Pred;
+using isa::Reg;
+using isa::SpecialReg;
+
+namespace {
+
+/** Emit gtid = ctaid * ntid + tid into a fresh register. */
+Reg
+emitGlobalTid(KernelBuilder &b)
+{
+    Reg tid = b.reg();
+    Reg ctaid = b.reg();
+    Reg ntid = b.reg();
+    Reg gtid = b.reg();
+    b.s2r(tid, SpecialReg::kTid);
+    b.s2r(ctaid, SpecialReg::kCtaid);
+    b.s2r(ntid, SpecialReg::kNtid);
+    b.imad(gtid, ctaid, ntid, tid);
+    return gtid;
+}
+
+void
+checkAddress(uint64_t base, const char *what)
+{
+    if (base >= (1ull << 31))
+        fatal("%s address %llu does not fit a 32-bit immediate", what,
+              static_cast<unsigned long long>(base));
+}
+
+} // namespace
+
+Kernel
+makeInstructionBench(arch::InstrType type, int unroll, int iters,
+                     uint64_t out_base)
+{
+    GPUPERF_ASSERT(unroll > 0 && iters > 0, "bench needs positive sizes");
+    checkAddress(out_base, "instruction bench output");
+
+    KernelBuilder b(std::string("ubench_instr_") +
+                    arch::instrTypeName(type));
+    Reg x = b.reg();
+    Reg y = b.reg();
+    Reg z = b.reg();
+    Reg i = b.reg();
+    Pred p = b.pred();
+
+    b.movImmF(x, 1.5f);
+    b.movImmF(y, 1.0f);
+    b.movImmF(z, 0.0f);
+    b.movImm(i, 0);
+    b.beginLoop();
+    b.setpIImm(p, CmpOp::kGe, i, iters);
+    b.brk(p);
+    for (int u = 0; u < unroll; ++u) {
+        switch (type) {
+          case arch::InstrType::TypeI:
+            b.fmul(x, x, y);
+            break;
+          case arch::InstrType::TypeII:
+            b.fmad(x, x, y, z);
+            break;
+          case arch::InstrType::TypeIII:
+            b.rcp(x, x);
+            break;
+          case arch::InstrType::TypeIV:
+            b.dadd(x, x, z);
+            break;
+        }
+    }
+    b.iaddImm(i, i, 1);
+    b.endLoop();
+
+    Reg gtid = emitGlobalTid(b);
+    Reg addr = b.reg();
+    b.shlImm(addr, gtid, 2);
+    b.iaddImm(addr, addr, static_cast<int32_t>(out_base));
+    b.stg(addr, x);
+    return b.build(0);
+}
+
+Kernel
+makeSharedCopyBench(int block_dim, int iters, uint64_t out_base)
+{
+    GPUPERF_ASSERT(block_dim > 0 && iters > 0, "bench needs positive sizes");
+    checkAddress(out_base, "shared bench output");
+
+    constexpr int kUnroll = 8;
+    const int loop_iters = (iters + kUnroll - 1) / kUnroll;
+
+    KernelBuilder b("ubench_shared_copy");
+    Reg tid = b.reg();
+    Reg addr = b.reg();
+    Reg r = b.regRange(kUnroll);
+    Reg i = b.reg();
+    Pred p = b.pred();
+
+    b.s2r(tid, SpecialReg::kTid);
+    b.shlImm(addr, tid, 2);
+    b.movImm(i, 0);
+    const int32_t half = block_dim * 4;
+    b.beginLoop();
+    b.setpIImm(p, CmpOp::kGe, i, loop_iters);
+    b.brk(p);
+    // Batched loads then stores: one warp's copy rate is limited by
+    // the per-warp shared pass rate, not by the dependency chain, so
+    // bandwidth scales with warp count (paper Figure 2, right).
+    for (int u = 0; u < kUnroll; ++u)
+        b.lds(static_cast<Reg>(r + u), addr, 0);
+    for (int u = 0; u < kUnroll; ++u)
+        b.sts(addr, static_cast<Reg>(r + u), half);
+    b.iaddImm(i, i, 1);
+    b.endLoop();
+
+    Reg gtid = emitGlobalTid(b);
+    Reg out = b.reg();
+    b.shlImm(out, gtid, 2);
+    b.iaddImm(out, out, static_cast<int32_t>(out_base));
+    b.stg(out, r);
+    return b.build(block_dim * 8);
+}
+
+Kernel
+makeGlobalStreamBench(int requests, int batch, int total_threads,
+                      uint64_t buf_base, uint32_t buf_bytes)
+{
+    GPUPERF_ASSERT(requests > 0 && batch > 0, "bench needs positive sizes");
+    GPUPERF_ASSERT((buf_bytes & (buf_bytes - 1)) == 0,
+                   "stream buffer must be a power of two");
+    checkAddress(buf_base + buf_bytes, "stream buffer");
+
+    const int iters = (requests + batch - 1) / batch;
+    const int32_t stride = total_threads * 4;
+    GPUPERF_ASSERT(static_cast<int64_t>(stride) * batch < (1ll << 31),
+                   "batch stride overflows the immediate field");
+
+    KernelBuilder b("ubench_global_stream");
+    Reg gtid = emitGlobalTid(b);
+    Reg idx = b.reg();
+    Reg addr = b.reg();
+    Reg acc = b.reg();
+    Reg i = b.reg();
+    Reg v = b.regRange(batch);
+    Pred p = b.pred();
+
+    b.shlImm(idx, gtid, 2);
+    b.andImm(idx, idx, static_cast<int32_t>(buf_bytes - 1));
+    b.movImmF(acc, 0.0f);
+    b.movImm(i, 0);
+    b.beginLoop();
+    b.setpIImm(p, CmpOp::kGe, i, iters);
+    b.brk(p);
+    b.iaddImm(addr, idx, static_cast<int32_t>(buf_base));
+    // Batch the loads so several transactions are in flight per warp
+    // before the dependent adds consume them.
+    for (int k = 0; k < batch; ++k)
+        b.ldg(static_cast<Reg>(v + k), addr, k * stride);
+    for (int k = 0; k < batch; ++k)
+        b.fadd(acc, acc, static_cast<Reg>(v + k));
+    b.iaddImm(idx, idx, stride * batch);
+    b.andImm(idx, idx, static_cast<int32_t>(buf_bytes - 1));
+    b.iaddImm(i, i, 1);
+    b.endLoop();
+
+    Reg out = b.reg();
+    b.shlImm(out, gtid, 2);
+    b.andImm(out, out, static_cast<int32_t>(buf_bytes - 1));
+    b.iaddImm(out, out, static_cast<int32_t>(buf_base));
+    b.stg(out, acc);
+    return b.build(0);
+}
+
+} // namespace model
+} // namespace gpuperf

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Microbenchmark kernel generators (paper Section 4).
+ *
+ * These play the role of the paper's hand-assembled CUBIN benchmarks:
+ *  - instruction-pipeline benchmarks run a serially dependent chain of
+ *    one instruction type per thread, so throughput scales with
+ *    warp-level parallelism until the pipeline saturates;
+ *  - the shared-memory benchmark repeatedly copies data between two
+ *    conflict-free shared regions;
+ *  - the global-memory benchmark streams fully coalesced reads with a
+ *    configurable number of memory requests per thread.
+ */
+
+#ifndef GPUPERF_MODEL_MICROBENCH_H
+#define GPUPERF_MODEL_MICROBENCH_H
+
+#include <cstdint>
+
+#include "arch/instr_class.h"
+#include "isa/kernel.h"
+
+namespace gpuperf {
+namespace model {
+
+/**
+ * Dependent-chain instruction benchmark.
+ *
+ * @param type     instruction type to exercise (Table 1)
+ * @param unroll   ops per loop iteration (amortizes loop bookkeeping)
+ * @param iters    loop iterations
+ * @param out_base device address of a per-thread float output array
+ */
+isa::Kernel makeInstructionBench(arch::InstrType type, int unroll,
+                                 int iters, uint64_t out_base);
+
+/**
+ * Shared-memory copy benchmark: each thread repeatedly moves one word
+ * between two bank-conflict-free shared regions (stride = one word, so
+ * consecutive lanes hit consecutive banks).
+ *
+ * @param block_dim threads per block (shared usage = 8 * block_dim B)
+ * @param iters     copy iterations (2 shared accesses each)
+ * @param out_base  device address of a per-thread float output array
+ */
+isa::Kernel makeSharedCopyBench(int block_dim, int iters,
+                                uint64_t out_base);
+
+/**
+ * Global-memory streaming benchmark (paper Figure 3): @p requests
+ * fully-coalesced 4 B loads per thread, batched @p batch at a time so
+ * several loads are in flight per warp, wrapped over a buffer of
+ * @p buf_bytes (power of two) at @p buf_base.
+ *
+ * @param total_threads gridDim * blockDim of the intended launch
+ */
+isa::Kernel makeGlobalStreamBench(int requests, int batch,
+                                  int total_threads, uint64_t buf_base,
+                                  uint32_t buf_bytes);
+
+} // namespace model
+} // namespace gpuperf
+
+#endif // GPUPERF_MODEL_MICROBENCH_H

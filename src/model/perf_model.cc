@@ -1,0 +1,162 @@
+#include "model/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace model {
+
+const char *
+componentName(Component c)
+{
+    switch (c) {
+      case Component::kInstruction:
+        return "instruction pipeline";
+      case Component::kShared:
+        return "shared memory";
+      case Component::kGlobal:
+        return "global memory";
+    }
+    panic("unknown component %d", static_cast<int>(c));
+}
+
+double
+StagePrediction::component(Component c) const
+{
+    switch (c) {
+      case Component::kInstruction:
+        return tInstr;
+      case Component::kShared:
+        return tShared;
+      case Component::kGlobal:
+        return tGlobal;
+    }
+    panic("unknown component %d", static_cast<int>(c));
+}
+
+double
+Prediction::componentTotal(Component c) const
+{
+    switch (c) {
+      case Component::kInstruction:
+        return tInstrTotal;
+      case Component::kShared:
+        return tSharedTotal;
+      case Component::kGlobal:
+        return tGlobalTotal;
+    }
+    panic("unknown component %d", static_cast<int>(c));
+}
+
+PerformanceModel::PerformanceModel(Calibrator &calibrator)
+    : calibrator_(calibrator)
+{
+}
+
+namespace {
+
+Component
+largest(double t_instr, double t_shared, double t_global)
+{
+    if (t_global >= t_instr && t_global >= t_shared)
+        return Component::kGlobal;
+    if (t_shared >= t_instr)
+        return Component::kShared;
+    return Component::kInstruction;
+}
+
+Component
+secondLargest(double t_instr, double t_shared, double t_global,
+              Component first)
+{
+    switch (first) {
+      case Component::kInstruction:
+        return largest(-1.0, t_shared, t_global);
+      case Component::kShared:
+        return largest(t_instr, -1.0, t_global);
+      case Component::kGlobal:
+        return largest(t_instr, t_shared, -1.0);
+    }
+    panic("unknown component");
+}
+
+} // namespace
+
+Prediction
+PerformanceModel::predict(const ModelInput &input)
+{
+    const CalibrationTables &tables = calibrator_.tables();
+    Prediction pred;
+    pred.serialized = input.stagesSerialized;
+
+    // Configuration for the matched synthetic global benchmark: the
+    // program's own grid/block shape (capped to the saturated plateau)
+    // and its per-thread transaction count (paper Section 4.3).
+    const double total_threads =
+        static_cast<double>(input.gridDim) * input.blockDim;
+    const int synth_blocks =
+        std::min(input.gridDim, kMaxSyntheticBlocks);
+    const double xacts_total = input.totalEffective64Xacts();
+    const int coalesce_group = 16;
+    int synth_requests = static_cast<int>(std::lround(
+        xacts_total * coalesce_group / std::max(total_threads, 1.0)));
+    synth_requests =
+        std::clamp(synth_requests, 1, kMaxSyntheticRequests);
+
+    double xact_throughput = 0.0;
+    if (xacts_total > 0.0) {
+        xact_throughput =
+            calibrator_
+                .runGlobalBench(synth_blocks, input.blockDim,
+                                synth_requests)
+                .xactThroughput;
+    }
+
+    for (const auto &s : input.stages) {
+        StagePrediction sp;
+        sp.activeWarpsPerSm = s.activeWarpsPerSm;
+        for (int t = 0; t < arch::kNumInstrTypes; ++t) {
+            if (s.typeCounts[t] == 0)
+                continue;
+            sp.tInstr += s.typeCounts[t] /
+                         tables.lookupInstr(
+                             static_cast<arch::InstrType>(t),
+                             s.activeWarpsPerSm);
+        }
+        if (s.sharedTransactions > 0) {
+            sp.tShared = s.sharedTransactions /
+                         tables.lookupSharedPasses(s.activeWarpsPerSm);
+        }
+        sp.sharedBandwidth = tables.sharedBandwidth(s.activeWarpsPerSm);
+        if (s.effective64Xacts > 0.0 && xact_throughput > 0.0)
+            sp.tGlobal = s.effective64Xacts / xact_throughput;
+
+        sp.bottleneck = largest(sp.tInstr, sp.tShared, sp.tGlobal);
+        sp.stageTime = std::max({sp.tInstr, sp.tShared, sp.tGlobal});
+
+        pred.tInstrTotal += sp.tInstr;
+        pred.tSharedTotal += sp.tShared;
+        pred.tGlobalTotal += sp.tGlobal;
+        pred.stages.push_back(sp);
+    }
+
+    if (pred.serialized) {
+        pred.totalSeconds = 0.0;
+        for (const auto &sp : pred.stages)
+            pred.totalSeconds += sp.stageTime;
+    } else {
+        pred.totalSeconds = std::max(
+            {pred.tInstrTotal, pred.tSharedTotal, pred.tGlobalTotal});
+    }
+    pred.bottleneck =
+        largest(pred.tInstrTotal, pred.tSharedTotal, pred.tGlobalTotal);
+    pred.nextBottleneck =
+        secondLargest(pred.tInstrTotal, pred.tSharedTotal,
+                      pred.tGlobalTotal, pred.bottleneck);
+    return pred;
+}
+
+} // namespace model
+} // namespace gpuperf

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The quantitative performance model (the paper's core contribution).
+ *
+ * For each barrier-delimited stage, the model predicts the time three
+ * architecture components would take in isolation:
+ *
+ *   t_instr  = sum over types of count[type] / throughput[type](warps)
+ *   t_shared = shared transactions / pass-throughput(warps)
+ *   t_global = effective transactions / synthetic-benchmark throughput
+ *
+ * The stage's bottleneck is the largest component; the others are
+ * assumed hidden by overlap. With multiple resident blocks per SM,
+ * stages of different blocks overlap and the program has a single
+ * bottleneck (component sums compared); with a single resident block,
+ * barriers serialize the stages and the stage maxima are summed.
+ */
+
+#ifndef GPUPERF_MODEL_PERF_MODEL_H
+#define GPUPERF_MODEL_PERF_MODEL_H
+
+#include <vector>
+
+#include "model/calibration.h"
+#include "model/extractor.h"
+
+namespace gpuperf {
+namespace model {
+
+/** The three modeled architecture components. */
+enum class Component { kInstruction, kShared, kGlobal };
+
+const char *componentName(Component c);
+
+/** Predicted times for one stage. */
+struct StagePrediction
+{
+    double tInstr = 0.0;    ///< seconds
+    double tShared = 0.0;
+    double tGlobal = 0.0;
+    Component bottleneck = Component::kInstruction;
+    /** Stage wall time when stages serialize: max of the components. */
+    double stageTime = 0.0;
+    double activeWarpsPerSm = 0.0;
+    /** Shared bandwidth the throughput model sustained at this stage's
+     *  parallelism (bytes/s) — paper Figure 7(a). */
+    double sharedBandwidth = 0.0;
+
+    double component(Component c) const;
+};
+
+/** Whole-launch prediction. */
+struct Prediction
+{
+    std::vector<StagePrediction> stages;
+    bool serialized = false;
+
+    double tInstrTotal = 0.0;
+    double tSharedTotal = 0.0;
+    double tGlobalTotal = 0.0;
+    /** Predicted execution time in seconds. */
+    double totalSeconds = 0.0;
+
+    Component bottleneck = Component::kInstruction;
+    /** What becomes the bottleneck if the current one is removed. */
+    Component nextBottleneck = Component::kInstruction;
+
+    double milliseconds() const { return totalSeconds * 1e3; }
+    double componentTotal(Component c) const;
+};
+
+/** The analytical model. */
+class PerformanceModel
+{
+  public:
+    /**
+     * @param calibrator source of throughput tables and synthetic
+     *                   global benchmarks (memoized; hence non-const)
+     */
+    explicit PerformanceModel(Calibrator &calibrator);
+
+    /** Predict the performance of a launch from its extracted input. */
+    Prediction predict(const ModelInput &input);
+
+    /** Cap on synthetic benchmark grid size (plateau region). */
+    static constexpr int kMaxSyntheticBlocks = 120;
+    static constexpr int kMaxSyntheticRequests = 256;
+
+  private:
+    Calibrator &calibrator_;
+};
+
+} // namespace model
+} // namespace gpuperf
+
+#endif // GPUPERF_MODEL_PERF_MODEL_H

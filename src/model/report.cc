@@ -1,0 +1,105 @@
+#include "model/report.h"
+
+#include <cmath>
+
+#include "common/table.h"
+
+namespace gpuperf {
+namespace model {
+
+ReportMetrics
+computeMetrics(const funcsim::DynamicStats &stats)
+{
+    ReportMetrics m;
+    uint64_t total = 0;
+    uint64_t mads = 0;
+    uint64_t shared = 0;
+    uint64_t shared_ideal = 0;
+    uint64_t req_bytes = 0;
+    uint64_t xact_bytes = 0;
+    double warp_weight = 0.0;
+    uint64_t weight = 0;
+    for (const auto &s : stats.stages) {
+        total += s.totalWarpInstrs;
+        mads += s.madCount;
+        shared += s.sharedTransactions;
+        shared_ideal += s.sharedTransactionsIdeal;
+        req_bytes += s.globalRequestBytes;
+        xact_bytes += s.globalBytes;
+        warp_weight += s.activeWarpsPerBlock *
+                       static_cast<double>(s.totalWarpInstrs);
+        weight += s.totalWarpInstrs;
+    }
+    if (total > 0)
+        m.computationalDensity = static_cast<double>(mads) / total;
+    if (shared_ideal > 0)
+        m.bankConflictFactor =
+            static_cast<double>(shared) / shared_ideal;
+    if (xact_bytes > 0)
+        m.coalescingEfficiency =
+            static_cast<double>(req_bytes) / xact_bytes;
+    if (weight > 0)
+        m.avgActiveWarpsPerBlock = warp_weight / weight;
+    return m;
+}
+
+double
+relativeError(double predicted, double measured)
+{
+    if (measured == 0.0)
+        return 0.0;
+    return std::fabs(predicted - measured) / measured;
+}
+
+void
+printPrediction(std::ostream &os, const Prediction &pred,
+                const Measurement *measured)
+{
+    Table t({"stage", "warps/SM", "t_instr (ms)", "t_shared (ms)",
+             "t_global (ms)", "bottleneck"});
+    for (size_t i = 0; i < pred.stages.size(); ++i) {
+        const auto &sp = pred.stages[i];
+        t.addRow({std::to_string(i), Table::num(sp.activeWarpsPerSm, 1),
+                  Table::num(sp.tInstr * 1e3, 4),
+                  Table::num(sp.tShared * 1e3, 4),
+                  Table::num(sp.tGlobal * 1e3, 4),
+                  componentName(sp.bottleneck)});
+    }
+    t.addRow({"total", "-", Table::num(pred.tInstrTotal * 1e3, 4),
+              Table::num(pred.tSharedTotal * 1e3, 4),
+              Table::num(pred.tGlobalTotal * 1e3, 4),
+              componentName(pred.bottleneck)});
+    t.print(os);
+    os << "stages " << (pred.serialized
+                            ? "serialized (one block per SM)"
+                            : "overlapped (multiple blocks per SM)")
+       << "\n";
+    os << "predicted time: " << Table::num(pred.milliseconds(), 4)
+       << " ms, bottleneck: " << componentName(pred.bottleneck)
+       << ", next bottleneck if removed: "
+       << componentName(pred.nextBottleneck) << "\n";
+    if (measured) {
+        os << "measured time:  "
+           << Table::num(measured->milliseconds(), 4) << " ms (model error "
+           << Table::num(100.0 * relativeError(pred.totalSeconds,
+                                               measured->seconds()), 1)
+           << "%)\n";
+    }
+}
+
+void
+printMetrics(std::ostream &os, const ReportMetrics &metrics)
+{
+    os << "computational density:  "
+       << Table::num(100.0 * metrics.computationalDensity, 1) << "% of "
+       << "instructions are MADs\n";
+    os << "bank conflict factor:   "
+       << Table::num(metrics.bankConflictFactor, 2) << "x\n";
+    os << "coalescing efficiency:  "
+       << Table::num(100.0 * metrics.coalescingEfficiency, 1) << "%\n";
+    os << "avg active warps/block: "
+       << Table::num(metrics.avgActiveWarpsPerBlock, 1) << "\n";
+}
+
+} // namespace model
+} // namespace gpuperf

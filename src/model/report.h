@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Diagnostic metrics and human-readable rendering of model results —
+ * the "bottleneck causes" the paper's workflow reports (computational
+ * density, bank-conflict penalty, coalescing efficiency, warp-level
+ * parallelism).
+ */
+
+#ifndef GPUPERF_MODEL_REPORT_H
+#define GPUPERF_MODEL_REPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "model/device.h"
+#include "model/perf_model.h"
+
+namespace gpuperf {
+namespace model {
+
+/** Program-level diagnostic metrics derived from dynamic statistics. */
+struct ReportMetrics
+{
+    /** MAD instructions / total instructions (paper: ~80% for GEMM,
+     *  ~10% for CR and SpMV). */
+    double computationalDensity = 0.0;
+    /** Shared transactions / conflict-free transactions (>= 1). */
+    double bankConflictFactor = 1.0;
+    /** Requested bytes / transferred transaction bytes (<= 1). */
+    double coalescingEfficiency = 1.0;
+    /** Instruction-weighted average active warps per block. */
+    double avgActiveWarpsPerBlock = 0.0;
+};
+
+ReportMetrics computeMetrics(const funcsim::DynamicStats &stats);
+
+/**
+ * Print the per-stage component breakdown, bottleneck chain, and
+ * (optionally) the measured-vs-predicted comparison.
+ */
+void printPrediction(std::ostream &os, const Prediction &pred,
+                     const Measurement *measured = nullptr);
+
+/** Print the diagnostic metrics. */
+void printMetrics(std::ostream &os, const ReportMetrics &metrics);
+
+/** |predicted - measured| / measured. */
+double relativeError(double predicted, double measured);
+
+} // namespace model
+} // namespace gpuperf
+
+#endif // GPUPERF_MODEL_REPORT_H

@@ -1,0 +1,50 @@
+#include "model/roofline.h"
+
+#include "arch/instr_class.h"
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace model {
+
+const char *
+rooflineVerdictName(RooflineVerdict verdict)
+{
+    switch (verdict) {
+      case RooflineVerdict::kComputeBound:
+        return "compute-bound";
+      case RooflineVerdict::kMemoryBound:
+        return "memory-bound";
+      case RooflineVerdict::kUnexplained:
+        return "neither (traditional model cannot explain)";
+    }
+    panic("unknown roofline verdict %d", static_cast<int>(verdict));
+}
+
+RooflineAnalysis
+analyzeRoofline(const arch::GpuSpec &spec, double flops, double bytes,
+                double seconds, double threshold)
+{
+    if (seconds <= 0.0)
+        fatal("roofline: non-positive execution time %g", seconds);
+
+    RooflineAnalysis a;
+    a.sustainedFlops = flops / seconds;
+    a.sustainedBandwidth = bytes / seconds;
+    a.peakFlops = arch::peakFlops(spec);
+    a.peakBandwidth = spec.peakGlobalBandwidth();
+    a.computeFraction = a.sustainedFlops / a.peakFlops;
+    a.memoryFraction = a.sustainedBandwidth / a.peakBandwidth;
+
+    if (a.computeFraction >= threshold &&
+        a.computeFraction >= a.memoryFraction) {
+        a.verdict = RooflineVerdict::kComputeBound;
+    } else if (a.memoryFraction >= threshold) {
+        a.verdict = RooflineVerdict::kMemoryBound;
+    } else {
+        a.verdict = RooflineVerdict::kUnexplained;
+    }
+    return a;
+}
+
+} // namespace model
+} // namespace gpuperf

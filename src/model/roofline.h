@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The traditional algorithmic-level performance model (paper Section
+ * 3), kept as the baseline our instruction-level model improves on:
+ * compare sustained compute/memory rates against peak rates and call
+ * the program compute-bound or memory-bound.
+ */
+
+#ifndef GPUPERF_MODEL_ROOFLINE_H
+#define GPUPERF_MODEL_ROOFLINE_H
+
+#include <cstdint>
+
+#include "arch/gpu_spec.h"
+
+namespace gpuperf {
+namespace model {
+
+/** Verdict of the traditional model. */
+enum class RooflineVerdict
+{
+    kComputeBound,
+    kMemoryBound,
+    /** Neither rate is close to peak — the traditional model cannot
+     *  explain the performance (e.g., the paper's tridiagonal solver
+     *  at 6 GFLOPS and 7 GB/s). */
+    kUnexplained,
+};
+
+const char *rooflineVerdictName(RooflineVerdict verdict);
+
+/** Result of the traditional analysis. */
+struct RooflineAnalysis
+{
+    double sustainedFlops = 0.0;      ///< flop/s
+    double sustainedBandwidth = 0.0;  ///< bytes/s
+    double peakFlops = 0.0;
+    double peakBandwidth = 0.0;
+    double computeFraction = 0.0;     ///< sustained / peak
+    double memoryFraction = 0.0;
+    RooflineVerdict verdict = RooflineVerdict::kUnexplained;
+};
+
+/**
+ * Apply the traditional model.
+ *
+ * @param spec      machine peaks
+ * @param flops     algorithmic floating point operations
+ * @param bytes     algorithmic global-memory bytes moved
+ * @param seconds   measured execution time
+ * @param threshold fraction of peak above which a component is
+ *                  considered binding (default 0.5)
+ */
+RooflineAnalysis analyzeRoofline(const arch::GpuSpec &spec, double flops,
+                                 double bytes, double seconds,
+                                 double threshold = 0.5);
+
+} // namespace model
+} // namespace gpuperf
+
+#endif // GPUPERF_MODEL_ROOFLINE_H

@@ -1,0 +1,42 @@
+#include "model/session.h"
+
+namespace gpuperf {
+namespace model {
+
+AnalysisSession::AnalysisSession(const arch::GpuSpec &spec,
+                                 const std::string &calibration_cache)
+    : device_(spec), calibrator_(device_), extractor_(spec),
+      model_(calibrator_)
+{
+    if (!calibration_cache.empty())
+        calibrator_.setCacheFile(calibration_cache);
+}
+
+Analysis
+AnalysisSession::analyze(const isa::Kernel &kernel,
+                         const funcsim::LaunchConfig &cfg,
+                         funcsim::GlobalMemory &gmem,
+                         funcsim::RunOptions options)
+{
+    Measurement m = device_.run(kernel, cfg, gmem, options);
+    arch::KernelResources res;
+    res.registersPerThread = kernel.numRegisters();
+    res.sharedBytesPerBlock = kernel.sharedBytes();
+    res.threadsPerBlock = cfg.blockDim;
+    return analyzeMeasured(std::move(m), res);
+}
+
+Analysis
+AnalysisSession::analyzeMeasured(Measurement measurement,
+                                 const arch::KernelResources &resources)
+{
+    Analysis a;
+    a.input = extractor_.extract(measurement.stats, resources);
+    a.prediction = model_.predict(a.input);
+    a.metrics = computeMetrics(measurement.stats);
+    a.measurement = std::move(measurement);
+    return a;
+}
+
+} // namespace model
+} // namespace gpuperf

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * AnalysisSession — the end-to-end workflow of the paper's Figure 1:
+ * functional simulation -> info extraction -> model prediction, plus a
+ * timing-simulator "measurement" for validation, behind one call.
+ */
+
+#ifndef GPUPERF_MODEL_SESSION_H
+#define GPUPERF_MODEL_SESSION_H
+
+#include <memory>
+
+#include "model/calibration.h"
+#include "model/device.h"
+#include "model/extractor.h"
+#include "model/perf_model.h"
+#include "model/report.h"
+
+namespace gpuperf {
+namespace model {
+
+/** Everything the workflow produces for one kernel launch. */
+struct Analysis
+{
+    Measurement measurement;    ///< dynamic stats + measured timing
+    ModelInput input;           ///< extracted model inputs
+    Prediction prediction;      ///< the model's prediction
+    ReportMetrics metrics;      ///< bottleneck-cause diagnostics
+
+    double measuredMs() const { return measurement.milliseconds(); }
+    double predictedMs() const { return prediction.milliseconds(); }
+    double errorFraction() const
+    {
+        return relativeError(prediction.totalSeconds,
+                             measurement.seconds());
+    }
+};
+
+/**
+ * Owns the device, calibrator and model for one machine description.
+ * Calibration runs lazily on the first analysis and is reused.
+ */
+class AnalysisSession
+{
+  public:
+    /**
+     * @param calibration_cache optional file path where calibration
+     *        tables are cached across processes ("" = no cache)
+     */
+    explicit AnalysisSession(const arch::GpuSpec &spec,
+                             const std::string &calibration_cache = "");
+
+    AnalysisSession(const AnalysisSession &) = delete;
+    AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+    /** Run the full workflow on one kernel launch. */
+    Analysis analyze(const isa::Kernel &kernel,
+                     const funcsim::LaunchConfig &cfg,
+                     funcsim::GlobalMemory &gmem,
+                     funcsim::RunOptions options = {});
+
+    /** Predict from an existing measurement (no re-execution). */
+    Analysis analyzeMeasured(Measurement measurement,
+                             const arch::KernelResources &resources);
+
+    SimulatedDevice &device() { return device_; }
+    Calibrator &calibrator() { return calibrator_; }
+    const arch::GpuSpec &spec() const { return device_.spec(); }
+
+  private:
+    SimulatedDevice device_;
+    Calibrator calibrator_;
+    InfoExtractor extractor_;
+    PerformanceModel model_;
+};
+
+} // namespace model
+} // namespace gpuperf
+
+#endif // GPUPERF_MODEL_SESSION_H

@@ -1,0 +1,78 @@
+#include "model/whatif.h"
+
+#include <algorithm>
+
+namespace gpuperf {
+namespace model {
+
+WhatIfResult
+whatIfNoBankConflicts(PerformanceModel &model, const ModelInput &input)
+{
+    WhatIfResult r;
+    r.before = model.predict(input);
+    ModelInput edited = input;
+    for (auto &s : edited.stages)
+        s.sharedTransactions = s.sharedTransactionsIdeal;
+    r.after = model.predict(edited);
+    return r;
+}
+
+WhatIfResult
+whatIfWarpsPerSm(PerformanceModel &model, const ModelInput &input,
+                 double warps)
+{
+    WhatIfResult r;
+    r.before = model.predict(input);
+    ModelInput edited = input;
+    for (auto &s : edited.stages)
+        s.activeWarpsPerSm = warps;
+    r.after = model.predict(edited);
+    return r;
+}
+
+WhatIfResult
+whatIfPerfectCoalescing(PerformanceModel &model, const ModelInput &input)
+{
+    WhatIfResult r;
+    r.before = model.predict(input);
+    ModelInput edited = input;
+    for (auto &s : edited.stages) {
+        if (s.globalBytes > 0) {
+            const double efficiency =
+                static_cast<double>(s.globalRequestBytes) /
+                static_cast<double>(s.globalBytes);
+            s.effective64Xacts *= std::min(1.0, efficiency);
+        }
+    }
+    r.after = model.predict(edited);
+    return r;
+}
+
+double
+bottleneckRemovalCeiling(const Prediction &prediction)
+{
+    if (prediction.totalSeconds <= 0.0)
+        return 1.0;
+    if (prediction.serialized) {
+        // Per stage, drop the overall bottleneck component and take
+        // the per-stage max of the remaining two.
+        double after = 0.0;
+        for (const auto &sp : prediction.stages) {
+            double best = 0.0;
+            for (Component c : {Component::kInstruction,
+                                Component::kShared, Component::kGlobal}) {
+                if (c == prediction.bottleneck)
+                    continue;
+                best = std::max(best, sp.component(c));
+            }
+            after += best;
+        }
+        return after > 0.0 ? prediction.totalSeconds / after : 1.0;
+    }
+    const double next =
+        prediction.componentTotal(prediction.nextBottleneck);
+    return next > 0.0 ? prediction.totalSeconds / next : 1.0;
+}
+
+} // namespace model
+} // namespace gpuperf

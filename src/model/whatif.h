@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quantitative what-if analysis (paper Sections 3 and 6): before
+ * spending programming effort, predict what an optimization would buy
+ * by editing the model's *inputs* — remove bank conflicts, change the
+ * warp-level parallelism, coalesce the global traffic — and
+ * re-predicting. This is how the paper decides the CR padding is worth
+ * implementing before writing it.
+ */
+
+#ifndef GPUPERF_MODEL_WHATIF_H
+#define GPUPERF_MODEL_WHATIF_H
+
+#include "model/perf_model.h"
+
+namespace gpuperf {
+namespace model {
+
+/** One hypothetical change and its predicted effect. */
+struct WhatIfResult
+{
+    Prediction before;
+    Prediction after;
+
+    double speedup() const
+    {
+        return after.totalSeconds > 0.0
+                   ? before.totalSeconds / after.totalSeconds
+                   : 1.0;
+    }
+};
+
+/**
+ * Predict the effect of removing all shared-memory bank conflicts
+ * (each stage's transactions drop to its conflict-free count) — the
+ * question answered before implementing CR-NBC.
+ */
+WhatIfResult whatIfNoBankConflicts(PerformanceModel &model,
+                                   const ModelInput &input);
+
+/**
+ * Predict the effect of running every stage at @p warps warps per SM
+ * (e.g. from raising an occupancy ceiling).
+ */
+WhatIfResult whatIfWarpsPerSm(PerformanceModel &model,
+                              const ModelInput &input, double warps);
+
+/**
+ * Predict the effect of perfectly coalesced global traffic: each
+ * stage's effective transactions shrink by the ratio of requested to
+ * transferred bytes.
+ */
+WhatIfResult whatIfPerfectCoalescing(PerformanceModel &model,
+                                     const ModelInput &input);
+
+/**
+ * Speedup if the overall bottleneck component were removed entirely
+ * and the next component became binding (the paper's "foresee the
+ * benefit of removing a certain bottleneck").
+ */
+double bottleneckRemovalCeiling(const Prediction &prediction);
+
+} // namespace model
+} // namespace gpuperf
+
+#endif // GPUPERF_MODEL_WHATIF_H

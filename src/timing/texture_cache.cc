@@ -1,0 +1,56 @@
+#include "timing/texture_cache.h"
+
+namespace gpuperf {
+namespace timing {
+
+TextureCache::TextureCache(int capacity_bytes, int line_bytes, int ways)
+    : ways_(ways)
+{
+    if (capacity_bytes <= 0 || line_bytes <= 0 || ways <= 0)
+        fatal("texture cache: bad geometry (%d B, %d B lines, %d ways)",
+              capacity_bytes, line_bytes, ways);
+    const int num_lines = capacity_bytes / line_bytes;
+    sets_ = num_lines / ways_;
+    if (sets_ <= 0)
+        fatal("texture cache: capacity %d too small for %d ways",
+              capacity_bytes, ways);
+    lines_.assign(static_cast<size_t>(sets_) * ways_, Line{});
+}
+
+bool
+TextureCache::access(uint32_t line_id, double now)
+{
+    const int set = static_cast<int>(line_id % sets_);
+    Line *base = &lines_[static_cast<size_t>(set) * ways_];
+    int victim = 0;
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].id == line_id) {
+            base[w].lastUse = now;
+            ++hits_;
+            return true;
+        }
+        if (!base[w].valid) {
+            victim = w;
+        } else if (base[victim].valid &&
+                   base[w].lastUse < base[victim].lastUse) {
+            victim = w;
+        }
+    }
+    base[victim].valid = true;
+    base[victim].id = line_id;
+    base[victim].lastUse = now;
+    ++misses_;
+    return false;
+}
+
+void
+TextureCache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace timing
+} // namespace gpuperf

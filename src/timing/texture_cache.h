@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-cluster texture cache model (set-associative, LRU).
+ *
+ * The paper's model does not include a texture cache — the authors use
+ * it only experimentally (Figure 12). This small model lets the timing
+ * simulator reproduce the +Cache variants of that figure.
+ */
+
+#ifndef GPUPERF_TIMING_TEXTURE_CACHE_H
+#define GPUPERF_TIMING_TEXTURE_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace timing {
+
+/** Simple set-associative LRU cache indexed by line id. */
+class TextureCache
+{
+  public:
+    /**
+     * @param capacity_bytes total capacity
+     * @param line_bytes     line size
+     * @param ways           associativity
+     */
+    TextureCache(int capacity_bytes, int line_bytes, int ways);
+
+    /**
+     * Access @p line_id at time @p now.
+     * @return true on hit; on miss the line is filled.
+     */
+    bool access(uint32_t line_id, double now);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+    void reset();
+
+  private:
+    struct Line
+    {
+        uint32_t id = UINT32_MAX;
+        double lastUse = -1.0;
+        bool valid = false;
+    };
+
+    int sets_;
+    int ways_;
+    std::vector<Line> lines_;   // [set * ways + way]
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace timing
+} // namespace gpuperf
+
+#endif // GPUPERF_TIMING_TEXTURE_CACHE_H

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Bank-conflict analyzer tests: the power-of-two stride pattern of
+ * cyclic reduction (paper Figure 5), broadcast, padding, and the
+ * prime-bank-count what-if.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memxact/bank_conflicts.h"
+
+namespace gpuperf {
+namespace memxact {
+namespace {
+
+/** Half-warp addresses with a word stride. */
+std::vector<uint64_t>
+strided(int stride_words, int lanes = 16)
+{
+    std::vector<uint64_t> addrs(32, 0);
+    for (int i = 0; i < lanes; ++i)
+        addrs[i] = static_cast<uint64_t>(i) * stride_words * 4;
+    return addrs;
+}
+
+uint32_t
+maskOf(int lanes)
+{
+    return lanes >= 32 ? 0xffffffffu : ((1u << lanes) - 1);
+}
+
+TEST(BankConflicts, UnitStrideIsConflictFree)
+{
+    BankConflictAnalyzer a(16, 4, 16);
+    auto addrs = strided(1);
+    EXPECT_EQ(a.analyzeGroup(addrs.data(), maskOf(16), 0, 16).degree, 1);
+}
+
+TEST(BankConflicts, StrideTwoIsTwoWay)
+{
+    BankConflictAnalyzer a(16, 4, 16);
+    auto addrs = strided(2);
+    EXPECT_EQ(a.analyzeGroup(addrs.data(), maskOf(16), 0, 16).degree, 2);
+}
+
+TEST(BankConflicts, PowerOfTwoStridesDoubleConflicts)
+{
+    // The cyclic-reduction pattern: stride 2^k gives min(2^k, 16)-way
+    // conflicts for a full half-warp (paper Section 5.2).
+    BankConflictAnalyzer a(16, 4, 16);
+    for (int k = 0; k <= 5; ++k) {
+        const int stride = 1 << k;
+        auto addrs = strided(stride);
+        EXPECT_EQ(a.analyzeGroup(addrs.data(), maskOf(16), 0, 16).degree,
+                  std::min(stride, 16))
+            << "stride " << stride;
+    }
+}
+
+TEST(BankConflicts, BroadcastSameWordIsConflictFree)
+{
+    BankConflictAnalyzer a(16, 4, 16);
+    std::vector<uint64_t> addrs(32, 128);
+    EXPECT_EQ(a.analyzeGroup(addrs.data(), maskOf(16), 0, 16).degree, 1);
+}
+
+TEST(BankConflicts, DifferentWordsSameBankConflictEvenIfFewLanes)
+{
+    BankConflictAnalyzer a(16, 4, 16);
+    // Three lanes reading words 0, 16, 32 — all bank 0.
+    std::vector<uint64_t> addrs(32, 0);
+    addrs[0] = 0;
+    addrs[1] = 16 * 4;
+    addrs[2] = 32 * 4;
+    EXPECT_EQ(a.analyzeGroup(addrs.data(), 0x7u, 0, 16).degree, 3);
+}
+
+TEST(BankConflicts, InactiveLanesDoNotConflict)
+{
+    BankConflictAnalyzer a(16, 4, 16);
+    auto addrs = strided(16);  // all same bank
+    EXPECT_EQ(a.analyzeGroup(addrs.data(), 0x1u, 0, 16).degree, 1);
+    EXPECT_EQ(a.analyzeGroup(addrs.data(), 0x0u, 0, 16).degree, 0);
+}
+
+TEST(BankConflicts, PaddingEverySixteenWordsRemovesConflicts)
+{
+    // The CR-NBC trick: index i -> i + i/16 makes power-of-two strides
+    // up to 16 conflict-free on 16 banks.
+    BankConflictAnalyzer a(16, 4, 16);
+    for (int k = 1; k <= 4; ++k) {
+        const int stride = 1 << k;
+        std::vector<uint64_t> addrs(32, 0);
+        for (int i = 0; i < 16; ++i) {
+            const int idx = i * stride;
+            addrs[i] = static_cast<uint64_t>(idx + idx / 16) * 4;
+        }
+        EXPECT_EQ(a.analyzeGroup(addrs.data(), maskOf(16), 0, 16).degree,
+                  1)
+            << "stride " << stride;
+    }
+}
+
+TEST(BankConflicts, PaddingLeavesAtMostTwoWayConflictsBeyondStride16)
+{
+    // For strides > 16 the simple padding leaves a residual 2-way
+    // conflict — a large improvement over the unpadded min(stride, 16).
+    BankConflictAnalyzer a(16, 4, 16);
+    for (int k = 5; k <= 7; ++k) {
+        const int stride = 1 << k;
+        const int lanes = 512 >> k;  // active threads in CR at this step
+        std::vector<uint64_t> addrs(32, 0);
+        for (int i = 0; i < lanes; ++i) {
+            const int idx = i * stride;
+            addrs[i] = static_cast<uint64_t>(idx + idx / 16) * 4;
+        }
+        const int degree =
+            a.analyzeGroup(addrs.data(), maskOf(lanes), 0, 16).degree;
+        EXPECT_LE(degree, 2) << "stride " << stride;
+    }
+}
+
+TEST(BankConflicts, PrimeBankCountRemovesPowerOfTwoConflicts)
+{
+    // The paper's architectural suggestion: 17 banks.
+    BankConflictAnalyzer a(17, 4, 16);
+    for (int k = 1; k <= 5; ++k) {
+        auto addrs = strided(1 << k);
+        EXPECT_EQ(a.analyzeGroup(addrs.data(), maskOf(16), 0, 16).degree,
+                  1)
+            << "stride " << (1 << k);
+    }
+}
+
+TEST(BankConflicts, WarpTransactionsSumsHalfWarps)
+{
+    BankConflictAnalyzer a(16, 4, 16);
+    auto addrs = strided(2, 32);
+    for (int i = 16; i < 32; ++i)
+        addrs[i] = static_cast<uint64_t>(i - 16) * 2 * 4;
+    EXPECT_EQ(a.warpTransactions(addrs.data(), 0xffffffffu, 32), 4);
+    // Only the first half active: one group of 2-way conflicts.
+    EXPECT_EQ(a.warpTransactions(addrs.data(), 0x0000ffffu, 32), 2);
+}
+
+TEST(BankConflicts, BankOfWrapsAroundBanks)
+{
+    BankConflictAnalyzer a(16, 4, 16);
+    EXPECT_EQ(a.bankOf(0), 0);
+    EXPECT_EQ(a.bankOf(4), 1);
+    EXPECT_EQ(a.bankOf(15 * 4), 15);
+    EXPECT_EQ(a.bankOf(16 * 4), 0);
+}
+
+class BankDegreeBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(BankDegreeBounds, DegreeIsBoundedByLanesAndBanks)
+{
+    const int banks = GetParam();
+    BankConflictAnalyzer a(banks, 4, 16);
+    uint64_t seed = 999;
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<uint64_t> addrs(32);
+        for (int i = 0; i < 32; ++i) {
+            seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+            addrs[i] = (seed >> 10) % 4096 / 4 * 4;
+        }
+        const int degree =
+            a.analyzeGroup(addrs.data(), 0xffffu, 0, 16).degree;
+        EXPECT_GE(degree, 1);
+        EXPECT_LE(degree, 16);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BankCounts, BankDegreeBounds,
+                         ::testing::Values(8, 16, 17, 32));
+
+} // namespace
+} // namespace memxact
+} // namespace gpuperf

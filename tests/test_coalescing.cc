@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Coalescing (memory transaction) simulator tests, including the
+ * protocol cases of paper Section 4.3 and property sweeps over
+ * transaction granularities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memxact/coalescing.h"
+
+namespace gpuperf {
+namespace memxact {
+namespace {
+
+std::vector<Request>
+makeRequests(std::initializer_list<uint64_t> addrs)
+{
+    std::vector<Request> reqs;
+    for (uint64_t a : addrs)
+        reqs.push_back({a, true});
+    return reqs;
+}
+
+TEST(Coalescing, FullyCoalescedHalfWarpIsOneTransaction)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    std::vector<Request> reqs;
+    for (int i = 0; i < 16; ++i)
+        reqs.push_back({static_cast<uint64_t>(i) * 4, true});
+    auto xacts = sim.coalesce(reqs, 4);
+    ASSERT_EQ(xacts.size(), 1u);
+    EXPECT_EQ(xacts[0].base, 0u);
+    EXPECT_EQ(xacts[0].bytes, 64);
+}
+
+TEST(Coalescing, SingleThreadReducesToMinimumSegment)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    auto xacts = sim.coalesce(makeRequests({400}), 4);
+    ASSERT_EQ(xacts.size(), 1u);
+    EXPECT_EQ(xacts[0].bytes, 32);
+    EXPECT_EQ(xacts[0].base % 32, 0u);
+}
+
+TEST(Coalescing, SegmentReductionPicksCoveringHalf)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    // Two accesses in the upper 32 B of a 128 B segment.
+    auto xacts = sim.coalesce(makeRequests({96, 100}), 4);
+    ASSERT_EQ(xacts.size(), 1u);
+    EXPECT_EQ(xacts[0].base, 96u);
+    EXPECT_EQ(xacts[0].bytes, 32);
+}
+
+TEST(Coalescing, StraddlingAccessesKeepLargeSegment)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    // One word in each half of a 128 B segment: cannot reduce.
+    auto xacts = sim.coalesce(makeRequests({0, 124}), 4);
+    ASSERT_EQ(xacts.size(), 1u);
+    EXPECT_EQ(xacts[0].bytes, 128);
+}
+
+TEST(Coalescing, TwoSegmentsWhenAddressesSpanBoundary)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    // Lowest thread at 120, next at 128: different 128 B segments.
+    auto xacts = sim.coalesce(makeRequests({120, 128}), 4);
+    ASSERT_EQ(xacts.size(), 2u);
+    EXPECT_EQ(xacts[0].base, 96u);   // reduced around 120
+    EXPECT_EQ(xacts[0].bytes, 32);
+    EXPECT_EQ(xacts[1].base, 128u);
+    EXPECT_EQ(xacts[1].bytes, 32);
+}
+
+TEST(Coalescing, LowestNumberedThreadLeadsService)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    // Thread 0 at a high address, thread 1 at a low one: thread 0's
+    // segment is served first.
+    auto xacts = sim.coalesce(makeRequests({1024, 0}), 4);
+    ASSERT_EQ(xacts.size(), 2u);
+    EXPECT_EQ(xacts[0].base, 1024u);
+    EXPECT_EQ(xacts[1].base, 0u);
+}
+
+TEST(Coalescing, InactiveLanesAreIgnored)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    std::vector<Request> reqs(16);
+    for (int i = 0; i < 16; ++i)
+        reqs[i] = {static_cast<uint64_t>(i) * 4096, i == 5};
+    auto xacts = sim.coalesce(reqs, 4);
+    ASSERT_EQ(xacts.size(), 1u);
+    EXPECT_EQ(xacts[0].base, 5u * 4096);
+}
+
+TEST(Coalescing, AllInactiveProducesNothing)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    std::vector<Request> reqs(16);
+    EXPECT_TRUE(sim.coalesce(reqs, 4).empty());
+}
+
+TEST(Coalescing, SameWordIsOneTransaction)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    std::vector<Request> reqs(16);
+    for (int i = 0; i < 16; ++i)
+        reqs[i] = {640, true};
+    auto xacts = sim.coalesce(reqs, 4);
+    ASSERT_EQ(xacts.size(), 1u);
+    EXPECT_EQ(xacts[0].bytes, 32);
+}
+
+TEST(Coalescing, FullyScatteredHalfWarpIsSixteenTransactions)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    std::vector<Request> reqs;
+    for (int i = 0; i < 16; ++i)
+        reqs.push_back({static_cast<uint64_t>(i) * 512, true});
+    auto xacts = sim.coalesce(reqs, 4);
+    EXPECT_EQ(xacts.size(), 16u);
+    for (const auto &x : xacts)
+        EXPECT_EQ(x.bytes, 32);
+}
+
+TEST(Coalescing, WarpSplitsIntoHalfWarps)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    uint64_t addrs[32];
+    for (int i = 0; i < 32; ++i)
+        addrs[i] = static_cast<uint64_t>(i) * 4;
+    auto xacts = sim.coalesceWarp(addrs, 0xffffffffu, 32, 4);
+    // Two half-warps, each one 64 B transaction.
+    ASSERT_EQ(xacts.size(), 2u);
+    EXPECT_EQ(xacts[0].bytes, 64);
+    EXPECT_EQ(xacts[1].bytes, 64);
+    EXPECT_EQ(xacts[1].base, 64u);
+}
+
+TEST(Coalescing, PartiallyActiveWarp)
+{
+    CoalescingSimulator sim(32, 128, 16);
+    uint64_t addrs[32];
+    for (int i = 0; i < 32; ++i)
+        addrs[i] = static_cast<uint64_t>(i) * 4;
+    // Only the first half-warp active.
+    auto xacts = sim.coalesceWarp(addrs, 0x0000ffffu, 32, 4);
+    ASSERT_EQ(xacts.size(), 1u);
+    EXPECT_EQ(xacts[0].bytes, 64);
+}
+
+TEST(Coalescing, GpuSpecConstructorUsesSpecParameters)
+{
+    arch::GpuSpec spec = arch::GpuSpec::gtx285SmallSegments(16);
+    CoalescingSimulator sim(spec);
+    EXPECT_EQ(sim.minSegmentBytes(), 16);
+    auto xacts = sim.coalesce(makeRequests({100}), 4);
+    ASSERT_EQ(xacts.size(), 1u);
+    EXPECT_EQ(xacts[0].bytes, 16);
+}
+
+TEST(Coalescing, TotalBytesSums)
+{
+    std::vector<Transaction> xacts = {{0, 32}, {64, 128}};
+    EXPECT_EQ(CoalescingSimulator::totalBytes(xacts), 160u);
+}
+
+// --- Property sweeps over granularity ---------------------------------
+
+class CoalescingGranularity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoalescingGranularity, StridedAccessTransactionCounts)
+{
+    const int gran = GetParam();
+    CoalescingSimulator sim(gran, 128, 16);
+    for (int stride_words = 1; stride_words <= 32; stride_words *= 2) {
+        std::vector<Request> reqs;
+        for (int i = 0; i < 16; ++i)
+            reqs.push_back(
+                {static_cast<uint64_t>(i) * stride_words * 4, true});
+        auto xacts = sim.coalesce(reqs, 4);
+        const uint64_t bytes = CoalescingSimulator::totalBytes(xacts);
+        // Every request must be covered.
+        EXPECT_GE(bytes, 16u * 4);
+        // Never more transactions than threads, never zero.
+        EXPECT_GE(xacts.size(), 1u);
+        EXPECT_LE(xacts.size(), 16u);
+        // All transactions aligned and within legal sizes.
+        for (const auto &x : xacts) {
+            EXPECT_EQ(x.base % x.bytes, 0u);
+            EXPECT_GE(x.bytes, gran);
+            EXPECT_LE(x.bytes, 128);
+        }
+    }
+}
+
+TEST_P(CoalescingGranularity, SmallerGranularityNeverMovesMoreBytes)
+{
+    const int gran = GetParam();
+    if (gran >= 32)
+        GTEST_SKIP() << "needs a coarser comparison point";
+    CoalescingSimulator fine(gran, 128, 16);
+    CoalescingSimulator coarse(32, 128, 16);
+    // Pseudo-random scattered pattern.
+    uint64_t addr = 12345;
+    std::vector<Request> reqs;
+    for (int i = 0; i < 16; ++i) {
+        addr = addr * 1103515245 + 12345;
+        reqs.push_back({(addr >> 8) % 65536 / 4 * 4, true});
+    }
+    EXPECT_LE(CoalescingSimulator::totalBytes(fine.coalesce(reqs, 4)),
+              CoalescingSimulator::totalBytes(coarse.coalesce(reqs, 4)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, CoalescingGranularity,
+                         ::testing::Values(4, 8, 16, 32));
+
+} // namespace
+} // namespace memxact
+} // namespace gpuperf

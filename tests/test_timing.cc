@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Timing-simulator tests: peak throughput bounds, warp-count scaling,
+ * bank-conflict slowdown, barrier behavior, block scheduling waves,
+ * memory-system behavior, and the texture cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "funcsim/interpreter.h"
+#include "isa/builder.h"
+#include "model/microbench.h"
+#include "timing/simulator.h"
+#include "timing/texture_cache.h"
+
+namespace gpuperf {
+namespace timing {
+namespace {
+
+using funcsim::FunctionalSimulator;
+using funcsim::GlobalMemory;
+using funcsim::LaunchConfig;
+using funcsim::RunOptions;
+using isa::KernelBuilder;
+using isa::Reg;
+
+arch::GpuSpec
+spec()
+{
+    return arch::GpuSpec::gtx285();
+}
+
+/** Run functionally with traces and then time the replay. */
+TimingResult
+timeKernel(const arch::GpuSpec &s, const isa::Kernel &k,
+           const LaunchConfig &cfg, GlobalMemory &gmem,
+           bool homogeneous = true)
+{
+    FunctionalSimulator fsim(s);
+    RunOptions opts;
+    opts.collectTrace = true;
+    opts.homogeneous = homogeneous;
+    auto res = fsim.run(k, cfg, gmem, opts);
+    TimingSimulator tsim(s);
+    return tsim.run(res.trace);
+}
+
+TEST(Timing, MicrobenchThroughputApproachesTypeIIPeakAtHighWarps)
+{
+    const arch::GpuSpec s = spec();
+    isa::Kernel k = model::makeInstructionBench(arch::InstrType::TypeII,
+                                                25, 24, 4096);
+    GlobalMemory gmem(8 << 20);
+    gmem.alloc(1 << 20);
+    // 16 warps per SM: one 512-thread block on each of the 30 SMs.
+    LaunchConfig cfg{s.numSms, 512};
+    FunctionalSimulator fsim(s);
+    RunOptions opts;
+    opts.collectTrace = true;
+    opts.homogeneous = true;
+    auto res = fsim.run(k, cfg, gmem, opts);
+    TimingSimulator tsim(s);
+    TimingResult tr = tsim.run(res.trace);
+
+    const double peak =
+        arch::peakThroughput(s, arch::InstrType::TypeII);
+    const double measured =
+        res.stats.totalType(arch::InstrType::TypeII) / tr.seconds;
+    EXPECT_LT(measured, peak);
+    EXPECT_GT(measured, 0.75 * peak);
+}
+
+TEST(Timing, ThroughputScalesWithWarpsThenSaturates)
+{
+    const arch::GpuSpec s = spec();
+    double prev = 0.0;
+    std::vector<double> rate(9, 0.0);
+    for (int w : {1, 2, 4, 8}) {
+        isa::Kernel k = model::makeInstructionBench(
+            arch::InstrType::TypeII, 25, 24, 4096);
+        GlobalMemory gmem(8 << 20);
+        gmem.alloc(1 << 20);
+        LaunchConfig cfg{s.numSms, 32 * w};
+        FunctionalSimulator fsim(s);
+        RunOptions opts;
+        opts.collectTrace = true;
+        opts.homogeneous = true;
+        auto res = fsim.run(k, cfg, gmem, opts);
+        TimingSimulator tsim(s);
+        TimingResult tr = tsim.run(res.trace);
+        rate[w] = res.stats.totalType(arch::InstrType::TypeII) /
+                  tr.seconds;
+        EXPECT_GT(rate[w], prev * 0.99) << w << " warps";
+        prev = rate[w];
+    }
+    // 1 -> 2 warps should be near-linear (far from saturation).
+    EXPECT_GT(rate[2], 1.7 * rate[1]);
+    // 4 -> 8 warps should show saturation (6-warp knee).
+    EXPECT_LT(rate[8], 1.6 * rate[4]);
+}
+
+TEST(Timing, FewerFunctionalUnitsMeanLowerThroughput)
+{
+    const arch::GpuSpec s = spec();
+    double rates[4] = {};
+    for (arch::InstrType type : arch::kAllInstrTypes) {
+        isa::Kernel k = model::makeInstructionBench(type, 25, 24, 4096);
+        GlobalMemory gmem(8 << 20);
+        gmem.alloc(1 << 20);
+        LaunchConfig cfg{s.numSms, 512};
+        FunctionalSimulator fsim(s);
+        RunOptions opts;
+        opts.collectTrace = true;
+        opts.homogeneous = true;
+        auto res = fsim.run(k, cfg, gmem, opts);
+        TimingSimulator tsim(s);
+        rates[static_cast<int>(type)] =
+            res.stats.totalType(type) / tsim.run(res.trace).seconds;
+    }
+    // Table 1 ordering: I > II > III > IV.
+    EXPECT_GT(rates[0], rates[1]);
+    EXPECT_GT(rates[1], rates[2]);
+    EXPECT_GT(rates[2], rates[3]);
+    // Type IV is roughly an eighth of type II (1 vs 8 units).
+    EXPECT_NEAR(rates[1] / rates[3], 8.0, 2.0);
+}
+
+TEST(Timing, BankConflictsSlowSharedAccesses)
+{
+    const arch::GpuSpec s = spec();
+    auto build = [&](int stride_shift) {
+        KernelBuilder b("smem");
+        Reg tid = b.reg();
+        Reg sa = b.reg();
+        Reg v = b.reg();
+        Reg i = b.reg();
+        isa::Pred p = b.pred();
+        b.s2r(tid, isa::SpecialReg::kTid);
+        b.shlImm(sa, tid, stride_shift);
+        b.movImm(i, 0);
+        b.beginLoop();
+        b.setpIImm(p, isa::CmpOp::kGe, i, 200);
+        b.brk(p);
+        for (int u = 0; u < 8; ++u) {
+            b.lds(v, sa, 0);
+            b.sts(sa, v, 0);
+        }
+        b.iaddImm(i, i, 1);
+        b.endLoop();
+        Reg out = b.reg();
+        b.shlImm(out, tid, 2);
+        b.iaddImm(out, out, 4096);
+        b.stg(out, v);
+        return b.build(16384 / 2);
+    };
+    GlobalMemory g1(1 << 20);
+    GlobalMemory g2(1 << 20);
+    LaunchConfig cfg{spec().numSms, 256};
+    TimingResult fast = timeKernel(s, build(2), cfg, g1);  // stride 1
+    TimingResult slow = timeKernel(s, build(5), cfg, g2);  // stride 8
+    // 8-way conflicts should be several times slower.
+    EXPECT_GT(slow.seconds, 4.0 * fast.seconds);
+}
+
+TEST(Timing, BarrierSerializesDependentStages)
+{
+    const arch::GpuSpec s = spec();
+    auto build = [&](bool with_barriers) {
+        KernelBuilder b("bars");
+        Reg x = b.reg();
+        b.movImmF(x, 1.0f);
+        for (int stage = 0; stage < 8; ++stage) {
+            for (int i = 0; i < 20; ++i)
+                b.fadd(x, x, x);
+            if (with_barriers)
+                b.bar();
+        }
+        Reg tid = b.reg();
+        Reg out = b.reg();
+        b.s2r(tid, isa::SpecialReg::kTid);
+        b.shlImm(out, tid, 2);
+        b.iaddImm(out, out, 4096);
+        b.stg(out, x);
+        return b.build(0);
+    };
+    GlobalMemory g1(1 << 20);
+    GlobalMemory g2(1 << 20);
+    LaunchConfig cfg{spec().numSms, 256};
+    TimingResult without = timeKernel(s, build(false), cfg, g1);
+    TimingResult with = timeKernel(s, build(true), cfg, g2);
+    // Barriers can only slow the kernel down.
+    EXPECT_GE(with.seconds, without.seconds);
+}
+
+TEST(Timing, MoreBlocksThanSlotsRunInWaves)
+{
+    const arch::GpuSpec s = spec();
+    isa::Kernel k = model::makeInstructionBench(arch::InstrType::TypeII,
+                                                25, 12, 4096);
+    auto run_blocks = [&](int blocks) {
+        GlobalMemory gmem(16 << 20);
+        gmem.alloc(4 << 20);
+        LaunchConfig cfg{blocks, 512};
+        return timeKernel(s, k, cfg, gmem).seconds;
+    };
+    // 512-thread blocks: two fit per SM -> 60 fill the machine.
+    const double t60 = run_blocks(60);
+    const double t120 = run_blocks(120);
+    const double t121 = run_blocks(121);
+    EXPECT_NEAR(t120 / t60, 2.0, 0.3);
+    // One leftover block forces a third (partial) wave.
+    EXPECT_GT(t121, 1.2 * t120);
+}
+
+TEST(Timing, OccupancyLimitsResidency)
+{
+    // A shared-memory-hungry kernel fits once per SM; halving its
+    // shared usage doubles residency and roughly halves runtime.
+    const arch::GpuSpec s = spec();
+    auto build = [&](int smem_bytes) {
+        KernelBuilder b("occ");
+        Reg x = b.reg();
+        b.movImmF(x, 1.0f);
+        for (int i = 0; i < 400; ++i)
+            b.fadd(x, x, x);
+        Reg tid = b.reg();
+        Reg out = b.reg();
+        b.s2r(tid, isa::SpecialReg::kTid);
+        b.shlImm(out, tid, 2);
+        b.iaddImm(out, out, 4096);
+        b.stg(out, x);
+        return b.build(smem_bytes);
+    };
+    auto run_one = [&](int smem_bytes) {
+        GlobalMemory gmem(1 << 20);
+        LaunchConfig cfg{120, 64};
+        return timeKernel(s, build(smem_bytes), cfg, gmem).seconds;
+    };
+    const double t_one_resident = run_one(12000);
+    const double t_four_resident = run_one(3000);
+    EXPECT_GT(t_one_resident, 2.0 * t_four_resident);
+}
+
+TEST(Timing, GlobalBandwidthBoundedByPeak)
+{
+    const arch::GpuSpec s = spec();
+    isa::Kernel k =
+        model::makeGlobalStreamBench(128, 8, 60 * 256, 65536, 1 << 22);
+    GlobalMemory gmem(16 << 20);
+    gmem.alloc(8 << 20);
+    LaunchConfig cfg{60, 256};
+    FunctionalSimulator fsim(s);
+    RunOptions opts;
+    opts.collectTrace = true;
+    opts.homogeneous = true;
+    auto res = fsim.run(k, cfg, gmem, opts);
+    TimingSimulator tsim(s);
+    TimingResult tr = tsim.run(res.trace);
+    double req_bytes = 0;
+    for (const auto &st : res.stats.stages)
+        req_bytes += st.globalRequestBytes;
+    const double bw = req_bytes / tr.seconds;
+    EXPECT_LT(bw, s.peakGlobalBandwidth());
+    EXPECT_GT(bw, 0.5 * s.peakGlobalBandwidth());
+}
+
+TEST(Timing, GlobalBandwidthGrowsWithBlockCount)
+{
+    const arch::GpuSpec s = spec();
+    auto bw_at = [&](int blocks) {
+        isa::Kernel k = model::makeGlobalStreamBench(
+            64, 8, blocks * 256, 65536, 1 << 22);
+        GlobalMemory gmem(16 << 20);
+        gmem.alloc(8 << 20);
+        LaunchConfig cfg{blocks, 256};
+        FunctionalSimulator fsim(s);
+        RunOptions opts;
+        opts.collectTrace = true;
+        opts.homogeneous = true;
+        auto res = fsim.run(k, cfg, gmem, opts);
+        TimingSimulator tsim(s);
+        double req = 0;
+        for (const auto &st : res.stats.stages)
+            req += st.globalRequestBytes;
+        return req / tsim.run(res.trace).seconds;
+    };
+    const double bw4 = bw_at(4);
+    const double bw20 = bw_at(20);
+    const double bw60 = bw_at(60);
+    EXPECT_GT(bw20, 2.0 * bw4);   // latency-bound region scales
+    EXPECT_GT(bw60, bw20 * 0.95); // plateau
+}
+
+TEST(TextureCache, HitsAndMissesLru)
+{
+    TextureCache tc(1024, 32, 2);  // 16 sets x 2 ways
+    EXPECT_FALSE(tc.access(0, 1.0));
+    EXPECT_TRUE(tc.access(0, 2.0));
+    // Same set (line ids congruent mod 16), 2 ways.
+    EXPECT_FALSE(tc.access(16, 3.0));
+    EXPECT_TRUE(tc.access(0, 4.0));
+    EXPECT_TRUE(tc.access(16, 5.0));
+    // Third distinct line in the set evicts the LRU (line 0).
+    EXPECT_FALSE(tc.access(32, 6.0));
+    EXPECT_TRUE(tc.access(16, 7.0));
+    EXPECT_FALSE(tc.access(0, 8.0));
+    EXPECT_EQ(tc.misses(), 4u);
+}
+
+TEST(TextureCache, ReuseSpeedsUpGatherKernels)
+{
+    // All threads gather the same small region repeatedly: with the
+    // cache enabled the port traffic collapses.
+    arch::GpuSpec cached = spec();
+    cached.textureCacheEnabled = true;
+
+    KernelBuilder b("gather");
+    Reg tid = b.reg();
+    Reg a = b.reg();
+    Reg v = b.reg();
+    Reg acc = b.reg();
+    Reg i = b.reg();
+    isa::Pred p = b.pred();
+    b.s2r(tid, isa::SpecialReg::kTid);
+    b.andImm(a, tid, 63);
+    b.shlImm(a, a, 2);
+    b.iaddImm(a, a, 65536);
+    b.movImmF(acc, 0.0f);
+    b.movImm(i, 0);
+    b.beginLoop();
+    b.setpIImm(p, isa::CmpOp::kGe, i, 100);
+    b.brk(p);
+    b.ldt(v, a, 0);
+    b.fadd(acc, acc, v);
+    b.iaddImm(i, i, 1);
+    b.endLoop();
+    Reg out = b.reg();
+    b.shlImm(out, tid, 2);
+    b.iaddImm(out, out, 4096);
+    b.stg(out, acc);
+    isa::Kernel k = b.build(0);
+
+    GlobalMemory g1(4 << 20);
+    GlobalMemory g2(4 << 20);
+    LaunchConfig cfg{60, 256};
+    TimingResult plain = timeKernel(spec(), k, cfg, g1);
+    TimingResult tex = timeKernel(cached, k, cfg, g2);
+    EXPECT_LT(tex.seconds, 0.5 * plain.seconds);
+    EXPECT_GT(tex.texHits, tex.texMisses);
+}
+
+TEST(Timing, ResultsIncludeOccupancyAndOps)
+{
+    const arch::GpuSpec s = spec();
+    isa::Kernel k = model::makeInstructionBench(arch::InstrType::TypeII,
+                                                4, 4, 4096);
+    GlobalMemory gmem(1 << 20);
+    LaunchConfig cfg{30, 64};
+    TimingResult tr = timeKernel(s, k, cfg, gmem);
+    EXPECT_GT(tr.totalOps, 0u);
+    EXPECT_GT(tr.cycles, 0.0);
+    EXPECT_EQ(tr.occupancy.residentBlocks, 8);
+}
+
+} // namespace
+} // namespace timing
+} // namespace gpuperf
