@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Batch-analysis throughput: analyses per second versus worker count
+ * for a 64-point batch (a mix of coalesced, strided and
+ * bank-conflicted kernel cases, each a full functional-sim ->
+ * extraction -> prediction -> what-if workflow). Calibration happens
+ * once, outside the timed region, and is shared by every worker —
+ * the point of the batch driver.
+ *
+ * The scaling gate this repo's CI cares about: >= 2x analyses/sec at
+ * 4 threads over 1 thread. The gate is enforced when the machine has
+ * at least 4 hardware threads; on smaller machines (e.g. single-core
+ * CI containers) thread scaling is physically impossible, so the
+ * bench still prints the table but reports the gate as not
+ * applicable.
+ */
+
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "common/thread_pool.h"
+#include "driver/batch_runner.h"
+#include "driver/demo_cases.h"
+
+using namespace gpuperf;
+
+namespace {
+
+std::vector<driver::KernelCase>
+makeBatch(int points, bool full)
+{
+    const int scale = full ? 4 : 1;
+    std::vector<driver::KernelCase> cases;
+    cases.reserve(static_cast<size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        const std::string tag = "#" + std::to_string(i);
+        switch (i % 3) {
+          case 0:
+            cases.push_back(driver::makeSaxpyCase(
+                "saxpy" + tag, (16 + 8 * (i % 4)) * scale, 256, 2.0f));
+            break;
+          case 1:
+            cases.push_back(driver::makeStridedSaxpyCase(
+                "strided" + tag, 16 * scale, 256, 1 << (1 + i % 4)));
+            break;
+          default:
+            cases.push_back(driver::makeSharedConflictCase(
+                "conflict" + tag, 8 * scale, 128, 2 << (i % 3), 48));
+            break;
+        }
+    }
+    return cases;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    const int points = 64;
+
+    printBanner(std::cout, "batch-analysis throughput vs threads");
+
+    // Calibrate once, outside the timed region; every runner below
+    // adopts this one table set.
+    std::cout << "calibrating " << spec.name
+              << " (cached across bench runs)...\n";
+    model::AnalysisSession calibration_session(spec);
+    calibration_session.calibrator().setCacheFile(
+        bench::calibrationCacheFile(spec));
+    const auto tables = calibration_session.shareCalibration();
+
+    driver::SweepSpec sweep;
+    sweep.noBankConflicts = true;
+    sweep.coalescingFractions = {1.0};
+
+    const auto cases = makeBatch(points, opts.full);
+
+    Table t({"threads", "analyses", "seconds", "analyses/sec",
+             "speedup vs 1T"});
+    double base_rate = 0.0;
+    double rate_at_4 = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+        driver::BatchRunner::Options ropts;
+        ropts.numThreads = threads;
+        driver::BatchRunner runner(ropts);
+        runner.adoptCalibration(spec, tables);
+
+        const auto start = std::chrono::steady_clock::now();
+        const auto results = runner.run(cases, {spec}, sweep);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+
+        int ok = 0;
+        for (const auto &r : results)
+            ok += r.ok ? 1 : 0;
+        if (ok != points) {
+            std::cerr << "batch had " << points - ok
+                      << " failing analyses\n";
+            return 1;
+        }
+
+        const double rate = points / elapsed.count();
+        if (threads == 1)
+            base_rate = rate;
+        if (threads == 4)
+            rate_at_4 = rate;
+        t.addRow({std::to_string(threads), std::to_string(points),
+                  Table::num(elapsed.count(), 3), Table::num(rate, 1),
+                  Table::num(rate / base_rate, 2) + "x"});
+    }
+    bench::emit(t, opts);
+
+    const double scaling = rate_at_4 / base_rate;
+    const int hw_threads = ThreadPool::resolveThreads(0);
+    std::cout << "\n4-thread scaling: " << Table::num(scaling, 2)
+              << "x on " << hw_threads
+              << " hardware threads (gate: >= 2x with >= 4 hardware "
+                 "threads)\n";
+    if (hw_threads < 4) {
+        std::cout << "gate not applicable: this machine cannot run 4 "
+                     "analyses concurrently\n";
+        return 0;
+    }
+    return scaling >= 2.0 ? 0 : 1;
+}

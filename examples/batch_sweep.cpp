@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Batch what-if sweep quickstart: evaluate several kernels against
+ * several machine variants concurrently, sharing one calibration per
+ * machine, and print each analysis with its ranked what-if results —
+ * the paper's "decide where to spend programming effort before
+ * writing the optimization" workflow (Sections 3 and 6), at batch
+ * scale.
+ *
+ * The kernel mix is chosen so different optimizations win: a
+ * coalesced SAXPY (nothing to fix), a strided SAXPY (coalescing
+ * wins), and a bank-conflicted shared-memory kernel shaped like
+ * unpadded cyclic reduction (conflict removal wins — and on the
+ * prime-bank machine variant the conflicts vanish in hardware).
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "driver/batch_runner.h"
+#include "driver/demo_cases.h"
+
+using namespace gpuperf;
+
+int
+main()
+{
+    const std::vector<arch::GpuSpec> specs = {
+        arch::GpuSpec::gtx285(),
+        arch::GpuSpec::gtx285PrimeBanks(),
+    };
+
+    std::vector<driver::KernelCase> kernels;
+    kernels.push_back(driver::makeSaxpyCase("saxpy", 32, 256, 2.0f));
+    kernels.push_back(
+        driver::makeStridedSaxpyCase("saxpy-strided", 16, 256, 8));
+    kernels.push_back(
+        driver::makeSharedConflictCase("cr-like-conflicted", 16, 128,
+                                       8));
+
+    driver::BatchRunner::Options opts;
+    opts.calibrationCacheDir = "."; // skip recalibration on reruns
+    driver::BatchRunner runner(opts);
+
+    std::cout << "Calibrating " << specs.size()
+              << " machine variants and analyzing " << kernels.size()
+              << " kernels on " << runner.numThreads()
+              << " threads...\n\n";
+
+    const driver::SweepSpec sweep =
+        driver::SweepSpec::defaults(specs[0]);
+    const auto results = runner.run(kernels, specs, sweep);
+
+    printBanner(std::cout, "batch analyses");
+    Table summary({"kernel", "machine", "measured (ms)",
+                   "predicted (ms)", "bottleneck", "best what-if",
+                   "speedup"});
+    for (const auto &r : results) {
+        if (!r.ok) {
+            summary.addRow({r.kernelName, r.specName, "-", "-",
+                            "FAILED: " + r.error, "-", "-"});
+            continue;
+        }
+        summary.addRow(
+            {r.kernelName, r.specName,
+             Table::num(r.analysis.measuredMs(), 3),
+             Table::num(r.analysis.predictedMs(), 3),
+             model::componentName(r.analysis.prediction.bottleneck),
+             r.whatifs.empty() ? "-"
+                               : r.whatifs.front().point.label(),
+             Table::num(r.bestSpeedup(), 2) + "x"});
+    }
+    summary.print(std::cout);
+
+    // Zoom in on the paper's decision: is padding the conflicted
+    // kernel worth the effort on the stock machine?
+    printBanner(std::cout,
+                "ranked what-ifs: cr-like-conflicted on GTX 285");
+    for (const auto &r : results) {
+        if (r.kernelName != "cr-like-conflicted" ||
+            r.specName != specs[0].name || !r.ok) {
+            continue;
+        }
+        Table ranked({"rank", "what-if", "predicted speedup"});
+        int rank = 1;
+        for (const auto &w : r.whatifs) {
+            ranked.addRow({std::to_string(rank++), w.point.label(),
+                           Table::num(w.speedup(), 2) + "x"});
+        }
+        ranked.print(std::cout);
+    }
+
+    std::cout << "\nThe conflicted kernel's top what-if should be "
+                 "bank-conflict removal on the stock machine, and "
+                 "close to nothing on the 17-bank variant — the "
+                 "paper's CR-padding and prime-banks stories.\n";
+    return 0;
+}

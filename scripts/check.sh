@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# One-command verification gate: configure, build, and run the full
+# gtest suite. Fails on any compile error or test failure. Future PRs
+# run this before merging.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+# Batch-throughput scaling gate (self-skips on <4 hardware threads;
+# calibration is cached in the build dir, so reruns are cheap).
+(cd "$BUILD_DIR" && ./bench_batch_throughput)
+
+echo "check.sh: all green"

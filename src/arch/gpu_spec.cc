@@ -1,5 +1,7 @@
 #include "arch/gpu_spec.h"
 
+#include <cstdio>
+
 #include "common/logging.h"
 
 namespace gpuperf {
@@ -45,6 +47,40 @@ GpuSpec::validate() const
     if (maxWarpsPerSm * warpSize < maxThreadsPerSm)
         fatal("GpuSpec '%s': warp ceiling %d cannot cover thread ceiling %d",
               name.c_str(), maxWarpsPerSm, maxThreadsPerSm);
+}
+
+std::string
+GpuSpec::fingerprint() const
+{
+    // Every field, in declaration order. Keep in sync with the struct
+    // (see the header comment on fingerprint()). The name is
+    // concatenated separately so an arbitrarily long name can never
+    // truncate the numeric fields out of the key.
+    char buf[512];
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "|sms=%d|spc=%d|sp=%d|sfum=%d|sfu=%d|dp=%d|ws=%d|clk=%.17g|"
+        "regs=%d|smem=%d|thr=%d|tpb=%d|blk=%d|warps=%d|rau=%d|sau=%d|"
+        "ssb=%d|banks=%d|bw=%d|ig=%d|mem=%.17g|bus=%d|cg=%d|seg=%d-%d|"
+        "alu=%d|shd=%d|pass=%.17g|lat=%d|ovh=%d|iss=%.17g|"
+        "tex=%d-%d-%d-%d-%d",
+        numSms, smsPerCluster, spsPerSm, sfuMulPerSm,
+        sfuPerSm, dpPerSm, warpSize, coreClockHz, registersPerSm,
+        sharedMemPerSm, maxThreadsPerSm, maxThreadsPerBlock,
+        maxBlocksPerSm, maxWarpsPerSm, registerAllocUnit,
+        sharedAllocUnit, sharedStaticPerBlock, numSharedBanks,
+        sharedBankWidth, sharedIssueGroup, memClockHz, busWidthBits,
+        coalesceGroup, minSegmentBytes, maxSegmentBytes, aluDepCycles,
+        sharedDepCycles, warpSharedPassIntervalCycles,
+        globalLatencyCycles, transactionOverheadCycles,
+        issueOverheadCycles, textureCacheEnabled ? 1 : 0,
+        textureCacheBytesPerCluster, textureCacheLineBytes,
+        textureCacheWays, textureHitLatencyCycles);
+    GPUPERF_ASSERT(n > 0 && n < static_cast<int>(sizeof(buf)),
+                   "GpuSpec fingerprint overflow");
+    // Length-prefix the free-form name so a name containing
+    // "|field=" text can never collide with another spec's fields.
+    return std::to_string(name.size()) + ":" + name + buf;
 }
 
 GpuSpec

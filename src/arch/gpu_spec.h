@@ -133,6 +133,14 @@ struct GpuSpec
     /** Validate internal consistency; fatal() on user error. */
     void validate() const;
 
+    /**
+     * Deterministic serialization of EVERY field, used to key shared
+     * calibrations: two specs with equal fingerprints behave
+     * identically under simulation and may share tables. When adding
+     * a field to this struct, add it to fingerprint() as well.
+     */
+    std::string fingerprint() const;
+
     // --- Presets -----------------------------------------------------------
     /** The paper's evaluation platform. */
     static GpuSpec gtx285();

@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -7,19 +8,21 @@
 namespace gpuperf {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Atomic so concurrent batch-analysis workers can log while another
+// thread adjusts verbosity, without a data race.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -61,7 +64,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Warn)
+    if (logLevel() < LogLevel::Warn)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -73,7 +76,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Inform)
+    if (logLevel() < LogLevel::Inform)
         return;
     va_list ap;
     va_start(ap, fmt);

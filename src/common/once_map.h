@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A keyed compute-once map: many threads may ask for the same key,
+ * the first becomes the computing thread, the rest wait on its
+ * result. Shared by the calibration memoization layers, which all
+ * need exactly this lookup-or-insert-shared_future pattern and must
+ * not each reimplement its subtle exception/retry ordering.
+ */
+
+#ifndef GPUPERF_COMMON_ONCE_MAP_H
+#define GPUPERF_COMMON_ONCE_MAP_H
+
+#include <future>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace gpuperf {
+
+/**
+ * Thread-safe map from Key to a once-computed Value.
+ *
+ * getOrCompute() runs its callback at most once per key across all
+ * threads; concurrent callers for the same key block on the first
+ * caller's result, while distinct keys compute concurrently. If the
+ * callback throws, the key is released (a later call may retry) and
+ * the exception propagates to every waiter of that attempt.
+ */
+template <typename Key, typename Value>
+class OnceMap
+{
+  public:
+    template <typename F>
+    Value getOrCompute(const Key &key, F &&compute)
+    {
+        std::promise<Value> promise;
+        std::shared_future<Value> future;
+        bool computing = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = map_.find(key);
+            if (it != map_.end()) {
+                future = it->second;
+            } else {
+                future = promise.get_future().share();
+                map_.emplace(key, future);
+                computing = true;
+            }
+        }
+        if (computing) {
+            try {
+                promise.set_value(compute());
+            } catch (...) {
+                // Un-memoize before failing the waiters so a
+                // transient error does not poison the key forever.
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    map_.erase(key);
+                }
+                promise.set_exception(std::current_exception());
+            }
+        }
+        return future.get();
+    }
+
+    /**
+     * Seed (or replace) a key with an already-known value. Intended
+     * for pre-seeding before concurrent use: replacing a key whose
+     * getOrCompute() is still in flight leaves that computation's
+     * waiters with the old value while later callers see the new one.
+     */
+    void put(const Key &key, Value value)
+    {
+        std::promise<Value> promise;
+        promise.set_value(std::move(value));
+        std::lock_guard<std::mutex> lock(mutex_);
+        map_[key] = promise.get_future().share();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::map<Key, std::shared_future<Value>> map_;
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_COMMON_ONCE_MAP_H

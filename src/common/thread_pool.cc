@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <stdexcept>
+
+namespace gpuperf {
+
+int
+ThreadPool::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    const int n = resolveThreads(num_threads);
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_)
+            throw std::runtime_error("ThreadPool: submit after shutdown");
+        queue_.push(std::move(job));
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this]() {
+                return shutdown_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // shutdown with nothing left to do
+            job = std::move(queue_.front());
+            queue_.pop();
+            ++running_;
+        }
+        job(); // packaged_task captures any exception in its future
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+        }
+        allIdle_.notify_all();
+    }
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock, [this]() {
+        return queue_.empty() && running_ == 0;
+    });
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    workAvailable_.notify_all();
+    // Serialize joiners: a second shutdown() (e.g. the destructor
+    // racing an explicit call) blocks here until the first finishes,
+    // then sees every worker already joined. join() itself is not
+    // safe to race.
+    std::lock_guard<std::mutex> join_lock(joinMutex_);
+    for (auto &w : workers_) {
+        if (w.joinable())
+            w.join();
+    }
+}
+
+} // namespace gpuperf

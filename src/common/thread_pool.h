@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A fixed-size worker pool with a mutex+condvar task queue.
+ *
+ * Deliberately simple — no work stealing, no task priorities: the
+ * batch-analysis driver submits coarse-grained, similar-cost tasks
+ * (one full analysis each), so a single FIFO queue behind one mutex is
+ * both sufficient and easy to reason about. Exceptions thrown by a
+ * task propagate through the std::future returned by submit().
+ */
+
+#ifndef GPUPERF_COMMON_THREAD_POOL_H
+#define GPUPERF_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gpuperf {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 means one worker per
+     *        hardware thread (at least one).
+     */
+    explicit ThreadPool(int num_threads = 0);
+
+    /** Joins all workers after draining already-queued tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a callable; tasks start in FIFO submission order.
+     * The returned future carries the task's result, or rethrows the
+     * exception the task threw. Throws std::runtime_error if the pool
+     * is shutting down.
+     */
+    template <typename F>
+    auto submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /** Block until the queue is empty and no task is running. */
+    void waitIdle();
+
+    /**
+     * Drain queued tasks and join all workers. Further submissions
+     * throw. Called automatically by the destructor; idempotent.
+     */
+    void shutdown();
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+    /** Resolve a requested thread count (0 = hardware concurrency). */
+    static int resolveThreads(int requested);
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    std::mutex mutex_;
+    /** Serializes concurrent shutdown() callers around join(). */
+    std::mutex joinMutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allIdle_;
+    std::queue<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    int running_ = 0;       ///< tasks currently executing
+    bool shutdown_ = false; ///< guarded by mutex_
+};
+
+} // namespace gpuperf
+
+#endif // GPUPERF_COMMON_THREAD_POOL_H

@@ -1,0 +1,255 @@
+#include "driver/batch_runner.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace driver {
+
+namespace {
+
+using TablesPtr = std::shared_ptr<const model::CalibrationTables>;
+
+using BenchMemoPtr = std::shared_ptr<model::GlobalBenchMemo>;
+
+/**
+ * One full evaluation: fresh session + memory image, analyze, sweep.
+ * Self-contained so the serial loop and the pool workers share it.
+ * @p tables and @p memo carry the per-spec shared calibration state.
+ */
+BatchResult
+evaluateOne(const KernelCase &kernel_case, const arch::GpuSpec &spec,
+            TablesPtr tables, BenchMemoPtr memo, const SweepSpec &sweep)
+{
+    BatchResult r;
+    r.kernelName = kernel_case.name;
+    r.specName = spec.name;
+    try {
+        model::AnalysisSession session(spec);
+        if (tables)
+            session.adoptCalibration(std::move(tables));
+        if (memo)
+            session.calibrator().shareGlobalMemo(std::move(memo));
+        if (!kernel_case.make)
+            throw std::runtime_error("kernel case has no factory");
+        PreparedLaunch launch = kernel_case.make();
+        if (!launch.gmem)
+            throw std::runtime_error("kernel case produced no memory");
+        r.analysis = session.analyze(launch.kernel, launch.cfg,
+                                     *launch.gmem, launch.options);
+        if (!sweep.empty()) {
+            // analyze() already predicted the unmodified input; the
+            // sweep reuses that as every hypothesis's baseline.
+            r.whatifs = runSweep(session.model(), r.analysis.input,
+                                 sweep, r.analysis.prediction);
+        }
+        r.ok = true;
+    } catch (const std::exception &e) {
+        r.ok = false;
+        r.error = e.what();
+    } catch (...) {
+        // Keep the documented contract — one bad case never aborts
+        // the batch — even for exotic non-std exceptions.
+        r.ok = false;
+        r.error = "unknown exception from kernel case";
+    }
+    return r;
+}
+
+/**
+ * Short, filesystem-safe cache-file stem for a spec key: a sanitized
+ * prefix of the spec name (for humans) plus an FNV-1a hash of the
+ * full key (for uniqueness). Keys are hundreds of characters — far
+ * past NAME_MAX — so the raw key cannot be the filename. A hash
+ * collision is harmless: the fingerprint line stored inside the
+ * cache file still validates, so the worst case is a cache miss.
+ */
+std::string
+cacheFileStem(const std::string &spec_name, const std::string &key)
+{
+    uint64_t hash = 1469598103934665603ull;
+    for (char c : key) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+
+    std::string out;
+    for (char c : spec_name.substr(0, 48)) {
+        out.push_back(
+            std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+    }
+    return out + "-" + hex;
+}
+
+} // namespace
+
+BatchRunner::BatchRunner() : BatchRunner(Options{}) {}
+
+BatchRunner::BatchRunner(Options options)
+    : options_(std::move(options)), pool_(options_.numThreads)
+{
+}
+
+std::string
+BatchRunner::specKey(const arch::GpuSpec &spec)
+{
+    // GpuSpec::fingerprint() serializes every field, so two specs
+    // that differ in anything simulation-relevant never alias.
+    return spec.fingerprint();
+}
+
+std::shared_ptr<const model::CalibrationTables>
+BatchRunner::calibrate(const arch::GpuSpec &spec,
+                       const std::string &key)
+{
+    model::AnalysisSession session(spec);
+    if (!options_.calibrationCacheDir.empty()) {
+        session.calibrator().setCacheFile(
+            options_.calibrationCacheDir + "/" +
+            cacheFileStem(spec.name, key) + ".cache");
+    }
+    return session.shareCalibration();
+}
+
+std::shared_ptr<const model::CalibrationTables>
+BatchRunner::calibrationFor(const arch::GpuSpec &spec)
+{
+    const std::string key = specKey(spec);
+    return calibrations_.getOrCompute(
+        key, [&]() { return calibrate(spec, key); });
+}
+
+std::shared_ptr<model::GlobalBenchMemo>
+BatchRunner::benchMemoFor(const std::string &key)
+{
+    return benchMemos_.getOrCompute(key, []() {
+        return std::make_shared<model::GlobalBenchMemo>();
+    });
+}
+
+void
+BatchRunner::adoptCalibration(
+    const arch::GpuSpec &spec,
+    std::shared_ptr<const model::CalibrationTables> tables)
+{
+    GPUPERF_ASSERT(tables != nullptr, "cannot adopt null tables");
+    calibrations_.put(specKey(spec), std::move(tables));
+}
+
+std::vector<BatchResult>
+BatchRunner::run(const std::vector<KernelCase> &kernels,
+                 const std::vector<arch::GpuSpec> &specs,
+                 const SweepSpec &sweep)
+{
+    // Phase 1: one calibration per distinct spec, each on its own
+    // worker. Duplicate keys coalesce inside calibrationFor().
+    //
+    // Both phases collect every future before rethrowing: the queued
+    // tasks capture references to the caller's arguments, so
+    // unwinding past a still-running task would leave workers with
+    // dangling references.
+    std::vector<TablesPtr> tables(specs.size());
+    {
+        std::vector<std::future<TablesPtr>> futures;
+        futures.reserve(specs.size());
+        for (const arch::GpuSpec &spec : specs) {
+            futures.push_back(pool_.submit(
+                [this, &spec]() { return calibrationFor(spec); }));
+        }
+        std::exception_ptr error;
+        for (size_t i = 0; i < futures.size(); ++i) {
+            try {
+                tables[i] = futures[i].get();
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+    }
+
+    // One shared synthetic-benchmark memo per spec: identical launch
+    // shapes are simulated once per batch, not once per evaluation.
+    std::vector<BenchMemoPtr> memos(specs.size());
+    for (size_t si = 0; si < specs.size(); ++si)
+        memos[si] = benchMemoFor(specKey(specs[si]));
+
+    // Phase 2: all N x M evaluations, kernel-major. Futures keep the
+    // result order deterministic however the pool schedules them.
+    std::vector<std::future<BatchResult>> futures;
+    futures.reserve(kernels.size() * specs.size());
+    for (const KernelCase &kc : kernels) {
+        for (size_t si = 0; si < specs.size(); ++si) {
+            const arch::GpuSpec &spec = specs[si];
+            TablesPtr t = tables[si];
+            BenchMemoPtr m = memos[si];
+            futures.push_back(
+                pool_.submit([&kc, &spec, t, m, &sweep]() {
+                    return evaluateOne(kc, spec, t, m, sweep);
+                }));
+        }
+    }
+
+    std::vector<BatchResult> results;
+    results.reserve(futures.size());
+    std::exception_ptr error;
+    for (auto &f : futures) {
+        try {
+            results.push_back(f.get());
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+    }
+    if (error)
+        std::rethrow_exception(error);
+    return results;
+}
+
+std::vector<BatchResult>
+runSerial(const std::vector<KernelCase> &kernels,
+          const std::vector<arch::GpuSpec> &specs,
+          const SweepSpec &sweep)
+{
+    // Share calibration state across the loop exactly like the
+    // runner does: one table set and one benchmark memo per distinct
+    // fingerprint, so duplicate specs don't recalibrate.
+    std::map<std::string, std::pair<TablesPtr, BenchMemoPtr>> shared;
+    std::vector<const std::pair<TablesPtr, BenchMemoPtr> *> per_spec;
+    per_spec.reserve(specs.size());
+    for (const arch::GpuSpec &spec : specs) {
+        auto &entry = shared[spec.fingerprint()];
+        if (!entry.first) {
+            model::AnalysisSession session(spec);
+            entry = {session.shareCalibration(),
+                     std::make_shared<model::GlobalBenchMemo>()};
+        }
+        per_spec.push_back(&entry);
+    }
+
+    std::vector<BatchResult> results;
+    results.reserve(kernels.size() * specs.size());
+    for (const KernelCase &kc : kernels) {
+        for (size_t si = 0; si < specs.size(); ++si) {
+            results.push_back(evaluateOne(kc, specs[si],
+                                          per_spec[si]->first,
+                                          per_spec[si]->second,
+                                          sweep));
+        }
+    }
+    return results;
+}
+
+} // namespace driver
+} // namespace gpuperf

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Concurrent batch analysis: evaluate N kernel cases against M GpuSpec
+ * variants (N x M full Figure-1 workflows plus an optional what-if
+ * sweep each) on a thread pool, sharing one CalibrationTables per
+ * distinct spec so the expensive microbenchmark sweep runs at most
+ * once per machine description, no matter how many kernels ride on it.
+ *
+ * Every evaluation owns its device, session and memory image, so runs
+ * are independent and the result of a batch is bit-identical to the
+ * equivalent serial loop regardless of the worker count.
+ */
+
+#ifndef GPUPERF_DRIVER_BATCH_RUNNER_H
+#define GPUPERF_DRIVER_BATCH_RUNNER_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/once_map.h"
+#include "common/thread_pool.h"
+#include "driver/sweep.h"
+#include "model/session.h"
+
+namespace gpuperf {
+namespace driver {
+
+/** A kernel launch ready to execute, with its own memory image. */
+struct PreparedLaunch
+{
+    explicit PreparedLaunch(isa::Kernel k) : kernel(std::move(k)) {}
+
+    isa::Kernel kernel;
+    funcsim::LaunchConfig cfg;
+    std::unique_ptr<funcsim::GlobalMemory> gmem;
+    funcsim::RunOptions options{};
+};
+
+/**
+ * A named, repeatable kernel case. make() is invoked once per
+ * evaluation (each spec variant gets a fresh memory image) and may run
+ * on any worker thread concurrently with other cases' factories, so it
+ * must not touch shared mutable state.
+ */
+struct KernelCase
+{
+    std::string name;
+    std::function<PreparedLaunch()> make;
+};
+
+/** Outcome of one kernel case on one spec variant. */
+struct BatchResult
+{
+    std::string kernelName;
+    std::string specName;
+
+    bool ok = false;
+    /** What went wrong when !ok (factory or analysis threw). */
+    std::string error;
+
+    model::Analysis analysis;
+    /** Sweep results, best predicted speedup first (empty sweep ok). */
+    std::vector<RankedWhatIf> whatifs;
+
+    /** Best predicted sweep speedup, or 1.0 with no sweep points. */
+    double bestSpeedup() const
+    {
+        return whatifs.empty() ? 1.0 : whatifs.front().speedup();
+    }
+};
+
+/** Runs batches of analyses on a worker pool. */
+class BatchRunner
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 = one per hardware thread. */
+        int numThreads = 0;
+        /**
+         * Directory for per-spec calibration cache files shared
+         * across processes ("" = in-memory sharing only).
+         */
+        std::string calibrationCacheDir;
+    };
+
+    BatchRunner(); ///< default Options
+    explicit BatchRunner(Options options);
+
+    /**
+     * Calibration tables for @p spec, running the microbenchmark
+     * sweep at most once per distinct spec (memoized under a mutex;
+     * safe to call from any thread).
+     */
+    std::shared_ptr<const model::CalibrationTables>
+    calibrationFor(const arch::GpuSpec &spec);
+
+    /**
+     * Pre-seed the calibration memo for @p spec with existing tables
+     * (e.g. loaded from disk, or injected by tests), so no
+     * microbenchmark sweep runs for it. Call before run() /
+     * calibrationFor() for the same spec: adopting while a
+     * calibration for that spec is already in flight leaves the two
+     * callers with different table objects.
+     */
+    void adoptCalibration(
+        const arch::GpuSpec &spec,
+        std::shared_ptr<const model::CalibrationTables> tables);
+
+    /**
+     * Evaluate every kernel case on every spec variant, applying
+     * @p sweep to each analysis. Results arrive in deterministic
+     * kernel-major order (kernels[0] x specs[0..M-1], then
+     * kernels[1] x ..., independent of the worker count). A case
+     * whose factory or analysis throws yields ok == false with the
+     * error message; it never aborts the rest of the batch.
+     */
+    std::vector<BatchResult>
+    run(const std::vector<KernelCase> &kernels,
+        const std::vector<arch::GpuSpec> &specs,
+        const SweepSpec &sweep = SweepSpec{});
+
+    int numThreads() const { return pool_.numThreads(); }
+
+  private:
+    /** Memoization key: the spec's full fingerprint. */
+    static std::string specKey(const arch::GpuSpec &spec);
+
+    /** Run the microbenchmark sweep for @p spec (no memoization). */
+    std::shared_ptr<const model::CalibrationTables>
+    calibrate(const arch::GpuSpec &spec, const std::string &key);
+
+    /** Shared synthetic-benchmark memo for a spec key (memoized). */
+    std::shared_ptr<model::GlobalBenchMemo>
+    benchMemoFor(const std::string &key);
+
+    Options options_;
+    ThreadPool pool_;
+
+    /**
+     * Compute-once per spec key: the first caller for a key
+     * calibrates, later callers (and other threads) wait on its
+     * result; distinct keys calibrate concurrently.
+     */
+    OnceMap<std::string,
+            std::shared_ptr<const model::CalibrationTables>>
+        calibrations_;
+    OnceMap<std::string, std::shared_ptr<model::GlobalBenchMemo>>
+        benchMemos_;
+};
+
+/**
+ * The serial reference implementation of BatchRunner::run(): same
+ * inputs, same result order, one evaluation at a time on the calling
+ * thread. Used by tests to pin down batch/serial equivalence and by
+ * callers that want no extra threads.
+ */
+std::vector<BatchResult>
+runSerial(const std::vector<KernelCase> &kernels,
+          const std::vector<arch::GpuSpec> &specs,
+          const SweepSpec &sweep = SweepSpec{});
+
+} // namespace driver
+} // namespace gpuperf
+
+#endif // GPUPERF_DRIVER_BATCH_RUNNER_H

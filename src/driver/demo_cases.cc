@@ -1,0 +1,180 @@
+#include "driver/demo_cases.h"
+
+#include "common/logging.h"
+#include "isa/builder.h"
+
+namespace gpuperf {
+namespace driver {
+
+namespace {
+
+/** gtid = ctaid * ntid + tid, using three fresh registers. */
+isa::Reg
+emitGlobalThreadId(isa::KernelBuilder &b)
+{
+    isa::Reg tid = b.reg();
+    isa::Reg cta = b.reg();
+    isa::Reg ntid = b.reg();
+    isa::Reg gtid = b.reg();
+    b.s2r(tid, isa::SpecialReg::kTid);
+    b.s2r(cta, isa::SpecialReg::kCtaid);
+    b.s2r(ntid, isa::SpecialReg::kNtid);
+    b.imad(gtid, cta, ntid, tid);
+    return gtid;
+}
+
+bool
+isPowerOfTwo(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+KernelCase
+makeSaxpyCase(const std::string &name, int grid_dim, int block_dim,
+              float a)
+{
+    KernelCase kc;
+    kc.name = name;
+    kc.make = [grid_dim, block_dim, a]() {
+        const int n = grid_dim * block_dim;
+        auto gmem = std::make_unique<funcsim::GlobalMemory>(
+            static_cast<size_t>(n) * 8 + (1u << 20));
+        const uint64_t x_base =
+            gmem->alloc(static_cast<size_t>(n) * 4);
+        const uint64_t y_base =
+            gmem->alloc(static_cast<size_t>(n) * 4);
+        for (int i = 0; i < n; ++i) {
+            gmem->f32(x_base)[i] = 1.0f;
+            gmem->f32(y_base)[i] = static_cast<float>(i % 5);
+        }
+
+        isa::KernelBuilder b("saxpy");
+        isa::Reg gtid = emitGlobalThreadId(b);
+        isa::Reg xa = b.reg();
+        isa::Reg ya = b.reg();
+        isa::Reg xv = b.reg();
+        isa::Reg yv = b.reg();
+        isa::Reg av = b.reg();
+        b.shlImm(xa, gtid, 2);
+        b.iaddImm(ya, xa, static_cast<int32_t>(y_base));
+        b.iaddImm(xa, xa, static_cast<int32_t>(x_base));
+        b.ldg(xv, xa);
+        b.ldg(yv, ya);
+        b.movImmF(av, a);
+        b.fmad(yv, av, xv, yv);
+        b.stg(ya, yv);
+
+        PreparedLaunch launch(b.build());
+        launch.gmem = std::move(gmem);
+        launch.cfg.gridDim = grid_dim;
+        launch.cfg.blockDim = block_dim;
+        return launch;
+    };
+    return kc;
+}
+
+KernelCase
+makeStridedSaxpyCase(const std::string &name, int grid_dim,
+                     int block_dim, int stride)
+{
+    const int n = grid_dim * block_dim;
+    GPUPERF_ASSERT(isPowerOfTwo(n) && isPowerOfTwo(stride),
+                   "strided case needs power-of-two size and stride");
+    KernelCase kc;
+    kc.name = name;
+    kc.make = [grid_dim, block_dim, stride]() {
+        const int n = grid_dim * block_dim;
+        auto gmem = std::make_unique<funcsim::GlobalMemory>(
+            static_cast<size_t>(n) * 8 + (1u << 20));
+        const uint64_t x_base =
+            gmem->alloc(static_cast<size_t>(n) * 4);
+        const uint64_t y_base =
+            gmem->alloc(static_cast<size_t>(n) * 4);
+        for (int i = 0; i < n; ++i) {
+            gmem->f32(x_base)[i] = 2.0f;
+            gmem->f32(y_base)[i] = static_cast<float>(i % 3);
+        }
+
+        isa::KernelBuilder b("saxpy-strided");
+        isa::Reg gtid = emitGlobalThreadId(b);
+        isa::Reg idx = b.reg();
+        isa::Reg xa = b.reg();
+        isa::Reg ya = b.reg();
+        isa::Reg xv = b.reg();
+        isa::Reg yv = b.reg();
+        isa::Reg av = b.reg();
+        // idx = (gtid * stride) mod n: with power-of-two n this maps
+        // `stride` threads onto each of n/stride elements, spreading
+        // every half-warp across `stride` memory segments — the
+        // uncoalesced pattern is the point; per-element output values
+        // are NOT unique per thread.
+        b.imulImm(idx, gtid, stride);
+        b.andImm(idx, idx, n - 1);
+        b.shlImm(xa, idx, 2);
+        b.iaddImm(ya, xa, static_cast<int32_t>(y_base));
+        b.iaddImm(xa, xa, static_cast<int32_t>(x_base));
+        b.ldg(xv, xa);
+        b.ldg(yv, ya);
+        b.movImmF(av, 1.5f);
+        b.fmad(yv, av, xv, yv);
+        b.stg(ya, yv);
+
+        PreparedLaunch launch(b.build());
+        launch.gmem = std::move(gmem);
+        launch.cfg.gridDim = grid_dim;
+        launch.cfg.blockDim = block_dim;
+        return launch;
+    };
+    return kc;
+}
+
+KernelCase
+makeSharedConflictCase(const std::string &name, int grid_dim,
+                       int block_dim, int stride, int iterations)
+{
+    KernelCase kc;
+    kc.name = name;
+    kc.make = [grid_dim, block_dim, stride, iterations]() {
+        const int n = grid_dim * block_dim;
+        const int shared_bytes = block_dim * stride * 4;
+        auto gmem = std::make_unique<funcsim::GlobalMemory>(
+            static_cast<size_t>(n) * 4 + (1u << 20));
+        const uint64_t out_base =
+            gmem->alloc(static_cast<size_t>(n) * 4);
+
+        isa::KernelBuilder b("shared-conflict");
+        isa::Reg gtid = emitGlobalThreadId(b);
+        isa::Reg tid = b.reg();
+        isa::Reg saddr = b.reg();
+        isa::Reg val = b.reg();
+        isa::Reg acc = b.reg();
+        isa::Reg oa = b.reg();
+        b.s2r(tid, isa::SpecialReg::kTid);
+        // shared[tid * stride]: even strides collide on the 16-bank
+        // layout exactly like unpadded cyclic reduction.
+        b.imulImm(saddr, tid, stride * 4);
+        b.movImmF(val, 1.25f);
+        b.sts(saddr, val);
+        b.bar();
+        b.movImmF(acc, 0.0f);
+        for (int i = 0; i < iterations; ++i) {
+            b.lds(val, saddr);
+            b.fadd(acc, acc, val);
+        }
+        b.shlImm(oa, gtid, 2);
+        b.iaddImm(oa, oa, static_cast<int32_t>(out_base));
+        b.stg(oa, acc);
+
+        PreparedLaunch launch(b.build(shared_bytes));
+        launch.gmem = std::move(gmem);
+        launch.cfg.gridDim = grid_dim;
+        launch.cfg.blockDim = block_dim;
+        return launch;
+    };
+    return kc;
+}
+
+} // namespace driver
+} // namespace gpuperf

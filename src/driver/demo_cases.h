@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ready-made kernel cases for the batch driver: a coalesced SAXPY, a
+ * strided (uncoalesced) SAXPY, and a bank-conflicted shared-memory
+ * kernel shaped like the paper's pre-padding cyclic reduction. Used
+ * by examples, benches and tests that need deterministic workloads
+ * with distinct bottleneck profiles without hand-building ISA.
+ */
+
+#ifndef GPUPERF_DRIVER_DEMO_CASES_H
+#define GPUPERF_DRIVER_DEMO_CASES_H
+
+#include "driver/batch_runner.h"
+
+namespace gpuperf {
+namespace driver {
+
+/**
+ * y[i] = a * x[i] + y[i] over grid*block elements, fully coalesced:
+ * instruction + global-memory mix, no shared memory.
+ */
+KernelCase makeSaxpyCase(const std::string &name, int grid_dim,
+                         int block_dim, float a);
+
+/**
+ * Like makeSaxpyCase but thread i touches element
+ * (i * stride) % n: for stride > 1 the half-warp accesses spread
+ * across segments and the coalescing what-ifs become profitable.
+ * @p stride must be a power of two.
+ */
+KernelCase makeStridedSaxpyCase(const std::string &name, int grid_dim,
+                                int block_dim, int stride);
+
+/**
+ * Each thread stores then repeatedly loads shared[tid * stride]:
+ * for even @p stride on a 16-bank machine this serializes into
+ * stride-way bank conflicts — the cyclic-reduction access pattern
+ * before padding, where the remove-bank-conflicts what-if is the
+ * optimization worth implementing.
+ */
+KernelCase makeSharedConflictCase(const std::string &name, int grid_dim,
+                                  int block_dim, int stride,
+                                  int iterations = 64);
+
+} // namespace driver
+} // namespace gpuperf
+
+#endif // GPUPERF_DRIVER_DEMO_CASES_H

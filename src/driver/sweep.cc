@@ -1,0 +1,110 @@
+#include "driver/sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace driver {
+
+std::string
+SweepPoint::label() const
+{
+    char buf[64];
+    switch (kind) {
+      case Kind::kNoBankConflicts:
+        return "remove bank conflicts";
+      case Kind::kWarpsPerSm:
+        std::snprintf(buf, sizeof(buf), "warps/SM = %g", value);
+        return buf;
+      case Kind::kCoalescingFraction:
+        std::snprintf(buf, sizeof(buf), "coalesce %g%% of waste",
+                      value * 100.0);
+        return buf;
+    }
+    panic("unknown sweep point kind %d", static_cast<int>(kind));
+}
+
+SweepSpec
+SweepSpec::defaults(const arch::GpuSpec &spec)
+{
+    SweepSpec s;
+    s.noBankConflicts = true;
+    for (int w = 4; w <= spec.maxWarpsPerSm; w *= 2)
+        s.warpsPerSm.push_back(w);
+    s.coalescingFractions = {0.5, 1.0};
+    return s;
+}
+
+std::vector<SweepPoint>
+SweepSpec::enumerate() const
+{
+    std::vector<SweepPoint> points;
+    points.reserve(size());
+    if (noBankConflicts)
+        points.push_back({SweepPoint::Kind::kNoBankConflicts, 0.0});
+    for (double w : warpsPerSm)
+        points.push_back({SweepPoint::Kind::kWarpsPerSm, w});
+    for (double f : coalescingFractions)
+        points.push_back({SweepPoint::Kind::kCoalescingFraction, f});
+    return points;
+}
+
+size_t
+SweepSpec::size() const
+{
+    return (noBankConflicts ? 1u : 0u) + warpsPerSm.size() +
+           coalescingFractions.size();
+}
+
+RankedWhatIf
+evaluatePoint(const model::PerformanceModel &model,
+              const model::ModelInput &input, const SweepPoint &point,
+              const model::Prediction &before)
+{
+    RankedWhatIf r;
+    r.point = point;
+    switch (point.kind) {
+      case SweepPoint::Kind::kNoBankConflicts:
+        r.result = model::whatIfNoBankConflicts(model, input, before);
+        break;
+      case SweepPoint::Kind::kWarpsPerSm:
+        r.result = model::whatIfWarpsPerSm(model, input, point.value,
+                                           before);
+        break;
+      case SweepPoint::Kind::kCoalescingFraction:
+        r.result = model::whatIfCoalescingFraction(
+            model, input, point.value, before);
+        break;
+    }
+    return r;
+}
+
+std::vector<RankedWhatIf>
+runSweep(const model::PerformanceModel &model,
+         const model::ModelInput &input, const SweepSpec &spec)
+{
+    if (spec.empty())
+        return {};
+    // One baseline prediction shared by every hypothesis.
+    return runSweep(model, input, spec, model.predict(input));
+}
+
+std::vector<RankedWhatIf>
+runSweep(const model::PerformanceModel &model,
+         const model::ModelInput &input, const SweepSpec &spec,
+         const model::Prediction &before)
+{
+    std::vector<RankedWhatIf> ranked;
+    for (const SweepPoint &p : spec.enumerate())
+        ranked.push_back(evaluatePoint(model, input, p, before));
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedWhatIf &a, const RankedWhatIf &b) {
+                         return a.speedup() > b.speedup();
+                     });
+    return ranked;
+}
+
+} // namespace driver
+} // namespace gpuperf

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * What-if sweep grids (the batch-analysis front half of the paper's
+ * Section 3/6 methodology): instead of asking one hypothetical
+ * question at a time, enumerate a grid of candidate optimizations —
+ * bank-conflict removal, warp-level-parallelism targets, partial
+ * coalescing recovery — evaluate all of them against one model, and
+ * return the answers ranked by predicted speedup so the most
+ * profitable programming effort is at the top of the list.
+ */
+
+#ifndef GPUPERF_DRIVER_SWEEP_H
+#define GPUPERF_DRIVER_SWEEP_H
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+#include "model/whatif.h"
+
+namespace gpuperf {
+namespace driver {
+
+/** One hypothetical input edit a sweep evaluates. */
+struct SweepPoint
+{
+    enum class Kind {
+        kNoBankConflicts,     ///< all stages at their ideal transactions
+        kWarpsPerSm,          ///< run every stage at `value` warps/SM
+        kCoalescingFraction,  ///< recover `value` of coalescing waste
+    };
+
+    Kind kind = Kind::kNoBankConflicts;
+    /** Warps per SM or recovered fraction; unused for conflicts. */
+    double value = 0.0;
+
+    /** Human-readable description, e.g. "warps/SM = 16". */
+    std::string label() const;
+};
+
+/**
+ * Declarative description of a what-if grid. The default-constructed
+ * spec is empty; defaults() gives the grid used by the batch driver
+ * when the caller has no opinion.
+ */
+struct SweepSpec
+{
+    /** Include the remove-all-bank-conflicts point. */
+    bool noBankConflicts = false;
+    /** Warp-level-parallelism targets to evaluate (warps per SM). */
+    std::vector<double> warpsPerSm;
+    /** Coalescing-waste recovery fractions in (0, 1] to evaluate. */
+    std::vector<double> coalescingFractions;
+
+    /**
+     * Conflict removal, perfect coalescing, half-recovered
+     * coalescing, and a power-of-two warp ladder up to the spec's
+     * residency ceiling.
+     */
+    static SweepSpec defaults(const arch::GpuSpec &spec);
+
+    /** Materialize the grid, in a fixed deterministic order. */
+    std::vector<SweepPoint> enumerate() const;
+
+    /** Number of points enumerate() will produce. */
+    size_t size() const;
+
+    bool empty() const { return size() == 0; }
+};
+
+/** A sweep point together with its evaluated what-if prediction. */
+struct RankedWhatIf
+{
+    SweepPoint point;
+    model::WhatIfResult result;
+
+    double speedup() const { return result.speedup(); }
+};
+
+/**
+ * Evaluate one what-if point against a model and extracted input,
+ * reusing @p before as the already-predicted baseline for @p input.
+ */
+RankedWhatIf evaluatePoint(const model::PerformanceModel &model,
+                           const model::ModelInput &input,
+                           const SweepPoint &point,
+                           const model::Prediction &before);
+
+/**
+ * Evaluate every point of @p spec and return the results ranked best
+ * predicted speedup first. Ties keep enumeration order (stable sort),
+ * so the ranking is deterministic.
+ */
+std::vector<RankedWhatIf> runSweep(const model::PerformanceModel &model,
+                                   const model::ModelInput &input,
+                                   const SweepSpec &spec);
+
+/**
+ * Like runSweep() but reusing @p before, an existing prediction of
+ * the unmodified @p input (e.g. the one analyze() already produced),
+ * instead of re-predicting the baseline.
+ */
+std::vector<RankedWhatIf> runSweep(const model::PerformanceModel &model,
+                                   const model::ModelInput &input,
+                                   const SweepSpec &spec,
+                                   const model::Prediction &before);
+
+} // namespace driver
+} // namespace gpuperf
+
+#endif // GPUPERF_DRIVER_SWEEP_H

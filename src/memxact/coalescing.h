@@ -34,7 +34,10 @@ struct Transaction
     uint64_t base = 0;   ///< segment-aligned start address
     int bytes = 0;       ///< segment size
 
-    bool operator==(const Transaction &other) const = default;
+    bool operator==(const Transaction &other) const
+    {
+        return base == other.base && bytes == other.bytes;
+    }
 };
 
 /** A thread's memory request within an access group. */

@@ -49,8 +49,24 @@ CalibrationTables::sharedBandwidth(double warps) const
 }
 
 Calibrator::Calibrator(SimulatedDevice &device)
-    : device_(device)
+    : device_(device),
+      globalMemo_(std::make_shared<GlobalBenchMemo>())
 {
+}
+
+void
+Calibrator::shareGlobalMemo(std::shared_ptr<GlobalBenchMemo> memo)
+{
+    GPUPERF_ASSERT(memo != nullptr, "cannot share a null memo");
+    std::lock_guard<std::mutex> lock(mutex_);
+    globalMemo_ = std::move(memo);
+}
+
+std::shared_ptr<GlobalBenchMemo>
+Calibrator::globalMemo() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return globalMemo_;
 }
 
 std::vector<int>
@@ -154,33 +170,39 @@ Calibrator::calibrate()
         fill_gaps(t);
     fill_gaps(tables.sharedPassThroughput);
 
-    tables_ = std::move(tables);
+    tables_ =
+        std::make_shared<const CalibrationTables>(std::move(tables));
 }
 
 void
 Calibrator::setCacheFile(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     cacheFile_ = path;
 }
 
 void
 Calibrator::setTablesForTesting(CalibrationTables tables)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tables_ =
+        std::make_shared<const CalibrationTables>(std::move(tables));
+}
+
+void
+Calibrator::adoptTables(std::shared_ptr<const CalibrationTables> tables)
+{
+    GPUPERF_ASSERT(tables != nullptr, "cannot adopt null tables");
+    std::lock_guard<std::mutex> lock(mutex_);
     tables_ = std::move(tables);
 }
 
 std::string
 Calibrator::fingerprint() const
 {
-    const arch::GpuSpec &s = device_.spec();
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "v3|%s|sms=%d|sp=%d|clk=%.0f|banks=%d|seg=%d|alu=%d|"
-                  "sh=%d|lat=%d",
-                  s.name.c_str(), s.numSms, s.spsPerSm, s.coreClockHz,
-                  s.numSharedBanks, s.minSegmentBytes, s.aluDepCycles,
-                  s.sharedDepCycles, s.globalLatencyCycles);
-    return buf;
+    // Full-spec fingerprint so a cache file can never be reused for a
+    // device that simulates differently in any way.
+    return "v4|" + device_.spec().fingerprint();
 }
 
 bool
@@ -211,7 +233,7 @@ Calibrator::loadCache()
         if (!(in >> t.sharedPassThroughput[w]))
             return false;
     }
-    tables_ = std::move(t);
+    tables_ = std::make_shared<const CalibrationTables>(std::move(t));
     return true;
 }
 
@@ -248,13 +270,20 @@ Calibrator::saveCache() const
 const CalibrationTables &
 Calibrator::tables()
 {
+    return *sharedTables();
+}
+
+std::shared_ptr<const CalibrationTables>
+Calibrator::sharedTables()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
     if (!tables_) {
         if (!loadCache()) {
             calibrate();
             saveCache();
         }
     }
-    return *tables_;
+    return tables_;
 }
 
 GlobalBenchResult
@@ -266,37 +295,40 @@ Calibrator::runGlobalBench(int blocks, int threads_per_block,
                    "global bench needs a positive configuration");
     const auto key =
         std::make_tuple(blocks, threads_per_block, requests_per_thread);
-    auto it = globalMemo_.find(key);
-    if (it != globalMemo_.end())
-        return it->second;
+    // Held across the device run: concurrent callers of THIS
+    // calibrator serialize here (one device). Calibrators for other
+    // sessions sharing only the memo run their own devices freely;
+    // the memo makes sure each key's benchmark runs once in total.
+    std::lock_guard<std::mutex> lock(mutex_);
+    return globalMemo_->getOrCompute(key, [&]() {
+        constexpr int kBatch = 8;
+        constexpr uint32_t kBufBytes = 4u << 20;
+        const int total_threads = blocks * threads_per_block;
+        const size_t slack =
+            static_cast<size_t>(kBatch) * total_threads * 4 + 4096;
 
-    constexpr int kBatch = 8;
-    constexpr uint32_t kBufBytes = 4u << 20;
-    const int total_threads = blocks * threads_per_block;
-    const size_t slack =
-        static_cast<size_t>(kBatch) * total_threads * 4 + 4096;
+        funcsim::GlobalMemory gmem(kBufBytes + slack + (1u << 20));
+        const uint64_t buf = gmem.alloc(kBufBytes + slack, 4096);
+        isa::Kernel k =
+            makeGlobalStreamBench(requests_per_thread, kBatch,
+                                  total_threads, buf, kBufBytes);
+        funcsim::LaunchConfig cfg;
+        cfg.gridDim = blocks;
+        cfg.blockDim = threads_per_block;
+        funcsim::RunOptions opts;
+        opts.homogeneous = true;
+        Measurement m = device_.run(k, cfg, gmem, opts);
 
-    funcsim::GlobalMemory gmem(kBufBytes + slack + (1u << 20));
-    const uint64_t buf = gmem.alloc(kBufBytes + slack, 4096);
-    isa::Kernel k = makeGlobalStreamBench(requests_per_thread, kBatch,
-                                          total_threads, buf, kBufBytes);
-    funcsim::LaunchConfig cfg;
-    cfg.gridDim = blocks;
-    cfg.blockDim = threads_per_block;
-    funcsim::RunOptions opts;
-    opts.homogeneous = true;
-    Measurement m = device_.run(k, cfg, gmem, opts);
-
-    GlobalBenchResult res;
-    res.seconds = m.seconds();
-    res.transactions = m.stats.totalGlobalTransactions();
-    res.requestBytes = 0;
-    for (const auto &s : m.stats.stages)
-        res.requestBytes += s.globalRequestBytes;
-    res.bandwidth = res.requestBytes / res.seconds;
-    res.xactThroughput = res.transactions / res.seconds;
-    globalMemo_[key] = res;
-    return res;
+        GlobalBenchResult res;
+        res.seconds = m.seconds();
+        res.transactions = m.stats.totalGlobalTransactions();
+        res.requestBytes = 0;
+        for (const auto &s : m.stats.stages)
+            res.requestBytes += s.globalRequestBytes;
+        res.bandwidth = res.requestBytes / res.seconds;
+        res.xactThroughput = res.transactions / res.seconds;
+        return res;
+    });
 }
 
 } // namespace model

@@ -14,12 +14,13 @@
 #define GPUPERF_MODEL_CALIBRATION_H
 
 #include <array>
-#include <map>
-#include <optional>
+#include <memory>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
 #include "arch/instr_class.h"
+#include "common/once_map.h"
 #include "model/device.h"
 
 namespace gpuperf {
@@ -59,14 +60,71 @@ struct GlobalBenchResult
     double xactThroughput = 0.0;
 };
 
-/** Runs and caches microbenchmarks on a device. */
+/**
+ * Thread-safe compute-once memo of synthetic global-benchmark
+ * results, keyed by (blocks, threads/block, requests/thread) and
+ * shareable between calibrators for the same spec: the batch driver
+ * gives all evaluations of one machine variant a single memo so each
+ * distinct launch shape is simulated once per batch, not once per
+ * session.
+ */
+using GlobalBenchMemo =
+    OnceMap<std::tuple<int, int, int>, GlobalBenchResult>;
+
+/**
+ * Runs and caches microbenchmarks on a device.
+ *
+ * Lazy calibration and the global-benchmark memo are guarded by an
+ * internal mutex, so concurrent PerformanceModel::predict() calls
+ * against one calibrator are safe (they serialize on the device).
+ * The owning device itself is not otherwise synchronized: concurrent
+ * SimulatedDevice::run() calls from outside remain the caller's
+ * responsibility.
+ */
 class Calibrator
 {
   public:
     explicit Calibrator(SimulatedDevice &device);
 
-    /** Instruction + shared tables; first call runs the benchmarks. */
+    /**
+     * Instruction + shared tables; first call runs the benchmarks.
+     * The reference stays valid only until the next adoptTables() /
+     * setTablesForTesting() on this calibrator — code that might
+     * overlap with table replacement must hold sharedTables()
+     * instead.
+     */
     const CalibrationTables &tables();
+
+    /**
+     * The tables as an immutable shared handle, so many sessions (e.g.
+     * the batch driver's per-thread sessions) can reuse one
+     * calibration without copying or re-running the sweep. First call
+     * runs the benchmarks, like tables().
+     */
+    std::shared_ptr<const CalibrationTables> sharedTables();
+
+    /**
+     * Adopt tables calibrated elsewhere (typically another session for
+     * the same GpuSpec, via sharedTables()). Skips the microbenchmark
+     * sweep entirely; the caller is responsible for spec compatibility.
+     */
+    void adoptTables(std::shared_ptr<const CalibrationTables> tables);
+
+    /** True once tables are available without further benchmarking. */
+    bool calibrated() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return tables_ != nullptr;
+    }
+
+    /**
+     * Replace this calibrator's global-benchmark memo with one shared
+     * with other calibrators for the same spec.
+     */
+    void shareGlobalMemo(std::shared_ptr<GlobalBenchMemo> memo);
+
+    /** This calibrator's memo (always non-null), for sharing onward. */
+    std::shared_ptr<GlobalBenchMemo> globalMemo() const;
 
     /**
      * Cache the tables in @p path: tables() loads them if the file
@@ -106,8 +164,10 @@ class Calibrator
     void saveCache() const;
 
     SimulatedDevice &device_;
-    std::optional<CalibrationTables> tables_;
-    std::map<std::tuple<int, int, int>, GlobalBenchResult> globalMemo_;
+    /** Guards tables_, the memo handle, cacheFile_ and device runs. */
+    mutable std::mutex mutex_;
+    std::shared_ptr<const CalibrationTables> tables_;
+    std::shared_ptr<GlobalBenchMemo> globalMemo_;
     std::string cacheFile_;
 };
 

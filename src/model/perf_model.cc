@@ -85,9 +85,13 @@ secondLargest(double t_instr, double t_shared, double t_global,
 } // namespace
 
 Prediction
-PerformanceModel::predict(const ModelInput &input)
+PerformanceModel::predict(const ModelInput &input) const
 {
-    const CalibrationTables &tables = calibrator_.tables();
+    // Hold a shared reference for the whole prediction: a concurrent
+    // adoptTables() on the calibrator must not free our tables.
+    const std::shared_ptr<const CalibrationTables> tables_ptr =
+        calibrator_.sharedTables();
+    const CalibrationTables &tables = *tables_ptr;
     Prediction pred;
     pred.serialized = input.stagesSerialized;
 

@@ -79,8 +79,15 @@ class PerformanceModel
      */
     explicit PerformanceModel(Calibrator &calibrator);
 
-    /** Predict the performance of a launch from its extracted input. */
-    Prediction predict(const ModelInput &input);
+    /**
+     * Predict the performance of a launch from its extracted input.
+     * Const so a what-if sweep can share one model. The referenced
+     * calibrator memoizes synthetic benchmarks internally under its
+     * own mutex, so concurrent predict() calls on one model are safe
+     * (they serialize on the calibrator's device when a benchmark
+     * actually runs).
+     */
+    Prediction predict(const ModelInput &input) const;
 
     /** Cap on synthetic benchmark grid size (plateau region). */
     static constexpr int kMaxSyntheticBlocks = 120;

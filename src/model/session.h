@@ -63,8 +63,24 @@ class AnalysisSession
     Analysis analyzeMeasured(Measurement measurement,
                              const arch::KernelResources &resources);
 
+    /**
+     * Share this session's calibration tables (calibrating first if
+     * needed) so other sessions for the same spec can adopt them.
+     */
+    std::shared_ptr<const CalibrationTables> shareCalibration()
+    {
+        return calibrator_.sharedTables();
+    }
+
+    /** Adopt tables calibrated by another session for the same spec. */
+    void adoptCalibration(std::shared_ptr<const CalibrationTables> t)
+    {
+        calibrator_.adoptTables(std::move(t));
+    }
+
     SimulatedDevice &device() { return device_; }
     Calibrator &calibrator() { return calibrator_; }
+    const PerformanceModel &model() const { return model_; }
     const arch::GpuSpec &spec() const { return device_.spec(); }
 
   private:

@@ -6,10 +6,12 @@ namespace gpuperf {
 namespace model {
 
 WhatIfResult
-whatIfNoBankConflicts(PerformanceModel &model, const ModelInput &input)
+whatIfNoBankConflicts(const PerformanceModel &model,
+                      const ModelInput &input,
+                      const Prediction &before)
 {
     WhatIfResult r;
-    r.before = model.predict(input);
+    r.before = before;
     ModelInput edited = input;
     for (auto &s : edited.stages)
         s.sharedTransactions = s.sharedTransactionsIdeal;
@@ -18,11 +20,18 @@ whatIfNoBankConflicts(PerformanceModel &model, const ModelInput &input)
 }
 
 WhatIfResult
-whatIfWarpsPerSm(PerformanceModel &model, const ModelInput &input,
-                 double warps)
+whatIfNoBankConflicts(const PerformanceModel &model,
+                      const ModelInput &input)
+{
+    return whatIfNoBankConflicts(model, input, model.predict(input));
+}
+
+WhatIfResult
+whatIfWarpsPerSm(const PerformanceModel &model, const ModelInput &input,
+                 double warps, const Prediction &before)
 {
     WhatIfResult r;
-    r.before = model.predict(input);
+    r.before = before;
     ModelInput edited = input;
     for (auto &s : edited.stages)
         s.activeWarpsPerSm = warps;
@@ -31,21 +40,50 @@ whatIfWarpsPerSm(PerformanceModel &model, const ModelInput &input,
 }
 
 WhatIfResult
-whatIfPerfectCoalescing(PerformanceModel &model, const ModelInput &input)
+whatIfWarpsPerSm(const PerformanceModel &model, const ModelInput &input,
+                 double warps)
 {
+    return whatIfWarpsPerSm(model, input, warps,
+                            model.predict(input));
+}
+
+WhatIfResult
+whatIfPerfectCoalescing(const PerformanceModel &model,
+                        const ModelInput &input)
+{
+    return whatIfCoalescingFraction(model, input, 1.0);
+}
+
+WhatIfResult
+whatIfCoalescingFraction(const PerformanceModel &model,
+                         const ModelInput &input, double fraction,
+                         const Prediction &before)
+{
+    const double f = std::clamp(fraction, 0.0, 1.0);
     WhatIfResult r;
-    r.before = model.predict(input);
+    r.before = before;
     ModelInput edited = input;
     for (auto &s : edited.stages) {
         if (s.globalBytes > 0) {
             const double efficiency =
-                static_cast<double>(s.globalRequestBytes) /
-                static_cast<double>(s.globalBytes);
-            s.effective64Xacts *= std::min(1.0, efficiency);
+                std::min(1.0,
+                         static_cast<double>(s.globalRequestBytes) /
+                             static_cast<double>(s.globalBytes));
+            // Interpolate between today's traffic (factor 1) and the
+            // perfectly coalesced traffic (factor = efficiency).
+            s.effective64Xacts *= (1.0 - f) + f * efficiency;
         }
     }
     r.after = model.predict(edited);
     return r;
+}
+
+WhatIfResult
+whatIfCoalescingFraction(const PerformanceModel &model,
+                         const ModelInput &input, double fraction)
+{
+    return whatIfCoalescingFraction(model, input, fraction,
+                                    model.predict(input));
 }
 
 double

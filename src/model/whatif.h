@@ -35,14 +35,14 @@ struct WhatIfResult
  * (each stage's transactions drop to its conflict-free count) — the
  * question answered before implementing CR-NBC.
  */
-WhatIfResult whatIfNoBankConflicts(PerformanceModel &model,
+WhatIfResult whatIfNoBankConflicts(const PerformanceModel &model,
                                    const ModelInput &input);
 
 /**
  * Predict the effect of running every stage at @p warps warps per SM
  * (e.g. from raising an occupancy ceiling).
  */
-WhatIfResult whatIfWarpsPerSm(PerformanceModel &model,
+WhatIfResult whatIfWarpsPerSm(const PerformanceModel &model,
                               const ModelInput &input, double warps);
 
 /**
@@ -50,8 +50,35 @@ WhatIfResult whatIfWarpsPerSm(PerformanceModel &model,
  * stage's effective transactions shrink by the ratio of requested to
  * transferred bytes.
  */
-WhatIfResult whatIfPerfectCoalescing(PerformanceModel &model,
+WhatIfResult whatIfPerfectCoalescing(const PerformanceModel &model,
                                      const ModelInput &input);
+
+/**
+ * Predict the effect of recovering @p fraction of the coalescing
+ * waste: 0.0 leaves the traffic untouched, 1.0 is
+ * whatIfPerfectCoalescing(), values in between interpolate the
+ * effective transaction count linearly. Used by sweep grids to ask
+ * "how much restructuring effort is enough?".
+ */
+WhatIfResult whatIfCoalescingFraction(const PerformanceModel &model,
+                                      const ModelInput &input,
+                                      double fraction);
+
+/**
+ * Overloads reusing a precomputed baseline prediction for @p input
+ * (sweeps over many hypotheses predict the unmodified input once,
+ * not once per hypothesis).
+ */
+WhatIfResult whatIfNoBankConflicts(const PerformanceModel &model,
+                                   const ModelInput &input,
+                                   const Prediction &before);
+WhatIfResult whatIfWarpsPerSm(const PerformanceModel &model,
+                              const ModelInput &input, double warps,
+                              const Prediction &before);
+WhatIfResult whatIfCoalescingFraction(const PerformanceModel &model,
+                                      const ModelInput &input,
+                                      double fraction,
+                                      const Prediction &before);
 
 /**
  * Speedup if the overall bottleneck component were removed entirely

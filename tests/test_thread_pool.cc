@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ThreadPool tests: FIFO task start order, result and exception
+ * propagation through futures, waitIdle, shutdown semantics, and
+ * actual concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace gpuperf {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasksInFifoOrderWithOneWorker)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i, &order]() {
+            order.push_back(i); // single worker: no race
+        }));
+    for (auto &f : futures)
+        f.get();
+    ASSERT_EQ(order.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ReturnsResultsThroughFutures)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("task failed");
+    });
+    auto good = pool.submit([]() { return 7; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A throwing task must not take the worker down with it.
+    EXPECT_EQ(good.get(), 7);
+    auto after = pool.submit([]() { return 8; });
+    EXPECT_EQ(after.get(), 8);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilQueueDrains)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&done]() {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            done.fetch_add(1);
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&done]() { done.fetch_add(1); });
+        pool.shutdown();
+        EXPECT_EQ(done.load(), 8);
+    }
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows)
+{
+    ThreadPool pool(1);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([]() {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorCompletesQueuedWork)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&done]() { done.fetch_add(1); });
+    }
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, ActuallyRunsTasksConcurrently)
+{
+    ThreadPool pool(2);
+    std::mutex m;
+    std::condition_variable cv;
+    int arrived = 0;
+    // Two tasks that can only finish once both have started: passes
+    // iff the pool really runs them on two workers at once.
+    auto rendezvous = [&]() {
+        std::unique_lock<std::mutex> lock(m);
+        ++arrived;
+        cv.notify_all();
+        cv.wait_for(lock, std::chrono::seconds(10),
+                    [&]() { return arrived >= 2; });
+        return arrived;
+    };
+    auto a = pool.submit(rendezvous);
+    auto b = pool.submit(rendezvous);
+    EXPECT_GE(a.get(), 2);
+    EXPECT_GE(b.get(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.numThreads(), 1);
+    EXPECT_EQ(pool.numThreads(), ThreadPool::resolveThreads(0));
+    auto f = pool.submit([]() { return 42; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+} // namespace
+} // namespace gpuperf
