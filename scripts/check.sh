@@ -3,20 +3,31 @@
 # gtest suite. Fails on any compile error or test failure. Future PRs
 # run this before merging.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [build-dir] [build-type]
+#   build-dir   default: build
+#   build-type  Debug | Release | RelWithDebInfo | ... (default: the
+#               build dir's existing type, or CMake's default).
+#               Debug additionally exercises the debug-only
+#               homogeneous-sampling validation in the funcsim.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+BUILD_TYPE="${2:-}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-cmake -B "$BUILD_DIR" -S .
+if [[ -n "$BUILD_TYPE" ]]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
+else
+    cmake -B "$BUILD_DIR" -S .
+fi
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
-# Batch-throughput scaling gate (self-skips on <4 hardware threads;
-# calibration is cached in the build dir, so reruns are cheap).
+# Batch-throughput gates: thread scaling (self-skips on <4 hardware
+# threads) and the >=3x warm-store profile-sharing speedup.
+# Calibration is cached in the build dir, so reruns are cheap.
 (cd "$BUILD_DIR" && ./bench_batch_throughput)
 
 echo "check.sh: all green"

@@ -83,6 +83,49 @@ GpuSpec::fingerprint() const
     return std::to_string(name.size()) + ":" + name + buf;
 }
 
+FuncsimFingerprint
+FuncsimFingerprint::of(const GpuSpec &spec)
+{
+    FuncsimFingerprint fp;
+    fp.warpSize = spec.warpSize;
+    fp.coalesceGroup = spec.coalesceGroup;
+    fp.minSegmentBytes = spec.minSegmentBytes;
+    fp.maxSegmentBytes = spec.maxSegmentBytes;
+    fp.numSharedBanks = spec.numSharedBanks;
+    fp.sharedBankWidth = spec.sharedBankWidth;
+    fp.sharedIssueGroup = spec.sharedIssueGroup;
+    fp.textureCacheLineBytes = spec.textureCacheLineBytes;
+    return fp;
+}
+
+std::string
+FuncsimFingerprint::key() const
+{
+    char buf[160];
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "ws=%d|cg=%d|seg=%d-%d|banks=%d|bw=%d|ig=%d|texline=%d",
+        warpSize, coalesceGroup, minSegmentBytes, maxSegmentBytes,
+        numSharedBanks, sharedBankWidth, sharedIssueGroup,
+        textureCacheLineBytes);
+    GPUPERF_ASSERT(n > 0 && n < static_cast<int>(sizeof(buf)),
+                   "FuncsimFingerprint key overflow");
+    return buf;
+}
+
+bool
+FuncsimFingerprint::operator==(const FuncsimFingerprint &other) const
+{
+    return warpSize == other.warpSize &&
+           coalesceGroup == other.coalesceGroup &&
+           minSegmentBytes == other.minSegmentBytes &&
+           maxSegmentBytes == other.maxSegmentBytes &&
+           numSharedBanks == other.numSharedBanks &&
+           sharedBankWidth == other.sharedBankWidth &&
+           sharedIssueGroup == other.sharedIssueGroup &&
+           textureCacheLineBytes == other.textureCacheLineBytes;
+}
+
 GpuSpec
 GpuSpec::gtx285()
 {

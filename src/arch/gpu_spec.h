@@ -158,6 +158,46 @@ struct GpuSpec
     static GpuSpec gtx285SmallSegments(int min_segment_bytes);
 };
 
+/**
+ * The slice of a GpuSpec the functional simulator reads — a sub-key of
+ * GpuSpec::fingerprint(). Two specs with equal funcsim fingerprints
+ * produce bit-identical dynamic statistics and replay traces for any
+ * kernel launch, so they may share one KernelProfile even when their
+ * timing, clock or occupancy fields differ (the launch-ceiling checks
+ * the functional simulator also performs are re-validated per spec by
+ * the profile consumer).
+ *
+ * When the functional simulator or the memory-transaction models start
+ * reading a new GpuSpec field, add it here and to key() as well —
+ * exactly like the GpuSpec::fingerprint() contract.
+ */
+struct FuncsimFingerprint
+{
+    int warpSize = 0;
+    /** Coalescing generation: group width and segment size range. */
+    int coalesceGroup = 0;
+    int minSegmentBytes = 0;
+    int maxSegmentBytes = 0;
+    /** Shared-memory organization (bank conflicts, pass counting). */
+    int numSharedBanks = 0;
+    int sharedBankWidth = 0;
+    int sharedIssueGroup = 0;
+    /** Texture line size (LDT line-id generation in traces). */
+    int textureCacheLineBytes = 0;
+
+    /** Extract the funcsim-relevant slice of @p spec. */
+    static FuncsimFingerprint of(const GpuSpec &spec);
+
+    /** Deterministic serialization, usable as a cache key component. */
+    std::string key() const;
+
+    bool operator==(const FuncsimFingerprint &other) const;
+    bool operator!=(const FuncsimFingerprint &other) const
+    {
+        return !(*this == other);
+    }
+};
+
 } // namespace arch
 } // namespace gpuperf
 

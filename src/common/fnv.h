@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The one FNV-1a implementation every content hash in the repo uses —
+ * trace interning, kernel hashes, memory-image digests, store keys.
+ * A single definition keeps the cache keys of different components
+ * from silently diverging when the hash is ever tuned.
+ */
+
+#ifndef GPUPERF_COMMON_FNV_H
+#define GPUPERF_COMMON_FNV_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gpuperf {
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Fold a byte range into @p h. */
+inline uint64_t
+fnv1a64(const void *data, size_t bytes, uint64_t h = kFnvOffsetBasis)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+inline uint64_t
+fnv1a64(const std::string &s, uint64_t h = kFnvOffsetBasis)
+{
+    return fnv1a64(s.data(), s.size(), h);
+}
+
+/**
+ * Fold one 64-bit value into @p h, hashing its little-endian byte
+ * representation (host-endianness-independent).
+ */
+inline uint64_t
+fnv1a64Value(uint64_t value, uint64_t h = kFnvOffsetBasis)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (value >> (i * 8)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace gpuperf
+
+#endif // GPUPERF_COMMON_FNV_H

@@ -10,10 +10,12 @@
 #ifndef GPUPERF_COMMON_ONCE_MAP_H
 #define GPUPERF_COMMON_ONCE_MAP_H
 
+#include <chrono>
 #include <future>
 #include <map>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace gpuperf {
 
@@ -77,8 +79,28 @@ class OnceMap
         map_[key] = promise.get_future().share();
     }
 
+    /**
+     * Copy out every key whose computation has completed (entries
+     * still in flight are skipped, not waited for). Used to persist a
+     * memo's contents; pair with put() to restore them later.
+     */
+    std::vector<std::pair<Key, Value>> snapshot() const
+    {
+        std::vector<std::pair<Key, Value>> out;
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(map_.size());
+        for (const auto &[key, future] : map_) {
+            if (future.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+                continue;
+            }
+            out.emplace_back(key, future.get());
+        }
+        return out;
+    }
+
   private:
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::map<Key, std::shared_future<Value>> map_;
 };
 

@@ -1,7 +1,5 @@
 #include "driver/batch_runner.h"
 
-#include <cctype>
-#include <cstdint>
 #include <cstdio>
 #include <future>
 #include <map>
@@ -9,6 +7,11 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "store/calibration_store.h"
+#include "store/codecs.h"
+#include "store/profile_store.h"
+#include "store/result_store.h"
+#include "store/serializer.h"
 
 namespace gpuperf {
 namespace driver {
@@ -20,43 +23,25 @@ using TablesPtr = std::shared_ptr<const model::CalibrationTables>;
 using BenchMemoPtr = std::shared_ptr<model::GlobalBenchMemo>;
 
 /**
- * One full evaluation: fresh session + memory image, analyze, sweep.
- * Self-contained so the serial loop and the pool workers share it.
- * @p tables and @p memo carry the per-spec shared calibration state.
+ * Error packaging shared by every evaluation path: run @p body,
+ * converting any exception into a failed-but-present result so one
+ * bad case never aborts the batch (even for exotic non-std
+ * exceptions).
  */
+template <typename Body>
 BatchResult
-evaluateOne(const KernelCase &kernel_case, const arch::GpuSpec &spec,
-            TablesPtr tables, BenchMemoPtr memo, const SweepSpec &sweep)
+guardedCell(const std::string &kernel_name, const std::string &spec_name,
+            Body body)
 {
     BatchResult r;
-    r.kernelName = kernel_case.name;
-    r.specName = spec.name;
+    r.kernelName = kernel_name;
+    r.specName = spec_name;
     try {
-        model::AnalysisSession session(spec);
-        if (tables)
-            session.adoptCalibration(std::move(tables));
-        if (memo)
-            session.calibrator().shareGlobalMemo(std::move(memo));
-        if (!kernel_case.make)
-            throw std::runtime_error("kernel case has no factory");
-        PreparedLaunch launch = kernel_case.make();
-        if (!launch.gmem)
-            throw std::runtime_error("kernel case produced no memory");
-        r.analysis = session.analyze(launch.kernel, launch.cfg,
-                                     *launch.gmem, launch.options);
-        if (!sweep.empty()) {
-            // analyze() already predicted the unmodified input; the
-            // sweep reuses that as every hypothesis's baseline.
-            r.whatifs = runSweep(session.model(), r.analysis.input,
-                                 sweep, r.analysis.prediction);
-        }
-        r.ok = true;
+        body(r);
     } catch (const std::exception &e) {
         r.ok = false;
         r.error = e.what();
     } catch (...) {
-        // Keep the documented contract — one bad case never aborts
-        // the batch — even for exotic non-std exceptions.
         r.ok = false;
         r.error = "unknown exception from kernel case";
     }
@@ -64,31 +49,78 @@ evaluateOne(const KernelCase &kernel_case, const arch::GpuSpec &spec,
 }
 
 /**
- * Short, filesystem-safe cache-file stem for a spec key: a sanitized
- * prefix of the spec name (for humans) plus an FNV-1a hash of the
- * full key (for uniqueness). Keys are hundreds of characters — far
- * past NAME_MAX — so the raw key cannot be the filename. A hash
- * collision is harmless: the fingerprint line stored inside the
- * cache file still validates, so the worst case is a cache miss.
+ * Shared analysis core of one cell: fresh session adopting the
+ * per-spec calibration state, one analysis from @p produce, then the
+ * sweep. Both the per-cell and the profile-sharing pipelines end
+ * here, which is what keeps them bit-identical by construction.
+ */
+void
+analyzeInto(
+    BatchResult &r, const arch::GpuSpec &spec, TablesPtr tables,
+    BenchMemoPtr memo, const SweepSpec &sweep,
+    const std::function<model::Analysis(model::AnalysisSession &)>
+        &produce)
+{
+    model::AnalysisSession session(spec);
+    if (tables)
+        session.adoptCalibration(std::move(tables));
+    if (memo)
+        session.calibrator().shareGlobalMemo(std::move(memo));
+    r.analysis = produce(session);
+    if (!sweep.empty()) {
+        // The analysis already predicted the unmodified input; the
+        // sweep reuses that as every hypothesis's baseline.
+        r.whatifs = runSweep(session.model(), r.analysis.input, sweep,
+                             r.analysis.prediction);
+    }
+    r.ok = true;
+}
+
+/**
+ * One full per-cell evaluation: fresh memory image, analyze, sweep.
+ * Self-contained so the serial loop and the pool workers share it.
+ * @p tables and @p memo carry the per-spec shared calibration state.
+ */
+BatchResult
+evaluateOne(const KernelCase &kernel_case, const arch::GpuSpec &spec,
+            TablesPtr tables, BenchMemoPtr memo, const SweepSpec &sweep)
+{
+    return guardedCell(kernel_case.name, spec.name, [&](BatchResult &r) {
+        if (!kernel_case.make)
+            throw std::runtime_error("kernel case has no factory");
+        PreparedLaunch launch = kernel_case.make();
+        if (!launch.gmem)
+            throw std::runtime_error("kernel case produced no memory");
+        analyzeInto(r, spec, std::move(tables), std::move(memo), sweep,
+                    [&](model::AnalysisSession &session) {
+                        return session.analyze(launch.kernel, launch.cfg,
+                                               *launch.gmem,
+                                               launch.options);
+                    });
+    });
+}
+
+/**
+ * Content identity of one finished cell for the persistent result
+ * store: the case name, the profile's full key (kernel hash, input
+ * hash, launch, options, funcsim fingerprint), the target spec's
+ * full fingerprint, the digest of the calibration tables the
+ * prediction used (adopted toy tables must never alias a real
+ * calibration), and the sweep grid. Any change to any of them misses
+ * and the cell recomputes.
  */
 std::string
-cacheFileStem(const std::string &spec_name, const std::string &key)
+resultKey(const std::string &case_name,
+          const funcsim::ProfileKey &profile_key,
+          const arch::GpuSpec &spec, uint64_t tables_digest,
+          const SweepSpec &sweep)
 {
-    uint64_t hash = 1469598103934665603ull;
-    for (char c : key) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 1099511628211ull;
-    }
-    char hex[17];
-    std::snprintf(hex, sizeof(hex), "%016llx",
-                  static_cast<unsigned long long>(hash));
-
-    std::string out;
-    for (char c : spec_name.substr(0, 48)) {
-        out.push_back(
-            std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
-    }
-    return out + "-" + hex;
+    char cal[32];
+    std::snprintf(cal, sizeof(cal), "%016llx",
+                  static_cast<unsigned long long>(tables_digest));
+    return std::to_string(case_name.size()) + ":" + case_name + "|" +
+           profile_key.str() + "|spec=" + spec.fingerprint() +
+           "|cal=" + cal + "|sweep=" + sweep.fingerprint();
 }
 
 } // namespace
@@ -98,7 +130,17 @@ BatchRunner::BatchRunner() : BatchRunner(Options{}) {}
 BatchRunner::BatchRunner(Options options)
     : options_(std::move(options)), pool_(options_.numThreads)
 {
+    if (!options_.storeDir.empty()) {
+        profileStore_ = std::make_unique<store::ProfileStore>(
+            options_.storeDir + "/profiles");
+        calibrationStore_ = std::make_unique<store::CalibrationStore>(
+            options_.storeDir + "/calibrations");
+        resultStore_ = std::make_unique<store::ResultStore>(
+            options_.storeDir + "/results");
+    }
 }
+
+BatchRunner::~BatchRunner() = default;
 
 std::string
 BatchRunner::specKey(const arch::GpuSpec &spec)
@@ -112,13 +154,88 @@ std::shared_ptr<const model::CalibrationTables>
 BatchRunner::calibrate(const arch::GpuSpec &spec,
                        const std::string &key)
 {
+    if (calibrationStore_) {
+        if (auto tables = calibrationStore_->load(spec))
+            return tables;
+    }
     model::AnalysisSession session(spec);
     if (!options_.calibrationCacheDir.empty()) {
         session.calibrator().setCacheFile(
             options_.calibrationCacheDir + "/" +
-            cacheFileStem(spec.name, key) + ".cache");
+            store::fileStem(spec.name, key) + ".cache");
     }
-    return session.shareCalibration();
+    auto tables = session.shareCalibration();
+    if (calibrationStore_)
+        calibrationStore_->save(spec, *tables);
+    return tables;
+}
+
+std::shared_ptr<const funcsim::KernelProfile>
+BatchRunner::profileFor(const KernelCase &kc, const arch::GpuSpec &spec)
+{
+    if (!kc.make)
+        throw std::runtime_error("kernel case has no factory");
+    PreparedLaunch launch = kc.make();
+    if (!launch.gmem)
+        throw std::runtime_error("kernel case produced no memory");
+    funcsim::RunOptions options = launch.options;
+    options.collectTrace = true;
+    // One key computation (it digests the memory image) serves both
+    // the store lookup and, on a miss, the built profile.
+    const funcsim::ProfileKey key = funcsim::makeProfileKey(
+        launch.kernel, launch.cfg, options, spec, *launch.gmem);
+    if (profileStore_) {
+        if (auto profile = profileStore_->load(key))
+            return profile;
+    }
+    funcsim::FunctionalSimulator sim(spec);
+    auto profile = std::make_shared<const funcsim::KernelProfile>(
+        funcsim::profileKernel(sim, launch.kernel, launch.cfg,
+                               *launch.gmem, options, key));
+    if (profileStore_)
+        profileStore_->save(*profile);
+    return profile;
+}
+
+BatchResult
+BatchRunner::evaluateCell(
+    const KernelCase &kc, const arch::GpuSpec &spec, TablesPtr tables,
+    BenchMemoPtr memo, const SweepSpec &sweep, uint64_t tables_digest,
+    const std::function<std::shared_ptr<const funcsim::KernelProfile>()>
+        &profile_for)
+{
+    if (!options_.shareProfiles)
+        return evaluateOne(kc, spec, std::move(tables),
+                           std::move(memo), sweep);
+
+    return guardedCell(kc.name, spec.name, [&](BatchResult &r) {
+        auto profile = profile_for();
+        std::string rkey;
+        if (resultStore_) {
+            rkey = resultKey(kc.name, profile->key, spec,
+                             tables_digest, sweep);
+        }
+        if (resultStore_ && options_.reuseStoredResults) {
+            if (auto stored = resultStore_->load(rkey)) {
+                // The stored payload is bit-identical to a recompute;
+                // names come from the current batch so a renamed case
+                // or spec can never leak a stale label (both are part
+                // of the key, so this is belt and braces).
+                stored->kernelName = kc.name;
+                stored->specName = spec.name;
+                r = std::move(*stored);
+                return;
+            }
+        }
+        analyzeInto(r, spec, std::move(tables), std::move(memo), sweep,
+                    [&](model::AnalysisSession &session) {
+                        return session.analyze(profile);
+                    });
+        // Persist regardless of reuseStoredResults: that switch gates
+        // serving, not recording — a cold run must warm the store.
+        if (resultStore_)
+            resultStore_->save(rkey, r);
+    });
 }
 
 std::shared_ptr<const model::CalibrationTables>
@@ -130,10 +247,17 @@ BatchRunner::calibrationFor(const arch::GpuSpec &spec)
 }
 
 std::shared_ptr<model::GlobalBenchMemo>
-BatchRunner::benchMemoFor(const std::string &key)
+BatchRunner::benchMemoFor(const arch::GpuSpec &spec)
 {
-    return benchMemos_.getOrCompute(key, []() {
-        return std::make_shared<model::GlobalBenchMemo>();
+    return benchMemos_.getOrCompute(specKey(spec), [&]() {
+        auto memo = std::make_shared<model::GlobalBenchMemo>();
+        if (calibrationStore_) {
+            for (auto &entry :
+                 calibrationStore_->loadBenchResults(spec)) {
+                memo->put(entry.first, entry.second);
+            }
+        }
+        return memo;
     });
 }
 
@@ -180,23 +304,58 @@ BatchRunner::run(const std::vector<KernelCase> &kernels,
     }
 
     // One shared synthetic-benchmark memo per spec: identical launch
-    // shapes are simulated once per batch, not once per evaluation.
+    // shapes are simulated once per batch, not once per evaluation
+    // (and, with a store, once per store lifetime).
     std::vector<BenchMemoPtr> memos(specs.size());
     for (size_t si = 0; si < specs.size(); ++si)
-        memos[si] = benchMemoFor(specKey(specs[si]));
+        memos[si] = benchMemoFor(specs[si]);
+
+    // Result-store keys include which calibration produced the
+    // prediction (adopted toy tables must never alias a real
+    // calibration); one digest per spec, not per cell.
+    std::vector<uint64_t> digests(specs.size(), 0);
+    if (resultStore_) {
+        for (size_t si = 0; si < specs.size(); ++si) {
+            if (tables[si])
+                digests[si] = store::tablesDigest(*tables[si]);
+        }
+    }
 
     // Phase 2: all N x M evaluations, kernel-major. Futures keep the
     // result order deterministic however the pool schedules them.
+    // Cells of one kernel share its profile through a run-local
+    // compute-once map keyed by (case position, funcsim fingerprint):
+    // the first cell to need it computes (or loads) it, concurrent
+    // cells wait on that result, cells of other kernels proceed
+    // freely. The map is scoped to this run() on purpose — a later
+    // run() with a different case list must never alias positions
+    // (the persistent store still deduplicates across runs, by
+    // content).
+    OnceMap<std::string, std::shared_ptr<const funcsim::KernelProfile>>
+        run_profiles;
     std::vector<std::future<BatchResult>> futures;
     futures.reserve(kernels.size() * specs.size());
-    for (const KernelCase &kc : kernels) {
+    for (size_t ki = 0; ki < kernels.size(); ++ki) {
+        const KernelCase &kc = kernels[ki];
         for (size_t si = 0; si < specs.size(); ++si) {
             const arch::GpuSpec &spec = specs[si];
             TablesPtr t = tables[si];
             BenchMemoPtr m = memos[si];
-            futures.push_back(
-                pool_.submit([&kc, &spec, t, m, &sweep]() {
-                    return evaluateOne(kc, spec, t, m, sweep);
+            const uint64_t digest = digests[si];
+            futures.push_back(pool_.submit(
+                [this, ki, &kc, &spec, t, m, &sweep, digest,
+                 &run_profiles]() {
+                    auto profile_for = [this, ki, &kc, &spec,
+                                        &run_profiles]() {
+                        const std::string key =
+                            std::to_string(ki) + "#" +
+                            arch::FuncsimFingerprint::of(spec).key();
+                        return run_profiles.getOrCompute(key, [&]() {
+                            return profileFor(kc, spec);
+                        });
+                    };
+                    return evaluateCell(kc, spec, t, m, sweep, digest,
+                                        profile_for);
                 }));
         }
     }
@@ -214,6 +373,19 @@ BatchRunner::run(const std::vector<KernelCase> &kernels,
     }
     if (error)
         std::rethrow_exception(error);
+
+    // Persist what the batch measured: every synthetic-benchmark
+    // result lands in the store so the next process starts warm.
+    if (calibrationStore_) {
+        std::map<std::string, size_t> distinct;
+        for (size_t si = 0; si < specs.size(); ++si)
+            distinct.emplace(specKey(specs[si]), si);
+        for (const auto &[key, si] : distinct) {
+            (void)key;
+            calibrationStore_->saveBenchResults(specs[si],
+                                                memos[si]->snapshot());
+        }
+    }
     return results;
 }
 

@@ -2,13 +2,26 @@
  * @file
  * Concurrent batch analysis: evaluate N kernel cases against M GpuSpec
  * variants (N x M full Figure-1 workflows plus an optional what-if
- * sweep each) on a thread pool, sharing one CalibrationTables per
- * distinct spec so the expensive microbenchmark sweep runs at most
- * once per machine description, no matter how many kernels ride on it.
+ * sweep each) on a thread pool, sharing per-spec calibration tables
+ * AND per-kernel functional-simulation profiles:
+ *
+ *  - one CalibrationTables per distinct spec fingerprint, so the
+ *    expensive microbenchmark sweep runs at most once per machine
+ *    description;
+ *  - one KernelProfile per (kernel case x funcsim fingerprint), so an
+ *    N x M batch runs N functional simulations instead of N x M when
+ *    the spec variants differ only in timing/occupancy fields (the
+ *    paper's Section 5 what-if studies, which reuse one Barra run per
+ *    application across model variants).
+ *
+ * With Options::storeDir set, profiles, calibrations and finished
+ * results persist on disk, so repeated batch runs skip functional
+ * simulation and calibration across process restarts (src/store/).
  *
  * Every evaluation owns its device, session and memory image, so runs
  * are independent and the result of a batch is bit-identical to the
- * equivalent serial loop regardless of the worker count.
+ * equivalent serial per-cell loop regardless of the worker count,
+ * profile sharing, or store warmth.
  */
 
 #ifndef GPUPERF_DRIVER_BATCH_RUNNER_H
@@ -22,9 +35,17 @@
 #include "common/once_map.h"
 #include "common/thread_pool.h"
 #include "driver/sweep.h"
+#include "funcsim/profile.h"
 #include "model/session.h"
 
 namespace gpuperf {
+
+namespace store {
+class CalibrationStore;
+class ProfileStore;
+class ResultStore;
+} // namespace store
+
 namespace driver {
 
 /** A kernel launch ready to execute, with its own memory image. */
@@ -81,13 +102,41 @@ class BatchRunner
         int numThreads = 0;
         /**
          * Directory for per-spec calibration cache files shared
-         * across processes ("" = in-memory sharing only).
+         * across processes ("" = in-memory sharing only). Legacy
+         * text format; prefer storeDir.
          */
         std::string calibrationCacheDir;
+        /**
+         * Root of the persistent binary store ("" = disabled).
+         * Profiles, calibration tables and finished results are
+         * kept in subdirectories and reused across process restarts;
+         * stale entries (key or format-version mismatch) are
+         * recomputed, never served.
+         */
+        std::string storeDir;
+        /**
+         * Share one functional-simulation profile per (kernel case,
+         * funcsim fingerprint) across spec variants. Off = the
+         * reference per-cell pipeline (each cell re-simulates, and
+         * the profile/result stores are bypassed — profiles are the
+         * store's currency; calibration persistence still applies).
+         * Results are bit-identical either way. Exists for
+         * benchmarking and differential testing.
+         */
+        bool shareProfiles = true;
+        /**
+         * With storeDir set, serve finished cells straight from the
+         * result store (skipping timing, extraction, prediction and
+         * sweep as well). Results remain bit-identical. Finished
+         * cells are always persisted when a store is configured;
+         * this switch only gates serving them back.
+         */
+        bool reuseStoredResults = true;
     };
 
     BatchRunner(); ///< default Options
     explicit BatchRunner(Options options);
+    ~BatchRunner();
 
     /**
      * Calibration tables for @p spec, running the microbenchmark
@@ -122,7 +171,41 @@ class BatchRunner
         const std::vector<arch::GpuSpec> &specs,
         const SweepSpec &sweep = SweepSpec{});
 
+    /**
+     * The functional-simulation profile of @p kc under @p spec's
+     * funcsim fingerprint: runs the kernel's factory, consults the
+     * profile store when one is configured, and simulates only on a
+     * store miss (then persists the result). Not memoized — run()
+     * deduplicates per batch with a run-local compute-once map, so
+     * one run() never aliases profiles across distinct case lists.
+     */
+    std::shared_ptr<const funcsim::KernelProfile>
+    profileFor(const KernelCase &kc, const arch::GpuSpec &spec);
+
+    /**
+     * Shared synthetic-benchmark memo for a spec (memoized like
+     * calibrations). With a store configured, a fresh memo is
+     * pre-seeded from the persisted benchmark results, so a warm
+     * process re-measures nothing.
+     */
+    std::shared_ptr<model::GlobalBenchMemo>
+    benchMemoFor(const arch::GpuSpec &spec);
+
     int numThreads() const { return pool_.numThreads(); }
+
+    /** The persistent stores (null when storeDir is unset). */
+    const store::ProfileStore *profileStore() const
+    {
+        return profileStore_.get();
+    }
+    const store::CalibrationStore *calibrationStore() const
+    {
+        return calibrationStore_.get();
+    }
+    const store::ResultStore *resultStore() const
+    {
+        return resultStore_.get();
+    }
 
   private:
     /** Memoization key: the spec's full fingerprint. */
@@ -132,12 +215,25 @@ class BatchRunner
     std::shared_ptr<const model::CalibrationTables>
     calibrate(const arch::GpuSpec &spec, const std::string &key);
 
-    /** Shared synthetic-benchmark memo for a spec key (memoized). */
-    std::shared_ptr<model::GlobalBenchMemo>
-    benchMemoFor(const std::string &key);
+    /**
+     * One cell: profile-sharing or per-cell pipeline per Options.
+     * @p tables_digest identifies the calibration for result-store
+     * keys (0 when no tables / no store).
+     */
+    BatchResult evaluateCell(
+        const KernelCase &kc, const arch::GpuSpec &spec,
+        std::shared_ptr<const model::CalibrationTables> tables,
+        std::shared_ptr<model::GlobalBenchMemo> memo,
+        const SweepSpec &sweep, uint64_t tables_digest,
+        const std::function<
+            std::shared_ptr<const funcsim::KernelProfile>()> &profile);
 
     Options options_;
     ThreadPool pool_;
+
+    std::unique_ptr<store::ProfileStore> profileStore_;
+    std::unique_ptr<store::CalibrationStore> calibrationStore_;
+    std::unique_ptr<store::ResultStore> resultStore_;
 
     /**
      * Compute-once per spec key: the first caller for a key

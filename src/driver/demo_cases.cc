@@ -176,5 +176,108 @@ makeSharedConflictCase(const std::string &name, int grid_dim,
     return kc;
 }
 
+KernelCase
+makeStencil1dCase(const std::string &name, int grid_dim, int block_dim)
+{
+    KernelCase kc;
+    kc.name = name;
+    kc.make = [grid_dim, block_dim]() {
+        const int n = grid_dim * block_dim;
+        // Tile of block_dim centers plus one halo word on each side.
+        const int shared_bytes = (block_dim + 2) * 4;
+        auto gmem = std::make_unique<funcsim::GlobalMemory>(
+            static_cast<size_t>(n) * 8 + (1u << 20));
+        const uint64_t x_base =
+            gmem->alloc(static_cast<size_t>(n) * 4);
+        const uint64_t y_base =
+            gmem->alloc(static_cast<size_t>(n) * 4);
+        for (int i = 0; i < n; ++i)
+            gmem->f32(x_base)[i] = static_cast<float>(i % 7) * 0.5f;
+
+        isa::KernelBuilder b("stencil1d");
+        isa::Reg tid = b.reg();
+        isa::Reg ntid = b.reg();
+        isa::Reg cta = b.reg();
+        isa::Reg gtid = b.reg();
+        b.s2r(tid, isa::SpecialReg::kTid);
+        b.s2r(ntid, isa::SpecialReg::kNtid);
+        b.s2r(cta, isa::SpecialReg::kCtaid);
+        b.imad(gtid, cta, ntid, tid);
+
+        // Center: tile[tid + 1] = x[gtid], fully coalesced.
+        isa::Reg xa = b.reg();
+        isa::Reg sa = b.reg();
+        isa::Reg v = b.reg();
+        b.shlImm(xa, gtid, 2);
+        b.iaddImm(xa, xa, static_cast<int32_t>(x_base));
+        b.ldg(v, xa);
+        b.shlImm(sa, tid, 2);
+        b.iaddImm(sa, sa, 4);
+        b.sts(sa, v);
+
+        // Left halo: thread 0 fetches x[max(gtid - 1, 0)] — the
+        // uncoalesced single-element boundary load.
+        isa::Reg zero = b.reg();
+        isa::Reg idx = b.reg();
+        isa::Reg ha = b.reg();
+        isa::Reg hv = b.reg();
+        isa::Pred p_first = b.pred();
+        b.movImm(zero, 0);
+        b.setpIImm(p_first, isa::CmpOp::kEq, tid, 0);
+        b.beginIf(p_first);
+        b.iaddImm(idx, gtid, -1);
+        b.imax(idx, idx, zero);
+        b.shlImm(ha, idx, 2);
+        b.iaddImm(ha, ha, static_cast<int32_t>(x_base));
+        b.ldg(hv, ha);
+        b.sts(zero, hv);
+        b.endIf();
+
+        // Right halo: the last thread fetches x[min(gtid + 1, n - 1)].
+        isa::Reg nmax = b.reg();
+        isa::Reg last = b.reg();
+        isa::Pred p_last = b.pred();
+        b.movImm(nmax, n - 1);
+        b.iaddImm(last, ntid, -1);
+        b.setpI(p_last, isa::CmpOp::kEq, tid, last);
+        b.beginIf(p_last);
+        b.iaddImm(idx, gtid, 1);
+        b.imin(idx, idx, nmax);
+        b.shlImm(ha, idx, 2);
+        b.iaddImm(ha, ha, static_cast<int32_t>(x_base));
+        b.ldg(hv, ha);
+        b.movImm(idx, (block_dim + 1) * 4);
+        b.sts(idx, hv);
+        b.endIf();
+
+        b.bar();
+
+        // tile[tid] + tile[tid + 1] + tile[tid + 2], scaled by 1/3.
+        isa::Reg l = b.reg();
+        isa::Reg c = b.reg();
+        isa::Reg r = b.reg();
+        isa::Reg acc = b.reg();
+        isa::Reg third = b.reg();
+        isa::Reg ya = b.reg();
+        b.lds(l, sa, -4);
+        b.lds(c, sa, 0);
+        b.lds(r, sa, 4);
+        b.fadd(acc, l, c);
+        b.fadd(acc, acc, r);
+        b.movImmF(third, 1.0f / 3.0f);
+        b.fmul(acc, acc, third);
+        b.shlImm(ya, gtid, 2);
+        b.iaddImm(ya, ya, static_cast<int32_t>(y_base));
+        b.stg(ya, acc);
+
+        PreparedLaunch launch(b.build(shared_bytes));
+        launch.gmem = std::move(gmem);
+        launch.cfg.gridDim = grid_dim;
+        launch.cfg.blockDim = block_dim;
+        return launch;
+    };
+    return kc;
+}
+
 } // namespace driver
 } // namespace gpuperf

@@ -42,6 +42,20 @@ KernelCase makeSharedConflictCase(const std::string &name, int grid_dim,
                                   int block_dim, int stride,
                                   int iterations = 64);
 
+/**
+ * 3-point Jacobi stencil (y[i] = (x[i-1] + x[i] + x[i+1]) / 3 with
+ * clamped boundaries) over grid*block elements, tiled through shared
+ * memory: every thread streams its center element into a shared tile
+ * (fully coalesced), the block's edge threads fetch the two halo
+ * elements from global memory under divergent IFs, and after a
+ * barrier each thread reads three neighbouring tile words
+ * (conflict-free on stride-1 banks). Exercises coalesced + halo
+ * traffic, divergence and a two-stage barrier structure — a traffic
+ * pattern none of matmul/SpMV/tridiag cover.
+ */
+KernelCase makeStencil1dCase(const std::string &name, int grid_dim,
+                             int block_dim);
+
 } // namespace driver
 } // namespace gpuperf
 

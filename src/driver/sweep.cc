@@ -58,6 +58,23 @@ SweepSpec::size() const
            coalescingFractions.size();
 }
 
+std::string
+SweepSpec::fingerprint() const
+{
+    std::string out = noBankConflicts ? "nbc=1|warps=" : "nbc=0|warps=";
+    char buf[32];
+    for (double w : warpsPerSm) {
+        std::snprintf(buf, sizeof(buf), "%.17g,", w);
+        out += buf;
+    }
+    out += "|coal=";
+    for (double f : coalescingFractions) {
+        std::snprintf(buf, sizeof(buf), "%.17g,", f);
+        out += buf;
+    }
+    return out;
+}
+
 RankedWhatIf
 evaluatePoint(const model::PerformanceModel &model,
               const model::ModelInput &input, const SweepPoint &point,

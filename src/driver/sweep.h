@@ -66,6 +66,13 @@ struct SweepSpec
     size_t size() const;
 
     bool empty() const { return size() == 0; }
+
+    /**
+     * Deterministic serialization of the grid, used as a component of
+     * persistent result-store keys: two sweeps with equal fingerprints
+     * produce the same what-if list for any input.
+     */
+    std::string fingerprint() const;
 };
 
 /** A sweep point together with its evaluated what-if prediction. */

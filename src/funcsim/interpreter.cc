@@ -883,22 +883,69 @@ FunctionalSimulator::run(const isa::Kernel &kernel, const LaunchConfig &cfg,
     std::vector<double> active_sums;   // per stage, summed over blocks
     size_t num_stages = 0;
 
+    // Debug builds validate the homogeneity claim instead of trusting
+    // it: every sampled block (and one probe block beyond the sample,
+    // see below) must reproduce block 0's per-stage statistics and
+    // per-warp trace hashes exactly, or replicating block 0's behaviour
+    // across the grid would fabricate statistics.
+    std::vector<StageStats> first_stages;
+    std::vector<double> first_active;
+    std::vector<uint64_t> first_hashes;
+    const bool validate_homogeneous =
+#ifndef NDEBUG
+        options.homogeneous;
+#else
+        false;
+#endif
+    auto check_homogeneous = [&](int block_id,
+                                 const std::vector<StageStats> &stages_b,
+                                 const std::vector<double> &active_b,
+                                 const std::vector<WarpTrace> *traces_b) {
+        if (stages_b != first_stages || active_b != first_active)
+            fatal("kernel '%s': homogeneous sampling is invalid — "
+                  "block %d's per-stage statistics differ from "
+                  "block 0's", kernel.name().c_str(), block_id);
+        if (!traces_b)
+            return;
+        GPUPERF_ASSERT(traces_b->size() == first_hashes.size(),
+                       "warp count changed between blocks");
+        for (size_t w = 0; w < traces_b->size(); ++w) {
+            if ((*traces_b)[w].hash() != first_hashes[w])
+                fatal("kernel '%s': homogeneous sampling is invalid — "
+                      "block %d warp %zu's trace differs from "
+                      "block 0's", kernel.name().c_str(), block_id, w);
+        }
+    };
+
     for (int b = 0; b < sample; ++b) {
         std::vector<StageStats> block_stages;
         std::vector<double> block_active;
         std::vector<WarpTrace> warp_traces;
+        const bool want_traces =
+            options.collectTrace || (validate_homogeneous && sample > 1);
         executor.run(b, block_stages, block_active,
-                     options.collectTrace ? &warp_traces : nullptr);
+                     want_traces ? &warp_traces : nullptr);
 
         if (b == 0) {
             num_stages = block_stages.size();
             stats.stages.resize(num_stages);
             active_sums.assign(num_stages, 0.0);
+            if (validate_homogeneous &&
+                (sample > 1 || sample < cfg.gridDim)) {
+                first_stages = block_stages;
+                first_active = block_active;
+                first_hashes.reserve(warp_traces.size());
+                for (const WarpTrace &wt : warp_traces)
+                    first_hashes.push_back(wt.hash());
+            }
         } else if (block_stages.size() != num_stages) {
             fatal("kernel '%s': block %d executed %zu stages, block 0 "
                   "executed %zu — grids must have a uniform barrier "
                   "structure", kernel.name().c_str(), b,
                   block_stages.size(), num_stages);
+        } else if (validate_homogeneous) {
+            check_homogeneous(b, block_stages, block_active,
+                              want_traces ? &warp_traces : nullptr);
         }
         for (size_t s = 0; s < num_stages; ++s) {
             stats.stages[s].accumulate(block_stages[s]);
@@ -911,6 +958,27 @@ FunctionalSimulator::run(const isa::Kernel &kernel, const LaunchConfig &cfg,
                     trace.intern(std::move(wt)));
             }
         }
+    }
+
+    // Probe one block outside the sample (the grid's last): a kernel
+    // whose behaviour depends on the block id beyond the sampled
+    // prefix — the exact bug homogeneous sampling would silently bake
+    // into the statistics — is caught here. The probe's statistics are
+    // discarded; its stores land in gmem, which homogeneous mode
+    // already documents as not producing non-sampled blocks' memory.
+    if (validate_homogeneous && sample < cfg.gridDim) {
+        std::vector<StageStats> probe_stages;
+        std::vector<double> probe_active;
+        std::vector<WarpTrace> probe_traces;
+        executor.run(cfg.gridDim - 1, probe_stages, probe_active,
+                     &probe_traces);
+        if (probe_stages.size() != num_stages)
+            fatal("kernel '%s': homogeneous sampling is invalid — "
+                  "block %d executed %zu stages, block 0 executed %zu",
+                  kernel.name().c_str(), cfg.gridDim - 1,
+                  probe_stages.size(), num_stages);
+        check_homogeneous(cfg.gridDim - 1, probe_stages, probe_active,
+                          first_hashes.empty() ? nullptr : &probe_traces);
     }
 
     // Scale sampled statistics up to the full grid.

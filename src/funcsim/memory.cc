@@ -1,5 +1,7 @@
 #include "funcsim/memory.h"
 
+#include "common/fnv.h"
+
 namespace gpuperf {
 namespace funcsim {
 
@@ -21,6 +23,32 @@ GlobalMemory::alloc(size_t bytes, size_t align)
               bytes, base, data_.size());
     next_ = base + bytes;
     return base;
+}
+
+uint64_t
+GlobalMemory::contentHash() const
+{
+    // Word-folded FNV-1a variant (common/fnv.h constants): folding 8
+    // bytes per multiply keeps hashing even a multi-MB image well
+    // below the cost of simulating it. Not byte-compatible with
+    // fnv1a64() on purpose — this digest is only ever compared to
+    // itself (profile keys). The shape is part of the identity:
+    // capacity bounds which stray accesses fault, so two images with
+    // equal contents but different capacities must not alias.
+    uint64_t h = fnv1a64Value(next_, kFnvOffsetBasis);
+    h = fnv1a64Value(data_.size(), h);
+    size_t i = 0;
+    for (; i + 8 <= next_; i += 8) {
+        uint64_t word;
+        std::memcpy(&word, data_.data() + i, 8);
+        h ^= word;
+        h *= kFnvPrime;
+    }
+    for (; i < next_; ++i) {
+        h ^= data_[i];
+        h *= kFnvPrime;
+    }
+    return h;
 }
 
 void

@@ -36,6 +36,21 @@ class GlobalMemory
     size_t used() const { return next_; }
     size_t capacity() const { return data_.size(); }
 
+    /**
+     * FNV-1a digest of the image's identity: used() and capacity()
+     * (the shape — capacity bounds which stray accesses fault)
+     * followed by the allocated contents (the first used() bytes).
+     * Kernels whose behaviour depends on memory contents (e.g. SpMV
+     * column indices) get distinct profile keys for distinct inputs.
+     * Call before running a kernel — stores mutate the image.
+     *
+     * Contract: input data must live in alloc()'d space. Bytes
+     * written above used() (possible — check() bounds accesses by
+     * capacity) are NOT part of the digest, so a launch relying on
+     * them could alias another's cached profile.
+     */
+    uint64_t contentHash() const;
+
     uint32_t load32(uint64_t addr) const;
     void store32(uint64_t addr, uint32_t value);
 

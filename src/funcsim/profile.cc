@@ -1,0 +1,87 @@
+#include "funcsim/profile.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace funcsim {
+
+std::string
+ProfileKey::str() const
+{
+    char buf[224];
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "kh=%016llx|ih=%016llx|grid=%d|block=%d|homog=%d|sample=%d|"
+        "maxops=%llu|",
+        static_cast<unsigned long long>(kernelHash),
+        static_cast<unsigned long long>(inputHash), cfg.gridDim,
+        cfg.blockDim, homogeneous ? 1 : 0, sampleBlocks,
+        static_cast<unsigned long long>(maxWarpOps));
+    GPUPERF_ASSERT(n > 0 && n < static_cast<int>(sizeof(buf)),
+                   "ProfileKey overflow");
+    return buf + fingerprint.key();
+}
+
+bool
+ProfileKey::operator==(const ProfileKey &other) const
+{
+    return kernelHash == other.kernelHash &&
+           inputHash == other.inputHash &&
+           cfg.gridDim == other.cfg.gridDim &&
+           cfg.blockDim == other.cfg.blockDim &&
+           homogeneous == other.homogeneous &&
+           sampleBlocks == other.sampleBlocks &&
+           maxWarpOps == other.maxWarpOps &&
+           fingerprint == other.fingerprint;
+}
+
+ProfileKey
+makeProfileKey(const isa::Kernel &kernel, const LaunchConfig &cfg,
+               const RunOptions &options, const arch::GpuSpec &spec,
+               const GlobalMemory &gmem)
+{
+    ProfileKey key;
+    key.kernelHash = kernel.hash();
+    key.inputHash = gmem.contentHash();
+    key.cfg = cfg;
+    key.homogeneous = options.homogeneous;
+    key.sampleBlocks = options.sampleBlocks;
+    key.maxWarpOps = options.maxWarpOps;
+    key.fingerprint = arch::FuncsimFingerprint::of(spec);
+    return key;
+}
+
+KernelProfile
+profileKernel(FunctionalSimulator &sim, const isa::Kernel &kernel,
+              const LaunchConfig &cfg, GlobalMemory &gmem,
+              RunOptions options)
+{
+    // Key first: the run below mutates gmem, which the key digests.
+    options.collectTrace = true;
+    return profileKernel(
+        sim, kernel, cfg, gmem, options,
+        makeProfileKey(kernel, cfg, options, sim.spec(), gmem));
+}
+
+KernelProfile
+profileKernel(FunctionalSimulator &sim, const isa::Kernel &kernel,
+              const LaunchConfig &cfg, GlobalMemory &gmem,
+              RunOptions options, ProfileKey key)
+{
+    options.collectTrace = true;
+    KernelProfile profile;
+    profile.key = std::move(key);
+    profile.kernelName = kernel.name();
+    profile.resources.registersPerThread = kernel.numRegisters();
+    profile.resources.sharedBytesPerBlock = kernel.sharedBytes();
+    profile.resources.threadsPerBlock = cfg.blockDim;
+    RunResult result = sim.run(kernel, cfg, gmem, options);
+    profile.stats = std::move(result.stats);
+    profile.trace = std::move(result.trace);
+    return profile;
+}
+
+} // namespace funcsim
+} // namespace gpuperf

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * KernelProfile — the immutable, shareable artifact of one functional
+ * simulation pass (the paper's expensive Barra run).
+ *
+ * The functional behaviour of a launch depends only on the kernel's
+ * instructions, the launch shape, the run options, and the small
+ * funcsim-relevant slice of the machine description
+ * (arch::FuncsimFingerprint). A KernelProfile captures everything the
+ * rest of the pipeline consumes — interned per-warp replay traces for
+ * the timing simulator and per-stage dynamic statistics for the info
+ * extractor — keyed by exactly those inputs, so an N-kernel x M-spec
+ * batch runs N functional simulations instead of N x M, and a
+ * persistent store (src/store/) can skip them across processes.
+ *
+ * Profiles are handed around as shared_ptr<const KernelProfile>:
+ * every consumer (timing::TimingSimulator, model::InfoExtractor,
+ * model::SimulatedDevice, model::AnalysisSession, driver::BatchRunner)
+ * reads one immutable object concurrently.
+ */
+
+#ifndef GPUPERF_FUNCSIM_PROFILE_H
+#define GPUPERF_FUNCSIM_PROFILE_H
+
+#include <cstdint>
+#include <string>
+
+#include "arch/gpu_spec.h"
+#include "arch/occupancy.h"
+#include "funcsim/interpreter.h"
+#include "funcsim/stats.h"
+#include "funcsim/trace.h"
+
+namespace gpuperf {
+namespace funcsim {
+
+/**
+ * Identity of a profile: the full set of inputs the functional
+ * simulator's output depends on. Two launches with equal keys produce
+ * bit-identical DynamicStats and LaunchTraces.
+ */
+struct ProfileKey
+{
+    /** isa::Kernel::hash() — instructions + resource usage, no name. */
+    uint64_t kernelHash = 0;
+    /**
+     * GlobalMemory::contentHash() of the pristine input image:
+     * data-dependent kernels (e.g. SpMV, whose column indices steer
+     * the loads) get distinct keys for distinct inputs.
+     */
+    uint64_t inputHash = 0;
+    LaunchConfig cfg;
+    /** Stat-affecting run options (collectTrace is always forced on). */
+    bool homogeneous = false;
+    int sampleBlocks = 1;
+    uint64_t maxWarpOps = 0;
+    /** Funcsim-relevant slice of the machine description. */
+    arch::FuncsimFingerprint fingerprint;
+
+    /** Deterministic serialization used as memo and store key. */
+    std::string str() const;
+
+    bool operator==(const ProfileKey &other) const;
+    bool operator!=(const ProfileKey &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** The shared functional-simulation artifact. */
+struct KernelProfile
+{
+    ProfileKey key;
+    /** Kernel display name (diagnostics only; not part of the key). */
+    std::string kernelName;
+    /** Resource usage driving the occupancy calculation. */
+    arch::KernelResources resources;
+    /** Per-stage dynamic statistics (info-extractor input). */
+    DynamicStats stats;
+    /** Interned per-warp replay traces (timing-simulator input). */
+    LaunchTrace trace;
+};
+
+/**
+ * The key a run of @p kernel over @p cfg against @p gmem on @p spec
+ * would have. Compute it BEFORE running the kernel: stores mutate the
+ * memory image the input hash covers.
+ */
+ProfileKey makeProfileKey(const isa::Kernel &kernel,
+                          const LaunchConfig &cfg,
+                          const RunOptions &options,
+                          const arch::GpuSpec &spec,
+                          const GlobalMemory &gmem);
+
+/**
+ * Run @p kernel functionally (trace collection forced on) and package
+ * the result as a KernelProfile. @p gmem is mutated by stores exactly
+ * as in FunctionalSimulator::run().
+ */
+KernelProfile profileKernel(FunctionalSimulator &sim,
+                            const isa::Kernel &kernel,
+                            const LaunchConfig &cfg, GlobalMemory &gmem,
+                            RunOptions options = {});
+
+/**
+ * Like the above but trusting @p key, which the caller already
+ * computed (e.g. for a store lookup) with makeProfileKey() on the
+ * SAME pristine inputs — skips re-hashing the memory image.
+ */
+KernelProfile profileKernel(FunctionalSimulator &sim,
+                            const isa::Kernel &kernel,
+                            const LaunchConfig &cfg, GlobalMemory &gmem,
+                            RunOptions options, ProfileKey key);
+
+} // namespace funcsim
+} // namespace gpuperf
+
+#endif // GPUPERF_FUNCSIM_PROFILE_H

@@ -23,6 +23,24 @@ StageStats::accumulate(const StageStats &other)
     // activeWarpsPerBlock is averaged by the caller, not summed here.
 }
 
+bool
+StageStats::operator==(const StageStats &other) const
+{
+    return typeCounts == other.typeCounts &&
+           madCount == other.madCount &&
+           totalWarpInstrs == other.totalWarpInstrs &&
+           sharedInstrs == other.sharedInstrs &&
+           globalInstrs == other.globalInstrs &&
+           sharedTransactions == other.sharedTransactions &&
+           sharedTransactionsIdeal == other.sharedTransactionsIdeal &&
+           sharedBytes == other.sharedBytes &&
+           globalTransactions == other.globalTransactions &&
+           globalBytes == other.globalBytes &&
+           globalRequestBytes == other.globalRequestBytes &&
+           globalXactBySize == other.globalXactBySize &&
+           activeWarpsPerBlock == other.activeWarpsPerBlock;
+}
+
 uint64_t
 DynamicStats::totalWarpInstrs() const
 {

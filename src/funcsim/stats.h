@@ -63,6 +63,13 @@ struct StageStats
 
     /** Merge another block's stage (used during aggregation). */
     void accumulate(const StageStats &other);
+
+    /** Exact field-wise equality (homogeneous-sampling validation). */
+    bool operator==(const StageStats &other) const;
+    bool operator!=(const StageStats &other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /** Full launch statistics. */

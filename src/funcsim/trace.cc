@@ -1,5 +1,7 @@
 #include "funcsim/trace.h"
 
+#include "common/fnv.h"
+
 namespace gpuperf {
 namespace funcsim {
 
@@ -14,39 +16,26 @@ TraceOp::operator==(const TraceOp &other) const
            texIdx == other.texIdx;
 }
 
-namespace {
-
-uint64_t
-fnv1a(const void *data, size_t bytes, uint64_t h)
-{
-    const auto *p = static_cast<const uint8_t *>(data);
-    for (size_t i = 0; i < bytes; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-} // namespace
-
 uint64_t
 WarpTrace::hash() const
 {
-    uint64_t h = 0xcbf29ce484222325ULL;
+    uint64_t h = kFnvOffsetBasis;
     for (const TraceOp &op : ops) {
         // Hash the semantically meaningful fields explicitly; the
         // struct may contain padding bytes.
-        h = fnv1a(&op.unit, sizeof(op.unit), h);
-        h = fnv1a(&op.conflict, sizeof(op.conflict), h);
-        h = fnv1a(&op.sharedPasses, sizeof(op.sharedPasses), h);
-        h = fnv1a(&op.dst, sizeof(op.dst), h);
-        h = fnv1a(op.src, sizeof(op.src), h);
-        h = fnv1a(&op.numXacts, sizeof(op.numXacts), h);
-        h = fnv1a(&op.xactBytes, sizeof(op.xactBytes), h);
-        h = fnv1a(&op.texIdx, sizeof(op.texIdx), h);
+        h = fnv1a64(&op.unit, sizeof(op.unit), h);
+        h = fnv1a64(&op.conflict, sizeof(op.conflict), h);
+        h = fnv1a64(&op.sharedPasses, sizeof(op.sharedPasses), h);
+        h = fnv1a64(&op.dst, sizeof(op.dst), h);
+        h = fnv1a64(op.src, sizeof(op.src), h);
+        h = fnv1a64(&op.numXacts, sizeof(op.numXacts), h);
+        h = fnv1a64(&op.xactBytes, sizeof(op.xactBytes), h);
+        h = fnv1a64(&op.texIdx, sizeof(op.texIdx), h);
     }
-    if (!texLines.empty())
-        h = fnv1a(texLines.data(), texLines.size() * sizeof(uint32_t), h);
+    if (!texLines.empty()) {
+        h = fnv1a64(texLines.data(), texLines.size() * sizeof(uint32_t),
+                    h);
+    }
     return h;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fnv.h"
 #include "common/logging.h"
 
 namespace gpuperf {
@@ -21,6 +22,36 @@ Kernel::Kernel(std::string name, std::vector<Instruction> instrs,
         instrs_.push_back(exit_instr);
     }
     validateAndIndex();
+    computeHash();
+}
+
+void
+Kernel::computeHash()
+{
+    // FNV-1a over the semantically meaningful fields, hashed
+    // explicitly field by field: Instruction has padding bytes, and
+    // hashing raw struct memory would make the hash (and with it every
+    // profile-store key) depend on uninitialized padding.
+    uint64_t h = kFnvOffsetBasis;
+    auto mix = [&h](uint64_t v) { h = fnv1a64Value(v, h); };
+    mix(static_cast<uint64_t>(numRegs_));
+    mix(static_cast<uint64_t>(numPreds_));
+    mix(static_cast<uint64_t>(sharedBytes_));
+    mix(instrs_.size());
+    for (const Instruction &inst : instrs_) {
+        mix(static_cast<uint64_t>(inst.op));
+        mix(inst.dst);
+        mix(inst.src[0]);
+        mix(inst.src[1]);
+        mix(inst.src[2]);
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(inst.imm)));
+        mix(inst.useImm ? 1 : 0);
+        mix(inst.pred);
+        mix(inst.predNegate ? 1 : 0);
+        mix(static_cast<uint64_t>(inst.cmp));
+        mix(static_cast<uint64_t>(inst.sreg));
+    }
+    hash_ = h;
 }
 
 void

@@ -7,6 +7,7 @@
 #ifndef GPUPERF_ISA_KERNEL_H
 #define GPUPERF_ISA_KERNEL_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,14 +53,24 @@ class Kernel
     /** Count static occurrences of one opcode (for tests/reports). */
     int countStatic(Opcode op) const;
 
+    /**
+     * Content hash of the executable program: every instruction field
+     * plus the resource usage, but NOT the display name — two kernels
+     * that differ only in name behave identically under simulation and
+     * may share cached profiles. Computed once at construction.
+     */
+    uint64_t hash() const { return hash_; }
+
   private:
     void validateAndIndex();
+    void computeHash();
 
     std::string name_;
     std::vector<Instruction> instrs_;
     int numRegs_;
     int numPreds_;
     int sharedBytes_;
+    uint64_t hash_ = 0;
 
     std::vector<int> elseOf_;
     std::vector<int> endifOf_;

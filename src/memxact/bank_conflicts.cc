@@ -18,9 +18,15 @@ BankConflictAnalyzer::BankConflictAnalyzer(int num_banks, int bank_width,
               groupSize_);
 }
 
+BankConflictAnalyzer::BankConflictAnalyzer(
+    const arch::FuncsimFingerprint &fp)
+    : BankConflictAnalyzer(fp.numSharedBanks, fp.sharedBankWidth,
+                           fp.sharedIssueGroup)
+{
+}
+
 BankConflictAnalyzer::BankConflictAnalyzer(const arch::GpuSpec &spec)
-    : BankConflictAnalyzer(spec.numSharedBanks, spec.sharedBankWidth,
-                           spec.sharedIssueGroup)
+    : BankConflictAnalyzer(arch::FuncsimFingerprint::of(spec))
 {
 }
 

@@ -48,6 +48,15 @@ class BankConflictAnalyzer
      */
     BankConflictAnalyzer(int num_banks, int bank_width, int group_size);
 
+    /**
+     * Configure from the funcsim-relevant spec slice. Taking the
+     * fingerprint (not the full GpuSpec) is what guarantees two specs
+     * with equal funcsim fingerprints conflict identically — the
+     * KernelProfile sharing contract.
+     */
+    explicit BankConflictAnalyzer(const arch::FuncsimFingerprint &fp);
+
+    /** Configure from a GpuSpec (via its funcsim fingerprint). */
     explicit BankConflictAnalyzer(const arch::GpuSpec &spec);
 
     /**

@@ -36,9 +36,15 @@ CoalescingSimulator::CoalescingSimulator(int min_segment_bytes,
         fatal("coalescing: group size must be positive (%d)", groupSize_);
 }
 
+CoalescingSimulator::CoalescingSimulator(
+    const arch::FuncsimFingerprint &fp)
+    : CoalescingSimulator(fp.minSegmentBytes, fp.maxSegmentBytes,
+                          fp.coalesceGroup)
+{
+}
+
 CoalescingSimulator::CoalescingSimulator(const arch::GpuSpec &spec)
-    : CoalescingSimulator(spec.minSegmentBytes, spec.maxSegmentBytes,
-                          spec.coalesceGroup)
+    : CoalescingSimulator(arch::FuncsimFingerprint::of(spec))
 {
 }
 

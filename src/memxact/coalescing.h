@@ -84,7 +84,15 @@ class CoalescingSimulator
                         int group_size,
                         CoalescePolicy policy = CoalescePolicy::kSegment);
 
-    /** Configure from a GpuSpec. */
+    /**
+     * Configure from the funcsim-relevant spec slice. Taking the
+     * fingerprint (not the full GpuSpec) is what guarantees two specs
+     * with equal funcsim fingerprints coalesce identically — the
+     * KernelProfile sharing contract.
+     */
+    explicit CoalescingSimulator(const arch::FuncsimFingerprint &fp);
+
+    /** Configure from a GpuSpec (via its funcsim fingerprint). */
     explicit CoalescingSimulator(const arch::GpuSpec &spec);
 
     /**

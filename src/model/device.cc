@@ -1,5 +1,7 @@
 #include "model/device.h"
 
+#include "common/logging.h"
+
 namespace gpuperf {
 namespace model {
 
@@ -14,11 +16,51 @@ SimulatedDevice::run(const isa::Kernel &kernel,
                      funcsim::GlobalMemory &gmem,
                      funcsim::RunOptions options)
 {
+    // One-shot path (e.g. the calibrator's many microbenchmark runs):
+    // functionally identical to profile() + measure(), minus the
+    // profile-identity work — no input-image hash, no stats copy —
+    // that only sharing or persisting the artifact would need.
     options.collectTrace = true;
     funcsim::RunResult func = funcSim_.run(kernel, cfg, gmem, options);
     Measurement m;
     m.timing = timingSim_.run(func.trace);
     m.stats = std::move(func.stats);
+    return m;
+}
+
+std::shared_ptr<const funcsim::KernelProfile>
+SimulatedDevice::profile(const isa::Kernel &kernel,
+                         const funcsim::LaunchConfig &cfg,
+                         funcsim::GlobalMemory &gmem,
+                         funcsim::RunOptions options)
+{
+    return std::make_shared<const funcsim::KernelProfile>(
+        funcsim::profileKernel(funcSim_, kernel, cfg, gmem, options));
+}
+
+Measurement
+SimulatedDevice::measure(const funcsim::KernelProfile &profile) const
+{
+    // Re-apply the launch-ceiling checks the functional simulator
+    // performed under the producing spec, against THIS spec: a shared
+    // profile must fail exactly where a per-cell functional run would
+    // have (same conditions, same messages).
+    const funcsim::LaunchConfig &cfg = profile.key.cfg;
+    if (cfg.gridDim <= 0 || cfg.blockDim <= 0)
+        fatal("launch of kernel '%s' has empty grid (%d x %d)",
+              profile.kernelName.c_str(), cfg.gridDim, cfg.blockDim);
+    if (cfg.blockDim > spec_.maxThreadsPerBlock)
+        fatal("kernel '%s': block of %d threads exceeds the %d-thread "
+              "block ceiling", profile.kernelName.c_str(), cfg.blockDim,
+              spec_.maxThreadsPerBlock);
+    if (profile.resources.sharedBytesPerBlock > spec_.sharedMemPerSm)
+        fatal("kernel '%s': %d B shared memory exceeds the %d B SM "
+              "capacity", profile.kernelName.c_str(),
+              profile.resources.sharedBytesPerBlock, spec_.sharedMemPerSm);
+
+    Measurement m;
+    m.timing = timingSim_.run(profile);
+    m.stats = profile.stats;
     return m;
 }
 

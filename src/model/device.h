@@ -15,6 +15,7 @@
 
 #include "arch/gpu_spec.h"
 #include "funcsim/interpreter.h"
+#include "funcsim/profile.h"
 #include "timing/simulator.h"
 
 namespace gpuperf {
@@ -53,6 +54,27 @@ class SimulatedDevice
                     const funcsim::LaunchConfig &cfg,
                     funcsim::GlobalMemory &gmem,
                     funcsim::RunOptions options = {});
+
+    /**
+     * Run only the functional half and package it as a shareable
+     * profile. profile() + measure() produces bit-identical results
+     * to run() (same simulations in the same order); run() merely
+     * skips the profile-identity work (input-image hashing, stats
+     * copy) a one-shot measurement does not need.
+     */
+    std::shared_ptr<const funcsim::KernelProfile>
+    profile(const isa::Kernel &kernel, const funcsim::LaunchConfig &cfg,
+            funcsim::GlobalMemory &gmem, funcsim::RunOptions options = {});
+
+    /**
+     * Replay a profile on this device's timing simulator. The profile
+     * may come from any device whose funcsim fingerprint matches this
+     * spec; the launch-ceiling checks the functional simulator would
+     * have applied are re-validated against THIS spec, so sharing a
+     * profile never hides a configuration error the per-cell pipeline
+     * would have reported.
+     */
+    Measurement measure(const funcsim::KernelProfile &profile) const;
 
     const arch::GpuSpec &spec() const { return spec_; }
     funcsim::FunctionalSimulator &funcSim() { return funcSim_; }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "arch/occupancy.h"
+#include "funcsim/profile.h"
 #include "funcsim/stats.h"
 
 namespace gpuperf {
@@ -70,6 +71,12 @@ class InfoExtractor
 
     ModelInput extract(const funcsim::DynamicStats &stats,
                        const arch::KernelResources &resources) const;
+
+    /** Extract from a shared functional-simulation artifact. */
+    ModelInput extract(const funcsim::KernelProfile &profile) const
+    {
+        return extract(profile.stats, profile.resources);
+    }
 
   private:
     arch::GpuSpec spec_;

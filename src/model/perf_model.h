@@ -89,6 +89,19 @@ class PerformanceModel
      */
     Prediction predict(const ModelInput &input) const;
 
+    /**
+     * Predict straight from a shared functional-simulation artifact,
+     * extracting the model inputs through @p extractor (whose spec
+     * must be the one being predicted for). No simulation happens —
+     * the profile already carries the dynamic statistics.
+     */
+    Prediction
+    predict(const std::shared_ptr<const funcsim::KernelProfile> &profile,
+            const InfoExtractor &extractor) const
+    {
+        return predict(extractor.extract(*profile));
+    }
+
     /** Cap on synthetic benchmark grid size (plateau region). */
     static constexpr int kMaxSyntheticBlocks = 120;
     static constexpr int kMaxSyntheticRequests = 256;

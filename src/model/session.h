@@ -53,11 +53,37 @@ class AnalysisSession
     AnalysisSession(const AnalysisSession &) = delete;
     AnalysisSession &operator=(const AnalysisSession &) = delete;
 
-    /** Run the full workflow on one kernel launch. */
+    /**
+     * Run the full workflow on one kernel launch: one
+     * functional-simulation pass driving timing, extraction and
+     * prediction. Bit-identical to profile() + analyze(profile),
+     * which shares the pass across sessions instead.
+     */
     Analysis analyze(const isa::Kernel &kernel,
                      const funcsim::LaunchConfig &cfg,
                      funcsim::GlobalMemory &gmem,
                      funcsim::RunOptions options = {});
+
+    /**
+     * Functionally simulate one launch into a shareable profile.
+     * The result may be analyzed by this session and by any other
+     * session whose spec has the same funcsim fingerprint — that is
+     * how an N x M batch runs N functional simulations, not N x M.
+     */
+    std::shared_ptr<const funcsim::KernelProfile>
+    profile(const isa::Kernel &kernel, const funcsim::LaunchConfig &cfg,
+            funcsim::GlobalMemory &gmem, funcsim::RunOptions options = {})
+    {
+        return device_.profile(kernel, cfg, gmem, options);
+    }
+
+    /**
+     * Run the workflow from an existing profile: timing replay under
+     * this session's spec, then extraction and prediction. No
+     * functional simulation happens.
+     */
+    Analysis analyze(
+        const std::shared_ptr<const funcsim::KernelProfile> &profile);
 
     /** Predict from an existing measurement (no re-execution). */
     Analysis analyzeMeasured(Measurement measurement,

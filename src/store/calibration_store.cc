@@ -1,0 +1,120 @@
+#include "store/calibration_store.h"
+
+#include "store/codecs.h"
+#include "store/serializer.h"
+
+namespace gpuperf {
+namespace store {
+
+CalibrationStore::CalibrationStore(std::string dir)
+    : dir_(std::move(dir))
+{
+    makeDirs(dir_);
+}
+
+std::string
+CalibrationStore::path(const arch::GpuSpec &spec,
+                       const std::string &key) const
+{
+    return dir_ + "/" + fileStem(spec.name, key) + ".calibration";
+}
+
+std::shared_ptr<const model::CalibrationTables>
+CalibrationStore::load(const arch::GpuSpec &spec) const
+{
+    const std::string key = spec.fingerprint();
+    std::string payload;
+    if (!readEntryFile(path(spec, key), kFormatVersion, key, &payload)) {
+        ++misses_;
+        return nullptr;
+    }
+    auto tables = std::make_shared<model::CalibrationTables>();
+    ByteReader r(payload);
+    if (!readTables(r, tables.get()) || !r.atEnd()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return tables;
+}
+
+bool
+CalibrationStore::save(const arch::GpuSpec &spec,
+                       const model::CalibrationTables &tables) const
+{
+    const std::string key = spec.fingerprint();
+    ByteWriter w;
+    writeTables(w, tables);
+    return writeEntryFile(path(spec, key), kFormatVersion, key,
+                          w.bytes());
+}
+
+bool
+CalibrationStore::saveBenchResults(const arch::GpuSpec &spec,
+                                   std::vector<BenchEntry> entries) const
+{
+    // Merge with what is already stored so shapes measured by earlier
+    // batches survive a batch that happened not to need them.
+    std::vector<BenchEntry> merged = loadBenchResults(spec);
+    for (BenchEntry &e : entries) {
+        bool known = false;
+        for (const BenchEntry &m : merged) {
+            if (m.first == e.first) {
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            merged.push_back(std::move(e));
+    }
+
+    const std::string key = "bench|" + spec.fingerprint();
+    ByteWriter w;
+    w.u64(merged.size());
+    for (const BenchEntry &e : merged) {
+        w.i32(std::get<0>(e.first));
+        w.i32(std::get<1>(e.first));
+        w.i32(std::get<2>(e.first));
+        w.f64(e.second.seconds);
+        w.u64(e.second.transactions);
+        w.u64(e.second.requestBytes);
+        w.f64(e.second.bandwidth);
+        w.f64(e.second.xactThroughput);
+    }
+    return writeEntryFile(dir_ + "/" + fileStem(spec.name, key) +
+                              ".bench",
+                          kFormatVersion, key, w.bytes());
+}
+
+std::vector<CalibrationStore::BenchEntry>
+CalibrationStore::loadBenchResults(const arch::GpuSpec &spec) const
+{
+    const std::string key = "bench|" + spec.fingerprint();
+    std::string payload;
+    if (!readEntryFile(dir_ + "/" + fileStem(spec.name, key) + ".bench",
+                       kFormatVersion, key, &payload)) {
+        return {};
+    }
+    ByteReader r(payload);
+    std::vector<BenchEntry> entries;
+    const uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n && r.ok(); ++i) {
+        BenchEntry e;
+        const int blocks = r.i32();
+        const int threads = r.i32();
+        const int requests = r.i32();
+        e.first = std::make_tuple(blocks, threads, requests);
+        e.second.seconds = r.f64();
+        e.second.transactions = r.u64();
+        e.second.requestBytes = r.u64();
+        e.second.bandwidth = r.f64();
+        e.second.xactThroughput = r.f64();
+        entries.push_back(std::move(e));
+    }
+    if (!r.atEnd())
+        return {};
+    return entries;
+}
+
+} // namespace store
+} // namespace gpuperf

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Persistent binary store of microbenchmark calibration tables, keyed
+ * by the FULL GpuSpec fingerprint (calibration measures the timing
+ * simulator, so every spec field matters — unlike profiles, which key
+ * on the funcsim sub-fingerprint only). Lets repeated batch runs skip
+ * the calibration sweep across process restarts.
+ */
+
+#ifndef GPUPERF_STORE_CALIBRATION_STORE_H
+#define GPUPERF_STORE_CALIBRATION_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+#include "model/calibration.h"
+
+namespace gpuperf {
+namespace store {
+
+/** Thread-safe; load/save may be called from any worker. */
+class CalibrationStore
+{
+  public:
+    /**
+     * Bump on ANY change that alters what a cached entry would
+     * contain — the payload encoding OR the calibration behaviour
+     * (microbenchmarks, sweep shapes, the simulators they measure);
+     * see ProfileStore::kFormatVersion.
+     */
+    static constexpr uint32_t kFormatVersion = 1;
+
+    /** @param dir store directory, created if absent. */
+    explicit CalibrationStore(std::string dir);
+
+    /** Stored tables for @p spec, or nullptr on any miss. */
+    std::shared_ptr<const model::CalibrationTables>
+    load(const arch::GpuSpec &spec) const;
+
+    bool save(const arch::GpuSpec &spec,
+              const model::CalibrationTables &tables) const;
+
+    /** One synthetic global-benchmark memo entry, as persisted. */
+    using BenchEntry =
+        std::pair<std::tuple<int, int, int>, model::GlobalBenchResult>;
+
+    /**
+     * Persist the synthetic global-memory benchmark results measured
+     * for @p spec (the memoized half of calibration the tables do not
+     * cover). Entries accumulate across saves: a batch that measured
+     * new launch shapes merges them into the stored set, so repeated
+     * runs converge on zero microbenchmark work. The load-merge-write
+     * is not atomic across processes — two writers racing on one
+     * store can each persist only their own merge (last rename wins),
+     * which costs a re-measurement on a later run, never wrong data.
+     */
+    bool saveBenchResults(const arch::GpuSpec &spec,
+                          std::vector<BenchEntry> entries) const;
+
+    /** The stored benchmark results for @p spec (empty on a miss). */
+    std::vector<BenchEntry>
+    loadBenchResults(const arch::GpuSpec &spec) const;
+
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+
+  private:
+    std::string path(const arch::GpuSpec &spec,
+                     const std::string &key) const;
+
+    std::string dir_;
+    mutable std::atomic<uint64_t> hits_{0};
+    mutable std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace store
+} // namespace gpuperf
+
+#endif // GPUPERF_STORE_CALIBRATION_STORE_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Binary codecs for the pipeline artifacts the stores persist:
+ * functional-simulation profiles (stats + traces), calibration tables,
+ * and full analysis/what-if results.
+ *
+ * Every writeX has a readX returning false on malformed input; readers
+ * never partially populate their output on failure paths that matter
+ * (callers discard the object when a read fails). Doubles round-trip
+ * bit-exactly, so a loaded artifact drives the model to bit-identical
+ * predictions.
+ */
+
+#ifndef GPUPERF_STORE_CODECS_H
+#define GPUPERF_STORE_CODECS_H
+
+#include "funcsim/profile.h"
+#include "model/calibration.h"
+#include "model/report.h"
+#include "model/session.h"
+#include "store/serializer.h"
+
+namespace gpuperf {
+namespace store {
+
+void writeStats(ByteWriter &w, const funcsim::DynamicStats &stats);
+bool readStats(ByteReader &r, funcsim::DynamicStats *stats);
+
+void writeTrace(ByteWriter &w, const funcsim::LaunchTrace &trace);
+bool readTrace(ByteReader &r, funcsim::LaunchTrace *trace);
+
+void writeProfile(ByteWriter &w, const funcsim::KernelProfile &profile);
+bool readProfile(ByteReader &r, funcsim::KernelProfile *profile);
+
+void writeTables(ByteWriter &w, const model::CalibrationTables &tables);
+bool readTables(ByteReader &r, model::CalibrationTables *tables);
+
+/**
+ * Content digest of a table set (its serialized bytes hashed): part
+ * of persistent result keys, so results computed under one
+ * calibration are never served to a session using another.
+ */
+uint64_t tablesDigest(const model::CalibrationTables &tables);
+
+void writeAnalysis(ByteWriter &w, const model::Analysis &analysis);
+bool readAnalysis(ByteReader &r, model::Analysis *analysis);
+
+void writePrediction(ByteWriter &w, const model::Prediction &p);
+bool readPrediction(ByteReader &r, model::Prediction *p);
+
+} // namespace store
+} // namespace gpuperf
+
+#endif // GPUPERF_STORE_CODECS_H

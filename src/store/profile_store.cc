@@ -1,0 +1,54 @@
+#include "store/profile_store.h"
+
+#include "store/codecs.h"
+#include "store/serializer.h"
+
+namespace gpuperf {
+namespace store {
+
+ProfileStore::ProfileStore(std::string dir) : dir_(std::move(dir))
+{
+    makeDirs(dir_);
+}
+
+std::string
+ProfileStore::path(const funcsim::ProfileKey &key,
+                   const std::string &key_str) const
+{
+    (void)key;
+    return dir_ + "/" + fileStem("profile", key_str) + ".profile";
+}
+
+std::shared_ptr<const funcsim::KernelProfile>
+ProfileStore::load(const funcsim::ProfileKey &key) const
+{
+    const std::string key_str = key.str();
+    std::string payload;
+    if (!readEntryFile(path(key, key_str), kFormatVersion, key_str,
+                       &payload)) {
+        ++misses_;
+        return nullptr;
+    }
+    auto profile = std::make_shared<funcsim::KernelProfile>();
+    ByteReader r(payload);
+    if (!readProfile(r, profile.get()) || !r.atEnd() ||
+        profile->key != key) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return profile;
+}
+
+bool
+ProfileStore::save(const funcsim::KernelProfile &profile) const
+{
+    const std::string key_str = profile.key.str();
+    ByteWriter w;
+    writeProfile(w, profile);
+    return writeEntryFile(path(profile.key, key_str), kFormatVersion,
+                          key_str, w.bytes());
+}
+
+} // namespace store
+} // namespace gpuperf

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Persistent on-disk store of KernelProfiles, keyed by the full
+ * ProfileKey (kernel hash x launch shape x run options x funcsim
+ * fingerprint). Repeated batch runs — in the same process or across
+ * restarts — load the profile and skip functional simulation entirely.
+ *
+ * Invalidation is by key mismatch: any change to the kernel, the
+ * launch, the run options, the funcsim-relevant machine fields, or the
+ * store format version makes the lookup miss and the profile is
+ * recomputed. Entries are self-validating (the full key is stored in
+ * the file), so filename hash collisions and stale files degrade to
+ * misses, never to wrong data.
+ */
+
+#ifndef GPUPERF_STORE_PROFILE_STORE_H
+#define GPUPERF_STORE_PROFILE_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "funcsim/profile.h"
+
+namespace gpuperf {
+namespace store {
+
+/** Thread-safe; load/save may be called from any worker. */
+class ProfileStore
+{
+  public:
+    /**
+     * Bump on ANY change that alters what a cached entry would
+     * contain — the payload encoding OR the behaviour that computed
+     * it (functional simulator, memxact models, trace generation).
+     * The key only identifies the inputs; the version identifies the
+     * computation, and a stale version must never be served.
+     */
+    static constexpr uint32_t kFormatVersion = 1;
+
+    /** @param dir store directory, created if absent. */
+    explicit ProfileStore(std::string dir);
+
+    /** The stored profile for @p key, or nullptr on any miss. */
+    std::shared_ptr<const funcsim::KernelProfile>
+    load(const funcsim::ProfileKey &key) const;
+
+    /** Persist @p profile under its own key. */
+    bool save(const funcsim::KernelProfile &profile) const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** Successful loads since construction. */
+    uint64_t hits() const { return hits_.load(); }
+    /** Failed loads (absent, stale or corrupt entry). */
+    uint64_t misses() const { return misses_.load(); }
+
+  private:
+    std::string path(const funcsim::ProfileKey &key,
+                     const std::string &key_str) const;
+
+    std::string dir_;
+    mutable std::atomic<uint64_t> hits_{0};
+    mutable std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace store
+} // namespace gpuperf
+
+#endif // GPUPERF_STORE_PROFILE_STORE_H

@@ -1,0 +1,96 @@
+#include "store/result_store.h"
+
+#include "store/codecs.h"
+#include "store/serializer.h"
+
+namespace gpuperf {
+namespace store {
+
+namespace {
+
+void
+writeResult(ByteWriter &w, const driver::BatchResult &r)
+{
+    w.str(r.kernelName);
+    w.str(r.specName);
+    writeAnalysis(w, r.analysis);
+    w.u64(r.whatifs.size());
+    for (const driver::RankedWhatIf &wi : r.whatifs) {
+        w.u8(static_cast<uint8_t>(wi.point.kind));
+        w.f64(wi.point.value);
+        writePrediction(w, wi.result.before);
+        writePrediction(w, wi.result.after);
+    }
+}
+
+bool
+readResult(ByteReader &r, driver::BatchResult *result)
+{
+    result->kernelName = r.str();
+    result->specName = r.str();
+    if (!readAnalysis(r, &result->analysis))
+        return false;
+    const uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n && r.ok(); ++i) {
+        driver::RankedWhatIf wi;
+        const uint8_t kind = r.u8();
+        if (kind > static_cast<uint8_t>(
+                       driver::SweepPoint::Kind::kCoalescingFraction)) {
+            r.fail();
+            return false;
+        }
+        wi.point.kind = static_cast<driver::SweepPoint::Kind>(kind);
+        wi.point.value = r.f64();
+        if (!readPrediction(r, &wi.result.before) ||
+            !readPrediction(r, &wi.result.after)) {
+            return false;
+        }
+        result->whatifs.push_back(std::move(wi));
+    }
+    result->ok = true;
+    result->error.clear();
+    return r.ok();
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    makeDirs(dir_);
+}
+
+std::string
+ResultStore::path(const std::string &key) const
+{
+    return dir_ + "/" + fileStem("result", key) + ".result";
+}
+
+std::unique_ptr<driver::BatchResult>
+ResultStore::load(const std::string &key) const
+{
+    std::string payload;
+    if (!readEntryFile(path(key), kFormatVersion, key, &payload)) {
+        ++misses_;
+        return nullptr;
+    }
+    auto result = std::make_unique<driver::BatchResult>();
+    ByteReader r(payload);
+    if (!readResult(r, result.get()) || !r.atEnd()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return result;
+}
+
+bool
+ResultStore::save(const std::string &key,
+                  const driver::BatchResult &result) const
+{
+    ByteWriter w;
+    writeResult(w, result);
+    return writeEntryFile(path(key), kFormatVersion, key, w.bytes());
+}
+
+} // namespace store
+} // namespace gpuperf

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Persistent on-disk store of finished batch-analysis results, keyed
+ * by the full content identity of one cell: kernel-case name, profile
+ * key (kernel hash x launch x options x funcsim fingerprint), target
+ * spec fingerprint, and sweep-grid fingerprint. A warm store lets a
+ * repeated batch skip the whole cell — timing replay, extraction,
+ * prediction and sweep — and still return bit-identical results,
+ * because every number round-trips through the binary codec exactly.
+ *
+ * Only successful (ok) results are stored; failures are recomputed so
+ * transient errors never stick.
+ */
+
+#ifndef GPUPERF_STORE_RESULT_STORE_H
+#define GPUPERF_STORE_RESULT_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "driver/batch_runner.h"
+
+namespace gpuperf {
+namespace store {
+
+/** Thread-safe; load/save may be called from any worker. */
+class ResultStore
+{
+  public:
+    /**
+     * Bump on ANY change that alters what a cached entry would
+     * contain — the payload encoding OR the pipeline behaviour that
+     * computed it (timing simulator, extractor, model, sweep
+     * evaluation); see ProfileStore::kFormatVersion.
+     */
+    static constexpr uint32_t kFormatVersion = 1;
+
+    /** @param dir store directory, created if absent. */
+    explicit ResultStore(std::string dir);
+
+    /** The stored result for @p key, or nullptr on any miss. */
+    std::unique_ptr<driver::BatchResult>
+    load(const std::string &key) const;
+
+    /** Persist @p result (callers only pass ok results). */
+    bool save(const std::string &key,
+              const driver::BatchResult &result) const;
+
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+
+  private:
+    std::string path(const std::string &key) const;
+
+    std::string dir_;
+    mutable std::atomic<uint64_t> hits_{0};
+    mutable std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace store
+} // namespace gpuperf
+
+#endif // GPUPERF_STORE_RESULT_STORE_H

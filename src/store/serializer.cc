@@ -1,0 +1,250 @@
+#include "store/serializer.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/fnv.h"
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace store {
+
+namespace {
+
+/** "GPUPERFS" as little-endian bytes. */
+constexpr uint64_t kMagic = 0x53465245'50555047ull;
+
+} // namespace
+
+void
+ByteWriter::u16(uint16_t v)
+{
+    buf_.push_back(static_cast<char>(v & 0xff));
+    buf_.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void
+ByteWriter::u32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf_.push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+}
+
+void
+ByteWriter::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf_.push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+}
+
+void
+ByteWriter::f64(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+ByteWriter::str(const std::string &s)
+{
+    u64(s.size());
+    buf_.append(s);
+}
+
+bool
+ByteReader::take(void *out, size_t n)
+{
+    if (!ok_ || pos_ + n > data_.size() || pos_ + n < pos_) {
+        ok_ = false;
+        std::memset(out, 0, n);
+        return false;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+}
+
+uint8_t
+ByteReader::u8()
+{
+    uint8_t v = 0;
+    take(&v, 1);
+    return v;
+}
+
+uint16_t
+ByteReader::u16()
+{
+    unsigned char b[2] = {};
+    take(b, 2);
+    return static_cast<uint16_t>(b[0] | (b[1] << 8));
+}
+
+uint32_t
+ByteReader::u32()
+{
+    unsigned char b[4] = {};
+    take(b, 4);
+    return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+           (static_cast<uint32_t>(b[2]) << 16) |
+           (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t
+ByteReader::u64()
+{
+    unsigned char b[8] = {};
+    take(b, 8);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    const uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+ByteReader::str()
+{
+    const uint64_t n = u64();
+    if (!ok_ || pos_ + n > data_.size() || pos_ + n < pos_) {
+        ok_ = false;
+        return "";
+    }
+    std::string s(data_.data() + pos_, n);
+    pos_ += n;
+    return s;
+}
+
+std::string
+ByteReader::rest()
+{
+    if (!ok_)
+        return "";
+    std::string s(data_.data() + pos_, data_.size() - pos_);
+    pos_ = data_.size();
+    return s;
+}
+
+bool
+writeEntryFile(const std::string &path, uint32_t version,
+               const std::string &key, const std::string &payload)
+{
+    ByteWriter header;
+    header.u64(kMagic);
+    header.u32(version);
+    header.str(key);
+    header.u64(payload.size());
+
+    // Unique per process AND per call: concurrent writers of the
+    // same entry (e.g. two batch cells sharing a profile key) must
+    // never truncate each other's in-flight temp file, or a reader
+    // of the renamed result could observe a torn entry.
+    static std::atomic<uint64_t> write_seq{0};
+    const std::string tmp = path + ".tmp." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(write_seq.fetch_add(1));
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) {
+        warn("store: cannot write '%s'", path.c_str());
+        return false;
+    }
+    out.write(header.bytes().data(),
+              static_cast<std::streamsize>(header.bytes().size()));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    out.close();
+    if (!out) {
+        warn("store: short write to '%s'", path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("store: cannot move entry into '%s'", path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readEntryFile(const std::string &path, uint32_t version,
+              const std::string &key, std::string *payload)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    in.seekg(0, std::ios::end);
+    const std::streamoff file_size = in.tellg();
+    if (file_size < 0)
+        return false;
+    in.seekg(0, std::ios::beg);
+    std::string data(static_cast<size_t>(file_size), '\0');
+    in.read(&data[0], file_size);
+    if (!in)
+        return false;
+    ByteReader r(data);
+    if (r.u64() != kMagic || r.u32() != version || r.str() != key)
+        return false;
+    const uint64_t size = r.u64();
+    if (!r.ok())
+        return false;
+    *payload = r.rest();
+    return payload->size() == size;
+}
+
+std::string
+fileStem(const std::string &name, const std::string &key)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    std::string out;
+    for (char c : name.substr(0, 48)) {
+        out.push_back(
+            std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+    }
+    if (!out.empty())
+        out.push_back('-');
+    return out + hex;
+}
+
+bool
+makeDirs(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    std::string partial;
+    for (size_t i = 0; i <= path.size(); ++i) {
+        if (i != path.size() && path[i] != '/')
+            continue;
+        partial = path.substr(0, i == path.size() ? i : i + 1);
+        if (partial.empty() || partial == "/")
+            continue;
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+            warn("store: cannot create directory '%s'", partial.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace store
+} // namespace gpuperf

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Versioned binary serialization primitives for the persistent
+ * profile/calibration/result stores.
+ *
+ * Encoding: explicit little-endian byte order (portable across hosts),
+ * doubles as their raw IEEE-754 bit pattern (round trips are exact —
+ * a loaded profile or result is bit-identical to the stored one),
+ * strings and containers length-prefixed.
+ *
+ * File format: a fixed magic, a store-wide format version, the entry's
+ * full content key, then the payload. Readers reject any mismatch —
+ * wrong magic, unknown version, or a key that differs from the one
+ * requested (hash-collision safety) — and the caller recomputes; a
+ * stale or foreign cache entry can therefore never be served.
+ */
+
+#ifndef GPUPERF_STORE_SERIALIZER_H
+#define GPUPERF_STORE_SERIALIZER_H
+
+#include <cstdint>
+#include <string>
+
+namespace gpuperf {
+namespace store {
+
+/** Append-only binary encoder. */
+class ByteWriter
+{
+  public:
+    void u8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+    /** Raw IEEE-754 bits; round-trips exactly. */
+    void f64(double v);
+    void str(const std::string &s);
+
+    const std::string &bytes() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Sequential binary decoder. Any overrun or malformed length sets a
+ * sticky failure flag and makes every subsequent read return zero
+ * values; callers check ok() once at the end instead of after every
+ * field.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::string &data) : data_(data) {}
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+    bool b() { return u8() != 0; }
+    double f64();
+    std::string str();
+
+    /** Consume and return everything not yet read. */
+    std::string rest();
+
+    /** True while every read so far stayed in bounds. */
+    bool ok() const { return ok_; }
+    /** True when the whole buffer was consumed (and ok()). */
+    bool atEnd() const { return ok_ && pos_ == data_.size(); }
+
+    void fail() { ok_ = false; }
+
+  private:
+    bool take(void *out, size_t n);
+
+    const std::string &data_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/**
+ * Write magic + version + key + payload to @p path atomically
+ * (temp file + rename, like the calibration cache). Returns false and
+ * warns on I/O failure — a store write error degrades to a cache miss
+ * next time, never to corrupt data.
+ */
+bool writeEntryFile(const std::string &path, uint32_t version,
+                    const std::string &key, const std::string &payload);
+
+/**
+ * Read an entry previously written by writeEntryFile(). Returns false
+ * (a miss) unless the file exists, carries the expected magic and
+ * @p version, and stores exactly @p key.
+ */
+bool readEntryFile(const std::string &path, uint32_t version,
+                   const std::string &key, std::string *payload);
+
+/**
+ * Short, filesystem-safe file stem for a store key: a sanitized prefix
+ * of @p name (for humans) plus an FNV-1a hash of the full key (for
+ * uniqueness). A hash collision is harmless: the key stored inside the
+ * entry still validates, so the worst case is a cache miss.
+ */
+std::string fileStem(const std::string &name, const std::string &key);
+
+/** mkdir -p. Returns false (with a warning) when creation fails. */
+bool makeDirs(const std::string &path);
+
+} // namespace store
+} // namespace gpuperf
+
+#endif // GPUPERF_STORE_SERIALIZER_H

@@ -508,5 +508,16 @@ TimingSimulator::run(const funcsim::LaunchTrace &trace) const
     return engine.run();
 }
 
+TimingResult
+TimingSimulator::run(const funcsim::KernelProfile &profile) const
+{
+    if (profile.key.fingerprint != arch::FuncsimFingerprint::of(spec_))
+        fatal("kernel '%s': profile was produced under an incompatible "
+              "functional-simulation fingerprint — recompute it for "
+              "spec '%s'", profile.kernelName.c_str(),
+              spec_.name.c_str());
+    return run(profile.trace);
+}
+
 } // namespace timing
 } // namespace gpuperf

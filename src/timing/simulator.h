@@ -39,6 +39,7 @@
 
 #include "arch/gpu_spec.h"
 #include "arch/occupancy.h"
+#include "funcsim/profile.h"
 #include "funcsim/trace.h"
 
 namespace gpuperf {
@@ -82,6 +83,14 @@ class TimingSimulator
      * queue.
      */
     TimingResult run(const funcsim::LaunchTrace &trace) const;
+
+    /**
+     * Replay a shared functional-simulation artifact. The profile's
+     * funcsim fingerprint must match this simulator's spec (checked);
+     * timing-only spec fields may differ from the profile's producer —
+     * that is the point of sharing one profile across spec variants.
+     */
+    TimingResult run(const funcsim::KernelProfile &profile) const;
 
     const arch::GpuSpec &spec() const { return spec_; }
 

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Persistent-store tests: the binary serializer round-trips every
+ * value bit-exactly, each store rejects stale/corrupt/foreign entries
+ * (degrading to a recompute, never wrong data), and a warm store
+ * drives BatchRunner to results bit-identical to a cold run while
+ * skipping functional simulation and calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "driver/batch_runner.h"
+#include "driver/demo_cases.h"
+#include "model/session.h"
+#include "store/calibration_store.h"
+#include "store/codecs.h"
+#include "store/profile_store.h"
+#include "store/result_store.h"
+#include "store/serializer.h"
+
+namespace gpuperf {
+namespace {
+
+model::CalibrationTables
+fakeTables()
+{
+    model::CalibrationTables t;
+    t.maxWarps = 32;
+    t.bytesPerPass = 64;
+    for (int type = 0; type < arch::kNumInstrTypes; ++type) {
+        t.instrThroughput[type].assign(33, 0.0);
+        for (int w = 1; w <= 32; ++w)
+            t.instrThroughput[type][w] =
+                1e10 * std::min(1.0, w / 8.0) + type * 0.125;
+    }
+    t.sharedPassThroughput.assign(33, 0.0);
+    for (int w = 1; w <= 32; ++w)
+        t.sharedPassThroughput[w] = 2e10 * std::min(1.0, w / 8.0);
+    return t;
+}
+
+std::shared_ptr<const model::CalibrationTables>
+sharedFakeTables()
+{
+    return std::make_shared<const model::CalibrationTables>(fakeTables());
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "gpuperf-" + name +
+                            "-" + std::to_string(::getpid());
+    // Tests reuse process-unique names; stale files from a previous
+    // case in this process are fine (keys disambiguate).
+    return dir;
+}
+
+TEST(Serializer, RoundTripsScalarsBitExactly)
+{
+    store::ByteWriter w;
+    w.u8(0xab);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.i32(-42);
+    w.b(true);
+    w.f64(0.1);
+    w.f64(-0.0);
+    w.f64(1e-300);
+    w.f64(6.02214076e23);
+    w.str("hello|world");
+    w.str("");
+
+    store::ByteReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.i32(), -42);
+    EXPECT_TRUE(r.b());
+    // Bit-level equality, not approximate: the whole point of the
+    // binary format is exact reproduction of model outputs.
+    EXPECT_EQ(r.f64(), 0.1);
+    const double neg_zero = r.f64();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero));
+    EXPECT_EQ(r.f64(), 1e-300);
+    EXPECT_EQ(r.f64(), 6.02214076e23);
+    EXPECT_EQ(r.str(), "hello|world");
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serializer, OverrunSticksAndReturnsZeros)
+{
+    store::ByteWriter w;
+    w.u32(7);
+    store::ByteReader r(w.bytes());
+    EXPECT_EQ(r.u32(), 7u);
+    EXPECT_EQ(r.u64(), 0u) << "reading past the end yields zero";
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.u8(), 0) << "failure is sticky";
+}
+
+TEST(Serializer, EntryFilesRejectForeignKeysAndVersions)
+{
+    const std::string dir = freshDir("entries");
+    ASSERT_TRUE(store::makeDirs(dir));
+    const std::string path = dir + "/entry.bin";
+    ASSERT_TRUE(store::writeEntryFile(path, 3, "the-key", "payload"));
+
+    std::string payload;
+    EXPECT_TRUE(store::readEntryFile(path, 3, "the-key", &payload));
+    EXPECT_EQ(payload, "payload");
+    EXPECT_FALSE(store::readEntryFile(path, 4, "the-key", &payload))
+        << "format-version bump invalidates the entry";
+    EXPECT_FALSE(store::readEntryFile(path, 3, "another-key", &payload))
+        << "key mismatch (e.g. filename hash collision) is a miss";
+    EXPECT_FALSE(
+        store::readEntryFile(dir + "/absent.bin", 3, "k", &payload));
+
+    std::ofstream(path, std::ios::binary) << "garbage";
+    EXPECT_FALSE(store::readEntryFile(path, 3, "the-key", &payload))
+        << "a corrupt entry is a miss, not an error";
+}
+
+TEST(ProfileStore, RoundTripDrivesBitIdenticalPredictions)
+{
+    auto kc = driver::makeStencil1dCase("stencil", 8, 128);
+    auto launch = kc.make();
+    model::AnalysisSession session(arch::GpuSpec::gtx285());
+    session.adoptCalibration(sharedFakeTables());
+    auto profile = session.profile(launch.kernel, launch.cfg, *launch.gmem);
+
+    store::ProfileStore ps(freshDir("profiles"));
+    ASSERT_TRUE(ps.save(*profile));
+    auto loaded = ps.load(profile->key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(ps.hits(), 1u);
+
+    // The loaded artifact is the same object, field for field...
+    EXPECT_EQ(loaded->key, profile->key);
+    EXPECT_EQ(loaded->kernelName, profile->kernelName);
+    EXPECT_EQ(loaded->resources.registersPerThread,
+              profile->resources.registersPerThread);
+    ASSERT_EQ(loaded->stats.stages.size(), profile->stats.stages.size());
+    for (size_t i = 0; i < loaded->stats.stages.size(); ++i)
+        EXPECT_TRUE(loaded->stats.stages[i] == profile->stats.stages[i]);
+    ASSERT_EQ(loaded->trace.pool.size(), profile->trace.pool.size());
+    for (size_t i = 0; i < loaded->trace.pool.size(); ++i)
+        EXPECT_TRUE(loaded->trace.pool[i] == profile->trace.pool[i]);
+    ASSERT_EQ(loaded->trace.blocks.size(), profile->trace.blocks.size());
+    EXPECT_EQ(loaded->trace.totalOps(), profile->trace.totalOps());
+
+    // ...so serialize -> load -> predict is exact.
+    const model::Analysis from_memory = session.analyze(profile);
+    const model::Analysis from_disk = session.analyze(loaded);
+    EXPECT_EQ(from_disk.prediction.totalSeconds,
+              from_memory.prediction.totalSeconds);
+    EXPECT_EQ(from_disk.measurement.timing.cycles,
+              from_memory.measurement.timing.cycles);
+    EXPECT_EQ(from_disk.metrics.coalescingEfficiency,
+              from_memory.metrics.coalescingEfficiency);
+}
+
+TEST(ProfileStore, MissesOnDifferentKey)
+{
+    auto kc = driver::makeSaxpyCase("saxpy", 4, 128, 2.0f);
+    auto launch = kc.make();
+    model::SimulatedDevice dev(arch::GpuSpec::gtx285());
+    auto profile = dev.profile(launch.kernel, launch.cfg, *launch.gmem);
+
+    store::ProfileStore ps(freshDir("profile-miss"));
+    ASSERT_TRUE(ps.save(*profile));
+    funcsim::ProfileKey other = profile->key;
+    other.cfg.gridDim += 1;
+    EXPECT_EQ(ps.load(other), nullptr);
+    other = profile->key;
+    other.fingerprint.numSharedBanks = 17;
+    EXPECT_EQ(ps.load(other), nullptr)
+        << "funcsim fingerprint mismatch must recompute";
+    EXPECT_EQ(ps.misses(), 2u);
+}
+
+TEST(CalibrationStore, RoundTripsTablesExactly)
+{
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    store::CalibrationStore cs(freshDir("calibrations"));
+    EXPECT_EQ(cs.load(spec), nullptr);
+    ASSERT_TRUE(cs.save(spec, fakeTables()));
+    auto loaded = cs.load(spec);
+    ASSERT_NE(loaded, nullptr);
+    const model::CalibrationTables want = fakeTables();
+    EXPECT_EQ(loaded->maxWarps, want.maxWarps);
+    EXPECT_EQ(loaded->bytesPerPass, want.bytesPerPass);
+    for (int type = 0; type < arch::kNumInstrTypes; ++type)
+        EXPECT_EQ(loaded->instrThroughput[type],
+                  want.instrThroughput[type]);
+    EXPECT_EQ(loaded->sharedPassThroughput, want.sharedPassThroughput);
+
+    arch::GpuSpec other = spec;
+    other.aluDepCycles += 1;
+    EXPECT_EQ(cs.load(other), nullptr)
+        << "calibration keys on the FULL spec fingerprint";
+}
+
+TEST(ResultStore, RoundTripsABatchResultBitExactly)
+{
+    driver::BatchRunner runner;
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    runner.adoptCalibration(spec, sharedFakeTables());
+    driver::SweepSpec sweep;
+    sweep.noBankConflicts = true;
+    sweep.warpsPerSm = {8.0, 32.0};
+    const auto results = runner.run(
+        {driver::makeStridedSaxpyCase("strided", 8, 128, 4)}, {spec},
+        sweep);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+
+    store::ResultStore rs(freshDir("results"));
+    ASSERT_TRUE(rs.save("cell-key", results[0]));
+    auto loaded = rs.load("cell-key");
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(loaded->ok);
+    EXPECT_EQ(loaded->kernelName, results[0].kernelName);
+    EXPECT_EQ(loaded->analysis.prediction.totalSeconds,
+              results[0].analysis.prediction.totalSeconds);
+    EXPECT_EQ(loaded->analysis.measurement.timing.cycles,
+              results[0].analysis.measurement.timing.cycles);
+    EXPECT_EQ(loaded->analysis.measurement.stats.totalGlobalBytes(),
+              results[0].analysis.measurement.stats.totalGlobalBytes());
+    ASSERT_EQ(loaded->whatifs.size(), results[0].whatifs.size());
+    for (size_t j = 0; j < loaded->whatifs.size(); ++j) {
+        EXPECT_EQ(loaded->whatifs[j].point.kind,
+                  results[0].whatifs[j].point.kind);
+        EXPECT_EQ(loaded->whatifs[j].point.value,
+                  results[0].whatifs[j].point.value);
+        EXPECT_EQ(loaded->whatifs[j].result.before.totalSeconds,
+                  results[0].whatifs[j].result.before.totalSeconds);
+        EXPECT_EQ(loaded->whatifs[j].result.after.totalSeconds,
+                  results[0].whatifs[j].result.after.totalSeconds);
+        EXPECT_EQ(loaded->whatifs[j].speedup(),
+                  results[0].whatifs[j].speedup());
+    }
+    EXPECT_EQ(rs.load("other-key"), nullptr);
+}
+
+class WarmStoreTest : public ::testing::Test
+{
+  protected:
+    WarmStoreTest()
+    {
+        kernels_.push_back(driver::makeSaxpyCase("saxpy", 8, 128, 2.0f));
+        kernels_.push_back(
+            driver::makeStencil1dCase("stencil", 8, 128));
+        specs_ = {arch::GpuSpec::gtx285(),
+                  arch::GpuSpec::gtx285MoreBlocks(),
+                  arch::GpuSpec::gtx285BigResources(),
+                  arch::GpuSpec::gtx285PrimeBanks()};
+        sweep_.noBankConflicts = true;
+        sweep_.warpsPerSm = {16.0};
+    }
+
+    std::unique_ptr<driver::BatchRunner>
+    makeRunner(const std::string &store_dir, bool reuse_results = true)
+    {
+        driver::BatchRunner::Options opts;
+        opts.numThreads = 2;
+        opts.storeDir = store_dir;
+        opts.reuseStoredResults = reuse_results;
+        auto runner = std::make_unique<driver::BatchRunner>(opts);
+        for (const auto &spec : specs_)
+            runner->adoptCalibration(spec, sharedFakeTables());
+        return runner;
+    }
+
+    void expectSame(const std::vector<driver::BatchResult> &got,
+                    const std::vector<driver::BatchResult> &want)
+    {
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+            SCOPED_TRACE("cell " + std::to_string(i));
+            ASSERT_TRUE(got[i].ok) << got[i].error;
+            EXPECT_EQ(got[i].kernelName, want[i].kernelName);
+            EXPECT_EQ(got[i].specName, want[i].specName);
+            EXPECT_EQ(got[i].analysis.prediction.totalSeconds,
+                      want[i].analysis.prediction.totalSeconds);
+            EXPECT_EQ(got[i].analysis.measurement.timing.cycles,
+                      want[i].analysis.measurement.timing.cycles);
+            ASSERT_EQ(got[i].whatifs.size(), want[i].whatifs.size());
+            for (size_t j = 0; j < got[i].whatifs.size(); ++j)
+                EXPECT_EQ(got[i].whatifs[j].speedup(),
+                          want[i].whatifs[j].speedup());
+        }
+    }
+
+    std::vector<driver::KernelCase> kernels_;
+    std::vector<arch::GpuSpec> specs_;
+    driver::SweepSpec sweep_;
+};
+
+TEST_F(WarmStoreTest, WarmRunsAreBitIdenticalAndSkipFunctionalSim)
+{
+    const std::string dir = freshDir("warm-store");
+
+    auto cold = makeRunner(dir);
+    const auto cold_results = cold->run(kernels_, specs_, sweep_);
+    // Cold: every profile lookup missed, then was stored. 3 of the 4
+    // specs share one funcsim fingerprint, so 2 kernels x 2 distinct
+    // fingerprints = 4 profile builds for 8 cells.
+    ASSERT_NE(cold->profileStore(), nullptr);
+    EXPECT_EQ(cold->profileStore()->hits(), 0u);
+    EXPECT_EQ(cold->profileStore()->misses(), 4u);
+
+    // Warm, results reused: whole cells come from the store.
+    auto warm = makeRunner(dir);
+    const auto warm_results = warm->run(kernels_, specs_, sweep_);
+    expectSame(warm_results, cold_results);
+    EXPECT_EQ(warm->resultStore()->hits(),
+              kernels_.size() * specs_.size());
+
+    // Warm, result reuse off: profiles still come from the store
+    // (functional simulation skipped), the rest recomputes — and the
+    // numbers still match bit for bit.
+    auto warm_profiles_only = makeRunner(dir, false);
+    const auto reran = warm_profiles_only->run(kernels_, specs_, sweep_);
+    expectSame(reran, cold_results);
+    EXPECT_EQ(warm_profiles_only->profileStore()->hits(), 4u);
+    EXPECT_EQ(warm_profiles_only->profileStore()->misses(), 0u);
+    EXPECT_EQ(warm_profiles_only->resultStore()->hits(), 0u);
+}
+
+TEST_F(WarmStoreTest, SyntheticBenchResultsPersistAcrossRunners)
+{
+    const std::string dir = freshDir("bench-memo");
+    auto cold = makeRunner(dir);
+    (void)cold->run(kernels_, specs_, sweep_);
+
+    // The cold batch measured synthetic global benchmarks (the model's
+    // global component needs them); they must now be on disk...
+    ASSERT_NE(cold->calibrationStore(), nullptr);
+    const auto persisted =
+        cold->calibrationStore()->loadBenchResults(specs_[0]);
+    EXPECT_FALSE(persisted.empty());
+
+    // ...and a fresh runner must serve them from the store, producing
+    // identical results without re-measuring (bit-identity is checked
+    // by the sibling tests; here we pin the round trip itself).
+    auto warm = makeRunner(dir, false);
+    auto memo = warm->benchMemoFor(specs_[0]);
+    for (const auto &entry : persisted) {
+        bool ran_compute = false;
+        const auto served = memo->getOrCompute(entry.first, [&]() {
+            ran_compute = true;
+            return model::GlobalBenchResult{};
+        });
+        EXPECT_FALSE(ran_compute)
+            << "persisted benchmark was re-measured";
+        EXPECT_EQ(served.seconds, entry.second.seconds);
+        EXPECT_EQ(served.xactThroughput, entry.second.xactThroughput);
+    }
+}
+
+TEST_F(WarmStoreTest, SerialReferenceMatchesStoreServedResults)
+{
+    // The acceptance bar: store-served batches equal the per-cell
+    // serial pipeline bit for bit. runSerial calibrates for real, so
+    // compare against a per-cell BatchRunner with the same fake
+    // tables instead (itself pinned to runSerial's loop in
+    // test_batch.cc).
+    const std::string dir = freshDir("store-vs-serial");
+    auto cold = makeRunner(dir);
+    (void)cold->run(kernels_, specs_, sweep_);
+    auto warm = makeRunner(dir);
+    const auto warm_results = warm->run(kernels_, specs_, sweep_);
+
+    driver::BatchRunner::Options percell;
+    percell.numThreads = 1;
+    percell.shareProfiles = false;
+    driver::BatchRunner reference(percell);
+    for (const auto &spec : specs_)
+        reference.adoptCalibration(spec, sharedFakeTables());
+    const auto want = reference.run(kernels_, specs_, sweep_);
+    expectSame(warm_results, want);
+}
+
+} // namespace
+} // namespace gpuperf
