@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "bench/bench_common.h"
 #include "common/thread_pool.h"
@@ -275,6 +276,25 @@ main(int argc, char **argv)
               << Table::num(result_warm_rate / percell_rate, 2)
               << "x)\n";
     const bool share_gate_ok = share_speedup >= 3.0;
+
+    // Machine-readable trajectory for CI artifacts.
+    {
+        std::ofstream json("bench_batch_throughput.json");
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\n  \"bench\": \"batch_throughput\",\n"
+            "  \"gate\": \"%s\",\n  \"scaling_4t\": %.3f,\n"
+            "  \"hardware_threads\": %d,\n  \"grid\": {\"kernels\": %zu, "
+            "\"specs\": %zu},\n  \"analyses_per_sec\": "
+            "{\"per_cell\": %.1f, \"shared_cold\": %.1f, "
+            "\"shared_warm\": %.1f, \"warm_results\": %.1f}\n}\n",
+            share_gate_ok && thread_gate_ok ? "pass" : "fail", scaling,
+            hw_threads, grid_cases.size(), specs.size(), percell_rate,
+            cold_rate, warm_rate, result_warm_rate);
+        json << buf;
+    }
+
     if (!share_gate_ok)
         std::cerr << "profile-sharing gate FAILED\n";
     if (!thread_gate_ok)

@@ -3,31 +3,69 @@
 # gtest suite. Fails on any compile error or test failure. Future PRs
 # run this before merging.
 #
-# Usage: scripts/check.sh [build-dir] [build-type]
-#   build-dir   default: build
+# Usage: scripts/check.sh [--sanitize] [build-dir] [build-type]
+#   --sanitize  ASan+UBSan run: Debug build with
+#               -fsanitize=address,undefined, leak detection on, tests
+#               only (the perf gates measure nothing useful under a
+#               sanitizer). Defaults build-dir to build-asan. This is
+#               exactly what the CI sanitize job executes.
+#   build-dir   default: build (build-asan with --sanitize)
 #   build-type  Debug | Release | RelWithDebInfo | ... (default: the
 #               build dir's existing type, or CMake's default).
 #               Debug additionally exercises the debug-only
-#               homogeneous-sampling validation in the funcsim.
+#               homogeneous-sampling validation in the funcsim and the
+#               timing engine's cached-candidate cross-checks.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
-BUILD_TYPE="${2:-}"
+
+SANITIZE=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+    SANITIZE=1
+    shift
+fi
+
+if [[ "$SANITIZE" == 1 ]]; then
+    BUILD_DIR="${1:-build-asan}"
+    BUILD_TYPE="${2:-Debug}"
+else
+    BUILD_DIR="${1:-build}"
+    BUILD_TYPE="${2:-}"
+fi
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
+CMAKE_ARGS=()
 if [[ -n "$BUILD_TYPE" ]]; then
-    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
-else
-    cmake -B "$BUILD_DIR" -S .
+    CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE="$BUILD_TYPE")
 fi
+if [[ "$SANITIZE" == 1 ]]; then
+    CMAKE_ARGS+=(-DGPUPERF_SANITIZE=address,undefined)
+    export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+    export UBSAN_OPTIONS="print_stacktrace=1"
+else
+    # Pin the cache variable off: reusing a previously sanitized
+    # build dir must not silently run the perf gates on instrumented
+    # binaries.
+    CMAKE_ARGS+=(-DGPUPERF_SANITIZE=)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
-# Batch-throughput gates: thread scaling (self-skips on <4 hardware
-# threads) and the >=3x warm-store profile-sharing speedup.
+if [[ "$SANITIZE" == 1 ]]; then
+    echo "check.sh: sanitizer run green (perf gates skipped)"
+    exit 0
+fi
+
+# Throughput gates, skipped under sanitizers:
+#  - batch scaling (self-skips on <4 hardware threads) and the >=3x
+#    warm-store profile-sharing speedup;
+#  - the >=2x event-driven vs legacy-scan timing-replay speedup on
+#    the high-occupancy cases.
 # Calibration is cached in the build dir, so reruns are cheap.
 (cd "$BUILD_DIR" && ./bench_batch_throughput)
+(cd "$BUILD_DIR" && ./bench_timing_replay)
 
 echo "check.sh: all green"

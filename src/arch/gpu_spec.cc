@@ -126,6 +126,106 @@ FuncsimFingerprint::operator==(const FuncsimFingerprint &other) const
            textureCacheLineBytes == other.textureCacheLineBytes;
 }
 
+TimingFingerprint
+TimingFingerprint::of(const GpuSpec &spec)
+{
+    TimingFingerprint fp;
+    fp.numSms = spec.numSms;
+    fp.smsPerCluster = spec.smsPerCluster;
+    fp.spsPerSm = spec.spsPerSm;
+    fp.sfuMulPerSm = spec.sfuMulPerSm;
+    fp.sfuPerSm = spec.sfuPerSm;
+    fp.dpPerSm = spec.dpPerSm;
+    fp.warpSize = spec.warpSize;
+    fp.coreClockHz = spec.coreClockHz;
+    fp.registersPerSm = spec.registersPerSm;
+    fp.sharedMemPerSm = spec.sharedMemPerSm;
+    fp.maxThreadsPerSm = spec.maxThreadsPerSm;
+    fp.maxThreadsPerBlock = spec.maxThreadsPerBlock;
+    fp.maxBlocksPerSm = spec.maxBlocksPerSm;
+    fp.maxWarpsPerSm = spec.maxWarpsPerSm;
+    fp.registerAllocUnit = spec.registerAllocUnit;
+    fp.sharedAllocUnit = spec.sharedAllocUnit;
+    fp.sharedStaticPerBlock = spec.sharedStaticPerBlock;
+    fp.sharedIssueGroup = spec.sharedIssueGroup;
+    fp.memClockHz = spec.memClockHz;
+    fp.busWidthBits = spec.busWidthBits;
+    fp.aluDepCycles = spec.aluDepCycles;
+    fp.sharedDepCycles = spec.sharedDepCycles;
+    fp.warpSharedPassIntervalCycles = spec.warpSharedPassIntervalCycles;
+    fp.globalLatencyCycles = spec.globalLatencyCycles;
+    fp.transactionOverheadCycles = spec.transactionOverheadCycles;
+    fp.issueOverheadCycles = spec.issueOverheadCycles;
+    fp.textureCacheEnabled = spec.textureCacheEnabled;
+    fp.textureCacheBytesPerCluster = spec.textureCacheBytesPerCluster;
+    fp.textureCacheLineBytes = spec.textureCacheLineBytes;
+    fp.textureCacheWays = spec.textureCacheWays;
+    fp.textureHitLatencyCycles = spec.textureHitLatencyCycles;
+    return fp;
+}
+
+std::string
+TimingFingerprint::key() const
+{
+    char buf[512];
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "sms=%d|spc=%d|sp=%d|sfum=%d|sfu=%d|dp=%d|ws=%d|clk=%.17g|"
+        "regs=%d|smem=%d|thr=%d|tpb=%d|blk=%d|warps=%d|rau=%d|sau=%d|"
+        "ssb=%d|ig=%d|mem=%.17g|bus=%d|alu=%d|shd=%d|pass=%.17g|"
+        "lat=%d|ovh=%d|iss=%.17g|tex=%d-%d-%d-%d-%d",
+        numSms, smsPerCluster, spsPerSm, sfuMulPerSm, sfuPerSm, dpPerSm,
+        warpSize, coreClockHz, registersPerSm, sharedMemPerSm,
+        maxThreadsPerSm, maxThreadsPerBlock, maxBlocksPerSm,
+        maxWarpsPerSm, registerAllocUnit, sharedAllocUnit,
+        sharedStaticPerBlock, sharedIssueGroup, memClockHz, busWidthBits,
+        aluDepCycles, sharedDepCycles, warpSharedPassIntervalCycles,
+        globalLatencyCycles, transactionOverheadCycles,
+        issueOverheadCycles, textureCacheEnabled ? 1 : 0,
+        textureCacheBytesPerCluster, textureCacheLineBytes,
+        textureCacheWays, textureHitLatencyCycles);
+    GPUPERF_ASSERT(n > 0 && n < static_cast<int>(sizeof(buf)),
+                   "TimingFingerprint key overflow");
+    return buf;
+}
+
+bool
+TimingFingerprint::operator==(const TimingFingerprint &other) const
+{
+    return numSms == other.numSms &&
+           smsPerCluster == other.smsPerCluster &&
+           spsPerSm == other.spsPerSm &&
+           sfuMulPerSm == other.sfuMulPerSm &&
+           sfuPerSm == other.sfuPerSm && dpPerSm == other.dpPerSm &&
+           warpSize == other.warpSize &&
+           coreClockHz == other.coreClockHz &&
+           registersPerSm == other.registersPerSm &&
+           sharedMemPerSm == other.sharedMemPerSm &&
+           maxThreadsPerSm == other.maxThreadsPerSm &&
+           maxThreadsPerBlock == other.maxThreadsPerBlock &&
+           maxBlocksPerSm == other.maxBlocksPerSm &&
+           maxWarpsPerSm == other.maxWarpsPerSm &&
+           registerAllocUnit == other.registerAllocUnit &&
+           sharedAllocUnit == other.sharedAllocUnit &&
+           sharedStaticPerBlock == other.sharedStaticPerBlock &&
+           sharedIssueGroup == other.sharedIssueGroup &&
+           memClockHz == other.memClockHz &&
+           busWidthBits == other.busWidthBits &&
+           aluDepCycles == other.aluDepCycles &&
+           sharedDepCycles == other.sharedDepCycles &&
+           warpSharedPassIntervalCycles ==
+               other.warpSharedPassIntervalCycles &&
+           globalLatencyCycles == other.globalLatencyCycles &&
+           transactionOverheadCycles == other.transactionOverheadCycles &&
+           issueOverheadCycles == other.issueOverheadCycles &&
+           textureCacheEnabled == other.textureCacheEnabled &&
+           textureCacheBytesPerCluster ==
+               other.textureCacheBytesPerCluster &&
+           textureCacheLineBytes == other.textureCacheLineBytes &&
+           textureCacheWays == other.textureCacheWays &&
+           textureHitLatencyCycles == other.textureHitLatencyCycles;
+}
+
 GpuSpec
 GpuSpec::gtx285()
 {

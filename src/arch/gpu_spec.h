@@ -198,6 +198,74 @@ struct FuncsimFingerprint
     }
 };
 
+/**
+ * The slice of a GpuSpec the timing simulator reads — the
+ * timing-relevant complement of FuncsimFingerprint (a sub-key of
+ * GpuSpec::fingerprint()). Two specs with equal timing fingerprints
+ * replay any given KernelProfile to bit-identical TimingResults:
+ * everything the replay engines, the occupancy calculation they embed,
+ * and the per-spec launch-ceiling revalidation consult is included.
+ * Fields read only by the functional simulator (coalescing generation,
+ * shared-bank organization) and the free-form name are excluded — a
+ * TimingResult may be shared across specs differing only in those.
+ *
+ * When the timing simulator or the occupancy calculator starts
+ * reading a new GpuSpec field, add it here and to key() as well —
+ * exactly like the GpuSpec::fingerprint() contract.
+ */
+struct TimingFingerprint
+{
+    // Compute organization (issue intervals, clusters, clocks).
+    int numSms = 0;
+    int smsPerCluster = 0;
+    int spsPerSm = 0;
+    int sfuMulPerSm = 0;
+    int sfuPerSm = 0;
+    int dpPerSm = 0;
+    int warpSize = 0;
+    double coreClockHz = 0.0;
+    // Occupancy ceilings and allocation granularity.
+    int registersPerSm = 0;
+    int sharedMemPerSm = 0;
+    int maxThreadsPerSm = 0;
+    int maxThreadsPerBlock = 0;
+    int maxBlocksPerSm = 0;
+    int maxWarpsPerSm = 0;
+    int registerAllocUnit = 0;
+    int sharedAllocUnit = 0;
+    int sharedStaticPerBlock = 0;
+    /** Shared pass width: warpSize / sharedIssueGroup cycles. */
+    int sharedIssueGroup = 0;
+    // Cluster memory pipeline rate.
+    double memClockHz = 0.0;
+    int busWidthBits = 0;
+    // Pipeline latencies and overheads.
+    int aluDepCycles = 0;
+    int sharedDepCycles = 0;
+    double warpSharedPassIntervalCycles = 0.0;
+    int globalLatencyCycles = 0;
+    int transactionOverheadCycles = 0;
+    double issueOverheadCycles = 0.0;
+    // Texture cache (geometry and latencies).
+    bool textureCacheEnabled = false;
+    int textureCacheBytesPerCluster = 0;
+    int textureCacheLineBytes = 0;
+    int textureCacheWays = 0;
+    int textureHitLatencyCycles = 0;
+
+    /** Extract the timing-relevant slice of @p spec. */
+    static TimingFingerprint of(const GpuSpec &spec);
+
+    /** Deterministic serialization, usable as a cache key component. */
+    std::string key() const;
+
+    bool operator==(const TimingFingerprint &other) const;
+    bool operator!=(const TimingFingerprint &other) const
+    {
+        return !(*this == other);
+    }
+};
+
 } // namespace arch
 } // namespace gpuperf
 

@@ -14,6 +14,7 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -77,6 +78,22 @@ class OnceMap
         promise.set_value(std::move(value));
         std::lock_guard<std::mutex> lock(mutex_);
         map_[key] = promise.get_future().share();
+    }
+
+    /**
+     * The value for @p key if its computation has completed; empty
+     * when absent or still in flight (never blocks, never computes).
+     */
+    std::optional<Value> peek(const Key &key) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        if (it == map_.end() ||
+            it->second.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+            return std::nullopt;
+        }
+        return it->second.get();
     }
 
     /**

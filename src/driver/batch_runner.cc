@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <future>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -12,6 +13,7 @@
 #include "store/profile_store.h"
 #include "store/result_store.h"
 #include "store/serializer.h"
+#include "store/timing_store.h"
 
 namespace gpuperf {
 namespace driver {
@@ -100,6 +102,92 @@ evaluateOne(const KernelCase &kernel_case, const arch::GpuSpec &spec,
     });
 }
 
+/** Run @p kc's factory, validating the case and its output. */
+PreparedLaunch
+makeLaunch(const KernelCase &kc)
+{
+    if (!kc.make)
+        throw std::runtime_error("kernel case has no factory");
+    PreparedLaunch launch = kc.make();
+    if (!launch.gmem)
+        throw std::runtime_error("kernel case produced no memory");
+    return launch;
+}
+
+/** The options a profile run uses: trace collection forced on. */
+funcsim::RunOptions
+profileOptions(const PreparedLaunch &launch)
+{
+    funcsim::RunOptions options = launch.options;
+    options.collectTrace = true;
+    return options;
+}
+
+/** The profile key of @p launch (pristine memory image) on @p spec. */
+funcsim::ProfileKey
+profileKeyOf(const PreparedLaunch &launch, const arch::GpuSpec &spec)
+{
+    return funcsim::makeProfileKey(launch.kernel, launch.cfg,
+                                   profileOptions(launch), spec,
+                                   *launch.gmem);
+}
+
+/** Functionally simulate @p launch into a profile under @p key. */
+std::shared_ptr<const funcsim::KernelProfile>
+simulateProfile(const arch::GpuSpec &spec, PreparedLaunch &launch,
+                const funcsim::ProfileKey &key)
+{
+    funcsim::FunctionalSimulator sim(spec);
+    return std::make_shared<const funcsim::KernelProfile>(
+        funcsim::profileKernel(sim, launch.kernel, launch.cfg,
+                               *launch.gmem, profileOptions(launch),
+                               key));
+}
+
+/**
+ * Guard the keyed-profile paths against a factory that violates the
+ * documented repeatability contract: a launch rebuilt after the key
+ * was derived must still digest to that key, or the simulation would
+ * be persisted under another image's identity — poisoning the store
+ * for every later run. The image hash is noise next to the
+ * functional simulation that follows.
+ */
+void
+requireRepeatableFactory(const KernelCase &kc,
+                         const PreparedLaunch &launch,
+                         const arch::GpuSpec &spec,
+                         const funcsim::ProfileKey &key)
+{
+    if (profileKeyOf(launch, spec) != key) {
+        throw std::runtime_error(
+            "kernel case '" + kc.name +
+            "' is not repeatable: a rebuilt launch no longer matches "
+            "the profile key derived from its first factory run");
+    }
+}
+
+/**
+ * One kernel case's factory output together with its profile key,
+ * shared run-locally per (case position, funcsim fingerprint): the
+ * factory runs ONCE whether a cell needs only the key (warm
+ * result-store path) or the key and then, on a profile-store miss,
+ * the launch itself — the profile build takes the stashed launch
+ * instead of re-running the factory.
+ */
+struct PreparedCase
+{
+    funcsim::ProfileKey key;
+    std::mutex mutex;
+    std::unique_ptr<PreparedLaunch> launch;  ///< null once consumed
+
+    /** Drop the stashed input image (idempotent). */
+    void discardLaunch()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        launch.reset();
+    }
+};
+
 /**
  * Content identity of one finished cell for the persistent result
  * store: the case name, the profile's full key (kernel hash, input
@@ -137,6 +225,8 @@ BatchRunner::BatchRunner(Options options)
             options_.storeDir + "/calibrations");
         resultStore_ = std::make_unique<store::ResultStore>(
             options_.storeDir + "/results");
+        timingStore_ = std::make_unique<store::TimingStore>(
+            options_.storeDir + "/timing");
     }
 }
 
@@ -170,37 +260,81 @@ BatchRunner::calibrate(const arch::GpuSpec &spec,
     return tables;
 }
 
+funcsim::ProfileKey
+BatchRunner::profileKeyFor(const KernelCase &kc,
+                           const arch::GpuSpec &spec)
+{
+    const PreparedLaunch launch = makeLaunch(kc);
+    return profileKeyOf(launch, spec);
+}
+
 std::shared_ptr<const funcsim::KernelProfile>
 BatchRunner::profileFor(const KernelCase &kc, const arch::GpuSpec &spec)
 {
-    if (!kc.make)
-        throw std::runtime_error("kernel case has no factory");
-    PreparedLaunch launch = kc.make();
-    if (!launch.gmem)
-        throw std::runtime_error("kernel case produced no memory");
-    funcsim::RunOptions options = launch.options;
-    options.collectTrace = true;
+    PreparedLaunch launch = makeLaunch(kc);
     // One key computation (it digests the memory image) serves both
     // the store lookup and, on a miss, the built profile.
-    const funcsim::ProfileKey key = funcsim::makeProfileKey(
-        launch.kernel, launch.cfg, options, spec, *launch.gmem);
+    const funcsim::ProfileKey key = profileKeyOf(launch, spec);
     if (profileStore_) {
         if (auto profile = profileStore_->load(key))
             return profile;
     }
-    funcsim::FunctionalSimulator sim(spec);
-    auto profile = std::make_shared<const funcsim::KernelProfile>(
-        funcsim::profileKernel(sim, launch.kernel, launch.cfg,
-                               *launch.gmem, options, key));
+    auto profile = simulateProfile(spec, launch, key);
     if (profileStore_)
         profileStore_->save(*profile);
     return profile;
+}
+
+std::shared_ptr<const funcsim::KernelProfile>
+BatchRunner::profileFor(const KernelCase &kc, const arch::GpuSpec &spec,
+                        const funcsim::ProfileKey &key)
+{
+    // Known key: a store hit needs no factory run at all — the entry
+    // self-validates against the key, which profileKeyFor() already
+    // derived from the same (repeatable) factory.
+    if (profileStore_) {
+        if (auto profile = profileStore_->load(key))
+            return profile;
+    }
+    PreparedLaunch launch = makeLaunch(kc);
+    requireRepeatableFactory(kc, launch, spec, key);
+    auto profile = simulateProfile(spec, launch, key);
+    if (profileStore_)
+        profileStore_->save(*profile);
+    return profile;
+}
+
+std::shared_ptr<const timing::TimingResult>
+BatchRunner::timingFor(
+    const std::shared_ptr<const funcsim::KernelProfile> &profile,
+    const arch::GpuSpec &spec)
+{
+    GPUPERF_ASSERT(profile != nullptr, "timing of a null profile");
+    const arch::TimingFingerprint fp = arch::TimingFingerprint::of(spec);
+    const std::string key = store::TimingStore::keyFor(profile->key, fp);
+    return timings_.getOrCompute(
+        key, [&]() -> std::shared_ptr<const timing::TimingResult> {
+            if (timingStore_) {
+                if (auto stored = timingStore_->load(profile->key, fp))
+                    return stored;
+            }
+            // A standalone simulator for the spec replays exactly what
+            // a session's device would (both are deterministic
+            // functions of the trace and the timing fingerprint).
+            timing::TimingSimulator sim(spec);
+            auto result = std::make_shared<const timing::TimingResult>(
+                sim.run(*profile));
+            if (timingStore_)
+                timingStore_->save(profile->key, fp, *result);
+            return result;
+        });
 }
 
 BatchResult
 BatchRunner::evaluateCell(
     const KernelCase &kc, const arch::GpuSpec &spec, TablesPtr tables,
     BenchMemoPtr memo, const SweepSpec &sweep, uint64_t tables_digest,
+    const std::function<funcsim::ProfileKey()> &key_for,
     const std::function<std::shared_ptr<const funcsim::KernelProfile>()>
         &profile_for)
 {
@@ -209,26 +343,33 @@ BatchRunner::evaluateCell(
                            std::move(memo), sweep);
 
     return guardedCell(kc.name, spec.name, [&](BatchResult &r) {
-        auto profile = profile_for();
         std::string rkey;
         if (resultStore_) {
-            rkey = resultKey(kc.name, profile->key, spec,
-                             tables_digest, sweep);
-        }
-        if (resultStore_ && options_.reuseStoredResults) {
-            if (auto stored = resultStore_->load(rkey)) {
-                // The stored payload is bit-identical to a recompute;
-                // names come from the current batch so a renamed case
-                // or spec can never leak a stale label (both are part
-                // of the key, so this is belt and braces).
-                stored->kernelName = kc.name;
-                stored->specName = spec.name;
-                r = std::move(*stored);
-                return;
+            // Key-only path: the result key needs the profile's
+            // identity, not the profile — a warm result cell never
+            // deserializes (or simulates) the profile at all.
+            rkey = resultKey(kc.name, key_for(), spec, tables_digest,
+                             sweep);
+            if (options_.reuseStoredResults) {
+                if (auto stored = resultStore_->load(rkey)) {
+                    // The stored payload is bit-identical to a
+                    // recompute; names come from the current batch so
+                    // a renamed case or spec can never leak a stale
+                    // label (both are part of the key, so this is
+                    // belt and braces).
+                    stored->kernelName = kc.name;
+                    stored->specName = spec.name;
+                    r = std::move(*stored);
+                    return;
+                }
             }
         }
+        auto profile = profile_for();
         analyzeInto(r, spec, std::move(tables), std::move(memo), sweep,
                     [&](model::AnalysisSession &session) {
+                        if (options_.shareTiming)
+                            return session.analyze(
+                                profile, timingFor(profile, spec));
                         return session.analyze(profile);
                     });
         // Persist regardless of reuseStoredResults: that switch gates
@@ -333,6 +474,12 @@ BatchRunner::run(const std::vector<KernelCase> &kernels,
     // content).
     OnceMap<std::string, std::shared_ptr<const funcsim::KernelProfile>>
         run_profiles;
+    // The factory-output companion of run_profiles: one factory run
+    // per (case position, funcsim fingerprint) yields the profile key
+    // — all a warm result-store cell needs — AND stashes the launch,
+    // which the profile build consumes on a store miss instead of
+    // re-running the factory.
+    OnceMap<std::string, std::shared_ptr<PreparedCase>> run_prepared;
     std::vector<std::future<BatchResult>> futures;
     futures.reserve(kernels.size() * specs.size());
     for (size_t ki = 0; ki < kernels.size(); ++ki) {
@@ -344,18 +491,66 @@ BatchRunner::run(const std::vector<KernelCase> &kernels,
             const uint64_t digest = digests[si];
             futures.push_back(pool_.submit(
                 [this, ki, &kc, &spec, t, m, &sweep, digest,
-                 &run_profiles]() {
-                    auto profile_for = [this, ki, &kc, &spec,
-                                        &run_profiles]() {
-                        const std::string key =
-                            std::to_string(ki) + "#" +
-                            arch::FuncsimFingerprint::of(spec).key();
-                        return run_profiles.getOrCompute(key, [&]() {
-                            return profileFor(kc, spec);
+                 &run_profiles, &run_prepared]() {
+                    const std::string key =
+                        std::to_string(ki) + "#" +
+                        arch::FuncsimFingerprint::of(spec).key();
+                    auto prepared_for = [this, &kc, &spec,
+                                         &run_prepared, &key]() {
+                        return run_prepared.getOrCompute(key, [&]() {
+                            auto pc = std::make_shared<PreparedCase>();
+                            pc->launch =
+                                std::make_unique<PreparedLaunch>(
+                                    makeLaunch(kc));
+                            pc->key = profileKeyOf(*pc->launch, spec);
+                            return pc;
                         });
                     };
-                    return evaluateCell(kc, spec, t, m, sweep, digest,
-                                        profile_for);
+                    auto key_for = [&prepared_for]() {
+                        return prepared_for()->key;
+                    };
+                    auto profile_for = [this, &kc, &spec,
+                                        &run_profiles, &prepared_for,
+                                        &key]() {
+                        return run_profiles.getOrCompute(key, [&]() {
+                            // Storeless runs take the one-pass path.
+                            if (!profileStore_)
+                                return profileFor(kc, spec);
+                            auto pc = prepared_for();
+                            if (auto profile =
+                                    profileStore_->load(pc->key))
+                                return profile;
+                            // Miss: simulate on the stashed launch
+                            // (rebuilt only if a completed sibling
+                            // cell already discarded it).
+                            std::unique_ptr<PreparedLaunch> launch;
+                            {
+                                std::lock_guard<std::mutex> lock(
+                                    pc->mutex);
+                                launch = std::move(pc->launch);
+                            }
+                            if (!launch) {
+                                launch = std::make_unique<
+                                    PreparedLaunch>(makeLaunch(kc));
+                                requireRepeatableFactory(
+                                    kc, *launch, spec, pc->key);
+                            }
+                            auto profile = simulateProfile(
+                                spec, *launch, pc->key);
+                            profileStore_->save(*profile);
+                            return profile;
+                        });
+                    };
+                    BatchResult cell =
+                        evaluateCell(kc, spec, t, m, sweep, digest,
+                                     key_for, profile_for);
+                    // This cell is done with the stashed input image:
+                    // siblings get the profile from run_profiles (or
+                    // the store), so holding megabytes of memory
+                    // image for the rest of the batch buys nothing.
+                    if (auto pc = run_prepared.peek(key))
+                        (*pc)->discardLaunch();
+                    return cell;
                 }));
         }
     }

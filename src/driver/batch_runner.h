@@ -44,6 +44,7 @@ namespace store {
 class CalibrationStore;
 class ProfileStore;
 class ResultStore;
+class TimingStore;
 } // namespace store
 
 namespace driver {
@@ -132,6 +133,19 @@ class BatchRunner
          * this switch only gates serving them back.
          */
         bool reuseStoredResults = true;
+        /**
+         * Memoize timing replays per (profile key, timing
+         * fingerprint): cells whose specs differ only in
+         * timing-irrelevant fields — and repeated cells whose
+         * result-store keys differ (another sweep grid, another
+         * calibration, a renamed case) — run zero timing
+         * simulations. With storeDir set the memo persists through
+         * the TimingStore. Results are bit-identical either way (the
+         * replay engines are deterministic functions of exactly that
+         * key). Only applies with shareProfiles (the per-cell
+         * reference pipeline shares nothing by design).
+         */
+        bool shareTiming = true;
     };
 
     BatchRunner(); ///< default Options
@@ -183,6 +197,37 @@ class BatchRunner
     profileFor(const KernelCase &kc, const arch::GpuSpec &spec);
 
     /**
+     * Like profileFor() with the profile key already computed (via
+     * profileKeyFor() on the same case and spec): a profile-store hit
+     * is served without running the case's factory at all, and a miss
+     * skips re-hashing the input image.
+     */
+    std::shared_ptr<const funcsim::KernelProfile>
+    profileFor(const KernelCase &kc, const arch::GpuSpec &spec,
+               const funcsim::ProfileKey &key);
+
+    /**
+     * The key profileFor() would compute for @p kc under @p spec:
+     * runs the factory and digests the pristine input image, but
+     * performs no simulation and reads no store. Everything keyed on
+     * the profile — result-store entries, the timing memo — can be
+     * derived from this without touching the profile itself.
+     */
+    funcsim::ProfileKey profileKeyFor(const KernelCase &kc,
+                                      const arch::GpuSpec &spec);
+
+    /**
+     * The timing replay of @p profile under @p spec, memoized per
+     * (profile key, arch::TimingFingerprint) — in memory across the
+     * runner's lifetime and, with a store, on disk across processes.
+     * The first caller replays (or loads); everyone else gets the
+     * bit-identical shared result.
+     */
+    std::shared_ptr<const timing::TimingResult>
+    timingFor(const std::shared_ptr<const funcsim::KernelProfile> &profile,
+              const arch::GpuSpec &spec);
+
+    /**
      * Shared synthetic-benchmark memo for a spec (memoized like
      * calibrations). With a store configured, a fresh memo is
      * pre-seeded from the persisted benchmark results, so a warm
@@ -206,6 +251,10 @@ class BatchRunner
     {
         return resultStore_.get();
     }
+    const store::TimingStore *timingStore() const
+    {
+        return timingStore_.get();
+    }
 
   private:
     /** Memoization key: the spec's full fingerprint. */
@@ -218,13 +267,17 @@ class BatchRunner
     /**
      * One cell: profile-sharing or per-cell pipeline per Options.
      * @p tables_digest identifies the calibration for result-store
-     * keys (0 when no tables / no store).
+     * keys (0 when no tables / no store). @p key_for derives the
+     * cell's profile key without materializing the profile (the
+     * key-only path warm result-store cells take); @p profile_for
+     * produces the profile itself. Both are batch-memoized by run().
      */
     BatchResult evaluateCell(
         const KernelCase &kc, const arch::GpuSpec &spec,
         std::shared_ptr<const model::CalibrationTables> tables,
         std::shared_ptr<model::GlobalBenchMemo> memo,
         const SweepSpec &sweep, uint64_t tables_digest,
+        const std::function<funcsim::ProfileKey()> &key_for,
         const std::function<
             std::shared_ptr<const funcsim::KernelProfile>()> &profile);
 
@@ -234,6 +287,7 @@ class BatchRunner
     std::unique_ptr<store::ProfileStore> profileStore_;
     std::unique_ptr<store::CalibrationStore> calibrationStore_;
     std::unique_ptr<store::ResultStore> resultStore_;
+    std::unique_ptr<store::TimingStore> timingStore_;
 
     /**
      * Compute-once per spec key: the first caller for a key
@@ -245,6 +299,13 @@ class BatchRunner
         calibrations_;
     OnceMap<std::string, std::shared_ptr<model::GlobalBenchMemo>>
         benchMemos_;
+    /**
+     * Timing memo, keyed by content — (profile key, timing
+     * fingerprint) — not by batch position, so it safely spans run()
+     * calls and case lists for the runner's lifetime.
+     */
+    OnceMap<std::string, std::shared_ptr<const timing::TimingResult>>
+        timings_;
 };
 
 /**

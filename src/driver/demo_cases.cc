@@ -1,5 +1,7 @@
 #include "driver/demo_cases.h"
 
+#include "apps/spmv/formats.h"
+#include "apps/spmv/kernels.h"
 #include "common/logging.h"
 #include "isa/builder.h"
 
@@ -274,6 +276,36 @@ makeStencil1dCase(const std::string &name, int grid_dim, int block_dim)
         launch.gmem = std::move(gmem);
         launch.cfg.gridDim = grid_dim;
         launch.cfg.blockDim = block_dim;
+        return launch;
+    };
+    return kc;
+}
+
+KernelCase
+makeSpmvEllCase(const std::string &name, int block_rows,
+                int blocks_per_row)
+{
+    GPUPERF_ASSERT(block_rows > 0 && blocks_per_row > 0,
+                   "SpMV case needs a non-empty matrix");
+    KernelCase kc;
+    kc.name = name;
+    kc.make = [block_rows, blocks_per_row]() {
+        const apps::BlockSparseMatrix m = apps::makeBandedBlockMatrix(
+            block_rows, blocks_per_row, 2 * blocks_per_row);
+        // ELL storage: ld x k values + columns (4 B each, ld rounded
+        // up to a warp), four row-length vectors, plus slack.
+        const size_t rows = static_cast<size_t>(m.rows());
+        const size_t k = static_cast<size_t>(m.maxRowEntries());
+        auto gmem = std::make_unique<funcsim::GlobalMemory>(
+            (rows + 64) * (k * 8 + 32) + (1u << 20));
+        const apps::SpmvVectors v = apps::makeVectors(*gmem, m);
+        const apps::EllDeviceMatrix ell = apps::buildEll(*gmem, m);
+
+        PreparedLaunch launch(
+            apps::makeEllKernel(ell, v, /*use_texture=*/false));
+        launch.gmem = std::move(gmem);
+        launch.cfg.gridDim = apps::spmvGridDim(ell.rows);
+        launch.cfg.blockDim = apps::kSpmvBlockDim;
         return launch;
     };
     return kc;

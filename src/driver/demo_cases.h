@@ -56,6 +56,19 @@ KernelCase makeSharedConflictCase(const std::string &name, int grid_dim,
 KernelCase makeStencil1dCase(const std::string &name, int grid_dim,
                              int block_dim);
 
+/**
+ * Scalar-ELL SpMV over a synthetic banded block matrix (the paper's
+ * Section 5.3 workload as a repeatable batch case): one thread per
+ * row, coalesced (value, column) streams plus a data-dependent
+ * gathered vector load per entry. @p block_rows block rows of
+ * @p blocks_per_row 3x3 blocks; the launch uses the standard SpMV
+ * block size (apps::kSpmvBlockDim = 128 threads), so large
+ * @p block_rows produce the high-occupancy launches the
+ * timing-replay benchmarks target.
+ */
+KernelCase makeSpmvEllCase(const std::string &name, int block_rows,
+                           int blocks_per_row);
+
 } // namespace driver
 } // namespace gpuperf
 

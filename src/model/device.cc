@@ -38,28 +38,57 @@ SimulatedDevice::profile(const isa::Kernel &kernel,
         funcsim::profileKernel(funcSim_, kernel, cfg, gmem, options));
 }
 
-Measurement
-SimulatedDevice::measure(const funcsim::KernelProfile &profile) const
+namespace {
+
+/**
+ * Re-apply the launch-ceiling checks the functional simulator
+ * performed under the producing spec, against @p spec: a shared
+ * profile must fail exactly where a per-cell functional run would
+ * have (same conditions, same messages). Shared by the replaying and
+ * memoized measurement paths.
+ */
+void
+revalidateLaunch(const funcsim::KernelProfile &profile,
+                 const arch::GpuSpec &spec)
 {
-    // Re-apply the launch-ceiling checks the functional simulator
-    // performed under the producing spec, against THIS spec: a shared
-    // profile must fail exactly where a per-cell functional run would
-    // have (same conditions, same messages).
     const funcsim::LaunchConfig &cfg = profile.key.cfg;
     if (cfg.gridDim <= 0 || cfg.blockDim <= 0)
         fatal("launch of kernel '%s' has empty grid (%d x %d)",
               profile.kernelName.c_str(), cfg.gridDim, cfg.blockDim);
-    if (cfg.blockDim > spec_.maxThreadsPerBlock)
+    if (cfg.blockDim > spec.maxThreadsPerBlock)
         fatal("kernel '%s': block of %d threads exceeds the %d-thread "
               "block ceiling", profile.kernelName.c_str(), cfg.blockDim,
-              spec_.maxThreadsPerBlock);
-    if (profile.resources.sharedBytesPerBlock > spec_.sharedMemPerSm)
+              spec.maxThreadsPerBlock);
+    if (profile.resources.sharedBytesPerBlock > spec.sharedMemPerSm)
         fatal("kernel '%s': %d B shared memory exceeds the %d B SM "
               "capacity", profile.kernelName.c_str(),
-              profile.resources.sharedBytesPerBlock, spec_.sharedMemPerSm);
+              profile.resources.sharedBytesPerBlock, spec.sharedMemPerSm);
+}
 
+} // namespace
+
+Measurement
+SimulatedDevice::measure(const funcsim::KernelProfile &profile) const
+{
+    revalidateLaunch(profile, spec_);
     Measurement m;
     m.timing = timingSim_.run(profile);
+    m.stats = profile.stats;
+    return m;
+}
+
+Measurement
+SimulatedDevice::measure(const funcsim::KernelProfile &profile,
+                         const timing::TimingResult &timing) const
+{
+    revalidateLaunch(profile, spec_);
+    if (profile.key.fingerprint != arch::FuncsimFingerprint::of(spec_))
+        fatal("kernel '%s': profile was produced under an incompatible "
+              "functional-simulation fingerprint — recompute it for "
+              "spec '%s'", profile.kernelName.c_str(),
+              spec_.name.c_str());
+    Measurement m;
+    m.timing = timing;
     m.stats = profile.stats;
     return m;
 }

@@ -76,6 +76,19 @@ class SimulatedDevice
      */
     Measurement measure(const funcsim::KernelProfile &profile) const;
 
+    /**
+     * Like measure(profile) but with the timing replay already done:
+     * @p timing MUST be what this device's timing simulator would
+     * produce for @p profile (i.e. computed under a spec with this
+     * spec's arch::TimingFingerprint — the timing memo's contract),
+     * making the result bit-identical to measure(profile) without
+     * replaying. The per-spec launch-ceiling revalidation still runs:
+     * a memoized measurement must fail exactly where a fresh one
+     * would.
+     */
+    Measurement measure(const funcsim::KernelProfile &profile,
+                        const timing::TimingResult &timing) const;
+
     const arch::GpuSpec &spec() const { return spec_; }
     funcsim::FunctionalSimulator &funcSim() { return funcSim_; }
     const timing::TimingSimulator &timingSim() const { return timingSim_; }

@@ -42,6 +42,17 @@ AnalysisSession::analyze(
 }
 
 Analysis
+AnalysisSession::analyze(
+    const std::shared_ptr<const funcsim::KernelProfile> &profile,
+    const std::shared_ptr<const timing::TimingResult> &timing)
+{
+    GPUPERF_ASSERT(profile != nullptr, "cannot analyze a null profile");
+    GPUPERF_ASSERT(timing != nullptr, "cannot analyze a null timing");
+    Measurement m = device_.measure(*profile, *timing);
+    return analyzeMeasured(std::move(m), profile->resources);
+}
+
+Analysis
 AnalysisSession::analyzeMeasured(Measurement measurement,
                                  const arch::KernelResources &resources)
 {

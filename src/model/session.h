@@ -85,6 +85,17 @@ class AnalysisSession
     Analysis analyze(
         const std::shared_ptr<const funcsim::KernelProfile> &profile);
 
+    /**
+     * Like analyze(profile) with the timing replay already available
+     * (e.g. from the BatchRunner's timing memo keyed by profile key x
+     * arch::TimingFingerprint). @p timing must be what this session's
+     * device would replay for @p profile; the result is then
+     * bit-identical to analyze(profile) with zero timing simulation.
+     */
+    Analysis analyze(
+        const std::shared_ptr<const funcsim::KernelProfile> &profile,
+        const std::shared_ptr<const timing::TimingResult> &timing);
+
     /** Predict from an existing measurement (no re-execution). */
     Analysis analyzeMeasured(Measurement measurement,
                              const arch::KernelResources &resources);

@@ -167,6 +167,8 @@ readOccupancy(ByteReader &r, arch::Occupancy *o)
     return r.ok();
 }
 
+} // namespace
+
 void
 writeTiming(ByteWriter &w, const timing::TimingResult &t)
 {
@@ -194,6 +196,8 @@ readTiming(ByteReader &r, timing::TimingResult *t)
     t->texMisses = r.u64();
     return readOccupancy(r, &t->occupancy);
 }
+
+namespace {
 
 void
 writeInput(ByteWriter &w, const model::ModelInput &in)

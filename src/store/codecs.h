@@ -32,6 +32,14 @@ bool readTrace(ByteReader &r, funcsim::LaunchTrace *trace);
 void writeProfile(ByteWriter &w, const funcsim::KernelProfile &profile);
 bool readProfile(ByteReader &r, funcsim::KernelProfile *profile);
 
+/**
+ * TimingResult round-trips bit-exactly (every double as raw IEEE-754
+ * bits), which is what lets the persistent timing memo (TimingStore)
+ * serve replays that are indistinguishable from recomputation.
+ */
+void writeTiming(ByteWriter &w, const timing::TimingResult &t);
+bool readTiming(ByteReader &r, timing::TimingResult *t);
+
 void writeTables(ByteWriter &w, const model::CalibrationTables &tables);
 bool readTables(ByteReader &r, model::CalibrationTables *tables);
 

@@ -41,6 +41,13 @@ ProfileStore::load(const funcsim::ProfileKey &key) const
 }
 
 bool
+ProfileStore::readKey(const funcsim::ProfileKey &key) const
+{
+    const std::string key_str = key.str();
+    return readEntryHeader(path(key, key_str), kFormatVersion, key_str);
+}
+
+bool
 ProfileStore::save(const funcsim::KernelProfile &profile) const
 {
     const std::string key_str = profile.key.str();

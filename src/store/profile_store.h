@@ -46,6 +46,17 @@ class ProfileStore
     std::shared_ptr<const funcsim::KernelProfile>
     load(const funcsim::ProfileKey &key) const;
 
+    /**
+     * Key-only lookup: true iff a valid entry for @p key exists —
+     * header validated (magic, format version, full key echo, length)
+     * WITHOUT deserializing the profile payload. For callers that
+     * need an entry's existence or validity (warmth probes, tooling)
+     * a header read replaces a trace decode; batch cells go further
+     * and derive their result keys without touching the store at all
+     * (BatchRunner::profileKeyFor). Does not count as a hit or miss.
+     */
+    bool readKey(const funcsim::ProfileKey &key) const;
+
     /** Persist @p profile under its own key. */
     bool save(const funcsim::KernelProfile &profile) const;
 

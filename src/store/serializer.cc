@@ -210,6 +210,36 @@ readEntryFile(const std::string &path, uint32_t version,
     return payload->size() == size;
 }
 
+bool
+readEntryHeader(const std::string &path, uint32_t version,
+                const std::string &key)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    // Read only the fixed header plus the key: magic (8) + version
+    // (4) + key length (8) + key bytes + payload length (8). The
+    // payload — the expensive part of a profile entry — stays on
+    // disk.
+    const size_t header_size = 8 + 4 + 8 + key.size() + 8;
+    std::string data(header_size, '\0');
+    in.read(&data[0], static_cast<std::streamsize>(header_size));
+    if (in.gcount() != static_cast<std::streamsize>(header_size))
+        return false;
+    ByteReader r(data);
+    if (r.u64() != kMagic || r.u32() != version || r.str() != key)
+        return false;
+    // Payload length must be consistent with what is actually there
+    // (a truncated entry is a miss, exactly as in readEntryFile).
+    const uint64_t size = r.u64();
+    if (!r.ok())
+        return false;
+    in.seekg(0, std::ios::end);
+    const std::streamoff file_size = in.tellg();
+    return file_size >= 0 &&
+           static_cast<uint64_t>(file_size) == header_size + size;
+}
+
 std::string
 fileStem(const std::string &name, const std::string &key)
 {

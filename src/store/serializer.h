@@ -102,6 +102,15 @@ bool readEntryFile(const std::string &path, uint32_t version,
                    const std::string &key, std::string *payload);
 
 /**
+ * Validate an entry's header only — magic, @p version, stored key ==
+ * @p key, and a payload length consistent with the file size — without
+ * reading the payload into memory. The cheap existence check behind
+ * key-only paths such as ProfileStore::readKey().
+ */
+bool readEntryHeader(const std::string &path, uint32_t version,
+                     const std::string &key);
+
+/**
  * Short, filesystem-safe file stem for a store key: a sanitized prefix
  * of @p name (for humans) plus an FNV-1a hash of the full key (for
  * uniqueness). A hash collision is harmless: the key stored inside the

@@ -1,0 +1,57 @@
+#include "store/timing_store.h"
+
+#include "store/codecs.h"
+#include "store/serializer.h"
+
+namespace gpuperf {
+namespace store {
+
+std::string
+TimingStore::keyFor(const funcsim::ProfileKey &key,
+                    const arch::TimingFingerprint &fp)
+{
+    return key.str() + "|timing=" + fp.key();
+}
+
+TimingStore::TimingStore(std::string dir) : dir_(std::move(dir))
+{
+    makeDirs(dir_);
+}
+
+std::shared_ptr<const timing::TimingResult>
+TimingStore::load(const funcsim::ProfileKey &key,
+                  const arch::TimingFingerprint &fp) const
+{
+    const std::string key_str = keyFor(key, fp);
+    const std::string path =
+        dir_ + "/" + fileStem("timing", key_str) + ".timing";
+    std::string payload;
+    if (!readEntryFile(path, kFormatVersion, key_str, &payload)) {
+        ++misses_;
+        return nullptr;
+    }
+    auto result = std::make_shared<timing::TimingResult>();
+    ByteReader r(payload);
+    if (!readTiming(r, result.get()) || !r.atEnd()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return result;
+}
+
+bool
+TimingStore::save(const funcsim::ProfileKey &key,
+                  const arch::TimingFingerprint &fp,
+                  const timing::TimingResult &result) const
+{
+    const std::string key_str = keyFor(key, fp);
+    const std::string path =
+        dir_ + "/" + fileStem("timing", key_str) + ".timing";
+    ByteWriter w;
+    writeTiming(w, result);
+    return writeEntryFile(path, kFormatVersion, key_str, w.bytes());
+}
+
+} // namespace store
+} // namespace gpuperf

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Internal interface between TimingSimulator and its two replay
+ * engines. Both produce bit-identical TimingResults for every valid
+ * LaunchTrace (pinned by tests/test_timing_engine.cc):
+ *
+ *  - the legacy scan engine (engine_legacy.cc): the original
+ *    reference implementation, re-scanning every live warp of an SM
+ *    for each issued operation;
+ *  - the event-driven engine (engine_event.cc): per-SM per-class
+ *    ready heaps with batched drain of stalled warps, the default.
+ *
+ * Not installed API — include only from src/timing/.
+ */
+
+#ifndef GPUPERF_TIMING_REPLAY_ENGINE_H
+#define GPUPERF_TIMING_REPLAY_ENGINE_H
+
+#include "arch/gpu_spec.h"
+#include "funcsim/trace.h"
+#include "timing/simulator.h"
+
+namespace gpuperf {
+namespace timing {
+namespace detail {
+
+/** Replay @p trace with the original O(live warps)-per-issue scan. */
+TimingResult replayLegacyScan(const arch::GpuSpec &spec,
+                              const funcsim::LaunchTrace &trace);
+
+/** Replay @p trace with the event-driven scheduler. */
+TimingResult replayEventDriven(const arch::GpuSpec &spec,
+                               const funcsim::LaunchTrace &trace);
+
+} // namespace detail
+} // namespace timing
+} // namespace gpuperf
+
+#endif // GPUPERF_TIMING_REPLAY_ENGINE_H

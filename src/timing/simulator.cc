@@ -1,502 +1,35 @@
 #include "timing/simulator.h"
 
-#include <algorithm>
-#include <queue>
-#include <vector>
-
-#include "arch/instr_class.h"
 #include "common/logging.h"
-#include "timing/texture_cache.h"
+#include "timing/replay_engine.h"
 
 namespace gpuperf {
 namespace timing {
 
-namespace {
-
-using funcsim::LaunchTrace;
-using funcsim::TraceOp;
-using funcsim::WarpTrace;
-using isa::UnitKind;
-
-constexpr double kInf = 1e300;
-
-/** Mutable replay state of one resident warp. */
-struct WarpCtx
+bool
+TimingResult::operator==(const TimingResult &other) const
 {
-    const WarpTrace *trace = nullptr;
-    size_t opIdx = 0;
-    double inorderReady = 0.0;  ///< earliest issue time of the next op
-    double drainTime = 0.0;     ///< all issued results available
-    double lastIssue = 0.0;
-    double sharedNext = 0.0;    ///< per-warp shared-pass rate limit
-    /** Completion time of the warp's shared-memory stores; barriers
-     *  wait for these (but not for in-flight global loads). */
-    double sharedDrain = 0.0;
-    std::vector<double> regReady;  ///< index = register + 1
-    bool done = false;
-    bool arrived = false;       ///< waiting at a barrier
-    int blockSlot = -1;
-};
-
-/** A resident block. */
-struct BlockCtx
-{
-    std::vector<int> warps;   ///< warp slot indices
-    int arrivedCount = 0;
-    int doneCount = 0;
-};
-
-/** Cluster-level memory pipeline state. */
-struct ClusterCtx
-{
-    double portBusy = 0.0;
-    TextureCache *tex = nullptr;
-};
-
-/** One streaming multiprocessor. */
-struct SmCtx
-{
-    std::vector<WarpCtx> warps;      // grows; done warps removed from live
-    std::vector<int> live;           // indices of non-done warps
-    std::vector<BlockCtx> blocks;    // grows over the run
-    double arithBusy = 0.0;
-    double sharedBusy = 0.0;
-    double issueBusy = 0.0;
-    int rr = 0;
-    int cluster = 0;
-    int residentBlocks = 0;
-};
-
-/** Whole-machine replay engine. */
-class Engine
-{
-  public:
-    Engine(const arch::GpuSpec &spec, const LaunchTrace &trace)
-        : spec_(spec), trace_(trace)
-    {
-        for (int t = 0; t < arch::kNumInstrTypes; ++t) {
-            arithOcc_[t] = arch::issueIntervalCycles(
-                               spec_, static_cast<arch::InstrType>(t)) +
-                           spec_.issueOverheadCycles;
-        }
-        sharedPassCycles_ = static_cast<double>(spec_.warpSize) /
-                            spec_.sharedIssueGroup;
-        clusterRate_ = spec_.clusterBytesPerCycle();
-    }
-
-    TimingResult run();
-
-  private:
-    /** Assign block @p block_id to @p sm, warps ready at @p start. */
-    void placeBlock(SmCtx &sm, int block_id, double start);
-
-    /**
-     * Find the earliest issuable operation on @p sm, performing any
-     * pending barrier releases and block replacements on the way.
-     * @return issue time, or kInf when the SM has nothing left.
-     */
-    double nextCandidate(SmCtx &sm, int &warp_out);
-
-    /** Issue the next op of warp @p wi on @p sm; updates all state. */
-    void issue(SmCtx &sm, int wi);
-
-    void finishWarp(SmCtx &sm, int wi);
-
-    const arch::GpuSpec &spec_;
-    const LaunchTrace &trace_;
-
-    std::vector<SmCtx> sms_;
-    std::vector<ClusterCtx> clusters_;
-    std::vector<TextureCache> texStorage_;
-    int nextBlock_ = 0;
-
-    double arithOcc_[arch::kNumInstrTypes] = {};
-    double sharedPassCycles_ = 2.0;
-    double clusterRate_ = 1.0;
-
-    double endTime_ = 0.0;
-    TimingResult result_;
-};
-
-void
-Engine::placeBlock(SmCtx &sm, int block_id, double start)
-{
-    BlockCtx block;
-    const auto &bt = trace_.blocks[block_id];
-    for (int trace_idx : bt.warpTraceIdx) {
-        WarpCtx w;
-        w.trace = &trace_.pool[trace_idx];
-        w.inorderReady = start;
-        w.drainTime = start;
-        w.lastIssue = start;
-        w.regReady.assign(
-            static_cast<size_t>(trace_.registersPerThread) + 1, start);
-        w.blockSlot = static_cast<int>(sm.blocks.size());
-        const int slot = static_cast<int>(sm.warps.size());
-        if (w.trace->ops.empty()) {
-            w.done = true;
-        } else {
-            sm.live.push_back(slot);
-        }
-        block.warps.push_back(slot);
-        if (w.done)
-            ++block.doneCount;
-        sm.warps.push_back(std::move(w));
-    }
-    sm.blocks.push_back(std::move(block));
-    ++sm.residentBlocks;
-    // A fully-empty block frees its slot immediately.
-    BlockCtx &placed = sm.blocks.back();
-    if (placed.doneCount == static_cast<int>(placed.warps.size())) {
-        --sm.residentBlocks;
-        if (nextBlock_ < static_cast<int>(trace_.blocks.size()))
-            placeBlock(sm, nextBlock_++, start);
-    }
+    const arch::Occupancy &a = occupancy;
+    const arch::Occupancy &b = other.occupancy;
+    return cycles == other.cycles && seconds == other.seconds &&
+           totalOps == other.totalOps &&
+           arithBusyCycles == other.arithBusyCycles &&
+           sharedBusyCycles == other.sharedBusyCycles &&
+           portBusyCycles == other.portBusyCycles &&
+           texHits == other.texHits && texMisses == other.texMisses &&
+           a.blocksByRegisters == b.blocksByRegisters &&
+           a.blocksBySharedMem == b.blocksBySharedMem &&
+           a.blocksByThreads == b.blocksByThreads &&
+           a.blocksByBlockLimit == b.blocksByBlockLimit &&
+           a.blocksByWarpLimit == b.blocksByWarpLimit &&
+           a.residentBlocks == b.residentBlocks &&
+           a.residentWarps == b.residentWarps && a.limit == b.limit &&
+           a.warpsPerBlock == b.warpsPerBlock;
 }
 
-double
-Engine::nextCandidate(SmCtx &sm, int &warp_out)
-{
-    while (true) {
-        double best = kInf;
-        int best_warp = -1;
-        bool released = false;
-
-        const int n = static_cast<int>(sm.live.size());
-        for (int k = 0; k < n; ++k) {
-            const int wi = sm.live[(sm.rr + k) % n];
-            WarpCtx &w = sm.warps[wi];
-            GPUPERF_ASSERT(!w.done, "done warp on live list");
-            const TraceOp &op = w.trace->ops[w.opIdx];
-
-            if (op.unit == UnitKind::kBarrier) {
-                if (!w.arrived) {
-                    w.arrived = true;
-                    const int slot = w.blockSlot;
-                    ++sm.blocks[slot].arrivedCount;
-                    const int waiting =
-                        static_cast<int>(sm.blocks[slot].warps.size()) -
-                        sm.blocks[slot].doneCount;
-                    if (sm.blocks[slot].arrivedCount == waiting) {
-                        // Release: all live warps of the block pass the
-                        // barrier once every outstanding result drains.
-                        // Copy the member list: finishWarp() may place a
-                        // new block and reallocate sm.blocks.
-                        const std::vector<int> members =
-                            sm.blocks[slot].warps;
-                        // A barrier waits until every warp has issued
-                        // all prior instructions and its shared-memory
-                        // stores are visible; in-flight global loads
-                        // keep going across the barrier.
-                        double release = 0.0;
-                        for (int bw : members) {
-                            WarpCtx &other = sm.warps[bw];
-                            if (other.done)
-                                continue;
-                            release = std::max(
-                                release, std::max(other.inorderReady,
-                                                  other.sharedDrain));
-                        }
-                        for (int bw : members) {
-                            WarpCtx &other = sm.warps[bw];
-                            if (other.done)
-                                continue;
-                            other.arrived = false;
-                            other.inorderReady = release;
-                            ++other.opIdx;
-                            if (other.opIdx == other.trace->ops.size())
-                                finishWarp(sm, bw);
-                        }
-                        sm.blocks[slot].arrivedCount = 0;
-                        released = true;
-                        break;  // live list may have changed; rescan
-                    }
-                }
-                continue;  // waiting at the barrier
-            }
-
-            double t = std::max(w.inorderReady, sm.issueBusy);
-            for (int s = 0; s < 3; ++s) {
-                if (op.src[s])
-                    t = std::max(t, w.regReady[op.src[s]]);
-            }
-            switch (op.unit) {
-              case UnitKind::kArithI:
-              case UnitKind::kArithII:
-              case UnitKind::kArithIII:
-              case UnitKind::kArithIV:
-                t = std::max(t, sm.arithBusy);
-                if (op.sharedPasses > 0) {
-                    t = std::max(t, sm.sharedBusy);
-                    t = std::max(t, w.sharedNext);
-                }
-                break;
-              case UnitKind::kSharedMem:
-                t = std::max(t, sm.sharedBusy);
-                t = std::max(t, w.sharedNext);
-                break;
-              default:
-                break;
-            }
-            if (t < best) {
-                best = t;
-                best_warp = wi;
-            }
-        }
-
-        if (released)
-            continue;  // rescan after a barrier release
-        warp_out = best_warp;
-        return best_warp >= 0 ? best : kInf;
-    }
-}
-
-void
-Engine::finishWarp(SmCtx &sm, int wi)
-{
-    WarpCtx &w = sm.warps[wi];
-    w.done = true;
-    endTime_ = std::max(endTime_, w.drainTime);
-    auto it = std::find(sm.live.begin(), sm.live.end(), wi);
-    if (it != sm.live.end()) {
-        *it = sm.live.back();
-        sm.live.pop_back();
-    }
-
-    BlockCtx &block = sm.blocks[w.blockSlot];
-    ++block.doneCount;
-    if (block.doneCount == static_cast<int>(block.warps.size())) {
-        double finish = 0.0;
-        for (int bw : block.warps)
-            finish = std::max(finish, sm.warps[bw].drainTime);
-        --sm.residentBlocks;
-        if (nextBlock_ < static_cast<int>(trace_.blocks.size()))
-            placeBlock(sm, nextBlock_++, finish);
-    }
-}
-
-void
-Engine::issue(SmCtx &sm, int wi)
-{
-    WarpCtx &w = sm.warps[wi];
-    const TraceOp &op = w.trace->ops[w.opIdx];
-    ClusterCtx &cluster = clusters_[sm.cluster];
-
-    // Recompute the issue time (the candidate scan already proved all
-    // constraints; recomputing keeps this function self-contained).
-    double t = std::max(w.inorderReady, sm.issueBusy);
-    for (int s = 0; s < 3; ++s) {
-        if (op.src[s])
-            t = std::max(t, w.regReady[op.src[s]]);
-    }
-
-    double dst_ready = t;
-    switch (op.unit) {
-      case UnitKind::kArithI:
-      case UnitKind::kArithII:
-      case UnitKind::kArithIII:
-      case UnitKind::kArithIV: {
-        const int type_idx = static_cast<int>(op.unit);
-        t = std::max(t, sm.arithBusy);
-        if (op.sharedPasses > 0) {
-            t = std::max(t, sm.sharedBusy);
-            t = std::max(t, w.sharedNext);
-        }
-        const double occ = arithOcc_[type_idx];
-        sm.arithBusy = t + occ;
-        result_.arithBusyCycles += occ;
-        double latency = std::max<double>(spec_.aluDepCycles, occ);
-        if (op.sharedPasses > 0) {
-            // A shared operand occupies the shared pipeline too and the
-            // result arrives with the shared pipeline's latency.
-            const double shared_occ = op.sharedPasses * sharedPassCycles_;
-            sm.sharedBusy = t + shared_occ;
-            w.sharedNext =
-                t + op.sharedPasses * spec_.warpSharedPassIntervalCycles;
-            result_.sharedBusyCycles += shared_occ;
-            latency = std::max<double>(latency, spec_.sharedDepCycles);
-        }
-        dst_ready = t + latency;
-        break;
-      }
-      case UnitKind::kSharedMem: {
-        t = std::max(t, sm.sharedBusy);
-        t = std::max(t, w.sharedNext);
-        const double occ = op.conflict * sharedPassCycles_ +
-                           spec_.issueOverheadCycles;
-        sm.sharedBusy = t + occ;
-        w.sharedNext =
-            t + op.conflict * spec_.warpSharedPassIntervalCycles;
-        result_.sharedBusyCycles += occ;
-        dst_ready = t + std::max<double>(spec_.sharedDepCycles, occ);
-        if (!op.dst) {
-            // Store: barriers must see it complete.
-            w.sharedDrain = std::max(w.sharedDrain, dst_ready);
-        }
-        break;
-      }
-      case UnitKind::kGlobalLoad:
-      case UnitKind::kGlobalStore: {
-        const double start = std::max(t + 1.0, cluster.portBusy);
-        const double service =
-            op.numXacts * spec_.transactionOverheadCycles +
-            op.xactBytes / clusterRate_;
-        cluster.portBusy = start + service;
-        result_.portBusyCycles += service;
-        endTime_ = std::max(endTime_, cluster.portBusy);
-        dst_ready = cluster.portBusy + spec_.globalLatencyCycles;
-        if (op.unit == UnitKind::kGlobalStore) {
-            // Stores complete at port service for drain purposes.
-            dst_ready = cluster.portBusy;
-        }
-        break;
-      }
-      case UnitKind::kTexLoad: {
-        int miss_bytes = 0;
-        int misses = 0;
-        if (spec_.textureCacheEnabled) {
-            for (uint16_t i = 0; i < op.numXacts; ++i) {
-                const uint32_t line =
-                    w.trace->texLines[op.texIdx + i];
-                if (!cluster.tex->access(line, t)) {
-                    ++misses;
-                    miss_bytes += spec_.textureCacheLineBytes;
-                }
-            }
-        } else {
-            misses = op.numXacts;
-            miss_bytes = op.xactBytes;
-        }
-        if (misses > 0) {
-            const double start = std::max(t + 1.0, cluster.portBusy);
-            const double service =
-                misses * spec_.transactionOverheadCycles +
-                miss_bytes / clusterRate_;
-            cluster.portBusy = start + service;
-            result_.portBusyCycles += service;
-            endTime_ = std::max(endTime_, cluster.portBusy);
-            dst_ready = cluster.portBusy + spec_.globalLatencyCycles;
-        } else {
-            dst_ready = t + spec_.textureHitLatencyCycles;
-        }
-        break;
-      }
-      case UnitKind::kBarrier:
-      case UnitKind::kNone:
-        panic("barrier/none ops never reach issue()");
-    }
-
-    sm.issueBusy = t + 1.0;
-    w.inorderReady = t + 1.0;
-    w.lastIssue = t;
-    if (op.dst)
-        w.regReady[op.dst] = dst_ready;
-    w.drainTime = std::max(w.drainTime, dst_ready);
-    endTime_ = std::max(endTime_, w.drainTime);
-    sm.rr = (sm.rr + 1);
-
-    ++result_.totalOps;
-    ++w.opIdx;
-    if (w.opIdx == w.trace->ops.size())
-        finishWarp(sm, wi);
-}
-
-TimingResult
-Engine::run()
-{
-    const int grid = static_cast<int>(trace_.blocks.size());
-    if (grid == 0)
-        fatal("timing: empty launch trace");
-
-    arch::KernelResources res;
-    res.registersPerThread = trace_.registersPerThread;
-    res.sharedBytesPerBlock = trace_.sharedBytesPerBlock;
-    res.threadsPerBlock = trace_.blockDim;
-    result_.occupancy = arch::computeOccupancy(spec_, res);
-    const int max_resident = result_.occupancy.residentBlocks;
-
-    sms_.resize(spec_.numSms);
-    clusters_.resize(spec_.numClusters());
-    texStorage_.clear();
-    texStorage_.reserve(clusters_.size());
-    for (size_t c = 0; c < clusters_.size(); ++c) {
-        texStorage_.emplace_back(spec_.textureCacheBytesPerCluster,
-                                 spec_.textureCacheLineBytes,
-                                 spec_.textureCacheWays);
-        clusters_[c].tex = &texStorage_[c];
-    }
-    for (int i = 0; i < spec_.numSms; ++i)
-        sms_[i].cluster = i / spec_.smsPerCluster;
-
-    // Initial distribution: uniform round-robin across CLUSTERS first
-    // (then across the SMs within each cluster), as the paper observes
-    // for GT200 block scheduling — this balances the shared memory
-    // pipelines and produces Figure 3's period-10 sawtooth.
-    std::vector<int> sm_order(spec_.numSms);
-    const int clusters = spec_.numClusters();
-    for (int i = 0; i < spec_.numSms; ++i)
-        sm_order[i] = (i % clusters) * spec_.smsPerCluster + i / clusters;
-    nextBlock_ = 0;
-    for (int round = 0; round < max_resident; ++round) {
-        for (int i = 0; i < spec_.numSms && nextBlock_ < grid; ++i) {
-            SmCtx &sm = sms_[sm_order[i]];
-            if (sm.residentBlocks < max_resident)
-                placeBlock(sm, nextBlock_++, 0.0);
-        }
-    }
-
-    using HeapItem = std::pair<double, int>;
-    std::priority_queue<HeapItem, std::vector<HeapItem>,
-                        std::greater<HeapItem>> heap;
-    for (int s = 0; s < spec_.numSms; ++s) {
-        int warp = -1;
-        const double t = nextCandidate(sms_[s], warp);
-        if (t < kInf)
-            heap.push({t, s});
-    }
-
-    while (!heap.empty()) {
-        const auto [t, s] = heap.top();
-        heap.pop();
-        SmCtx &sm = sms_[s];
-        int warp = -1;
-        const double fresh = nextCandidate(sm, warp);
-        if (fresh >= kInf)
-            continue;  // SM drained
-        if (fresh > t + 1e-9) {
-            heap.push({fresh, s});
-            continue;  // candidate moved; retry in global order
-        }
-        issue(sm, warp);
-        int next_warp = -1;
-        const double next_t = nextCandidate(sm, next_warp);
-        if (next_t < kInf)
-            heap.push({next_t, s});
-    }
-
-    // Sanity: everything must have completed.
-    for (const SmCtx &sm : sms_) {
-        if (!sm.live.empty())
-            panic("timing: SM finished with %zu live warps — deadlock?",
-                  sm.live.size());
-    }
-    if (nextBlock_ != grid)
-        panic("timing: only %d of %d blocks were scheduled", nextBlock_,
-              grid);
-
-    result_.cycles = endTime_;
-    result_.seconds = endTime_ / spec_.coreClockHz;
-    for (const auto &tc : texStorage_) {
-        result_.texHits += tc.hits();
-        result_.texMisses += tc.misses();
-    }
-    return result_;
-}
-
-} // namespace
-
-TimingSimulator::TimingSimulator(const arch::GpuSpec &spec)
-    : spec_(spec)
+TimingSimulator::TimingSimulator(const arch::GpuSpec &spec,
+                                 ReplayEngine engine)
+    : spec_(spec), engine_(engine)
 {
     spec_.validate();
 }
@@ -504,8 +37,9 @@ TimingSimulator::TimingSimulator(const arch::GpuSpec &spec)
 TimingResult
 TimingSimulator::run(const funcsim::LaunchTrace &trace) const
 {
-    Engine engine(spec_, trace);
-    return engine.run();
+    if (engine_ == ReplayEngine::kLegacyScan)
+        return detail::replayLegacyScan(spec_, trace);
+    return detail::replayEventDriven(spec_, trace);
 }
 
 TimingResult

@@ -68,13 +68,40 @@ struct TimingResult
     arch::Occupancy occupancy;
 
     double milliseconds() const { return seconds * 1e3; }
+
+    /**
+     * Exact (bit-level for the doubles) equality of every field.
+     * Used by the engine A/B tests and the timing memo, both of
+     * which promise bit-identical results, never "close enough".
+     */
+    bool operator==(const TimingResult &other) const;
+    bool operator!=(const TimingResult &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/**
+ * Replay-engine selection. Both engines produce bit-identical
+ * TimingResults for every valid trace (pinned by
+ * tests/test_timing_engine.cc); the event-driven engine is the
+ * default and asymptotically cheaper per issued operation, the legacy
+ * scan engine is kept as the reference for differential testing and
+ * the bench_timing_replay speedup study.
+ */
+enum class ReplayEngine
+{
+    kEventDriven = 0,
+    kLegacyScan = 1,
 };
 
 /** The timing simulator. */
 class TimingSimulator
 {
   public:
-    explicit TimingSimulator(const arch::GpuSpec &spec);
+    explicit TimingSimulator(
+        const arch::GpuSpec &spec,
+        ReplayEngine engine = ReplayEngine::kEventDriven);
 
     /**
      * Replay @p trace and return the simulated execution time.
@@ -93,9 +120,11 @@ class TimingSimulator
     TimingResult run(const funcsim::KernelProfile &profile) const;
 
     const arch::GpuSpec &spec() const { return spec_; }
+    ReplayEngine engine() const { return engine_; }
 
   private:
     arch::GpuSpec spec_;
+    ReplayEngine engine_;
 };
 
 } // namespace timing

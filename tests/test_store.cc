@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "driver/batch_runner.h"
 #include "driver/demo_cases.h"
@@ -24,6 +25,7 @@
 #include "store/profile_store.h"
 #include "store/result_store.h"
 #include "store/serializer.h"
+#include "store/timing_store.h"
 
 namespace gpuperf {
 namespace {
@@ -253,6 +255,112 @@ TEST(ResultStore, RoundTripsABatchResultBitExactly)
     EXPECT_EQ(rs.load("other-key"), nullptr);
 }
 
+TEST(ProfileStore, ReadKeyValidatesWithoutDeserializing)
+{
+    auto kc = driver::makeSaxpyCase("saxpy", 4, 128, 2.0f);
+    auto launch = kc.make();
+    model::SimulatedDevice dev(arch::GpuSpec::gtx285());
+    auto profile = dev.profile(launch.kernel, launch.cfg, *launch.gmem);
+
+    store::ProfileStore ps(freshDir("profile-readkey"));
+    EXPECT_FALSE(ps.readKey(profile->key)) << "nothing stored yet";
+    ASSERT_TRUE(ps.save(*profile));
+    EXPECT_TRUE(ps.readKey(profile->key));
+
+    // Any key mutation misses, exactly like a full load.
+    funcsim::ProfileKey other = profile->key;
+    other.cfg.blockDim *= 2;
+    EXPECT_FALSE(ps.readKey(other));
+    other = profile->key;
+    other.kernelHash ^= 1;
+    EXPECT_FALSE(ps.readKey(other));
+
+    // The key-only path is not a load: hit/miss counters untouched.
+    EXPECT_EQ(ps.hits(), 0u);
+    EXPECT_EQ(ps.misses(), 0u);
+
+    // A truncated entry (torn write) is a miss, not a false positive.
+    const std::string key_str = profile->key.str();
+    const std::string path = ps.dir() + "/" +
+                             store::fileStem("profile", key_str) +
+                             ".profile";
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ASSERT_GT(data.size(), 16u);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size() - 7));
+    out.close();
+    EXPECT_FALSE(ps.readKey(profile->key));
+}
+
+TEST(ProfileStore, KeyedProfileForServesStoreHitsWithoutTheFactory)
+{
+    // The public key-only pair: profileKeyFor() derives the identity
+    // (one factory run, no simulation), profileFor(kc, spec, key)
+    // then serves a store hit without re-running the factory.
+    const std::string dir = freshDir("keyed-profile-for");
+    driver::BatchRunner::Options opts;
+    opts.storeDir = dir;
+    driver::BatchRunner runner(opts);
+    auto kc = driver::makeSaxpyCase("saxpy", 4, 128, 2.0f);
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+
+    const funcsim::ProfileKey key = runner.profileKeyFor(kc, spec);
+    EXPECT_FALSE(runner.profileStore()->readKey(key));
+    auto built = runner.profileFor(kc, spec, key);
+    ASSERT_NE(built, nullptr);
+    EXPECT_EQ(built->key, key);
+    EXPECT_TRUE(runner.profileStore()->readKey(key));
+
+    // Second call: served from the store. A factory-free hit is
+    // observable through a poisoned factory.
+    driver::KernelCase poisoned = kc;
+    poisoned.make = []() -> driver::PreparedLaunch {
+        throw std::runtime_error("factory must not run on a hit");
+    };
+    auto loaded = runner.profileFor(poisoned, spec, key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->key, key);
+    EXPECT_EQ(runner.profileStore()->hits(), 1u);
+}
+
+TEST(TimingStore, RoundTripsReplaysBitExactlyPerFingerprint)
+{
+    auto kc = driver::makeStencil1dCase("stencil", 8, 128);
+    auto launch = kc.make();
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    model::SimulatedDevice dev(spec);
+    auto profile = dev.profile(launch.kernel, launch.cfg, *launch.gmem);
+    const timing::TimingResult replay =
+        dev.timingSim().run(*profile);
+
+    store::TimingStore ts(freshDir("timing-store"));
+    const arch::TimingFingerprint fp = arch::TimingFingerprint::of(spec);
+    EXPECT_EQ(ts.load(profile->key, fp), nullptr);
+    ASSERT_TRUE(ts.save(profile->key, fp, replay));
+    auto loaded = ts.load(profile->key, fp);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(*loaded == replay) << "codec must round-trip exactly";
+
+    // A different timing fingerprint (same profile) is a distinct
+    // entry: the paper's what-if variants never alias each other.
+    arch::GpuSpec slow = spec;
+    slow.globalLatencyCycles *= 2;
+    EXPECT_EQ(ts.load(profile->key,
+                      arch::TimingFingerprint::of(slow)),
+              nullptr);
+    // ...and a timing-irrelevant spec edit maps to the same entry.
+    arch::GpuSpec renamed = spec;
+    renamed.name = "same machine, other label";
+    EXPECT_NE(ts.load(profile->key,
+                      arch::TimingFingerprint::of(renamed)),
+              nullptr);
+    EXPECT_EQ(ts.hits(), 2u);
+    EXPECT_EQ(ts.misses(), 2u);
+}
+
 class WarmStoreTest : public ::testing::Test
 {
   protected:
@@ -336,6 +444,51 @@ TEST_F(WarmStoreTest, WarmRunsAreBitIdenticalAndSkipFunctionalSim)
     EXPECT_EQ(warm_profiles_only->profileStore()->hits(), 4u);
     EXPECT_EQ(warm_profiles_only->profileStore()->misses(), 0u);
     EXPECT_EQ(warm_profiles_only->resultStore()->hits(), 0u);
+}
+
+TEST_F(WarmStoreTest, WarmResultCellsTakeTheKeyOnlyPath)
+{
+    const std::string dir = freshDir("warm-keyonly");
+    auto cold = makeRunner(dir);
+    const auto cold_results = cold->run(kernels_, specs_, sweep_);
+
+    // Every cell is served from the result store, and the result key
+    // is derived from profileKeyFor() alone: the profile files are
+    // never opened, let alone deserialized.
+    auto warm = makeRunner(dir);
+    const auto warm_results = warm->run(kernels_, specs_, sweep_);
+    expectSame(warm_results, cold_results);
+    EXPECT_EQ(warm->resultStore()->hits(),
+              kernels_.size() * specs_.size());
+    EXPECT_EQ(warm->profileStore()->hits(), 0u)
+        << "warm result cells must not load profiles";
+    EXPECT_EQ(warm->profileStore()->misses(), 0u);
+    EXPECT_EQ(warm->timingStore()->hits(), 0u)
+        << "warm result cells skip the timing memo too";
+}
+
+TEST_F(WarmStoreTest, TimingMemoPersistsAcrossProcesses)
+{
+    const std::string dir = freshDir("warm-timing");
+    auto cold = makeRunner(dir);
+    (void)cold->run(kernels_, specs_, sweep_);
+    // 3 of the 4 specs share a funcsim fingerprint but all 4 have
+    // distinct TIMING fingerprints, so the cold run replays (and
+    // persists) one timing result per cell.
+    ASSERT_NE(cold->timingStore(), nullptr);
+    EXPECT_EQ(cold->timingStore()->misses(),
+              kernels_.size() * specs_.size());
+
+    // A "new process" with result reuse off: profiles and timing
+    // replays both come from disk — the cells recompute only
+    // extraction, prediction and the sweep.
+    auto warm = makeRunner(dir, false);
+    const auto warm_results = warm->run(kernels_, specs_, sweep_);
+    for (const auto &r : warm_results)
+        ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(warm->timingStore()->hits(),
+              kernels_.size() * specs_.size());
+    EXPECT_EQ(warm->timingStore()->misses(), 0u);
 }
 
 TEST_F(WarmStoreTest, SyntheticBenchResultsPersistAcrossRunners)
