@@ -16,6 +16,13 @@
  *    entirely across process restarts. Gate: warm-store analyses/sec
  *    >= 3x the per-cell pipeline at M >= 4 variants (results are
  *    bit-identical either way — pinned by test_profile/test_store).
+ *
+ * 3. Streaming delivery: on a two-spec batch whose cold calibrations
+ *    cost very differently, runStream() must hand over the first
+ *    finished cell while the slower spec's microbenchmark sweep is
+ *    still running. Gate: time-to-first-result < time of the last
+ *    calibration completing (a blocking run() delivers only at batch
+ *    drain). Reported in bench_batch_throughput.json ("streaming").
  */
 
 #include <chrono>
@@ -42,13 +49,13 @@ makeBatch(int points, bool full)
     cases.reserve(static_cast<size_t>(points));
     for (int i = 0; i < points; ++i) {
         const std::string tag = "#" + std::to_string(i);
-        // Vary the per-case parameters with v = i/4, which is
-        // independent of the i%4 case selector — every family keeps a
+        // Vary the per-case parameters with v = i/5, which is
+        // independent of the i%5 case selector — every family keeps a
         // spread of distinct kernels (distinct profiles) within the
-        // batch. Each formula stays injective through v = 7, i.e. up
-        // to 32 points (the largest batch the studies request).
-        const int v = i / 4;
-        switch (i % 4) {
+        // batch. Each formula stays injective through v = 12, i.e. up
+        // to 64 points (the largest batch the studies request).
+        const int v = i / 5;
+        switch (i % 5) {
           case 0:
             cases.push_back(driver::makeSaxpyCase(
                 "saxpy" + tag, (16 + 8 * v) * scale, 256, 2.0f));
@@ -65,9 +72,13 @@ makeBatch(int points, bool full)
                 "conflict" + tag, 8 * scale, 128, 2 << (v % 4),
                 48 + 16 * (v / 4)));
             break;
-          default:
+          case 3:
             cases.push_back(driver::makeStencil1dCase(
                 "stencil" + tag, (12 + 4 * v) * scale, 256));
+            break;
+          default:
+            cases.push_back(driver::makeReductionCase(
+                "reduce" + tag, (8 + 4 * v) * scale, 256));
             break;
         }
     }
@@ -277,10 +288,80 @@ main(int argc, char **argv)
               << "x)\n";
     const bool share_gate_ok = share_speedup >= 3.0;
 
+    // ---------------------------------------------------------------
+    // Study 3: streaming delivery — time to first result. Two specs
+    // whose COLD calibrations cost very differently: the task graph
+    // must stream the quick spec's finished cells out while the slow
+    // spec's microbenchmark sweep is still running, so the first
+    // result lands before the last calibration completes (a blocking
+    // run() delivers nothing until the whole batch drains).
+    // ---------------------------------------------------------------
+    printBanner(std::cout,
+                "streaming delivery (time to first result, cold "
+                "calibrations)");
+
+    arch::GpuSpec quick = arch::GpuSpec::gtx285();
+    quick.name = "GTX tiny (quick calibration)";
+    quick.numSms = 3;
+    quick.maxWarpsPerSm = 8;
+    quick.maxThreadsPerSm = 256;
+    quick.maxThreadsPerBlock = 256;
+    quick.validate();
+    arch::GpuSpec slow_cal = arch::GpuSpec::gtx285();
+    slow_cal.name = "GTX mid (slow calibration)";
+    slow_cal.numSms = 15;
+    slow_cal.maxWarpsPerSm = 16;
+    slow_cal.maxThreadsPerSm = 512;
+    slow_cal.validate();
+
+    const auto stream_cases = makeBatch(6, false);
+    driver::BatchRunner::Options stream_opts;
+    stream_opts.numThreads = 4;
+    driver::BatchRunner streamer(stream_opts); // cold: no adopt, no store
+    size_t stream_ok = 0;
+    const auto stream_stats = streamer.runStream(
+        stream_cases, {quick, slow_cal}, sweep,
+        [&stream_ok](size_t, driver::BatchResult r) {
+            stream_ok += r.ok ? 1 : 0;
+        });
+    if (stream_ok != stream_cases.size() * 2) {
+        std::cerr << "streaming study had failing analyses\n";
+        return 1;
+    }
+
+    // run() is runStream + reorder: its time-to-first-result IS the
+    // drain time, so the same run yields the blocking baseline.
+    Table stream_table({"delivery", "first result (s)",
+                        "last calibration (s)", "batch total (s)"});
+    stream_table.addRow({"streaming (runStream)",
+                         Table::num(stream_stats.firstResultSeconds, 3),
+                         Table::num(stream_stats.lastCalibrationSeconds,
+                                    3),
+                         Table::num(stream_stats.totalSeconds, 3)});
+    stream_table.addRow({"blocking (run)",
+                         Table::num(stream_stats.totalSeconds, 3), "-",
+                         Table::num(stream_stats.totalSeconds, 3)});
+    bench::emit(stream_table, opts);
+
+    const bool stream_gate_ok = stream_stats.firstResultSeconds <
+                                stream_stats.lastCalibrationSeconds;
+    std::cout << "\ntime to first result: "
+              << Table::num(stream_stats.firstResultSeconds, 3)
+              << "s streaming vs "
+              << Table::num(stream_stats.totalSeconds, 3)
+              << "s blocking — "
+              << Table::num(stream_stats.totalSeconds /
+                                stream_stats.firstResultSeconds,
+                            1)
+              << "x earlier (gate: first result before the slowest "
+                 "calibration finishes at "
+              << Table::num(stream_stats.lastCalibrationSeconds, 3)
+              << "s)\n";
+
     // Machine-readable trajectory for CI artifacts.
     {
         std::ofstream json("bench_batch_throughput.json");
-        char buf[512];
+        char buf[768];
         std::snprintf(
             buf, sizeof(buf),
             "{\n  \"bench\": \"batch_throughput\",\n"
@@ -288,10 +369,18 @@ main(int argc, char **argv)
             "  \"hardware_threads\": %d,\n  \"grid\": {\"kernels\": %zu, "
             "\"specs\": %zu},\n  \"analyses_per_sec\": "
             "{\"per_cell\": %.1f, \"shared_cold\": %.1f, "
-            "\"shared_warm\": %.1f, \"warm_results\": %.1f}\n}\n",
-            share_gate_ok && thread_gate_ok ? "pass" : "fail", scaling,
-            hw_threads, grid_cases.size(), specs.size(), percell_rate,
-            cold_rate, warm_rate, result_warm_rate);
+            "\"shared_warm\": %.1f, \"warm_results\": %.1f},\n"
+            "  \"streaming\": {\"first_result_sec\": %.3f, "
+            "\"last_calibration_sec\": %.3f, \"total_sec\": %.3f, "
+            "\"blocking_first_result_sec\": %.3f}\n}\n",
+            share_gate_ok && thread_gate_ok && stream_gate_ok
+                ? "pass"
+                : "fail",
+            scaling, hw_threads, grid_cases.size(), specs.size(),
+            percell_rate, cold_rate, warm_rate, result_warm_rate,
+            stream_stats.firstResultSeconds,
+            stream_stats.lastCalibrationSeconds,
+            stream_stats.totalSeconds, stream_stats.totalSeconds);
         json << buf;
     }
 
@@ -299,5 +388,7 @@ main(int argc, char **argv)
         std::cerr << "profile-sharing gate FAILED\n";
     if (!thread_gate_ok)
         std::cerr << "thread-scaling gate FAILED\n";
-    return share_gate_ok && thread_gate_ok ? 0 : 1;
+    if (!stream_gate_ok)
+        std::cerr << "streaming time-to-first-result gate FAILED\n";
+    return share_gate_ok && thread_gate_ok && stream_gate_ok ? 0 : 1;
 }

@@ -150,6 +150,11 @@ main(int argc, char **argv)
     cases.push_back({driver::makeSharedConflictCase(
                          "conflict hi-occ", 120 * scale, 256, 4, 48),
                      true});
+    // High occupancy but barrier-ladder bound (~2.0x, too close to
+    // the line to gate): reported for the record.
+    cases.push_back({driver::makeReductionCase(
+                         "reduction hi-occ", 120 * scale, 256),
+                     false});
     cases.push_back({driver::makeSaxpyCase(
                          "saxpy lo-occ", 30, 64, 2.0f),
                      false});

@@ -7,8 +7,12 @@
 #   --sanitize  ASan+UBSan run: Debug build with
 #               -fsanitize=address,undefined, leak detection on, tests
 #               only (the perf gates measure nothing useful under a
-#               sanitizer). Defaults build-dir to build-asan. This is
-#               exactly what the CI sanitize job executes.
+#               sanitizer). The suite includes the task-graph executor
+#               and streaming-batch tests (test_task_graph,
+#               test_batch, test_store), which exercise the
+#               scheduler's locking under the sanitizers. Defaults
+#               build-dir to build-asan. This is exactly what the CI
+#               sanitize job executes.
 #   build-dir   default: build (build-asan with --sanitize)
 #   build-type  Debug | Release | RelWithDebInfo | ... (default: the
 #               build dir's existing type, or CMake's default).
@@ -60,11 +64,15 @@ if [[ "$SANITIZE" == 1 ]]; then
 fi
 
 # Throughput gates, skipped under sanitizers:
-#  - batch scaling (self-skips on <4 hardware threads) and the >=3x
-#    warm-store profile-sharing speedup;
+#  - batch scaling (self-skips on <4 hardware threads), the >=3x
+#    warm-store profile-sharing speedup, and the streaming
+#    time-to-first-result gate (first cell delivered before the
+#    slowest calibration completes);
 #  - the >=2x event-driven vs legacy-scan timing-replay speedup on
 #    the high-occupancy cases.
-# Calibration is cached in the build dir, so reruns are cheap.
+# The main calibration is cached in the build dir, so reruns are
+# cheap; the streaming study calibrates two small specs cold on
+# purpose (that overlap is what it measures).
 (cd "$BUILD_DIR" && ./bench_batch_throughput)
 (cd "$BUILD_DIR" && ./bench_timing_replay)
 

@@ -1,13 +1,16 @@
 #include "driver/batch_runner.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
-#include <future>
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/task_graph.h"
 #include "store/calibration_store.h"
 #include "store/codecs.h"
 #include "store/profile_store.h"
@@ -211,6 +214,62 @@ resultKey(const std::string &case_name,
            "|cal=" + cal + "|sweep=" + sweep.fingerprint();
 }
 
+// --- Per-batch task-graph node outputs ---------------------------------
+//
+// Graph nodes communicate through these slots instead of futures: a
+// producing node stores its value OR the exception it caught, and
+// consuming nodes translate a stored exception into a failed
+// BatchResult — so node bodies themselves never throw, every cell is
+// delivered exactly once, and one bad stage never aborts the batch.
+
+/** Output of the calibrate + bench-memo nodes for one distinct spec. */
+struct SpecSlot
+{
+    TablesPtr tables;
+    BenchMemoPtr memo;
+    /** Result-store calibration digest (0 without a result store). */
+    uint64_t digest = 0;
+    std::exception_ptr calError;
+    std::exception_ptr memoError;
+};
+
+/**
+ * Output of the prepare node for one (case, funcsim fingerprint):
+ * the factory runs ONCE — sibling cells across spec variants reuse
+ * the profile key, the stashed launch, and (the fix this slot
+ * exists for) a captured factory error, instead of paying a
+ * rebuild-and-rethrow attempt per cell.
+ */
+struct PreparedSlot
+{
+    std::shared_ptr<PreparedCase> pc;
+    std::exception_ptr error;
+};
+
+/** Output of the profile node for one (case, funcsim fingerprint). */
+struct ProfileSlot
+{
+    std::shared_ptr<const funcsim::KernelProfile> profile;
+    std::exception_ptr error;
+};
+
+/** Output of the timing node for one (profile key, timing fp). */
+struct TimingSlot
+{
+    std::shared_ptr<const timing::TimingResult> result;
+    std::exception_ptr error;
+};
+
+/** A failed result carrying @p error, via the usual packaging. */
+BatchResult
+failedCell(const std::string &kernel_name, const std::string &spec_name,
+           const std::exception_ptr &error)
+{
+    return guardedCell(kernel_name, spec_name, [&](BatchResult &) {
+        std::rethrow_exception(error);
+    });
+}
+
 } // namespace
 
 BatchRunner::BatchRunner() : BatchRunner(Options{}) {}
@@ -241,23 +300,53 @@ BatchRunner::specKey(const arch::GpuSpec &spec)
 }
 
 std::shared_ptr<const model::CalibrationTables>
-BatchRunner::calibrate(const arch::GpuSpec &spec,
-                       const std::string &key)
+BatchRunner::runCalibration(const arch::GpuSpec &spec,
+                            const std::string &key)
 {
-    if (calibrationStore_) {
-        if (auto tables = calibrationStore_->load(spec))
-            return tables;
-    }
+    ++calibrationsComputed_;
     model::AnalysisSession session(spec);
     if (!options_.calibrationCacheDir.empty()) {
         session.calibrator().setCacheFile(
             options_.calibrationCacheDir + "/" +
             store::fileStem(spec.name, key) + ".cache");
     }
-    auto tables = session.shareCalibration();
-    if (calibrationStore_)
-        calibrationStore_->save(spec, *tables);
-    return tables;
+    return session.shareCalibration();
+}
+
+std::shared_ptr<const model::CalibrationTables>
+BatchRunner::calibrate(const arch::GpuSpec &spec,
+                       const std::string &key)
+{
+    if (!calibrationStore_)
+        return runCalibration(spec, key);
+
+    if (auto tables = calibrationStore_->load(spec))
+        return tables;
+
+    // Concurrent processes sharing this store split the
+    // microbenchmark sweeps: only the holder of the spec's lease
+    // runs this one, everyone else polls for the published entry.
+    // The dance is advisory and crash-safe — a holder that dies
+    // leaves a stale lease (dead pid / aged marker) that the next
+    // iteration's tryAcquireLease() breaks and takes over, so the
+    // worst failure mode is a duplicated sweep, never a stuck
+    // process or wrong tables.
+    for (;;) {
+        store::CalibrationLease lease =
+            calibrationStore_->tryAcquireLease(spec);
+        if (lease.held()) {
+            // Re-check under the lease: the previous holder may have
+            // published between our miss and this acquisition.
+            if (auto tables = calibrationStore_->load(spec))
+                return tables;
+            auto tables = runCalibration(spec, key);
+            calibrationStore_->save(spec, *tables);
+            return tables; // lease marker removed after the save
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (auto tables = calibrationStore_->load(spec))
+            return tables;
+    }
 }
 
 funcsim::ProfileKey
@@ -305,13 +394,14 @@ BatchRunner::profileFor(const KernelCase &kc, const arch::GpuSpec &spec,
 }
 
 std::shared_ptr<const timing::TimingResult>
-BatchRunner::timingFor(
+BatchRunner::timingCompute(
     const std::shared_ptr<const funcsim::KernelProfile> &profile,
-    const arch::GpuSpec &spec)
+    const arch::GpuSpec &spec, bool *computed)
 {
     GPUPERF_ASSERT(profile != nullptr, "timing of a null profile");
     const arch::TimingFingerprint fp = arch::TimingFingerprint::of(spec);
     const std::string key = store::TimingStore::keyFor(profile->key, fp);
+    *computed = false;
     return timings_.getOrCompute(
         key, [&]() -> std::shared_ptr<const timing::TimingResult> {
             if (timingStore_) {
@@ -324,59 +414,23 @@ BatchRunner::timingFor(
             timing::TimingSimulator sim(spec);
             auto result = std::make_shared<const timing::TimingResult>(
                 sim.run(*profile));
-            if (timingStore_)
-                timingStore_->save(profile->key, fp, *result);
+            *computed = true;
             return result;
         });
 }
 
-BatchResult
-BatchRunner::evaluateCell(
-    const KernelCase &kc, const arch::GpuSpec &spec, TablesPtr tables,
-    BenchMemoPtr memo, const SweepSpec &sweep, uint64_t tables_digest,
-    const std::function<funcsim::ProfileKey()> &key_for,
-    const std::function<std::shared_ptr<const funcsim::KernelProfile>()>
-        &profile_for)
+std::shared_ptr<const timing::TimingResult>
+BatchRunner::timingFor(
+    const std::shared_ptr<const funcsim::KernelProfile> &profile,
+    const arch::GpuSpec &spec)
 {
-    if (!options_.shareProfiles)
-        return evaluateOne(kc, spec, std::move(tables),
-                           std::move(memo), sweep);
-
-    return guardedCell(kc.name, spec.name, [&](BatchResult &r) {
-        std::string rkey;
-        if (resultStore_) {
-            // Key-only path: the result key needs the profile's
-            // identity, not the profile — a warm result cell never
-            // deserializes (or simulates) the profile at all.
-            rkey = resultKey(kc.name, key_for(), spec, tables_digest,
-                             sweep);
-            if (options_.reuseStoredResults) {
-                if (auto stored = resultStore_->load(rkey)) {
-                    // The stored payload is bit-identical to a
-                    // recompute; names come from the current batch so
-                    // a renamed case or spec can never leak a stale
-                    // label (both are part of the key, so this is
-                    // belt and braces).
-                    stored->kernelName = kc.name;
-                    stored->specName = spec.name;
-                    r = std::move(*stored);
-                    return;
-                }
-            }
-        }
-        auto profile = profile_for();
-        analyzeInto(r, spec, std::move(tables), std::move(memo), sweep,
-                    [&](model::AnalysisSession &session) {
-                        if (options_.shareTiming)
-                            return session.analyze(
-                                profile, timingFor(profile, spec));
-                        return session.analyze(profile);
-                    });
-        // Persist regardless of reuseStoredResults: that switch gates
-        // serving, not recording — a cold run must warm the store.
-        if (resultStore_)
-            resultStore_->save(rkey, r);
-    });
+    bool computed = false;
+    auto result = timingCompute(profile, spec, &computed);
+    if (computed && timingStore_) {
+        timingStore_->save(profile->key,
+                           arch::TimingFingerprint::of(spec), *result);
+    }
+    return result;
 }
 
 std::shared_ptr<const model::CalibrationTables>
@@ -416,158 +470,493 @@ BatchRunner::run(const std::vector<KernelCase> &kernels,
                  const std::vector<arch::GpuSpec> &specs,
                  const SweepSpec &sweep)
 {
-    // Phase 1: one calibration per distinct spec, each on its own
-    // worker. Duplicate keys coalesce inside calibrationFor().
-    //
-    // Both phases collect every future before rethrowing: the queued
-    // tasks capture references to the caller's arguments, so
-    // unwinding past a still-running task would leave workers with
-    // dangling references.
-    std::vector<TablesPtr> tables(specs.size());
+    // Collect-and-reorder wrapper over the streaming core:
+    // deliveries arrive in completion order carrying their
+    // kernel-major index; placing them by index restores the
+    // deterministic order. Deliveries are serialized, so the vector
+    // needs no locking.
+    std::vector<BatchResult> results(kernels.size() * specs.size());
+    runStream(kernels, specs, sweep,
+              [&results](size_t index, BatchResult r) {
+                  results[index] = std::move(r);
+              });
+    return results;
+}
+
+BatchRunner::StreamStats
+BatchRunner::runStream(const std::vector<KernelCase> &kernels,
+                       const std::vector<arch::GpuSpec> &specs,
+                       const SweepSpec &sweep,
+                       const ResultCallback &onResult)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
+    const auto since = [t0]() {
+        return std::chrono::duration<double>(Clock::now() - t0)
+            .count();
+    };
+
+    StreamStats stats;
+    stats.cells = kernels.size() * specs.size();
+
+    TaskGraph graph(pool_);
+
+    // State shared by node lambdas: the dedup maps behind the
+    // dynamically created profile/timing nodes, and the serialized
+    // delivery channel. Nodes die when graph.run() returns, but a
+    // shared_ptr keeps every capture trivially safe.
+    struct Shared
     {
-        std::vector<std::future<TablesPtr>> futures;
-        futures.reserve(specs.size());
-        for (const arch::GpuSpec &spec : specs) {
-            futures.push_back(pool_.submit(
-                [this, &spec]() { return calibrationFor(spec); }));
-        }
-        std::exception_ptr error;
-        for (size_t i = 0; i < futures.size(); ++i) {
-            try {
-                tables[i] = futures[i].get();
-            } catch (...) {
-                if (!error)
-                    error = std::current_exception();
+        std::mutex buildMutex;
+        std::map<std::string, std::pair<TaskGraph::NodeId,
+                                        std::shared_ptr<ProfileSlot>>>
+            profiles;
+        std::map<std::string, std::pair<TaskGraph::NodeId,
+                                        std::shared_ptr<TimingSlot>>>
+            timings;
+
+        /**
+         * Never held across user code — nodes stamp stream stats
+         * here without queueing behind a slow onResult callback.
+         */
+        std::mutex statsMutex;
+        bool firstDelivered = false;
+        double firstResultSec = 0.0;
+        double lastCalibrationSec = 0.0;
+
+        /** Held across onResult: serializes the delivery channel. */
+        std::mutex deliverMutex;
+        bool callbackBroken = false;
+        std::exception_ptr callbackError;
+    };
+    auto shared = std::make_shared<Shared>();
+
+    // Serialized completion-order delivery. After the callback's
+    // first exception the channel is closed (later results are
+    // dropped) but the batch still drains — a throwing consumer must
+    // not wedge workers or skip store writes.
+    const auto deliver = [shared, &onResult, &since](size_t index,
+                                                     BatchResult r) {
+        {
+            std::lock_guard<std::mutex> lock(shared->statsMutex);
+            if (!shared->firstDelivered) {
+                shared->firstDelivered = true;
+                shared->firstResultSec = since();
             }
         }
-        if (error)
-            std::rethrow_exception(error);
-    }
-
-    // One shared synthetic-benchmark memo per spec: identical launch
-    // shapes are simulated once per batch, not once per evaluation
-    // (and, with a store, once per store lifetime).
-    std::vector<BenchMemoPtr> memos(specs.size());
-    for (size_t si = 0; si < specs.size(); ++si)
-        memos[si] = benchMemoFor(specs[si]);
-
-    // Result-store keys include which calibration produced the
-    // prediction (adopted toy tables must never alias a real
-    // calibration); one digest per spec, not per cell.
-    std::vector<uint64_t> digests(specs.size(), 0);
-    if (resultStore_) {
-        for (size_t si = 0; si < specs.size(); ++si) {
-            if (tables[si])
-                digests[si] = store::tablesDigest(*tables[si]);
+        std::lock_guard<std::mutex> lock(shared->deliverMutex);
+        if (shared->callbackBroken)
+            return;
+        try {
+            onResult(index, std::move(r));
+        } catch (...) {
+            shared->callbackBroken = true;
+            shared->callbackError = std::current_exception();
         }
+    };
+
+    // --- calibrate(spec) + benchMemo(spec): one node each per
+    // distinct fingerprint; duplicate specs share slot and nodes. ---
+    std::vector<std::shared_ptr<SpecSlot>> spec_slots(specs.size());
+    std::vector<TaskGraph::NodeId> cal_nodes(specs.size());
+    std::vector<TaskGraph::NodeId> memo_nodes(specs.size());
+    std::map<std::string, size_t> spec_owner;
+    for (size_t si = 0; si < specs.size(); ++si) {
+        const arch::GpuSpec *spec = &specs[si];
+        const auto [it, fresh] = spec_owner.emplace(specKey(*spec), si);
+        if (!fresh) {
+            spec_slots[si] = spec_slots[it->second];
+            cal_nodes[si] = cal_nodes[it->second];
+            memo_nodes[si] = memo_nodes[it->second];
+            continue;
+        }
+        auto slot = std::make_shared<SpecSlot>();
+        spec_slots[si] = slot;
+        cal_nodes[si] = graph.add(
+            "calibrate:" + spec->name,
+            [this, spec, slot, shared, since]() {
+                try {
+                    slot->tables = calibrationFor(*spec);
+                    if (resultStore_ && slot->tables)
+                        slot->digest =
+                            store::tablesDigest(*slot->tables);
+                } catch (...) {
+                    slot->calError = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(shared->statsMutex);
+                shared->lastCalibrationSec =
+                    std::max(shared->lastCalibrationSec, since());
+            });
+        memo_nodes[si] =
+            graph.add("bench-memo:" + spec->name, [this, spec, slot]() {
+                try {
+                    slot->memo = benchMemoFor(*spec);
+                } catch (...) {
+                    slot->memoError = std::current_exception();
+                }
+            });
     }
 
-    // Phase 2: all N x M evaluations, kernel-major. Futures keep the
-    // result order deterministic however the pool schedules them.
-    // Cells of one kernel share its profile through a run-local
-    // compute-once map keyed by (case position, funcsim fingerprint):
-    // the first cell to need it computes (or loads) it, concurrent
-    // cells wait on that result, cells of other kernels proceed
-    // freely. The map is scoped to this run() on purpose — a later
-    // run() with a different case list must never alias positions
-    // (the persistent store still deduplicates across runs, by
-    // content).
-    OnceMap<std::string, std::shared_ptr<const funcsim::KernelProfile>>
-        run_profiles;
-    // The factory-output companion of run_profiles: one factory run
-    // per (case position, funcsim fingerprint) yields the profile key
-    // — all a warm result-store cell needs — AND stashes the launch,
-    // which the profile build consumes on a store miss instead of
-    // re-running the factory.
-    OnceMap<std::string, std::shared_ptr<PreparedCase>> run_prepared;
-    std::vector<std::future<BatchResult>> futures;
-    futures.reserve(kernels.size() * specs.size());
+    // --- Lazy shared simulation chain: profile(case, funcsim fp) and
+    // timing(profile key, timing fp) nodes exist only when some cell
+    // actually misses the result store. ---
+    const auto ensure_profile =
+        [this, &graph,
+         shared](const std::string &pkey, const KernelCase *kc,
+                 const arch::GpuSpec *spec,
+                 std::shared_ptr<PreparedSlot> pslot,
+                 TaskGraph::NodeId prep_node) {
+            std::lock_guard<std::mutex> lock(shared->buildMutex);
+            const auto it = shared->profiles.find(pkey);
+            if (it != shared->profiles.end())
+                return it->second;
+            auto slot = std::make_shared<ProfileSlot>();
+            const auto id = graph.add(
+                "profile:" + kc->name,
+                [this, &graph, kc, spec, pslot, slot]() {
+                    try {
+                        auto pc = pslot->pc;
+                        if (profileStore_) {
+                            if (auto p = profileStore_->load(pc->key)) {
+                                slot->profile = std::move(p);
+                                pc->discardLaunch();
+                                return;
+                            }
+                        }
+                        std::unique_ptr<PreparedLaunch> launch;
+                        {
+                            std::lock_guard<std::mutex> l(pc->mutex);
+                            launch = std::move(pc->launch);
+                        }
+                        if (!launch) {
+                            // A finished sibling cell already
+                            // discarded the stash; rebuild, holding
+                            // the factory to its repeatability
+                            // contract.
+                            launch = std::make_unique<PreparedLaunch>(
+                                makeLaunch(*kc));
+                            requireRepeatableFactory(*kc, *launch,
+                                                     *spec, pc->key);
+                        }
+                        slot->profile =
+                            simulateProfile(*spec, *launch, pc->key);
+                        if (profileStore_) {
+                            // Writer node: persistence runs beside
+                            // the cells consuming the profile, not
+                            // ahead of them.
+                            auto profile = slot->profile;
+                            graph.add("write-profile:" + kc->name,
+                                      [this, profile]() {
+                                          profileStore_->save(*profile);
+                                      });
+                        }
+                    } catch (...) {
+                        slot->error = std::current_exception();
+                    }
+                },
+                {prep_node});
+            const auto entry = std::make_pair(id, slot);
+            shared->profiles.emplace(pkey, entry);
+            return entry;
+        };
+
+    const auto ensure_timing =
+        [this, &graph,
+         shared](const std::string &tkey, const KernelCase *kc,
+                 const arch::GpuSpec *spec,
+                 std::pair<TaskGraph::NodeId,
+                           std::shared_ptr<ProfileSlot>>
+                     prof) {
+            std::lock_guard<std::mutex> lock(shared->buildMutex);
+            const auto it = shared->timings.find(tkey);
+            if (it != shared->timings.end())
+                return it->second;
+            auto slot = std::make_shared<TimingSlot>();
+            auto prof_slot = prof.second;
+            const auto id = graph.add(
+                "timing:" + kc->name,
+                [this, &graph, kc, spec, prof_slot, slot]() {
+                    if (prof_slot->error) {
+                        slot->error = prof_slot->error;
+                        return;
+                    }
+                    try {
+                        bool computed = false;
+                        slot->result = timingCompute(
+                            prof_slot->profile, *spec, &computed);
+                        if (computed && timingStore_) {
+                            auto profile = prof_slot->profile;
+                            auto result = slot->result;
+                            graph.add(
+                                "write-timing:" + kc->name,
+                                [this, profile, result, spec]() {
+                                    timingStore_->save(
+                                        profile->key,
+                                        arch::TimingFingerprint::of(
+                                            *spec),
+                                        *result);
+                                });
+                        }
+                    } catch (...) {
+                        slot->error = std::current_exception();
+                    }
+                },
+                {prof.first});
+            const auto entry = std::make_pair(id, slot);
+            shared->timings.emplace(tkey, entry);
+            return entry;
+        };
+
+    // --- One cell(case, spec) node per batch cell. ---
+    const size_t num_specs = specs.size();
+    std::map<std::string, std::pair<TaskGraph::NodeId,
+                                    std::shared_ptr<PreparedSlot>>>
+        prepared;
     for (size_t ki = 0; ki < kernels.size(); ++ki) {
-        const KernelCase &kc = kernels[ki];
-        for (size_t si = 0; si < specs.size(); ++si) {
-            const arch::GpuSpec &spec = specs[si];
-            TablesPtr t = tables[si];
-            BenchMemoPtr m = memos[si];
-            const uint64_t digest = digests[si];
-            futures.push_back(pool_.submit(
-                [this, ki, &kc, &spec, t, m, &sweep, digest,
-                 &run_profiles, &run_prepared]() {
-                    const std::string key =
-                        std::to_string(ki) + "#" +
-                        arch::FuncsimFingerprint::of(spec).key();
-                    auto prepared_for = [this, &kc, &spec,
-                                         &run_prepared, &key]() {
-                        return run_prepared.getOrCompute(key, [&]() {
+        const KernelCase *kc = &kernels[ki];
+        for (size_t si = 0; si < num_specs; ++si) {
+            const arch::GpuSpec *spec = &specs[si];
+            const size_t index = ki * num_specs + si;
+            auto sslot = spec_slots[si];
+
+            if (!options_.shareProfiles) {
+                // Reference per-cell pipeline: nothing shared beyond
+                // the spec's calibration state, stores bypassed.
+                graph.add(
+                    "cell:" + kc->name + "@" + spec->name,
+                    [this, kc, spec, sslot, &sweep, index, deliver]() {
+                        bool delivered = false;
+                        try {
+                            if (sslot->calError || sslot->memoError) {
+                                delivered = true;
+                                deliver(index,
+                                        failedCell(
+                                            kc->name, spec->name,
+                                            sslot->calError
+                                                ? sslot->calError
+                                                : sslot->memoError));
+                                return;
+                            }
+                            BatchResult r = evaluateOne(
+                                *kc, *spec, sslot->tables,
+                                sslot->memo, sweep);
+                            delivered = true;
+                            deliver(index, std::move(r));
+                        } catch (...) {
+                            if (!delivered) {
+                                deliver(
+                                    index,
+                                    failedCell(
+                                        kc->name, spec->name,
+                                        std::current_exception()));
+                            }
+                        }
+                    },
+                    {cal_nodes[si], memo_nodes[si]});
+                continue;
+            }
+
+            // prepare(case, funcsim fp): the factory runs once per
+            // distinct fingerprint; sibling cells reuse the key, the
+            // stashed launch AND a captured factory error.
+            const std::string pkey =
+                std::to_string(ki) + "#" +
+                arch::FuncsimFingerprint::of(*spec).key();
+            auto pit = prepared.find(pkey);
+            if (pit == prepared.end()) {
+                auto pslot = std::make_shared<PreparedSlot>();
+                const auto pid = graph.add(
+                    "prepare:" + kc->name, [kc, spec, pslot]() {
+                        try {
                             auto pc = std::make_shared<PreparedCase>();
                             pc->launch =
                                 std::make_unique<PreparedLaunch>(
-                                    makeLaunch(kc));
-                            pc->key = profileKeyOf(*pc->launch, spec);
-                            return pc;
-                        });
+                                    makeLaunch(*kc));
+                            pc->key = profileKeyOf(*pc->launch, *spec);
+                            pslot->pc = std::move(pc);
+                        } catch (...) {
+                            pslot->error = std::current_exception();
+                        }
+                    });
+                pit = prepared
+                          .emplace(pkey, std::make_pair(pid, pslot))
+                          .first;
+            }
+            const TaskGraph::NodeId prep_node = pit->second.first;
+            auto pslot = pit->second.second;
+
+            // The cell's probe half: settle dependency errors, try
+            // the warm result store, otherwise extend the graph with
+            // the shared simulation chain and an analyze node behind
+            // it. Runs once per cell; never throws.
+            graph.add(
+                "cell:" + kc->name + "@" + spec->name,
+                [this, &graph, kc, spec, sslot, pslot, &sweep, index,
+                 deliver, pkey, prep_node, ensure_profile,
+                 ensure_timing]() {
+                    // Exactly-once delivery even if this body throws
+                    // somewhere unexpected (allocation, store I/O):
+                    // an undelivered cell would surface as a silent
+                    // default-empty result.
+                    bool delivered = false;
+                    const auto deliver_cell = [&](BatchResult r) {
+                        delivered = true;
+                        deliver(index, std::move(r));
                     };
-                    auto key_for = [&prepared_for]() {
-                        return prepared_for()->key;
-                    };
-                    auto profile_for = [this, &kc, &spec,
-                                        &run_profiles, &prepared_for,
-                                        &key]() {
-                        return run_profiles.getOrCompute(key, [&]() {
-                            // Storeless runs take the one-pass path.
-                            if (!profileStore_)
-                                return profileFor(kc, spec);
-                            auto pc = prepared_for();
-                            if (auto profile =
-                                    profileStore_->load(pc->key))
-                                return profile;
-                            // Miss: simulate on the stashed launch
-                            // (rebuilt only if a completed sibling
-                            // cell already discarded it).
-                            std::unique_ptr<PreparedLaunch> launch;
-                            {
-                                std::lock_guard<std::mutex> lock(
-                                    pc->mutex);
-                                launch = std::move(pc->launch);
+                    try {
+                    std::exception_ptr dep_error;
+                    if (sslot->calError)
+                        dep_error = sslot->calError;
+                    else if (sslot->memoError)
+                        dep_error = sslot->memoError;
+                    else if (pslot->error)
+                        dep_error = pslot->error;
+                    if (dep_error) {
+                        deliver_cell(failedCell(kc->name, spec->name,
+                                                dep_error));
+                        return;
+                    }
+                    auto pc = pslot->pc;
+                    std::string rkey;
+                    if (resultStore_) {
+                        // Key-only warmth probe: the result key needs
+                        // the profile's identity, not the profile — a
+                        // warm cell deserializes (and simulates)
+                        // nothing.
+                        rkey = resultKey(kc->name, pc->key, *spec,
+                                         sslot->digest, sweep);
+                        if (options_.reuseStoredResults) {
+                            if (auto stored =
+                                    resultStore_->load(rkey)) {
+                                // Names come from the current batch
+                                // so a renamed case or spec can never
+                                // leak a stale label.
+                                stored->kernelName = kc->name;
+                                stored->specName = spec->name;
+                                deliver_cell(std::move(*stored));
+                                pc->discardLaunch();
+                                return;
                             }
-                            if (!launch) {
-                                launch = std::make_unique<
-                                    PreparedLaunch>(makeLaunch(kc));
-                                requireRepeatableFactory(
-                                    kc, *launch, spec, pc->key);
+                        }
+                    }
+                    auto prof = ensure_profile(pkey, kc, spec, pslot,
+                                               prep_node);
+                    TaskGraph::NodeId timing_dep = prof.first;
+                    std::shared_ptr<TimingSlot> tslot;
+                    if (options_.shareTiming) {
+                        // Node dedup is scoped per PROFILE NODE
+                        // (content key + pkey), not per content key
+                        // alone: a content-only key would wire one
+                        // timing node to one case's profile slot,
+                        // leaking that case's profile failure into a
+                        // different same-content case whose own
+                        // profile succeeded. The replay itself is
+                        // still computed once per content key —
+                        // timingCompute()'s memo dedups across the
+                        // (rare) twin nodes.
+                        const std::string tkey =
+                            store::TimingStore::keyFor(
+                                pc->key,
+                                arch::TimingFingerprint::of(*spec)) +
+                            "|node=" + pkey;
+                        auto t =
+                            ensure_timing(tkey, kc, spec, prof);
+                        timing_dep = t.first;
+                        tslot = t.second;
+                    }
+                    auto prof_slot = prof.second;
+                    // The analyze node depends on its own profile
+                    // node explicitly as well as the timing node:
+                    // belt and braces against any future re-keying
+                    // of the timing dedup detaching a cell from the
+                    // profile slot it reads.
+                    graph.add(
+                        "analyze:" + kc->name + "@" + spec->name,
+                        [this, &graph, kc, spec, sslot, prof_slot,
+                         tslot, pc, &sweep, index, deliver, rkey]() {
+                            bool delivered = false;
+                            try {
+                            BatchResult r = guardedCell(
+                                kc->name, spec->name,
+                                [&](BatchResult &r) {
+                                    if (prof_slot->error)
+                                        std::rethrow_exception(
+                                            prof_slot->error);
+                                    if (tslot && tslot->error)
+                                        std::rethrow_exception(
+                                            tslot->error);
+                                    auto profile = prof_slot->profile;
+                                    analyzeInto(
+                                        r, *spec, sslot->tables,
+                                        sslot->memo, sweep,
+                                        [&](model::AnalysisSession
+                                                &session) {
+                                            if (tslot)
+                                                return session.analyze(
+                                                    profile,
+                                                    tslot->result);
+                                            return session.analyze(
+                                                profile);
+                                        });
+                                });
+                            if (resultStore_ && r.ok) {
+                                // Writer node: the cell's latency
+                                // ends at delivery, not at the disk.
+                                auto copy =
+                                    std::make_shared<BatchResult>(r);
+                                graph.add("write-result:" + kc->name,
+                                          [this, rkey, copy]() {
+                                              resultStore_->save(
+                                                  rkey, *copy);
+                                          });
                             }
-                            auto profile = simulateProfile(
-                                spec, *launch, pc->key);
-                            profileStore_->save(*profile);
-                            return profile;
-                        });
-                    };
-                    BatchResult cell =
-                        evaluateCell(kc, spec, t, m, sweep, digest,
-                                     key_for, profile_for);
-                    // This cell is done with the stashed input image:
-                    // siblings get the profile from run_profiles (or
-                    // the store), so holding megabytes of memory
-                    // image for the rest of the batch buys nothing.
-                    if (auto pc = run_prepared.peek(key))
-                        (*pc)->discardLaunch();
-                    return cell;
-                }));
+                            delivered = true;
+                            deliver(index, std::move(r));
+                            // Siblings get the profile from the
+                            // shared node (or the store); megabytes
+                            // of stashed input image buy nothing now.
+                            pc->discardLaunch();
+                            } catch (...) {
+                                if (!delivered) {
+                                    deliver(
+                                        index,
+                                        failedCell(
+                                            kc->name, spec->name,
+                                            std::current_exception()));
+                                }
+                            }
+                        },
+                        {prof.first, timing_dep});
+                    } catch (...) {
+                        if (!delivered) {
+                            deliver(index,
+                                    failedCell(
+                                        kc->name, spec->name,
+                                        std::current_exception()));
+                        }
+                    }
+                },
+                {cal_nodes[si], memo_nodes[si], prep_node});
         }
     }
 
-    std::vector<BatchResult> results;
-    results.reserve(futures.size());
-    std::exception_ptr error;
-    for (auto &f : futures) {
+    graph.run();
+
+    // Safety net: node bodies package their own failures into
+    // delivered results, so a failed node here is a scheduler-level
+    // surprise — surface it instead of silently returning an empty
+    // cell.
+    for (TaskGraph::NodeId id : graph.failures()) {
         try {
-            results.push_back(f.get());
+            std::rethrow_exception(graph.error(id));
+        } catch (const std::exception &e) {
+            warn("batch task-graph node '%s' failed unexpectedly: %s",
+                 graph.name(id).c_str(), e.what());
         } catch (...) {
-            if (!error)
-                error = std::current_exception();
+            warn("batch task-graph node '%s' failed unexpectedly",
+                 graph.name(id).c_str());
         }
     }
-    if (error)
-        std::rethrow_exception(error);
 
     // Persist what the batch measured: every synthetic-benchmark
     // result lands in the store so the next process starts warm.
@@ -577,11 +966,20 @@ BatchRunner::run(const std::vector<KernelCase> &kernels,
             distinct.emplace(specKey(specs[si]), si);
         for (const auto &[key, si] : distinct) {
             (void)key;
-            calibrationStore_->saveBenchResults(specs[si],
-                                                memos[si]->snapshot());
+            if (spec_slots[si]->memo) {
+                calibrationStore_->saveBenchResults(
+                    specs[si], spec_slots[si]->memo->snapshot());
+            }
         }
     }
-    return results;
+
+    stats.firstResultSeconds = shared->firstResultSec;
+    stats.lastCalibrationSeconds = shared->lastCalibrationSec;
+    stats.totalSeconds = since();
+
+    if (shared->callbackError)
+        std::rethrow_exception(shared->callbackError);
+    return stats;
 }
 
 std::vector<BatchResult>

@@ -2,31 +2,54 @@
  * @file
  * Concurrent batch analysis: evaluate N kernel cases against M GpuSpec
  * variants (N x M full Figure-1 workflows plus an optional what-if
- * sweep each) on a thread pool, sharing per-spec calibration tables
- * AND per-kernel functional-simulation profiles:
+ * sweep each) as an explicit per-batch TASK GRAPH on a thread pool.
  *
- *  - one CalibrationTables per distinct spec fingerprint, so the
- *    expensive microbenchmark sweep runs at most once per machine
- *    description;
- *  - one KernelProfile per (kernel case x funcsim fingerprint), so an
- *    N x M batch runs N functional simulations instead of N x M when
- *    the spec variants differ only in timing/occupancy fields (the
+ * The paper's Figure-1 workflow is a dependency graph — calibration
+ * and functional simulation feed timing replay, which feeds
+ * extraction, prediction and what-if sweeps — and the runner builds
+ * exactly that graph per batch (common/task_graph.h) instead of
+ * executing each cell as one opaque task:
+ *
+ *  - one calibrate(spec) and one benchMemo(spec) node per distinct
+ *    spec fingerprint, so the expensive microbenchmark sweep runs at
+ *    most once per machine description — and, with a store, at most
+ *    once ACROSS cooperating processes (the CalibrationStore lease);
+ *  - one prepare(case, funcsim fp) node running the case's factory
+ *    once — producing the profile key every sibling cell shares and
+ *    capturing a factory error once for all of them;
+ *  - one profile(case, funcsim fp) node per needed profile, so an
+ *    N x M batch runs N functional simulations instead of N x M (the
  *    paper's Section 5 what-if studies, which reuse one Barra run per
- *    application across model variants).
+ *    application across model variants) — created LAZILY: cells
+ *    served warm from the result store never materialize their
+ *    simulation nodes at all;
+ *  - one timing(profile key, timing fp) node per needed replay;
+ *  - one cell(case, spec) node per batch cell, delivering its result
+ *    the moment it finishes;
+ *  - dedicated writer nodes for store persistence, so disk I/O never
+ *    sits on a cell's latency path.
  *
- * With Options::storeDir set, profiles, calibrations and finished
- * results persist on disk, so repeated batch runs skip functional
- * simulation and calibration across process restarts (src/store/).
+ * No worker ever blocks on an unfinished dependency — a node is
+ * scheduled only when its inputs exist, so every worker always runs
+ * ready work.
+ *
+ * With Options::storeDir set, profiles, calibrations, timings and
+ * finished results persist on disk, so repeated batch runs skip
+ * functional simulation and calibration across process restarts
+ * (src/store/).
  *
  * Every evaluation owns its device, session and memory image, so runs
  * are independent and the result of a batch is bit-identical to the
  * equivalent serial per-cell loop regardless of the worker count,
- * profile sharing, or store warmth.
+ * profile sharing, store warmth, or delivery mode (run() vs
+ * runStream()).
  */
 
 #ifndef GPUPERF_DRIVER_BATCH_RUNNER_H
 #define GPUPERF_DRIVER_BATCH_RUNNER_H
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -177,13 +200,61 @@ class BatchRunner
      * @p sweep to each analysis. Results arrive in deterministic
      * kernel-major order (kernels[0] x specs[0..M-1], then
      * kernels[1] x ..., independent of the worker count). A case
-     * whose factory or analysis throws yields ok == false with the
-     * error message; it never aborts the rest of the batch.
+     * whose factory or analysis throws — or whose spec's calibration
+     * fails — yields ok == false with the error message; it never
+     * aborts the rest of the batch. Implemented as a
+     * collect-and-reorder wrapper over runStream().
      */
     std::vector<BatchResult>
     run(const std::vector<KernelCase> &kernels,
         const std::vector<arch::GpuSpec> &specs,
         const SweepSpec &sweep = SweepSpec{});
+
+    /**
+     * Invoked once per finished cell, in COMPLETION order.
+     * @p index is the cell's kernel-major position
+     * (ki * specs.size() + si) — what run() uses to reorder.
+     * Invocations are serialized (the callback needs no locking of
+     * its own) and happen on worker threads while the rest of the
+     * batch is still executing; a slow callback therefore delays
+     * later deliveries, not the analyses themselves.
+     */
+    using ResultCallback =
+        std::function<void(size_t index, BatchResult result)>;
+
+    /** What a runStream() call observed (drives gates and benches). */
+    struct StreamStats
+    {
+        /** Cells delivered (kernels x specs). */
+        size_t cells = 0;
+        /** Seconds from entry to the FIRST onResult invocation. */
+        double firstResultSeconds = 0.0;
+        /**
+         * Seconds from entry until the last calibrate(spec) node
+         * finished. Streaming's point in one number:
+         * firstResultSeconds < lastCalibrationSeconds on any batch
+         * whose specs calibrate at different speeds — early cells
+         * flow out while the slowest calibration still runs.
+         */
+        double lastCalibrationSeconds = 0.0;
+        /** Seconds from entry until every node (writers too) drained. */
+        double totalSeconds = 0.0;
+    };
+
+    /**
+     * The streaming form of run(): identical evaluations (results are
+     * bit-identical, pinned by tests), but each finished cell is
+     * handed to @p onResult immediately, in completion order, instead
+     * of parking until the whole batch drains. If @p onResult throws,
+     * its first exception is captured, delivery of later results is
+     * abandoned (the batch itself still completes, including store
+     * writes), and the exception is rethrown from runStream() after
+     * the graph drains.
+     */
+    StreamStats
+    runStream(const std::vector<KernelCase> &kernels,
+              const std::vector<arch::GpuSpec> &specs,
+              const SweepSpec &sweep, const ResultCallback &onResult);
 
     /**
      * The functional-simulation profile of @p kc under @p spec's
@@ -238,6 +309,17 @@ class BatchRunner
 
     int numThreads() const { return pool_.numThreads(); }
 
+    /**
+     * Microbenchmark sweeps this runner actually ran (as opposed to
+     * serving from memo, store, or another process's lease-guarded
+     * sweep). Cross-process sharding tests pin "at most one sweep per
+     * spec between cooperating processes" on this.
+     */
+    uint64_t calibrationsComputed() const
+    {
+        return calibrationsComputed_.load();
+    }
+
     /** The persistent stores (null when storeDir is unset). */
     const store::ProfileStore *profileStore() const
     {
@@ -260,29 +342,36 @@ class BatchRunner
     /** Memoization key: the spec's full fingerprint. */
     static std::string specKey(const arch::GpuSpec &spec);
 
-    /** Run the microbenchmark sweep for @p spec (no memoization). */
+    /**
+     * Produce tables for @p spec: store hit, or the microbenchmark
+     * sweep under the spec's cross-process lease — while another
+     * process holds the lease, this one polls for the published entry
+     * instead of duplicating the sweep (no memoization here;
+     * calibrationFor() wraps it in the OnceMap).
+     */
     std::shared_ptr<const model::CalibrationTables>
     calibrate(const arch::GpuSpec &spec, const std::string &key);
 
+    /** The sweep itself, unconditionally (counts the run). */
+    std::shared_ptr<const model::CalibrationTables>
+    runCalibration(const arch::GpuSpec &spec, const std::string &key);
+
     /**
-     * One cell: profile-sharing or per-cell pipeline per Options.
-     * @p tables_digest identifies the calibration for result-store
-     * keys (0 when no tables / no store). @p key_for derives the
-     * cell's profile key without materializing the profile (the
-     * key-only path warm result-store cells take); @p profile_for
-     * produces the profile itself. Both are batch-memoized by run().
+     * The timing memo's compute half: serve (profile key, timing fp)
+     * from memory or the timing store, replaying on a full miss —
+     * WITHOUT persisting a fresh replay. @p computed reports whether
+     * this call replayed; the caller owns persistence (timingFor()
+     * saves inline, the batch graph hands it to a writer node).
      */
-    BatchResult evaluateCell(
-        const KernelCase &kc, const arch::GpuSpec &spec,
-        std::shared_ptr<const model::CalibrationTables> tables,
-        std::shared_ptr<model::GlobalBenchMemo> memo,
-        const SweepSpec &sweep, uint64_t tables_digest,
-        const std::function<funcsim::ProfileKey()> &key_for,
-        const std::function<
-            std::shared_ptr<const funcsim::KernelProfile>()> &profile);
+    std::shared_ptr<const timing::TimingResult>
+    timingCompute(
+        const std::shared_ptr<const funcsim::KernelProfile> &profile,
+        const arch::GpuSpec &spec, bool *computed);
 
     Options options_;
     ThreadPool pool_;
+
+    std::atomic<uint64_t> calibrationsComputed_{0};
 
     std::unique_ptr<store::ProfileStore> profileStore_;
     std::unique_ptr<store::CalibrationStore> calibrationStore_;

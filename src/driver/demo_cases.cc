@@ -282,6 +282,87 @@ makeStencil1dCase(const std::string &name, int grid_dim, int block_dim)
 }
 
 KernelCase
+makeReductionCase(const std::string &name, int grid_dim, int block_dim)
+{
+    GPUPERF_ASSERT(grid_dim > 0 && isPowerOfTwo(block_dim) &&
+                       block_dim >= 2,
+                   "reduction case needs a power-of-two block");
+    KernelCase kc;
+    kc.name = name;
+    kc.make = [grid_dim, block_dim]() {
+        const int n = grid_dim * block_dim;
+        const int shared_bytes = block_dim * 4;
+        auto gmem = std::make_unique<funcsim::GlobalMemory>(
+            static_cast<size_t>(n) * 4 +
+            static_cast<size_t>(grid_dim) * 4 + (1u << 20));
+        const uint64_t x_base =
+            gmem->alloc(static_cast<size_t>(n) * 4);
+        const uint64_t y_base =
+            gmem->alloc(static_cast<size_t>(grid_dim) * 4);
+        // Multiples of 0.25 summing to < 2^22: exact in f32 under ANY
+        // association, so a plain host loop is a valid reference for
+        // the tree order the kernel uses.
+        for (int i = 0; i < n; ++i)
+            gmem->f32(x_base)[i] = static_cast<float>(i % 9) * 0.25f;
+
+        isa::KernelBuilder b("reduction");
+        isa::Reg tid = b.reg();
+        isa::Reg ntid = b.reg();
+        isa::Reg cta = b.reg();
+        isa::Reg gtid = b.reg();
+        b.s2r(tid, isa::SpecialReg::kTid);
+        b.s2r(ntid, isa::SpecialReg::kNtid);
+        b.s2r(cta, isa::SpecialReg::kCtaid);
+        b.imad(gtid, cta, ntid, tid);
+
+        // Stage: tile[tid] = x[gtid], fully coalesced.
+        isa::Reg xa = b.reg();
+        isa::Reg sa = b.reg();
+        isa::Reg v = b.reg();
+        b.shlImm(xa, gtid, 2);
+        b.iaddImm(xa, xa, static_cast<int32_t>(x_base));
+        b.ldg(v, xa);
+        b.shlImm(sa, tid, 2);
+        b.sts(sa, v);
+        b.bar();
+
+        // Tree passes: active threads halve every pass; once
+        // s < warpSize the IF diverges inside warp 0 (the tail)
+        // while the remaining warps idle at the barrier.
+        isa::Reg other = b.reg();
+        isa::Pred p_active = b.pred();
+        for (int s = block_dim / 2; s >= 1; s >>= 1) {
+            b.setpIImm(p_active, isa::CmpOp::kLt, tid, s);
+            b.beginIf(p_active);
+            b.lds(v, sa, 0);
+            b.lds(other, sa, s * 4);
+            b.fadd(v, v, other);
+            b.sts(sa, v, 0);
+            b.endIf();
+            b.bar();
+        }
+
+        // Thread 0 publishes the block sum (its sa is tile[0]).
+        isa::Reg oa = b.reg();
+        isa::Pred p_first = b.pred();
+        b.setpIImm(p_first, isa::CmpOp::kEq, tid, 0);
+        b.beginIf(p_first);
+        b.lds(v, sa, 0);
+        b.shlImm(oa, cta, 2);
+        b.iaddImm(oa, oa, static_cast<int32_t>(y_base));
+        b.stg(oa, v);
+        b.endIf();
+
+        PreparedLaunch launch(b.build(shared_bytes));
+        launch.gmem = std::move(gmem);
+        launch.cfg.gridDim = grid_dim;
+        launch.cfg.blockDim = block_dim;
+        return launch;
+    };
+    return kc;
+}
+
+KernelCase
 makeSpmvEllCase(const std::string &name, int block_rows,
                 int blocks_per_row)
 {

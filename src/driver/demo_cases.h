@@ -69,6 +69,25 @@ KernelCase makeStencil1dCase(const std::string &name, int grid_dim,
 KernelCase makeSpmvEllCase(const std::string &name, int block_rows,
                            int blocks_per_row);
 
+/**
+ * Per-block tree reduction: y[b] = sum of x over block b's elements.
+ * Every thread streams its element into a shared staging tile
+ * (fully coalesced), then log2(block_dim) barrier-delimited passes
+ * halve the active thread count — shared[tid] += shared[tid + s] for
+ * s = block_dim/2 .. 1 — until thread 0 stores the block's sum. The
+ * final passes (s < warpSize) are the classic divergent tail: the
+ * IF splits warp 0's lanes while every other warp idles at the
+ * barrier. Exercises a workload none of the other cases cover — a
+ * deep barrier ladder with geometrically shrinking parallelism.
+ *
+ * @p block_dim must be a power of two. Input values are exact in
+ * f32 at any association, so the result is verifiable against a
+ * host reference sum (tests/test_batch.cc) without replaying the
+ * tree order.
+ */
+KernelCase makeReductionCase(const std::string &name, int grid_dim,
+                             int block_dim);
+
 } // namespace driver
 } // namespace gpuperf
 

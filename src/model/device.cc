@@ -5,8 +5,9 @@
 namespace gpuperf {
 namespace model {
 
-SimulatedDevice::SimulatedDevice(const arch::GpuSpec &spec)
-    : spec_(spec), funcSim_(spec), timingSim_(spec)
+SimulatedDevice::SimulatedDevice(const arch::GpuSpec &spec,
+                                 timing::ReplayEngine engine)
+    : spec_(spec), funcSim_(spec), timingSim_(spec, engine)
 {
 }
 

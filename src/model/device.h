@@ -40,7 +40,15 @@ struct Measurement
 class SimulatedDevice
 {
   public:
-    explicit SimulatedDevice(const arch::GpuSpec &spec);
+    /**
+     * @param engine timing replay engine; kAuto selects per launch
+     *        (the engines are bit-identical, so this never changes
+     *        results — only the replay loop producing them).
+     */
+    explicit SimulatedDevice(
+        const arch::GpuSpec &spec,
+        timing::ReplayEngine engine =
+            timing::ReplayEngine::kEventDriven);
 
     /**
      * Execute and time a kernel.

@@ -6,8 +6,9 @@ namespace gpuperf {
 namespace model {
 
 AnalysisSession::AnalysisSession(const arch::GpuSpec &spec,
-                                 const std::string &calibration_cache)
-    : device_(spec), calibrator_(device_), extractor_(spec),
+                                 const std::string &calibration_cache,
+                                 timing::ReplayEngine engine)
+    : device_(spec, engine), calibrator_(device_), extractor_(spec),
       model_(calibrator_)
 {
     if (!calibration_cache.empty())

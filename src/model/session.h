@@ -46,9 +46,13 @@ class AnalysisSession
     /**
      * @param calibration_cache optional file path where calibration
      *        tables are cached across processes ("" = no cache)
+     * @param engine timing replay engine for this session's device;
+     *        kAuto selects per launch without changing results
      */
     explicit AnalysisSession(const arch::GpuSpec &spec,
-                             const std::string &calibration_cache = "");
+                             const std::string &calibration_cache = "",
+                             timing::ReplayEngine engine =
+                                 timing::ReplayEngine::kEventDriven);
 
     AnalysisSession(const AnalysisSession &) = delete;
     AnalysisSession &operator=(const AnalysisSession &) = delete;

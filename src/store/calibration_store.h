@@ -11,6 +11,7 @@
 #define GPUPERF_STORE_CALIBRATION_STORE_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -23,6 +24,49 @@
 
 namespace gpuperf {
 namespace store {
+
+/**
+ * RAII handle on one spec's calibration lease (the advisory
+ * cross-process in-flight marker). Releasing (or destroying) a held
+ * lease removes the marker file so waiters stop polling.
+ */
+class CalibrationLease
+{
+  public:
+    CalibrationLease() = default;
+    ~CalibrationLease() { release(); }
+
+    CalibrationLease(CalibrationLease &&other) noexcept
+        : path_(std::move(other.path_)), held_(other.held_)
+    {
+        other.path_.clear();
+        other.held_ = false;
+    }
+    CalibrationLease &operator=(CalibrationLease &&other) noexcept;
+    CalibrationLease(const CalibrationLease &) = delete;
+    CalibrationLease &operator=(const CalibrationLease &) = delete;
+
+    /**
+     * True when the caller owns the right to calibrate. Usually backed
+     * by a marker file; on an unwritable store directory the lease is
+     * held WITHOUT a marker (the safe degradation: possibly duplicated
+     * work, never a stuck waiter).
+     */
+    bool held() const { return held_; }
+
+    /** Remove the marker file, if any (idempotent). */
+    void release();
+
+  private:
+    friend class CalibrationStore;
+    CalibrationLease(std::string path, bool held)
+        : path_(std::move(path)), held_(held)
+    {
+    }
+
+    std::string path_; ///< marker file; empty = none to remove
+    bool held_ = false;
+};
 
 /** Thread-safe; load/save may be called from any worker. */
 class CalibrationStore
@@ -70,11 +114,56 @@ class CalibrationStore
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }
 
+    // --- Cross-process calibration lease ------------------------------
+    //
+    // Sharded processes pointing at one store directory split the
+    // microbenchmark sweep instead of duplicating it: before
+    // calibrating a spec, a process takes the spec's lease — an
+    // advisory marker file (O_CREAT|O_EXCL, so exactly one creator
+    // wins) recording its pid and start time next to the calibration
+    // entry. Processes that lose the race poll the store until the
+    // entry appears, instead of re-running the sweep.
+    //
+    // The lock is ADVISORY and crash-safe by staleness: a lease whose
+    // pid is no longer alive (same-host check) or whose file is older
+    // than the stale timeout is broken and re-acquired. The worst
+    // case of every race here — two writers after a broken lease, a
+    // holder dying mid-sweep — is one duplicated calibration, never
+    // wrong data (entries stay self-validating and atomically
+    // renamed into place).
+
+    /**
+     * Try to take the calibration lease for @p spec. Returns a held
+     * lease on success; an empty (not held) one while another LIVE
+     * process holds it. A stale lease is broken and re-acquired.
+     */
+    CalibrationLease tryAcquireLease(const arch::GpuSpec &spec) const;
+
+    /**
+     * True while some process (possibly this one) holds a fresh
+     * lease on @p spec's calibration.
+     */
+    bool leaseHeld(const arch::GpuSpec &spec) const;
+
+    /**
+     * Age threshold beyond which a lease whose holder cannot be
+     * probed is considered abandoned. The default (15 min) is far
+     * above any real sweep; tests shrink it to exercise stealing.
+     */
+    void setLeaseStaleAfter(std::chrono::milliseconds age)
+    {
+        leaseStaleAfterMs_ = age.count();
+    }
+
   private:
     std::string path(const arch::GpuSpec &spec,
                      const std::string &key) const;
+    std::string leasePath(const arch::GpuSpec &spec) const;
+    /** True when the marker at @p path is live (fresh + live pid). */
+    bool leaseFresh(const std::string &path) const;
 
     std::string dir_;
+    int64_t leaseStaleAfterMs_ = 15 * 60 * 1000;
     mutable std::atomic<uint64_t> hits_{0};
     mutable std::atomic<uint64_t> misses_{0};
 };

@@ -8,11 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <set>
 #include <stdexcept>
 
 #include "driver/batch_runner.h"
 #include "driver/demo_cases.h"
+#include "store/profile_store.h"
 
 namespace gpuperf {
 namespace driver {
@@ -365,6 +370,222 @@ TEST(DemoCaseTest, ConflictedSharedKernelRanksConflictRemovalFirst)
     EXPECT_EQ(results[0].whatifs.front().point.kind,
               SweepPoint::Kind::kNoBankConflicts);
     EXPECT_GT(results[0].bestSpeedup(), 1.5);
+}
+
+TEST_F(BatchRunnerTest, StreamEqualsRunEqualsSerialBitForBit)
+{
+    const auto serial = serialReference(kernels_, specs_, sweep_);
+    for (int threads : {1, 2, 4, 8}) {
+        SCOPED_TRACE("threads = " + std::to_string(threads));
+        auto runner = makeRunner(threads);
+        const auto batch = runner->run(kernels_, specs_, sweep_);
+        expectSameResults(batch, serial);
+
+        // Stream the same batch on a fresh runner and reorder by the
+        // delivered kernel-major index: bit-identical again.
+        auto streamer = makeRunner(threads);
+        std::vector<BatchResult> streamed(batch.size());
+        std::vector<int> delivered(batch.size(), 0);
+        const auto stats = streamer->runStream(
+            kernels_, specs_, sweep_,
+            [&](size_t index, BatchResult r) {
+                ASSERT_LT(index, streamed.size());
+                ++delivered[index];
+                streamed[index] = std::move(r);
+            });
+        expectSameResults(streamed, serial);
+        for (size_t i = 0; i < delivered.size(); ++i)
+            EXPECT_EQ(delivered[i], 1) << "cell " << i;
+        EXPECT_EQ(stats.cells, batch.size());
+        EXPECT_GT(stats.firstResultSeconds, 0.0);
+        EXPECT_GE(stats.totalSeconds, stats.firstResultSeconds);
+    }
+}
+
+TEST_F(BatchRunnerTest, StreamIsBitIdenticalColdAndWarmStore)
+{
+    const std::string dir = ::testing::TempDir() + "gpuperf-stream-" +
+                            std::to_string(::getpid());
+    const auto serial = serialReference(kernels_, specs_, sweep_);
+
+    auto make_store_runner = [&]() {
+        BatchRunner::Options opts;
+        opts.numThreads = 4;
+        opts.storeDir = dir;
+        auto runner = std::make_unique<BatchRunner>(opts);
+        for (const auto &spec : specs_)
+            runner->adoptCalibration(spec, sharedFakeTables());
+        return runner;
+    };
+
+    auto collect = [&](BatchRunner &runner) {
+        std::vector<BatchResult> out(kernels_.size() * specs_.size());
+        runner.runStream(kernels_, specs_, sweep_,
+                         [&](size_t index, BatchResult r) {
+                             out[index] = std::move(r);
+                         });
+        return out;
+    };
+
+    // Cold: simulates and fills the store through writer nodes.
+    auto cold_runner = make_store_runner();
+    const auto cold = collect(*cold_runner);
+    expectSameResults(cold, serial);
+    ASSERT_NE(cold_runner->resultStore(), nullptr);
+
+    // Warm, fresh runner (a "process restart"): cells stream straight
+    // from the result store, still bit-identical, zero simulations.
+    auto warm_runner = make_store_runner();
+    const auto warm = collect(*warm_runner);
+    expectSameResults(warm, serial);
+    EXPECT_EQ(warm_runner->profileStore()->hits() +
+                  warm_runner->profileStore()->misses(),
+              0u)
+        << "warm streamed cells must not touch profile payloads";
+}
+
+TEST_F(BatchRunnerTest, CallbackExceptionDoesNotWedgeTheBatch)
+{
+    auto runner = makeRunner(4);
+    std::atomic<int> invocations{0};
+    bool threw = false;
+    try {
+        runner->runStream(kernels_, specs_, sweep_,
+                          [&](size_t, BatchResult) {
+                              ++invocations;
+                              throw std::runtime_error(
+                                  "consumer exploded");
+                          });
+    } catch (const std::runtime_error &e) {
+        threw = true;
+        EXPECT_STREQ(e.what(), "consumer exploded");
+    }
+    EXPECT_TRUE(threw) << "the callback's exception must surface";
+    EXPECT_EQ(invocations.load(), 1)
+        << "delivery stops after the first callback exception";
+
+    // The runner survives: the same batch still runs to completion.
+    const auto results = runner->run(kernels_, specs_, sweep_);
+    ASSERT_EQ(results.size(), kernels_.size() * specs_.size());
+    for (const auto &r : results)
+        EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST_F(BatchRunnerTest, ThrowingFactoryRunsOncePerFingerprint)
+{
+    // Both specs share a funcsim fingerprint, so the broken case has
+    // ONE prepare node: its factory must explode exactly once, with
+    // the captured error reused by every spec variant's cell (it
+    // used to pay a rebuild attempt per cell on the key-only path).
+    auto counter = std::make_shared<std::atomic<int>>(0);
+    KernelCase broken;
+    broken.name = "broken";
+    broken.make = [counter]() -> PreparedLaunch {
+        ++*counter;
+        throw std::runtime_error("factory exploded");
+    };
+
+    const std::string dir = ::testing::TempDir() + "gpuperf-broken-" +
+                            std::to_string(::getpid());
+    BatchRunner::Options opts;
+    opts.numThreads = 4;
+    opts.storeDir = dir; // the key-only warm path needs a store
+    BatchRunner runner(opts);
+    for (const auto &spec : specs_)
+        runner.adoptCalibration(spec, sharedFakeTables());
+
+    const auto results = runner.run({broken}, specs_, sweep_);
+    ASSERT_EQ(results.size(), specs_.size());
+    for (const auto &r : results) {
+        EXPECT_FALSE(r.ok);
+        EXPECT_NE(r.error.find("factory exploded"), std::string::npos);
+    }
+    EXPECT_EQ(counter->load(), 1)
+        << "sibling cells must reuse the captured factory error";
+}
+
+TEST(BatchRunnerRaceTest, SameContentCasesUnderDifferentNamesShareTiming)
+{
+    // Two cases with IDENTICAL kernel content under different names
+    // share one content-keyed timing node but have distinct
+    // position-keyed profile nodes: the second cell's analyze node
+    // must wait for its OWN profile node, not just the shared timing
+    // node (which is wired to the first cell's profile). Regression
+    // for a scheduling race that aborted on a null profile; iterate a
+    // few times to give any mis-ordering a chance to surface.
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    const auto tables = sharedFakeTables();
+    for (int iter = 0; iter < 10; ++iter) {
+        SCOPED_TRACE("iteration " + std::to_string(iter));
+        BatchRunner::Options opts;
+        opts.numThreads = 8;
+        BatchRunner runner(opts);
+        runner.adoptCalibration(spec, tables);
+        const auto results = runner.run(
+            {makeSaxpyCase("twin-a", 16, 128, 2.0f),
+             makeSaxpyCase("twin-b", 16, 128, 2.0f)},
+            {spec}, SweepSpec{});
+        ASSERT_EQ(results.size(), 2u);
+        for (const auto &r : results)
+            ASSERT_TRUE(r.ok) << r.error;
+        // Identical content ⇒ identical timing and prediction.
+        EXPECT_EQ(results[0].analysis.measuredMs(),
+                  results[1].analysis.measuredMs());
+        EXPECT_EQ(results[0].analysis.predictedMs(),
+                  results[1].analysis.predictedMs());
+    }
+}
+
+TEST(DemoCaseTest, ReductionMatchesTheHostReference)
+{
+    const int grid = 12;
+    const int block = 256;
+    auto kc = driver::makeReductionCase("reduce", grid, block);
+    auto launch = kc.make();
+
+    // Mirror the factory's allocation order (x then y, default
+    // alignment) against an identically sized arena to locate the
+    // arrays without exposing raw addresses in the case API.
+    const size_t n = static_cast<size_t>(grid) * block;
+    funcsim::GlobalMemory probe(n * 4 + grid * 4 + (1u << 20));
+    const uint64_t x_base = probe.alloc(n * 4);
+    const uint64_t y_base = probe.alloc(grid * 4);
+
+    // Host reference: a plain per-block loop. The input values are
+    // exact in f32 under any association, so the kernel's tree order
+    // must reproduce this EXACTLY, not approximately.
+    std::vector<float> want(grid, 0.0f);
+    for (int b = 0; b < grid; ++b) {
+        for (int t = 0; t < block; ++t)
+            want[b] += launch.gmem->f32(x_base)[b * block + t];
+    }
+
+    funcsim::FunctionalSimulator sim(arch::GpuSpec::gtx285());
+    funcsim::RunOptions opts;
+    opts.collectTrace = true;
+    auto res = sim.run(launch.kernel, launch.cfg, *launch.gmem, opts);
+
+    for (int b = 0; b < grid; ++b) {
+        EXPECT_EQ(launch.gmem->f32(y_base)[b], want[b])
+            << "block " << b;
+    }
+    // One staging barrier plus log2(block) tree passes.
+    EXPECT_EQ(res.stats.barriersPerBlock, 9);
+}
+
+TEST(DemoCaseTest, ReductionAnalyzesInABatch)
+{
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    BatchRunner::Options opts;
+    opts.numThreads = 2;
+    BatchRunner runner(opts);
+    runner.adoptCalibration(spec, sharedFakeTables());
+    const auto results = runner.run(
+        {makeReductionCase("reduce", 16, 128)}, {spec}, SweepSpec{});
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_GT(results[0].analysis.predictedMs(), 0.0);
+    EXPECT_GT(results[0].analysis.measuredMs(), 0.0);
 }
 
 TEST(BatchSerialApiTest, RunSerialKeepsKernelMajorOrder)

@@ -12,10 +12,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <thread>
 
 #include "driver/batch_runner.h"
 #include "driver/demo_cases.h"
@@ -543,6 +545,119 @@ TEST_F(WarmStoreTest, SerialReferenceMatchesStoreServedResults)
         reference.adoptCalibration(spec, sharedFakeTables());
     const auto want = reference.run(kernels_, specs_, sweep_);
     expectSame(warm_results, want);
+}
+
+// --- Cross-process calibration lease -----------------------------------
+
+TEST(CalibrationLease, ExactlyOneProcessHoldsAFreshLease)
+{
+    const std::string dir = freshDir("lease-basic");
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    // Two store objects = two cooperating processes' views.
+    store::CalibrationStore a(dir);
+    store::CalibrationStore b(dir);
+
+    EXPECT_FALSE(a.leaseHeld(spec));
+    store::CalibrationLease held = a.tryAcquireLease(spec);
+    ASSERT_TRUE(held.held());
+    EXPECT_TRUE(b.leaseHeld(spec))
+        << "the marker must be visible through any store object";
+
+    store::CalibrationLease lost = b.tryAcquireLease(spec);
+    EXPECT_FALSE(lost.held())
+        << "a fresh lease held by a live pid must not be taken";
+
+    held.release();
+    EXPECT_FALSE(b.leaseHeld(spec));
+    store::CalibrationLease second = b.tryAcquireLease(spec);
+    EXPECT_TRUE(second.held()) << "released leases are re-acquirable";
+}
+
+TEST(CalibrationLease, StaleLeasesAreBrokenAndRetaken)
+{
+    const std::string dir = freshDir("lease-stale");
+    ASSERT_TRUE(store::makeDirs(dir));
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    store::CalibrationStore store(dir);
+
+    const std::string lease_path =
+        dir + "/" + store::fileStem(spec.name, spec.fingerprint()) +
+        ".lease";
+
+    // A lease from a process that no longer exists: broken at once.
+    {
+        std::ofstream marker(lease_path);
+        marker << 999999999 << " " << 1 << "\n"; // dead pid, ancient
+    }
+    EXPECT_FALSE(store.leaseHeld(spec));
+    store::CalibrationLease stolen = store.tryAcquireLease(spec);
+    EXPECT_TRUE(stolen.held());
+    stolen.release();
+
+    // A lease from a LIVE pid (ours) but older than the stale
+    // threshold: the holder is assumed wedged and the lease broken.
+    const auto one_minute_ago =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count() -
+        60'000;
+    {
+        std::ofstream marker(lease_path);
+        marker << ::getpid() << " " << one_minute_ago << "\n";
+    }
+    EXPECT_TRUE(store.leaseHeld(spec))
+        << "under the default 15-min threshold the lease is fresh";
+    store.setLeaseStaleAfter(std::chrono::milliseconds(10));
+    EXPECT_FALSE(store.leaseHeld(spec));
+    store::CalibrationLease aged = store.tryAcquireLease(spec);
+    EXPECT_TRUE(aged.held());
+}
+
+TEST(CalibrationLease, ConcurrentRunnersSplitTheMicrobenchmarkSweep)
+{
+    // Two runners sharing one storeDir — stand-ins for two sharded
+    // processes — calibrate the same spec concurrently: the lease
+    // must hand the sweep to exactly one of them, the other waits
+    // and loads the published entry. Pinned on the runners' computed
+    // counter, not on timing.
+    const std::string dir = freshDir("lease-split");
+    arch::GpuSpec tiny = arch::GpuSpec::gtx285();
+    tiny.name = "GTX tiny lease";
+    tiny.numSms = 3;
+    tiny.maxWarpsPerSm = 8;
+    tiny.maxThreadsPerSm = 256;
+    tiny.maxThreadsPerBlock = 256;
+    tiny.validate();
+
+    driver::BatchRunner::Options opts;
+    opts.numThreads = 1;
+    opts.storeDir = dir;
+    driver::BatchRunner first(opts);
+    driver::BatchRunner second(opts);
+
+    std::shared_ptr<const model::CalibrationTables> ta, tb;
+    std::thread t1([&]() { ta = first.calibrationFor(tiny); });
+    std::thread t2([&]() { tb = second.calibrationFor(tiny); });
+    t1.join();
+    t2.join();
+
+    ASSERT_NE(ta, nullptr);
+    ASSERT_NE(tb, nullptr);
+    EXPECT_EQ(first.calibrationsComputed() +
+                  second.calibrationsComputed(),
+              1u)
+        << "the sweep must run at most once between the two runners";
+
+    // Both ended with the SAME calibration content: the waiter's
+    // tables came from the holder's persisted entry.
+    EXPECT_EQ(store::tablesDigest(*ta), store::tablesDigest(*tb));
+
+    // A third, later runner starts fully warm.
+    driver::BatchRunner third(opts);
+    auto tc = third.calibrationFor(tiny);
+    ASSERT_NE(tc, nullptr);
+    EXPECT_EQ(third.calibrationsComputed(), 0u);
+    EXPECT_EQ(store::tablesDigest(*tc), store::tablesDigest(*ta));
 }
 
 } // namespace
