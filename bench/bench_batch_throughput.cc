@@ -1,28 +1,31 @@
 /**
  * @file
- * Batch-analysis throughput, two studies:
+ * Batch-analysis throughput through the public AnalysisService API,
+ * three studies:
  *
  * 1. Analyses per second versus worker count for a 64-point batch (a
- *    mix of coalesced, strided, bank-conflicted and stencil kernel
- *    cases, each a full functional-sim -> extraction -> prediction ->
- *    what-if workflow). Calibration happens once, outside the timed
- *    region, and is shared by every worker. Gate: >= 2x analyses/sec
- *    at 4 threads over 1 thread (enforced with >= 4 hardware threads).
+ *    mix of coalesced, strided, bank-conflicted, stencil, reduction
+ *    and histogram kernel cases, each a full functional-sim ->
+ *    extraction -> prediction -> what-if workflow). Calibration
+ *    happens once, outside the timed region, and is adopted by every
+ *    executor. Gate: >= 2x analyses/sec at 4 threads over 1 thread
+ *    (enforced with >= 4 hardware threads).
  *
  * 2. Profile sharing and the persistent store on an N x M spec-variant
- *    grid (the paper's Section 5 what-if studies): the PR 1 per-cell
- *    pipeline re-simulates every cell; profile sharing runs N
- *    functional sims for N x M cells; a warm store skips them
- *    entirely across process restarts. Gate: warm-store analyses/sec
- *    >= 3x the per-cell pipeline at M >= 4 variants (results are
- *    bit-identical either way — pinned by test_profile/test_store).
+ *    grid (the paper's Section 5 what-if studies): the per-cell
+ *    reference pipeline re-simulates every cell; profile sharing runs
+ *    N functional sims for N x M cells; a warm store skips them
+ *    entirely across process restarts (service.reset() plays the
+ *    restart). Gate: warm-store analyses/sec >= 3x the per-cell
+ *    pipeline at M >= 4 variants (results are bit-identical either
+ *    way — pinned by test_profile/test_store/test_api).
  *
  * 3. Streaming delivery: on a two-spec batch whose cold calibrations
- *    cost very differently, runStream() must hand over the first
- *    finished cell while the slower spec's microbenchmark sweep is
- *    still running. Gate: time-to-first-result < time of the last
- *    calibration completing (a blocking run() delivers only at batch
- *    drain). Reported in bench_batch_throughput.json ("streaming").
+ *    cost very differently, a streamed request must hand over the
+ *    first finished cell while the slower spec's microbenchmark sweep
+ *    is still running. Gate: time-to-first-result < time of the last
+ *    calibration completing. Reported in bench_batch_throughput.json
+ *    ("streaming").
  */
 
 #include <chrono>
@@ -30,59 +33,80 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "api/request.h"
+#include "api/service.h"
 #include "bench/bench_common.h"
 #include "common/thread_pool.h"
-#include "driver/batch_runner.h"
-#include "driver/demo_cases.h"
 #include "store/profile_store.h"
-#include "store/result_store.h"
 
 using namespace gpuperf;
 
 namespace {
 
-std::vector<driver::KernelCase>
+/**
+ * The batch as wire-portable case refs — the same KernelJobs a spool
+ * submitter would serialize. Six families (histogram included), with
+ * v = i/6 varying each family's parameters injectively through the
+ * 64-point batch.
+ */
+std::vector<api::KernelJob>
 makeBatch(int points, bool full)
 {
     const int scale = full ? 4 : 1;
-    std::vector<driver::KernelCase> cases;
-    cases.reserve(static_cast<size_t>(points));
+    std::vector<api::KernelJob> jobs;
+    jobs.reserve(static_cast<size_t>(points));
     for (int i = 0; i < points; ++i) {
         const std::string tag = "#" + std::to_string(i);
-        // Vary the per-case parameters with v = i/5, which is
-        // independent of the i%5 case selector — every family keeps a
-        // spread of distinct kernels (distinct profiles) within the
-        // batch. Each formula stays injective through v = 12, i.e. up
-        // to 64 points (the largest batch the studies request).
-        const int v = i / 5;
-        switch (i % 5) {
+        const int64_t v = i / 6;
+        switch (i % 6) {
           case 0:
-            cases.push_back(driver::makeSaxpyCase(
-                "saxpy" + tag, (16 + 8 * v) * scale, 256, 2.0f));
+            jobs.push_back(api::KernelJob::fromRef(
+                "saxpy" + tag,
+                api::CaseRef{
+                    "saxpy", {(16 + 8 * v) * scale, 256}, {2.0}}));
             break;
           case 1:
             // Power-of-two grid sizes keep n a power of two, as the
             // strided case requires.
-            cases.push_back(driver::makeStridedSaxpyCase(
-                "strided" + tag, (16 << (v / 4)) * scale, 256,
-                1 << (1 + v % 4)));
+            jobs.push_back(api::KernelJob::fromRef(
+                "strided" + tag,
+                api::CaseRef{"saxpy-strided",
+                             {(int64_t{16} << (v / 4)) * scale, 256,
+                              int64_t{1} << (1 + v % 4)},
+                             {}}));
             break;
           case 2:
-            cases.push_back(driver::makeSharedConflictCase(
-                "conflict" + tag, 8 * scale, 128, 2 << (v % 4),
-                48 + 16 * (v / 4)));
+            jobs.push_back(api::KernelJob::fromRef(
+                "conflict" + tag,
+                api::CaseRef{"shared-conflict",
+                             {8 * scale, 128, int64_t{2} << (v % 4),
+                              48 + 16 * (v / 4)},
+                             {}}));
             break;
           case 3:
-            cases.push_back(driver::makeStencil1dCase(
-                "stencil" + tag, (12 + 4 * v) * scale, 256));
+            jobs.push_back(api::KernelJob::fromRef(
+                "stencil" + tag,
+                api::CaseRef{"stencil1d",
+                             {(12 + 4 * v) * scale, 256},
+                             {}}));
+            break;
+          case 4:
+            jobs.push_back(api::KernelJob::fromRef(
+                "reduce" + tag,
+                api::CaseRef{"reduction",
+                             {(8 + 4 * v) * scale, 256},
+                             {}}));
             break;
           default:
-            cases.push_back(driver::makeReductionCase(
-                "reduce" + tag, (8 + 4 * v) * scale, 256));
+            jobs.push_back(api::KernelJob::fromRef(
+                "hist" + tag,
+                api::CaseRef{"histogram",
+                             {(6 + 2 * v) * scale, 128, 8, 4},
+                             {}}));
             break;
         }
     }
-    return cases;
+    return jobs;
 }
 
 /**
@@ -113,25 +137,22 @@ makeSpecGrid()
     return specs;
 }
 
-/** Time one full batch; returns analyses/sec, exits on any failure. */
+/** Time one request; returns analyses/sec, exits on any failure. */
 double
-timedRun(driver::BatchRunner &runner,
-         const std::vector<driver::KernelCase> &cases,
-         const std::vector<arch::GpuSpec> &specs,
-         const driver::SweepSpec &sweep)
+timedRun(api::AnalysisService &service, const api::AnalysisRequest &req)
 {
     const auto start = std::chrono::steady_clock::now();
-    const auto results = runner.run(cases, specs, sweep);
+    const api::AnalysisResponse resp = service.run(req);
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
-    for (const auto &r : results) {
+    for (const auto &r : resp.cells) {
         if (!r.ok) {
             std::cerr << "failing analysis: " << r.kernelName << " x "
                       << r.specName << ": " << r.error << "\n";
             std::exit(1);
         }
     }
-    return static_cast<double>(results.size()) / elapsed.count();
+    return static_cast<double>(resp.cells.size()) / elapsed.count();
 }
 
 } // namespace
@@ -145,38 +166,40 @@ main(int argc, char **argv)
 
     printBanner(std::cout, "batch-analysis throughput vs threads");
 
-    // Calibrate once, outside the timed region; every runner below
-    // adopts this one table set.
+    api::AnalysisService service;
+
+    // Calibrate once, outside the timed region, via a cache-backed
+    // policy; every executor below adopts this one table set.
     std::cout << "calibrating " << spec.name
               << " (cached across bench runs)...\n";
-    model::AnalysisSession calibration_session(spec);
-    calibration_session.calibrator().setCacheFile(
-        bench::calibrationCacheFile(spec));
-    const auto tables = calibration_session.shareCalibration();
+    api::AnalysisRequest cal_req;
+    cal_req.jobName = "bench-calibration";
+    cal_req.store.calibrationCacheDir = ".";
+    const auto tables = service.calibrationFor(cal_req, spec);
 
-    driver::SweepSpec sweep;
-    sweep.noBankConflicts = true;
-    sweep.coalescingFractions = {1.0};
-
-    const auto cases = makeBatch(points, opts.full);
+    api::AnalysisRequest base;
+    base.jobName = "bench-batch-throughput";
+    base.sweep.noBankConflicts = true;
+    base.sweep.coalescingFractions = {1.0};
+    base.kernels = makeBatch(points, opts.full);
+    base.specs = {spec};
 
     Table t({"threads", "analyses", "seconds", "analyses/sec",
              "speedup vs 1T"});
     double base_rate = 0.0;
     double rate_at_4 = 0.0;
     for (int threads : {1, 2, 4, 8}) {
-        driver::BatchRunner::Options ropts;
-        ropts.numThreads = threads;
-        driver::BatchRunner runner(ropts);
-        runner.adoptCalibration(spec, tables);
+        api::AnalysisRequest req = base;
+        req.exec.numThreads = threads;
+        service.adoptCalibration(req, spec, tables);
 
         const auto start = std::chrono::steady_clock::now();
-        const auto results = runner.run(cases, {spec}, sweep);
+        const api::AnalysisResponse resp = service.run(req);
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
 
         int ok = 0;
-        for (const auto &r : results)
+        for (const auto &r : resp.cells)
             ok += r.ok ? 1 : 0;
         if (ok != points) {
             std::cerr << "batch had " << points - ok
@@ -220,62 +243,75 @@ main(int argc, char **argv)
     // Study 2: profile sharing + persistent store on an N x M grid.
     // ---------------------------------------------------------------
     const auto specs = makeSpecGrid();
-    const auto grid_cases = makeBatch(opts.full ? 32 : 16, opts.full);
+    api::AnalysisRequest grid = base;
+    grid.kernels = makeBatch(opts.full ? 32 : 16, opts.full);
+    grid.specs = specs;
+    grid.exec.numThreads = 0;
     printBanner(std::cout,
                 "profile sharing & store (" +
-                    std::to_string(grid_cases.size()) + " kernels x " +
-                    std::to_string(specs.size()) + " spec variants)");
+                    std::to_string(grid.kernels.size()) +
+                    " kernels x " + std::to_string(specs.size()) +
+                    " spec variants)");
 
     const std::string store_dir = "batch_store_bench";
     (void)std::system(("rm -rf " + store_dir).c_str());
 
-    auto make_runner = [&](bool share, const std::string &dir,
-                           bool reuse_results) {
-        driver::BatchRunner::Options ropts;
-        ropts.shareProfiles = share;
-        ropts.storeDir = dir;
-        ropts.reuseStoredResults = reuse_results;
-        auto runner = std::make_unique<driver::BatchRunner>(ropts);
+    const auto policy_run = [&](api::ExecutionPolicy::Pipeline pipeline,
+                                const std::string &dir,
+                                bool reuse_results) {
+        api::AnalysisRequest req = grid;
+        req.exec.pipeline = pipeline;
+        req.store.storeDir = dir;
+        req.store.reuseStoredResults = reuse_results;
         for (const auto &s : specs)
-            runner->adoptCalibration(s, tables);
-        return runner;
+            service.adoptCalibration(req, s, tables);
+        return req;
     };
 
     Table grid_table({"mode", "analyses", "analyses/sec",
                       "speedup vs per-cell"});
-    // PR 1 pipeline: every cell re-runs the functional simulator.
-    auto percell = make_runner(false, "", false);
-    const double percell_rate =
-        timedRun(*percell, grid_cases, specs, sweep);
+    // Reference pipeline: every cell re-runs the functional simulator.
+    const double percell_rate = timedRun(
+        service,
+        policy_run(api::ExecutionPolicy::Pipeline::kPerCell, "",
+                   false));
     // Profile sharing, cold store: N functional sims for N x M cells,
     // profiles written to disk as a side effect.
-    auto cold = make_runner(true, store_dir, false);
-    const double cold_rate = timedRun(*cold, grid_cases, specs, sweep);
-    // Warm store, fresh runner (a "process restart"): profiles load
-    // from disk, zero functional simulation.
-    auto warm = make_runner(true, store_dir, false);
-    const double warm_rate = timedRun(*warm, grid_cases, specs, sweep);
-    const uint64_t warm_hits = warm->profileStore()->hits();
+    const double cold_rate = timedRun(
+        service, policy_run(api::ExecutionPolicy::Pipeline::kShared,
+                            store_dir, false));
+    // Warm store after a "process restart" (reset() drops every
+    // executor and its in-memory memos): profiles load from disk,
+    // zero functional simulation.
+    service.reset();
+    const api::AnalysisRequest warm_req =
+        policy_run(api::ExecutionPolicy::Pipeline::kShared, store_dir,
+                   false);
+    const double warm_rate = timedRun(service, warm_req);
+    const uint64_t warm_hits =
+        service.executorFor(warm_req).profileStore()->hits();
     // Warm result store: whole cells served from disk.
-    auto result_warm = make_runner(true, store_dir, true);
-    const double result_warm_rate =
-        timedRun(*result_warm, grid_cases, specs, sweep);
+    service.reset();
+    const double result_warm_rate = timedRun(
+        service, policy_run(api::ExecutionPolicy::Pipeline::kShared,
+                            store_dir, true));
 
-    const size_t cells = grid_cases.size() * specs.size();
+    const size_t cells = grid.kernels.size() * specs.size();
     auto add_row = [&](const char *mode, double rate) {
         grid_table.addRow({mode, std::to_string(cells),
                            Table::num(rate, 1),
                            Table::num(rate / percell_rate, 2) + "x"});
     };
-    add_row("per-cell (PR 1)", percell_rate);
+    add_row("per-cell (reference)", percell_rate);
     add_row("shared, cold store", cold_rate);
     add_row("shared, warm store", warm_rate);
     add_row("warm result store", result_warm_rate);
     bench::emit(grid_table, opts);
 
-    if (warm_hits != grid_cases.size()) {
+    if (warm_hits != grid.kernels.size()) {
         std::cerr << "warm run loaded " << warm_hits
-                  << " profiles, expected " << grid_cases.size() << "\n";
+                  << " profiles, expected " << grid.kernels.size()
+                  << "\n";
         return 1;
     }
     const double share_speedup = warm_rate / percell_rate;
@@ -294,7 +330,7 @@ main(int argc, char **argv)
     // must stream the quick spec's finished cells out while the slow
     // spec's microbenchmark sweep is still running, so the first
     // result lands before the last calibration completes (a blocking
-    // run() delivers nothing until the whole batch drains).
+    // run delivers nothing until the whole batch drains).
     // ---------------------------------------------------------------
     printBanner(std::cout,
                 "streaming delivery (time to first result, cold "
@@ -314,31 +350,39 @@ main(int argc, char **argv)
     slow_cal.maxThreadsPerSm = 512;
     slow_cal.validate();
 
-    const auto stream_cases = makeBatch(6, false);
-    driver::BatchRunner::Options stream_opts;
-    stream_opts.numThreads = 4;
-    driver::BatchRunner streamer(stream_opts); // cold: no adopt, no store
+    api::AnalysisRequest stream_req = base;
+    stream_req.jobName = "bench-streaming";
+    stream_req.kernels = makeBatch(6, false);
+    stream_req.specs = {quick, slow_cal};
+    stream_req.exec.numThreads = 4;
+    stream_req.exec.delivery = api::ExecutionPolicy::Delivery::kStream;
+
+    // A fresh service: the streaming study measures COLD calibration
+    // overlap, so nothing may be adopted or memoized.
+    api::AnalysisService cold_service;
     size_t stream_ok = 0;
-    const auto stream_stats = streamer.runStream(
-        stream_cases, {quick, slow_cal}, sweep,
-        [&stream_ok](size_t, driver::BatchResult r) {
+    api::StreamStats stream_stats;
+    cold_service.execute(
+        stream_req,
+        [&stream_ok](size_t, const driver::BatchResult &r) {
             stream_ok += r.ok ? 1 : 0;
-        });
-    if (stream_ok != stream_cases.size() * 2) {
+        },
+        &stream_stats);
+    if (stream_ok != stream_req.kernels.size() * 2) {
         std::cerr << "streaming study had failing analyses\n";
         return 1;
     }
 
-    // run() is runStream + reorder: its time-to-first-result IS the
-    // drain time, so the same run yields the blocking baseline.
+    // A blocking run is runStream + reorder: its time-to-first-result
+    // IS the drain time, so the same run yields the blocking baseline.
     Table stream_table({"delivery", "first result (s)",
                         "last calibration (s)", "batch total (s)"});
-    stream_table.addRow({"streaming (runStream)",
+    stream_table.addRow({"streaming (kStream)",
                          Table::num(stream_stats.firstResultSeconds, 3),
                          Table::num(stream_stats.lastCalibrationSeconds,
                                     3),
                          Table::num(stream_stats.totalSeconds, 3)});
-    stream_table.addRow({"blocking (run)",
+    stream_table.addRow({"blocking (kCollect)",
                          Table::num(stream_stats.totalSeconds, 3), "-",
                          Table::num(stream_stats.totalSeconds, 3)});
     bench::emit(stream_table, opts);
@@ -376,7 +420,7 @@ main(int argc, char **argv)
             share_gate_ok && thread_gate_ok && stream_gate_ok
                 ? "pass"
                 : "fail",
-            scaling, hw_threads, grid_cases.size(), specs.size(),
+            scaling, hw_threads, grid.kernels.size(), specs.size(),
             percell_rate, cold_rate, warm_rate, result_warm_rate,
             stream_stats.firstResultSeconds,
             stream_stats.lastCalibrationSeconds,

@@ -4,45 +4,34 @@
  * hardware change against a real workload before building it. Here:
  * would a prime number of shared-memory banks remove the tridiagonal
  * solver's conflicts without software padding?
+ *
+ * The whole study is one api::AnalysisRequest — two kernels (the
+ * unpadded and padded solvers) by two machines (stock and 17-bank
+ * GTX 285) — and every measurement below reads from its response.
  */
 
 #include <iostream>
 
+#include "api/request.h"
+#include "api/service.h"
 #include "apps/tridiag/cyclic_reduction.h"
 #include "common/table.h"
-#include "model/device.h"
 
 using namespace gpuperf;
 
 namespace {
 
-struct Row
+/** Conflict factor of one cell: real vs ideal shared transactions. */
+double
+conflictFactor(const driver::BatchResult &cell)
 {
-    std::string machine;
-    double ms;
-    double conflictFactor;
-};
-
-Row
-evaluate(const arch::GpuSpec &spec, bool padded)
-{
-    model::SimulatedDevice device(spec);
-    funcsim::GlobalMemory gmem(64 << 20);
-    apps::TridiagProblem p = apps::makeTridiagProblem(gmem, 512, 512,
-                                                      padded);
-    funcsim::RunOptions run;
-    run.homogeneous = true;
-    model::Measurement m = device.run(
-        apps::makeCyclicReductionKernel(p), p.launch(), gmem, run);
     uint64_t xacts = 0;
     uint64_t ideal = 0;
-    for (const auto &s : m.stats.stages) {
+    for (const auto &s : cell.analysis.measurement.stats.stages) {
         xacts += s.sharedTransactions;
         ideal += s.sharedTransactionsIdeal;
     }
-    return {spec.name + (padded ? " + software padding" : ""),
-            m.milliseconds(),
-            ideal ? static_cast<double>(xacts) / ideal : 1.0};
+    return ideal ? static_cast<double>(xacts) / ideal : 1.0;
 }
 
 } // namespace
@@ -54,15 +43,44 @@ main()
                 "architect's view: shared-memory banking vs cyclic "
                 "reduction (512 x 512 systems)");
 
+    api::AnalysisRequest request;
+    request.jobName = "arch-explore-banks";
+    request.specs.push_back(arch::GpuSpec::gtx285());
+    request.specs.push_back(arch::GpuSpec::gtx285PrimeBanks());
+    request.store.storeDir = "gpuperf_store";
+
+    funcsim::RunOptions run;
+    run.homogeneous = true;
+    for (const bool padded : {false, true}) {
+        funcsim::GlobalMemory gmem(64 << 20);
+        apps::TridiagProblem p = apps::makeTridiagProblem(gmem, 512,
+                                                          512, padded);
+        request.kernels.push_back(api::KernelJob::fromInline(
+            padded ? "cr + software padding" : "cr",
+            api::InlineLaunch::capture(
+                apps::makeCyclicReductionKernel(p), p.launch(), gmem,
+                run)));
+    }
+
+    api::AnalysisService service;
+    const api::AnalysisResponse response = service.run(request);
+
+    // Rows grouped by machine (the architect's axis), cells arrive
+    // kernel-major: cell(ki, si) = cells[ki * numSpecs + si].
     Table t({"machine / code", "time (ms)", "bank conflict factor"});
-    for (const Row &row : {
-             evaluate(arch::GpuSpec::gtx285(), false),
-             evaluate(arch::GpuSpec::gtx285(), true),
-             evaluate(arch::GpuSpec::gtx285PrimeBanks(), false),
-             evaluate(arch::GpuSpec::gtx285PrimeBanks(), true),
-         }) {
-        t.addRow({row.machine, Table::num(row.ms, 3),
-                  Table::num(row.conflictFactor, 2)});
+    for (size_t si = 0; si < request.specs.size(); ++si) {
+        for (size_t ki = 0; ki < request.kernels.size(); ++ki) {
+            const driver::BatchResult &cell =
+                response.cells.at(ki * request.specs.size() + si);
+            if (!cell.ok) {
+                std::cerr << "analysis failed: " << cell.error << "\n";
+                return 1;
+            }
+            t.addRow({cell.specName + (ki == 1 ? " + software padding"
+                                               : ""),
+                      Table::num(cell.analysis.measuredMs(), 3),
+                      Table::num(conflictFactor(cell), 2)});
+        }
     }
     t.print(std::cout);
 

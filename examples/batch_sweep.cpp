@@ -15,67 +15,70 @@
  * a 3-point Jacobi stencil (tiled through shared memory with halo
  * loads; little to fix).
  *
- * The runner keeps a persistent store next to the binary: the first
- * run simulates and calibrates, reruns start warm and skip both.
- * Results are consumed through the streaming API: each cell prints
- * the moment the batch task graph completes it, then the ordered
- * summary tables follow.
+ * The whole batch is ONE api::AnalysisRequest built from registry
+ * case refs — the same wire-portable description `gpuperf-worker`
+ * ships to spool workers — executed here in streaming mode: each
+ * cell prints the moment the batch task graph completes it, then the
+ * ordered summary tables follow. The request's store makes reruns
+ * start warm and skip both simulation and calibration.
  */
 
 #include <iostream>
 #include <vector>
 
+#include "api/request.h"
+#include "api/service.h"
 #include "common/table.h"
-#include "driver/batch_runner.h"
-#include "driver/demo_cases.h"
+#include "model/perf_model.h"
 
 using namespace gpuperf;
 
 int
 main()
 {
-    const std::vector<arch::GpuSpec> specs = {
+    api::AnalysisRequest request;
+    request.jobName = "batch-sweep";
+    request.specs = {
         arch::GpuSpec::gtx285(),
         arch::GpuSpec::gtx285PrimeBanks(),
     };
-
-    std::vector<driver::KernelCase> kernels;
-    kernels.push_back(driver::makeSaxpyCase("saxpy", 32, 256, 2.0f));
-    kernels.push_back(
-        driver::makeStridedSaxpyCase("saxpy-strided", 16, 256, 8));
-    kernels.push_back(
-        driver::makeSharedConflictCase("cr-like-conflicted", 16, 128,
-                                       8));
-    kernels.push_back(driver::makeStencil1dCase("stencil1d", 32, 256));
-
-    driver::BatchRunner::Options opts;
+    request.kernels = {
+        api::KernelJob::fromRef(
+            "saxpy", api::CaseRef{"saxpy", {32, 256}, {2.0}}),
+        api::KernelJob::fromRef(
+            "saxpy-strided",
+            api::CaseRef{"saxpy-strided", {16, 256, 8}, {}}),
+        api::KernelJob::fromRef(
+            "cr-like-conflicted",
+            api::CaseRef{"shared-conflict", {16, 128, 8}, {}}),
+        api::KernelJob::fromRef(
+            "stencil1d", api::CaseRef{"stencil1d", {32, 256}, {}}),
+    };
+    request.sweep =
+        driver::SweepSpec::defaults(request.specs[0]);
     // Persist profiles, calibrations and results: reruns skip the
     // functional simulations and the microbenchmark sweeps entirely.
-    opts.storeDir = "batch_sweep_store";
-    driver::BatchRunner runner(opts);
+    request.store.storeDir = "batch_sweep_store";
+    request.exec.delivery = api::ExecutionPolicy::Delivery::kStream;
 
-    std::cout << "Calibrating " << specs.size()
-              << " machine variants and analyzing " << kernels.size()
-              << " kernels on " << runner.numThreads()
-              << " threads...\n\n";
+    api::AnalysisService service;
+    std::cout << "Calibrating " << request.specs.size()
+              << " machine variants and analyzing "
+              << request.kernels.size() << " kernels...\n\n";
 
     // Stream results as the task graph finishes them: each cell is
     // announced the moment it completes — long before the slowest
-    // calibration or simulation drains — then collected by its
-    // kernel-major index for the ordered tables below (exactly what
-    // runner.run() would return).
-    const driver::SweepSpec sweep =
-        driver::SweepSpec::defaults(specs[0]);
-    std::vector<driver::BatchResult> results(kernels.size() *
-                                             specs.size());
-    const auto stats = runner.runStream(
-        kernels, specs, sweep,
-        [&results](size_t index, driver::BatchResult r) {
+    // calibration or simulation drains — and the response still
+    // collects every cell in kernel-major order for the tables below.
+    api::StreamStats stats;
+    const api::AnalysisResponse response = service.execute(
+        request,
+        [](size_t, const driver::BatchResult &r) {
             std::cout << "  finished: " << r.kernelName << " x "
                       << r.specName << (r.ok ? "" : "  (FAILED)")
                       << "\n";
-            results[index] = std::move(r);
-        });
+        },
+        &stats);
     std::cout << "first result after "
               << Table::num(stats.firstResultSeconds, 2)
               << "s, batch drained in "
@@ -85,7 +88,7 @@ main()
     Table summary({"kernel", "machine", "measured (ms)",
                    "predicted (ms)", "bottleneck", "best what-if",
                    "speedup"});
-    for (const auto &r : results) {
+    for (const auto &r : response.cells) {
         if (!r.ok) {
             summary.addRow({r.kernelName, r.specName, "-", "-",
                             "FAILED: " + r.error, "-", "-"});
@@ -106,9 +109,9 @@ main()
     // kernel worth the effort on the stock machine?
     printBanner(std::cout,
                 "ranked what-ifs: cr-like-conflicted on GTX 285");
-    for (const auto &r : results) {
+    for (const auto &r : response.cells) {
         if (r.kernelName != "cr-like-conflicted" ||
-            r.specName != specs[0].name || !r.ok) {
+            r.specName != request.specs[0].name || !r.ok) {
             continue;
         }
         Table ranked({"rank", "what-if", "predicted speedup"});

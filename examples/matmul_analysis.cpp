@@ -9,14 +9,23 @@
  * per SM, too few to hide the shared-memory pipeline's latency, and
  * the bottleneck shifts from the instruction pipeline to shared
  * memory.
+ *
+ * All three tile sizes travel in ONE api::AnalysisRequest (three
+ * inline kernels x one machine); the response's cells come back in
+ * kernel order, and the calibration tables the narrative quotes come
+ * from the same service.
  */
 
 #include <iostream>
 
+#include "api/request.h"
+#include "api/service.h"
 #include "apps/matmul/gemm.h"
+#include "arch/instr_class.h"
 #include "arch/occupancy.h"
 #include "common/table.h"
-#include "model/session.h"
+#include "model/calibration.h"
+#include "model/report.h"
 
 using namespace gpuperf;
 
@@ -26,22 +35,51 @@ main(int argc, char **argv)
     const int size = (argc > 1 && std::string(argv[1]) == "--full")
                          ? 1024 : 256;
     const arch::GpuSpec spec = arch::GpuSpec::gtx285();
-    model::AnalysisSession session(spec, "calibration_GTX_285.cache");
 
     std::cout << "Analyzing " << size << "x" << size
               << " dense matrix multiply on " << spec.name << "\n";
 
-    for (int tile : {8, 16, 32}) {
+    // Build one request carrying every tile size; each kernel gets
+    // its own pristine memory image, captured inline.
+    const int tiles[] = {8, 16, 32};
+    api::AnalysisRequest request;
+    request.jobName = "matmul-tiles";
+    request.specs.push_back(spec);
+    request.store.storeDir = "gpuperf_store";
+
+    std::vector<apps::GemmProblem> problems;
+    std::vector<isa::Kernel> kernels;
+    for (int tile : tiles) {
         funcsim::GlobalMemory gmem(
             static_cast<size_t>(size) * size * 16 + (8 << 20));
         apps::GemmProblem p = apps::makeGemmProblem(gmem, size, tile);
         isa::Kernel k = apps::makeGemmKernel(p);
+        funcsim::RunOptions run;
+        run.homogeneous = true;
+        request.kernels.push_back(api::KernelJob::fromInline(
+            "gemm-" + std::to_string(tile),
+            api::InlineLaunch::capture(k, p.launch(), gmem, run)));
+        problems.push_back(p);
+        kernels.push_back(std::move(k));
+    }
 
+    api::AnalysisService service;
+    const auto tables = service.calibrationFor(request, spec);
+    const api::AnalysisResponse response = service.run(request);
+
+    for (size_t i = 0; i < response.cells.size(); ++i) {
+        const int tile = tiles[i];
+        const driver::BatchResult &cell = response.cells[i];
         printBanner(std::cout, "tile " + std::to_string(tile) + "x" +
                                    std::to_string(tile));
+        if (!cell.ok) {
+            std::cerr << "analysis failed: " << cell.error << "\n";
+            return 1;
+        }
 
-        arch::KernelResources res{k.numRegisters(), k.sharedBytes(),
-                                  p.blockDim()};
+        arch::KernelResources res{kernels[i].numRegisters(),
+                                  kernels[i].sharedBytes(),
+                                  problems[i].blockDim()};
         arch::Occupancy occ = arch::computeOccupancy(spec, res);
         std::cout << "occupancy: " << occ.residentBlocks
                   << " blocks / SM (" << occ.residentWarps
@@ -49,27 +87,25 @@ main(int argc, char **argv)
                   << arch::occupancyLimitName(occ.limit) << "\n";
         std::cout << "  at " << occ.residentWarps
                   << " warps the machine sustains "
-                  << Table::num(session.calibrator().tables().lookupInstr(
+                  << Table::num(tables->lookupInstr(
                          arch::InstrType::TypeII,
                          occ.residentWarps) / 1e9, 2)
                   << " Ginstr/s and "
-                  << Table::num(session.calibrator().tables()
-                                    .sharedBandwidth(occ.residentWarps) /
-                                1e9, 0)
+                  << Table::num(tables->sharedBandwidth(
+                                    occ.residentWarps) / 1e9, 0)
                   << " GB/s of shared bandwidth\n\n";
 
-        funcsim::RunOptions run;
-        run.homogeneous = true;
-        model::Analysis a = session.analyze(k, p.launch(), gmem, run);
-        model::printPrediction(std::cout, a.prediction, &a.measurement);
+        model::printPrediction(std::cout, cell.analysis.prediction,
+                               &cell.analysis.measurement);
         std::cout << "\n";
-        model::printMetrics(std::cout, a.metrics);
+        model::printMetrics(std::cout, cell.analysis.metrics);
         std::cout << "achieved "
-                  << Table::num(p.flops() / a.measurement.seconds() /
-                                1e9, 0)
+                  << Table::num(problems[i].flops() /
+                                    cell.analysis.measurement.seconds() /
+                                    1e9, 0)
                   << " GFLOPS ("
-                  << Table::num(100.0 * p.flops() /
-                                    a.measurement.seconds() /
+                  << Table::num(100.0 * problems[i].flops() /
+                                    cell.analysis.measurement.seconds() /
                                     arch::peakFlops(spec), 1)
                   << "% of peak)\n";
     }

@@ -1,18 +1,24 @@
 /**
  * @file
  * Quickstart: analyze a SAXPY kernel with the full workflow of the
- * paper's Figure 1 — write a kernel against the native-style ISA, run
- * it through the functional simulator, extract dynamic statistics,
- * predict per-component times with the microbenchmark-calibrated
- * model, and compare against the timing simulator's measurement.
+ * paper's Figure 1 — write a kernel against the native-style ISA,
+ * describe the job as one api::AnalysisRequest (the public API), let
+ * api::AnalysisService run functional simulation, extraction,
+ * calibrated prediction and the timing-simulator measurement, and
+ * read everything back from the typed response. Numerical correctness
+ * is then verified by running the functional simulator directly.
  */
 
 #include <iostream>
 
+#include "api/request.h"
+#include "api/service.h"
+#include "arch/instr_class.h"
 #include "common/table.h"
+#include "funcsim/interpreter.h"
 #include "isa/builder.h"
 #include "isa/disasm.h"
-#include "model/session.h"
+#include "model/report.h"
 
 using namespace gpuperf;
 
@@ -79,20 +85,41 @@ main()
     std::cout << "\nKernel (native-style disassembly):\n";
     isa::disassemble(kernel, std::cout);
 
-    funcsim::LaunchConfig cfg{n / 256, 256};
+    const funcsim::LaunchConfig cfg{n / 256, 256};
+
+    // One request describes the whole job: the kernel inline (with a
+    // snapshot of the pristine input image), the machine, and where
+    // to persist artifacts — reruns of this example start warm and
+    // skip both calibration and functional simulation.
+    api::AnalysisRequest request;
+    request.jobName = "quickstart";
+    request.kernels.push_back(api::KernelJob::fromInline(
+        "saxpy", api::InlineLaunch::capture(kernel, cfg, gmem)));
+    request.specs.push_back(spec);
+    request.store.storeDir = "gpuperf_store";
 
     std::cout << "\nCalibrating the model against the device "
-              << "(microbenchmark sweep)...\n";
-    model::AnalysisSession session(spec);
-
-    model::Analysis a = session.analyze(kernel, cfg, gmem);
+              << "(microbenchmark sweep; cached in "
+              << request.store.storeDir << ")...\n";
+    api::AnalysisService service;
+    const api::AnalysisResponse response = service.run(request);
+    const driver::BatchResult &cell = response.cells.at(0);
+    if (!cell.ok) {
+        std::cerr << "analysis failed: " << cell.error << "\n";
+        return 1;
+    }
 
     printBanner(std::cout, "performance analysis");
-    model::printPrediction(std::cout, a.prediction, &a.measurement);
+    model::printPrediction(std::cout, cell.analysis.prediction,
+                           &cell.analysis.measurement);
     std::cout << "\n";
-    model::printMetrics(std::cout, a.metrics);
+    model::printMetrics(std::cout, cell.analysis.metrics);
 
-    // Verify the result while we are here.
+    // Verify the numerics while we are here: the service analyzed a
+    // COPY of the input image, so run the functional simulator
+    // directly on ours and check the output.
+    funcsim::FunctionalSimulator sim(spec);
+    sim.run(kernel, cfg, gmem);
     int errors = 0;
     for (int i = 0; i < n; ++i) {
         const float expect = 2.0f * 1.0f + static_cast<float>(i % 7);

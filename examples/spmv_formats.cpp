@@ -5,18 +5,60 @@
  * Uses the memory-transaction simulator to compare the bytes each
  * format really moves per matrix entry — including the gathered
  * vector entries, which the interleaved-vector (IMIV) layout packs
- * into fewer transactions — then measures all three kernels and
- * verifies them against the CPU reference.
+ * into fewer transactions — then analyzes all three kernels through
+ * one api::AnalysisRequest and verifies each against the CPU
+ * reference with a direct functional-simulator run.
  */
 
 #include <iostream>
 
+#include "api/request.h"
+#include "api/service.h"
 #include "apps/spmv/kernels.h"
 #include "apps/spmv/traffic.h"
 #include "common/table.h"
-#include "model/session.h"
+#include "model/perf_model.h"
 
 using namespace gpuperf;
+
+namespace {
+
+/** One format's kernel with its own memory image and vectors. */
+struct FormatCase
+{
+    apps::SpmvFormat format;
+    std::unique_ptr<funcsim::GlobalMemory> gmem;
+    apps::SpmvVectors vectors;
+    bool interleavedY = false;
+    std::unique_ptr<isa::Kernel> kernel;
+    funcsim::LaunchConfig cfg;
+};
+
+FormatCase
+buildFormat(const apps::BlockSparseMatrix &m, apps::SpmvFormat f)
+{
+    FormatCase fc;
+    fc.format = f;
+    fc.gmem = std::make_unique<funcsim::GlobalMemory>(256 << 20);
+    fc.vectors = apps::makeVectors(*fc.gmem, m);
+    if (f == apps::SpmvFormat::kEll) {
+        apps::EllDeviceMatrix ell = apps::buildEll(*fc.gmem, m);
+        fc.kernel = std::make_unique<isa::Kernel>(
+            apps::makeEllKernel(ell, fc.vectors, false));
+    } else {
+        apps::BellDeviceMatrix bell = apps::buildBell(*fc.gmem, m, true);
+        fc.interleavedY = f == apps::SpmvFormat::kBellImIv;
+        fc.kernel = std::make_unique<isa::Kernel>(apps::makeBellKernel(
+            bell, fc.vectors, fc.interleavedY, false));
+    }
+    const int work =
+        f == apps::SpmvFormat::kEll ? m.rows() : m.blockRows;
+    fc.cfg = funcsim::LaunchConfig{apps::spmvGridDim(work),
+                                   apps::kSpmvBlockDim};
+    return fc;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -24,7 +66,6 @@ main(int argc, char **argv)
     const int block_rows = (argc > 1 && std::string(argv[1]) == "--full")
                                ? 16384 : 2048;
     const arch::GpuSpec spec = arch::GpuSpec::gtx285();
-    model::AnalysisSession session(spec, "calibration_GTX_285.cache");
 
     apps::BlockSparseMatrix m =
         apps::makeBandedBlockMatrix(block_rows, 13, 24);
@@ -45,41 +86,59 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
-    // --- Measure and verify the three kernels ----------------------------
+    // --- Analyze all three kernels through one request -------------------
+    std::vector<FormatCase> cases;
+    api::AnalysisRequest request;
+    request.jobName = "spmv-formats";
+    request.specs.push_back(spec);
+    request.store.storeDir = "gpuperf_store";
+    for (apps::SpmvFormat f :
+         {apps::SpmvFormat::kEll, apps::SpmvFormat::kBellIm,
+          apps::SpmvFormat::kBellImIv}) {
+        cases.push_back(buildFormat(m, f));
+        // Snapshot the PRISTINE image — the verification run below
+        // mutates the local copy afterwards.
+        request.kernels.push_back(api::KernelJob::fromInline(
+            apps::spmvFormatName(f),
+            api::InlineLaunch::capture(*cases.back().kernel,
+                                       cases.back().cfg,
+                                       *cases.back().gmem)));
+    }
+
+    api::AnalysisService service;
+    const api::AnalysisResponse response = service.run(request);
+
+    // --- Report and verify the three kernels -----------------------------
     printBanner(std::cout, "measured performance and verification");
     Table perf({"kernel", "time (ms)", "GFLOPS", "bottleneck",
                 "max error vs CPU"});
     const double flops = 2.0 * static_cast<double>(m.storedEntries());
 
-    for (apps::SpmvFormat f :
-         {apps::SpmvFormat::kEll, apps::SpmvFormat::kBellIm,
-          apps::SpmvFormat::kBellImIv}) {
-        funcsim::GlobalMemory gmem(256 << 20);
-        apps::SpmvVectors v = apps::makeVectors(gmem, m);
-        bool interleaved_y = false;
-        isa::Kernel k = [&] {
-            if (f == apps::SpmvFormat::kEll) {
-                apps::EllDeviceMatrix ell = apps::buildEll(gmem, m);
-                return apps::makeEllKernel(ell, v, false);
-            }
-            apps::BellDeviceMatrix bell = apps::buildBell(gmem, m, true);
-            interleaved_y = f == apps::SpmvFormat::kBellImIv;
-            return apps::makeBellKernel(bell, v, interleaved_y, false);
-        }();
-        const int work =
-            f == apps::SpmvFormat::kEll ? m.rows() : m.blockRows;
-        funcsim::LaunchConfig cfg{apps::spmvGridDim(work),
-                                  apps::kSpmvBlockDim};
-        model::Analysis a = session.analyze(k, cfg, gmem);
-        const double err = apps::spmvMaxError(gmem, m, v, interleaved_y);
-        perf.addRow({apps::spmvFormatName(f),
-                     Table::num(a.measuredMs(), 3),
-                     Table::num(flops / a.measurement.seconds() / 1e9, 1),
-                     model::componentName(a.prediction.bottleneck),
-                     Table::num(err, 6)});
+    funcsim::FunctionalSimulator sim(spec);
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const driver::BatchResult &cell = response.cells.at(i);
+        if (!cell.ok) {
+            std::cerr << "analysis FAILED for " << cell.kernelName
+                      << ": " << cell.error << "\n";
+            return 1;
+        }
+        // Numerics: execute the kernel functionally on our local
+        // image and compare against the CPU reference.
+        FormatCase &fc = cases[i];
+        sim.run(*fc.kernel, fc.cfg, *fc.gmem);
+        const double err =
+            apps::spmvMaxError(*fc.gmem, m, fc.vectors,
+                               fc.interleavedY);
+        perf.addRow(
+            {cell.kernelName,
+             Table::num(cell.analysis.measuredMs(), 3),
+             Table::num(flops / cell.analysis.measurement.seconds() /
+                        1e9, 1),
+             model::componentName(cell.analysis.prediction.bottleneck),
+             Table::num(err, 6)});
         if (err > 1e-4) {
-            std::cerr << "verification FAILED for "
-                      << apps::spmvFormatName(f) << "\n";
+            std::cerr << "verification FAILED for " << cell.kernelName
+                      << "\n";
             return 1;
         }
     }

@@ -9,15 +9,21 @@
  * the benefit of removing them; applying the padding (CR-NBC) realizes
  * the predicted speedup — and the solution is verified against the
  * Thomas algorithm.
+ *
+ * Both kernels (CR and CR-NBC) and the remove-the-conflicts
+ * hypothesis travel in ONE api::AnalysisRequest: the sweep's
+ * no-bank-conflicts point IS the paper's step-2b what-if, evaluated
+ * by the service and ranked in each cell's response.
  */
 
 #include <iostream>
 
+#include "api/request.h"
+#include "api/service.h"
 #include "apps/tridiag/cyclic_reduction.h"
 #include "common/table.h"
+#include "model/report.h"
 #include "model/roofline.h"
-#include "model/session.h"
-#include "model/whatif.h"
 
 using namespace gpuperf;
 
@@ -27,22 +33,50 @@ main()
     const arch::GpuSpec spec = arch::GpuSpec::gtx285();
     const int n = 512;
     const int systems = 512;
-    model::AnalysisSession session(spec, "calibration_GTX_285.cache");
 
     std::cout << "Solving " << systems << " systems of " << n
               << " equations with cyclic reduction\n";
 
-    // --- Step 1: the traditional model is stuck --------------------------
+    // One request: the unpadded and padded kernels, with the
+    // conflict-removal hypothesis as the sweep.
+    api::AnalysisRequest request;
+    request.jobName = "tridiag-cr";
+    request.specs.push_back(spec);
+    request.store.storeDir = "gpuperf_store";
+    request.sweep.noBankConflicts = true;
+
     funcsim::GlobalMemory g1(64 << 20);
     apps::TridiagProblem cr = apps::makeTridiagProblem(g1, n, systems,
                                                        false);
     funcsim::RunOptions run;
     run.homogeneous = true;
-    model::Analysis a_cr = session.analyze(
-        apps::makeCyclicReductionKernel(cr), cr.launch(), g1, run);
+    request.kernels.push_back(api::KernelJob::fromInline(
+        "cr", api::InlineLaunch::capture(
+                  apps::makeCyclicReductionKernel(cr), cr.launch(), g1,
+                  run)));
 
+    funcsim::GlobalMemory g2(64 << 20);
+    apps::TridiagProblem nbc =
+        apps::makeTridiagProblem(g2, n, systems, true);
+    request.kernels.push_back(api::KernelJob::fromInline(
+        "cr-nbc", api::InlineLaunch::capture(
+                      apps::makeCyclicReductionKernel(nbc),
+                      nbc.launch(), g2, run)));
+
+    api::AnalysisService service;
+    const api::AnalysisResponse response = service.run(request);
+    const driver::BatchResult &a_cr = response.cells.at(0);
+    const driver::BatchResult &a_nbc = response.cells.at(1);
+    if (!a_cr.ok || !a_nbc.ok) {
+        std::cerr << "analysis failed: "
+                  << (a_cr.ok ? a_nbc.error : a_cr.error) << "\n";
+        return 1;
+    }
+
+    // --- Step 1: the traditional model is stuck --------------------------
     model::RooflineAnalysis roof = model::analyzeRoofline(
-        spec, cr.flops(), cr.globalBytes(), a_cr.measurement.seconds());
+        spec, cr.flops(), cr.globalBytes(),
+        a_cr.analysis.measurement.seconds());
     printBanner(std::cout, "step 1: the traditional model");
     std::cout << Table::num(roof.sustainedFlops / 1e9, 1) << " GFLOPS ("
               << Table::num(100 * roof.computeFraction, 1)
@@ -54,51 +88,45 @@ main()
 
     // --- Step 2: the quantitative model finds the bottleneck -------------
     printBanner(std::cout, "step 2: the quantitative model on CR");
-    model::printPrediction(std::cout, a_cr.prediction,
-                           &a_cr.measurement);
+    model::printPrediction(std::cout, a_cr.analysis.prediction,
+                           &a_cr.analysis.measurement);
     std::cout << "\n";
-    model::printMetrics(std::cout, a_cr.metrics);
+    model::printMetrics(std::cout, a_cr.analysis.metrics);
     std::cout << "\ncause: the power-of-two strides serialize "
-              << Table::num(a_cr.metrics.bankConflictFactor, 1)
+              << Table::num(a_cr.analysis.metrics.bankConflictFactor, 1)
               << "x in the 16 banks; if conflicts were removed the "
                  "bottleneck would shift to the "
-              << model::componentName(a_cr.prediction.nextBottleneck)
+              << model::componentName(
+                     a_cr.analysis.prediction.nextBottleneck)
               << "\n";
 
-    // --- Step 2b: predict the optimization BEFORE implementing it -------
+    // --- Step 2b: the prediction BEFORE implementing the padding ---------
     printBanner(std::cout,
                 "step 2b: what would removing the conflicts buy?");
-    model::PerformanceModel what_if_model(session.calibrator());
-    model::WhatIfResult wi =
-        model::whatIfNoBankConflicts(what_if_model, a_cr.input);
+    const driver::RankedWhatIf &wi = a_cr.whatifs.at(0);
     std::cout << "model predicts " << Table::num(wi.speedup(), 2)
               << "x from conflict-free shared accesses ("
-              << Table::num(wi.before.milliseconds(), 3) << " -> "
-              << Table::num(wi.after.milliseconds(), 3)
+              << Table::num(wi.result.before.milliseconds(), 3) << " -> "
+              << Table::num(wi.result.after.milliseconds(), 3)
               << " ms), new bottleneck: "
-              << model::componentName(wi.after.bottleneck)
+              << model::componentName(wi.result.after.bottleneck)
               << " — worth the programming effort.\n";
 
-    // --- Step 3: apply the padding optimization ----------------------------
+    // --- Step 3: the padding optimization, measured ----------------------
     printBanner(std::cout, "step 3: CR-NBC (pad 1 element per 16)");
-    funcsim::GlobalMemory g2(64 << 20);
-    apps::TridiagProblem nbc =
-        apps::makeTridiagProblem(g2, n, systems, true);
-    model::Analysis a_nbc = session.analyze(
-        apps::makeCyclicReductionKernel(nbc), nbc.launch(), g2, run);
-    model::printPrediction(std::cout, a_nbc.prediction,
-                           &a_nbc.measurement);
+    model::printPrediction(std::cout, a_nbc.analysis.prediction,
+                           &a_nbc.analysis.measurement);
 
-    const double speedup =
-        a_cr.measurement.seconds() / a_nbc.measurement.seconds();
+    const double speedup = a_cr.analysis.measurement.seconds() /
+                           a_nbc.analysis.measurement.seconds();
     std::cout << "\nmeasured speedup: " << Table::num(speedup, 2)
               << "x (paper: 1.6x)\n";
 
     // --- Step 4: verify numerics against the Thomas algorithm -----------
     funcsim::GlobalMemory g3(64 << 20);
     apps::TridiagProblem check = apps::makeTridiagProblem(g3, n, 8, true);
-    session.device().funcSim().run(apps::makeCyclicReductionKernel(check),
-                                   check.launch(), g3);
+    funcsim::FunctionalSimulator sim(spec);
+    sim.run(apps::makeCyclicReductionKernel(check), check.launch(), g3);
     const double err = apps::tridiagMaxError(g3, check);
     std::cout << "max relative error vs Thomas: " << err
               << (err < 5e-3 ? "  (OK)" : "  (TOO LARGE)") << "\n";

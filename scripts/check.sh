@@ -3,16 +3,25 @@
 # gtest suite. Fails on any compile error or test failure. Future PRs
 # run this before merging.
 #
-# Usage: scripts/check.sh [--sanitize] [build-dir] [build-type]
+# Usage: scripts/check.sh [--sanitize | --api-smoke] [build-dir] [build-type]
 #   --sanitize  ASan+UBSan run: Debug build with
 #               -fsanitize=address,undefined, leak detection on, tests
 #               only (the perf gates measure nothing useful under a
-#               sanitizer). The suite includes the task-graph executor
-#               and streaming-batch tests (test_task_graph,
-#               test_batch, test_store), which exercise the
-#               scheduler's locking under the sanitizers. Defaults
-#               build-dir to build-asan. This is exactly what the CI
-#               sanitize job executes.
+#               sanitizer). The suite includes the task-graph executor,
+#               streaming-batch and AnalysisService/spool tests
+#               (test_task_graph, test_batch, test_store, test_api),
+#               which exercise the scheduler's and lease protocol's
+#               locking under the sanitizers. Defaults build-dir to
+#               build-asan. This is exactly what the CI sanitize job
+#               executes.
+#   --api-smoke Build, then run ONLY the two-process spool-worker
+#               smoke: a demo AnalysisRequest is executed in-process
+#               and through a parent (submit/collect) plus a separate
+#               worker (serve) process sharing a spool directory; the
+#               two JSON responses must be byte-identical. The full
+#               (flagless) run executes this step after the benches as
+#               well; CI uploads the JSON responses as artifacts from
+#               <build-dir>/api-smoke/.
 #   build-dir   default: build (build-asan with --sanitize)
 #   build-type  Debug | Release | RelWithDebInfo | ... (default: the
 #               build dir's existing type, or CMake's default).
@@ -25,8 +34,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
+API_SMOKE_ONLY=0
 if [[ "${1:-}" == "--sanitize" ]]; then
     SANITIZE=1
+    shift
+elif [[ "${1:-}" == "--api-smoke" ]]; then
+    API_SMOKE_ONLY=1
     shift
 fi
 
@@ -56,6 +69,41 @@ fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$JOBS"
+
+# Two-process spool-worker end-to-end: submit + collect in this
+# (parent) process, serve in a SEPARATE worker process, diff the JSON
+# responses against an in-process run of the same request. Leaves its
+# artifacts under <build-dir>/api-smoke/ for CI upload.
+run_api_smoke() {
+    local SMOKE="$BUILD_DIR/api-smoke"
+    local W="$BUILD_DIR/gpuperf-worker"
+    rm -rf "$SMOKE"
+    mkdir -p "$SMOKE"
+    # Two identical requests with SEPARATE stores: the spooled leg
+    # must not be served warm from the in-process leg's result store,
+    # or the diff would pass without the worker executing anything.
+    "$W" demo-request --out "$SMOKE/request.json" \
+        --store "$SMOKE/store-inprocess"
+    "$W" demo-request --out "$SMOKE/request-spooled.json" \
+        --store "$SMOKE/store-spooled"
+    "$W" run "$SMOKE/request.json" --out "$SMOKE/response-inprocess.json"
+    "$W" submit "$SMOKE/request-spooled.json" --spool "$SMOKE/spool" \
+        --no-wait
+    "$W" serve --spool "$SMOKE/spool" &
+    local WORKER_PID=$!
+    "$W" collect "$SMOKE/request-spooled.json" --spool "$SMOKE/spool" \
+        --out "$SMOKE/response-spooled.json" --timeout 300
+    wait "$WORKER_PID"
+    diff "$SMOKE/response-inprocess.json" "$SMOKE/response-spooled.json"
+    echo "api-smoke: spool-worker response identical to the in-process run"
+}
+
+if [[ "$API_SMOKE_ONLY" == 1 ]]; then
+    run_api_smoke
+    echo "check.sh: api-smoke green"
+    exit 0
+fi
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
 if [[ "$SANITIZE" == 1 ]]; then
@@ -67,7 +115,8 @@ fi
 #  - batch scaling (self-skips on <4 hardware threads), the >=3x
 #    warm-store profile-sharing speedup, and the streaming
 #    time-to-first-result gate (first cell delivered before the
-#    slowest calibration completes);
+#    slowest calibration completes) — all through the public
+#    AnalysisService API;
 #  - the >=2x event-driven vs legacy-scan timing-replay speedup on
 #    the high-occupancy cases.
 # The main calibration is cached in the build dir, so reruns are
@@ -75,5 +124,7 @@ fi
 # purpose (that overlap is what it measures).
 (cd "$BUILD_DIR" && ./bench_batch_throughput)
 (cd "$BUILD_DIR" && ./bench_timing_replay)
+
+run_api_smoke
 
 echo "check.sh: all green"

@@ -1,0 +1,473 @@
+#include "api/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpuperf {
+namespace api {
+
+Json
+Json::boolean(bool v)
+{
+    Json j;
+    j.kind_ = Kind::kBool;
+    j.bool_ = v;
+    return j;
+}
+
+Json
+Json::number(double v)
+{
+    Json j;
+    j.kind_ = Kind::kNumber;
+    j.number_ = v;
+    return j;
+}
+
+Json
+Json::str(std::string v)
+{
+    Json j;
+    j.kind_ = Kind::kString;
+    j.string_ = std::move(v);
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+}
+
+void
+Json::push(Json v)
+{
+    items_.push_back(std::move(v));
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    for (size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == key) {
+            values_[i] = std::move(v);
+            return;
+        }
+    }
+    keys_.push_back(key);
+    values_.push_back(std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    for (size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == key)
+            return &values_[i];
+    }
+    return nullptr;
+}
+
+namespace {
+
+void
+appendEscaped(std::string *out, const std::string &s)
+{
+    out->push_back('"');
+    for (const char c : s) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"': *out += "\\\""; break;
+          case '\\': *out += "\\\\"; break;
+          case '\n': *out += "\\n"; break;
+          case '\r': *out += "\\r"; break;
+          case '\t': *out += "\\t"; break;
+          default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+                *out += buf;
+            } else {
+                out->push_back(c);
+            }
+        }
+    }
+    out->push_back('"');
+}
+
+void
+appendNumber(std::string *out, double v)
+{
+    // %.17g round-trips every finite double exactly through a
+    // correctly rounded strtod. Non-finite values never reach here
+    // (the schema layer encodes them as strings).
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out += buf;
+}
+
+void
+appendIndent(std::string *out, int indent)
+{
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string *out, int indent) const
+{
+    switch (kind_) {
+      case Kind::kNull: *out += "null"; break;
+      case Kind::kBool: *out += bool_ ? "true" : "false"; break;
+      case Kind::kNumber: appendNumber(out, number_); break;
+      case Kind::kString: appendEscaped(out, string_); break;
+      case Kind::kArray:
+        if (items_.empty()) {
+            *out += "[]";
+            break;
+        }
+        out->push_back('[');
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out->push_back(',');
+            appendIndent(out, indent + 1);
+            items_[i].dumpTo(out, indent + 1);
+        }
+        appendIndent(out, indent);
+        out->push_back(']');
+        break;
+      case Kind::kObject:
+        if (keys_.empty()) {
+            *out += "{}";
+            break;
+        }
+        out->push_back('{');
+        for (size_t i = 0; i < keys_.size(); ++i) {
+            if (i)
+                out->push_back(',');
+            appendIndent(out, indent + 1);
+            appendEscaped(out, keys_[i]);
+            *out += ": ";
+            values_[i].dumpTo(out, indent + 1);
+        }
+        appendIndent(out, indent);
+        out->push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(&out, 0);
+    out.push_back('\n');
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a raw byte range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool parse(Json *out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after the value");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool fail(const std::string &what)
+    {
+        if (error_ && error_->empty()) {
+            *error_ = "JSON error at byte " + std::to_string(pos_) +
+                      ": " + what;
+        }
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool literal(const char *word)
+    {
+        const size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += len;
+        return true;
+    }
+
+    bool parseString(std::string *out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // The codecs only emit \u00xx control escapes; decode
+                // the general case as UTF-8 anyway.
+                if (code < 0x80) {
+                    out->push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out->push_back(
+                        static_cast<char>(0xc0 | (code >> 6)));
+                    out->push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    out->push_back(
+                        static_cast<char>(0xe0 | (code >> 12)));
+                    out->push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f)));
+                    out->push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(Json *out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("malformed number");
+        pos_ += static_cast<size_t>(end - start);
+        *out = Json::number(v);
+        return true;
+    }
+
+    bool parseValue(Json *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            Json obj = Json::object();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                *out = std::move(obj);
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                Json value;
+                if (!parseValue(&value, depth + 1))
+                    return false;
+                obj.set(key, std::move(value));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    *out = std::move(obj);
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            Json arr = Json::array();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                *out = std::move(arr);
+                return true;
+            }
+            for (;;) {
+                Json value;
+                if (!parseValue(&value, depth + 1))
+                    return false;
+                arr.push(std::move(value));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    *out = std::move(arr);
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = Json::str(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            *out = Json::boolean(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            *out = Json::boolean(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            *out = Json();
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json *out, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser p(text, error);
+    return p.parse(out);
+}
+
+std::string
+hexEncode(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const char c : bytes) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        out.push_back(digits[u >> 4]);
+        out.push_back(digits[u & 0xf]);
+    }
+    return out;
+}
+
+bool
+hexDecode(const std::string &hex, std::string *bytes)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    bytes->clear();
+    bytes->reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        unsigned v = 0;
+        for (int k = 0; k < 2; ++k) {
+            const char c = hex[i + static_cast<size_t>(k)];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return false;
+        }
+        bytes->push_back(static_cast<char>(v));
+    }
+    return true;
+}
+
+} // namespace api
+} // namespace gpuperf

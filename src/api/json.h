@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal JSON value tree for the public request/response codecs: a
+ * hand-rolled writer and recursive-descent parser with zero external
+ * dependencies, tuned for round-trip fidelity rather than generality.
+ *
+ * Fidelity contract (what the api codecs rely on):
+ *  - finite doubles are emitted with %.17g, which strtod() parses back
+ *    to the identical IEEE-754 bit pattern — exact f64 round trips;
+ *  - non-finite doubles and 64-bit integers wider than 2^53 are the
+ *    schema layer's problem (api/codecs.cc emits them as strings);
+ *  - objects preserve insertion order, so a dump of a parsed dump is
+ *    byte-identical — two responses can be diffed as text.
+ *
+ * Locale caveat: number formatting/parsing uses snprintf("%.17g") and
+ * strtod(), which honour LC_NUMERIC. An embedding application that
+ * switches to a comma-decimal locale (e.g. setlocale(LC_ALL, "") under
+ * de_DE) would corrupt the number syntax; keep LC_NUMERIC at "C" (the
+ * default, and what every gpuperf binary uses) around these codecs.
+ */
+
+#ifndef GPUPERF_API_JSON_H
+#define GPUPERF_API_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpuperf {
+namespace api {
+
+/** One JSON value (null, bool, number, string, array or object). */
+class Json
+{
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Json() = default; ///< null
+
+    static Json boolean(bool v);
+    static Json number(double v);
+    static Json str(std::string v);
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::kNull; }
+    bool isBool() const { return kind_ == Kind::kBool; }
+    bool isNumber() const { return kind_ == Kind::kNumber; }
+    bool isString() const { return kind_ == Kind::kString; }
+    bool isArray() const { return kind_ == Kind::kArray; }
+    bool isObject() const { return kind_ == Kind::kObject; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return number_; }
+    const std::string &asString() const { return string_; }
+
+    // --- Arrays -------------------------------------------------------
+    /** Append @p v (value must be an array). */
+    void push(Json v);
+    size_t size() const { return items_.size(); }
+    const Json &at(size_t i) const { return items_[i]; }
+
+    // --- Objects ------------------------------------------------------
+    /** Set @p key to @p v, appending in insertion order. */
+    void set(const std::string &key, Json v);
+    /** The member named @p key, or nullptr (value must be an object). */
+    const Json *find(const std::string &key) const;
+
+    /**
+     * Serialize compactly but line-broken (one object member or array
+     * element per line, two-space indent): deterministic, diffable,
+     * and still small.
+     */
+    std::string dump() const;
+
+    /**
+     * Parse @p text into @p out. Returns false with a position-tagged
+     * message in @p error on malformed input. Depth-limited, so
+     * hostile input cannot blow the stack.
+     */
+    static bool parse(const std::string &text, Json *out,
+                      std::string *error);
+
+  private:
+    void dumpTo(std::string *out, int indent) const;
+
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> items_;                  ///< array elements
+    std::vector<std::string> keys_;            ///< object keys
+    std::vector<Json> values_;                 ///< object values
+};
+
+/** Lowercase hex encoding of raw bytes (image payloads in JSON). */
+std::string hexEncode(const std::string &bytes);
+
+/** Inverse of hexEncode(); false on odd length or non-hex digits. */
+bool hexDecode(const std::string &hex, std::string *bytes);
+
+} // namespace api
+} // namespace gpuperf
+
+#endif // GPUPERF_API_JSON_H

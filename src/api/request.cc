@@ -1,0 +1,69 @@
+#include "api/request.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace api {
+
+InlineLaunch
+InlineLaunch::capture(isa::Kernel kernel,
+                      const funcsim::LaunchConfig &cfg,
+                      const funcsim::GlobalMemory &gmem,
+                      funcsim::RunOptions options)
+{
+    InlineLaunch launch{std::move(kernel), cfg, options, 0, {}};
+    launch.memoryCapacity = gmem.capacity();
+    const size_t used = gmem.used();
+    // Bytes [0, 256) are never allocated (address 0 is poisoned) and
+    // always zero; only the allocated tail carries content.
+    launch.memoryImage.assign(used, '\0');
+    if (used > 256) {
+        std::memcpy(&launch.memoryImage[256], gmem.u32(256),
+                    used - 256);
+    }
+    return launch;
+}
+
+std::unique_ptr<funcsim::GlobalMemory>
+InlineLaunch::rebuildMemory() const
+{
+    GPUPERF_ASSERT(memoryImage.size() >= 256 &&
+                       memoryImage.size() <= memoryCapacity,
+                   "inline launch carries a malformed memory image");
+    auto gmem =
+        std::make_unique<funcsim::GlobalMemory>(memoryCapacity);
+    const size_t used = memoryImage.size();
+    if (used > 256) {
+        // One allocation re-establishes the allocator watermark, so
+        // the rebuilt image hashes identically to the captured one
+        // (contentHash covers used(), capacity() and the content).
+        gmem->alloc(used - 256, /*align=*/1);
+        std::memcpy(gmem->u32(256), memoryImage.data() + 256,
+                    used - 256);
+    }
+    return gmem;
+}
+
+KernelJob
+KernelJob::fromRef(std::string name, CaseRef ref)
+{
+    KernelJob job;
+    job.name = std::move(name);
+    job.ref = std::move(ref);
+    return job;
+}
+
+KernelJob
+KernelJob::fromInline(std::string name, InlineLaunch launch)
+{
+    KernelJob job;
+    job.name = std::move(name);
+    job.inlined =
+        std::make_shared<const InlineLaunch>(std::move(launch));
+    return job;
+}
+
+} // namespace api
+} // namespace gpuperf

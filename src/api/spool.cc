@@ -1,0 +1,324 @@
+#include "api/spool.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "api/codecs.h"
+#include "common/fnv.h"
+#include "common/logging.h"
+#include "store/serializer.h"
+
+namespace gpuperf {
+namespace api {
+
+namespace {
+
+std::string
+jobsDir(const std::string &dir)
+{
+    return dir + "/jobs";
+}
+
+std::string
+responsesDir(const std::string &dir)
+{
+    return dir + "/responses";
+}
+
+std::string
+jobPath(const std::string &dir, const std::string &id)
+{
+    return jobsDir(dir) + "/" + id + ".job";
+}
+
+std::string
+claimPath(const std::string &dir, const std::string &id)
+{
+    return jobsDir(dir) + "/" + id + ".claim";
+}
+
+std::string
+responsePath(const std::string &dir, const std::string &id)
+{
+    return responsesDir(dir) + "/" + id + ".resp";
+}
+
+/** The id of one serialized cell job: position + content hash. */
+std::string
+jobId(size_t ki, size_t si, const AnalysisRequest &cell)
+{
+    store::ByteWriter w;
+    writeRequest(w, cell);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%04zu-%04zu-%016llx", ki, si,
+                  static_cast<unsigned long long>(
+                      fnv1a64(w.bytes())));
+    return buf;
+}
+
+/** Jobs present in @p dir (ids, sorted), by directory listing. */
+std::vector<std::string>
+listJobs(const std::string &dir)
+{
+    std::vector<std::string> ids;
+    DIR *d = ::opendir(jobsDir(dir).c_str());
+    if (!d)
+        return ids;
+    while (struct dirent *entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        const std::string suffix = ".job";
+        if (name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            ids.push_back(name.substr(0, name.size() - suffix.size()));
+        }
+    }
+    ::closedir(d);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return ::access(path.c_str(), F_OK) == 0;
+}
+
+/** A response whose cell failed before execution could run. */
+AnalysisResponse
+failureResponse(const AnalysisRequest &cell, const std::string &error)
+{
+    AnalysisResponse resp = makeResponseShell(cell);
+    driver::BatchResult r;
+    r.kernelName = cell.kernels.empty() ? std::string("?")
+                                        : cell.kernels[0].name;
+    r.specName = cell.specs.empty() ? std::string("?")
+                                    : cell.specs[0].name;
+    r.ok = false;
+    r.error = error;
+    resp.cells.push_back(std::move(r));
+    return resp;
+}
+
+} // namespace
+
+AnalysisRequest
+cellRequest(const AnalysisRequest &req, size_t ki, size_t si)
+{
+    AnalysisRequest cell;
+    cell.schemaVersion = req.schemaVersion;
+    cell.jobName = req.jobName;
+    cell.kernels = {req.kernels[ki]};
+    cell.specs = {req.specs[si]};
+    cell.sweep = req.sweep;
+    cell.store = req.store;
+    cell.exec = req.exec;
+    // One cell needs one worker thread, and a spooled job always
+    // collects (streaming is the parent's concern).
+    cell.exec.numThreads = 1;
+    cell.exec.delivery = ExecutionPolicy::Delivery::kCollect;
+    return cell;
+}
+
+std::vector<std::string>
+spoolJobIds(const AnalysisRequest &req)
+{
+    std::vector<std::string> ids;
+    ids.reserve(req.kernels.size() * req.specs.size());
+    for (size_t ki = 0; ki < req.kernels.size(); ++ki) {
+        for (size_t si = 0; si < req.specs.size(); ++si)
+            ids.push_back(jobId(ki, si, cellRequest(req, ki, si)));
+    }
+    return ids;
+}
+
+std::vector<std::string>
+spoolSubmit(const std::string &dir, const AnalysisRequest &req)
+{
+    validateRequest(req);
+    if (!store::makeDirs(jobsDir(dir)) ||
+        !store::makeDirs(responsesDir(dir))) {
+        throw std::runtime_error("cannot create spool directory '" +
+                                 dir + "'");
+    }
+    std::vector<std::string> ids;
+    ids.reserve(req.kernels.size() * req.specs.size());
+    for (size_t ki = 0; ki < req.kernels.size(); ++ki) {
+        for (size_t si = 0; si < req.specs.size(); ++si) {
+            const AnalysisRequest cell = cellRequest(req, ki, si);
+            const std::string id = jobId(ki, si, cell);
+            ids.push_back(id);
+            const std::string path = jobPath(dir, id);
+            // Content-addressed ids make resubmission idempotent: an
+            // existing file IS this job (same bytes), so the write —
+            // and any worker already running it — can be left alone.
+            if (fileExists(path))
+                continue;
+            if (!saveRequestFile(path, cell, id)) {
+                throw std::runtime_error("cannot write job file '" +
+                                         path + "'");
+            }
+        }
+    }
+    return ids;
+}
+
+ServeStats
+spoolServe(const std::string &dir, AnalysisService &service,
+           const ServeOptions &opts)
+{
+    ServeStats stats;
+    for (;;) {
+        bool executedThisPass = false;
+        bool allAnswered = true;
+        for (const std::string &id : listJobs(dir)) {
+            if (opts.maxJobs && stats.executed >= opts.maxJobs)
+                return stats;
+            if (fileExists(responsePath(dir, id)))
+                continue;
+            allAnswered = false;
+            store::Lease claim = store::tryAcquireLease(
+                claimPath(dir, id), opts.claimStaleAfterMs);
+            if (!claim.held())
+                continue; // another live worker has it
+            // Re-check under the claim: the previous holder may have
+            // answered between our scan and this acquisition.
+            if (fileExists(responsePath(dir, id)))
+                continue;
+
+            AnalysisRequest cell;
+            AnalysisResponse resp;
+            if (!loadRequestFile(jobPath(dir, id), &cell, id)) {
+                // Malformed or foreign job file: answer it with a
+                // failure so the parent's collect terminates instead
+                // of timing out (and the bad file stays inspectable).
+                resp = failureResponse(
+                    AnalysisRequest{},
+                    "spool job '" + id +
+                        "' failed to deserialize (schema mismatch "
+                        "or corrupt file)");
+                resp.jobName = id;
+            } else {
+                try {
+                    resp = service.run(cell);
+                } catch (const std::exception &e) {
+                    resp = failureResponse(cell, e.what());
+                }
+            }
+            ++stats.executed;
+            for (const driver::BatchResult &r : resp.cells)
+                stats.failedCells += r.ok ? 0 : 1;
+            store::ByteWriter w;
+            writeResponse(w, resp);
+            if (!store::writeEntryFile(responsePath(dir, id),
+                                       kSchemaVersion, id,
+                                       w.bytes())) {
+                // An unanswerable job (full disk, unwritable
+                // responses/) must not become a hot loop: drain mode
+                // would immediately re-claim it and re-run the whole
+                // analysis, forever. Stop serving and let the caller
+                // (or another worker with working storage) retry.
+                warn("spool: cannot write response for job '%s' — "
+                     "stopping this serve loop",
+                     id.c_str());
+                return stats;
+            }
+            executedThisPass = true;
+            // claim releases here (RAII) — after the response landed.
+        }
+        if (allAnswered || !opts.drain)
+            return stats;
+        if (!executedThisPass) {
+            // Everything unanswered is claimed by live workers (or
+            // freshly stalled): wait for them, stealing once their
+            // claims go stale.
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                opts.idlePollSeconds));
+        }
+    }
+}
+
+AnalysisResponse
+spoolCollect(const std::string &dir, const AnalysisRequest &req,
+             double timeout_seconds)
+{
+    validateRequest(req);
+    const std::vector<std::string> ids = spoolJobIds(req);
+    AnalysisResponse resp = makeResponseShell(req);
+    resp.cells.resize(ids.size());
+    std::vector<bool> have(ids.size(), false);
+    size_t missing = ids.size();
+
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               timeout_seconds));
+    while (missing > 0) {
+        for (size_t i = 0; i < ids.size(); ++i) {
+            if (have[i])
+                continue;
+            const std::string path = responsePath(dir, ids[i]);
+            std::string payload;
+            if (!store::readEntryFile(path, kSchemaVersion, ids[i],
+                                      &payload)) {
+                continue;
+            }
+            AnalysisResponse one;
+            store::ByteReader r(payload);
+            if (!readResponse(r, &one) || !r.atEnd() ||
+                one.cells.size() != 1) {
+                // A half-valid response file is a worker bug, not a
+                // reason to hang: surface it as the cell's failure.
+                resp.cells[i].kernelName =
+                    req.kernels[i / req.specs.size()].name;
+                resp.cells[i].specName =
+                    req.specs[i % req.specs.size()].name;
+                resp.cells[i].ok = false;
+                resp.cells[i].error = "spool response for job '" +
+                                      ids[i] + "' is malformed";
+            } else {
+                resp.cells[i] = std::move(one.cells[0]);
+            }
+            have[i] = true;
+            --missing;
+        }
+        if (missing == 0)
+            break;
+        if (Clock::now() >= deadline) {
+            for (size_t i = 0; i < ids.size(); ++i) {
+                if (have[i])
+                    continue;
+                resp.cells[i].kernelName =
+                    req.kernels[i / req.specs.size()].name;
+                resp.cells[i].specName =
+                    req.specs[i % req.specs.size()].name;
+                resp.cells[i].ok = false;
+                resp.cells[i].error =
+                    "spool job '" + ids[i] +
+                    "' produced no response before the timeout";
+            }
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return resp;
+}
+
+AnalysisResponse
+runSpooled(const std::string &dir, const AnalysisRequest &req,
+           AnalysisService &service)
+{
+    spoolSubmit(dir, req);
+    spoolServe(dir, service);
+    return spoolCollect(dir, req, /*timeout_seconds=*/60.0);
+}
+
+} // namespace api
+} // namespace gpuperf

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The spool-directory worker protocol — the multi-process seam the
+ * serializable job schema exists for. A parent process SUBMITS a
+ * request by serializing one single-cell job file per (kernel, spec)
+ * into a shared directory; cooperating `gpuperf-worker serve`
+ * processes CLAIM jobs with the store lease mechanism, execute them
+ * through their own AnalysisService, and write response files back;
+ * the parent COLLECTS the responses into one ordered
+ * AnalysisResponse, bit-identical to an in-process run.
+ *
+ * Layout under the spool directory:
+ *
+ *     jobs/<id>.job        binary single-cell AnalysisRequest
+ *     jobs/<id>.claim      lease marker while a worker runs the job
+ *     responses/<id>.resp  binary single-cell AnalysisResponse
+ *
+ * Job ids are DERIVED from the request (cell position + a content
+ * hash of the serialized single-cell job), so submit and collect
+ * agree without a side channel, and resubmitting the same request is
+ * idempotent (same files). Claims are advisory store::Leases: a
+ * worker that crashes mid-job leaves a claim that goes stale (dead
+ * pid / aged marker) and is stolen by the next worker — the job runs
+ * again, the response file is atomically replaced with bit-identical
+ * content, and nothing is lost.
+ *
+ * Workers sharing the request's storeDir also share calibrations,
+ * profiles and timings through the store leases, so an M-spec batch
+ * spread over W workers still runs each microbenchmark sweep and
+ * funcsim once GLOBALLY.
+ */
+
+#ifndef GPUPERF_API_SPOOL_H
+#define GPUPERF_API_SPOOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/request.h"
+#include "api/service.h"
+#include "store/lease.h"
+
+namespace gpuperf {
+namespace api {
+
+/** The per-cell job derived from @p req at (kernel ki, spec si). */
+AnalysisRequest cellRequest(const AnalysisRequest &req, size_t ki,
+                            size_t si);
+
+/**
+ * The deterministic job ids submit/serve/collect agree on, in
+ * kernel-major cell order.
+ */
+std::vector<std::string> spoolJobIds(const AnalysisRequest &req);
+
+/**
+ * Serialize @p req's cells into @p dir (creating jobs/ and
+ * responses/). Existing job files for the same ids are left in place
+ * (idempotent resubmission). Returns the job ids, kernel-major.
+ * Throws std::runtime_error on an invalid request or an unwritable
+ * directory.
+ */
+std::vector<std::string> spoolSubmit(const std::string &dir,
+                                     const AnalysisRequest &req);
+
+struct ServeOptions
+{
+    /**
+     * Keep scanning (and stealing stale claims) until every job in
+     * the directory has a response. false = one pass: claim what is
+     * claimable now, then return.
+     */
+    bool drain = true;
+    /** Stop after this many executed jobs (0 = unlimited). */
+    size_t maxJobs = 0;
+    /** Claim staleness threshold (crash-steal latency). */
+    int64_t claimStaleAfterMs = store::kLeaseStaleAfterMsDefault;
+    /** Seconds between scans while other workers hold the claims. */
+    double idlePollSeconds = 0.05;
+};
+
+struct ServeStats
+{
+    /** Jobs this worker claimed and executed. */
+    size_t executed = 0;
+    /** Executed jobs whose single cell reported ok == false. */
+    size_t failedCells = 0;
+};
+
+/**
+ * Work @p dir: claim unanswered jobs, execute each through @p service
+ * and write its response file. Never throws for per-job problems — a
+ * malformed job file produces a failed-cell response so the parent's
+ * collect terminates (a crash here would instead park the job until
+ * its claim staled).
+ */
+ServeStats spoolServe(const std::string &dir, AnalysisService &service,
+                      const ServeOptions &opts = {});
+
+/**
+ * Wait for every response of @p req under @p dir and assemble them
+ * into one kernel-major AnalysisResponse — bit-identical to an
+ * in-process AnalysisService::run(req) (pinned by tests and the CI
+ * api-smoke diff). Cells whose responses have not appeared within
+ * @p timeout_seconds come back ok == false with a timeout error.
+ */
+AnalysisResponse spoolCollect(const std::string &dir,
+                              const AnalysisRequest &req,
+                              double timeout_seconds);
+
+/**
+ * Convenience: submit, serve in-process until drained, collect.
+ * Exercises the full wire path (serialize -> claim -> execute ->
+ * deserialize) inside one process; tests use it to pin spool ==
+ * in-process bit-identity without forking.
+ */
+AnalysisResponse runSpooled(const std::string &dir,
+                            const AnalysisRequest &req,
+                            AnalysisService &service);
+
+} // namespace api
+} // namespace gpuperf
+
+#endif // GPUPERF_API_SPOOL_H

@@ -63,12 +63,14 @@ void
 analyzeInto(
     BatchResult &r, const arch::GpuSpec &spec, TablesPtr tables,
     BenchMemoPtr memo, const SweepSpec &sweep,
+    timing::ReplayEngine engine,
     const std::function<model::Analysis(model::AnalysisSession &)>
         &produce)
 {
-    model::AnalysisSession session(spec);
-    if (tables)
-        session.adoptCalibration(std::move(tables));
+    model::SessionConfig config;
+    config.engine = engine;
+    config.tables = std::move(tables);
+    model::AnalysisSession session(spec, config);
     if (memo)
         session.calibrator().shareGlobalMemo(std::move(memo));
     r.analysis = produce(session);
@@ -88,7 +90,9 @@ analyzeInto(
  */
 BatchResult
 evaluateOne(const KernelCase &kernel_case, const arch::GpuSpec &spec,
-            TablesPtr tables, BenchMemoPtr memo, const SweepSpec &sweep)
+            TablesPtr tables, BenchMemoPtr memo, const SweepSpec &sweep,
+            timing::ReplayEngine engine =
+                timing::ReplayEngine::kEventDriven)
 {
     return guardedCell(kernel_case.name, spec.name, [&](BatchResult &r) {
         if (!kernel_case.make)
@@ -97,7 +101,7 @@ evaluateOne(const KernelCase &kernel_case, const arch::GpuSpec &spec,
         if (!launch.gmem)
             throw std::runtime_error("kernel case produced no memory");
         analyzeInto(r, spec, std::move(tables), std::move(memo), sweep,
-                    [&](model::AnalysisSession &session) {
+                    engine, [&](model::AnalysisSession &session) {
                         return session.analyze(launch.kernel, launch.cfg,
                                                *launch.gmem,
                                                launch.options);
@@ -270,6 +274,44 @@ failedCell(const std::string &kernel_name, const std::string &spec_name,
     });
 }
 
+/**
+ * The shared lease dance (same protocol as calibrate()'s): serve a
+ * store-backed artifact, waiting out another process's in-flight
+ * computation. @p load returns the published artifact or null;
+ * @p acquire tries the artifact's lease; @p probe is a CHEAP
+ * header-only existence re-check under a freshly won lease (so the
+ * common cold path counts exactly one store miss). Returns the
+ * artifact, or null with *@p lease held — the caller computes,
+ * saves, then releases. Advisory and crash-safe: a holder that dies
+ * leaves a stale lease the next acquire breaks, so the worst failure
+ * mode is one duplicated computation, never a stuck process.
+ */
+template <typename LoadFn, typename AcquireFn, typename ProbeFn>
+auto
+awaitPublished(const LoadFn &load, const AcquireFn &acquire,
+               const ProbeFn &probe, store::Lease *lease, int poll_ms)
+    -> decltype(load())
+{
+    for (;;) {
+        if (auto artifact = load())
+            return artifact;
+        *lease = acquire();
+        if (lease->held()) {
+            // Re-check under the lease: the previous holder may have
+            // published between our miss and this acquisition.
+            if (probe()) {
+                if (auto artifact = load()) {
+                    lease->release();
+                    return artifact;
+                }
+            }
+            return nullptr;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(poll_ms));
+    }
+}
+
 } // namespace
 
 BatchRunner::BatchRunner() : BatchRunner(Options{}) {}
@@ -320,33 +362,22 @@ BatchRunner::calibrate(const arch::GpuSpec &spec,
     if (!calibrationStore_)
         return runCalibration(spec, key);
 
-    if (auto tables = calibrationStore_->load(spec))
-        return tables;
-
     // Concurrent processes sharing this store split the
     // microbenchmark sweeps: only the holder of the spec's lease
-    // runs this one, everyone else polls for the published entry.
-    // The dance is advisory and crash-safe — a holder that dies
-    // leaves a stale lease (dead pid / aged marker) that the next
-    // iteration's tryAcquireLease() breaks and takes over, so the
-    // worst failure mode is a duplicated sweep, never a stuck
-    // process or wrong tables.
-    for (;;) {
-        store::CalibrationLease lease =
-            calibrationStore_->tryAcquireLease(spec);
-        if (lease.held()) {
-            // Re-check under the lease: the previous holder may have
-            // published between our miss and this acquisition.
-            if (auto tables = calibrationStore_->load(spec))
-                return tables;
-            auto tables = runCalibration(spec, key);
-            calibrationStore_->save(spec, *tables);
-            return tables; // lease marker removed after the save
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-        if (auto tables = calibrationStore_->load(spec))
-            return tables;
+    // runs this one, everyone else polls for the published entry
+    // (awaitPublished — the same dance profiles and timings use).
+    // The under-lease probe is a full load: calibrations are rare
+    // and expensive, so an extra counted miss is noise here.
+    store::Lease lease;
+    if (auto tables = awaitPublished(
+            [&] { return calibrationStore_->load(spec); },
+            [&] { return calibrationStore_->tryAcquireLease(spec); },
+            [] { return true; }, &lease, /*poll_ms=*/20)) {
+        return tables;
     }
+    auto tables = runCalibration(spec, key);
+    calibrationStore_->save(spec, *tables);
+    return tables; // lease marker removed after the save
 }
 
 funcsim::ProfileKey
@@ -358,20 +389,35 @@ BatchRunner::profileKeyFor(const KernelCase &kc,
 }
 
 std::shared_ptr<const funcsim::KernelProfile>
+BatchRunner::profileAwait(const funcsim::ProfileKey &key,
+                          store::Lease *lease)
+{
+    if (!profileStore_)
+        return nullptr;
+    // Only the holder of the key's lease simulates; everyone else
+    // polls for the published entry (see awaitPublished).
+    return awaitPublished(
+        [&] { return profileStore_->load(key); },
+        [&] { return profileStore_->tryAcquireLease(key); },
+        [&] { return profileStore_->readKey(key); }, lease,
+        /*poll_ms=*/10);
+}
+
+std::shared_ptr<const funcsim::KernelProfile>
 BatchRunner::profileFor(const KernelCase &kc, const arch::GpuSpec &spec)
 {
     PreparedLaunch launch = makeLaunch(kc);
     // One key computation (it digests the memory image) serves both
     // the store lookup and, on a miss, the built profile.
     const funcsim::ProfileKey key = profileKeyOf(launch, spec);
-    if (profileStore_) {
-        if (auto profile = profileStore_->load(key))
-            return profile;
-    }
+    store::Lease lease;
+    if (auto profile = profileAwait(key, &lease))
+        return profile;
     auto profile = simulateProfile(spec, launch, key);
+    ++funcsimsComputed_;
     if (profileStore_)
         profileStore_->save(*profile);
-    return profile;
+    return profile; // the held lease releases after the save
 }
 
 std::shared_ptr<const funcsim::KernelProfile>
@@ -381,22 +427,23 @@ BatchRunner::profileFor(const KernelCase &kc, const arch::GpuSpec &spec,
     // Known key: a store hit needs no factory run at all — the entry
     // self-validates against the key, which profileKeyFor() already
     // derived from the same (repeatable) factory.
-    if (profileStore_) {
-        if (auto profile = profileStore_->load(key))
-            return profile;
-    }
+    store::Lease lease;
+    if (auto profile = profileAwait(key, &lease))
+        return profile;
     PreparedLaunch launch = makeLaunch(kc);
     requireRepeatableFactory(kc, launch, spec, key);
     auto profile = simulateProfile(spec, launch, key);
+    ++funcsimsComputed_;
     if (profileStore_)
         profileStore_->save(*profile);
-    return profile;
+    return profile; // the held lease releases after the save
 }
 
 std::shared_ptr<const timing::TimingResult>
 BatchRunner::timingCompute(
     const std::shared_ptr<const funcsim::KernelProfile> &profile,
-    const arch::GpuSpec &spec, bool *computed)
+    const arch::GpuSpec &spec, bool *computed,
+    std::shared_ptr<store::Lease> *lease_out)
 {
     GPUPERF_ASSERT(profile != nullptr, "timing of a null profile");
     const arch::TimingFingerprint fp = arch::TimingFingerprint::of(spec);
@@ -405,16 +452,35 @@ BatchRunner::timingCompute(
     return timings_.getOrCompute(
         key, [&]() -> std::shared_ptr<const timing::TimingResult> {
             if (timingStore_) {
-                if (auto stored = timingStore_->load(profile->key, fp))
+                // Same lease dance as profiles/calibrations: only the
+                // holder replays; losers poll for the published entry.
+                auto lease = std::make_shared<store::Lease>();
+                if (auto stored = awaitPublished(
+                        [&] {
+                            return timingStore_->load(profile->key,
+                                                      fp);
+                        },
+                        [&] {
+                            return timingStore_->tryAcquireLease(
+                                profile->key, fp);
+                        },
+                        [&] {
+                            return timingStore_->exists(profile->key,
+                                                        fp);
+                        },
+                        lease.get(), /*poll_ms=*/5)) {
                     return stored;
+                }
+                *lease_out = std::move(lease);
             }
             // A standalone simulator for the spec replays exactly what
             // a session's device would (both are deterministic
             // functions of the trace and the timing fingerprint).
-            timing::TimingSimulator sim(spec);
+            timing::TimingSimulator sim(spec, options_.engine);
             auto result = std::make_shared<const timing::TimingResult>(
                 sim.run(*profile));
             *computed = true;
+            ++timingsComputed_;
             return result;
         });
 }
@@ -425,11 +491,14 @@ BatchRunner::timingFor(
     const arch::GpuSpec &spec)
 {
     bool computed = false;
-    auto result = timingCompute(profile, spec, &computed);
+    std::shared_ptr<store::Lease> lease;
+    auto result = timingCompute(profile, spec, &computed, &lease);
     if (computed && timingStore_) {
         timingStore_->save(profile->key,
                            arch::TimingFingerprint::of(spec), *result);
     }
+    if (lease)
+        lease->release(); // after the save: waiters load, not replay
     return result;
 }
 
@@ -616,12 +685,12 @@ BatchRunner::runStream(const std::vector<KernelCase> &kernels,
                 [this, &graph, kc, spec, pslot, slot]() {
                     try {
                         auto pc = pslot->pc;
-                        if (profileStore_) {
-                            if (auto p = profileStore_->load(pc->key)) {
-                                slot->profile = std::move(p);
-                                pc->discardLaunch();
-                                return;
-                            }
+                        auto lease = std::make_shared<store::Lease>();
+                        if (auto p = profileAwait(pc->key,
+                                                  lease.get())) {
+                            slot->profile = std::move(p);
+                            pc->discardLaunch();
+                            return;
                         }
                         std::unique_ptr<PreparedLaunch> launch;
                         {
@@ -640,14 +709,20 @@ BatchRunner::runStream(const std::vector<KernelCase> &kernels,
                         }
                         slot->profile =
                             simulateProfile(*spec, *launch, pc->key);
+                        ++funcsimsComputed_;
                         if (profileStore_) {
                             // Writer node: persistence runs beside
                             // the cells consuming the profile, not
-                            // ahead of them.
+                            // ahead of them. The in-flight lease is
+                            // released only after the save, so a
+                            // cooperating process polling the key
+                            // loads the entry instead of duplicating
+                            // the funcsim.
                             auto profile = slot->profile;
                             graph.add("write-profile:" + kc->name,
-                                      [this, profile]() {
+                                      [this, profile, lease]() {
                                           profileStore_->save(*profile);
+                                          lease->release();
                                       });
                         }
                     } catch (...) {
@@ -682,20 +757,27 @@ BatchRunner::runStream(const std::vector<KernelCase> &kernels,
                     }
                     try {
                         bool computed = false;
+                        std::shared_ptr<store::Lease> lease;
                         slot->result = timingCompute(
-                            prof_slot->profile, *spec, &computed);
+                            prof_slot->profile, *spec, &computed,
+                            &lease);
                         if (computed && timingStore_) {
                             auto profile = prof_slot->profile;
                             auto result = slot->result;
                             graph.add(
                                 "write-timing:" + kc->name,
-                                [this, profile, result, spec]() {
+                                [this, profile, result, spec,
+                                 lease]() {
                                     timingStore_->save(
                                         profile->key,
                                         arch::TimingFingerprint::of(
                                             *spec),
                                         *result);
+                                    if (lease)
+                                        lease->release();
                                 });
+                        } else if (lease) {
+                            lease->release();
                         }
                     } catch (...) {
                         slot->error = std::current_exception();
@@ -739,7 +821,7 @@ BatchRunner::runStream(const std::vector<KernelCase> &kernels,
                             }
                             BatchResult r = evaluateOne(
                                 *kc, *spec, sslot->tables,
-                                sslot->memo, sweep);
+                                sslot->memo, sweep, options_.engine);
                             delivered = true;
                             deliver(index, std::move(r));
                         } catch (...) {
@@ -889,6 +971,7 @@ BatchRunner::runStream(const std::vector<KernelCase> &kernels,
                                     analyzeInto(
                                         r, *spec, sslot->tables,
                                         sslot->memo, sweep,
+                                        options_.engine,
                                         [&](model::AnalysisSession
                                                 &session) {
                                             if (tslot)

@@ -60,6 +60,7 @@
 #include "driver/sweep.h"
 #include "funcsim/profile.h"
 #include "model/session.h"
+#include "store/lease.h"
 
 namespace gpuperf {
 
@@ -169,6 +170,14 @@ class BatchRunner
          * reference pipeline shares nothing by design).
          */
         bool shareTiming = true;
+        /**
+         * Timing replay engine for every session and standalone
+         * replay this runner creates. The engines are bit-identical
+         * by contract, so this never changes results — only the
+         * replay loop producing them.
+         */
+        timing::ReplayEngine engine =
+            timing::ReplayEngine::kEventDriven;
     };
 
     BatchRunner(); ///< default Options
@@ -320,6 +329,28 @@ class BatchRunner
         return calibrationsComputed_.load();
     }
 
+    /**
+     * Functional simulations the shared-profile pipeline actually ran
+     * (as opposed to serving from the profile store or another
+     * process's lease-guarded funcsim). The per-cell reference
+     * pipeline (shareProfiles = false) is not counted — it shares
+     * nothing by design.
+     */
+    uint64_t funcsimsComputed() const
+    {
+        return funcsimsComputed_.load();
+    }
+
+    /**
+     * Timing replays this runner actually ran (as opposed to serving
+     * from the in-memory memo, the timing store, or another process's
+     * lease-guarded replay).
+     */
+    uint64_t timingsComputed() const
+    {
+        return timingsComputed_.load();
+    }
+
     /** The persistent stores (null when storeDir is unset). */
     const store::ProfileStore *profileStore() const
     {
@@ -361,17 +392,35 @@ class BatchRunner
      * from memory or the timing store, replaying on a full miss —
      * WITHOUT persisting a fresh replay. @p computed reports whether
      * this call replayed; the caller owns persistence (timingFor()
-     * saves inline, the batch graph hands it to a writer node).
+     * saves inline, the batch graph hands it to a writer node). When
+     * this call replayed under a store, @p lease_out carries the
+     * replay's held in-flight lease — the caller releases it AFTER
+     * saving, so waiting processes load the entry instead of
+     * re-replaying.
      */
     std::shared_ptr<const timing::TimingResult>
     timingCompute(
         const std::shared_ptr<const funcsim::KernelProfile> &profile,
-        const arch::GpuSpec &spec, bool *computed);
+        const arch::GpuSpec &spec, bool *computed,
+        std::shared_ptr<store::Lease> *lease_out);
+
+    /**
+     * Serve @p key's profile from the store, waiting out another
+     * process's in-flight funcsim via the profile lease. Returns the
+     * loaded profile, or nullptr when the caller should simulate —
+     * in which case *@p lease (when a store is configured) holds the
+     * key's lease, to be released after the save. Without a store,
+     * returns nullptr immediately.
+     */
+    std::shared_ptr<const funcsim::KernelProfile>
+    profileAwait(const funcsim::ProfileKey &key, store::Lease *lease);
 
     Options options_;
     ThreadPool pool_;
 
     std::atomic<uint64_t> calibrationsComputed_{0};
+    std::atomic<uint64_t> funcsimsComputed_{0};
+    std::atomic<uint64_t> timingsComputed_{0};
 
     std::unique_ptr<store::ProfileStore> profileStore_;
     std::unique_ptr<store::CalibrationStore> calibrationStore_;

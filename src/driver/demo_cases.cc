@@ -363,6 +363,114 @@ makeReductionCase(const std::string &name, int grid_dim, int block_dim)
 }
 
 KernelCase
+makeHistogramCase(const std::string &name, int grid_dim, int block_dim,
+                  int num_bins, int items_per_thread)
+{
+    GPUPERF_ASSERT(grid_dim > 0 && block_dim > 0 &&
+                       isPowerOfTwo(num_bins) && num_bins >= 2 &&
+                       num_bins <= 64 && num_bins <= block_dim &&
+                       items_per_thread >= 1,
+                   "histogram case needs a power-of-two bin count "
+                   "within the shared budget");
+    GPUPERF_ASSERT(static_cast<int64_t>(block_dim) * num_bins * 4 <=
+                       (int64_t{1} << 30),
+                   "histogram privatized counters overflow the "
+                   "shared-bytes arithmetic");
+    KernelCase kc;
+    kc.name = name;
+    kc.make = [grid_dim, block_dim, num_bins, items_per_thread]() {
+        const int total = grid_dim * block_dim;
+        const int n = total * items_per_thread;
+        const int shared_bytes = block_dim * num_bins * 4;
+        auto gmem = std::make_unique<funcsim::GlobalMemory>(
+            static_cast<size_t>(n) * 4 +
+            static_cast<size_t>(grid_dim) * num_bins * 4 + (1u << 20));
+        const uint64_t x_base =
+            gmem->alloc(static_cast<size_t>(n) * 4);
+        const uint64_t y_base =
+            gmem->alloc(static_cast<size_t>(grid_dim) * num_bins * 4);
+        // A fixed pseudo-random mix: bins are data-dependent and
+        // unevenly populated (some bins contend harder than others),
+        // but deterministic for the repeatable-factory contract.
+        for (int i = 0; i < n; ++i) {
+            gmem->u32(x_base)[i] =
+                static_cast<uint32_t>(i) * 2654435761u >> 8;
+        }
+
+        isa::KernelBuilder b("histogram");
+        isa::Reg tid = b.reg();
+        isa::Reg ntid = b.reg();
+        isa::Reg cta = b.reg();
+        isa::Reg gtid = b.reg();
+        b.s2r(tid, isa::SpecialReg::kTid);
+        b.s2r(ntid, isa::SpecialReg::kNtid);
+        b.s2r(cta, isa::SpecialReg::kCtaid);
+        b.imad(gtid, cta, ntid, tid);
+
+        // Zero the thread's private counter run shared[tid*bins ..]:
+        // the kernel must not rely on the simulator's zeroed shared
+        // memory any more than real hardware lets it.
+        isa::Reg sbase = b.reg();
+        isa::Reg zero = b.reg();
+        b.imulImm(sbase, tid, num_bins * 4);
+        b.movImm(zero, 0);
+        for (int k = 0; k < num_bins; ++k)
+            b.sts(sbase, zero, k * 4);
+
+        // Binned passes: grid-strided loads (coalesced), then a
+        // read-modify-write of the private counter at a
+        // data-dependent shared address — the contention pattern.
+        isa::Reg xa = b.reg();
+        isa::Reg v = b.reg();
+        isa::Reg bin = b.reg();
+        isa::Reg saddr = b.reg();
+        isa::Reg cnt = b.reg();
+        for (int t = 0; t < items_per_thread; ++t) {
+            b.shlImm(xa, gtid, 2);
+            b.iaddImm(xa, xa,
+                      static_cast<int32_t>(x_base) + t * total * 4);
+            b.ldg(v, xa);
+            b.andImm(bin, v, num_bins - 1);
+            b.shlImm(saddr, bin, 2);
+            b.iadd(saddr, sbase, saddr);
+            b.lds(cnt, saddr);
+            b.iaddImm(cnt, cnt, 1);
+            b.sts(saddr, cnt);
+        }
+        b.bar();
+
+        // Merge tail: thread k < num_bins sums counter k across every
+        // thread's private run and publishes y[cta*bins + k]. The IF
+        // diverges inside warp 0 while the other warps idle at exit.
+        isa::Reg taddr = b.reg();
+        isa::Reg acc = b.reg();
+        isa::Reg oa = b.reg();
+        isa::Pred p_merge = b.pred();
+        b.setpIImm(p_merge, isa::CmpOp::kLt, tid, num_bins);
+        b.beginIf(p_merge);
+        b.shlImm(taddr, tid, 2);
+        b.movImm(acc, 0);
+        for (int j = 0; j < block_dim; ++j) {
+            b.lds(v, taddr, j * num_bins * 4);
+            b.iadd(acc, acc, v);
+        }
+        b.imulImm(oa, cta, num_bins * 4);
+        b.shlImm(saddr, tid, 2);
+        b.iadd(oa, oa, saddr);
+        b.iaddImm(oa, oa, static_cast<int32_t>(y_base));
+        b.stg(oa, acc);
+        b.endIf();
+
+        PreparedLaunch launch(b.build(shared_bytes));
+        launch.gmem = std::move(gmem);
+        launch.cfg.gridDim = grid_dim;
+        launch.cfg.blockDim = block_dim;
+        return launch;
+    };
+    return kc;
+}
+
+KernelCase
 makeSpmvEllCase(const std::string &name, int block_rows,
                 int blocks_per_row)
 {

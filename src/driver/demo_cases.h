@@ -88,6 +88,31 @@ KernelCase makeSpmvEllCase(const std::string &name, int block_rows,
 KernelCase makeReductionCase(const std::string &name, int grid_dim,
                              int block_dim);
 
+/**
+ * Shared-memory privatized histogram: y[b * num_bins + k] counts the
+ * inputs binned to k among the elements block b processes. Every
+ * thread owns a private run of @p num_bins counters in shared memory
+ * (layout shared[tid * num_bins + bin]) so no two threads ever write
+ * the same word — the software stand-in for atomics on hardware that
+ * has none (GT200 shared atomics serialize exactly like the bank
+ * conflicts this layout produces: threads of a half-warp whose
+ * data-dependent bins land in the same bank contend for it). Each
+ * thread zeroes its counters, then binned grid-strided passes over
+ * the input increment them at data-dependent addresses; after a
+ * barrier the first @p num_bins threads — the classic divergent tail,
+ * splitting warp 0's lanes while every other warp idles — reduce the
+ * per-thread counters into the block's public histogram.
+ *
+ * Counters are integers, so the result is verifiable bit-exactly
+ * against a plain host count (tests/test_batch.cc).
+ *
+ * @p num_bins must be a power of two, at most @p block_dim and at
+ * most 64 (shared budget); @p items_per_thread >= 1.
+ */
+KernelCase makeHistogramCase(const std::string &name, int grid_dim,
+                             int block_dim, int num_bins,
+                             int items_per_thread = 8);
+
 } // namespace driver
 } // namespace gpuperf
 

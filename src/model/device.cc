@@ -6,6 +6,12 @@ namespace gpuperf {
 namespace model {
 
 SimulatedDevice::SimulatedDevice(const arch::GpuSpec &spec,
+                                 const SessionConfig &config)
+    : spec_(spec), funcSim_(spec), timingSim_(spec, config.engine)
+{
+}
+
+SimulatedDevice::SimulatedDevice(const arch::GpuSpec &spec,
                                  timing::ReplayEngine engine)
     : spec_(spec), funcSim_(spec), timingSim_(spec, engine)
 {

@@ -12,6 +12,7 @@
 #define GPUPERF_MODEL_DEVICE_H
 
 #include <memory>
+#include <string>
 
 #include "arch/gpu_spec.h"
 #include "funcsim/interpreter.h"
@@ -20,6 +21,47 @@
 
 namespace gpuperf {
 namespace model {
+
+struct CalibrationTables; // model/calibration.h
+
+/**
+ * Construction-time configuration shared by SimulatedDevice and
+ * AnalysisSession — the one place the old ctor-overload sprawl
+ * (calibration-cache string + engine enum + adopted-tables variants)
+ * collapsed into. Every field has a sensible default, so callers set
+ * only what they mean:
+ *
+ *     model::SessionConfig cfg;
+ *     cfg.engine = timing::ReplayEngine::kAuto;
+ *     model::AnalysisSession session(spec, cfg);
+ *
+ * SimulatedDevice reads only `engine`; the calibration fields apply
+ * to AnalysisSession (which owns a calibrator).
+ */
+struct SessionConfig
+{
+    /**
+     * Optional file path where calibration tables are cached across
+     * processes ("" = no cache). Legacy text format; batch callers
+     * should prefer a store directory (store::CalibrationStore).
+     */
+    std::string calibrationCache;
+
+    /**
+     * Timing replay engine for the device. kAuto selects per launch;
+     * the engines are bit-identical, so this never changes results —
+     * only the replay loop producing them.
+     */
+    timing::ReplayEngine engine = timing::ReplayEngine::kEventDriven;
+
+    /**
+     * Pre-calibrated tables to adopt at construction (e.g. shared by
+     * another session for the same spec, or loaded from a store); the
+     * microbenchmark sweep is skipped entirely. Null = calibrate
+     * lazily on first use.
+     */
+    std::shared_ptr<const CalibrationTables> tables;
+};
 
 /** Combined functional + timing result of one kernel launch. */
 struct Measurement
@@ -40,7 +82,14 @@ struct Measurement
 class SimulatedDevice
 {
   public:
+    /** Configured construction (reads SessionConfig::engine only). */
+    SimulatedDevice(const arch::GpuSpec &spec,
+                    const SessionConfig &config);
+
     /**
+     * DEPRECATED forwarder (one release): prefer the SessionConfig
+     * ctor above.
+     *
      * @param engine timing replay engine; kAuto selects per launch
      *        (the engines are bit-identical, so this never changes
      *        results — only the replay loop producing them).

@@ -6,13 +6,26 @@ namespace gpuperf {
 namespace model {
 
 AnalysisSession::AnalysisSession(const arch::GpuSpec &spec,
-                                 const std::string &calibration_cache,
-                                 timing::ReplayEngine engine)
-    : device_(spec, engine), calibrator_(device_), extractor_(spec),
+                                 const SessionConfig &config)
+    : device_(spec, config), calibrator_(device_), extractor_(spec),
       model_(calibrator_)
 {
-    if (!calibration_cache.empty())
-        calibrator_.setCacheFile(calibration_cache);
+    if (!config.calibrationCache.empty())
+        calibrator_.setCacheFile(config.calibrationCache);
+    if (config.tables)
+        calibrator_.adoptTables(config.tables);
+}
+
+AnalysisSession::AnalysisSession(const arch::GpuSpec &spec,
+                                 const std::string &calibration_cache,
+                                 timing::ReplayEngine engine)
+    : AnalysisSession(spec, [&] {
+          SessionConfig config;
+          config.calibrationCache = calibration_cache;
+          config.engine = engine;
+          return config;
+      }())
+{
 }
 
 Analysis

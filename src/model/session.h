@@ -44,6 +44,17 @@ class AnalysisSession
 {
   public:
     /**
+     * Configured construction: cache file, replay engine and adopted
+     * tables all come in through one SessionConfig (model/device.h)
+     * instead of a ladder of ctor overloads.
+     */
+    AnalysisSession(const arch::GpuSpec &spec,
+                    const SessionConfig &config);
+
+    /**
+     * DEPRECATED forwarder (one release): prefer the SessionConfig
+     * ctor above.
+     *
      * @param calibration_cache optional file path where calibration
      *        tables are cached across processes ("" = no cache)
      * @param engine timing replay engine for this session's device;

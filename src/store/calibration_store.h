@@ -21,52 +21,18 @@
 
 #include "arch/gpu_spec.h"
 #include "model/calibration.h"
+#include "store/lease.h"
 
 namespace gpuperf {
 namespace store {
 
 /**
- * RAII handle on one spec's calibration lease (the advisory
- * cross-process in-flight marker). Releasing (or destroying) a held
- * lease removes the marker file so waiters stop polling.
+ * The calibration store's lease handle IS the generic store::Lease
+ * (PR 5 generalized it; ProfileStore/TimingStore and the spool worker
+ * protocol share the same mechanism). The alias keeps PR 4 callers
+ * compiling.
  */
-class CalibrationLease
-{
-  public:
-    CalibrationLease() = default;
-    ~CalibrationLease() { release(); }
-
-    CalibrationLease(CalibrationLease &&other) noexcept
-        : path_(std::move(other.path_)), held_(other.held_)
-    {
-        other.path_.clear();
-        other.held_ = false;
-    }
-    CalibrationLease &operator=(CalibrationLease &&other) noexcept;
-    CalibrationLease(const CalibrationLease &) = delete;
-    CalibrationLease &operator=(const CalibrationLease &) = delete;
-
-    /**
-     * True when the caller owns the right to calibrate. Usually backed
-     * by a marker file; on an unwritable store directory the lease is
-     * held WITHOUT a marker (the safe degradation: possibly duplicated
-     * work, never a stuck waiter).
-     */
-    bool held() const { return held_; }
-
-    /** Remove the marker file, if any (idempotent). */
-    void release();
-
-  private:
-    friend class CalibrationStore;
-    CalibrationLease(std::string path, bool held)
-        : path_(std::move(path)), held_(held)
-    {
-    }
-
-    std::string path_; ///< marker file; empty = none to remove
-    bool held_ = false;
-};
+using CalibrationLease = Lease;
 
 /** Thread-safe; load/save may be called from any worker. */
 class CalibrationStore
@@ -159,11 +125,9 @@ class CalibrationStore
     std::string path(const arch::GpuSpec &spec,
                      const std::string &key) const;
     std::string leasePath(const arch::GpuSpec &spec) const;
-    /** True when the marker at @p path is live (fresh + live pid). */
-    bool leaseFresh(const std::string &path) const;
 
     std::string dir_;
-    int64_t leaseStaleAfterMs_ = 15 * 60 * 1000;
+    int64_t leaseStaleAfterMs_ = kLeaseStaleAfterMsDefault;
     mutable std::atomic<uint64_t> hits_{0};
     mutable std::atomic<uint64_t> misses_{0};
 };

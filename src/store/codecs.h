@@ -56,6 +56,10 @@ bool readAnalysis(ByteReader &r, model::Analysis *analysis);
 void writePrediction(ByteWriter &w, const model::Prediction &p);
 bool readPrediction(ByteReader &r, model::Prediction *p);
 
+// The batch-cell codec (writeBatchResult/readBatchResult) lives in
+// store/result_store.h: BatchResult is a driver-layer type, and this
+// header stays below the driver.
+
 } // namespace store
 } // namespace gpuperf
 

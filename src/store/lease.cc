@@ -1,0 +1,168 @@
+#include "store/lease.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace store {
+
+namespace {
+
+int64_t
+wallClockMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+/** This machine's name, for host-scoping the pid liveness probe. */
+std::string
+localHostname()
+{
+    char buf[256] = {0};
+    if (::gethostname(buf, sizeof(buf) - 1) != 0)
+        return std::string();
+    return std::string(buf);
+}
+
+/**
+ * Parse "pid created_ms [hostname]" out of a lease marker; false on
+ * garbage. A missing hostname (older marker) parses with host empty.
+ */
+bool
+readLeaseMarker(const std::string &path, long *pid, int64_t *created_ms,
+                std::string *host)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    long long p = 0, t = 0;
+    if (!(in >> p >> t))
+        return false;
+    *pid = static_cast<long>(p);
+    *created_ms = static_cast<int64_t>(t);
+    host->clear();
+    in >> *host; // optional
+    return true;
+}
+
+/**
+ * Same-host liveness probe. EPERM means "alive but not ours"; only
+ * ESRCH proves the holder is gone.
+ */
+bool
+pidAlive(long pid)
+{
+    if (pid <= 0)
+        return false;
+    return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+} // namespace
+
+Lease &
+Lease::operator=(Lease &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        path_ = std::move(other.path_);
+        held_ = other.held_;
+        other.path_.clear();
+        other.held_ = false;
+    }
+    return *this;
+}
+
+void
+Lease::release()
+{
+    if (!path_.empty())
+        ::unlink(path_.c_str());
+    path_.clear();
+    held_ = false;
+}
+
+bool
+leaseFresh(const std::string &marker_path, int64_t stale_after_ms)
+{
+    long pid = 0;
+    int64_t created_ms = 0;
+    std::string host;
+    if (!readLeaseMarker(marker_path, &pid, &created_ms, &host)) {
+        // Unreadable or half-written marker: treat a very young file
+        // as in-flight (the writer may be mid-create), anything else
+        // as garbage. The age is bounded in BOTH directions — on a
+        // shared filesystem whose server clock runs ahead, a
+        // truncated marker would otherwise look "younger than now"
+        // forever and spin every waiter in a poll loop.
+        struct stat st;
+        if (::stat(marker_path.c_str(), &st) != 0)
+            return false; // gone — not held
+        const int64_t age_ms =
+            wallClockMs() - static_cast<int64_t>(st.st_mtime) * 1000;
+        return age_ms > -2000 && age_ms < 2000;
+    }
+    if (wallClockMs() - created_ms > stale_after_ms)
+        return false;
+    // The kill(pid, 0) probe only means something for a holder on
+    // THIS host; for a lease taken on another machine (shared
+    // filesystem deployment) the local pid table says nothing — a
+    // remote holder would look "dead" and have its fresh lease broken
+    // constantly, defeating the work splitting. Cross-host leases are
+    // governed by the age threshold alone.
+    const std::string local = localHostname();
+    if (!host.empty() && !local.empty() && host != local)
+        return true;
+    return pidAlive(pid);
+}
+
+Lease
+tryAcquireLease(const std::string &marker_path, int64_t stale_after_ms)
+{
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const int fd = ::open(marker_path.c_str(),
+                              O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            char buf[384];
+            const int n = std::snprintf(
+                buf, sizeof(buf), "%ld %lld %s\n",
+                static_cast<long>(::getpid()),
+                static_cast<long long>(wallClockMs()),
+                localHostname().c_str());
+            if (n > 0)
+                (void)!::write(fd, buf, static_cast<size_t>(n));
+            ::close(fd);
+            return Lease(marker_path, /*held=*/true);
+        }
+        if (errno != EEXIST) {
+            warn("lease '%s': %s — proceeding unlocked",
+                 marker_path.c_str(), std::strerror(errno));
+            // Held-without-marker: the caller computes (possibly
+            // duplicating another process's work), which is the safe
+            // degradation for an unwritable store directory — a
+            // waiter stuck on a lease nobody can write would never
+            // wake.
+            return Lease(std::string(), /*held=*/true);
+        }
+        if (leaseFresh(marker_path, stale_after_ms))
+            return Lease(std::string(), /*held=*/false);
+        // Stale: break it and retry the exclusive create once. Two
+        // breakers can race; O_EXCL arbitrates, the loser waits.
+        ::unlink(marker_path.c_str());
+    }
+    return Lease(std::string(), /*held=*/false);
+}
+
+} // namespace store
+} // namespace gpuperf

@@ -47,6 +47,24 @@ ProfileStore::readKey(const funcsim::ProfileKey &key) const
     return readEntryHeader(path(key, key_str), kFormatVersion, key_str);
 }
 
+std::string
+ProfileStore::leasePath(const funcsim::ProfileKey &key) const
+{
+    return dir_ + "/" + fileStem("profile", key.str()) + ".lease";
+}
+
+Lease
+ProfileStore::tryAcquireLease(const funcsim::ProfileKey &key) const
+{
+    return store::tryAcquireLease(leasePath(key), leaseStaleAfterMs_);
+}
+
+bool
+ProfileStore::leaseHeld(const funcsim::ProfileKey &key) const
+{
+    return leaseFresh(leasePath(key), leaseStaleAfterMs_);
+}
+
 bool
 ProfileStore::save(const funcsim::KernelProfile &profile) const
 {

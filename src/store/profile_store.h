@@ -17,11 +17,13 @@
 #define GPUPERF_STORE_PROFILE_STORE_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "funcsim/profile.h"
+#include "store/lease.h"
 
 namespace gpuperf {
 namespace store {
@@ -67,11 +69,45 @@ class ProfileStore
     /** Failed loads (absent, stale or corrupt entry). */
     uint64_t misses() const { return misses_.load(); }
 
+    // --- Cross-process in-flight lease --------------------------------
+    //
+    // Same protocol as the calibration lease (store/lease.h): sharded
+    // processes pointing at one store split the functional simulations
+    // instead of duplicating them — before simulating @p key's
+    // profile, take its lease; losers poll load() for the published
+    // entry. Advisory and crash-safe by staleness; the worst case of
+    // any race is one duplicated funcsim, never wrong data.
+
+    /**
+     * Try to take the in-flight lease for @p key's profile. Returns a
+     * held lease on success; an empty (not held) one while another
+     * LIVE process holds it. A stale lease is broken and re-acquired.
+     */
+    Lease tryAcquireLease(const funcsim::ProfileKey &key) const;
+
+    /**
+     * True while some process (possibly this one) holds a fresh lease
+     * on @p key's profile.
+     */
+    bool leaseHeld(const funcsim::ProfileKey &key) const;
+
+    /**
+     * Age threshold beyond which a lease whose holder cannot be
+     * probed is considered abandoned. The default (15 min) is far
+     * above any real funcsim; tests shrink it to exercise stealing.
+     */
+    void setLeaseStaleAfter(std::chrono::milliseconds age)
+    {
+        leaseStaleAfterMs_ = age.count();
+    }
+
   private:
     std::string path(const funcsim::ProfileKey &key,
                      const std::string &key_str) const;
+    std::string leasePath(const funcsim::ProfileKey &key) const;
 
     std::string dir_;
+    int64_t leaseStaleAfterMs_ = kLeaseStaleAfterMsDefault;
     mutable std::atomic<uint64_t> hits_{0};
     mutable std::atomic<uint64_t> misses_{0};
 };

@@ -6,10 +6,8 @@
 namespace gpuperf {
 namespace store {
 
-namespace {
-
 void
-writeResult(ByteWriter &w, const driver::BatchResult &r)
+writeBatchResult(ByteWriter &w, const driver::BatchResult &r)
 {
     w.str(r.kernelName);
     w.str(r.specName);
@@ -24,7 +22,7 @@ writeResult(ByteWriter &w, const driver::BatchResult &r)
 }
 
 bool
-readResult(ByteReader &r, driver::BatchResult *result)
+readBatchResult(ByteReader &r, driver::BatchResult *result)
 {
     result->kernelName = r.str();
     result->specName = r.str();
@@ -47,12 +45,8 @@ readResult(ByteReader &r, driver::BatchResult *result)
         }
         result->whatifs.push_back(std::move(wi));
     }
-    result->ok = true;
-    result->error.clear();
     return r.ok();
 }
-
-} // namespace
 
 ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
 {
@@ -75,10 +69,14 @@ ResultStore::load(const std::string &key) const
     }
     auto result = std::make_unique<driver::BatchResult>();
     ByteReader r(payload);
-    if (!readResult(r, result.get()) || !r.atEnd()) {
+    if (!readBatchResult(r, result.get()) || !r.atEnd()) {
         ++misses_;
         return nullptr;
     }
+    // Only ok results are ever persisted; re-stamp that on the way
+    // out (the payload codec carries no ok/error framing).
+    result->ok = true;
+    result->error.clear();
     ++hits_;
     return result;
 }
@@ -88,7 +86,7 @@ ResultStore::save(const std::string &key,
                   const driver::BatchResult &result) const
 {
     ByteWriter w;
-    writeResult(w, result);
+    writeBatchResult(w, result);
     return writeEntryFile(path(key), kFormatVersion, key, w.bytes());
 }
 

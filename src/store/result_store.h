@@ -21,9 +21,21 @@
 #include <string>
 
 #include "driver/batch_runner.h"
+#include "store/serializer.h"
 
 namespace gpuperf {
 namespace store {
+
+/**
+ * The payload half of a finished batch cell — names, analysis and
+ * ranked what-ifs. ok/error are NOT encoded: the result store only
+ * persists successes (its load() re-stamps ok), while the api layer
+ * wraps this with its own ok/error framing for failed cells.
+ * Declared here rather than store/codecs.h so the generic codec
+ * header stays below the driver layer.
+ */
+void writeBatchResult(ByteWriter &w, const driver::BatchResult &r);
+bool readBatchResult(ByteReader &r, driver::BatchResult *result);
 
 /** Thread-safe; load/save may be called from any worker. */
 class ResultStore

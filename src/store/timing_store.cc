@@ -41,6 +41,37 @@ TimingStore::load(const funcsim::ProfileKey &key,
 }
 
 bool
+TimingStore::exists(const funcsim::ProfileKey &key,
+                    const arch::TimingFingerprint &fp) const
+{
+    const std::string key_str = keyFor(key, fp);
+    return readEntryHeader(dir_ + "/" + fileStem("timing", key_str) +
+                               ".timing",
+                           kFormatVersion, key_str);
+}
+
+std::string
+TimingStore::leasePath(const std::string &key_str) const
+{
+    return dir_ + "/" + fileStem("timing", key_str) + ".lease";
+}
+
+Lease
+TimingStore::tryAcquireLease(const funcsim::ProfileKey &key,
+                             const arch::TimingFingerprint &fp) const
+{
+    return store::tryAcquireLease(leasePath(keyFor(key, fp)),
+                                  leaseStaleAfterMs_);
+}
+
+bool
+TimingStore::leaseHeld(const funcsim::ProfileKey &key,
+                       const arch::TimingFingerprint &fp) const
+{
+    return leaseFresh(leasePath(keyFor(key, fp)), leaseStaleAfterMs_);
+}
+
+bool
 TimingStore::save(const funcsim::ProfileKey &key,
                   const arch::TimingFingerprint &fp,
                   const timing::TimingResult &result) const

@@ -19,12 +19,14 @@
 #define GPUPERF_STORE_TIMING_STORE_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "arch/gpu_spec.h"
 #include "funcsim/profile.h"
+#include "store/lease.h"
 #include "timing/simulator.h"
 
 namespace gpuperf {
@@ -58,6 +60,15 @@ class TimingStore
     load(const funcsim::ProfileKey &key,
          const arch::TimingFingerprint &fp) const;
 
+    /**
+     * Key-only lookup: true iff a valid entry exists (header
+     * validated, payload untouched). Does not count as a hit or a
+     * miss — the lease dance probes with this so a cold replay still
+     * registers exactly one miss (see ProfileStore::readKey).
+     */
+    bool exists(const funcsim::ProfileKey &key,
+                const arch::TimingFingerprint &fp) const;
+
     /** Persist @p result under (@p key, @p fp). */
     bool save(const funcsim::ProfileKey &key,
               const arch::TimingFingerprint &fp,
@@ -70,8 +81,32 @@ class TimingStore
     /** Failed loads (absent, stale or corrupt entry). */
     uint64_t misses() const { return misses_.load(); }
 
+    // --- Cross-process in-flight lease --------------------------------
+    //
+    // Same protocol as the calibration/profile leases (store/lease.h):
+    // before replaying (@p key, @p fp), take its lease; losers poll
+    // load() for the published entry instead of duplicating the
+    // replay. Advisory, crash-safe by staleness.
+
+    /** Try to take the in-flight lease for the (@p key, @p fp) replay. */
+    Lease tryAcquireLease(const funcsim::ProfileKey &key,
+                          const arch::TimingFingerprint &fp) const;
+
+    /** True while some process holds a fresh lease on the replay. */
+    bool leaseHeld(const funcsim::ProfileKey &key,
+                   const arch::TimingFingerprint &fp) const;
+
+    /** Lease staleness threshold (see ProfileStore::setLeaseStaleAfter). */
+    void setLeaseStaleAfter(std::chrono::milliseconds age)
+    {
+        leaseStaleAfterMs_ = age.count();
+    }
+
   private:
+    std::string leasePath(const std::string &key_str) const;
+
     std::string dir_;
+    int64_t leaseStaleAfterMs_ = kLeaseStaleAfterMsDefault;
     mutable std::atomic<uint64_t> hits_{0};
     mutable std::atomic<uint64_t> misses_{0};
 };

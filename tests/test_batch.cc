@@ -588,6 +588,85 @@ TEST(DemoCaseTest, ReductionAnalyzesInABatch)
     EXPECT_GT(results[0].analysis.measuredMs(), 0.0);
 }
 
+TEST(DemoCaseTest, HistogramMatchesTheHostReference)
+{
+    const int grid = 6;
+    const int block = 128;
+    const int bins = 8;
+    const int items = 4;
+    auto kc = driver::makeHistogramCase("hist", grid, block, bins,
+                                        items);
+    auto launch = kc.make();
+
+    // Mirror the factory's allocation order (x then y) to locate the
+    // arrays without exposing raw addresses in the case API.
+    const int total = grid * block;
+    const size_t n = static_cast<size_t>(total) * items;
+    funcsim::GlobalMemory probe(n * 4 +
+                                static_cast<size_t>(grid) * bins * 4 +
+                                (1u << 20));
+    const uint64_t x_base = probe.alloc(n * 4);
+    const uint64_t y_base = probe.alloc(grid * bins * 4);
+
+    // Host reference: integer counts per (block, bin) — the kernel's
+    // privatized counters must reproduce them EXACTLY.
+    std::vector<uint32_t> want(static_cast<size_t>(grid) * bins, 0);
+    for (int t = 0; t < items; ++t) {
+        for (int g = 0; g < total; ++g) {
+            const size_t idx = static_cast<size_t>(g) +
+                               static_cast<size_t>(t) * total;
+            const uint32_t v = launch.gmem->u32(x_base)[idx];
+            ++want[static_cast<size_t>(g / block) * bins +
+                   (v & (bins - 1))];
+        }
+    }
+
+    funcsim::FunctionalSimulator sim(arch::GpuSpec::gtx285());
+    funcsim::RunOptions opts;
+    opts.collectTrace = true;
+    auto res = sim.run(launch.kernel, launch.cfg, *launch.gmem, opts);
+
+    uint64_t counted = 0;
+    for (int b = 0; b < grid; ++b) {
+        for (int k = 0; k < bins; ++k) {
+            EXPECT_EQ(launch.gmem->u32(y_base)[b * bins + k],
+                      want[static_cast<size_t>(b) * bins + k])
+                << "block " << b << " bin " << k;
+            counted += launch.gmem->u32(y_base)[b * bins + k];
+        }
+    }
+    EXPECT_EQ(counted, n) << "every input lands in exactly one bin";
+    // One barrier between the binned passes and the merge tail.
+    EXPECT_EQ(res.stats.barriersPerBlock, 1);
+
+    // The data-dependent private-counter writes contend: the shared
+    // traffic must be measurably conflicted (that is the point of the
+    // workload), unlike a stride-1 pattern.
+    uint64_t xacts = 0;
+    uint64_t ideal = 0;
+    for (const auto &s : res.stats.stages) {
+        xacts += s.sharedTransactions;
+        ideal += s.sharedTransactionsIdeal;
+    }
+    EXPECT_GT(xacts, ideal) << "privatized layout should bank-conflict";
+}
+
+TEST(DemoCaseTest, HistogramAnalyzesInABatch)
+{
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    BatchRunner::Options opts;
+    opts.numThreads = 2;
+    BatchRunner runner(opts);
+    runner.adoptCalibration(spec, sharedFakeTables());
+    const auto results = runner.run(
+        {makeHistogramCase("hist", 8, 128, 8, 4)}, {spec},
+        SweepSpec{});
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_GT(results[0].analysis.predictedMs(), 0.0);
+    EXPECT_GT(results[0].analysis.measuredMs(), 0.0);
+}
+
 TEST(BatchSerialApiTest, RunSerialKeepsKernelMajorOrder)
 {
     // runSerial() calibrates for real; shrink the machine so the

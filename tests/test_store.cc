@@ -660,5 +660,169 @@ TEST(CalibrationLease, ConcurrentRunnersSplitTheMicrobenchmarkSweep)
     EXPECT_EQ(store::tablesDigest(*tc), store::tablesDigest(*ta));
 }
 
+// --- Profile / timing in-flight leases (the generalized mechanism) ------
+
+TEST(ProfileLease, ExactlyOneProcessHoldsAFreshLease)
+{
+    const std::string dir = freshDir("profile-lease");
+    store::ProfileStore a(dir);
+    store::ProfileStore b(dir);
+    funcsim::ProfileKey key;
+    key.kernelHash = 0xabcdef;
+    key.inputHash = 42;
+
+    EXPECT_FALSE(a.leaseHeld(key));
+    store::Lease held = a.tryAcquireLease(key);
+    ASSERT_TRUE(held.held());
+    EXPECT_TRUE(b.leaseHeld(key))
+        << "the marker must be visible through any store object";
+    store::Lease lost = b.tryAcquireLease(key);
+    EXPECT_FALSE(lost.held());
+
+    // A DIFFERENT key's lease is independent.
+    funcsim::ProfileKey other = key;
+    other.inputHash = 43;
+    store::Lease independent = b.tryAcquireLease(other);
+    EXPECT_TRUE(independent.held());
+
+    held.release();
+    EXPECT_FALSE(b.leaseHeld(key));
+    store::Lease second = b.tryAcquireLease(key);
+    EXPECT_TRUE(second.held()) << "released leases are re-acquirable";
+}
+
+TEST(ProfileLease, StaleLeasesAreBrokenAndRetaken)
+{
+    const std::string dir = freshDir("profile-lease-stale");
+    ASSERT_TRUE(store::makeDirs(dir));
+    store::ProfileStore store(dir);
+    funcsim::ProfileKey key;
+    key.kernelHash = 7;
+
+    const std::string lease_path =
+        dir + "/" + store::fileStem("profile", key.str()) + ".lease";
+    {
+        std::ofstream marker(lease_path);
+        marker << 999999999 << " " << 1 << "\n"; // dead pid, ancient
+    }
+    EXPECT_FALSE(store.leaseHeld(key));
+    store::Lease stolen = store.tryAcquireLease(key);
+    EXPECT_TRUE(stolen.held());
+    stolen.release();
+
+    // A live-pid lease ages out under a shrunk threshold.
+    const auto one_minute_ago =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count() -
+        60'000;
+    {
+        std::ofstream marker(lease_path);
+        marker << ::getpid() << " " << one_minute_ago << "\n";
+    }
+    EXPECT_TRUE(store.leaseHeld(key));
+    store.setLeaseStaleAfter(std::chrono::milliseconds(10));
+    EXPECT_FALSE(store.leaseHeld(key));
+    store::Lease aged = store.tryAcquireLease(key);
+    EXPECT_TRUE(aged.held());
+}
+
+TEST(TimingLease, KeyedByProfileKeyAndTimingFingerprint)
+{
+    const std::string dir = freshDir("timing-lease");
+    store::TimingStore store(dir);
+    funcsim::ProfileKey key;
+    key.kernelHash = 11;
+    const arch::TimingFingerprint fp =
+        arch::TimingFingerprint::of(arch::GpuSpec::gtx285());
+    const arch::TimingFingerprint fp2 =
+        arch::TimingFingerprint::of(arch::GpuSpec::gtx285MoreBlocks());
+
+    store::Lease held = store.tryAcquireLease(key, fp);
+    ASSERT_TRUE(held.held());
+    EXPECT_TRUE(store.leaseHeld(key, fp));
+    EXPECT_FALSE(store.tryAcquireLease(key, fp).held());
+    // The same profile under another timing fingerprint is another
+    // replay — its lease is independent.
+    EXPECT_TRUE(store.tryAcquireLease(key, fp2).held());
+
+    held.release();
+    EXPECT_FALSE(store.leaseHeld(key, fp));
+}
+
+TEST(ProfileLease, ConcurrentRunnersSplitTheFuncsim)
+{
+    // Two runners sharing one storeDir — stand-ins for two sharded
+    // processes — profile the same case concurrently: the lease must
+    // hand the functional simulation to exactly one of them, the
+    // other waits and loads the published entry. Pinned on the
+    // runners' funcsimsComputed counter, not on timing.
+    const std::string dir = freshDir("profile-lease-split");
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    const auto kc = driver::makeSaxpyCase("lease-saxpy", 8, 128, 2.0f);
+
+    driver::BatchRunner::Options opts;
+    opts.numThreads = 1;
+    opts.storeDir = dir;
+    driver::BatchRunner first(opts);
+    driver::BatchRunner second(opts);
+
+    std::shared_ptr<const funcsim::KernelProfile> pa, pb;
+    std::thread t1([&]() { pa = first.profileFor(kc, spec); });
+    std::thread t2([&]() { pb = second.profileFor(kc, spec); });
+    t1.join();
+    t2.join();
+
+    ASSERT_NE(pa, nullptr);
+    ASSERT_NE(pb, nullptr);
+    EXPECT_EQ(pa->key, pb->key);
+    EXPECT_EQ(first.funcsimsComputed() + second.funcsimsComputed(),
+              1u)
+        << "the funcsim must run at most once between the runners";
+
+    // A third, later runner starts fully warm.
+    driver::BatchRunner third(opts);
+    auto pc = third.profileFor(kc, spec);
+    ASSERT_NE(pc, nullptr);
+    EXPECT_EQ(third.funcsimsComputed(), 0u);
+}
+
+TEST(TimingLease, ConcurrentRunnersSplitTheReplay)
+{
+    const std::string dir = freshDir("timing-lease-split");
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    const auto kc = driver::makeSaxpyCase("lease-saxpy-t", 8, 128,
+                                          2.0f);
+
+    driver::BatchRunner::Options opts;
+    opts.numThreads = 1;
+    opts.storeDir = dir;
+    driver::BatchRunner first(opts);
+    driver::BatchRunner second(opts);
+    const auto profile = first.profileFor(kc, spec);
+    ASSERT_NE(profile, nullptr);
+
+    std::shared_ptr<const timing::TimingResult> ta, tb;
+    std::thread t1([&]() { ta = first.timingFor(profile, spec); });
+    std::thread t2([&]() { tb = second.timingFor(profile, spec); });
+    t1.join();
+    t2.join();
+
+    ASSERT_NE(ta, nullptr);
+    ASSERT_NE(tb, nullptr);
+    // Both sides produced the identical replay (bit-exact seconds),
+    // and at most one of them actually ran it.
+    EXPECT_EQ(ta->seconds, tb->seconds);
+    EXPECT_EQ(ta->cycles, tb->cycles);
+    EXPECT_EQ(first.timingsComputed() + second.timingsComputed(), 1u)
+        << "the replay must run at most once between the runners";
+
+    driver::BatchRunner third(opts);
+    auto tc = third.timingFor(profile, spec);
+    ASSERT_NE(tc, nullptr);
+    EXPECT_EQ(third.timingsComputed(), 0u);
+    EXPECT_EQ(tc->seconds, ta->seconds);
+}
+
 } // namespace
 } // namespace gpuperf

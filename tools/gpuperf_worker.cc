@@ -1,0 +1,339 @@
+/**
+ * @file
+ * gpuperf-worker — the command-line face of the AnalysisService API
+ * and its spool-worker protocol. One binary, five modes:
+ *
+ *   gpuperf-worker demo-request --out REQ.json [--store DIR]
+ *       Emit a small self-contained demo request (case refs over a
+ *       quick-calibrating spec) — the input the api-smoke CI step
+ *       feeds the modes below.
+ *
+ *   gpuperf-worker run REQ.json --out RESP.json
+ *       Execute the request in-process and write the JSON response.
+ *
+ *   gpuperf-worker submit REQ.json --spool DIR [--out RESP.json]
+ *                  [--no-wait] [--timeout SEC]
+ *       Parent mode: serialize per-cell jobs into the spool
+ *       directory; unless --no-wait, block until cooperating workers
+ *       answered them all and write the assembled JSON response.
+ *
+ *   gpuperf-worker serve --spool DIR [--once] [--max-jobs N]
+ *                  [--claim-stale-ms MS]
+ *       Worker mode: claim jobs (lease protocol, crash-steal
+ *       included), execute, write responses. Default drains the
+ *       directory — it returns once every job present has a
+ *       response; --once does a single claim pass instead.
+ *
+ *   gpuperf-worker collect REQ.json --spool DIR --out RESP.json
+ *                  [--timeout SEC]
+ *       Parent mode without submission: wait for the request's
+ *       responses and assemble them.
+ *
+ * Exit status: 0 on success with every cell ok; 2 when the job ran
+ * but some cell failed; 1 on usage or I/O errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "api/codecs.h"
+#include "api/registry.h"
+#include "api/request.h"
+#include "api/service.h"
+#include "api/spool.h"
+
+using namespace gpuperf;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  gpuperf-worker demo-request --out REQ.json [--store DIR]\n"
+           "  gpuperf-worker run REQ.json --out RESP.json\n"
+           "  gpuperf-worker submit REQ.json --spool DIR "
+           "[--out RESP.json] [--no-wait] [--timeout SEC]\n"
+           "  gpuperf-worker serve --spool DIR [--once] "
+           "[--max-jobs N] [--claim-stale-ms MS]\n"
+           "  gpuperf-worker collect REQ.json --spool DIR "
+           "--out RESP.json [--timeout SEC]\n";
+    return 1;
+}
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << content;
+    return static_cast<bool>(out);
+}
+
+bool
+loadRequestJson(const std::string &path, api::AnalysisRequest *req)
+{
+    std::string text;
+    if (!readFile(path, &text)) {
+        std::cerr << "cannot read request file '" << path << "'\n";
+        return false;
+    }
+    std::string error;
+    if (!api::requestFromJson(text, req, &error)) {
+        std::cerr << "malformed request '" << path << "': " << error
+                  << "\n";
+        return false;
+    }
+    return true;
+}
+
+/** 0 when every cell is ok, 2 otherwise (reported on stderr). */
+int
+cellStatus(const api::AnalysisResponse &resp)
+{
+    int failed = 0;
+    for (const driver::BatchResult &cell : resp.cells) {
+        if (!cell.ok) {
+            ++failed;
+            std::cerr << "cell " << cell.kernelName << " x "
+                      << cell.specName << " FAILED: " << cell.error
+                      << "\n";
+        }
+    }
+    return failed == 0 ? 0 : 2;
+}
+
+/**
+ * The demo request: three registry cases (one of each bottleneck
+ * family, histogram included) on a scaled-down machine whose
+ * microbenchmark calibration is quick, with a small sweep — enough
+ * to exercise calibration, funcsim, timing, prediction, sweep and
+ * every codec, in seconds.
+ */
+api::AnalysisRequest
+demoRequest(const std::string &store_dir)
+{
+    api::AnalysisRequest req;
+    req.jobName = "api-smoke-demo";
+
+    req.kernels.push_back(api::KernelJob::fromRef(
+        "saxpy", api::CaseRef{"saxpy", {16, 128}, {2.0}}));
+    req.kernels.push_back(api::KernelJob::fromRef(
+        "cr-like-conflicted",
+        api::CaseRef{"shared-conflict", {8, 128, 8, 32}, {}}));
+    req.kernels.push_back(api::KernelJob::fromRef(
+        "histogram", api::CaseRef{"histogram", {8, 128, 8, 4}, {}}));
+
+    arch::GpuSpec tiny = arch::GpuSpec::gtx285();
+    tiny.name = "GTX tiny (demo)";
+    tiny.numSms = 3;
+    tiny.maxWarpsPerSm = 8;
+    tiny.maxThreadsPerSm = 256;
+    tiny.maxThreadsPerBlock = 256;
+    tiny.validate();
+    req.specs.push_back(tiny);
+
+    req.sweep.noBankConflicts = true;
+    req.sweep.warpsPerSm = {8.0};
+    req.sweep.coalescingFractions = {1.0};
+
+    req.store.storeDir = store_dir;
+    req.exec.numThreads = 2;
+    return req;
+}
+
+struct Args
+{
+    std::string positional;
+    std::string out;
+    std::string spool;
+    std::string store;
+    bool noWait = false;
+    bool once = false;
+    size_t maxJobs = 0;
+    long claimStaleMs = -1;
+    double timeoutSec = 600.0;
+};
+
+bool
+parseArgs(int argc, char **argv, int first, Args *args)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            const char *v = value("--out");
+            if (!v)
+                return false;
+            args->out = v;
+        } else if (arg == "--spool") {
+            const char *v = value("--spool");
+            if (!v)
+                return false;
+            args->spool = v;
+        } else if (arg == "--store") {
+            const char *v = value("--store");
+            if (!v)
+                return false;
+            args->store = v;
+        } else if (arg == "--timeout") {
+            const char *v = value("--timeout");
+            if (!v)
+                return false;
+            args->timeoutSec = std::atof(v);
+        } else if (arg == "--max-jobs") {
+            const char *v = value("--max-jobs");
+            if (!v)
+                return false;
+            args->maxJobs = static_cast<size_t>(std::atol(v));
+        } else if (arg == "--claim-stale-ms") {
+            const char *v = value("--claim-stale-ms");
+            if (!v)
+                return false;
+            args->claimStaleMs = std::atol(v);
+        } else if (arg == "--no-wait") {
+            args->noWait = true;
+        } else if (arg == "--once") {
+            args->once = true;
+        } else if (!arg.empty() && arg[0] != '-' &&
+                   args->positional.empty()) {
+            args->positional = arg;
+        } else {
+            std::cerr << "unknown argument '" << arg << "'\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string mode = argv[1];
+    Args args;
+    if (!parseArgs(argc, argv, 2, &args))
+        return usage();
+
+    try {
+        if (mode == "demo-request") {
+            if (args.out.empty())
+                return usage();
+            const api::AnalysisRequest req = demoRequest(args.store);
+            if (!writeFile(args.out, api::requestToJson(req))) {
+                std::cerr << "cannot write '" << args.out << "'\n";
+                return 1;
+            }
+            std::cout << "wrote demo request (" << req.kernels.size()
+                      << " kernels x " << req.specs.size()
+                      << " specs) to " << args.out << "\n";
+            return 0;
+        }
+
+        if (mode == "run") {
+            if (args.positional.empty() || args.out.empty())
+                return usage();
+            api::AnalysisRequest req;
+            if (!loadRequestJson(args.positional, &req))
+                return 1;
+            api::AnalysisService service;
+            const api::AnalysisResponse resp = service.run(req);
+            if (!writeFile(args.out, api::responseToJson(resp))) {
+                std::cerr << "cannot write '" << args.out << "'\n";
+                return 1;
+            }
+            std::cout << "ran " << resp.cells.size()
+                      << " cells in-process, response at " << args.out
+                      << "\n";
+            return cellStatus(resp);
+        }
+
+        if (mode == "submit") {
+            if (args.positional.empty() || args.spool.empty())
+                return usage();
+            api::AnalysisRequest req;
+            if (!loadRequestJson(args.positional, &req))
+                return 1;
+            const auto ids = api::spoolSubmit(args.spool, req);
+            std::cout << "spooled " << ids.size() << " job(s) into "
+                      << args.spool << "\n";
+            if (args.noWait)
+                return 0;
+            const api::AnalysisResponse resp =
+                api::spoolCollect(args.spool, req, args.timeoutSec);
+            if (!args.out.empty() &&
+                !writeFile(args.out, api::responseToJson(resp))) {
+                std::cerr << "cannot write '" << args.out << "'\n";
+                return 1;
+            }
+            return cellStatus(resp);
+        }
+
+        if (mode == "serve") {
+            if (args.spool.empty())
+                return usage();
+            api::AnalysisService service;
+            api::ServeOptions opts;
+            opts.drain = !args.once;
+            opts.maxJobs = args.maxJobs;
+            if (args.claimStaleMs >= 0)
+                opts.claimStaleAfterMs = args.claimStaleMs;
+            const api::ServeStats stats =
+                api::spoolServe(args.spool, service, opts);
+            std::cout << "worker executed " << stats.executed
+                      << " job(s), " << stats.failedCells
+                      << " failed cell(s)\n";
+            return 0;
+        }
+
+        if (mode == "collect") {
+            if (args.positional.empty() || args.spool.empty() ||
+                args.out.empty())
+                return usage();
+            api::AnalysisRequest req;
+            if (!loadRequestJson(args.positional, &req))
+                return 1;
+            const api::AnalysisResponse resp =
+                api::spoolCollect(args.spool, req, args.timeoutSec);
+            if (!writeFile(args.out, api::responseToJson(resp))) {
+                std::cerr << "cannot write '" << args.out << "'\n";
+                return 1;
+            }
+            std::cout << "collected " << resp.cells.size()
+                      << " cell(s) into " << args.out << "\n";
+            return cellStatus(resp);
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "gpuperf-worker " << mode << ": " << e.what()
+                  << "\n";
+        return 1;
+    }
+    return usage();
+}
