@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Soak the gpuperf-serve socket server: one in-process daemon with a
+ * Unix-domain and a TCP listener, >= 8 concurrent clients split
+ * across the two transports, each firing a stream of framed
+ * AnalysisRequests at the shared AnalysisService. Calibration is
+ * adopted up front (the transport is the subject, not the
+ * microbenchmarks).
+ *
+ * Gates (reported in bench_serve_soak.json):
+ *  - every response from every client over both transports is
+ *    bit-identical (api::responsesEqual) to in-process execution of
+ *    the same request;
+ *  - zero transport errors (no disconnects, no rejections, every
+ *    request answered).
+ * Latency p50/p99 and requests/sec are reported per transport for
+ * trend tracking; they gate nothing (CI machines vary too much).
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/client.h"
+#include "api/codecs.h"
+#include "api/server.h"
+#include "bench/bench_common.h"
+
+using namespace gpuperf;
+
+namespace {
+
+model::CalibrationTables
+fakeTables()
+{
+    model::CalibrationTables t;
+    t.maxWarps = 32;
+    t.bytesPerPass = 64;
+    for (int type = 0; type < arch::kNumInstrTypes; ++type) {
+        t.instrThroughput[type].assign(33, 0.0);
+        for (int w = 1; w <= 32; ++w)
+            t.instrThroughput[type][w] = 1e10 * std::min(1.0, w / 8.0);
+    }
+    t.sharedPassThroughput.assign(33, 0.0);
+    for (int w = 1; w <= 32; ++w)
+        t.sharedPassThroughput[w] = 2e10 * std::min(1.0, w / 8.0);
+    return t;
+}
+
+api::AnalysisRequest
+soakRequest()
+{
+    api::AnalysisRequest req;
+    req.jobName = "serve-soak";
+    req.kernels.push_back(api::KernelJob::fromRef(
+        "saxpy", api::CaseRef{"saxpy", {8, 128}, {2.0}}));
+    req.kernels.push_back(api::KernelJob::fromRef(
+        "conflicted",
+        api::CaseRef{"shared-conflict", {8, 128, 8, 32}, {}}));
+    req.kernels.push_back(api::KernelJob::fromRef(
+        "hist", api::CaseRef{"histogram", {6, 128, 8, 4}, {}}));
+    req.specs.push_back(arch::GpuSpec::gtx285());
+    req.specs.push_back(arch::GpuSpec::gtx285MoreBlocks());
+    req.sweep.noBankConflicts = true;
+    req.sweep.warpsPerSm = {8.0, 32.0};
+    req.sweep.coalescingFractions = {1.0};
+    req.exec.numThreads = 2;
+    return req;
+}
+
+struct ClientResult
+{
+    std::vector<double> latenciesMs;
+    size_t mismatches = 0;
+    std::string error;
+};
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const int clients = opts.full ? 16 : 8;
+    const int requests_per_client = opts.full ? 12 : 4;
+
+    api::ServerOptions server_opts;
+    server_opts.unixPath = "/tmp/gpuperf-soak-" +
+                           std::to_string(::getpid()) + ".sock";
+    server_opts.tcpPort = 0; // ephemeral
+    api::Server server(server_opts);
+    server.start();
+
+    const api::AnalysisRequest req = soakRequest();
+    const auto tables =
+        std::make_shared<const model::CalibrationTables>(fakeTables());
+    for (const arch::GpuSpec &spec : req.specs)
+        server.service().adoptCalibration(req, spec, tables);
+
+    // The in-process reference every served response must match.
+    api::AnalysisService reference;
+    for (const arch::GpuSpec &spec : req.specs)
+        reference.adoptCalibration(req, spec, tables);
+    const api::AnalysisResponse want = reference.run(req);
+
+    std::vector<ClientResult> results(clients);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            ClientResult &out = results[c];
+            try {
+                // Even clients speak Unix, odd ones TCP.
+                api::ServeClient client =
+                    (c % 2 == 0)
+                        ? api::ServeClient::overUnix(
+                              server_opts.unixPath)
+                        : api::ServeClient::overTcp(
+                              "127.0.0.1", server.tcpPort());
+                for (int r = 0; r < requests_per_client; ++r) {
+                    const auto start =
+                        std::chrono::steady_clock::now();
+                    const api::AnalysisResponse got = client.run(req);
+                    const std::chrono::duration<double, std::milli>
+                        ms = std::chrono::steady_clock::now() - start;
+                    out.latenciesMs.push_back(ms.count());
+                    if (!api::responsesEqual(got, want))
+                        ++out.mismatches;
+                }
+            } catch (const std::exception &e) {
+                out.error = e.what();
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+
+    size_t answered = 0, mismatches = 0, errors = 0;
+    std::vector<double> unix_ms, tcp_ms;
+    for (int c = 0; c < clients; ++c) {
+        answered += results[c].latenciesMs.size();
+        mismatches += results[c].mismatches;
+        if (!results[c].error.empty()) {
+            ++errors;
+            std::cerr << "client " << c << ": " << results[c].error
+                      << "\n";
+        }
+        auto &bucket = (c % 2 == 0) ? unix_ms : tcp_ms;
+        bucket.insert(bucket.end(), results[c].latenciesMs.begin(),
+                      results[c].latenciesMs.end());
+    }
+    const size_t expected_answers =
+        static_cast<size_t>(clients) * requests_per_client;
+    const double rps = static_cast<double>(answered) / wall.count();
+    const api::ServerStats stats = server.stats();
+    server.stop();
+    std::remove(server_opts.unixPath.c_str());
+
+    const bool gate_ok = answered == expected_answers &&
+                         mismatches == 0 && errors == 0 &&
+                         stats.disconnects == 0;
+
+    std::cout << "gpuperf-serve soak: " << clients << " clients x "
+              << requests_per_client << " requests, "
+              << want.cells.size() << " cells each\n";
+    Table t({"transport", "requests", "p50 ms", "p99 ms"});
+    t.addRow({"unix", Table::num(unix_ms.size(), 0),
+              Table::num(percentile(unix_ms, 0.50), 1),
+              Table::num(percentile(unix_ms, 0.99), 1)});
+    t.addRow({"tcp", Table::num(tcp_ms.size(), 0),
+              Table::num(percentile(tcp_ms, 0.50), 1),
+              Table::num(percentile(tcp_ms, 0.99), 1)});
+    bench::emit(t, opts);
+    std::cout << "\n"
+              << answered << "/" << expected_answers
+              << " requests answered, " << mismatches
+              << " mismatches, " << Table::num(rps, 1)
+              << " requests/sec overall — gate "
+              << (gate_ok ? "PASS" : "FAIL") << "\n";
+
+    {
+        std::ofstream json("bench_serve_soak.json");
+        char buf[768];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\n  \"bench\": \"serve_soak\",\n  \"gate\": \"%s\",\n"
+            "  \"clients\": %d,\n  \"requests_per_client\": %d,\n"
+            "  \"answered\": %zu,\n  \"mismatches\": %zu,\n"
+            "  \"client_errors\": %zu,\n  \"disconnects\": %llu,\n"
+            "  \"requests_per_sec\": %.1f,\n"
+            "  \"latency_ms\": {\"unix\": {\"p50\": %.2f, "
+            "\"p99\": %.2f}, \"tcp\": {\"p50\": %.2f, "
+            "\"p99\": %.2f}}\n}\n",
+            gate_ok ? "pass" : "fail", clients, requests_per_client,
+            answered, mismatches, errors,
+            static_cast<unsigned long long>(stats.disconnects), rps,
+            percentile(unix_ms, 0.50), percentile(unix_ms, 0.99),
+            percentile(tcp_ms, 0.50), percentile(tcp_ms, 0.99));
+        json << buf;
+    }
+    return gate_ok ? 0 : 1;
+}

@@ -3,7 +3,7 @@
 # gtest suite. Fails on any compile error or test failure. Future PRs
 # run this before merging.
 #
-# Usage: scripts/check.sh [--sanitize | --api-smoke] [build-dir] [build-type]
+# Usage: scripts/check.sh [--sanitize | --api-smoke | --serve-smoke] [build-dir] [build-type]
 #   --sanitize  ASan+UBSan run: Debug build with
 #               -fsanitize=address,undefined, leak detection on, tests
 #               only (the perf gates measure nothing useful under a
@@ -22,6 +22,15 @@
 #               (flagless) run executes this step after the benches as
 #               well; CI uploads the JSON responses as artifacts from
 #               <build-dir>/api-smoke/.
+#   --serve-smoke
+#               Build, then run ONLY the socket-server smoke: a
+#               gpuperf-serve daemon on a Unix socket serves 4
+#               concurrent gpuperf-worker clients (run --via unix:...)
+#               plus one TCP client; every response is byte-diffed
+#               against an in-process run of the same request. The
+#               full (flagless) run executes this and the
+#               bench_serve_soak gate as well; artifacts land in
+#               <build-dir>/serve-smoke/.
 #   build-dir   default: build (build-asan with --sanitize)
 #   build-type  Debug | Release | RelWithDebInfo | ... (default: the
 #               build dir's existing type, or CMake's default).
@@ -35,11 +44,15 @@ cd "$(dirname "$0")/.."
 
 SANITIZE=0
 API_SMOKE_ONLY=0
+SERVE_SMOKE_ONLY=0
 if [[ "${1:-}" == "--sanitize" ]]; then
     SANITIZE=1
     shift
 elif [[ "${1:-}" == "--api-smoke" ]]; then
     API_SMOKE_ONLY=1
+    shift
+elif [[ "${1:-}" == "--serve-smoke" ]]; then
+    SERVE_SMOKE_ONLY=1
     shift
 fi
 
@@ -98,9 +111,81 @@ run_api_smoke() {
     echo "api-smoke: spool-worker response identical to the in-process run"
 }
 
+# Socket-server end-to-end: one gpuperf-serve daemon (Unix socket +
+# ephemeral TCP), 4 concurrent Unix clients and one TCP client, all
+# running the same demo request against per-client stores; every
+# response must be byte-identical to an in-process run. SIGTERM at the
+# end exercises the graceful-drain shutdown path.
+run_serve_smoke() {
+    local SMOKE="$BUILD_DIR/serve-smoke"
+    local W="$BUILD_DIR/gpuperf-worker"
+    local S="$BUILD_DIR/gpuperf-serve"
+    local SOCK="$SMOKE/serve.sock"
+    rm -rf "$SMOKE"
+    mkdir -p "$SMOKE"
+
+    "$S" --unix "$SOCK" --tcp 0 > "$SMOKE/serve.log" 2>&1 &
+    local SERVE_PID=$!
+    trap 'kill "$SERVE_PID" 2>/dev/null || true' RETURN
+    for _ in $(seq 1 100); do
+        [[ -S "$SOCK" ]] && grep -q "ready" "$SMOKE/serve.log" && break
+        sleep 0.1
+    done
+    [[ -S "$SOCK" ]] || { echo "serve-smoke: daemon never bound $SOCK" >&2
+                          cat "$SMOKE/serve.log" >&2; return 1; }
+    local PORT
+    PORT="$(sed -n 's/^listening tcp .*:\([0-9]*\)$/\1/p' "$SMOKE/serve.log")"
+
+    # The reference: the same request executed in-process. Each leg
+    # gets its OWN store so the served legs really execute rather
+    # than replaying the reference's results.
+    "$W" demo-request --out "$SMOKE/request-ref.json" \
+        --store "$SMOKE/store-ref"
+    "$W" run "$SMOKE/request-ref.json" --out "$SMOKE/response-ref.json"
+
+    local PIDS=()
+    for i in 1 2 3 4; do
+        "$W" demo-request --out "$SMOKE/request-$i.json" \
+            --store "$SMOKE/store-$i"
+        "$W" run "$SMOKE/request-$i.json" \
+            --out "$SMOKE/response-$i.json" \
+            --via "unix:$SOCK" > "$SMOKE/client-$i.log" 2>&1 &
+        PIDS+=($!)
+    done
+    "$W" demo-request --out "$SMOKE/request-tcp.json" \
+        --store "$SMOKE/store-tcp"
+    "$W" run "$SMOKE/request-tcp.json" \
+        --out "$SMOKE/response-tcp.json" --via "tcp:127.0.0.1:$PORT"
+    local PID
+    for PID in "${PIDS[@]}"; do
+        wait "$PID"
+    done
+
+    # Store paths differ per leg, so normalize nothing: the response
+    # JSON carries no paths — byte-identity is the whole contract.
+    for i in 1 2 3 4 tcp; do
+        diff "$SMOKE/response-ref.json" "$SMOKE/response-$i.json"
+    done
+
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    grep -q "served" "$SMOKE/serve.log" || {
+        echo "serve-smoke: daemon did not shut down gracefully" >&2
+        cat "$SMOKE/serve.log" >&2
+        return 1
+    }
+    echo "serve-smoke: 5 concurrent socket clients byte-identical to the in-process run"
+}
+
 if [[ "$API_SMOKE_ONLY" == 1 ]]; then
     run_api_smoke
     echo "check.sh: api-smoke green"
+    exit 0
+fi
+
+if [[ "$SERVE_SMOKE_ONLY" == 1 ]]; then
+    run_serve_smoke
+    echo "check.sh: serve-smoke green"
     exit 0
 fi
 
@@ -125,6 +210,12 @@ fi
 (cd "$BUILD_DIR" && ./bench_batch_throughput)
 (cd "$BUILD_DIR" && ./bench_timing_replay)
 
+# Socket-server soak gate: >= 8 concurrent clients over TCP and Unix
+# sockets, every response bit-identical to in-process execution;
+# p50/p99 latency and requests/sec land in bench_serve_soak.json.
+(cd "$BUILD_DIR" && ./bench_serve_soak)
+
 run_api_smoke
+run_serve_smoke
 
 echo "check.sh: all green"

@@ -1,0 +1,158 @@
+#include "api/client.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "api/codecs.h"
+#include "common/socket.h"
+#include "store/result_store.h"
+#include "store/serializer.h"
+
+namespace gpuperf {
+namespace api {
+
+ServeClient::ServeClient(std::string unix_path, std::string host,
+                         int port)
+    : unix_path_(std::move(unix_path)), host_(std::move(host)),
+      port_(port)
+{
+}
+
+ServeClient
+ServeClient::overUnix(std::string path)
+{
+    return ServeClient(std::move(path), std::string(), -1);
+}
+
+ServeClient
+ServeClient::overTcp(std::string host, int port)
+{
+    return ServeClient(std::string(), std::move(host), port);
+}
+
+ServeClient::~ServeClient()
+{
+    disconnect();
+}
+
+ServeClient::ServeClient(ServeClient &&other) noexcept
+    : unix_path_(std::move(other.unix_path_)),
+      host_(std::move(other.host_)), port_(other.port_),
+      fd_(other.fd_), json_requests_(other.json_requests_),
+      max_frame_bytes_(other.max_frame_bytes_)
+{
+    other.fd_ = -1;
+}
+
+void
+ServeClient::disconnect()
+{
+    closeSocket(fd_);
+    fd_ = -1;
+}
+
+std::string
+ServeClient::describe() const
+{
+    if (!unix_path_.empty())
+        return "unix:" + unix_path_;
+    return "tcp:" + host_ + ":" + std::to_string(port_);
+}
+
+void
+ServeClient::connectIfNeeded()
+{
+    if (fd_ >= 0)
+        return;
+    std::string err;
+    fd_ = unix_path_.empty() ? connectTcp(host_, port_, &err)
+                             : connectUnix(unix_path_, &err);
+    if (fd_ < 0) {
+        throw std::runtime_error("gpuperf-serve unreachable at " +
+                                 describe() + ": " + err);
+    }
+}
+
+AnalysisResponse
+ServeClient::run(const AnalysisRequest &req, const CellCallback &onCell)
+{
+    connectIfNeeded();
+
+    std::string payload;
+    FrameType request_type;
+    if (json_requests_) {
+        request_type = FrameType::kRequestJson;
+        payload = requestToJson(req);
+    } else {
+        request_type = FrameType::kRequest;
+        store::ByteWriter w;
+        writeRequest(w, req);
+        payload = w.bytes();
+    }
+    if (!writeFrame(fd_, request_type, payload)) {
+        // One transparent reconnect: the server may have restarted
+        // since the previous exchange left this connection cached.
+        disconnect();
+        connectIfNeeded();
+        if (!writeFrame(fd_, request_type, payload)) {
+            disconnect();
+            throw std::runtime_error("cannot send request to " +
+                                     describe());
+        }
+    }
+
+    for (;;) {
+        FrameType type;
+        std::string body;
+        std::string err;
+        const int rc = readFrame(fd_, &type, &body, max_frame_bytes_,
+                                 /*cancel=*/nullptr, &err);
+        if (rc <= 0) {
+            disconnect();
+            throw std::runtime_error(
+                "connection to " + describe() +
+                " broke before the response completed" +
+                (err.empty() ? std::string() : " (" + err + ")"));
+        }
+        switch (type) {
+          case FrameType::kCell: {
+            store::ByteReader r(body);
+            const uint32_t index = r.u32();
+            AnalysisResponse one;
+            if (!readResponse(r, &one) || !r.atEnd() ||
+                one.cells.size() != 1) {
+                disconnect();
+                throw std::runtime_error("malformed cell frame from " +
+                                         describe());
+            }
+            if (onCell)
+                onCell(index, one.cells[0]);
+            break;
+          }
+          case FrameType::kDone: {
+            store::ByteReader r(body);
+            AnalysisResponse resp;
+            if (!readResponse(r, &resp) || !r.atEnd()) {
+                disconnect();
+                throw std::runtime_error(
+                    "malformed response frame from " + describe());
+            }
+            return resp;
+          }
+          case FrameType::kError:
+            // The server finished this exchange; the connection
+            // stays usable for the next request.
+            throw std::runtime_error("server " + describe() +
+                                     " rejected the request: " + body);
+          default:
+            disconnect();
+            throw std::runtime_error(
+                "unexpected frame type " +
+                std::to_string(static_cast<int>(type)) + " from " +
+                describe());
+        }
+    }
+}
+
+} // namespace api
+} // namespace gpuperf

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ServeClient — the socket backend of api::Transport: a connection to
+ * a gpuperf-serve daemon over TCP or a Unix-domain socket, speaking
+ * the framed protocol in api/transport.h.
+ *
+ * One client is one connection carrying one request at a time;
+ * repeated run() calls reuse the connection (and reconnect after a
+ * server restart). Many-client concurrency is many ServeClients —
+ * each test/bench thread owns one. The client is NOT thread-safe;
+ * share nothing or lock outside.
+ */
+
+#ifndef GPUPERF_API_CLIENT_H
+#define GPUPERF_API_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "api/transport.h"
+
+namespace gpuperf {
+namespace api {
+
+class ServeClient : public Transport
+{
+  public:
+    /** Client for a gpuperf-serve Unix socket at @p path. */
+    static ServeClient overUnix(std::string path);
+    /** Client for a gpuperf-serve TCP endpoint. */
+    static ServeClient overTcp(std::string host, int port);
+
+    ~ServeClient() override;
+    ServeClient(ServeClient &&other) noexcept;
+    ServeClient &operator=(ServeClient &&) = delete;
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Execute @p req on the server. Connects on first use; throws
+     * std::runtime_error when the server is unreachable, the stream
+     * breaks mid-exchange, or the server answers kError (admission
+     * rejection, malformed request, shutdown). kCell frames invoke
+     * @p onCell in completion order; the returned response is the
+     * server's authoritative kDone payload, bit-identical to an
+     * in-process run of the same request.
+     */
+    AnalysisResponse run(const AnalysisRequest &req,
+                         const CellCallback &onCell = {}) override;
+
+    std::string describe() const override;
+
+    /**
+     * Send the request as JSON instead of binary (exercises the
+     * server's kRequestJson path; responses are binary either way).
+     */
+    void setJsonRequests(bool json) { json_requests_ = json; }
+
+    /** Bound accepted on reply frames (server streams cells small). */
+    void setMaxFrameBytes(uint64_t bytes) { max_frame_bytes_ = bytes; }
+
+    /** Drop the connection (next run() reconnects). */
+    void disconnect();
+
+  private:
+    ServeClient(std::string unix_path, std::string host, int port);
+    void connectIfNeeded();
+
+    std::string unix_path_; ///< non-empty = Unix-domain client
+    std::string host_;
+    int port_ = -1;
+    int fd_ = -1;
+    bool json_requests_ = false;
+    uint64_t max_frame_bytes_ = kMaxFrameBytesDefault;
+};
+
+} // namespace api
+} // namespace gpuperf
+
+#endif // GPUPERF_API_CLIENT_H

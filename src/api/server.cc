@@ -1,0 +1,331 @@
+#include "api/server.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "api/codecs.h"
+#include "common/logging.h"
+#include "common/socket.h"
+#include "store/serializer.h"
+
+namespace gpuperf {
+namespace api {
+
+namespace {
+
+/**
+ * A streaming peer that stops reading must not pin a connection
+ * thread in send() forever (it would also pin its admitted cells);
+ * after this stall the write fails and the connection is dropped.
+ */
+constexpr double kSendStallTimeoutSeconds = 30.0;
+
+void
+setSendTimeout(int fd, double seconds)
+{
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (started_.exchange(true))
+        throw std::runtime_error("server already started");
+    if (opts_.unixPath.empty() && opts_.tcpPort < 0)
+        throw std::runtime_error(
+            "no listener configured (need a unix path or tcp port)");
+
+    std::string err;
+    if (!opts_.unixPath.empty()) {
+        const int fd = listenUnix(opts_.unixPath, &err);
+        if (fd < 0)
+            throw std::runtime_error("cannot listen on unix:" +
+                                     opts_.unixPath + ": " + err);
+        listen_fds_.push_back(fd);
+    }
+    if (opts_.tcpPort >= 0) {
+        const int fd = listenTcp(opts_.tcpHost, opts_.tcpPort, &err);
+        if (fd < 0)
+            throw std::runtime_error(
+                "cannot listen on tcp:" + opts_.tcpHost + ":" +
+                std::to_string(opts_.tcpPort) + ": " + err);
+        bound_tcp_port_ = boundTcpPort(fd);
+        listen_fds_.push_back(fd);
+    }
+    for (const int fd : listen_fds_)
+        accept_threads_.emplace_back([this, fd] { acceptLoop(fd); });
+}
+
+void
+Server::stop()
+{
+    if (!started_.load())
+        return;
+    stopping_.store(true);
+    admission_cv_.notify_all();
+    for (std::thread &t : accept_threads_)
+        if (t.joinable())
+            t.join();
+    accept_threads_.clear();
+    for (const int fd : listen_fds_)
+        closeSocket(fd);
+    listen_fds_.clear();
+    // Connections drain their in-flight request (every admitted cell
+    // is delivered or kError'd), then observe stopping_ at the next
+    // frame poll and exit.
+    std::vector<std::unique_ptr<Connection>> remaining;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        remaining.swap(connections_);
+    }
+    for (const auto &conn : remaining)
+        if (conn->thread.joinable())
+            conn->thread.join();
+    if (!opts_.unixPath.empty())
+        ::unlink(opts_.unixPath.c_str());
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+Server::reapFinished()
+{
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = connections_.begin();
+             it != connections_.end();) {
+            if ((*it)->done.load()) {
+                finished.push_back(std::move(*it));
+                it = connections_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const auto &conn : finished)
+        if (conn->thread.joinable())
+            conn->thread.join();
+}
+
+void
+Server::acceptLoop(int listen_fd)
+{
+    while (!stopping_.load()) {
+        if (!waitReadable(listen_fd, 0.2)) {
+            reapFinished(); // joins connections that closed meanwhile
+            continue;
+        }
+        const int fd = acceptClient(listen_fd);
+        if (fd < 0)
+            continue;
+        setSendTimeout(fd, kSendStallTimeoutSeconds);
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.accepted;
+        if (live_connections_ >= opts_.maxClients || stopping_.load()) {
+            ++stats_.rejectedClients;
+            writeFrame(fd, FrameType::kError,
+                       stopping_.load()
+                           ? "server is shutting down"
+                           : "server at capacity (" +
+                                 std::to_string(opts_.maxClients) +
+                                 " clients)");
+            closeSocket(fd);
+            continue;
+        }
+        ++live_connections_;
+        auto conn = std::make_unique<Connection>();
+        Connection *raw = conn.get();
+        raw->fd = fd;
+        connections_.push_back(std::move(conn));
+        raw->thread = std::thread([this, raw] {
+            serveConnection(raw->fd);
+            {
+                std::lock_guard<std::mutex> inner(mutex_);
+                --live_connections_;
+            }
+            raw->done.store(true);
+        });
+    }
+}
+
+void
+Server::serveConnection(int fd)
+{
+    for (;;) {
+        FrameType type;
+        std::string payload;
+        std::string err;
+        const int rc = readFrame(fd, &type, &payload,
+                                 opts_.maxFrameBytes, &stopping_,
+                                 &err);
+        if (rc == 0)
+            break; // clean hangup between requests
+        if (rc < 0) {
+            // Protocol violation, torn frame, stalled peer, or our
+            // own shutdown: tell the peer why when the stream still
+            // works, then drop — after a framing error the stream is
+            // unsynchronized and nothing more can be parsed safely.
+            if (!stopping_.load()) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.disconnects;
+            }
+            writeFrame(fd, FrameType::kError,
+                       stopping_.load() ? "server is shutting down"
+                                        : err);
+            break;
+        }
+        if (type != FrameType::kRequest &&
+            type != FrameType::kRequestJson) {
+            writeFrame(fd, FrameType::kError,
+                       "expected a request frame, got type " +
+                           std::to_string(static_cast<int>(type)));
+            break;
+        }
+        if (!serveExchange(fd, type, payload))
+            break;
+    }
+    closeSocket(fd);
+}
+
+bool
+Server::admit(size_t cells)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    admission_cv_.wait(lock, [this, cells] {
+        // An idle server always admits (a request bigger than the
+        // global bound would otherwise deadlock against it); a busy
+        // one admits when the new cells fit under the bound.
+        return stopping_.load() || in_flight_cells_ == 0 ||
+               in_flight_cells_ + cells <= opts_.maxInFlightCells;
+    });
+    if (stopping_.load())
+        return false;
+    in_flight_cells_ += cells;
+    return true;
+}
+
+void
+Server::release(size_t cells)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        in_flight_cells_ -= cells;
+    }
+    admission_cv_.notify_all();
+}
+
+bool
+Server::serveExchange(int fd, FrameType type,
+                      const std::string &payload)
+{
+    AnalysisRequest req;
+    std::string parse_error;
+    bool parsed = false;
+    if (type == FrameType::kRequestJson) {
+        parsed = requestFromJson(payload, &req, &parse_error);
+    } else {
+        store::ByteReader r(payload);
+        parsed = readRequest(r, &req) && r.atEnd();
+        if (!parsed)
+            parse_error = "binary request failed to deserialize "
+                          "(schema mismatch or corrupt frame)";
+    }
+    const auto reject = [this, fd](const std::string &why) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.rejectedRequests;
+        }
+        // A rejection is an answered exchange: the connection stays
+        // usable for the client's next (hopefully smaller) request.
+        return writeFrame(fd, FrameType::kError, why);
+    };
+    if (!parsed)
+        return reject(parse_error);
+
+    const size_t cells = req.kernels.size() * req.specs.size();
+    if (cells > opts_.maxCellsPerRequest) {
+        return reject("request of " + std::to_string(cells) +
+                      " cells exceeds the per-client quota of " +
+                      std::to_string(opts_.maxCellsPerRequest));
+    }
+    if (!opts_.forceStoreDir.empty())
+        req.store.storeDir = opts_.forceStoreDir;
+
+    if (!admit(cells))
+        return reject("server is shutting down");
+
+    const bool stream_requested =
+        req.exec.delivery == ExecutionPolicy::Delivery::kStream;
+    bool peer_alive = true;
+    AnalysisResponse resp;
+    std::string exec_error;
+    try {
+        resp = service_.execute(
+            req,
+            [this, fd, &req, &peer_alive, stream_requested](
+                size_t index, const driver::BatchResult &cell) {
+                if (!stream_requested || !peer_alive)
+                    return;
+                store::ByteWriter w;
+                w.u32(static_cast<uint32_t>(index));
+                AnalysisResponse one = makeResponseShell(req);
+                one.cells.push_back(cell);
+                writeResponse(w, one);
+                // A failed delivery just stops the stream; the batch
+                // finishes and its artifacts stay in the shared
+                // stores (a reconnecting client re-runs warm).
+                if (!writeFrame(fd, FrameType::kCell, w.bytes()))
+                    peer_alive = false;
+            });
+    } catch (const std::exception &e) {
+        exec_error = e.what();
+    }
+    release(cells);
+
+    if (!exec_error.empty())
+        return reject("request failed: " + exec_error);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.requests;
+        stats_.cells += resp.cells.size();
+        for (const driver::BatchResult &cell : resp.cells)
+            stats_.failedCells += cell.ok ? 0 : 1;
+    }
+
+    store::ByteWriter w;
+    writeResponse(w, resp);
+    if (!peer_alive || !writeFrame(fd, FrameType::kDone, w.bytes())) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.disconnects;
+        return false;
+    }
+    return true;
+}
+
+} // namespace api
+} // namespace gpuperf

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The gpuperf-serve daemon core: accept framed AnalysisRequests over
+ * TCP and Unix-domain sockets from many concurrent clients,
+ * multiplex them onto ONE shared AnalysisService (so clients share
+ * its executor cache, calibration/profile/timing memos and persistent
+ * stores exactly like threads of one process would), and stream
+ * per-cell responses back in completion order.
+ *
+ * Concurrency model: one accept loop per listener, one thread per
+ * connection, requests on a connection handled strictly in order (a
+ * client that wants parallel requests opens parallel connections —
+ * that IS the many-client scenario). Admission control and
+ * backpressure live at the request boundary:
+ *
+ *  - a request whose cell count exceeds the per-client quota
+ *    (ServerOptions::maxCellsPerRequest) is REJECTED with kError —
+ *    quota violations fail fast and visibly;
+ *  - a request that would push the server's total in-flight cells
+ *    over ServerOptions::maxInFlightCells WAITS — the connection
+ *    thread blocks before execute(), which stops reading that
+ *    client's socket: backpressure propagates to the peer through
+ *    TCP/unix-socket flow control while the task graph drains;
+ *  - per-frame payloads are bounded (maxFrameBytes) and refused
+ *    before allocation.
+ *
+ * Failure containment mirrors the spool protocol: a malformed request
+ * is answered with kError, never crashes the server; a client that
+ * disconnects mid-stream just loses its deliveries (already-computed
+ * artifacts stay in the shared stores, so a reconnecting client
+ * re-runs warm — the socket analogue of spool crash-steal, whose
+ * recovery the store leases already provide); stop() drains in-flight
+ * requests so every admitted cell is delivered or failed, never
+ * silently dropped.
+ */
+
+#ifndef GPUPERF_API_SERVER_H
+#define GPUPERF_API_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "api/transport.h"
+
+namespace gpuperf {
+namespace api {
+
+struct ServerOptions
+{
+    /** Unix-domain socket path ("" = no Unix listener). */
+    std::string unixPath;
+    /** TCP port (-1 = no TCP listener; 0 = ephemeral, see tcpPort()). */
+    int tcpPort = -1;
+    /** TCP bind address; loopback by default (opt INTO exposure). */
+    std::string tcpHost = "127.0.0.1";
+
+    /** Concurrent connections; beyond this, accepts are rejected. */
+    size_t maxClients = 64;
+    /**
+     * Global admission bound: total cells executing across all
+     * clients. Requests beyond it queue at the admission gate
+     * (backpressure), keeping the task graph saturated but bounded.
+     */
+    size_t maxInFlightCells = 1024;
+    /** Per-client quota: cells per request; larger ones get kError. */
+    size_t maxCellsPerRequest = 4096;
+    /** Frame payload bound; oversized frames drop the connection. */
+    uint64_t maxFrameBytes = kMaxFrameBytesDefault;
+    /**
+     * Force every request onto this store root, ignoring the
+     * client-supplied StorePolicy ("" = honor the request). A shared
+     * daemon wants one warm store, not one per client's cwd.
+     */
+    std::string forceStoreDir;
+};
+
+/** Monotonic counters (torn reads are fine; they are telemetry). */
+struct ServerStats
+{
+    uint64_t accepted = 0;       ///< connections accepted
+    uint64_t rejectedClients = 0;///< accepts refused (maxClients)
+    uint64_t requests = 0;       ///< requests admitted and executed
+    uint64_t rejectedRequests = 0; ///< kError'd before execution
+    uint64_t cells = 0;          ///< cells delivered (ok or failed)
+    uint64_t failedCells = 0;    ///< delivered cells with ok == false
+    uint64_t disconnects = 0;    ///< streams broken mid-exchange
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+    ~Server();
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the configured listeners and start accepting. Throws
+     * std::runtime_error when no listener is configured or a bind
+     * fails (the port is taken, the socket path unwritable).
+     */
+    void start();
+
+    /**
+     * Graceful shutdown: stop accepting, wake admission waiters with
+     * a shutdown rejection, let every connection finish the request
+     * it is executing (its cells are delivered via kDone), then join
+     * all threads. Idempotent; also run by the destructor.
+     */
+    void stop();
+
+    /** The bound TCP port (after start(); -1 without a TCP listener). */
+    int tcpPort() const { return bound_tcp_port_; }
+
+    ServerStats stats() const;
+
+    /** The shared service (tests pre-seed calibrations through it). */
+    AnalysisService &service() { return service_; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop(int listen_fd);
+    void serveConnection(int fd);
+    /** One request -> one kDone/kError exchange. False = drop conn. */
+    bool serveExchange(int fd, FrameType type,
+                       const std::string &payload);
+    bool admit(size_t cells);
+    void release(size_t cells);
+    void reapFinished();
+
+    ServerOptions opts_;
+    AnalysisService service_;
+
+    std::vector<int> listen_fds_;
+    int bound_tcp_port_ = -1;
+    std::vector<std::thread> accept_threads_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+
+    mutable std::mutex mutex_;
+    std::condition_variable admission_cv_;
+    size_t in_flight_cells_ = 0;
+    size_t live_connections_ = 0;
+    std::vector<std::unique_ptr<Connection>> connections_;
+
+    ServerStats stats_;
+};
+
+} // namespace api
+} // namespace gpuperf
+
+#endif // GPUPERF_API_SERVER_H

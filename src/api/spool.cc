@@ -126,15 +126,28 @@ cellRequest(const AnalysisRequest &req, size_t ki, size_t si)
     return cell;
 }
 
+std::vector<SpoolCell>
+spoolCells(const AnalysisRequest &req)
+{
+    std::vector<SpoolCell> cells;
+    cells.reserve(req.kernels.size() * req.specs.size());
+    for (size_t ki = 0; ki < req.kernels.size(); ++ki) {
+        for (size_t si = 0; si < req.specs.size(); ++si) {
+            cells.push_back(SpoolCell{
+                jobId(ki, si, cellRequest(req, ki, si)), ki, si});
+        }
+    }
+    return cells;
+}
+
 std::vector<std::string>
 spoolJobIds(const AnalysisRequest &req)
 {
     std::vector<std::string> ids;
-    ids.reserve(req.kernels.size() * req.specs.size());
-    for (size_t ki = 0; ki < req.kernels.size(); ++ki) {
-        for (size_t si = 0; si < req.specs.size(); ++si)
-            ids.push_back(jobId(ki, si, cellRequest(req, ki, si)));
-    }
+    const std::vector<SpoolCell> cells = spoolCells(req);
+    ids.reserve(cells.size());
+    for (const SpoolCell &cell : cells)
+        ids.push_back(cell.id);
     return ids;
 }
 
@@ -246,28 +259,41 @@ spoolServe(const std::string &dir, AnalysisService &service,
 
 AnalysisResponse
 spoolCollect(const std::string &dir, const AnalysisRequest &req,
-             double timeout_seconds)
+             const SpoolOptions &opts)
 {
     validateRequest(req);
-    const std::vector<std::string> ids = spoolJobIds(req);
+    const std::vector<SpoolCell> cells = spoolCells(req);
     AnalysisResponse resp = makeResponseShell(req);
-    resp.cells.resize(ids.size());
-    std::vector<bool> have(ids.size(), false);
-    size_t missing = ids.size();
+    resp.cells.resize(cells.size());
+    std::vector<bool> have(cells.size(), false);
+    size_t missing = cells.size();
+
+    // Failure cells are labeled from the cell's OWN (kernel, spec)
+    // position, never reconstructed by dividing the flat index by the
+    // spec count — that arithmetic mislabels any non-dense id grid
+    // and divides by zero on an empty spec list.
+    const auto failCell = [&](size_t i, const std::string &error) {
+        resp.cells[i].kernelName = req.kernels[cells[i].kernel].name;
+        resp.cells[i].specName = req.specs[cells[i].spec].name;
+        resp.cells[i].ok = false;
+        resp.cells[i].error = error;
+    };
 
     using Clock = std::chrono::steady_clock;
     const Clock::time_point deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(
-                               timeout_seconds));
+                               opts.timeoutSeconds));
+    double poll_seconds = opts.pollInitialSeconds;
     while (missing > 0) {
-        for (size_t i = 0; i < ids.size(); ++i) {
+        bool progressed = false;
+        for (size_t i = 0; i < cells.size(); ++i) {
             if (have[i])
                 continue;
-            const std::string path = responsePath(dir, ids[i]);
+            const std::string path = responsePath(dir, cells[i].id);
             std::string payload;
-            if (!store::readEntryFile(path, kSchemaVersion, ids[i],
-                                      &payload)) {
+            if (!store::readEntryFile(path, kSchemaVersion,
+                                      cells[i].id, &payload)) {
                 continue;
             }
             AnalysisResponse one;
@@ -276,48 +302,56 @@ spoolCollect(const std::string &dir, const AnalysisRequest &req,
                 one.cells.size() != 1) {
                 // A half-valid response file is a worker bug, not a
                 // reason to hang: surface it as the cell's failure.
-                resp.cells[i].kernelName =
-                    req.kernels[i / req.specs.size()].name;
-                resp.cells[i].specName =
-                    req.specs[i % req.specs.size()].name;
-                resp.cells[i].ok = false;
-                resp.cells[i].error = "spool response for job '" +
-                                      ids[i] + "' is malformed";
+                failCell(i, "spool response for job '" + cells[i].id +
+                                "' is malformed");
             } else {
                 resp.cells[i] = std::move(one.cells[0]);
             }
             have[i] = true;
             --missing;
+            progressed = true;
         }
         if (missing == 0)
             break;
         if (Clock::now() >= deadline) {
-            for (size_t i = 0; i < ids.size(); ++i) {
-                if (have[i])
-                    continue;
-                resp.cells[i].kernelName =
-                    req.kernels[i / req.specs.size()].name;
-                resp.cells[i].specName =
-                    req.specs[i % req.specs.size()].name;
-                resp.cells[i].ok = false;
-                resp.cells[i].error =
-                    "spool job '" + ids[i] +
-                    "' produced no response before the timeout";
+            for (size_t i = 0; i < cells.size(); ++i) {
+                if (!have[i]) {
+                    failCell(i, "spool job '" + cells[i].id +
+                                    "' produced no response before "
+                                    "the timeout");
+                }
             }
             break;
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        // Exponential backoff while idle (snapping back on progress):
+        // hot responses are picked up within milliseconds, a long
+        // cold batch is polled a few times a second instead of 50.
+        poll_seconds = progressed
+                           ? opts.pollInitialSeconds
+                           : std::min(poll_seconds * 2.0,
+                                      opts.pollMaxSeconds);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(poll_seconds));
     }
     return resp;
 }
 
 AnalysisResponse
+spoolCollect(const std::string &dir, const AnalysisRequest &req,
+             double timeout_seconds)
+{
+    SpoolOptions opts;
+    opts.timeoutSeconds = timeout_seconds;
+    return spoolCollect(dir, req, opts);
+}
+
+AnalysisResponse
 runSpooled(const std::string &dir, const AnalysisRequest &req,
-           AnalysisService &service)
+           AnalysisService &service, const SpoolOptions &opts)
 {
     spoolSubmit(dir, req);
     spoolServe(dir, service);
-    return spoolCollect(dir, req, /*timeout_seconds=*/60.0);
+    return spoolCollect(dir, req, opts);
 }
 
 } // namespace api

@@ -49,10 +49,50 @@ AnalysisRequest cellRequest(const AnalysisRequest &req, size_t ki,
                             size_t si);
 
 /**
+ * One spooled cell: its deterministic job id plus the (kernel, spec)
+ * position it came from. Collect labels failure cells (timeouts,
+ * malformed responses) from THIS mapping — never from arithmetic on a
+ * flat index, which mislabels whenever the id list is not exactly a
+ * dense kernels x specs grid and divides by zero on an empty spec
+ * list.
+ */
+struct SpoolCell
+{
+    std::string id;
+    size_t kernel = 0;
+    size_t spec = 0;
+};
+
+/** The cells of @p req, kernel-major (submit/serve/collect agree). */
+std::vector<SpoolCell> spoolCells(const AnalysisRequest &req);
+
+/**
  * The deterministic job ids submit/serve/collect agree on, in
  * kernel-major cell order.
  */
 std::vector<std::string> spoolJobIds(const AnalysisRequest &req);
+
+/**
+ * Collection-side tuning shared by spoolCollect and runSpooled. The
+ * poll interval backs off exponentially from pollInitialSeconds to
+ * pollMaxSeconds while nothing new arrives (and snaps back on
+ * progress), so a small hot batch is picked up in milliseconds while
+ * a large cold one doesn't burn a CPU polling for minutes.
+ */
+struct SpoolOptions
+{
+    /**
+     * Deadline for the whole collect; cells with no response by then
+     * fail with a timeout error. Sized for a large COLD batch (every
+     * calibration and funcsim running for real) — the previous
+     * hard-coded 60 s timed those out spuriously.
+     */
+    double timeoutSeconds = 600.0;
+    /** First sleep between response scans. */
+    double pollInitialSeconds = 0.002;
+    /** Backoff cap for the scan interval. */
+    double pollMaxSeconds = 0.25;
+};
 
 /**
  * Serialize @p req's cells into @p dir (creating jobs/ and
@@ -103,8 +143,14 @@ ServeStats spoolServe(const std::string &dir, AnalysisService &service,
  * into one kernel-major AnalysisResponse — bit-identical to an
  * in-process AnalysisService::run(req) (pinned by tests and the CI
  * api-smoke diff). Cells whose responses have not appeared within
- * @p timeout_seconds come back ok == false with a timeout error.
+ * @p opts.timeoutSeconds come back ok == false with a timeout error,
+ * labeled with their (kernel, spec) names from the request.
  */
+AnalysisResponse spoolCollect(const std::string &dir,
+                              const AnalysisRequest &req,
+                              const SpoolOptions &opts = {});
+
+/** Compatibility shim: collect with only the deadline overridden. */
 AnalysisResponse spoolCollect(const std::string &dir,
                               const AnalysisRequest &req,
                               double timeout_seconds);
@@ -117,7 +163,8 @@ AnalysisResponse spoolCollect(const std::string &dir,
  */
 AnalysisResponse runSpooled(const std::string &dir,
                             const AnalysisRequest &req,
-                            AnalysisService &service);
+                            AnalysisService &service,
+                            const SpoolOptions &opts = {});
 
 } // namespace api
 } // namespace gpuperf

@@ -1,0 +1,212 @@
+#include "api/transport.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "api/client.h"
+#include "api/spool.h"
+#include "common/socket.h"
+
+namespace gpuperf {
+namespace api {
+
+namespace {
+
+/** Little-endian u32, independent of host order. */
+void
+putU32(char *out, uint32_t v)
+{
+    out[0] = static_cast<char>(v & 0xff);
+    out[1] = static_cast<char>((v >> 8) & 0xff);
+    out[2] = static_cast<char>((v >> 16) & 0xff);
+    out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+uint32_t
+getU32(const unsigned char *in)
+{
+    return static_cast<uint32_t>(in[0]) |
+           (static_cast<uint32_t>(in[1]) << 8) |
+           (static_cast<uint32_t>(in[2]) << 16) |
+           (static_cast<uint32_t>(in[3]) << 24);
+}
+
+constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;
+
+} // namespace
+
+bool
+writeFrame(int fd, FrameType type, const std::string &payload)
+{
+    if (payload.size() > UINT32_MAX)
+        return false;
+    char header[kFrameHeaderBytes];
+    putU32(header, kFrameMagic);
+    header[4] = static_cast<char>(type);
+    putU32(header + 5, static_cast<uint32_t>(payload.size()));
+    // One header write + one payload write: the payload can be large
+    // (inline memory images) and is already contiguous — no copy into
+    // a combined buffer.
+    return sendAll(fd, header, sizeof(header)) &&
+           sendAll(fd, payload.data(), payload.size());
+}
+
+int
+readFrame(int fd, FrameType *type, std::string *payload,
+          uint64_t max_payload_bytes, const std::atomic<bool> *cancel,
+          std::string *err)
+{
+    unsigned char header[kFrameHeaderBytes];
+    const int rc = recvFully(fd, header, sizeof(header),
+                             /*stall_timeout_seconds=*/30.0, cancel);
+    if (rc <= 0) {
+        if (rc < 0 && err)
+            *err = "torn or cancelled frame header";
+        return rc;
+    }
+    if (getU32(header) != kFrameMagic) {
+        if (err)
+            *err = "bad frame magic (not a gpuperf peer?)";
+        return -1;
+    }
+    const uint8_t raw_type = header[4];
+    if (raw_type < static_cast<uint8_t>(FrameType::kRequest) ||
+        raw_type > static_cast<uint8_t>(FrameType::kError)) {
+        if (err)
+            *err = "unknown frame type " + std::to_string(raw_type);
+        return -1;
+    }
+    const uint32_t length = getU32(header + 5);
+    if (length > max_payload_bytes) {
+        // Refuse BEFORE allocating: the length word is
+        // attacker-controlled input.
+        if (err)
+            *err = "frame of " + std::to_string(length) +
+                   " bytes exceeds the " +
+                   std::to_string(max_payload_bytes) + "-byte bound";
+        return -1;
+    }
+    payload->resize(length);
+    if (length > 0 &&
+        recvFully(fd, &(*payload)[0], length,
+                  /*stall_timeout_seconds=*/30.0, cancel) != 1) {
+        if (err)
+            *err = "torn or cancelled frame payload";
+        return -1;
+    }
+    *type = static_cast<FrameType>(raw_type);
+    return 1;
+}
+
+namespace {
+
+/** The zero-distance backend: a local AnalysisService. */
+class InProcessTransport : public Transport
+{
+  public:
+    explicit InProcessTransport(AnalysisService *borrowed)
+        : borrowed_(borrowed)
+    {
+        if (!borrowed_)
+            owned_ = std::make_unique<AnalysisService>();
+    }
+
+    AnalysisResponse run(const AnalysisRequest &req,
+                         const CellCallback &onCell) override
+    {
+        return service().execute(req, onCell);
+    }
+
+    std::string describe() const override { return "inproc:"; }
+
+  private:
+    AnalysisService &service()
+    {
+        return borrowed_ ? *borrowed_ : *owned_;
+    }
+
+    AnalysisService *borrowed_;
+    std::unique_ptr<AnalysisService> owned_;
+};
+
+/**
+ * The shared-filesystem backend. With a local service the jobs are
+ * served in-process (self-contained, like runSpooled); without one
+ * the caller is trusting external gpuperf-worker processes to drain
+ * the directory before the collect deadline.
+ */
+class SpoolTransport : public Transport
+{
+  public:
+    SpoolTransport(std::string dir, AnalysisService *local)
+        : dir_(std::move(dir)), local_(local)
+    {
+    }
+
+    AnalysisResponse run(const AnalysisRequest &req,
+                         const CellCallback &) override
+    {
+        // No streaming wire through a directory: degrade to collect.
+        if (local_)
+            return runSpooled(dir_, req, *local_);
+        spoolSubmit(dir_, req);
+        return spoolCollect(dir_, req);
+    }
+
+    std::string describe() const override { return "spool:" + dir_; }
+
+  private:
+    std::string dir_;
+    AnalysisService *local_;
+};
+
+} // namespace
+
+std::unique_ptr<Transport>
+makeTransport(const std::string &uri, AnalysisService *local)
+{
+    const auto after = [&uri](const char *scheme) {
+        return uri.substr(std::strlen(scheme));
+    };
+    if (uri == "inproc:" || uri == "inproc" || uri.empty())
+        return std::make_unique<InProcessTransport>(local);
+    if (uri.rfind("spool:", 0) == 0) {
+        const std::string dir = after("spool:");
+        if (dir.empty())
+            throw std::runtime_error(
+                "spool transport needs a directory: 'spool:DIR'");
+        return std::make_unique<SpoolTransport>(dir, local);
+    }
+    if (uri.rfind("unix:", 0) == 0) {
+        const std::string path = after("unix:");
+        if (path.empty())
+            throw std::runtime_error(
+                "unix transport needs a socket path: 'unix:PATH'");
+        return std::make_unique<ServeClient>(
+            ServeClient::overUnix(path));
+    }
+    if (uri.rfind("tcp:", 0) == 0) {
+        const std::string rest = after("tcp:");
+        const size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == rest.size()) {
+            throw std::runtime_error(
+                "tcp transport needs 'tcp:HOST:PORT', got '" + uri +
+                "'");
+        }
+        const std::string host = rest.substr(0, colon);
+        const int port = std::atoi(rest.c_str() + colon + 1);
+        if (port <= 0 || port > 65535) {
+            throw std::runtime_error("bad tcp port in '" + uri + "'");
+        }
+        return std::make_unique<ServeClient>(
+            ServeClient::overTcp(host, port));
+    }
+    throw std::runtime_error(
+        "unknown transport '" + uri +
+        "' (expected inproc:, spool:DIR, unix:PATH or tcp:HOST:PORT)");
+}
+
+} // namespace api
+} // namespace gpuperf

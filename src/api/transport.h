@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The transport seam between a caller holding an AnalysisRequest and
+ * whatever executes it. PR 5 made a job a wire-portable VALUE; this
+ * interface makes the mechanism that moves it a pluggable BACKEND:
+ *
+ *   - in-process: straight into a local AnalysisService (the zero-cost
+ *     backend every other one is byte-diffed against),
+ *   - spool:      the shared-filesystem worker protocol (api/spool.h),
+ *   - socket:     the gpuperf-serve daemon over a framed TCP or
+ *     Unix-domain stream (api/client.h / api/server.h).
+ *
+ * Callers written against Transport (the gpuperf-worker `run` verb,
+ * benches, tests) are oblivious to which seam executes the job, and
+ * every backend is pinned to return bit-identical responses
+ * (api::responsesEqual) for the same request.
+ *
+ * This header also defines the length-framed wire protocol the socket
+ * backend speaks. A frame is:
+ *
+ *     u32 magic "GPF1" | u8 type | u32 payloadLength | payload
+ *
+ * little-endian, payloadLength bounded by the receiver (oversized
+ * frames are a protocol error, the connection is dropped — a client
+ * cannot make the server allocate unbounded memory). Frame types:
+ *
+ *     kRequest (1)      payload = binary AnalysisRequest
+ *     kRequestJson (2)  payload = JSON AnalysisRequest
+ *     kCell (3)         payload = u32 cell index + binary single-cell
+ *                       AnalysisResponse (streamed, completion order)
+ *     kDone (4)         payload = binary full AnalysisResponse
+ *                       (kernel-major; the authoritative result)
+ *     kError (5)        payload = UTF-8 message; terminates the
+ *                       request (admission rejection, malformed
+ *                       request, server shutdown)
+ *
+ * One request-response exchange per frame round trip; a client may
+ * send its next request on the same connection after kDone/kError.
+ * kCell frames arrive only when the request asked for streaming
+ * delivery (exec.delivery == kStream).
+ */
+
+#ifndef GPUPERF_API_TRANSPORT_H
+#define GPUPERF_API_TRANSPORT_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/request.h"
+#include "api/service.h"
+
+namespace gpuperf {
+namespace api {
+
+// --- Frame codec ------------------------------------------------------
+
+enum class FrameType : uint8_t
+{
+    kRequest = 1,
+    kRequestJson = 2,
+    kCell = 3,
+    kDone = 4,
+    kError = 5,
+};
+
+/** "GPF1" little-endian — rejects non-gpuperf peers at byte 4. */
+constexpr uint32_t kFrameMagic = 0x31465047;
+
+/** Default per-frame payload bound (inline images can be large). */
+constexpr uint64_t kMaxFrameBytesDefault = 256ull << 20;
+
+/** Frame a payload onto @p fd. False on any short or failed write. */
+bool writeFrame(int fd, FrameType type, const std::string &payload);
+
+/**
+ * Read one frame. Returns 1 on success; 0 on a clean EOF between
+ * frames (the peer hung up); -1 on protocol violations — bad magic,
+ * unknown type, payload over @p max_payload_bytes, a torn frame
+ * (EOF/stall mid-payload) or cancellation — with @p err describing
+ * which. After -1 the stream is unsynchronized; the connection must
+ * be dropped.
+ */
+int readFrame(int fd, FrameType *type, std::string *payload,
+              uint64_t max_payload_bytes = kMaxFrameBytesDefault,
+              const std::atomic<bool> *cancel = nullptr,
+              std::string *err = nullptr);
+
+// --- The transport interface ------------------------------------------
+
+/**
+ * One way of getting an AnalysisRequest executed. Backends differ in
+ * WHERE the work runs (this process, spool workers on a shared
+ * filesystem, a socket daemon); they agree on the result, bit for
+ * bit.
+ */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /**
+     * Execute @p req and return the assembled kernel-major response.
+     * When @p onCell is set and the request asks for streaming
+     * delivery, finished cells are additionally delivered in
+     * completion order (backends without a streaming wire — the spool
+     * — degrade to collect-then-return and skip the callback).
+     * Throws std::runtime_error on transport-level failures
+     * (unreachable peer, protocol error, rejected request); per-cell
+     * analysis failures come back as ok == false cells.
+     */
+    virtual AnalysisResponse run(const AnalysisRequest &req,
+                                 const CellCallback &onCell = {}) = 0;
+
+    /** Human-readable backend description ("unix:/run/g.sock"). */
+    virtual std::string describe() const = 0;
+};
+
+/**
+ * Construct a transport from a URI:
+ *
+ *     inproc:              local AnalysisService (@p local when given,
+ *                          else an owned one)
+ *     spool:DIR            spool directory; @p local serves the jobs
+ *                          in-process when given (self-contained run),
+ *                          else external workers must drain DIR
+ *     unix:PATH            gpuperf-serve over a Unix-domain socket
+ *     tcp:HOST:PORT        gpuperf-serve over TCP
+ *
+ * Throws std::runtime_error on an unrecognized scheme or malformed
+ * authority. Socket transports connect lazily on the first run().
+ */
+std::unique_ptr<Transport> makeTransport(const std::string &uri,
+                                         AnalysisService *local = nullptr);
+
+} // namespace api
+} // namespace gpuperf
+
+#endif // GPUPERF_API_TRANSPORT_H

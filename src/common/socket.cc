@@ -1,0 +1,275 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace gpuperf {
+
+namespace {
+
+void
+setCloexec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+bool
+fillTcpAddr(const std::string &host, int port, sockaddr_in *addr,
+            std::string *err)
+{
+    memset(addr, 0, sizeof(*addr));
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(static_cast<uint16_t>(port));
+    // Dotted-quad only: the daemon binds loopback or explicit
+    // interfaces; name resolution would drag in a resolver dependency
+    // the clients don't need.
+    if (host.empty() || host == "*") {
+        addr->sin_addr.s_addr = htonl(INADDR_ANY);
+    } else if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) !=
+               1) {
+        if (err)
+            *err = "not an IPv4 address: '" + host + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+fillUnixAddr(const std::string &path, sockaddr_un *addr,
+             std::string *err)
+{
+    memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+        if (err)
+            *err = "unix socket path empty or longer than " +
+                   std::to_string(sizeof(addr->sun_path) - 1) +
+                   " bytes: '" + path + "'";
+        return false;
+    }
+    memcpy(addr->sun_path, path.c_str(), path.size());
+    return true;
+}
+
+std::string
+errnoText(const std::string &what)
+{
+    return what + ": " + ::strerror(errno);
+}
+
+} // namespace
+
+int
+listenTcp(const std::string &host, int port, std::string *err)
+{
+    sockaddr_in addr;
+    if (!fillTcpAddr(host, port, &addr, err))
+        return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = errnoText("socket");
+        return -1;
+    }
+    setCloexec(fd);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        if (err)
+            *err = errnoText("bind/listen");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+boundTcpPort(int listen_fd)
+{
+    sockaddr_in addr;
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        return -1;
+    }
+    return static_cast<int>(ntohs(addr.sin_port));
+}
+
+int
+listenUnix(const std::string &path, std::string *err)
+{
+    sockaddr_un addr;
+    if (!fillUnixAddr(path, &addr, err))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = errnoText("socket");
+        return -1;
+    }
+    setCloexec(fd);
+    ::unlink(path.c_str()); // a previous daemon's stale socket file
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        if (err)
+            *err = errnoText("bind/listen '" + path + "'");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, int port, std::string *err)
+{
+    sockaddr_in addr;
+    const std::string target = host.empty() ? "127.0.0.1" : host;
+    if (!fillTcpAddr(target, port, &addr, err))
+        return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = errnoText("socket");
+        return -1;
+    }
+    setCloexec(fd);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err)
+            *err = errnoText(("connect " + target + ":" +
+                              std::to_string(port))
+                                 .c_str());
+        ::close(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string *err)
+{
+    sockaddr_un addr;
+    if (!fillUnixAddr(path, &addr, err))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = errnoText("socket");
+        return -1;
+    }
+    setCloexec(fd);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err)
+            *err = errnoText(("connect '" + path + "'").c_str());
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+waitReadable(int fd, double timeout_seconds)
+{
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLIN;
+    p.revents = 0;
+    const int timeout_ms =
+        timeout_seconds < 0
+            ? -1
+            : static_cast<int>(timeout_seconds * 1000.0);
+    const int rc = ::poll(&p, 1, timeout_ms);
+    return rc > 0 && (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+int
+acceptClient(int listen_fd)
+{
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0)
+        setCloexec(fd);
+    return fd;
+}
+
+bool
+sendAll(int fd, const void *data, size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (sent == 0)
+            return false;
+        p += sent;
+        n -= static_cast<size_t>(sent);
+    }
+    return true;
+}
+
+int
+recvFully(int fd, void *data, size_t n, double stall_timeout_seconds,
+          const std::atomic<bool> *cancel)
+{
+    char *p = static_cast<char *>(data);
+    size_t got = 0;
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point last_progress = Clock::now();
+    while (got < n) {
+        if (cancel && cancel->load(std::memory_order_relaxed))
+            return -1;
+        // Short poll ticks keep the read cancellable (server
+        // shutdown) and bound how long a silent peer can pin this
+        // thread mid-message.
+        if (!waitReadable(fd, 0.2)) {
+            const std::chrono::duration<double> stalled =
+                Clock::now() - last_progress;
+            if (stalled.count() > stall_timeout_seconds)
+                return -1;
+            continue;
+        }
+        const ssize_t r = ::recv(fd, p + got, n - got, 0);
+        if (r < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            return got == 0 ? 0 : -1; // clean EOF vs torn message
+        got += static_cast<size_t>(r);
+        last_progress = Clock::now();
+    }
+    return 1;
+}
+
+void
+closeSocket(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace gpuperf

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Thin POSIX stream-socket helpers shared by the gpuperf-serve daemon
+ * and its clients: listeners and connectors for TCP (loopback or any
+ * interface) and Unix-domain sockets, plus cancellable exact-length
+ * send/receive loops.
+ *
+ * Everything returns file descriptors and booleans rather than
+ * throwing — the callers (server accept loops, the framed transport)
+ * turn failures into per-connection errors, never process aborts. All
+ * writes use MSG_NOSIGNAL, so a peer that disappears mid-stream
+ * produces EPIPE, not SIGPIPE.
+ */
+
+#ifndef GPUPERF_COMMON_SOCKET_H
+#define GPUPERF_COMMON_SOCKET_H
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace gpuperf {
+
+/**
+ * Listen on TCP @p host:@p port (port 0 = kernel-assigned ephemeral
+ * port, readable back via boundTcpPort). Returns the listening fd, or
+ * -1 with @p err set.
+ */
+int listenTcp(const std::string &host, int port, std::string *err);
+
+/** The port a TCP listener actually bound (ephemeral-port reader). */
+int boundTcpPort(int listen_fd);
+
+/**
+ * Listen on a Unix-domain socket at @p path. An existing socket file
+ * at @p path is unlinked first (a daemon restart must not need manual
+ * cleanup). Returns the listening fd, or -1 with @p err set.
+ */
+int listenUnix(const std::string &path, std::string *err);
+
+/** Connect to TCP @p host:@p port. Returns fd, or -1 with @p err. */
+int connectTcp(const std::string &host, int port, std::string *err);
+
+/** Connect to the Unix socket at @p path. -1 with @p err on failure. */
+int connectUnix(const std::string &path, std::string *err);
+
+/**
+ * Wait up to @p timeout_seconds for @p fd to become readable (an
+ * incoming connection on a listener, data on a stream). False on
+ * timeout or poll error.
+ */
+bool waitReadable(int fd, double timeout_seconds);
+
+/** accept(2) with CLOEXEC; -1 on failure (caller polls first). */
+int acceptClient(int listen_fd);
+
+/** Write exactly @p n bytes (MSG_NOSIGNAL). False on any failure. */
+bool sendAll(int fd, const void *data, size_t n);
+
+/**
+ * Read exactly @p n bytes. Returns 1 on success; 0 on a clean EOF
+ * before the first byte (the peer closed between messages); -1 on an
+ * error, a mid-message EOF (half-written payload), a read stalled
+ * longer than @p stall_timeout_seconds, or @p cancel turning true
+ * between polls. The cancel hook is what lets a server shut down
+ * while a connection thread sits in a read.
+ */
+int recvFully(int fd, void *data, size_t n,
+              double stall_timeout_seconds = 30.0,
+              const std::atomic<bool> *cancel = nullptr);
+
+/** close(2), ignoring errors (idempotent-ish; -1 is a no-op). */
+void closeSocket(int fd);
+
+} // namespace gpuperf
+
+#endif // GPUPERF_COMMON_SOCKET_H

@@ -124,6 +124,16 @@ leaseFresh(const std::string &marker_path, int64_t stale_after_ms)
     const std::string local = localHostname();
     if (!host.empty() && !local.empty() && host != local)
         return true;
+    if (host.empty()) {
+        // Hostname-less marker (legacy writer, or gethostname()
+        // failed at acquire time): its provenance is unknown, so the
+        // pid probe can lie in the dangerous direction — the pid may
+        // have been recycled by an unrelated process here, or belong
+        // to a privileged one (EPERM reads as "alive"), keeping a
+        // dead holder's lease fresh until someone notices. Age is the
+        // only trustworthy signal; use it alone.
+        return true; // young (checked above) => fresh
+    }
     return pidAlive(pid);
 }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <fstream>
 #include <limits>
+#include <thread>
 
 #include "api/codecs.h"
 #include "api/json.h"
@@ -29,6 +30,7 @@
 #include "isa/builder.h"
 #include "store/codecs.h"
 #include "store/lease.h"
+#include "store/serializer.h"
 
 namespace gpuperf {
 namespace api {
@@ -867,6 +869,106 @@ TEST(SpoolTest, CollectTimesOutWithFailedCellsNotAHang)
         EXPECT_FALSE(cell.kernelName.empty());
         EXPECT_FALSE(cell.specName.empty());
     }
+}
+
+TEST(SpoolTest, CollectSurvivesAnEmptyCellGrid)
+{
+    // Zero specs (or zero kernels) means zero cells: collect must
+    // return the empty response shell immediately — the old failure
+    // labeling divided the flat index by the spec count, which is a
+    // division by zero here.
+    AnalysisRequest req = testRequest();
+    req.specs.clear();
+    const std::string spool = freshDir("spool-empty");
+    const AnalysisResponse resp = spoolCollect(spool, req, 0.1);
+    EXPECT_TRUE(resp.cells.empty());
+    EXPECT_EQ(resp.numKernels, req.kernels.size());
+    EXPECT_EQ(resp.numSpecs, 0u);
+
+    req = testRequest();
+    req.kernels.clear();
+    EXPECT_TRUE(spoolCollect(spool, req, 0.1).cells.empty());
+}
+
+TEST(SpoolTest, TimeoutCellsAreLabeledByPositionNotArithmetic)
+{
+    // A full sweep-expanded grid (3 kernels x 2 specs) that nobody
+    // serves: every timeout cell must carry the kernel and spec name
+    // of ITS OWN position, derived from the id mapping — not
+    // reconstructed from the flat index.
+    const AnalysisRequest req = testRequest();
+    const std::string spool = freshDir("spool-labels");
+    spoolSubmit(spool, req);
+    const AnalysisResponse resp = spoolCollect(spool, req, 0.1);
+    const auto cells = spoolCells(req);
+    ASSERT_EQ(resp.cells.size(), cells.size());
+    ASSERT_EQ(cells.size(),
+              req.kernels.size() * req.specs.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_FALSE(resp.cells[i].ok);
+        EXPECT_EQ(resp.cells[i].kernelName,
+                  req.kernels[cells[i].kernel].name)
+            << "cell " << i;
+        EXPECT_EQ(resp.cells[i].specName,
+                  req.specs[cells[i].spec].name)
+            << "cell " << i;
+        EXPECT_NE(resp.cells[i].error.find(cells[i].id),
+                  std::string::npos)
+            << "the error must name the job id: "
+            << resp.cells[i].error;
+    }
+}
+
+TEST(SpoolTest, MalformedResponseFileIsLabeledAndSurfaced)
+{
+    const AnalysisRequest req = testRequest();
+    const std::string spool = freshDir("spool-malformed");
+    const auto ids = spoolSubmit(spool, req);
+    const auto cells = spoolCells(req);
+    ASSERT_GE(cells.size(), 4u);
+
+    // Plant a structurally valid entry file whose payload is NOT a
+    // single-cell response, for a cell in the middle of the grid.
+    const size_t victim = 3;
+    ASSERT_TRUE(store::writeEntryFile(
+        spool + "/responses/" + cells[victim].id + ".resp",
+        kSchemaVersion, cells[victim].id, "not a response"));
+
+    const AnalysisResponse resp = spoolCollect(spool, req, 0.1);
+    ASSERT_EQ(resp.cells.size(), cells.size());
+    EXPECT_FALSE(resp.cells[victim].ok);
+    EXPECT_NE(resp.cells[victim].error.find("malformed"),
+              std::string::npos)
+        << resp.cells[victim].error;
+    EXPECT_EQ(resp.cells[victim].kernelName,
+              req.kernels[cells[victim].kernel].name);
+    EXPECT_EQ(resp.cells[victim].specName,
+              req.specs[cells[victim].spec].name);
+}
+
+TEST(SpoolTest, CollectBackoffStillDeliversLateResponses)
+{
+    // The exponential poll backoff must not make collect miss a
+    // response that lands late: serve the jobs from a helper thread
+    // after a delay longer than several initial poll periods.
+    AnalysisRequest req = testRequest();
+    req.kernels = {req.kernels[0]};
+    req.specs = {tinySpec()};
+    req.store.storeDir = freshDir("spool-late-store");
+    const std::string spool = freshDir("spool-late");
+    spoolSubmit(spool, req);
+
+    std::thread server([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        AnalysisService service;
+        spoolServe(spool, service);
+    });
+    SpoolOptions opts;
+    opts.timeoutSeconds = 60.0;
+    const AnalysisResponse resp = spoolCollect(spool, req, opts);
+    server.join();
+    ASSERT_EQ(resp.cells.size(), 1u);
+    EXPECT_TRUE(resp.cells[0].ok) << resp.cells[0].error;
 }
 
 TEST(SpoolTest, FailedCellsTravelThroughTheSpool)

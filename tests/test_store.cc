@@ -24,6 +24,7 @@
 #include "model/session.h"
 #include "store/calibration_store.h"
 #include "store/codecs.h"
+#include "store/lease.h"
 #include "store/profile_store.h"
 #include "store/result_store.h"
 #include "store/serializer.h"
@@ -611,6 +612,53 @@ TEST(CalibrationLease, StaleLeasesAreBrokenAndRetaken)
     EXPECT_FALSE(store.leaseHeld(spec));
     store::CalibrationLease aged = store.tryAcquireLease(spec);
     EXPECT_TRUE(aged.held());
+}
+
+TEST(LeaseMarker, HostnameLessMarkersAreGovernedByAgeAlone)
+{
+    const std::string dir = freshDir("lease-legacy");
+    ASSERT_TRUE(store::makeDirs(dir));
+    const std::string marker = dir + "/legacy.lease";
+    const int64_t now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+
+    // A hostname-less (legacy) marker names a pid of unknown
+    // provenance: it may be recycled by an unrelated local process,
+    // or probe as EPERM ("alive"), keeping a dead holder's lease
+    // fresh forever. The pid probe must NOT apply — a young legacy
+    // marker is fresh and an old one stale, pid notwithstanding.
+    {
+        std::ofstream out(marker);
+        out << 999999999 << " " << now_ms << "\n"; // dead pid, young
+    }
+    EXPECT_TRUE(store::leaseFresh(marker))
+        << "young legacy marker must be fresh even with a dead pid";
+    {
+        std::ofstream out(marker, std::ios::trunc);
+        out << 999999999 << " " << now_ms - 60'000 << "\n";
+    }
+    EXPECT_FALSE(store::leaseFresh(marker, /*stale_after_ms=*/1000))
+        << "aged-out legacy marker must be stale";
+
+    // The same dead pid WITH a local hostname is probed and broken
+    // immediately: provenance is known, so liveness can be trusted.
+    char host[256] = {0};
+    ASSERT_EQ(::gethostname(host, sizeof(host) - 1), 0);
+    {
+        std::ofstream out(marker, std::ios::trunc);
+        out << 999999999 << " " << now_ms << " " << host << "\n";
+    }
+    EXPECT_FALSE(store::leaseFresh(marker))
+        << "dead same-host holder must break the lease at once";
+
+    // A live same-host holder (us) stays fresh.
+    {
+        std::ofstream out(marker, std::ios::trunc);
+        out << ::getpid() << " " << now_ms << " " << host << "\n";
+    }
+    EXPECT_TRUE(store::leaseFresh(marker));
 }
 
 TEST(CalibrationLease, ConcurrentRunnersSplitTheMicrobenchmarkSweep)

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * gpuperf-serve — the analysis daemon: bind a Unix-domain socket
+ * and/or a TCP port, accept framed api::AnalysisRequests from many
+ * concurrent clients (gpuperf-worker run --via unix:..., the
+ * ServeClient library, or anything speaking the frame protocol in
+ * src/api/transport.h), execute them on one shared AnalysisService,
+ * and stream results back.
+ *
+ *   gpuperf-serve [--unix PATH] [--tcp PORT] [--host ADDR]
+ *                 [--store DIR] [--max-clients N]
+ *                 [--max-inflight-cells N] [--max-cells-per-request N]
+ *
+ * At least one of --unix/--tcp is required. --tcp 0 binds an
+ * ephemeral port (printed on stdout — scripts parse the "listening"
+ * lines). --store forces every request onto one shared store root so
+ * all clients hit the same warm calibration/profile/timing caches.
+ *
+ * SIGINT/SIGTERM trigger a graceful stop: in-flight requests finish
+ * and deliver their kDone before the process exits.
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "api/server.h"
+
+using namespace gpuperf;
+
+namespace {
+
+/** Written by the signal handler, polled by the main loop. */
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void
+onSignal(int)
+{
+    g_stop_requested = 1;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: gpuperf-serve [--unix PATH] [--tcp PORT] "
+           "[--host ADDR]\n"
+           "                     [--store DIR] [--max-clients N]\n"
+           "                     [--max-inflight-cells N] "
+           "[--max-cells-per-request N]\n"
+           "at least one of --unix / --tcp is required; "
+           "--tcp 0 binds an ephemeral port\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    api::ServerOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const char *v = nullptr;
+        if (arg == "--unix") {
+            if (!(v = value("--unix")))
+                return usage();
+            opts.unixPath = v;
+        } else if (arg == "--tcp") {
+            if (!(v = value("--tcp")))
+                return usage();
+            opts.tcpPort = std::atoi(v);
+        } else if (arg == "--host") {
+            if (!(v = value("--host")))
+                return usage();
+            opts.tcpHost = v;
+        } else if (arg == "--store") {
+            if (!(v = value("--store")))
+                return usage();
+            opts.forceStoreDir = v;
+        } else if (arg == "--max-clients") {
+            if (!(v = value("--max-clients")))
+                return usage();
+            opts.maxClients = static_cast<size_t>(std::atol(v));
+        } else if (arg == "--max-inflight-cells") {
+            if (!(v = value("--max-inflight-cells")))
+                return usage();
+            opts.maxInFlightCells = static_cast<size_t>(std::atol(v));
+        } else if (arg == "--max-cells-per-request") {
+            if (!(v = value("--max-cells-per-request")))
+                return usage();
+            opts.maxCellsPerRequest = static_cast<size_t>(std::atol(v));
+        } else {
+            std::cerr << "unknown argument '" << arg << "'\n";
+            return usage();
+        }
+    }
+    if (opts.unixPath.empty() && opts.tcpPort < 0)
+        return usage();
+
+    const std::string unix_path = opts.unixPath;
+    const std::string tcp_host = opts.tcpHost;
+    api::Server server(std::move(opts));
+    try {
+        server.start();
+    } catch (const std::exception &e) {
+        std::cerr << "gpuperf-serve: " << e.what() << "\n";
+        return 1;
+    }
+
+    if (!unix_path.empty())
+        std::cout << "listening unix " << unix_path << "\n";
+    if (server.tcpPort() >= 0)
+        std::cout << "listening tcp " << tcp_host << ":"
+                  << server.tcpPort() << "\n";
+    std::cout << "gpuperf-serve ready\n" << std::flush;
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    while (!g_stop_requested)
+        ::poll(nullptr, 0, 200);
+
+    std::cout << "stopping (draining in-flight requests)...\n"
+              << std::flush;
+    server.stop();
+    const api::ServerStats stats = server.stats();
+    std::cout << "served " << stats.requests << " request(s), "
+              << stats.cells << " cell(s) (" << stats.failedCells
+              << " failed), " << stats.accepted << " connection(s), "
+              << stats.rejectedRequests << " rejected request(s), "
+              << stats.disconnects << " disconnect(s)\n";
+    return 0;
+}

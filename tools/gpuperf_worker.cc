@@ -8,8 +8,11 @@
  *       quick-calibrating spec) — the input the api-smoke CI step
  *       feeds the modes below.
  *
- *   gpuperf-worker run REQ.json --out RESP.json
- *       Execute the request in-process and write the JSON response.
+ *   gpuperf-worker run REQ.json --out RESP.json [--via URI]
+ *       Execute the request and write the JSON response. --via picks
+ *       the transport: inproc: (default), spool:DIR, unix:PATH or
+ *       tcp:HOST:PORT (the latter two talk to a gpuperf-serve
+ *       daemon). The response is bit-identical across transports.
  *
  *   gpuperf-worker submit REQ.json --spool DIR [--out RESP.json]
  *                  [--no-wait] [--timeout SEC]
@@ -45,6 +48,7 @@
 #include "api/request.h"
 #include "api/service.h"
 #include "api/spool.h"
+#include "api/transport.h"
 
 using namespace gpuperf;
 
@@ -56,7 +60,8 @@ usage()
     std::cerr
         << "usage:\n"
            "  gpuperf-worker demo-request --out REQ.json [--store DIR]\n"
-           "  gpuperf-worker run REQ.json --out RESP.json\n"
+           "  gpuperf-worker run REQ.json --out RESP.json "
+           "[--via URI]\n"
            "  gpuperf-worker submit REQ.json --spool DIR "
            "[--out RESP.json] [--no-wait] [--timeout SEC]\n"
            "  gpuperf-worker serve --spool DIR [--once] "
@@ -166,6 +171,7 @@ struct Args
     std::string out;
     std::string spool;
     std::string store;
+    std::string via;
     bool noWait = false;
     bool once = false;
     size_t maxJobs = 0;
@@ -200,6 +206,11 @@ parseArgs(int argc, char **argv, int first, Args *args)
             if (!v)
                 return false;
             args->store = v;
+        } else if (arg == "--via") {
+            const char *v = value("--via");
+            if (!v)
+                return false;
+            args->via = v;
         } else if (arg == "--timeout") {
             const char *v = value("--timeout");
             if (!v)
@@ -263,15 +274,15 @@ main(int argc, char **argv)
             api::AnalysisRequest req;
             if (!loadRequestJson(args.positional, &req))
                 return 1;
-            api::AnalysisService service;
-            const api::AnalysisResponse resp = service.run(req);
+            const auto transport = api::makeTransport(args.via);
+            const api::AnalysisResponse resp = transport->run(req);
             if (!writeFile(args.out, api::responseToJson(resp))) {
                 std::cerr << "cannot write '" << args.out << "'\n";
                 return 1;
             }
-            std::cout << "ran " << resp.cells.size()
-                      << " cells in-process, response at " << args.out
-                      << "\n";
+            std::cout << "ran " << resp.cells.size() << " cells via "
+                      << transport->describe() << ", response at "
+                      << args.out << "\n";
             return cellStatus(resp);
         }
 
