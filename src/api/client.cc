@@ -39,7 +39,8 @@ ServeClient::ServeClient(ServeClient &&other) noexcept
     : unix_path_(std::move(other.unix_path_)),
       host_(std::move(other.host_)), port_(other.port_),
       fd_(other.fd_), json_requests_(other.json_requests_),
-      max_frame_bytes_(other.max_frame_bytes_)
+      max_frame_bytes_(other.max_frame_bytes_),
+      response_timeout_seconds_(other.response_timeout_seconds_)
 {
     other.fd_ = -1;
 }
@@ -76,8 +77,32 @@ ServeClient::connectIfNeeded()
 AnalysisResponse
 ServeClient::run(const AnalysisRequest &req, const CellCallback &onCell)
 {
+    const bool reused_connection = fd_ >= 0;
     connectIfNeeded();
+    bool response_started = false;
+    try {
+        return exchange(req, onCell, &response_started);
+    } catch (const std::exception &) {
+        // A cached connection can be stale — the server restarted, or
+        // closed it as idle, since the previous exchange. As long as
+        // no response frame arrived, the caller has seen nothing of
+        // this request, so one retry on a fresh connection is
+        // transparent (a server that did execute it re-runs warm from
+        // the shared stores).
+        if (!reused_connection || response_started)
+            throw;
+        disconnect();
+        connectIfNeeded();
+        bool retry_started = false;
+        return exchange(req, onCell, &retry_started);
+    }
+}
 
+AnalysisResponse
+ServeClient::exchange(const AnalysisRequest &req,
+                      const CellCallback &onCell,
+                      bool *response_started)
+{
     std::string payload;
     FrameType request_type;
     if (json_requests_) {
@@ -90,30 +115,48 @@ ServeClient::run(const AnalysisRequest &req, const CellCallback &onCell)
         payload = w.bytes();
     }
     if (!writeFrame(fd_, request_type, payload)) {
-        // One transparent reconnect: the server may have restarted
-        // since the previous exchange left this connection cached.
         disconnect();
-        connectIfNeeded();
-        if (!writeFrame(fd_, request_type, payload)) {
-            disconnect();
-            throw std::runtime_error("cannot send request to " +
-                                     describe());
-        }
+        throw std::runtime_error("cannot send request to " +
+                                 describe());
     }
+
+    // Anything thrown out of the drain loop below — a transport
+    // failure, a malformed frame, the caller's onCell throwing —
+    // leaves unread kCell/kDone frames on the stream; reusing it
+    // would answer the NEXT request with THIS exchange's leftovers.
+    // Drop the connection on every exit except a completed exchange
+    // (kDone returned, or the server's clean kError answer).
+    struct DropUnlessCompleted
+    {
+        ServeClient *client;
+        bool completed = false;
+        ~DropUnlessCompleted()
+        {
+            if (!completed)
+                client->disconnect();
+        }
+    } guard{this};
 
     for (;;) {
         FrameType type;
         std::string body;
         std::string err;
         const int rc = readFrame(fd_, &type, &body, max_frame_bytes_,
-                                 /*cancel=*/nullptr, &err);
+                                 /*cancel=*/nullptr, &err,
+                                 response_timeout_seconds_);
+        if (rc == -2) {
+            throw std::runtime_error(
+                "no response from " + describe() + " within " +
+                std::to_string(response_timeout_seconds_) +
+                "s (setResponseTimeout deadline)");
+        }
         if (rc <= 0) {
-            disconnect();
             throw std::runtime_error(
                 "connection to " + describe() +
                 " broke before the response completed" +
                 (err.empty() ? std::string() : " (" + err + ")"));
         }
+        *response_started = true;
         switch (type) {
           case FrameType::kCell: {
             store::ByteReader r(body);
@@ -121,7 +164,6 @@ ServeClient::run(const AnalysisRequest &req, const CellCallback &onCell)
             AnalysisResponse one;
             if (!readResponse(r, &one) || !r.atEnd() ||
                 one.cells.size() != 1) {
-                disconnect();
                 throw std::runtime_error("malformed cell frame from " +
                                          describe());
             }
@@ -133,19 +175,19 @@ ServeClient::run(const AnalysisRequest &req, const CellCallback &onCell)
             store::ByteReader r(body);
             AnalysisResponse resp;
             if (!readResponse(r, &resp) || !r.atEnd()) {
-                disconnect();
                 throw std::runtime_error(
                     "malformed response frame from " + describe());
             }
+            guard.completed = true;
             return resp;
           }
           case FrameType::kError:
-            // The server finished this exchange; the connection
-            // stays usable for the next request.
+            // The server answered: the exchange is complete and the
+            // stream stays synchronized for the next request.
+            guard.completed = true;
             throw std::runtime_error("server " + describe() +
                                      " rejected the request: " + body);
           default:
-            disconnect();
             throw std::runtime_error(
                 "unexpected frame type " +
                 std::to_string(static_cast<int>(type)) + " from " +

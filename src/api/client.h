@@ -59,12 +59,28 @@ class ServeClient : public Transport
     /** Bound accepted on reply frames (server streams cells small). */
     void setMaxFrameBytes(uint64_t bytes) { max_frame_bytes_ = bytes; }
 
+    /**
+     * Deadline (seconds) for each response frame to START arriving.
+     * Negative — the default — waits indefinitely: a slow cold batch
+     * is not an error, and a dead server still surfaces immediately
+     * as a closed connection. Mid-frame stalls stay bounded by
+     * kFrameStallTimeoutSeconds either way.
+     */
+    void setResponseTimeout(double seconds)
+    {
+        response_timeout_seconds_ = seconds;
+    }
+
     /** Drop the connection (next run() reconnects). */
     void disconnect();
 
   private:
     ServeClient(std::string unix_path, std::string host, int port);
     void connectIfNeeded();
+    /** One framed request/response exchange on the live connection. */
+    AnalysisResponse exchange(const AnalysisRequest &req,
+                              const CellCallback &onCell,
+                              bool *response_started);
 
     std::string unix_path_; ///< non-empty = Unix-domain client
     std::string host_;
@@ -72,6 +88,7 @@ class ServeClient : public Transport
     int fd_ = -1;
     bool json_requests_ = false;
     uint64_t max_frame_bytes_ = kMaxFrameBytesDefault;
+    double response_timeout_seconds_ = -1.0;
 };
 
 } // namespace api

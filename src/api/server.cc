@@ -134,41 +134,53 @@ void
 Server::acceptLoop(int listen_fd)
 {
     while (!stopping_.load()) {
-        if (!waitReadable(listen_fd, 0.2)) {
-            reapFinished(); // joins connections that closed meanwhile
+        // Reap every iteration: under continuous connection churn the
+        // accept queue may never drain, and finished Connection
+        // objects plus their unjoined threads must not pile up until
+        // an accept lull.
+        reapFinished();
+        if (!waitReadable(listen_fd, 0.2))
             continue;
-        }
         const int fd = acceptClient(listen_fd);
         if (fd < 0)
             continue;
         setSendTimeout(fd, kSendStallTimeoutSeconds);
 
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.accepted;
-        if (live_connections_ >= opts_.maxClients || stopping_.load()) {
-            ++stats_.rejectedClients;
-            writeFrame(fd, FrameType::kError,
-                       stopping_.load()
-                           ? "server is shutting down"
-                           : "server at capacity (" +
-                                 std::to_string(opts_.maxClients) +
-                                 " clients)");
-            closeSocket(fd);
-            continue;
-        }
-        ++live_connections_;
-        auto conn = std::make_unique<Connection>();
-        Connection *raw = conn.get();
-        raw->fd = fd;
-        connections_.push_back(std::move(conn));
-        raw->thread = std::thread([this, raw] {
-            serveConnection(raw->fd);
-            {
-                std::lock_guard<std::mutex> inner(mutex_);
-                --live_connections_;
+        std::string reject;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.accepted;
+            if (live_connections_ >= opts_.maxClients ||
+                stopping_.load()) {
+                ++stats_.rejectedClients;
+                reject = stopping_.load()
+                             ? "server is shutting down"
+                             : "server at capacity (" +
+                                   std::to_string(opts_.maxClients) +
+                                   " clients)";
+            } else {
+                ++live_connections_;
+                auto conn = std::make_unique<Connection>();
+                Connection *raw = conn.get();
+                raw->fd = fd;
+                connections_.push_back(std::move(conn));
+                raw->thread = std::thread([this, raw] {
+                    serveConnection(raw->fd);
+                    {
+                        std::lock_guard<std::mutex> inner(mutex_);
+                        --live_connections_;
+                    }
+                    raw->done.store(true);
+                });
             }
-            raw->done.store(true);
-        });
+        }
+        if (!reject.empty()) {
+            // The peer paces this write (up to SO_SNDTIMEO); doing it
+            // under mutex_ would let one stalled socket block
+            // admission, release() and stats() for every live client.
+            writeFrame(fd, FrameType::kError, reject);
+            closeSocket(fd);
+        }
     }
 }
 
@@ -180,10 +192,16 @@ Server::serveConnection(int fd)
         std::string payload;
         std::string err;
         const int rc = readFrame(fd, &type, &payload,
-                                 opts_.maxFrameBytes, &stopping_,
-                                 &err);
+                                 opts_.maxFrameBytes, &stopping_, &err,
+                                 opts_.idleTimeoutSeconds);
         if (rc == 0)
             break; // clean hangup between requests
+        if (rc == -2) {
+            // Idle past the configured bound. Not a protocol failure:
+            // no kError frame, no disconnect stat — the peer sees a
+            // clean EOF and reconnects transparently next request.
+            break;
+        }
         if (rc < 0) {
             // Protocol violation, torn frame, stalled peer, or our
             // own shutdown: tell the peer why when the stream still

@@ -74,6 +74,15 @@ struct ServerOptions
     /** Frame payload bound; oversized frames drop the connection. */
     uint64_t maxFrameBytes = kMaxFrameBytesDefault;
     /**
+     * How long a connection may sit idle between requests before the
+     * server closes it — cleanly: no kError frame, not counted as a
+     * disconnect, and the client transparently reconnects on its next
+     * run(). Negative (default) keeps idle connections indefinitely;
+     * mid-frame stalls are bounded by kFrameStallTimeoutSeconds
+     * regardless.
+     */
+    double idleTimeoutSeconds = -1.0;
+    /**
      * Force every request onto this store root, ignoring the
      * client-supplied StorePolicy ("" = honor the request). A shared
      * daemon wants one warm store, not one per client's cwd.

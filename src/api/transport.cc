@@ -1,5 +1,6 @@
 #include "api/transport.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -55,11 +56,34 @@ writeFrame(int fd, FrameType type, const std::string &payload)
 int
 readFrame(int fd, FrameType *type, std::string *payload,
           uint64_t max_payload_bytes, const std::atomic<bool> *cancel,
-          std::string *err)
+          std::string *err, double idle_timeout_seconds)
 {
+    // Phase 1: wait for the frame to START under the caller's idle
+    // policy. No bytes have arrived yet, so the stream stays
+    // synchronized across this wait and expiry is reported distinctly
+    // (-2), never as a torn frame.
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point wait_start = Clock::now();
+    for (;;) {
+        if (cancel && cancel->load(std::memory_order_relaxed)) {
+            if (err)
+                *err = "cancelled while awaiting a frame";
+            return -1;
+        }
+        if (waitReadable(fd, 0.2))
+            break;
+        const std::chrono::duration<double> waited =
+            Clock::now() - wait_start;
+        if (idle_timeout_seconds >= 0 &&
+            waited.count() > idle_timeout_seconds)
+            return -2;
+    }
+
+    // Phase 2: the peer has started talking (or hung up); from here a
+    // stall means a broken peer and the short protocol bound applies.
     unsigned char header[kFrameHeaderBytes];
     const int rc = recvFully(fd, header, sizeof(header),
-                             /*stall_timeout_seconds=*/30.0, cancel);
+                             kFrameStallTimeoutSeconds, cancel);
     if (rc <= 0) {
         if (rc < 0 && err)
             *err = "torn or cancelled frame header";
@@ -90,7 +114,7 @@ readFrame(int fd, FrameType *type, std::string *payload,
     payload->resize(length);
     if (length > 0 &&
         recvFully(fd, &(*payload)[0], length,
-                  /*stall_timeout_seconds=*/30.0, cancel) != 1) {
+                  kFrameStallTimeoutSeconds, cancel) != 1) {
         if (err)
             *err = "torn or cancelled frame payload";
         return -1;

@@ -71,21 +71,40 @@ constexpr uint32_t kFrameMagic = 0x31465047;
 /** Default per-frame payload bound (inline images can be large). */
 constexpr uint64_t kMaxFrameBytesDefault = 256ull << 20;
 
+/**
+ * Mid-frame stall bound: once a frame has STARTED, a peer that stops
+ * sending for this long is broken or hostile. Waiting for a frame to
+ * start is a different matter — see readFrame's idle timeout.
+ */
+constexpr double kFrameStallTimeoutSeconds = 30.0;
+
 /** Frame a payload onto @p fd. False on any short or failed write. */
 bool writeFrame(int fd, FrameType type, const std::string &payload);
 
 /**
- * Read one frame. Returns 1 on success; 0 on a clean EOF between
- * frames (the peer hung up); -1 on protocol violations — bad magic,
+ * Read one frame. @p idle_timeout_seconds bounds how long to wait for
+ * the frame to START (no bytes yet): a server awaiting a client's
+ * next request, or a client awaiting the response to a slow cold
+ * batch, may legitimately sit here far longer than any mid-frame
+ * stall, so the caller picks the policy (negative = wait
+ * indefinitely; cancellation and peer EOF still end the wait). Once
+ * the first byte arrives, mid-frame stalls are bounded by
+ * kFrameStallTimeoutSeconds regardless.
+ *
+ * Returns 1 on success; 0 on a clean EOF between frames (the peer
+ * hung up); -2 when the idle timeout expired before any byte of a
+ * new frame (the stream is still synchronized — the caller may close
+ * cleanly or keep waiting); -1 on protocol violations — bad magic,
  * unknown type, payload over @p max_payload_bytes, a torn frame
- * (EOF/stall mid-payload) or cancellation — with @p err describing
+ * (EOF/stall mid-frame) or cancellation — with @p err describing
  * which. After -1 the stream is unsynchronized; the connection must
  * be dropped.
  */
 int readFrame(int fd, FrameType *type, std::string *payload,
               uint64_t max_payload_bytes = kMaxFrameBytesDefault,
               const std::atomic<bool> *cancel = nullptr,
-              std::string *err = nullptr);
+              std::string *err = nullptr,
+              double idle_timeout_seconds = kFrameStallTimeoutSeconds);
 
 // --- The transport interface ------------------------------------------
 

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -387,6 +388,99 @@ TEST(ServeTest, HalfWrittenFramesAndGarbageAreContained)
     // After all that abuse the server still serves.
     ServeClient client = ServeClient::overUnix(rig.opts.unixPath);
     expectEqual(client.run(rig.req), rig.expected());
+}
+
+TEST(ServeTest, ReadFrameIdleTimeoutIsDistinctFromFailure)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    FrameType type;
+    std::string body;
+    std::string err;
+    // Nothing sent: the idle deadline expires as -2 — the stream is
+    // still synchronized — not as a torn frame.
+    EXPECT_EQ(readFrame(fds[0], &type, &body, kMaxFrameBytesDefault,
+                        nullptr, &err, /*idle_timeout_seconds=*/0.3),
+              -2);
+    // Cancellation beats the idle wait even with no deadline at all.
+    std::atomic<bool> cancel{true};
+    EXPECT_EQ(readFrame(fds[0], &type, &body, kMaxFrameBytesDefault,
+                        &cancel, &err, /*idle_timeout_seconds=*/-1.0),
+              -1);
+    // A frame on the wire reads fine under an infinite idle deadline.
+    ASSERT_TRUE(writeFrame(fds[1], FrameType::kDone, "payload"));
+    EXPECT_EQ(readFrame(fds[0], &type, &body, kMaxFrameBytesDefault,
+                        nullptr, &err, /*idle_timeout_seconds=*/-1.0),
+              1);
+    EXPECT_EQ(type, FrameType::kDone);
+    EXPECT_EQ(body, "payload");
+    // Peer hangup is still a clean EOF, not an idle expiry.
+    closeSocket(fds[1]);
+    EXPECT_EQ(readFrame(fds[0], &type, &body, kMaxFrameBytesDefault,
+                        nullptr, &err, /*idle_timeout_seconds=*/-1.0),
+              0);
+    closeSocket(fds[0]);
+}
+
+TEST(ServeTest, IdleConnectionsCloseCleanlyAndClientsReconnect)
+{
+    ServerOptions opts;
+    opts.unixPath = freshSocketPath("idle");
+    opts.idleTimeoutSeconds = 0.3;
+    Server server(opts);
+    server.start();
+    AnalysisRequest req = testRequest();
+    req.kernels = {req.kernels[0]};
+    req.specs = {req.specs[0]};
+    adoptAll(server.service(), req);
+    AnalysisService reference;
+    adoptAll(reference, req);
+    const AnalysisResponse want = reference.run(req);
+
+    // A raw connection idle past the bound is closed CLEANLY: EOF,
+    // no kError frame on the wire.
+    std::string err;
+    const int fd = connectUnix(opts.unixPath, &err);
+    ASSERT_GE(fd, 0) << err;
+    char byte;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    closeSocket(fd);
+
+    // A client whose cached connection the server closed as idle
+    // retries transparently on a fresh connection.
+    ServeClient client = ServeClient::overUnix(opts.unixPath);
+    expectEqual(client.run(req), want);
+    std::this_thread::sleep_for(std::chrono::milliseconds(800));
+    expectEqual(client.run(req), want);
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.disconnects, 0u); // idle closes are not failures
+}
+
+TEST(ServeTest, ThrowingCellCallbackDoesNotPoisonTheClient)
+{
+    Rig rig("cbthrow");
+    AnalysisRequest streaming = rig.req;
+    streaming.exec.delivery = ExecutionPolicy::Delivery::kStream;
+
+    ServeClient client = ServeClient::overUnix(rig.opts.unixPath);
+    EXPECT_THROW(
+        client.run(streaming,
+                   [](size_t, const driver::BatchResult &) {
+                       throw std::runtime_error("caller bailed");
+                   }),
+        std::runtime_error);
+
+    // The aborted exchange left kCell/kDone frames unread; the client
+    // must not reuse that stream — the next request gets ITS OWN
+    // response, never the previous exchange's leftover kDone.
+    AnalysisRequest small = rig.req;
+    small.kernels = {small.kernels[0]};
+    small.specs = {small.specs[0]};
+    const AnalysisResponse want = rig.reference.run(small);
+    ASSERT_EQ(want.cells.size(), 1u);
+    expectEqual(client.run(small), want);
 }
 
 TEST(ServeTest, ClientDisconnectMidRequestLeavesServerServing)

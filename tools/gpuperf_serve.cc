@@ -10,11 +10,14 @@
  *   gpuperf-serve [--unix PATH] [--tcp PORT] [--host ADDR]
  *                 [--store DIR] [--max-clients N]
  *                 [--max-inflight-cells N] [--max-cells-per-request N]
+ *                 [--idle-timeout SECONDS]
  *
  * At least one of --unix/--tcp is required. --tcp 0 binds an
  * ephemeral port (printed on stdout — scripts parse the "listening"
  * lines). --store forces every request onto one shared store root so
  * all clients hit the same warm calibration/profile/timing caches.
+ * --idle-timeout closes connections idle between requests (cleanly;
+ * clients reconnect transparently); by default they are kept forever.
  *
  * SIGINT/SIGTERM trigger a graceful stop: in-flight requests finish
  * and deliver their kDone before the process exits.
@@ -53,6 +56,7 @@ usage()
            "                     [--store DIR] [--max-clients N]\n"
            "                     [--max-inflight-cells N] "
            "[--max-cells-per-request N]\n"
+           "                     [--idle-timeout SECONDS]\n"
            "at least one of --unix / --tcp is required; "
            "--tcp 0 binds an ephemeral port\n";
     return 1;
@@ -102,6 +106,10 @@ main(int argc, char **argv)
             if (!(v = value("--max-cells-per-request")))
                 return usage();
             opts.maxCellsPerRequest = static_cast<size_t>(std::atol(v));
+        } else if (arg == "--idle-timeout") {
+            if (!(v = value("--idle-timeout")))
+                return usage();
+            opts.idleTimeoutSeconds = std::atof(v);
         } else {
             std::cerr << "unknown argument '" << arg << "'\n";
             return usage();
