@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Functional-simulation throughput: the data-oriented vectorized
+ * interpreter vs the retained scalar-reference core, per-case. This is
+ * the one authoritative funcsim benchmark (it subsumes the old
+ * bench_sim_speed single-mode harness): the metric is warp-level
+ * instructions interpreted per second, with trace collection on — the
+ * exact configuration profileKernel() runs, since the profile pass is
+ * what the speedup buys down.
+ *
+ * Every case is first checked bit-identical between the two cores
+ * (per-stage stats, interned warp traces, final memory digest); a
+ * faster interpreter that drifts would be a bug, not a speedup, so
+ * divergence aborts the benchmark.
+ *
+ * Gate: >= 2x warp-instrs/sec on the large high-occupancy cases
+ * (full 256-thread blocks: stencil1d, ELL SpMV, reduction and
+ * histogram — the mix the paper's workloads are built from). The
+ * low-occupancy saxpy contrast case is reported but not gated.
+ * Set GPUPERF_FUNCSIM_GATE=report to log instead of fail on machines
+ * with unusable clocks; debug builds report only (the -O0 scalar and
+ * vector cores pay very different interpretation overheads, so the
+ * ratio is meaningless there).
+ *
+ * Writes bench_funcsim.json next to the binary so CI can archive the
+ * perf trajectory.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "driver/demo_cases.h"
+#include "funcsim/interpreter.h"
+
+using namespace gpuperf;
+
+namespace {
+
+struct FuncsimCase
+{
+    driver::KernelCase kc;
+    bool gated = false;  ///< part of the >= 2x high-occupancy gate
+};
+
+struct CaseResult
+{
+    std::string name;
+    uint64_t warpInstrs = 0;   ///< per launch
+    double scalarPerSec = 0.0; ///< warp-instrs/sec, scalar reference
+    double vecPerSec = 0.0;    ///< warp-instrs/sec, vectorized core
+    bool gated = false;
+
+    double speedup() const { return vecPerSec / scalarPerSec; }
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Abort unless the two cores produced byte-identical results. The
+ * launch-shape fields are covered by the stage-stats comparison; the
+ * trace pools and block indices pin the interning decisions too.
+ */
+void
+requireIdentical(const std::string &name, const funcsim::RunResult &a,
+                 const funcsim::RunResult &b, uint64_t mem_a,
+                 uint64_t mem_b)
+{
+    bool same = a.stats.stages.size() == b.stats.stages.size() &&
+                a.stats.barriersPerBlock == b.stats.barriersPerBlock &&
+                a.trace.pool.size() == b.trace.pool.size() &&
+                a.trace.blocks.size() == b.trace.blocks.size() &&
+                mem_a == mem_b;
+    for (size_t i = 0; same && i < a.stats.stages.size(); ++i)
+        same = a.stats.stages[i] == b.stats.stages[i];
+    for (size_t i = 0; same && i < a.trace.pool.size(); ++i)
+        same = a.trace.pool[i] == b.trace.pool[i];
+    for (size_t i = 0; same && i < a.trace.blocks.size(); ++i)
+        same = a.trace.blocks[i].warpTraceIdx ==
+               b.trace.blocks[i].warpTraceIdx;
+    if (!same) {
+        std::cerr << name
+                  << ": execution cores diverged — refusing to "
+                     "benchmark a wrong result\n";
+        std::exit(1);
+    }
+}
+
+/** Warp-instrs/sec over @p reps launches of the prepared case. */
+double
+rate(funcsim::FunctionalSimulator &sim, const driver::PreparedLaunch &l,
+     funcsim::GlobalMemory &gmem, const funcsim::RunOptions &opts,
+     uint64_t warp_instrs, int reps)
+{
+    const double start = now();
+    for (int i = 0; i < reps; ++i)
+        (void)sim.run(l.kernel, l.cfg, gmem, opts);
+    const double elapsed = now() - start;
+    return reps * static_cast<double>(warp_instrs) / elapsed;
+}
+
+CaseResult
+runCase(const FuncsimCase &fc, const arch::GpuSpec &spec)
+{
+    driver::PreparedLaunch launch = fc.kc.make();
+    funcsim::RunOptions opts = launch.options;
+    opts.collectTrace = true;  // what profileKernel() always runs
+
+    funcsim::FunctionalSimulator scalar(
+        spec, funcsim::ExecMode::kScalarReference);
+    funcsim::FunctionalSimulator vec(spec,
+                                     funcsim::ExecMode::kVectorized);
+
+    // Correctness first, on copies of the pristine image.
+    funcsim::GlobalMemory memScalar = *launch.gmem;
+    funcsim::GlobalMemory memVec = *launch.gmem;
+    auto rs = scalar.run(launch.kernel, launch.cfg, memScalar, opts);
+    auto rv = vec.run(launch.kernel, launch.cfg, memVec, opts);
+    requireIdentical(fc.kc.name, rs, rv, memScalar.contentHash(),
+                     memVec.contentHash());
+
+    // Size the repetition count off the slower (scalar) core so each
+    // measurement covers at least ~0.12 s. Timing reuses the mutated
+    // images: every case's address streams are input-driven, so the
+    // interpreted instruction mix is identical from rep to rep.
+    const double t0 = now();
+    (void)scalar.run(launch.kernel, launch.cfg, memScalar, opts);
+    const double once = std::max(now() - t0, 1e-6);
+    const int reps = static_cast<int>(
+        std::min(2000.0, std::max(3.0, 0.12 / once)));
+
+    CaseResult out;
+    out.name = fc.kc.name;
+    out.warpInstrs = rs.stats.totalWarpInstrs();
+    out.gated = fc.gated;
+    // Best of three interleaved trials per core: scheduler noise on a
+    // shared machine only ever slows a trial down, so the max is the
+    // fairest estimate for both cores alike.
+    for (int trial = 0; trial < 3; ++trial) {
+        out.scalarPerSec = std::max(
+            out.scalarPerSec, rate(scalar, launch, memScalar, opts,
+                                   out.warpInstrs, reps));
+        out.vecPerSec =
+            std::max(out.vecPerSec, rate(vec, launch, memVec, opts,
+                                         out.warpInstrs, reps));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const arch::GpuSpec spec = arch::GpuSpec::gtx285();
+    const int scale = opts.full ? 4 : 1;
+
+    printBanner(std::cout,
+                "funcsim throughput: vectorized vs scalar-reference "
+                "core");
+
+    // Large high-occupancy cases (gated): full 256-thread blocks and
+    // wide grids, the shape of the paper's workloads — dense warps
+    // where the whole-warp dispatch amortizes best. The low-occupancy
+    // saxpy contrast case (2 warps per block) is reported only.
+    std::vector<FuncsimCase> cases;
+    cases.push_back({driver::makeStencil1dCase(
+                         "stencil1d hi-occ", 64 * scale, 256),
+                     true});
+    cases.push_back({driver::makeSpmvEllCase(
+                         "spmv-ell hi-occ", 2560 * scale, 9),
+                     true});
+    cases.push_back({driver::makeReductionCase(
+                         "reduction hi-occ", 64 * scale, 256),
+                     true});
+    cases.push_back({driver::makeHistogramCase(
+                         "histogram hi-occ", 32 * scale, 256, 16, 8),
+                     true});
+    cases.push_back({driver::makeSaxpyCase(
+                         "saxpy lo-occ", 30, 64, 2.0f),
+                     false});
+
+    Table t({"case", "warp instrs", "scalar wi/s", "vec wi/s",
+             "speedup"});
+    std::vector<CaseResult> results;
+    bool gate_ok = true;
+    double worst_gated = 1e300;
+    for (const FuncsimCase &fc : cases) {
+        CaseResult r = runCase(fc, spec);
+        t.addRow({r.name, std::to_string(r.warpInstrs),
+                  Table::num(r.scalarPerSec, 0),
+                  Table::num(r.vecPerSec, 0),
+                  Table::num(r.speedup(), 2) + "x" +
+                      (r.gated ? "" : "  (not gated)")});
+        if (r.gated) {
+            worst_gated = std::min(worst_gated, r.speedup());
+            gate_ok = gate_ok && r.speedup() >= 2.0;
+        }
+        results.push_back(std::move(r));
+    }
+    bench::emit(t, opts);
+
+    std::cout << "\nworst gated speedup: " << Table::num(worst_gated, 2)
+              << "x (gate: >= 2x on the high-occupancy cases)\n";
+#ifndef NDEBUG
+    // Debug builds interpret both cores at -O0 (and run the
+    // homogeneous-sampling validation), so the ratio does not reflect
+    // the shipped performance. Report, don't gate.
+    if (!gate_ok) {
+        std::cout << "funcsim gate in report-only mode (debug build)\n";
+        gate_ok = true;
+    }
+#endif
+    if (const char *mode = std::getenv("GPUPERF_FUNCSIM_GATE");
+        !gate_ok && mode && std::string(mode) == "report") {
+        std::cout << "funcsim gate in report-only mode "
+                     "(GPUPERF_FUNCSIM_GATE=report)\n";
+        gate_ok = true;
+    }
+
+    // Machine-readable trajectory for CI artifacts.
+    std::ofstream json("bench_funcsim.json");
+    json << "{\n  \"bench\": \"funcsim\",\n  \"gate\": "
+         << (gate_ok ? "\"pass\"" : "\"fail\"") << ",\n  \"cases\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"warp_instrs\": %llu, "
+                      "\"scalar_per_sec\": %.0f, \"vec_per_sec\": %.0f, "
+                      "\"speedup\": %.3f, \"gated\": %s}%s\n",
+                      r.name.c_str(),
+                      static_cast<unsigned long long>(r.warpInstrs),
+                      r.scalarPerSec, r.vecPerSec, r.speedup(),
+                      r.gated ? "true" : "false",
+                      i + 1 < results.size() ? "," : "");
+        json << buf;
+    }
+    json << "  ]\n}\n";
+
+    if (!gate_ok) {
+        std::cerr << "funcsim gate FAILED\n";
+        return 1;
+    }
+    return 0;
+}

@@ -203,12 +203,17 @@ fi
 #    slowest calibration completes) — all through the public
 #    AnalysisService API;
 #  - the >=2x event-driven vs legacy-scan timing-replay speedup on
-#    the high-occupancy cases.
+#    the high-occupancy cases;
+#  - the >=2x vectorized vs scalar-reference funcsim speedup on the
+#    large high-occupancy cases (warp-instrs/sec, bit-identity
+#    checked first; report-only in Debug builds or with
+#    GPUPERF_FUNCSIM_GATE=report).
 # The main calibration is cached in the build dir, so reruns are
 # cheap; the streaming study calibrates two small specs cold on
 # purpose (that overlap is what it measures).
 (cd "$BUILD_DIR" && ./bench_batch_throughput)
 (cd "$BUILD_DIR" && ./bench_timing_replay)
+(cd "$BUILD_DIR" && ./bench_funcsim)
 
 # Socket-server soak gate: >= 8 concurrent clients over TCP and Unix
 # sockets, every response bit-identical to in-process execution;

@@ -1,0 +1,278 @@
+#include "funcsim/exec_warp.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gpuperf {
+namespace funcsim {
+namespace warpexec {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+float
+asFloat(uint32_t v)
+{
+    float f;
+    std::memcpy(&f, &v, 4);
+    return f;
+}
+
+uint32_t
+asBits(float f)
+{
+    uint32_t v;
+    std::memcpy(&v, &f, 4);
+    return v;
+}
+
+} // namespace
+
+void
+fill(uint32_t *out, uint32_t v, int n)
+{
+    for (int i = 0; i < n; ++i)
+        out[i] = v;
+}
+
+// One tight loop per opcode: the switch runs once per warp, not once
+// per lane, and each loop body is a straight-line expression the
+// autovectorizer can turn into SIMD. The expressions are copied
+// verbatim from the scalar-reference interpreter — bit-identity with
+// it is a pinned test invariant.
+#define GPUPERF_LANE_LOOP(expr)                                          \
+    do {                                                                 \
+        for (int i = 0; i < n; ++i)                                      \
+            out[i] = (expr);                                             \
+    } while (0)
+
+void
+runAlu(const Instruction &inst, const LaneCtx &ctx, const uint32_t *a,
+       const uint32_t *b, const uint32_t *c, const uint8_t *sel,
+       uint32_t *out, int n)
+{
+    switch (inst.op) {
+      case Opcode::kFadd:
+        GPUPERF_LANE_LOOP(asBits(asFloat(a[i]) + asFloat(b[i])));
+        break;
+      case Opcode::kFmul:
+      case Opcode::kFmul2:
+        GPUPERF_LANE_LOOP(asBits(asFloat(a[i]) * asFloat(b[i])));
+        break;
+      case Opcode::kFmad:
+        GPUPERF_LANE_LOOP(
+            asBits(asFloat(a[i]) * asFloat(b[i]) + asFloat(c[i])));
+        break;
+      case Opcode::kIadd:
+        GPUPERF_LANE_LOOP(a[i] + b[i]);
+        break;
+      case Opcode::kIsub:
+        GPUPERF_LANE_LOOP(a[i] - b[i]);
+        break;
+      case Opcode::kImul:
+        GPUPERF_LANE_LOOP(a[i] * b[i]);
+        break;
+      case Opcode::kImad:
+        GPUPERF_LANE_LOOP(a[i] * b[i] + c[i]);
+        break;
+      case Opcode::kShl:
+        GPUPERF_LANE_LOOP(a[i] << (b[i] & 31));
+        break;
+      case Opcode::kShr:
+        GPUPERF_LANE_LOOP(a[i] >> (b[i] & 31));
+        break;
+      case Opcode::kAnd:
+        GPUPERF_LANE_LOOP(a[i] & b[i]);
+        break;
+      case Opcode::kOr:
+        GPUPERF_LANE_LOOP(a[i] | b[i]);
+        break;
+      case Opcode::kXor:
+        GPUPERF_LANE_LOOP(a[i] ^ b[i]);
+        break;
+      case Opcode::kImin:
+        GPUPERF_LANE_LOOP(static_cast<uint32_t>(
+            std::min(static_cast<int32_t>(a[i]),
+                     static_cast<int32_t>(b[i]))));
+        break;
+      case Opcode::kImax:
+        GPUPERF_LANE_LOOP(static_cast<uint32_t>(
+            std::max(static_cast<int32_t>(a[i]),
+                     static_cast<int32_t>(b[i]))));
+        break;
+      case Opcode::kMov:
+        GPUPERF_LANE_LOOP(a[i]);
+        break;
+      case Opcode::kMovImm:
+        GPUPERF_LANE_LOOP(static_cast<uint32_t>(inst.imm));
+        break;
+      case Opcode::kS2r:
+        switch (inst.sreg) {
+          case isa::SpecialReg::kTid:
+            GPUPERF_LANE_LOOP(static_cast<uint32_t>(ctx.tidBase + i));
+            break;
+          case isa::SpecialReg::kNtid:
+            GPUPERF_LANE_LOOP(static_cast<uint32_t>(ctx.blockDim));
+            break;
+          case isa::SpecialReg::kCtaid:
+            GPUPERF_LANE_LOOP(static_cast<uint32_t>(ctx.blockId));
+            break;
+          case isa::SpecialReg::kNctaid:
+            GPUPERF_LANE_LOOP(static_cast<uint32_t>(ctx.gridDim));
+            break;
+          case isa::SpecialReg::kLaneId:
+            GPUPERF_LANE_LOOP(static_cast<uint32_t>(i));
+            break;
+          case isa::SpecialReg::kWarpId:
+            GPUPERF_LANE_LOOP(static_cast<uint32_t>(ctx.warpId));
+            break;
+        }
+        break;
+      case Opcode::kSel:
+        GPUPERF_LANE_LOOP(sel[i] ? a[i] : b[i]);
+        break;
+      case Opcode::kF2i:
+        GPUPERF_LANE_LOOP(static_cast<uint32_t>(
+            static_cast<int32_t>(asFloat(a[i]))));
+        break;
+      case Opcode::kI2f:
+        GPUPERF_LANE_LOOP(
+            asBits(static_cast<float>(static_cast<int32_t>(a[i]))));
+        break;
+      case Opcode::kRcp:
+        GPUPERF_LANE_LOOP(asBits(1.0f / asFloat(a[i])));
+        break;
+      case Opcode::kSin:
+        GPUPERF_LANE_LOOP(asBits(std::sin(asFloat(a[i]))));
+        break;
+      case Opcode::kCos:
+        GPUPERF_LANE_LOOP(asBits(std::cos(asFloat(a[i]))));
+        break;
+      case Opcode::kLg2:
+        GPUPERF_LANE_LOOP(asBits(std::log2(asFloat(a[i]))));
+        break;
+      case Opcode::kEx2:
+        GPUPERF_LANE_LOOP(asBits(std::exp2(asFloat(a[i]))));
+        break;
+      case Opcode::kRsqrt:
+        GPUPERF_LANE_LOOP(asBits(1.0f / std::sqrt(asFloat(a[i]))));
+        break;
+      // Double precision operates on float values held in 32-bit
+      // registers, exactly as in the scalar reference.
+      case Opcode::kDadd:
+        GPUPERF_LANE_LOOP(asBits(asFloat(a[i]) + asFloat(b[i])));
+        break;
+      case Opcode::kDmul:
+        GPUPERF_LANE_LOOP(asBits(asFloat(a[i]) * asFloat(b[i])));
+        break;
+      case Opcode::kDfma:
+        GPUPERF_LANE_LOOP(
+            asBits(asFloat(a[i]) * asFloat(b[i]) + asFloat(c[i])));
+        break;
+      default:
+        panic("runAlu: unexpected opcode %s", isa::opcodeName(inst.op));
+    }
+}
+
+#undef GPUPERF_LANE_LOOP
+
+void
+runSetp(const Instruction &inst, const uint32_t *a, const uint32_t *b,
+        uint8_t *out, int n)
+{
+#define GPUPERF_CMP_LOOP(lhs, op, rhs)                                   \
+    do {                                                                 \
+        for (int i = 0; i < n; ++i)                                      \
+            out[i] = ((lhs)op(rhs)) ? 1 : 0;                             \
+    } while (0)
+
+    if (inst.op == Opcode::kSetpI) {
+        switch (inst.cmp) {
+          case isa::CmpOp::kLt:
+            GPUPERF_CMP_LOOP(static_cast<int32_t>(a[i]), <,
+                             static_cast<int32_t>(b[i]));
+            break;
+          case isa::CmpOp::kLe:
+            GPUPERF_CMP_LOOP(static_cast<int32_t>(a[i]), <=,
+                             static_cast<int32_t>(b[i]));
+            break;
+          case isa::CmpOp::kGt:
+            GPUPERF_CMP_LOOP(static_cast<int32_t>(a[i]), >,
+                             static_cast<int32_t>(b[i]));
+            break;
+          case isa::CmpOp::kGe:
+            GPUPERF_CMP_LOOP(static_cast<int32_t>(a[i]), >=,
+                             static_cast<int32_t>(b[i]));
+            break;
+          case isa::CmpOp::kEq:
+            GPUPERF_CMP_LOOP(static_cast<int32_t>(a[i]), ==,
+                             static_cast<int32_t>(b[i]));
+            break;
+          case isa::CmpOp::kNe:
+            GPUPERF_CMP_LOOP(static_cast<int32_t>(a[i]), !=,
+                             static_cast<int32_t>(b[i]));
+            break;
+        }
+    } else {
+        switch (inst.cmp) {
+          case isa::CmpOp::kLt:
+            GPUPERF_CMP_LOOP(asFloat(a[i]), <, asFloat(b[i]));
+            break;
+          case isa::CmpOp::kLe:
+            GPUPERF_CMP_LOOP(asFloat(a[i]), <=, asFloat(b[i]));
+            break;
+          case isa::CmpOp::kGt:
+            GPUPERF_CMP_LOOP(asFloat(a[i]), >, asFloat(b[i]));
+            break;
+          case isa::CmpOp::kGe:
+            GPUPERF_CMP_LOOP(asFloat(a[i]), >=, asFloat(b[i]));
+            break;
+          case isa::CmpOp::kEq:
+            GPUPERF_CMP_LOOP(asFloat(a[i]), ==, asFloat(b[i]));
+            break;
+          case isa::CmpOp::kNe:
+            GPUPERF_CMP_LOOP(asFloat(a[i]), !=, asFloat(b[i]));
+            break;
+        }
+    }
+#undef GPUPERF_CMP_LOOP
+}
+
+void
+runAddress(const uint32_t *base, int32_t imm, uint64_t *addr, int n)
+{
+    for (int i = 0; i < n; ++i)
+        addr[i] = static_cast<uint64_t>(base[i]) + imm;
+}
+
+void
+scatterMasked(uint32_t *dst, const uint32_t *src, uint32_t mask, int n)
+{
+    for (int i = 0; i < n; ++i)
+        dst[i] = ((mask >> i) & 1u) ? src[i] : dst[i];
+}
+
+void
+scatterMaskedU8(uint8_t *dst, const uint8_t *src, uint32_t mask, int n)
+{
+    for (int i = 0; i < n; ++i)
+        dst[i] = ((mask >> i) & 1u) ? src[i] : dst[i];
+}
+
+uint32_t
+guardMask(const uint8_t *preds, bool negate, uint32_t active, int n)
+{
+    const uint8_t neg = negate ? 1 : 0;
+    uint32_t m = 0;
+    for (int i = 0; i < n; ++i)
+        m |= static_cast<uint32_t>((preds[i] != 0) ^ neg) << i;
+    return m & active;
+}
+
+} // namespace warpexec
+} // namespace funcsim
+} // namespace gpuperf

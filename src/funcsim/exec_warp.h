@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Warp-wide opcode kernels for the data-oriented interpreter.
+ *
+ * One call executes one opcode for ALL lanes of a warp over contiguous
+ * SoA operand rows (`&regs[reg * warpSize]`). The loops are written
+ * branch-free so the autovectorizer can SIMD-ize them; divergence is
+ * handled by the caller, which computes every lane unconditionally and
+ * then commits results with a masked scatter (inactive lanes keep
+ * their previous register values bit-for-bit).
+ *
+ * These kernels live in their own translation unit so
+ * `src/funcsim/exec_warp.cc` can carry its own optimization flags
+ * (-O3, vectorization reports) without touching the rest of the
+ * library. Bit-identity contract: every kernel evaluates exactly the
+ * same scalar C++ expression per lane as the retained scalar-reference
+ * interpreter — same IEEE operation order, no FMA contraction, no
+ * fast-math — so vectorized and scalar profiles compare byte-equal.
+ */
+
+#ifndef GPUPERF_FUNCSIM_EXEC_WARP_H
+#define GPUPERF_FUNCSIM_EXEC_WARP_H
+
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace gpuperf {
+namespace funcsim {
+namespace warpexec {
+
+/** Per-warp launch context for S2R and friends. */
+struct LaneCtx
+{
+    int tidBase = 0;    ///< thread id of lane 0
+    int blockDim = 0;
+    int blockId = 0;
+    int gridDim = 0;
+    int warpId = 0;
+};
+
+/** out[i] = v for i in [0, n). */
+void fill(uint32_t *out, uint32_t v, int n);
+
+/**
+ * Execute an ALU opcode for all @p n lanes: out[i] = op(a[i], b[i],
+ * c[i]). @p sel is the predicate row for kSel (may be null otherwise).
+ * Operand rows must not alias @p out (the interpreter always computes
+ * into a scratch buffer and scatters afterwards, so dst-aliases-src
+ * instructions stay well-defined).
+ */
+void runAlu(const isa::Instruction &inst, const LaneCtx &ctx,
+            const uint32_t *a, const uint32_t *b, const uint32_t *c,
+            const uint8_t *sel, uint32_t *out, int n);
+
+/** Execute SETP for all lanes: out[i] = cmp(a[i], b[i]) ? 1 : 0. */
+void runSetp(const isa::Instruction &inst, const uint32_t *a,
+             const uint32_t *b, uint8_t *out, int n);
+
+/** Per-lane byte addresses: addr[i] = (uint64)base[i] + imm. */
+void runAddress(const uint32_t *base, int32_t imm, uint64_t *addr, int n);
+
+/** dst[i] = src[i] where mask bit i is set; other lanes unchanged. */
+void scatterMasked(uint32_t *dst, const uint32_t *src, uint32_t mask,
+                   int n);
+
+/** Predicate-row variant of scatterMasked. */
+void scatterMaskedU8(uint8_t *dst, const uint8_t *src, uint32_t mask,
+                     int n);
+
+/**
+ * Branchless guard-mask evaluation: bit i set iff lane i is in
+ * @p active and its predicate (xor @p negate) holds.
+ */
+uint32_t guardMask(const uint8_t *preds, bool negate, uint32_t active,
+                   int n);
+
+} // namespace warpexec
+} // namespace funcsim
+} // namespace gpuperf
+
+#endif // GPUPERF_FUNCSIM_EXEC_WARP_H

@@ -1,10 +1,12 @@
 #include "funcsim/interpreter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
 
 #include "common/logging.h"
+#include "funcsim/exec_warp.h"
 
 namespace gpuperf {
 namespace funcsim {
@@ -60,6 +62,42 @@ compareF(isa::CmpOp cmp, float a, float b)
     panic("bad cmp op");
 }
 
+/**
+ * The mask-independent TraceOp of an arithmetic/control instruction.
+ * Shared by the scalar-reference per-op path and the vectorized core's
+ * static-template table, so the two can never diverge.
+ */
+TraceOp
+makeArithTraceOp(const Instruction &inst)
+{
+    TraceOp op;
+    switch (isa::instrTypeOf(inst.op)) {
+      case arch::InstrType::TypeI:
+        op.unit = UnitKind::kArithI;
+        break;
+      case arch::InstrType::TypeII:
+        op.unit = UnitKind::kArithII;
+        break;
+      case arch::InstrType::TypeIII:
+        op.unit = UnitKind::kArithIII;
+        break;
+      case arch::InstrType::TypeIV:
+        op.unit = UnitKind::kArithIV;
+        break;
+    }
+    if (inst.op == Opcode::kBar)
+        op.unit = UnitKind::kBarrier;
+    if (isa::writesRegister(inst.op))
+        op.dst = inst.dst + 1;
+    for (int i = 0; i < 3; ++i) {
+        if (inst.src[i] != isa::kNoReg &&
+            !(i == 1 && inst.useImm)) {
+            op.src[i] = inst.src[i] + 1;
+        }
+    }
+    return op;
+}
+
 /** Divergence stack frame. */
 struct Frame
 {
@@ -90,6 +128,24 @@ struct WarpState
     WarpTrace trace;
 };
 
+/**
+ * Per-static-instruction facts, precomputed once per kernel: the
+ * dispatch cost/classification countArith re-derives per dynamic op in
+ * the scalar path, and the mask-independent fields of the TraceOp the
+ * instruction emits (only conflict/sharedPasses/numXacts/xactBytes/
+ * texIdx depend on the dynamic mask and addresses). The vectorized
+ * core appends traces by copying the template and patching those
+ * dynamic fields.
+ */
+struct StaticOp
+{
+    uint8_t cost = 0;      ///< isa::dynamicCost(op)
+    uint8_t typeIdx = 0;   ///< isa::instrTypeOf(op) when cost > 0
+    bool isMad = false;    ///< op == kFmad
+    bool traced = false;   ///< on the countArith/recordArithTrace path
+    TraceOp tmpl;          ///< template TraceOp (memory/arith/control)
+};
+
 /** Executes one block. */
 class BlockExecutor
 {
@@ -98,13 +154,30 @@ class BlockExecutor
                   const LaunchConfig &cfg, GlobalMemory &gmem,
                   const memxact::CoalescingSimulator &coalescer,
                   const memxact::BankConflictAnalyzer &banks,
-                  const RunOptions &options)
+                  const RunOptions &options, ExecMode mode)
         : spec_(spec), kernel_(kernel), cfg_(cfg), gmem_(gmem),
           coalescer_(coalescer), banks_(banks), options_(options),
-          shared_(kernel.sharedBytes())
+          shared_(kernel.sharedBytes()),
+          vec_(mode == ExecMode::kVectorized)
     {
-        GPUPERF_ASSERT(spec_.warpSize <= 32,
-                       "mask representation limits warps to 32 lanes");
+        GPUPERF_ASSERT(spec_.warpSize <= kMaxWarpLanes,
+                       "mask representation limits warps to "
+                       "kMaxWarpLanes lanes");
+        lanesMask_ = spec_.warpSize == 32
+                         ? 0xffffffffu
+                         : (1u << spec_.warpSize) - 1u;
+        for (int start = 0; start < spec_.warpSize;
+             start += spec_.sharedIssueGroup) {
+            uint32_t gm = 0;
+            for (int lane = start;
+                 lane < std::min(start + spec_.sharedIssueGroup,
+                                 spec_.warpSize);
+                 ++lane) {
+                gm |= 1u << lane;
+            }
+            sharedGroupMasks_.push_back(gm);
+        }
+        buildStaticOps();
     }
 
     /**
@@ -118,16 +191,35 @@ class BlockExecutor
              std::vector<WarpTrace> *warp_traces);
 
   private:
+    void buildStaticOps();
+
     void runWarpToBarrier(WarpState &w);
     void execute(WarpState &w, const Instruction &inst);
 
+    // --- Scalar-reference core (the original per-lane interpreter,
+    // --- retained as the bit-identity oracle; see ExecMode).
     void countArith(WarpState &w, Opcode op);
     void recordArithTrace(WarpState &w, const Instruction &inst);
-
     void executeAlu(WarpState &w, const Instruction &inst);
     void executeSharedAccess(WarpState &w, const Instruction &inst);
     void executeGlobalAccess(WarpState &w, const Instruction &inst);
     void executeFmadShared(WarpState &w, const Instruction &inst);
+    void executeSetp(WarpState &w, const Instruction &inst);
+    uint32_t guardMask(WarpState &w, const Instruction &inst);
+    uint32_t srcValue(WarpState &w, const Instruction &inst, int lane);
+
+    // --- Vectorized core: whole-warp SoA kernels (exec_warp.cc) plus
+    // --- popcount/template stats and trace accounting.
+    void executeAluVec(WarpState &w, const Instruction &inst);
+    void executeSharedAccessVec(WarpState &w, const Instruction &inst);
+    void executeGlobalAccessVec(WarpState &w, const Instruction &inst);
+    void executeFmadSharedVec(WarpState &w, const Instruction &inst);
+    void executeSetpVec(WarpState &w, const Instruction &inst);
+
+    /** countArith + recordArithTrace, by mode. */
+    void noteArith(WarpState &w, const Instruction &inst);
+    /** IF/BRK guard mask, by mode. */
+    uint32_t evalGuard(WarpState &w, const Instruction &inst);
 
     uint32_t &regAt(WarpState &w, isa::Reg r, int lane)
     {
@@ -139,10 +231,49 @@ class BlockExecutor
         return w.preds[static_cast<size_t>(p) * spec_.warpSize + lane];
     }
 
-    /** Guard mask for IF/BRK: lanes in w.mask where pred holds. */
-    uint32_t guardMask(WarpState &w, const Instruction &inst);
+    /** SoA row of register @p r: lanes are contiguous. */
+    uint32_t *regRow(WarpState &w, isa::Reg r)
+    {
+        return w.regs.data() + static_cast<size_t>(r) * spec_.warpSize;
+    }
 
-    uint32_t srcValue(WarpState &w, const Instruction &inst, int lane);
+    uint8_t *predRow(WarpState &w, isa::Pred p)
+    {
+        return w.preds.data() + static_cast<size_t>(p) * spec_.warpSize;
+    }
+
+    /** Operand-b row: immediate broadcast, register row, or zeros. */
+    const uint32_t *srcBRow(WarpState &w, const Instruction &inst)
+    {
+        if (inst.useImm) {
+            warpexec::fill(immBuf_, static_cast<uint32_t>(inst.imm),
+                           spec_.warpSize);
+            return immBuf_;
+        }
+        if (inst.src[1] != isa::kNoReg)
+            return regRow(w, inst.src[1]);
+        return zeroBuf_;
+    }
+
+    /** Commit outBuf_ to a register row under the active mask. */
+    void commitRegs(uint32_t *dst, uint32_t mask)
+    {
+        if (mask == lanesMask_) {
+            std::memcpy(dst, outBuf_,
+                        static_cast<size_t>(spec_.warpSize) * 4);
+        } else {
+            warpexec::scatterMasked(dst, outBuf_, mask, spec_.warpSize);
+        }
+    }
+
+    /** Shared-memory ideal transaction count: groups with any lane. */
+    int idealGroups(uint32_t mask) const
+    {
+        int n = 0;
+        for (uint32_t gm : sharedGroupMasks_)
+            n += (mask & gm) != 0;
+        return n;
+    }
 
     StageStats &stage() { return (*stages_)[stageIdx_]; }
 
@@ -155,11 +286,97 @@ class BlockExecutor
     const RunOptions &options_;
 
     SharedMemory shared_;
+    const bool vec_;
     int blockId_ = 0;
     int stageIdx_ = 0;
     std::vector<StageStats> *stages_ = nullptr;
-    uint64_t addrBuf_[32] = {};
+
+    uint32_t lanesMask_ = 0;
+    std::vector<StaticOp> sops_;
+    std::vector<uint32_t> sharedGroupMasks_;
+
+    // Static trace-emission counts (for first-block reservation) and
+    // the observed per-warp trace sizes of earlier blocks (for the
+    // rest). Content-independent bookkeeping: both modes reserve the
+    // same way, the stored sizes are equal by the bit-identity gate.
+    size_t staticTraceOps_ = 0;
+    size_t staticTexOps_ = 0;
+    size_t lastTraceOps_ = 0;
+    size_t lastTexLines_ = 0;
+
+    // Whole-warp scratch rows for the vectorized core. Zero-initialized
+    // so lanes masked off since block start still hold defined values.
+    alignas(64) uint32_t immBuf_[kMaxWarpLanes] = {};
+    alignas(64) uint32_t zeroBuf_[kMaxWarpLanes] = {};
+    alignas(64) uint32_t outBuf_[kMaxWarpLanes] = {};
+    alignas(64) uint32_t gatherBuf_[kMaxWarpLanes] = {};
+    alignas(64) uint8_t predBuf_[kMaxWarpLanes] = {};
+    uint64_t addrBuf_[kMaxWarpLanes] = {};
+    std::vector<memxact::Transaction> xactBuf_;
 };
+
+void
+BlockExecutor::buildStaticOps()
+{
+    const auto &insts = kernel_.instructions();
+    sops_.resize(insts.size());
+    for (size_t pc = 0; pc < insts.size(); ++pc) {
+        const Instruction &inst = insts[pc];
+        StaticOp &s = sops_[pc];
+        switch (inst.op) {
+          case Opcode::kLds:
+            s.tmpl.unit = UnitKind::kSharedMem;
+            s.tmpl.dst = inst.dst + 1;
+            s.tmpl.src[0] = inst.src[0] + 1;
+            ++staticTraceOps_;
+            break;
+          case Opcode::kSts:
+            s.tmpl.unit = UnitKind::kSharedMem;
+            s.tmpl.src[0] = inst.src[0] + 1;
+            s.tmpl.src[1] = inst.src[1] + 1;
+            ++staticTraceOps_;
+            break;
+          case Opcode::kLdg:
+          case Opcode::kStg:
+          case Opcode::kLdt:
+            if (inst.op == Opcode::kLdg) {
+                s.tmpl.unit = UnitKind::kGlobalLoad;
+                s.tmpl.dst = inst.dst + 1;
+            } else if (inst.op == Opcode::kStg) {
+                s.tmpl.unit = UnitKind::kGlobalStore;
+                s.tmpl.src[1] = inst.src[1] + 1;
+            } else {
+                s.tmpl.unit = UnitKind::kTexLoad;
+                s.tmpl.dst = inst.dst + 1;
+                ++staticTexOps_;
+            }
+            s.tmpl.src[0] = inst.src[0] + 1;
+            ++staticTraceOps_;
+            break;
+          case Opcode::kFmadS:
+            s.tmpl.unit = UnitKind::kArithII;
+            s.tmpl.dst = inst.dst + 1;
+            s.tmpl.src[0] = inst.src[0] + 1;
+            s.tmpl.src[1] = inst.src[1] + 1;
+            s.tmpl.src[2] = inst.src[2] + 1;
+            ++staticTraceOps_;
+            break;
+          default: {
+            const int cost = isa::dynamicCost(inst.op);
+            if (cost == 0)
+                break;
+            s.cost = static_cast<uint8_t>(cost);
+            s.typeIdx =
+                static_cast<uint8_t>(isa::instrTypeOf(inst.op));
+            s.isMad = inst.op == Opcode::kFmad;
+            s.traced = true;
+            s.tmpl = makeArithTraceOp(inst);
+            ++staticTraceOps_;
+            break;
+          }
+        }
+    }
+}
 
 uint32_t
 BlockExecutor::guardMask(WarpState &w, const Instruction &inst)
@@ -205,32 +422,39 @@ BlockExecutor::recordArithTrace(WarpState &w, const Instruction &inst)
 {
     if (isa::dynamicCost(inst.op) == 0)
         return;
-    TraceOp op;
-    switch (isa::instrTypeOf(inst.op)) {
-      case arch::InstrType::TypeI:
-        op.unit = UnitKind::kArithI;
-        break;
-      case arch::InstrType::TypeII:
-        op.unit = UnitKind::kArithII;
-        break;
-      case arch::InstrType::TypeIII:
-        op.unit = UnitKind::kArithIII;
-        break;
-      case arch::InstrType::TypeIV:
-        op.unit = UnitKind::kArithIV;
-        break;
+    w.trace.ops.push_back(makeArithTraceOp(inst));
+}
+
+void
+BlockExecutor::noteArith(WarpState &w, const Instruction &inst)
+{
+    if (!vec_) {
+        countArith(w, inst.op);
+        recordArithTrace(w, inst);
+        return;
     }
-    if (inst.op == Opcode::kBar)
-        op.unit = UnitKind::kBarrier;
-    if (isa::writesRegister(inst.op))
-        op.dst = inst.dst + 1;
-    for (int i = 0; i < 3; ++i) {
-        if (inst.src[i] != isa::kNoReg &&
-            !(i == 1 && inst.useImm)) {
-            op.src[i] = inst.src[i] + 1;
-        }
+    const StaticOp &sop = sops_[w.pc];
+    if (sop.cost == 0)
+        return;
+    StageStats &s = stage();
+    s.typeCounts[sop.typeIdx] += sop.cost;
+    s.totalWarpInstrs += sop.cost;
+    if (sop.isMad)
+        s.madCount += sop.cost;
+    w.stageBodyOps += sop.cost;
+    if (sop.traced)
+        w.trace.ops.push_back(sop.tmpl);
+}
+
+uint32_t
+BlockExecutor::evalGuard(WarpState &w, const Instruction &inst)
+{
+    if (vec_) {
+        return warpexec::guardMask(predRow(w, inst.pred),
+                                   inst.predNegate, w.mask,
+                                   spec_.warpSize);
     }
-    w.trace.ops.push_back(op);
+    return guardMask(w, inst);
 }
 
 void
@@ -372,6 +596,68 @@ BlockExecutor::executeAlu(WarpState &w, const Instruction &inst)
 }
 
 void
+BlockExecutor::executeAluVec(WarpState &w, const Instruction &inst)
+{
+    // Every lane computes (a trap-free operation on whatever bits the
+    // inactive lanes hold); only lanes in w.mask commit. Computing
+    // into outBuf_ and scattering afterwards also keeps dst-aliases-
+    // src instructions exact, since each lane only ever reads and
+    // writes its own row index.
+    const uint32_t *a = inst.src[0] != isa::kNoReg
+                            ? regRow(w, inst.src[0])
+                            : zeroBuf_;
+    const uint32_t *b = srcBRow(w, inst);
+    const uint32_t *c = inst.src[2] != isa::kNoReg
+                            ? regRow(w, inst.src[2])
+                            : zeroBuf_;
+    const uint8_t *sel =
+        inst.op == Opcode::kSel ? predRow(w, inst.pred) : nullptr;
+    warpexec::LaneCtx ctx;
+    ctx.tidBase = w.warpId * spec_.warpSize;
+    ctx.blockDim = cfg_.blockDim;
+    ctx.blockId = blockId_;
+    ctx.gridDim = cfg_.gridDim;
+    ctx.warpId = w.warpId;
+    warpexec::runAlu(inst, ctx, a, b, c, sel, outBuf_, spec_.warpSize);
+    commitRegs(regRow(w, inst.dst), w.mask);
+}
+
+void
+BlockExecutor::executeSetp(WarpState &w, const Instruction &inst)
+{
+    for (int lane = 0; lane < spec_.warpSize; ++lane) {
+        if (!((w.mask >> lane) & 1u))
+            continue;
+        const uint32_t a = regAt(w, inst.src[0], lane);
+        const uint32_t b = srcValue(w, inst, lane);
+        bool r;
+        if (inst.op == Opcode::kSetpI) {
+            r = compareI(inst.cmp, static_cast<int32_t>(a),
+                         static_cast<int32_t>(b));
+        } else {
+            r = compareF(inst.cmp, asFloat(a), asFloat(b));
+        }
+        predAt(w, inst.pred, lane) = r ? 1 : 0;
+    }
+}
+
+void
+BlockExecutor::executeSetpVec(WarpState &w, const Instruction &inst)
+{
+    const uint32_t *a = regRow(w, inst.src[0]);
+    const uint32_t *b = srcBRow(w, inst);
+    warpexec::runSetp(inst, a, b, predBuf_, spec_.warpSize);
+    uint8_t *dst = predRow(w, inst.pred);
+    if (w.mask == lanesMask_) {
+        std::memcpy(dst, predBuf_,
+                    static_cast<size_t>(spec_.warpSize));
+    } else {
+        warpexec::scatterMaskedU8(dst, predBuf_, w.mask,
+                                  spec_.warpSize);
+    }
+}
+
+void
 BlockExecutor::executeSharedAccess(WarpState &w, const Instruction &inst)
 {
     // Compute per-lane byte addresses.
@@ -430,6 +716,50 @@ BlockExecutor::executeSharedAccess(WarpState &w, const Instruction &inst)
         op.src[0] = inst.src[0] + 1;
         op.src[1] = inst.src[1] + 1;
     }
+    w.trace.ops.push_back(op);
+}
+
+void
+BlockExecutor::executeSharedAccessVec(WarpState &w,
+                                      const Instruction &inst)
+{
+    const int n = spec_.warpSize;
+    // Addresses for all lanes (pure arithmetic; inactive lanes' values
+    // are computed but never dereferenced — the analyzers read only
+    // masked lanes).
+    warpexec::runAddress(regRow(w, inst.src[0]), inst.imm, addrBuf_, n);
+
+    // Data movement stays mask-serial: SharedMemory accessors are
+    // bounds-checked out-of-line calls, so only active lanes may touch
+    // them. Iterating set bits keeps divergent warps cheap.
+    if (inst.op == Opcode::kLds) {
+        uint32_t *dst = regRow(w, inst.dst);
+        for (uint32_t m = w.mask; m; m &= m - 1) {
+            const int lane = __builtin_ctz(m);
+            dst[lane] = shared_.load32(addrBuf_[lane]);
+        }
+    } else {
+        const uint32_t *val = regRow(w, inst.src[1]);
+        for (uint32_t m = w.mask; m; m &= m - 1) {
+            const int lane = __builtin_ctz(m);
+            shared_.store32(addrBuf_[lane], val[lane]);
+        }
+    }
+
+    const int active = __builtin_popcount(w.mask);
+    const int passes =
+        banks_.warpTransactionsFast(addrBuf_, w.mask, n);
+
+    StageStats &s = stage();
+    s.totalWarpInstrs += 1;
+    s.sharedInstrs += 1;
+    s.sharedTransactions += passes;
+    s.sharedTransactionsIdeal += idealGroups(w.mask);
+    s.sharedBytes += static_cast<uint64_t>(active) * 4;
+    w.stageBodyOps += 1;
+
+    TraceOp op = sops_[w.pc].tmpl;
+    op.conflict = static_cast<uint8_t>(std::min(passes, 255));
     w.trace.ops.push_back(op);
 }
 
@@ -530,6 +860,83 @@ BlockExecutor::executeGlobalAccess(WarpState &w, const Instruction &inst)
 }
 
 void
+BlockExecutor::executeGlobalAccessVec(WarpState &w,
+                                      const Instruction &inst)
+{
+    const int n = spec_.warpSize;
+    warpexec::runAddress(regRow(w, inst.src[0]), inst.imm, addrBuf_, n);
+
+    if (inst.op == Opcode::kStg) {
+        const uint32_t *val = regRow(w, inst.src[1]);
+        for (uint32_t m = w.mask; m; m &= m - 1) {
+            const int lane = __builtin_ctz(m);
+            gmem_.store32(addrBuf_[lane], val[lane]);
+        }
+    } else {
+        uint32_t *dst = regRow(w, inst.dst);
+        for (uint32_t m = w.mask; m; m &= m - 1) {
+            const int lane = __builtin_ctz(m);
+            dst[lane] = gmem_.load32(addrBuf_[lane]);
+        }
+    }
+
+    const int active = __builtin_popcount(w.mask);
+    coalescer_.coalesceWarpInto(addrBuf_, w.mask, n, 4, xactBuf_);
+
+    StageStats &s = stage();
+    s.totalWarpInstrs += 1;
+    s.globalInstrs += 1;
+    s.globalTransactions += xactBuf_.size();
+    uint64_t xact_bytes = 0;
+    for (const auto &x : xactBuf_) {
+        s.globalBytes += x.bytes;
+        s.globalXactBySize[x.bytes] += 1;
+        xact_bytes += x.bytes;
+    }
+    s.globalRequestBytes += static_cast<uint64_t>(active) * 4;
+    w.stageBodyOps += 1;
+
+    TraceOp op = sops_[w.pc].tmpl;
+    op.numXacts = static_cast<uint16_t>(xactBuf_.size());
+    op.xactBytes = static_cast<uint32_t>(xact_bytes);
+
+    if (inst.op == Opcode::kLdt) {
+        // Distinct cache lines per issue group, exactly as the scalar
+        // reference records them (order-preserving dedup).
+        op.texIdx = static_cast<uint32_t>(w.trace.texLines.size());
+        const int line = spec_.textureCacheLineBytes;
+        int lines = 0;
+        for (int start = 0; start < spec_.warpSize;
+             start += spec_.coalesceGroup) {
+            for (int lane = start;
+                 lane < std::min(start + spec_.coalesceGroup,
+                                 spec_.warpSize);
+                 ++lane) {
+                if (!((w.mask >> lane) & 1u))
+                    continue;
+                const uint32_t line_id =
+                    static_cast<uint32_t>(addrBuf_[lane] / line);
+                bool seen = false;
+                for (size_t k = op.texIdx; k < w.trace.texLines.size();
+                     ++k) {
+                    if (w.trace.texLines[k] == line_id) {
+                        seen = true;
+                        break;
+                    }
+                }
+                if (!seen) {
+                    w.trace.texLines.push_back(line_id);
+                    ++lines;
+                }
+            }
+        }
+        op.numXacts = static_cast<uint16_t>(lines);
+        op.xactBytes = static_cast<uint32_t>(lines) * line;
+    }
+    w.trace.ops.push_back(op);
+}
+
+void
 BlockExecutor::executeFmadShared(WarpState &w, const Instruction &inst)
 {
     int active = 0;
@@ -585,17 +992,61 @@ BlockExecutor::executeFmadShared(WarpState &w, const Instruction &inst)
 }
 
 void
+BlockExecutor::executeFmadSharedVec(WarpState &w, const Instruction &inst)
+{
+    const int n = spec_.warpSize;
+    warpexec::runAddress(regRow(w, inst.src[1]), inst.imm, addrBuf_, n);
+
+    // Gather the shared operand for active lanes; inactive lanes keep
+    // whatever gatherBuf_ holds (defined bits — the compute loop runs
+    // every lane, the commit is masked).
+    for (uint32_t m = w.mask; m; m &= m - 1) {
+        const int lane = __builtin_ctz(m);
+        gatherBuf_[lane] = shared_.load32(addrBuf_[lane]);
+    }
+
+    // a * b + c with the shared operand as b: run the kFmad kernel so
+    // the expression (and its IEEE bit pattern) is the same one the
+    // ALU path uses.
+    Instruction fmad = inst;
+    fmad.op = Opcode::kFmad;
+    warpexec::runAlu(fmad, warpexec::LaneCtx{},
+                     regRow(w, inst.src[0]), gatherBuf_,
+                     regRow(w, inst.src[2]), nullptr, outBuf_, n);
+    commitRegs(regRow(w, inst.dst), w.mask);
+
+    const int active = __builtin_popcount(w.mask);
+    const int passes =
+        banks_.warpTransactionsFast(addrBuf_, w.mask, n);
+
+    StageStats &s = stage();
+    s.typeCounts[static_cast<int>(arch::InstrType::TypeII)] += 1;
+    s.madCount += 1;
+    s.totalWarpInstrs += 1;
+    s.sharedTransactions += passes;
+    s.sharedTransactionsIdeal += idealGroups(w.mask);
+    s.sharedBytes += static_cast<uint64_t>(active) * 4;
+    w.stageBodyOps += 1;
+
+    TraceOp op = sops_[w.pc].tmpl;
+    op.sharedPasses = static_cast<uint8_t>(std::min(passes, 255));
+    w.trace.ops.push_back(op);
+}
+
+void
 BlockExecutor::execute(WarpState &w, const Instruction &inst)
 {
     switch (inst.op) {
       case Opcode::kFmadS:
-        executeFmadShared(w, inst);
+        if (vec_)
+            executeFmadSharedVec(w, inst);
+        else
+            executeFmadShared(w, inst);
         ++w.pc;
         break;
       case Opcode::kIf: {
-        countArith(w, inst.op);
-        recordArithTrace(w, inst);
-        const uint32_t taken = guardMask(w, inst);
+        noteArith(w, inst);
+        const uint32_t taken = evalGuard(w, inst);
         Frame frame;
         frame.kind = Frame::kIf;
         frame.savedMask = w.mask;
@@ -614,8 +1065,7 @@ BlockExecutor::execute(WarpState &w, const Instruction &inst)
         break;
       }
       case Opcode::kElse: {
-        countArith(w, inst.op);
-        recordArithTrace(w, inst);
+        noteArith(w, inst);
         GPUPERF_ASSERT(!w.frames.empty() &&
                            w.frames.back().kind == Frame::kIf,
                        "ELSE without IF frame");
@@ -648,12 +1098,11 @@ BlockExecutor::execute(WarpState &w, const Instruction &inst)
         break;
       }
       case Opcode::kBrk: {
-        countArith(w, inst.op);
-        recordArithTrace(w, inst);
+        noteArith(w, inst);
         GPUPERF_ASSERT(!w.frames.empty() &&
                            w.frames.back().kind == Frame::kLoop,
                        "BRK without LOOP frame");
-        const uint32_t leaving = guardMask(w, inst);
+        const uint32_t leaving = evalGuard(w, inst);
         w.mask &= ~leaving;
         if (w.mask == 0) {
             w.mask = w.frames.back().savedMask;
@@ -665,8 +1114,7 @@ BlockExecutor::execute(WarpState &w, const Instruction &inst)
         break;
       }
       case Opcode::kEndloop: {
-        countArith(w, inst.op);
-        recordArithTrace(w, inst);
+        noteArith(w, inst);
         GPUPERF_ASSERT(!w.frames.empty() &&
                            w.frames.back().kind == Frame::kLoop,
                        "ENDLOOP without LOOP frame");
@@ -680,8 +1128,7 @@ BlockExecutor::execute(WarpState &w, const Instruction &inst)
             fatal("kernel '%s': barrier inside divergent control flow "
                   "(warp %d, pc %d)", kernel_.name().c_str(), w.warpId,
                   w.pc);
-        countArith(w, inst.op);
-        recordArithTrace(w, inst);
+        noteArith(w, inst);
         w.atBarrier = true;
         ++w.pc;
         break;
@@ -695,40 +1142,37 @@ BlockExecutor::execute(WarpState &w, const Instruction &inst)
       }
       case Opcode::kLds:
       case Opcode::kSts:
-        executeSharedAccess(w, inst);
+        if (vec_)
+            executeSharedAccessVec(w, inst);
+        else
+            executeSharedAccess(w, inst);
         ++w.pc;
         break;
       case Opcode::kLdg:
       case Opcode::kStg:
       case Opcode::kLdt:
-        executeGlobalAccess(w, inst);
+        if (vec_)
+            executeGlobalAccessVec(w, inst);
+        else
+            executeGlobalAccess(w, inst);
         ++w.pc;
         break;
       case Opcode::kSetpF:
       case Opcode::kSetpI: {
-        countArith(w, inst.op);
-        recordArithTrace(w, inst);
-        for (int lane = 0; lane < spec_.warpSize; ++lane) {
-            if (!((w.mask >> lane) & 1u))
-                continue;
-            const uint32_t a = regAt(w, inst.src[0], lane);
-            const uint32_t b = srcValue(w, inst, lane);
-            bool r;
-            if (inst.op == Opcode::kSetpI) {
-                r = compareI(inst.cmp, static_cast<int32_t>(a),
-                             static_cast<int32_t>(b));
-            } else {
-                r = compareF(inst.cmp, asFloat(a), asFloat(b));
-            }
-            predAt(w, inst.pred, lane) = r ? 1 : 0;
-        }
+        noteArith(w, inst);
+        if (vec_)
+            executeSetpVec(w, inst);
+        else
+            executeSetp(w, inst);
         ++w.pc;
         break;
       }
       default:
-        countArith(w, inst.op);
-        recordArithTrace(w, inst);
-        executeAlu(w, inst);
+        noteArith(w, inst);
+        if (vec_)
+            executeAluVec(w, inst);
+        else
+            executeAlu(w, inst);
         ++w.pc;
         break;
     }
@@ -760,6 +1204,13 @@ BlockExecutor::run(int block_id, std::vector<StageStats> &stages,
     shared_.clear();
 
     const int warps = (cfg_.blockDim + spec_.warpSize - 1) / spec_.warpSize;
+    // Trace growth is amortized by reserving what the previous block's
+    // warps actually used (blocks of one launch are near-uniform), or,
+    // for the first block, a static-op-count based guess.
+    const size_t reserve_ops =
+        lastTraceOps_ ? lastTraceOps_ : staticTraceOps_ * 4 + 16;
+    const size_t reserve_tex =
+        lastTexLines_ ? lastTexLines_ : staticTexOps_ * 8;
     std::vector<WarpState> ws(warps);
     for (int i = 0; i < warps; ++i) {
         WarpState &w = ws[i];
@@ -768,6 +1219,9 @@ BlockExecutor::run(int block_id, std::vector<StageStats> &stages,
                           spec_.warpSize, 0);
         w.preds.assign(static_cast<size_t>(kernel_.numPredicates()) *
                            spec_.warpSize, 0);
+        w.trace.ops.reserve(reserve_ops);
+        if (reserve_tex)
+            w.trace.texLines.reserve(reserve_tex);
         uint32_t mask = 0;
         for (int lane = 0; lane < spec_.warpSize; ++lane) {
             if (i * spec_.warpSize + lane < cfg_.blockDim)
@@ -822,6 +1276,11 @@ BlockExecutor::run(int block_id, std::vector<StageStats> &stages,
         }
     }
 
+    for (const auto &w : ws) {
+        lastTraceOps_ = std::max(lastTraceOps_, w.trace.ops.size());
+        lastTexLines_ = std::max(lastTexLines_, w.trace.texLines.size());
+    }
+
     if (warp_traces) {
         warp_traces->clear();
         warp_traces->reserve(ws.size());
@@ -832,8 +1291,9 @@ BlockExecutor::run(int block_id, std::vector<StageStats> &stages,
 
 } // namespace
 
-FunctionalSimulator::FunctionalSimulator(const arch::GpuSpec &spec)
-    : spec_(spec), coalescer_(spec), banks_(spec)
+FunctionalSimulator::FunctionalSimulator(const arch::GpuSpec &spec,
+                                         ExecMode mode)
+    : spec_(spec), mode_(mode), coalescer_(spec), banks_(spec)
 {
     spec_.validate();
 }
@@ -877,7 +1337,7 @@ FunctionalSimulator::run(const isa::Kernel &kernel, const LaunchConfig &cfg,
     }
 
     BlockExecutor executor(spec_, kernel, cfg, gmem, coalescer_, banks_,
-                           options);
+                           options, mode_);
 
     std::vector<std::vector<int>> sampled_block_traces(sample);
     std::vector<double> active_sums;   // per stage, summed over blocks

@@ -30,6 +30,33 @@
 namespace gpuperf {
 namespace funcsim {
 
+/**
+ * Hard upper bound on lanes per warp. Active masks are uint32_t
+ * bitfields, the SoA scratch buffers are fixed arrays of this size,
+ * and GpuSpec::warpSize is validated against it at simulator
+ * construction — this constant is the single place the limit lives.
+ */
+constexpr int kMaxWarpLanes = 32;
+
+/**
+ * Which execution core interprets warp instructions.
+ *
+ * Both modes produce bit-identical results — same memory contents,
+ * same StageStats, same trace hashes, same ProfileKey (the mode is
+ * deliberately NOT part of any cache key). kScalarReference is the
+ * original lane-at-a-time interpreter, retained as the oracle for the
+ * bit-identity tests and as the baseline `bench_funcsim` measures the
+ * vectorized core against — the same pattern as the timing module's
+ * legacy-scan vs event-driven engines.
+ */
+enum class ExecMode
+{
+    /** Data-oriented core: one dispatch runs all lanes over SoA rows. */
+    kVectorized,
+    /** Original per-lane interpreter, kept as the comparison oracle. */
+    kScalarReference,
+};
+
 /** Grid/block shape of a kernel launch (1-D, as GT200-era kernels
  *  commonly flattened their indices anyway). */
 struct LaunchConfig
@@ -67,7 +94,8 @@ struct RunResult
 class FunctionalSimulator
 {
   public:
-    explicit FunctionalSimulator(const arch::GpuSpec &spec);
+    explicit FunctionalSimulator(const arch::GpuSpec &spec,
+                                 ExecMode mode = ExecMode::kVectorized);
 
     /**
      * Execute @p kernel over @p cfg against @p gmem.
@@ -81,9 +109,11 @@ class FunctionalSimulator
                   GlobalMemory &gmem, const RunOptions &options = {});
 
     const arch::GpuSpec &spec() const { return spec_; }
+    ExecMode mode() const { return mode_; }
 
   private:
     arch::GpuSpec spec_;
+    ExecMode mode_;
     memxact::CoalescingSimulator coalescer_;
     memxact::BankConflictAnalyzer banks_;
 };

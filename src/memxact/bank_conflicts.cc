@@ -77,5 +77,54 @@ BankConflictAnalyzer::warpTransactions(const uint64_t *addresses,
     return total;
 }
 
+int
+BankConflictAnalyzer::warpTransactionsFast(const uint64_t *addresses,
+                                           uint32_t active_mask,
+                                           int warp_size) const
+{
+    if (warp_size > 32 || numBanks_ > 64)
+        return warpTransactions(addresses, active_mask, warp_size);
+
+    int total = 0;
+    for (int start = 0; start < warp_size; start += groupSize_) {
+        const int end = std::min(start + groupSize_, warp_size);
+
+        // Words and banks of the group's active lanes, densely packed.
+        uint64_t words[32];
+        uint8_t banks[32];
+        int k = 0;
+        for (int lane = start; lane < end; ++lane) {
+            if (!((active_mask >> lane) & 1u))
+                continue;
+            const uint64_t word = addresses[lane] / bankWidth_;
+            words[k] = word;
+            banks[k] = static_cast<uint8_t>(word % numBanks_);
+            ++k;
+        }
+        if (k == 0)
+            continue;   // no active lanes: degree 0, as analyzeGroup
+
+        // Same semantics as analyzeGroup: degree = max distinct words
+        // in any one bank (same-word accesses broadcast), min 1. The
+        // groups are at most 32 lanes, so the O(k^2) distinct-word
+        // scan beats per-call set allocation by a wide margin.
+        int counts[64] = {};
+        int degree = 1;
+        for (int i = 0; i < k; ++i) {
+            bool dup = false;
+            for (int j = 0; j < i; ++j) {
+                if (words[j] == words[i]) {
+                    dup = true;
+                    break;
+                }
+            }
+            if (!dup)
+                degree = std::max(degree, ++counts[banks[i]]);
+        }
+        total += degree;
+    }
+    return total;
+}
+
 } // namespace memxact
 } // namespace gpuperf

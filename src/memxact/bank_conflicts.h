@@ -75,6 +75,17 @@ class BankConflictAnalyzer
     int warpTransactions(const uint64_t *addresses, uint32_t active_mask,
                          int warp_size) const;
 
+    /**
+     * Exactly warpTransactions(), allocation-free: the vectorized
+     * interpreter's per-shared-op hot path. Uses fixed lane/bank
+     * scratch arrays instead of per-call set-vectors; falls back to
+     * the general implementation when the configuration exceeds the
+     * fixed bounds (warp > 32 lanes or > 64 banks). Tests pin the two
+     * paths equal on every mask/address pattern they generate.
+     */
+    int warpTransactionsFast(const uint64_t *addresses,
+                             uint32_t active_mask, int warp_size) const;
+
     /** Bank index of a byte address. */
     int bankOf(uint64_t address) const;
 

@@ -170,6 +170,73 @@ CoalescingSimulator::coalesceWarp(const uint64_t *addresses,
     return all;
 }
 
+void
+CoalescingSimulator::coalesceWarpInto(const uint64_t *addresses,
+                                      uint32_t active_mask, int warp_size,
+                                      int word_bytes,
+                                      std::vector<Transaction> &out) const
+{
+    out.clear();
+    if (warp_size > 32 || groupSize_ > 32 ||
+        policy_ != CoalescePolicy::kSegment) {
+        const auto all =
+            coalesceWarp(addresses, active_mask, warp_size, word_bytes);
+        out.assign(all.begin(), all.end());
+        return;
+    }
+    GPUPERF_ASSERT(word_bytes > 0, "word size must be positive");
+
+    for (int start = 0; start < warp_size; start += groupSize_) {
+        const int end = std::min(start + groupSize_, warp_size);
+        uint32_t unserved = 0;
+        for (int lane = start; lane < end; ++lane)
+            unserved |= ((active_mask >> lane) & 1u)
+                        << static_cast<unsigned>(lane - start);
+
+        while (unserved) {
+            // Step 1: lowest numbered unserved thread.
+            const int leader = start + __builtin_ctz(unserved);
+
+            uint64_t seg = static_cast<uint64_t>(maxSegment_);
+            uint64_t base = addresses[leader] / seg * seg;
+
+            // Step 2: all threads whose access falls in the segment.
+            uint32_t members = 0;
+            uint64_t lo = UINT64_MAX;
+            uint64_t hi = 0;
+            for (uint32_t m = unserved; m; m &= m - 1) {
+                const int rel = __builtin_ctz(m);
+                const uint64_t a = addresses[start + rel];
+                if (a >= base && a + word_bytes <= base + seg) {
+                    members |= 1u << static_cast<unsigned>(rel);
+                    lo = std::min(lo, a);
+                    hi = std::max(hi, a + word_bytes);
+                }
+            }
+            GPUPERF_ASSERT(members != 0,
+                           "leader must be in its segment");
+
+            // Step 3: reduce the segment while one half still covers
+            // all member accesses and the reduced size remains legal.
+            while (seg > static_cast<uint64_t>(minSegment_) &&
+                   seg / 2 >= static_cast<uint64_t>(word_bytes)) {
+                const uint64_t half = seg / 2;
+                if (hi <= base + half) {
+                    seg = half;
+                } else if (lo >= base + half) {
+                    base += half;
+                    seg = half;
+                } else {
+                    break;
+                }
+            }
+
+            out.push_back({base, static_cast<int>(seg)});
+            unserved &= ~members;
+        }
+    }
+}
+
 uint64_t
 CoalescingSimulator::totalBytes(const std::vector<Transaction> &xacts)
 {

@@ -114,6 +114,20 @@ class CoalescingSimulator
     coalesceWarp(const uint64_t *addresses, uint32_t active_mask,
                  int warp_size, int word_bytes) const;
 
+    /**
+     * Exactly coalesceWarp() — same transactions in the same service
+     * order — but allocation-free: results land in the caller-owned
+     * @p out (cleared first), and membership bookkeeping is bitmask
+     * arithmetic instead of per-group Request/served vectors. This is
+     * the vectorized interpreter's per-global-op hot path. Falls back
+     * to the general implementation for the kSectored policy or
+     * configurations beyond its fixed bounds; tests pin the two paths
+     * equal on every pattern they generate.
+     */
+    void coalesceWarpInto(const uint64_t *addresses, uint32_t active_mask,
+                          int warp_size, int word_bytes,
+                          std::vector<Transaction> &out) const;
+
     int minSegmentBytes() const { return minSegment_; }
     int maxSegmentBytes() const { return maxSegment_; }
     int groupSize() const { return groupSize_; }

@@ -175,6 +175,59 @@ TEST_P(BankDegreeBounds, DegreeIsBoundedByLanesAndBanks)
 INSTANTIATE_TEST_SUITE_P(BankCounts, BankDegreeBounds,
                          ::testing::Values(8, 16, 17, 32));
 
+TEST(BankConflicts, FastPathMatchesReferenceEverywhere)
+{
+    // warpTransactionsFast is the vectorized interpreter's hot path;
+    // it must agree with the set-based reference on every mask and
+    // address pattern, including sub-32 warps and tail groups.
+    const int bank_configs[][3] = {
+        {16, 4, 16}, {17, 4, 16}, {8, 4, 8}, {32, 4, 32}, {16, 4, 12},
+    };
+    const int warp_sizes[] = {32, 16, 24, 17, 8};
+    uint64_t seed = 42;
+    for (const auto &bc : bank_configs) {
+        BankConflictAnalyzer a(bc[0], bc[1], bc[2]);
+        for (int ws : warp_sizes) {
+            for (int trial = 0; trial < 40; ++trial) {
+                std::vector<uint64_t> addrs(32, 0);
+                uint32_t mask = 0;
+                switch (trial % 5) {
+                case 0:   // strided, full mask
+                    for (int i = 0; i < ws; ++i)
+                        addrs[i] = static_cast<uint64_t>(i) *
+                                   (1ull << (trial % 6)) * 4;
+                    mask = ws >= 32 ? 0xffffffffu : ((1u << ws) - 1);
+                    break;
+                case 1:   // broadcast, sparse mask
+                    for (int i = 0; i < ws; ++i)
+                        addrs[i] = 128;
+                    mask = 0x55555555u & (ws >= 32 ? 0xffffffffu
+                                                   : ((1u << ws) - 1));
+                    break;
+                case 2:   // empty mask
+                    mask = 0;
+                    break;
+                default:  // random addresses, random mask
+                    for (int i = 0; i < ws; ++i) {
+                        seed = seed * 6364136223846793005ULL +
+                               1442695040888963407ULL;
+                        addrs[i] = (seed >> 16) % 8192 / 4 * 4;
+                    }
+                    seed = seed * 6364136223846793005ULL +
+                           1442695040888963407ULL;
+                    mask = static_cast<uint32_t>(seed >> 32) &
+                           (ws >= 32 ? 0xffffffffu : ((1u << ws) - 1));
+                    break;
+                }
+                EXPECT_EQ(a.warpTransactionsFast(addrs.data(), mask, ws),
+                          a.warpTransactions(addrs.data(), mask, ws))
+                    << "banks " << bc[0] << " group " << bc[2]
+                    << " warp " << ws << " trial " << trial;
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace memxact
 } // namespace gpuperf

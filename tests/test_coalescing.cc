@@ -218,6 +218,80 @@ TEST_P(CoalescingGranularity, SmallerGranularityNeverMovesMoreBytes)
 INSTANTIATE_TEST_SUITE_P(Granularities, CoalescingGranularity,
                          ::testing::Values(4, 8, 16, 32));
 
+TEST(Coalescing, WarpIntoFastPathMatchesReferenceEverywhere)
+{
+    // coalesceWarpInto is the vectorized interpreter's hot path; it
+    // must produce the same transactions in the same service order as
+    // coalesceWarp on every mask/address pattern, including sub-32
+    // warps, tail groups, and multi-word accesses.
+    const int sim_configs[][3] = {
+        {32, 128, 16}, {4, 128, 16}, {16, 64, 8}, {32, 128, 32},
+        {32, 128, 12},
+    };
+    const int warp_sizes[] = {32, 16, 24, 17, 8};
+    const int word_sizes[] = {4, 8};
+    uint64_t seed = 7;
+    for (const auto &sc : sim_configs) {
+        CoalescingSimulator sim(sc[0], sc[1], sc[2]);
+        for (int ws : warp_sizes) {
+            for (int wb : word_sizes) {
+                for (int trial = 0; trial < 30; ++trial) {
+                    std::vector<uint64_t> addrs(32, 0);
+                    uint32_t mask = 0;
+                    const uint32_t full =
+                        ws >= 32 ? 0xffffffffu : ((1u << ws) - 1);
+                    switch (trial % 5) {
+                    case 0:   // unit stride, full mask
+                        for (int i = 0; i < ws; ++i)
+                            addrs[i] = static_cast<uint64_t>(i) * wb;
+                        mask = full;
+                        break;
+                    case 1:   // large stride, alternating mask
+                        for (int i = 0; i < ws; ++i)
+                            addrs[i] = static_cast<uint64_t>(i) * 256;
+                        mask = 0xaaaaaaaau & full;
+                        break;
+                    case 2:   // empty mask
+                        mask = 0;
+                        break;
+                    default:  // random addresses, random mask
+                        for (int i = 0; i < ws; ++i) {
+                            seed = seed * 6364136223846793005ULL +
+                                   1442695040888963407ULL;
+                            addrs[i] = (seed >> 16) % 65536 / wb * wb;
+                        }
+                        seed = seed * 6364136223846793005ULL +
+                               1442695040888963407ULL;
+                        mask = static_cast<uint32_t>(seed >> 32) & full;
+                        break;
+                    }
+                    const auto want =
+                        sim.coalesceWarp(addrs.data(), mask, ws, wb);
+                    std::vector<Transaction> got;
+                    sim.coalesceWarpInto(addrs.data(), mask, ws, wb,
+                                         got);
+                    EXPECT_EQ(got, want)
+                        << "segments [" << sc[0] << "," << sc[1]
+                        << "] group " << sc[2] << " warp " << ws
+                        << " word " << wb << " trial " << trial;
+                }
+            }
+        }
+    }
+}
+
+TEST(Coalescing, WarpIntoSectoredPolicyFallsBackIdentically)
+{
+    CoalescingSimulator sim(4, 128, 16, CoalescePolicy::kSectored);
+    std::vector<uint64_t> addrs(32);
+    for (int i = 0; i < 32; ++i)
+        addrs[i] = static_cast<uint64_t>(i) * 32;
+    const auto want = sim.coalesceWarp(addrs.data(), 0xffffffffu, 32, 4);
+    std::vector<Transaction> got;
+    sim.coalesceWarpInto(addrs.data(), 0xffffffffu, 32, 4, got);
+    EXPECT_EQ(got, want);
+}
+
 } // namespace
 } // namespace memxact
 } // namespace gpuperf

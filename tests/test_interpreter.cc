@@ -622,6 +622,316 @@ TEST(Interpreter, ActiveWarpCensusTracksPartialBlocks)
     EXPECT_NEAR(res.stats.stages[0].activeWarpsPerBlock, 1.0, 1e-9);
 }
 
+// --------------------------------------------------------------------
+// Vectorized-vs-scalar bit-identity: the data-oriented core must be
+// indistinguishable from the original lane-at-a-time interpreter —
+// same memory image, same StageStats, same interned traces — on every
+// divergence shape the mask machinery can produce.
+// --------------------------------------------------------------------
+
+/**
+ * GTX 285 with 16-lane warps: exercises sub-32 masks (lanesMask_ !=
+ * 0xffffffff) and tail warps whose size is not a multiple of 32.
+ * maxWarpsPerSm doubles so the occupancy invariant
+ * maxWarpsPerSm * warpSize >= maxThreadsPerSm still holds.
+ */
+arch::GpuSpec
+halfWarpSpec()
+{
+    arch::GpuSpec gs = arch::GpuSpec::gtx285();
+    gs.name = "GTX 285 (16-lane warps)";
+    gs.warpSize = 16;
+    gs.maxWarpsPerSm = 64;
+    return gs;
+}
+
+/**
+ * Run @p k under both execution cores on copies of @p pristine and
+ * require byte-identical results: per-stage statistics, barrier
+ * census, interned warp traces (contents and hashes), per-block trace
+ * indices, and the final memory image digest.
+ */
+void
+expectBitIdentical(const isa::Kernel &k, const LaunchConfig &cfg,
+                   const GlobalMemory &pristine,
+                   const arch::GpuSpec &gs)
+{
+    GlobalMemory memRef = pristine;
+    GlobalMemory memVec = pristine;
+    FunctionalSimulator ref(gs, ExecMode::kScalarReference);
+    FunctionalSimulator vec(gs, ExecMode::kVectorized);
+    RunOptions opts;
+    opts.collectTrace = true;
+    RunResult a = ref.run(k, cfg, memRef, opts);
+    RunResult b = vec.run(k, cfg, memVec, opts);
+
+    EXPECT_EQ(a.stats.gridDim, b.stats.gridDim);
+    EXPECT_EQ(a.stats.blockDim, b.stats.blockDim);
+    EXPECT_EQ(a.stats.warpsPerBlock, b.stats.warpsPerBlock);
+    EXPECT_EQ(a.stats.barriersPerBlock, b.stats.barriersPerBlock);
+    EXPECT_EQ(a.stats.sampledBlocks, b.stats.sampledBlocks);
+    ASSERT_EQ(a.stats.stages.size(), b.stats.stages.size());
+    for (size_t i = 0; i < a.stats.stages.size(); ++i)
+        EXPECT_TRUE(a.stats.stages[i] == b.stats.stages[i])
+            << "stage " << i << " diverged";
+
+    ASSERT_EQ(a.trace.pool.size(), b.trace.pool.size());
+    for (size_t i = 0; i < a.trace.pool.size(); ++i) {
+        EXPECT_TRUE(a.trace.pool[i] == b.trace.pool[i])
+            << "warp trace " << i << " diverged";
+        EXPECT_EQ(a.trace.pool[i].hash(), b.trace.pool[i].hash());
+    }
+    ASSERT_EQ(a.trace.blocks.size(), b.trace.blocks.size());
+    for (size_t i = 0; i < a.trace.blocks.size(); ++i)
+        EXPECT_EQ(a.trace.blocks[i].warpTraceIdx,
+                  b.trace.blocks[i].warpTraceIdx)
+            << "block " << i << " interning diverged";
+
+    EXPECT_EQ(memRef.contentHash(), memVec.contentHash());
+}
+
+/** Fresh image whose first 64 KiB are covered by contentHash(). */
+GlobalMemory
+hashedMemory()
+{
+    GlobalMemory gmem(1 << 20);
+    gmem.alloc(64 * 1024);
+    return gmem;
+}
+
+TEST(ExecModeIdentity, EmptyActiveMaskAfterIf)
+{
+    // No lane satisfies the predicate: the IF body runs with an empty
+    // mask and there is no else arm to repopulate it.
+    KernelBuilder b("empty-if");
+    Reg tid = b.reg();
+    Reg x = b.reg();
+    Pred p = b.pred();
+    b.s2r(tid, SpecialReg::kTid);
+    b.movImmF(x, 1.0f);
+    b.setpIImm(p, CmpOp::kLt, tid, 0);
+    b.beginIf(p);
+    b.fadd(x, x, x);
+    b.iadd(tid, tid, tid);
+    b.endIf();
+    emitStoreOut(b, x);
+    isa::Kernel k = b.build();
+    expectBitIdentical(k, {2, 64}, hashedMemory(), spec());
+    expectBitIdentical(k, {2, 64}, hashedMemory(), halfWarpSpec());
+}
+
+TEST(ExecModeIdentity, AllLanesTakeIfWithEmptyElse)
+{
+    KernelBuilder b("full-if");
+    Reg tid = b.reg();
+    Reg x = b.reg();
+    Pred p = b.pred();
+    b.s2r(tid, SpecialReg::kTid);
+    b.movImmF(x, 2.0f);
+    b.setpIImm(p, CmpOp::kGe, tid, 0);
+    b.beginIf(p);
+    b.fmul(x, x, x);
+    b.beginElse();
+    b.movImmF(x, -1.0f);
+    b.endIf();
+    emitStoreOut(b, x);
+    isa::Kernel k = b.build();
+    expectBitIdentical(k, {1, 96}, hashedMemory(), spec());
+    expectBitIdentical(k, {1, 96}, hashedMemory(), halfWarpSpec());
+}
+
+TEST(ExecModeIdentity, SingleLaneBranchArm)
+{
+    // Fully divergent warp: each loop iteration isolates exactly one
+    // lane through an equality predicate.
+    KernelBuilder b("one-lane");
+    Reg tid = b.reg();
+    Reg x = b.reg();
+    Pred p = b.pred();
+    b.s2r(tid, SpecialReg::kTid);
+    b.movImmF(x, 0.0f);
+    for (int lane = 0; lane < 8; ++lane) {
+        b.setpIImm(p, CmpOp::kEq, tid, lane);
+        b.beginIf(p);
+        b.movImmF(x, static_cast<float>(lane + 1));
+        b.endIf();
+    }
+    emitStoreOut(b, x);
+    isa::Kernel k = b.build();
+    expectBitIdentical(k, {1, 32}, hashedMemory(), spec());
+    expectBitIdentical(k, {1, 32}, hashedMemory(), halfWarpSpec());
+}
+
+TEST(ExecModeIdentity, PerLaneLoopTripCounts)
+{
+    // tid-dependent trip counts: the loop mask thins lane by lane.
+    KernelBuilder b("lane-trips");
+    Reg tid = b.reg();
+    Reg i = b.reg();
+    Reg acc = b.reg();
+    Reg one = b.reg();
+    Pred done = b.pred();
+    b.s2r(tid, SpecialReg::kTid);
+    b.movImm(i, 0);
+    b.movImmF(acc, 0.0f);
+    b.movImmF(one, 1.0f);
+    b.beginLoop();
+    b.isub(i, i, tid);   // i counts down by tid (0 for lane 0)
+    b.iaddImm(i, i, -1); // ... minus one, so every lane terminates
+    b.fadd(acc, acc, one);
+    b.setpIImm(done, CmpOp::kLt, i, -20);
+    b.brk(done);
+    b.endLoop();
+    emitStoreOut(b, acc);
+    isa::Kernel k = b.build();
+    expectBitIdentical(k, {1, 64}, hashedMemory(), spec());
+    expectBitIdentical(k, {1, 64}, hashedMemory(), halfWarpSpec());
+}
+
+TEST(ExecModeIdentity, PredicateNegatePaths)
+{
+    // Negated guards on both structured constructs: beginIf(p, true)
+    // and brk(p, true) exercise the negate flag in guardMask.
+    KernelBuilder b("negate");
+    Reg tid = b.reg();
+    Reg x = b.reg();
+    Reg i = b.reg();
+    Reg four = b.reg();
+    Reg half = b.reg();
+    Pred p = b.pred();
+    Pred keep = b.pred();
+    b.s2r(tid, SpecialReg::kTid);
+    b.movImmF(x, 1.0f);
+    b.movImmF(four, 4.0f);
+    b.movImmF(half, 0.5f);
+    b.setpIImm(p, CmpOp::kLt, tid, 16);
+    b.beginIf(p, true);              // lanes with tid >= 16
+    b.fadd(x, x, four);
+    b.endIf();
+    b.movImm(i, 0);
+    b.beginLoop();
+    b.iaddImm(i, i, 1);
+    b.fadd(x, x, half);
+    b.setpIImm(keep, CmpOp::kLt, i, 3);
+    b.brk(keep, true);               // leave when NOT (i < 3)
+    b.endLoop();
+    emitStoreOut(b, x);
+    isa::Kernel k = b.build();
+    expectBitIdentical(k, {2, 48}, hashedMemory(), spec());
+    expectBitIdentical(k, {2, 48}, hashedMemory(), halfWarpSpec());
+}
+
+TEST(ExecModeIdentity, TailWarpsAndSubWarpSpecs)
+{
+    // blockDim 40 leaves a 8-lane tail warp on gtx285; blockDim 24
+    // leaves an 8-lane tail on the 16-lane spec. Divergence inside
+    // the tail exercises masks that never cover the full warp.
+    KernelBuilder b("tail");
+    Reg tid = b.reg();
+    Reg x = b.reg();
+    Reg negOne = b.reg();
+    Pred p = b.pred();
+    b.s2r(tid, SpecialReg::kTid);
+    b.movImmF(x, 3.0f);
+    b.movImmF(negOne, -1.0f);
+    b.setpIImm(p, CmpOp::kGe, tid, 36);
+    b.beginIf(p);
+    b.fmul(x, x, x);
+    b.beginElse();
+    b.fadd(x, x, negOne);
+    b.endIf();
+    emitStoreOut(b, x);
+    isa::Kernel k = b.build();
+    expectBitIdentical(k, {3, 40}, hashedMemory(), spec());
+    expectBitIdentical(k, {3, 24}, hashedMemory(), halfWarpSpec());
+    expectBitIdentical(k, {1, 17}, hashedMemory(), halfWarpSpec());
+}
+
+TEST(ExecModeIdentity, SharedMemoryUnderDivergence)
+{
+    // STS/LDS inside a divergent IF: the inactive lanes must keep
+    // their registers and shared words untouched, and conflict
+    // degrees must match on the partial masks.
+    KernelBuilder b("shared-div");
+    Reg tid = b.reg();
+    Reg addr = b.reg();
+    Reg v = b.reg();
+    Reg out = b.reg();
+    Pred p = b.pred();
+    b.s2r(tid, SpecialReg::kTid);
+    b.shlImm(addr, tid, 3);          // stride-2 words: bank conflicts
+    b.i2f(v, tid);
+    b.movImmF(out, -7.0f);
+    b.setpIImm(p, CmpOp::kLt, tid, 20);
+    b.beginIf(p);
+    b.sts(addr, v);
+    b.endIf();
+    b.bar();                         // barriers must be convergent
+    b.beginIf(p);
+    b.lds(out, addr, 0);
+    b.endIf();
+    emitStoreOut(b, out);
+    isa::Kernel k = b.build(2048);
+    expectBitIdentical(k, {2, 32}, hashedMemory(), spec());
+    expectBitIdentical(k, {2, 32}, hashedMemory(), halfWarpSpec());
+}
+
+TEST(ExecModeIdentity, GlobalAndTextureUnderDivergence)
+{
+    // Divergent LDG/STG/LDT with a data-dependent stride: coalescing
+    // segment splits and texture line dedup must agree exactly.
+    GlobalMemory gmem = hashedMemory();
+    for (int i = 0; i < 256; ++i)
+        gmem.f32(8192)[i] = 0.25f * static_cast<float>(i);
+
+    KernelBuilder b("global-div");
+    Reg tid = b.reg();
+    Reg addr = b.reg();
+    Reg x = b.reg();
+    Reg t = b.reg();
+    Pred p = b.pred();
+    b.s2r(tid, SpecialReg::kTid);
+    b.shlImm(addr, tid, 4);          // stride-4 words: segment splits
+    b.movImmF(x, 0.0f);
+    b.movImmF(t, 0.0f);
+    b.setpIImm(p, CmpOp::kLt, tid, 24);
+    b.beginIf(p);
+    b.ldg(x, addr, 8192);
+    b.ldt(t, addr, 16384);
+    b.fadd(x, x, t);
+    b.endIf();
+    emitStoreOut(b, x);
+    isa::Kernel k = b.build();
+    expectBitIdentical(k, {2, 32}, gmem, spec());
+    expectBitIdentical(k, {2, 32}, gmem, halfWarpSpec());
+}
+
+TEST(ExecModeIdentity, FmadSharedUnderDivergence)
+{
+    // FMAD with a shared-memory operand inside a divergent IF: the
+    // gathered operand, conflict passes and trace fields must match.
+    KernelBuilder b("fmads-div");
+    Reg tid = b.reg();
+    Reg addr = b.reg();
+    Reg v = b.reg();
+    Reg acc = b.reg();
+    Pred p = b.pred();
+    b.s2r(tid, SpecialReg::kTid);
+    b.shlImm(addr, tid, 2);
+    b.i2f(v, tid);
+    b.sts(addr, v);
+    b.bar();
+    b.movImmF(acc, 1.0f);
+    b.setpIImm(p, CmpOp::kGe, tid, 8);
+    b.beginIf(p);
+    b.fmadShared(acc, v, addr, 0, acc);
+    b.endIf();
+    emitStoreOut(b, acc);
+    isa::Kernel k = b.build(1024);
+    expectBitIdentical(k, {2, 48}, hashedMemory(), spec());
+    expectBitIdentical(k, {2, 48}, hashedMemory(), halfWarpSpec());
+}
+
 } // namespace
 } // namespace funcsim
 } // namespace gpuperf

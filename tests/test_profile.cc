@@ -375,5 +375,82 @@ TEST(StencilCase, ExercisesCoalescedAndHaloTraffic)
     EXPECT_EQ(shared_tx, ideal_tx);
 }
 
+// --------------------------------------------------------------------
+// Execution-core bit-identity at the KernelProfile level: for every
+// demo case, the vectorized interpreter must produce byte-identical
+// profiles (key, per-stage stats, trace hashes) and the same final
+// memory image as the retained scalar-reference core — on the stock
+// 32-lane spec and on a 16-lane variant. The ExecMode is deliberately
+// NOT part of ProfileKey; this test is what makes that sharing safe.
+// --------------------------------------------------------------------
+
+arch::GpuSpec
+profileHalfWarpSpec()
+{
+    arch::GpuSpec gs = arch::GpuSpec::gtx285();
+    gs.name = "GTX 285 (16-lane warps)";
+    gs.warpSize = 16;
+    gs.maxWarpsPerSm = 64;
+    return gs;
+}
+
+void
+expectProfilesBitIdentical(const driver::KernelCase &kc,
+                           const arch::GpuSpec &gs)
+{
+    SCOPED_TRACE(kc.name + " on " + gs.name);
+    auto la = kc.make();
+    auto lb = kc.make();
+    funcsim::FunctionalSimulator ref(gs,
+                                     funcsim::ExecMode::kScalarReference);
+    funcsim::FunctionalSimulator vec(gs, funcsim::ExecMode::kVectorized);
+    auto pa = funcsim::profileKernel(ref, la.kernel, la.cfg, *la.gmem,
+                                     la.options);
+    auto pb = funcsim::profileKernel(vec, lb.kernel, lb.cfg, *lb.gmem,
+                                     lb.options);
+
+    EXPECT_TRUE(pa.key == pb.key);
+    EXPECT_EQ(pa.key.str(), pb.key.str());
+
+    ASSERT_EQ(pa.stats.stages.size(), pb.stats.stages.size());
+    for (size_t i = 0; i < pa.stats.stages.size(); ++i)
+        EXPECT_TRUE(pa.stats.stages[i] == pb.stats.stages[i])
+            << "stage " << i << " diverged";
+    EXPECT_EQ(pa.stats.barriersPerBlock, pb.stats.barriersPerBlock);
+    EXPECT_EQ(pa.stats.sampledBlocks, pb.stats.sampledBlocks);
+
+    ASSERT_EQ(pa.trace.pool.size(), pb.trace.pool.size());
+    for (size_t i = 0; i < pa.trace.pool.size(); ++i) {
+        EXPECT_TRUE(pa.trace.pool[i] == pb.trace.pool[i])
+            << "warp trace " << i << " diverged";
+        EXPECT_EQ(pa.trace.pool[i].hash(), pb.trace.pool[i].hash());
+    }
+    ASSERT_EQ(pa.trace.blocks.size(), pb.trace.blocks.size());
+    for (size_t i = 0; i < pa.trace.blocks.size(); ++i)
+        EXPECT_EQ(pa.trace.blocks[i].warpTraceIdx,
+                  pb.trace.blocks[i].warpTraceIdx);
+
+    // Stores mutated both images identically.
+    EXPECT_EQ(la.gmem->contentHash(), lb.gmem->contentHash());
+}
+
+TEST(ExecModeProfileIdentity, AllDemoCasesOnBothSpecs)
+{
+    const std::vector<driver::KernelCase> cases = {
+        driver::makeSaxpyCase("saxpy", 4, 128, 2.5f),
+        driver::makeStridedSaxpyCase("strided-saxpy", 2, 64, 4),
+        driver::makeSharedConflictCase("shared-conflict", 2, 64, 2, 8),
+        driver::makeStencil1dCase("stencil1d", 4, 64),
+        driver::makeSpmvEllCase("spmv-ell", 8, 4),
+        driver::makeReductionCase("reduction", 4, 64),
+        driver::makeHistogramCase("histogram", 2, 64, 16, 2),
+    };
+    const arch::GpuSpec specs[] = {arch::GpuSpec::gtx285(),
+                                   profileHalfWarpSpec()};
+    for (const auto &kc : cases)
+        for (const auto &gs : specs)
+            expectProfilesBitIdentical(kc, gs);
+}
+
 } // namespace
 } // namespace gpuperf
