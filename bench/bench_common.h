@@ -72,6 +72,15 @@ calibrationCacheFile(const arch::GpuSpec &spec)
     return name + ".cache";
 }
 
+/** Session config wired to the spec's shared calibration cache. */
+inline model::SessionConfig
+cachedSessionConfig(const arch::GpuSpec &spec)
+{
+    model::SessionConfig config;
+    config.calibrationCache = calibrationCacheFile(spec);
+    return config;
+}
+
 } // namespace bench
 } // namespace gpuperf
 

@@ -20,8 +20,8 @@ main(int argc, char **argv)
     bench::BenchOptions opts = bench::parseArgs(argc, argv);
     const arch::GpuSpec spec = arch::GpuSpec::gtx285();
     const int block_rows = opts.full ? 16384 : 4096;
-    model::AnalysisSession session(spec,
-                                   bench::calibrationCacheFile(spec));
+    model::AnalysisSession session(
+        spec, bench::cachedSessionConfig(spec));
 
     apps::BlockSparseMatrix m = apps::makeBandedBlockMatrix(
         block_rows, /*blocks_per_row=*/13, /*half_band=*/24);

@@ -15,8 +15,8 @@ main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseArgs(argc, argv);
     const arch::GpuSpec spec = arch::GpuSpec::gtx285();
-    model::AnalysisSession session(spec,
-                                   bench::calibrationCacheFile(spec));
+    model::AnalysisSession session(
+        spec, bench::cachedSessionConfig(spec));
     const model::CalibrationTables &tables = session.calibrator().tables();
 
     printBanner(std::cout,

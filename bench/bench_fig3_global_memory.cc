@@ -27,8 +27,8 @@ main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseArgs(argc, argv);
     const arch::GpuSpec spec = arch::GpuSpec::gtx285();
-    model::AnalysisSession session(spec,
-                                   bench::calibrationCacheFile(spec));
+    model::AnalysisSession session(
+        spec, bench::cachedSessionConfig(spec));
     model::Calibrator &cal = session.calibrator();
 
     // The paper's eight legend entries (T = threads, M = transactions

@@ -22,8 +22,8 @@ main(int argc, char **argv)
     bench::BenchOptions opts = bench::parseArgs(argc, argv);
     const arch::GpuSpec spec = arch::GpuSpec::gtx285();
     const int size = opts.full ? 1024 : 512;
-    model::AnalysisSession session(spec,
-                                   bench::calibrationCacheFile(spec));
+    model::AnalysisSession session(
+        spec, bench::cachedSessionConfig(spec));
 
     Table counts({"sub-matrix", "instructions", "MAD", "shared xacts",
                   "global xacts", "active warps/SM"});

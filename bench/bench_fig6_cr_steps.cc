@@ -43,8 +43,8 @@ main(int argc, char **argv)
     const arch::GpuSpec spec = arch::GpuSpec::gtx285();
     const int n = 512;
     const int systems = opts.full ? 512 : 512;
-    model::AnalysisSession session(spec,
-                                   bench::calibrationCacheFile(spec));
+    model::AnalysisSession session(
+        spec, bench::cachedSessionConfig(spec));
 
     for (bool padded : {false, true}) {
         funcsim::GlobalMemory gmem(64 << 20);

@@ -20,8 +20,8 @@ main(int argc, char **argv)
     const arch::GpuSpec spec = arch::GpuSpec::gtx285();
     const int n = 512;
     const int systems = 512;
-    model::AnalysisSession session(spec,
-                                   bench::calibrationCacheFile(spec));
+    model::AnalysisSession session(
+        spec, bench::cachedSessionConfig(spec));
 
     printBanner(std::cout,
                 "Figure 8: CR vs CR-NBC, measured and simulated "

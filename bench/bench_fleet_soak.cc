@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Soak the fleet dispatcher end to end with REAL worker processes:
+ * one in-process gpuperf-serve core on a Unix socket, four forked
+ * `gpuperf-worker serve --via unix:...` children registered against
+ * it, and a mixed client load hammering the endpoint while one worker
+ * is SIGKILLed mid-run. The dispatcher must steal the dead worker's
+ * cells back, re-dispatch them, and keep every response bit-identical
+ * to in-process execution — a lost or doubled cell anywhere fails the
+ * gate.
+ *
+ * Gates (reported in bench_fleet_soak.json):
+ *  - every client request is answered, bit-identical
+ *    (api::responsesEqual) to the in-process reference;
+ *  - the SIGKILL is observed (workerDeaths >= 1) and the fleet keeps
+ *    working (>= 2 surviving workers executed cells).
+ * Latency p50/p99 and the per-worker cell counts are reported for
+ * trend tracking; they gate nothing (CI machines vary too much).
+ *
+ * The worker binary is resolved from GPUPERF_WORKER_BIN, defaulting
+ * to ./gpuperf-worker (the bench runs from the build directory).
+ */
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/client.h"
+#include "api/codecs.h"
+#include "api/registry.h"
+#include "api/server.h"
+#include "bench/bench_common.h"
+
+using namespace gpuperf;
+
+namespace {
+
+/**
+ * The demo-sized request: three registry cases on a scaled-down spec
+ * whose calibration is quick and, through the shared store, runs only
+ * once across the whole fleet. Result reuse is off so every request
+ * genuinely exercises dispatch.
+ */
+api::AnalysisRequest
+soakRequest()
+{
+    api::AnalysisRequest req;
+    req.jobName = "fleet-soak";
+    req.kernels.push_back(api::KernelJob::fromRef(
+        "saxpy", api::CaseRef{"saxpy", {16, 128}, {2.0}}));
+    req.kernels.push_back(api::KernelJob::fromRef(
+        "conflicted",
+        api::CaseRef{"shared-conflict", {8, 128, 8, 32}, {}}));
+    req.kernels.push_back(api::KernelJob::fromRef(
+        "hist", api::CaseRef{"histogram", {8, 128, 8, 4}, {}}));
+
+    arch::GpuSpec tiny = arch::GpuSpec::gtx285();
+    tiny.name = "GTX tiny (fleet)";
+    tiny.numSms = 3;
+    tiny.maxWarpsPerSm = 8;
+    tiny.maxThreadsPerSm = 256;
+    tiny.maxThreadsPerBlock = 256;
+    tiny.validate();
+    req.specs.push_back(tiny);
+
+    req.sweep.noBankConflicts = true;
+    req.sweep.warpsPerSm = {8.0};
+    req.sweep.coalescingFractions = {1.0};
+    req.store.reuseStoredResults = false;
+    req.exec.numThreads = 2;
+    return req;
+}
+
+pid_t
+spawnWorker(const std::string &bin, const std::string &uri)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    // Child: silence it (the parent's table is the report).
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+        ::dup2(null_fd, 1);
+        ::dup2(null_fd, 2);
+        ::close(null_fd);
+    }
+    ::execl(bin.c_str(), "gpuperf-worker", "serve", "--via",
+            uri.c_str(), static_cast<char *>(nullptr));
+    _exit(127); // exec failed
+}
+
+struct ClientResult
+{
+    std::vector<double> latenciesMs;
+    size_t mismatches = 0;
+    std::string error;
+};
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const int clients = opts.full ? 8 : 6;
+    const int requests_per_client = opts.full ? 8 : 4;
+    constexpr int kWorkers = 4;
+
+    const std::string root =
+        "/tmp/gpuperf-fleet-soak-" + std::to_string(::getpid());
+    ::mkdir(root.c_str(), 0755);
+    ::mkdir((root + "/store").c_str(), 0755);
+    const std::string sock_path = root + "/serve.sock";
+
+    // One fleet endpoint: every request is forced onto the shared
+    // store so the whole fleet calibrates once.
+    api::Server server(api::Endpoint::parse(
+        "unix:" + sock_path + "?store=" + root + "/store",
+        api::Endpoint::Role::kServer));
+    server.start();
+
+    const api::AnalysisRequest req = soakRequest();
+
+    // The in-process reference (and the calibration warm-up: running
+    // it against the same store keeps the fleet's first requests from
+    // racing a cold microbenchmark sweep).
+    api::AnalysisService reference;
+    api::AnalysisRequest ref_req = req;
+    ref_req.store.storeDir = root + "/store";
+    const api::AnalysisResponse want = reference.run(ref_req);
+
+    const char *bin_env = std::getenv("GPUPERF_WORKER_BIN");
+    const std::string worker_bin =
+        bin_env ? bin_env : "./gpuperf-worker";
+    std::vector<pid_t> workers;
+    for (int w = 0; w < kWorkers; ++w)
+        workers.push_back(spawnWorker(worker_bin, "unix:" + sock_path));
+
+    // Wait for the whole fleet to register.
+    const auto reg_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (server.dispatcher().liveWorkers() <
+               static_cast<size_t>(kWorkers) &&
+           std::chrono::steady_clock::now() < reg_deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (server.dispatcher().liveWorkers() <
+        static_cast<size_t>(kWorkers)) {
+        std::cerr << "fleet soak: workers failed to register (is "
+                  << worker_bin << " the right binary?)\n";
+        for (pid_t pid : workers)
+            ::kill(pid, SIGKILL);
+        return 1;
+    }
+
+    std::vector<ClientResult> results(clients);
+    std::atomic<size_t> answered_so_far{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            ClientResult &out = results[c];
+            try {
+                api::ServeClient client =
+                    api::ServeClient::overUnix(sock_path);
+                for (int r = 0; r < requests_per_client; ++r) {
+                    const auto start =
+                        std::chrono::steady_clock::now();
+                    const api::AnalysisResponse got = client.run(req);
+                    const std::chrono::duration<double, std::milli>
+                        ms = std::chrono::steady_clock::now() - start;
+                    out.latenciesMs.push_back(ms.count());
+                    if (!api::responsesEqual(got, want))
+                        ++out.mismatches;
+                    ++answered_so_far;
+                }
+            } catch (const std::exception &e) {
+                out.error = e.what();
+            }
+        });
+    }
+
+    // Mid-run, murder one worker outright: SIGKILL, no goodbye frame.
+    // The dispatcher must steal whatever it held and re-dispatch.
+    const auto kill_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (answered_so_far.load() == 0 &&
+           std::chrono::steady_clock::now() < kill_deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ::kill(workers[0], SIGKILL);
+    ::waitpid(workers[0], nullptr, 0);
+
+    for (std::thread &t : threads)
+        t.join();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+
+    size_t answered = 0, mismatches = 0, errors = 0;
+    std::vector<double> all_ms;
+    for (int c = 0; c < clients; ++c) {
+        answered += results[c].latenciesMs.size();
+        mismatches += results[c].mismatches;
+        if (!results[c].error.empty()) {
+            ++errors;
+            std::cerr << "client " << c << ": " << results[c].error
+                      << "\n";
+        }
+        all_ms.insert(all_ms.end(), results[c].latenciesMs.begin(),
+                      results[c].latenciesMs.end());
+    }
+    const size_t expected_answers =
+        static_cast<size_t>(clients) * requests_per_client;
+
+    const api::ServerStats stats = server.stats();
+    server.stop();
+    for (size_t w = 1; w < workers.size(); ++w) {
+        ::kill(workers[w], SIGTERM);
+        ::waitpid(workers[w], nullptr, 0);
+    }
+
+    size_t survivors_with_cells = 0;
+    for (const api::WorkerStat &w : stats.fleet.workers)
+        if (w.cellsDone > 0 && w.id != 1)
+            ++survivors_with_cells;
+
+    const bool gate_ok = answered == expected_answers &&
+                         mismatches == 0 && errors == 0 &&
+                         stats.fleet.workerDeaths >= 1 &&
+                         survivors_with_cells >= 2;
+
+    std::cout << "gpuperf fleet soak: " << clients << " clients x "
+              << requests_per_client << " requests over " << kWorkers
+              << " workers (1 SIGKILLed mid-run), "
+              << want.cells.size() << " cells each\n";
+    Table t({"worker", "live", "cells done"});
+    for (const api::WorkerStat &w : stats.fleet.workers)
+        t.addRow({w.name, w.live ? "yes" : "no",
+                  Table::num(static_cast<double>(w.cellsDone), 0)});
+    bench::emit(t, opts);
+    std::cout << "\n"
+              << answered << "/" << expected_answers
+              << " requests answered, " << mismatches
+              << " mismatches, " << stats.fleet.workerDeaths
+              << " worker death(s), " << stats.fleet.cellsRedispatched
+              << " re-dispatched cell(s), "
+              << stats.fleet.cellsLocal
+              << " locally-recovered cell(s) — gate "
+              << (gate_ok ? "PASS" : "FAIL") << "\n";
+
+    {
+        std::ofstream json("bench_fleet_soak.json");
+        char buf[768];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\n  \"bench\": \"fleet_soak\",\n  \"gate\": \"%s\",\n"
+            "  \"clients\": %d,\n  \"requests_per_client\": %d,\n"
+            "  \"workers\": %d,\n  \"answered\": %zu,\n"
+            "  \"mismatches\": %zu,\n  \"client_errors\": %zu,\n"
+            "  \"worker_deaths\": %llu,\n"
+            "  \"cells_redispatched\": %llu,\n"
+            "  \"cells_local\": %llu,\n"
+            "  \"wall_seconds\": %.2f,\n"
+            "  \"latency_ms\": {\"p50\": %.2f, \"p99\": %.2f},\n"
+            "  \"cells_per_worker\": [",
+            gate_ok ? "pass" : "fail", clients, requests_per_client,
+            kWorkers, answered, mismatches, errors,
+            static_cast<unsigned long long>(stats.fleet.workerDeaths),
+            static_cast<unsigned long long>(
+                stats.fleet.cellsRedispatched),
+            static_cast<unsigned long long>(stats.fleet.cellsLocal),
+            wall.count(), percentile(all_ms, 0.50),
+            percentile(all_ms, 0.99));
+        json << buf;
+        for (size_t w = 0; w < stats.fleet.workers.size(); ++w) {
+            const api::WorkerStat &ws = stats.fleet.workers[w];
+            std::snprintf(buf, sizeof(buf),
+                          "%s\n    {\"name\": \"%s\", \"cells\": %llu}",
+                          w ? "," : "", ws.name.c_str(),
+                          static_cast<unsigned long long>(ws.cellsDone));
+            json << buf;
+        }
+        json << "\n  ]\n}\n";
+    }
+    return gate_ok ? 0 : 1;
+}

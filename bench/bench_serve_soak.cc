@@ -101,11 +101,13 @@ main(int argc, char **argv)
     const int clients = opts.full ? 16 : 8;
     const int requests_per_client = opts.full ? 12 : 4;
 
-    api::ServerOptions server_opts;
-    server_opts.unixPath = "/tmp/gpuperf-soak-" +
-                           std::to_string(::getpid()) + ".sock";
-    server_opts.tcpPort = 0; // ephemeral
-    api::Server server(server_opts);
+    const std::string sock_path = "/tmp/gpuperf-soak-" +
+                                  std::to_string(::getpid()) + ".sock";
+    api::Server server(std::vector<api::Endpoint>{
+        api::Endpoint::parse("unix:" + sock_path,
+                             api::Endpoint::Role::kServer),
+        api::Endpoint::parse("tcp:127.0.0.1:0", // ephemeral
+                             api::Endpoint::Role::kServer)});
     server.start();
 
     const api::AnalysisRequest req = soakRequest();
@@ -131,7 +133,7 @@ main(int argc, char **argv)
                 api::ServeClient client =
                     (c % 2 == 0)
                         ? api::ServeClient::overUnix(
-                              server_opts.unixPath)
+                              sock_path)
                         : api::ServeClient::overTcp(
                               "127.0.0.1", server.tcpPort());
                 for (int r = 0; r < requests_per_client; ++r) {
@@ -173,7 +175,7 @@ main(int argc, char **argv)
     const double rps = static_cast<double>(answered) / wall.count();
     const api::ServerStats stats = server.stats();
     server.stop();
-    std::remove(server_opts.unixPath.c_str());
+    std::remove(sock_path.c_str());
 
     const bool gate_ok = answered == expected_answers &&
                          mismatches == 0 && errors == 0 &&

@@ -3,7 +3,7 @@
 # gtest suite. Fails on any compile error or test failure. Future PRs
 # run this before merging.
 #
-# Usage: scripts/check.sh [--sanitize | --api-smoke | --serve-smoke] [build-dir] [build-type]
+# Usage: scripts/check.sh [--sanitize | --api-smoke | --serve-smoke | --fleet-smoke] [build-dir] [build-type]
 #   --sanitize  ASan+UBSan run: Debug build with
 #               -fsanitize=address,undefined, leak detection on, tests
 #               only (the perf gates measure nothing useful under a
@@ -31,6 +31,15 @@
 #               full (flagless) run executes this and the
 #               bench_serve_soak gate as well; artifacts land in
 #               <build-dir>/serve-smoke/.
+#   --fleet-smoke
+#               Build, then run ONLY the fleet-dispatch smoke: a
+#               gpuperf-serve daemon with a shared store, 2 registered
+#               gpuperf-worker fleet processes (serve --via unix:...)
+#               and 2 concurrent clients; one worker is SIGKILLed
+#               mid-run and every response is byte-diffed against an
+#               in-process run. The full (flagless) run executes this
+#               and the bench_fleet_soak gate as well; artifacts land
+#               in <build-dir>/fleet-smoke/.
 #   build-dir   default: build (build-asan with --sanitize)
 #   build-type  Debug | Release | RelWithDebInfo | ... (default: the
 #               build dir's existing type, or CMake's default).
@@ -45,6 +54,7 @@ cd "$(dirname "$0")/.."
 SANITIZE=0
 API_SMOKE_ONLY=0
 SERVE_SMOKE_ONLY=0
+FLEET_SMOKE_ONLY=0
 if [[ "${1:-}" == "--sanitize" ]]; then
     SANITIZE=1
     shift
@@ -53,6 +63,9 @@ elif [[ "${1:-}" == "--api-smoke" ]]; then
     shift
 elif [[ "${1:-}" == "--serve-smoke" ]]; then
     SERVE_SMOKE_ONLY=1
+    shift
+elif [[ "${1:-}" == "--fleet-smoke" ]]; then
+    FLEET_SMOKE_ONLY=1
     shift
 fi
 
@@ -177,6 +190,82 @@ run_serve_smoke() {
     echo "serve-smoke: 5 concurrent socket clients byte-identical to the in-process run"
 }
 
+# Fleet-dispatch end-to-end: one gpuperf-serve daemon with a SHARED
+# store, two registered fleet workers, two concurrent clients. One
+# worker is SIGKILLed while requests are in flight: the dispatcher
+# must steal its cells back and re-dispatch, and both clients' JSON
+# responses must stay byte-identical to an in-process run.
+run_fleet_smoke() {
+    local SMOKE="$BUILD_DIR/fleet-smoke"
+    local W="$BUILD_DIR/gpuperf-worker"
+    local S="$BUILD_DIR/gpuperf-serve"
+    local SOCK="$SMOKE/serve.sock"
+    rm -rf "$SMOKE"
+    mkdir -p "$SMOKE"
+
+    # One shared store: the fleet calibrates once, globally.
+    "$S" --via "unix:$SOCK" --store "$SMOKE/store-fleet" --stats-json \
+        > "$SMOKE/serve.log" 2>&1 &
+    local SERVE_PID=$!
+    trap 'kill "$SERVE_PID" 2>/dev/null || true' RETURN
+    for _ in $(seq 1 100); do
+        [[ -S "$SOCK" ]] && grep -q "ready" "$SMOKE/serve.log" && break
+        sleep 0.1
+    done
+    [[ -S "$SOCK" ]] || { echo "fleet-smoke: daemon never bound $SOCK" >&2
+                          cat "$SMOKE/serve.log" >&2; return 1; }
+
+    "$W" serve --via "unix:$SOCK" > "$SMOKE/worker-1.log" 2>&1 &
+    local WORKER1_PID=$!
+    "$W" serve --via "unix:$SOCK" > "$SMOKE/worker-2.log" 2>&1 &
+    local WORKER2_PID=$!
+
+    # The reference: the same request executed in-process on its own
+    # store, so the fleet legs really execute rather than replaying
+    # the reference's results.
+    "$W" demo-request --out "$SMOKE/request-ref.json" \
+        --store "$SMOKE/store-ref"
+    "$W" run "$SMOKE/request-ref.json" --out "$SMOKE/response-ref.json"
+
+    "$W" demo-request --out "$SMOKE/request.json"
+    local PIDS=()
+    for i in 1 2; do
+        "$W" run "$SMOKE/request.json" \
+            --out "$SMOKE/response-$i.json" \
+            --via "unix:$SOCK" > "$SMOKE/client-$i.log" 2>&1 &
+        PIDS+=($!)
+    done
+
+    # Murder one fleet worker while the clients are in flight: its
+    # cells must be stolen back and re-dispatched, losing nothing.
+    sleep 0.5
+    kill -9 "$WORKER1_PID" 2>/dev/null || true
+    wait "$WORKER1_PID" 2>/dev/null || true
+
+    local PID
+    for PID in "${PIDS[@]}"; do
+        wait "$PID"
+    done
+    for i in 1 2; do
+        diff "$SMOKE/response-ref.json" "$SMOKE/response-$i.json"
+    done
+
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    wait "$WORKER2_PID" 2>/dev/null || true
+    grep -q "served" "$SMOKE/serve.log" || {
+        echo "fleet-smoke: daemon did not shut down gracefully" >&2
+        cat "$SMOKE/serve.log" >&2
+        return 1
+    }
+    grep -q '"workers_registered": 2' "$SMOKE/serve.log" || {
+        echo "fleet-smoke: expected 2 registered workers" >&2
+        cat "$SMOKE/serve.log" >&2
+        return 1
+    }
+    echo "fleet-smoke: 2 clients over a 2-worker fleet (1 killed mid-run) byte-identical to the in-process run"
+}
+
 if [[ "$API_SMOKE_ONLY" == 1 ]]; then
     run_api_smoke
     echo "check.sh: api-smoke green"
@@ -186,6 +275,12 @@ fi
 if [[ "$SERVE_SMOKE_ONLY" == 1 ]]; then
     run_serve_smoke
     echo "check.sh: serve-smoke green"
+    exit 0
+fi
+
+if [[ "$FLEET_SMOKE_ONLY" == 1 ]]; then
+    run_fleet_smoke
+    echo "check.sh: fleet-smoke green"
     exit 0
 fi
 
@@ -220,7 +315,14 @@ fi
 # p50/p99 latency and requests/sec land in bench_serve_soak.json.
 (cd "$BUILD_DIR" && ./bench_serve_soak)
 
+# Fleet soak gate: 4 real worker processes registered with the
+# dispatcher, one SIGKILLed mid-run; zero lost cells, every response
+# bit-identical; p50/p99 and per-worker cell counts land in
+# bench_fleet_soak.json.
+(cd "$BUILD_DIR" && ./bench_fleet_soak)
+
 run_api_smoke
 run_serve_smoke
+run_fleet_smoke
 
 echo "check.sh: all green"

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * api::Endpoint — THE configuration surface for every seam a request
+ * can travel through. PRs 5–7 grew options organically (SpoolOptions,
+ * ServerOptions, ServeClient setters, the tools' divergent flags);
+ * this type collapses them: one parsed URI plus typed limit/timeout
+ * bags, from which each consumer derives its legacy options struct
+ * (serverOptionsFor, spoolOptionsFor, ...). The legacy structs remain
+ * as thin forwarders for one release — see the migration table in
+ * src/api/README.md.
+ *
+ * A URI names the seam and carries options as a query string, with
+ * the SAME spellings the tools use as flags:
+ *
+ *     inproc:
+ *     spool:DIR?timeout=300&claim-stale-ms=60000
+ *     unix:PATH?max-inflight=256&idle-timeout=30
+ *     tcp:HOST:PORT?timeout=30&max-cells=64&json=1
+ *
+ * Option keys by consumer (unknown keys throw — typos fail fast):
+ *
+ *     store            store root (server: forced on every request)
+ *     timeout          response/collect deadline, seconds
+ *     idle-timeout     close idle connections after, seconds
+ *     job-timeout      re-dispatch a worker-held cell after, seconds
+ *     max-clients      concurrent connections accepted
+ *     max-inflight     global in-flight cell admission bound
+ *     max-cells        per-request cell quota
+ *     max-frame-bytes  frame payload bound
+ *     worker-inflight  cells in flight per registered worker
+ *     max-jobs         spool serve: stop after N jobs (0 = unlimited)
+ *     claim-stale-ms   spool claim staleness (crash-steal latency)
+ *     json             client sends JSON requests (1/0)
+ */
+
+#ifndef GPUPERF_API_ENDPOINT_H
+#define GPUPERF_API_ENDPOINT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "store/lease.h"
+
+namespace gpuperf {
+namespace api {
+
+class Transport;
+class AnalysisService;
+
+struct Endpoint
+{
+    enum class Scheme
+    {
+        kInproc,
+        kSpool,
+        kUnix,
+        kTcp,
+    };
+
+    /**
+     * Who this endpoint configures: a client connecting out, a server
+     * binding listeners, or a worker registering with a server. The
+     * role changes validation (a server may bind tcp port 0 for an
+     * ephemeral port; a client must name a real one) and which
+     * options are meaningful.
+     */
+    enum class Role
+    {
+        kClient,
+        kServer,
+        kWorker,
+    };
+
+    Scheme scheme = Scheme::kInproc;
+    Role role = Role::kClient;
+
+    /** Spool directory (kSpool) or Unix socket path (kUnix). */
+    std::string path;
+    /** TCP host (kTcp only); loopback by default. */
+    std::string host = "127.0.0.1";
+    /** TCP port (kTcp only; 0 = ephemeral, servers only). */
+    int port = -1;
+
+    /** Store root; servers force it onto every request ("" = unset). */
+    std::string storeDir;
+
+    /** Client wire preference: send requests as JSON, not binary. */
+    bool jsonRequests = false;
+
+    struct Limits
+    {
+        size_t maxClients = 64;
+        size_t maxInFlightCells = 1024;
+        size_t maxCellsPerRequest = 4096;
+        /** Mirrors api::kMaxFrameBytesDefault. */
+        uint64_t maxFrameBytes = 256ull << 20;
+        /** Dispatch: cells in flight per registered worker. */
+        size_t maxWorkerInFlight = 4;
+        /** Spool serve: stop after N executed jobs (0 = unlimited). */
+        size_t maxJobs = 0;
+    };
+
+    struct Timeouts
+    {
+        /** Server: close idle connections after (negative = never). */
+        double idleSeconds = -1.0;
+        /** Client: response-frame deadline (negative = indefinite). */
+        double responseSeconds = -1.0;
+        /** Spool collect deadline, seconds. */
+        double collectSeconds = 600.0;
+        /** Dispatch: re-dispatch a worker-held cell after, seconds. */
+        double jobSeconds = 600.0;
+        /** Spool collect poll backoff (initial -> cap). */
+        double pollInitialSeconds = 0.002;
+        double pollMaxSeconds = 0.25;
+        /** Spool claim staleness threshold, milliseconds. */
+        int64_t claimStaleMs = store::kLeaseStaleAfterMsDefault;
+    };
+
+    Limits limits;
+    Timeouts timeouts;
+
+    /**
+     * Parse "scheme:authority?k=v&k=v" into an Endpoint for @p role.
+     * Throws std::runtime_error on an unknown scheme, a malformed
+     * authority (tcp without host:port, spool/unix without a path, a
+     * bad port) or an unrecognized/ill-typed option key.
+     */
+    static Endpoint parse(const std::string &uri,
+                          Role role = Role::kClient);
+
+    /** Canonical base URI, without the query ("tcp:host:port"). */
+    std::string uri() const;
+};
+
+/**
+ * Transport for @p ep (same backends as the string overload of
+ * makeTransport in api/transport.h, which now parses through
+ * Endpoint::parse — so query options work on every URI). Client
+ * options (timeout, max-frame-bytes, json) are applied to socket
+ * transports; spool transports collect under ep.timeouts.
+ */
+std::unique_ptr<Transport> makeTransport(const Endpoint &ep,
+                                         AnalysisService *local = nullptr);
+
+} // namespace api
+} // namespace gpuperf
+
+#endif // GPUPERF_API_ENDPOINT_H

@@ -1,9 +1,9 @@
 #include "api/server.h"
 
-#include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
+#include <cinttypes>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -24,19 +24,68 @@ namespace {
  */
 constexpr double kSendStallTimeoutSeconds = 30.0;
 
-void
-setSendTimeout(int fd, double seconds)
+DispatchOptions
+dispatchOptionsFor(const ServerOptions &opts)
 {
-    struct timeval tv;
-    tv.tv_sec = static_cast<time_t>(seconds);
-    tv.tv_usec = static_cast<suseconds_t>(
-        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    DispatchOptions d;
+    d.maxInFlightPerWorker = opts.maxWorkerInFlight;
+    d.jobTimeoutSeconds = opts.jobTimeoutSeconds;
+    d.maxFrameBytes = opts.maxFrameBytes;
+    return d;
 }
 
 } // namespace
 
-Server::Server(ServerOptions opts) : opts_(std::move(opts)) {}
+ServerOptions
+serverOptionsFor(const std::vector<Endpoint> &endpoints)
+{
+    if (endpoints.empty())
+        throw std::runtime_error("a server needs at least one "
+                                 "listener endpoint");
+    ServerOptions opts;
+    const Endpoint &first = endpoints.front();
+    opts.maxClients = first.limits.maxClients;
+    opts.maxInFlightCells = first.limits.maxInFlightCells;
+    opts.maxCellsPerRequest = first.limits.maxCellsPerRequest;
+    opts.maxFrameBytes = first.limits.maxFrameBytes;
+    opts.maxWorkerInFlight = first.limits.maxWorkerInFlight;
+    opts.idleTimeoutSeconds = first.timeouts.idleSeconds;
+    opts.jobTimeoutSeconds = first.timeouts.jobSeconds;
+    opts.forceStoreDir = first.storeDir;
+    for (const Endpoint &ep : endpoints) {
+        switch (ep.scheme) {
+        case Endpoint::Scheme::kUnix:
+            opts.unixPath = ep.path;
+            break;
+        case Endpoint::Scheme::kTcp:
+            opts.tcpHost = ep.host;
+            opts.tcpPort = ep.port;
+            break;
+        default:
+            throw std::runtime_error(
+                "server endpoints must be unix:PATH or "
+                "tcp:HOST:PORT, got '" +
+                ep.uri() + "'");
+        }
+    }
+    return opts;
+}
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      dispatcher_(service_, dispatchOptionsFor(opts_))
+{
+}
+
+Server::Server(const Endpoint &endpoint)
+    : Server(serverOptionsFor(std::vector<Endpoint>{endpoint}))
+{
+}
+
+Server::Server(const std::vector<Endpoint> &endpoints)
+    : Server(serverOptionsFor(endpoints))
+{
+}
 
 Server::~Server()
 {
@@ -105,8 +154,66 @@ Server::stop()
 ServerStats
 Server::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    ServerStats s;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s = stats_;
+    }
+    s.fleet = dispatcher_.stats();
+    return s;
+}
+
+std::string
+statsToJson(const ServerStats &stats)
+{
+    char buf[512];
+    std::string out = "{\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"accepted\": %" PRIu64 ",\n"
+                  "  \"rejected_clients\": %" PRIu64 ",\n"
+                  "  \"requests\": %" PRIu64 ",\n"
+                  "  \"rejected_requests\": %" PRIu64 ",\n"
+                  "  \"cells\": %" PRIu64 ",\n"
+                  "  \"failed_cells\": %" PRIu64 ",\n"
+                  "  \"disconnects\": %" PRIu64 ",\n",
+                  stats.accepted, stats.rejectedClients, stats.requests,
+                  stats.rejectedRequests, stats.cells,
+                  stats.failedCells, stats.disconnects);
+    out += buf;
+    const DispatchStats &f = stats.fleet;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"workers_registered\": %" PRIu64 ",\n"
+                  "  \"workers_live\": %" PRIu64 ",\n"
+                  "  \"worker_deaths\": %" PRIu64 ",\n"
+                  "  \"cells_dispatched\": %" PRIu64 ",\n"
+                  "  \"cells_completed_remote\": %" PRIu64 ",\n"
+                  "  \"cells_redispatched\": %" PRIu64 ",\n"
+                  "  \"cells_local\": %" PRIu64 ",\n"
+                  "  \"requests_local_fallback\": %" PRIu64 ",\n"
+                  "  \"duplicate_results\": %" PRIu64 ",\n"
+                  "  \"malformed_results\": %" PRIu64 ",\n",
+                  f.workersRegistered, f.workersLive, f.workerDeaths,
+                  f.cellsDispatched, f.cellsCompletedRemote,
+                  f.cellsRedispatched, f.cellsLocal,
+                  f.requestsLocalFallback, f.duplicateResults,
+                  f.malformedResults);
+    out += buf;
+    out += "  \"workers\": [";
+    for (size_t i = 0; i < f.workers.size(); ++i) {
+        const WorkerStat &w = f.workers[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n    {\"id\": %" PRIu64
+                      ", \"name\": \"%s\", \"live\": %s, "
+                      "\"cells_done\": %" PRIu64
+                      ", \"in_flight\": %zu}",
+                      i ? "," : "", w.id, w.name.c_str(),
+                      w.live ? "true" : "false", w.cellsDone,
+                      w.inFlight);
+        out += buf;
+    }
+    out += f.workers.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
 }
 
 void
@@ -144,7 +251,7 @@ Server::acceptLoop(int listen_fd)
         const int fd = acceptClient(listen_fd);
         if (fd < 0)
             continue;
-        setSendTimeout(fd, kSendStallTimeoutSeconds);
+        setSendTimeoutSeconds(fd, kSendStallTimeoutSeconds);
 
         std::string reject;
         {
@@ -214,6 +321,14 @@ Server::serveConnection(int fd)
             writeFrame(fd, FrameType::kError,
                        stopping_.load() ? "server is shutting down"
                                         : err);
+            break;
+        }
+        if (type == FrameType::kRegister) {
+            // The connection changes species: from here it is a
+            // worker channel (kJob out, kCell results in) for its
+            // whole life, managed by the dispatcher. It still counts
+            // against maxClients — a worker holds a connection slot.
+            dispatcher_.serveWorker(fd, payload, &stopping_);
             break;
         }
         if (type != FrameType::kRequest &&
@@ -302,7 +417,7 @@ Server::serveExchange(int fd, FrameType type,
     AnalysisResponse resp;
     std::string exec_error;
     try {
-        resp = service_.execute(
+        resp = dispatcher_.execute(
             req,
             [this, fd, &req, &peer_alive, stream_requested](
                 size_t index, const driver::BatchResult &cell) {

@@ -46,12 +46,20 @@
 #include <thread>
 #include <vector>
 
+#include "api/dispatch.h"
+#include "api/endpoint.h"
 #include "api/service.h"
 #include "api/transport.h"
 
 namespace gpuperf {
 namespace api {
 
+/**
+ * DEPRECATED as a public surface: build servers from api::Endpoint
+ * URIs (Server(const Endpoint &) / serverOptionsFor) instead — see
+ * the migration table in src/api/README.md. The struct remains the
+ * internal representation for one release.
+ */
 struct ServerOptions
 {
     /** Unix-domain socket path ("" = no Unix listener). */
@@ -88,7 +96,21 @@ struct ServerOptions
      * daemon wants one warm store, not one per client's cwd.
      */
     std::string forceStoreDir;
+
+    /** Dispatch: cells in flight per registered worker. */
+    size_t maxWorkerInFlight = 4;
+    /** Dispatch: re-dispatch a worker-held cell after this. */
+    double jobTimeoutSeconds = 600.0;
 };
+
+/**
+ * The ServerOptions equivalent of @p endpoints: every endpoint must
+ * be a listener (unix:/tcp:, Role::kServer); limits, timeouts and the
+ * forced store root are taken from the FIRST endpoint (later ones
+ * contribute only their listener). Throws std::runtime_error on an
+ * empty list or a non-listener scheme.
+ */
+ServerOptions serverOptionsFor(const std::vector<Endpoint> &endpoints);
 
 /** Monotonic counters (torn reads are fine; they are telemetry). */
 struct ServerStats
@@ -100,11 +122,25 @@ struct ServerStats
     uint64_t cells = 0;          ///< cells delivered (ok or failed)
     uint64_t failedCells = 0;    ///< delivered cells with ok == false
     uint64_t disconnects = 0;    ///< streams broken mid-exchange
+    /** Fleet health: the dispatcher's counters and per-worker rows. */
+    DispatchStats fleet;
 };
+
+/**
+ * The stats as one deterministic JSON object (counters plus a
+ * "workers" array) — what `gpuperf-serve --stats-json` dumps at
+ * shutdown and the fleet soak bench parses per worker.
+ */
+std::string statsToJson(const ServerStats &stats);
 
 class Server
 {
   public:
+    /** The Endpoint is the config surface: one listener... */
+    explicit Server(const Endpoint &endpoint);
+    /** ...or several (unix + tcp), first one carries the options. */
+    explicit Server(const std::vector<Endpoint> &endpoints);
+    /** DEPRECATED forwarder (one release); prefer the Endpoint ctors. */
     explicit Server(ServerOptions opts);
     ~Server();
     Server(const Server &) = delete;
@@ -130,8 +166,14 @@ class Server
 
     ServerStats stats() const;
 
+    /** The effective options (tools echo the listener lines). */
+    const ServerOptions &options() const { return opts_; }
+
     /** The shared service (tests pre-seed calibrations through it). */
     AnalysisService &service() { return service_; }
+
+    /** The fleet dispatcher (tests poll worker registration). */
+    Dispatcher &dispatcher() { return dispatcher_; }
 
   private:
     struct Connection
@@ -152,6 +194,7 @@ class Server
 
     ServerOptions opts_;
     AnalysisService service_;
+    Dispatcher dispatcher_;
 
     std::vector<int> listen_fds_;
     int bound_tcp_port_ = -1;

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "api/codecs.h"
+#include "api/endpoint.h"
 #include "common/fnv.h"
 #include "common/logging.h"
 #include "store/serializer.h"
@@ -90,9 +91,10 @@ fileExists(const std::string &path)
     return ::access(path.c_str(), F_OK) == 0;
 }
 
-/** A response whose cell failed before execution could run. */
+} // namespace
+
 AnalysisResponse
-failureResponse(const AnalysisRequest &cell, const std::string &error)
+cellFailureResponse(const AnalysisRequest &cell, const std::string &error)
 {
     AnalysisResponse resp = makeResponseShell(cell);
     driver::BatchResult r;
@@ -105,8 +107,6 @@ failureResponse(const AnalysisRequest &cell, const std::string &error)
     resp.cells.push_back(std::move(r));
     return resp;
 }
-
-} // namespace
 
 AnalysisRequest
 cellRequest(const AnalysisRequest &req, size_t ki, size_t si)
@@ -211,7 +211,7 @@ spoolServe(const std::string &dir, AnalysisService &service,
                 // Malformed or foreign job file: answer it with a
                 // failure so the parent's collect terminates instead
                 // of timing out (and the bad file stays inspectable).
-                resp = failureResponse(
+                resp = cellFailureResponse(
                     AnalysisRequest{},
                     "spool job '" + id +
                         "' failed to deserialize (schema mismatch "
@@ -221,7 +221,7 @@ spoolServe(const std::string &dir, AnalysisService &service,
                 try {
                     resp = service.run(cell);
                 } catch (const std::exception &e) {
-                    resp = failureResponse(cell, e.what());
+                    resp = cellFailureResponse(cell, e.what());
                 }
             }
             ++stats.executed;
@@ -352,6 +352,25 @@ runSpooled(const std::string &dir, const AnalysisRequest &req,
     spoolSubmit(dir, req);
     spoolServe(dir, service);
     return spoolCollect(dir, req, opts);
+}
+
+SpoolOptions
+spoolOptionsFor(const Endpoint &ep)
+{
+    SpoolOptions opts;
+    opts.timeoutSeconds = ep.timeouts.collectSeconds;
+    opts.pollInitialSeconds = ep.timeouts.pollInitialSeconds;
+    opts.pollMaxSeconds = ep.timeouts.pollMaxSeconds;
+    return opts;
+}
+
+ServeOptions
+spoolServeOptionsFor(const Endpoint &ep)
+{
+    ServeOptions opts;
+    opts.maxJobs = ep.limits.maxJobs;
+    opts.claimStaleAfterMs = ep.timeouts.claimStaleMs;
+    return opts;
 }
 
 } // namespace api

@@ -44,9 +44,20 @@
 namespace gpuperf {
 namespace api {
 
+struct Endpoint;
+
 /** The per-cell job derived from @p req at (kernel ki, spec si). */
 AnalysisRequest cellRequest(const AnalysisRequest &req, size_t ki,
                             size_t si);
+
+/**
+ * A single-cell response whose cell failed before (or instead of)
+ * executing, labeled from the cell request. Shared by the spool
+ * server, the dispatcher's local fallback, and registered workers —
+ * every seam fails a cell the same way.
+ */
+AnalysisResponse cellFailureResponse(const AnalysisRequest &cell,
+                                     const std::string &error);
 
 /**
  * One spooled cell: its deterministic job id plus the (kernel, spec)
@@ -165,6 +176,14 @@ AnalysisResponse runSpooled(const std::string &dir,
                             const AnalysisRequest &req,
                             AnalysisService &service,
                             const SpoolOptions &opts = {});
+
+// --- Endpoint derivation (api/endpoint.h is the config surface) -------
+
+/** Collect-side options from @p ep (timeout, poll backoff). */
+SpoolOptions spoolOptionsFor(const Endpoint &ep);
+
+/** Serve-side options from @p ep (max-jobs, claim-stale-ms). */
+ServeOptions spoolServeOptionsFor(const Endpoint &ep);
 
 } // namespace api
 } // namespace gpuperf

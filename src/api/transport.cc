@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "api/client.h"
+#include "api/endpoint.h"
 #include "api/spool.h"
 #include "common/socket.h"
 
@@ -96,7 +97,7 @@ readFrame(int fd, FrameType *type, std::string *payload,
     }
     const uint8_t raw_type = header[4];
     if (raw_type < static_cast<uint8_t>(FrameType::kRequest) ||
-        raw_type > static_cast<uint8_t>(FrameType::kError)) {
+        raw_type > static_cast<uint8_t>(FrameType::kJob)) {
         if (err)
             *err = "unknown frame type " + std::to_string(raw_type);
         return -1;
@@ -163,8 +164,9 @@ class InProcessTransport : public Transport
 class SpoolTransport : public Transport
 {
   public:
-    SpoolTransport(std::string dir, AnalysisService *local)
-        : dir_(std::move(dir)), local_(local)
+    SpoolTransport(std::string dir, AnalysisService *local,
+                   SpoolOptions opts)
+        : dir_(std::move(dir)), local_(local), opts_(opts)
     {
     }
 
@@ -173,9 +175,9 @@ class SpoolTransport : public Transport
     {
         // No streaming wire through a directory: degrade to collect.
         if (local_)
-            return runSpooled(dir_, req, *local_);
+            return runSpooled(dir_, req, *local_, opts_);
         spoolSubmit(dir_, req);
-        return spoolCollect(dir_, req);
+        return spoolCollect(dir_, req, opts_);
     }
 
     std::string describe() const override { return "spool:" + dir_; }
@@ -183,53 +185,41 @@ class SpoolTransport : public Transport
   private:
     std::string dir_;
     AnalysisService *local_;
+    SpoolOptions opts_;
 };
 
 } // namespace
 
 std::unique_ptr<Transport>
+makeTransport(const Endpoint &ep, AnalysisService *local)
+{
+    switch (ep.scheme) {
+    case Endpoint::Scheme::kInproc:
+        return std::make_unique<InProcessTransport>(local);
+    case Endpoint::Scheme::kSpool:
+        return std::make_unique<SpoolTransport>(ep.path, local,
+                                                spoolOptionsFor(ep));
+    case Endpoint::Scheme::kUnix:
+    case Endpoint::Scheme::kTcp: {
+        auto client = std::make_unique<ServeClient>(
+            ep.scheme == Endpoint::Scheme::kUnix
+                ? ServeClient::overUnix(ep.path)
+                : ServeClient::overTcp(ep.host, ep.port));
+        client->setJsonRequests(ep.jsonRequests);
+        client->setMaxFrameBytes(ep.limits.maxFrameBytes);
+        client->setResponseTimeout(ep.timeouts.responseSeconds);
+        return client;
+    }
+    }
+    throw std::runtime_error("unhandled endpoint scheme");
+}
+
+std::unique_ptr<Transport>
 makeTransport(const std::string &uri, AnalysisService *local)
 {
-    const auto after = [&uri](const char *scheme) {
-        return uri.substr(std::strlen(scheme));
-    };
-    if (uri == "inproc:" || uri == "inproc" || uri.empty())
-        return std::make_unique<InProcessTransport>(local);
-    if (uri.rfind("spool:", 0) == 0) {
-        const std::string dir = after("spool:");
-        if (dir.empty())
-            throw std::runtime_error(
-                "spool transport needs a directory: 'spool:DIR'");
-        return std::make_unique<SpoolTransport>(dir, local);
-    }
-    if (uri.rfind("unix:", 0) == 0) {
-        const std::string path = after("unix:");
-        if (path.empty())
-            throw std::runtime_error(
-                "unix transport needs a socket path: 'unix:PATH'");
-        return std::make_unique<ServeClient>(
-            ServeClient::overUnix(path));
-    }
-    if (uri.rfind("tcp:", 0) == 0) {
-        const std::string rest = after("tcp:");
-        const size_t colon = rest.rfind(':');
-        if (colon == std::string::npos || colon == 0 ||
-            colon + 1 == rest.size()) {
-            throw std::runtime_error(
-                "tcp transport needs 'tcp:HOST:PORT', got '" + uri +
-                "'");
-        }
-        const std::string host = rest.substr(0, colon);
-        const int port = std::atoi(rest.c_str() + colon + 1);
-        if (port <= 0 || port > 65535) {
-            throw std::runtime_error("bad tcp port in '" + uri + "'");
-        }
-        return std::make_unique<ServeClient>(
-            ServeClient::overTcp(host, port));
-    }
-    throw std::runtime_error(
-        "unknown transport '" + uri +
-        "' (expected inproc:, spool:DIR, unix:PATH or tcp:HOST:PORT)");
+    // Parsing through Endpoint is what makes ?key=value options work
+    // uniformly on every URI the tools and tests pass around.
+    return makeTransport(Endpoint::parse(uri), local);
 }
 
 } // namespace api

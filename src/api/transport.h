@@ -33,11 +33,24 @@
  *     kError (5)        payload = UTF-8 message; terminates the
  *                       request (admission rejection, malformed
  *                       request, server shutdown)
+ *     kRegister (6)     worker -> server: payload = worker name; the
+ *                       server acks with a kRegister frame whose
+ *                       payload is the assigned worker id (decimal).
+ *                       Turns the connection into a worker channel.
+ *     kJob (7)          server -> worker: payload = u64 job id +
+ *                       binary single-cell AnalysisRequest. The
+ *                       worker answers with a kCell frame carrying
+ *                       u64 job id + binary single-cell
+ *                       AnalysisResponse (note: on CLIENT
+ *                       connections kCell carries a u32 cell index
+ *                       instead — the connection kind disambiguates).
  *
  * One request-response exchange per frame round trip; a client may
  * send its next request on the same connection after kDone/kError.
  * kCell frames arrive only when the request asked for streaming
- * delivery (exec.delivery == kStream).
+ * delivery (exec.delivery == kStream). Worker connections (opened by
+ * kRegister) instead exchange kJob/kCell frames for the connection's
+ * whole life — see api/dispatch.h.
  */
 
 #ifndef GPUPERF_API_TRANSPORT_H
@@ -63,6 +76,8 @@ enum class FrameType : uint8_t
     kCell = 3,
     kDone = 4,
     kError = 5,
+    kRegister = 6,
+    kJob = 7,
 };
 
 /** "GPF1" little-endian — rejects non-gpuperf peers at byte 4. */
@@ -147,8 +162,11 @@ class Transport
  *     unix:PATH            gpuperf-serve over a Unix-domain socket
  *     tcp:HOST:PORT        gpuperf-serve over TCP
  *
- * Throws std::runtime_error on an unrecognized scheme or malformed
- * authority. Socket transports connect lazily on the first run().
+ * URIs may carry options as a query string ("tcp:h:p?timeout=30") —
+ * parsing goes through Endpoint::parse (api/endpoint.h), which
+ * documents the option keys. Throws std::runtime_error on an
+ * unrecognized scheme, malformed authority or unknown option key.
+ * Socket transports connect lazily on the first run().
  */
 std::unique_ptr<Transport> makeTransport(const std::string &uri,
                                          AnalysisService *local = nullptr);

@@ -8,6 +8,7 @@
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -263,6 +264,16 @@ recvFully(int fd, void *data, size_t n, double stall_timeout_seconds,
         last_progress = Clock::now();
     }
     return 1;
+}
+
+void
+setSendTimeoutSeconds(int fd, double seconds)
+{
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void

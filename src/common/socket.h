@@ -69,6 +69,13 @@ int recvFully(int fd, void *data, size_t n,
               double stall_timeout_seconds = 30.0,
               const std::atomic<bool> *cancel = nullptr);
 
+/**
+ * Bound blocking writes on @p fd (SO_SNDTIMEO): a peer that stops
+ * reading must not pin a writer thread forever. Shared by the server's
+ * client connections and the dispatcher's worker channels.
+ */
+void setSendTimeoutSeconds(int fd, double seconds);
+
 /** close(2), ignoring errors (idempotent-ish; -1 is a no-op). */
 void closeSocket(int fd);
 

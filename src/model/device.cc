@@ -11,12 +11,6 @@ SimulatedDevice::SimulatedDevice(const arch::GpuSpec &spec,
 {
 }
 
-SimulatedDevice::SimulatedDevice(const arch::GpuSpec &spec,
-                                 timing::ReplayEngine engine)
-    : spec_(spec), funcSim_(spec), timingSim_(spec, engine)
-{
-}
-
 Measurement
 SimulatedDevice::run(const isa::Kernel &kernel,
                      const funcsim::LaunchConfig &cfg,

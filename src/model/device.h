@@ -82,22 +82,13 @@ struct Measurement
 class SimulatedDevice
 {
   public:
-    /** Configured construction (reads SessionConfig::engine only). */
-    SimulatedDevice(const arch::GpuSpec &spec,
-                    const SessionConfig &config);
-
     /**
-     * DEPRECATED forwarder (one release): prefer the SessionConfig
-     * ctor above.
-     *
-     * @param engine timing replay engine; kAuto selects per launch
-     *        (the engines are bit-identical, so this never changes
-     *        results — only the replay loop producing them).
+     * Configured construction (reads SessionConfig::engine only; the
+     * PR 5 engine-argument forwarder is gone — the default config
+     * keeps bare SimulatedDevice(spec) working).
      */
-    explicit SimulatedDevice(
-        const arch::GpuSpec &spec,
-        timing::ReplayEngine engine =
-            timing::ReplayEngine::kEventDriven);
+    explicit SimulatedDevice(const arch::GpuSpec &spec,
+                             const SessionConfig &config = {});
 
     /**
      * Execute and time a kernel.

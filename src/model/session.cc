@@ -16,18 +16,6 @@ AnalysisSession::AnalysisSession(const arch::GpuSpec &spec,
         calibrator_.adoptTables(config.tables);
 }
 
-AnalysisSession::AnalysisSession(const arch::GpuSpec &spec,
-                                 const std::string &calibration_cache,
-                                 timing::ReplayEngine engine)
-    : AnalysisSession(spec, [&] {
-          SessionConfig config;
-          config.calibrationCache = calibration_cache;
-          config.engine = engine;
-          return config;
-      }())
-{
-}
-
 Analysis
 AnalysisSession::analyze(const isa::Kernel &kernel,
                          const funcsim::LaunchConfig &cfg,

@@ -46,24 +46,12 @@ class AnalysisSession
     /**
      * Configured construction: cache file, replay engine and adopted
      * tables all come in through one SessionConfig (model/device.h)
-     * instead of a ladder of ctor overloads.
-     */
-    AnalysisSession(const arch::GpuSpec &spec,
-                    const SessionConfig &config);
-
-    /**
-     * DEPRECATED forwarder (one release): prefer the SessionConfig
-     * ctor above.
-     *
-     * @param calibration_cache optional file path where calibration
-     *        tables are cached across processes ("" = no cache)
-     * @param engine timing replay engine for this session's device;
-     *        kAuto selects per launch without changing results
+     * instead of a ladder of ctor overloads. (The PR 5 string/engine
+     * forwarders are gone; the default config keeps bare
+     * AnalysisSession(spec) working.)
      */
     explicit AnalysisSession(const arch::GpuSpec &spec,
-                             const std::string &calibration_cache = "",
-                             timing::ReplayEngine engine =
-                                 timing::ReplayEngine::kEventDriven);
+                             const SessionConfig &config = {});
 
     AnalysisSession(const AnalysisSession &) = delete;
     AnalysisSession &operator=(const AnalysisSession &) = delete;

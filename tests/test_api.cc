@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "api/codecs.h"
+#include "api/endpoint.h"
 #include "api/json.h"
 #include "api/registry.h"
 #include "api/request.h"
@@ -816,7 +817,10 @@ TEST(SpoolTest, LiveClaimsAreRespectedAndReleasedOnesServed)
         spool + "/jobs/" + ids[0] + ".claim");
     ASSERT_TRUE(claim.held());
     AnalysisService service;
-    ServeOptions once;
+    // One claim pass (drain stays a call-site choice; everything
+    // else comes off the spool: endpoint).
+    ServeOptions once = spoolServeOptionsFor(
+        Endpoint::parse("spool:" + spool, Endpoint::Role::kWorker));
     once.drain = false;
     EXPECT_EQ(spoolServe(spool, service, once).executed, 0u);
 
@@ -963,8 +967,8 @@ TEST(SpoolTest, CollectBackoffStillDeliversLateResponses)
         AnalysisService service;
         spoolServe(spool, service);
     });
-    SpoolOptions opts;
-    opts.timeoutSeconds = 60.0;
+    const SpoolOptions opts = spoolOptionsFor(
+        Endpoint::parse("spool:" + spool + "?timeout=60"));
     const AnalysisResponse resp = spoolCollect(spool, req, opts);
     server.join();
     ASSERT_EQ(resp.cells.size(), 1u);

@@ -26,9 +26,17 @@ namespace {
 
 const char *kCache = "test_calibration_gtx285.cache";
 
+SessionConfig
+cachedConfig()
+{
+    SessionConfig config;
+    config.calibrationCache = kCache;
+    return config;
+}
+
 TEST(Integration, CalibrationTablesAreSane)
 {
-    AnalysisSession session(arch::GpuSpec::gtx285(), kCache);
+    AnalysisSession session(arch::GpuSpec::gtx285(), cachedConfig());
     const CalibrationTables &t = session.calibrator().tables();
     const arch::GpuSpec &spec = session.spec();
     for (arch::InstrType type : arch::kAllInstrTypes) {
@@ -58,7 +66,7 @@ TEST(Integration, CalibrationTablesAreSane)
 
 TEST(Integration, GlobalBenchSaturatesAndSawtooths)
 {
-    AnalysisSession session(arch::GpuSpec::gtx285(), kCache);
+    AnalysisSession session(arch::GpuSpec::gtx285(), cachedConfig());
     Calibrator &cal = session.calibrator();
     const double peak = session.spec().peakGlobalBandwidth();
 
@@ -76,7 +84,7 @@ TEST(Integration, GlobalBenchSaturatesAndSawtooths)
 
 TEST(Integration, GemmModelErrorWithinBand)
 {
-    AnalysisSession session(arch::GpuSpec::gtx285(), kCache);
+    AnalysisSession session(arch::GpuSpec::gtx285(), cachedConfig());
     // Moderate size keeps the test quick; tail-wave effects are larger
     // than at the paper's 1024 scale, hence the wider band here.
     for (int tile : {16, 32}) {
@@ -99,7 +107,7 @@ TEST(Integration, GemmModelErrorWithinBand)
 
 TEST(Integration, CyclicReductionMatchesPaperStory)
 {
-    AnalysisSession session(arch::GpuSpec::gtx285(), kCache);
+    AnalysisSession session(arch::GpuSpec::gtx285(), cachedConfig());
 
     funcsim::GlobalMemory g1(64 << 20);
     apps::TridiagProblem cr = apps::makeTridiagProblem(g1, 512, 512,
@@ -134,7 +142,7 @@ TEST(Integration, CyclicReductionMatchesPaperStory)
 
 TEST(Integration, SpmvIsGlobalBoundAndAccuratelyModeled)
 {
-    AnalysisSession session(arch::GpuSpec::gtx285(), kCache);
+    AnalysisSession session(arch::GpuSpec::gtx285(), cachedConfig());
     apps::BlockSparseMatrix m = apps::makeBandedBlockMatrix(2048, 13, 24);
     const apps::SpmvFormat formats[] = {apps::SpmvFormat::kEll,
                                         apps::SpmvFormat::kBellIm,

@@ -107,17 +107,20 @@ expectEqual(const AnalysisResponse &got, const AnalysisResponse &want)
 /** A started server plus the in-process reference it must match. */
 struct Rig
 {
-    ServerOptions opts;
+    std::string unixPath;
     std::unique_ptr<Server> server;
     AnalysisService reference;
     AnalysisRequest req = testRequest();
 
     explicit Rig(const std::string &tag, bool tcp = false)
     {
-        opts.unixPath = freshSocketPath(tag);
-        if (tcp)
-            opts.tcpPort = 0; // ephemeral
-        server = std::make_unique<Server>(opts);
+        unixPath = freshSocketPath(tag);
+        std::vector<Endpoint> endpoints = {Endpoint::parse(
+            "unix:" + unixPath, Endpoint::Role::kServer)};
+        if (tcp) // ephemeral port
+            endpoints.push_back(Endpoint::parse(
+                "tcp:127.0.0.1:0", Endpoint::Role::kServer));
+        server = std::make_unique<Server>(endpoints);
         server->start();
         adoptAll(server->service(), req);
         adoptAll(reference, req);
@@ -133,7 +136,7 @@ TEST(ServeTest, UnixAndTcpAreBitIdenticalToInProcess)
     Rig rig("bitident", /*tcp=*/true);
     const AnalysisResponse want = rig.expected();
 
-    ServeClient over_unix = ServeClient::overUnix(rig.opts.unixPath);
+    ServeClient over_unix = ServeClient::overUnix(rig.unixPath);
     expectEqual(over_unix.run(rig.req), want);
 
     ASSERT_GT(rig.server->tcpPort(), 0);
@@ -155,7 +158,7 @@ TEST(ServeTest, JsonRequestsServeIdentically)
 {
     Rig rig("json");
     const AnalysisResponse want = rig.expected();
-    ServeClient client = ServeClient::overUnix(rig.opts.unixPath);
+    ServeClient client = ServeClient::overUnix(rig.unixPath);
     client.setJsonRequests(true);
     expectEqual(client.run(rig.req), want);
 }
@@ -164,8 +167,8 @@ TEST(ServeTest, MakeTransportReachesAServer)
 {
     Rig rig("uri");
     const auto transport =
-        makeTransport("unix:" + rig.opts.unixPath);
-    EXPECT_EQ(transport->describe(), "unix:" + rig.opts.unixPath);
+        makeTransport("unix:" + rig.unixPath);
+    EXPECT_EQ(transport->describe(), "unix:" + rig.unixPath);
     expectEqual(transport->run(rig.req), rig.expected());
 
     EXPECT_THROW(makeTransport("carrier-pigeon:coop"),
@@ -194,7 +197,7 @@ TEST(ServeTest, ConcurrentClientsStreamEveryCellOnce)
                 // Alternate transports so both listeners see load.
                 ServeClient client =
                     (c % 2 == 0)
-                        ? ServeClient::overUnix(rig.opts.unixPath)
+                        ? ServeClient::overUnix(rig.unixPath)
                         : ServeClient::overTcp(
                               "127.0.0.1", rig.server->tcpPort());
                 std::vector<int> delivered(want.cells.size(), 0);
@@ -236,15 +239,14 @@ TEST(ServeTest, RequestLargerThanInFlightBoundStillAdmitsWhenIdle)
 {
     // A lone request bigger than maxInFlightCells must execute, not
     // deadlock against the admission gate.
-    ServerOptions opts;
-    opts.unixPath = freshSocketPath("bigreq");
-    opts.maxInFlightCells = 1;
-    Server server(opts);
+    const std::string path = freshSocketPath("bigreq");
+    Server server(Endpoint::parse("unix:" + path + "?max-inflight=1",
+                                  Endpoint::Role::kServer));
     server.start();
     const AnalysisRequest req = testRequest();
     adoptAll(server.service(), req);
 
-    ServeClient client = ServeClient::overUnix(opts.unixPath);
+    ServeClient client = ServeClient::overUnix(path);
     const AnalysisResponse got = client.run(req);
     EXPECT_EQ(got.cells.size(),
               req.kernels.size() * req.specs.size());
@@ -254,15 +256,14 @@ TEST(ServeTest, RequestLargerThanInFlightBoundStillAdmitsWhenIdle)
 
 TEST(ServeTest, QuotaRejectsOversizedRequestsButKeepsTheConnection)
 {
-    ServerOptions opts;
-    opts.unixPath = freshSocketPath("quota");
-    opts.maxCellsPerRequest = 1;
-    Server server(opts);
+    const std::string path = freshSocketPath("quota");
+    Server server(Endpoint::parse("unix:" + path + "?max-cells=1",
+                                  Endpoint::Role::kServer));
     server.start();
     AnalysisRequest req = testRequest();
     adoptAll(server.service(), req);
 
-    ServeClient client = ServeClient::overUnix(opts.unixPath);
+    ServeClient client = ServeClient::overUnix(path);
     EXPECT_THROW(
         {
             try {
@@ -289,7 +290,7 @@ TEST(ServeTest, MalformedRequestGetsErrorNotACrash)
 {
     Rig rig("malformed");
     std::string err;
-    const int fd = connectUnix(rig.opts.unixPath, &err);
+    const int fd = connectUnix(rig.unixPath, &err);
     ASSERT_GE(fd, 0) << err;
     ASSERT_TRUE(
         writeFrame(fd, FrameType::kRequest, "this is not a request"));
@@ -309,14 +310,14 @@ TEST(ServeTest, MalformedRequestGetsErrorNotACrash)
 
 TEST(ServeTest, OversizedFrameIsRefusedBeforeAllocation)
 {
-    ServerOptions opts;
-    opts.unixPath = freshSocketPath("oversize");
-    opts.maxFrameBytes = 1024;
-    Server server(opts);
+    const std::string path = freshSocketPath("oversize");
+    Server server(Endpoint::parse(
+        "unix:" + path + "?max-frame-bytes=1024",
+        Endpoint::Role::kServer));
     server.start();
 
     std::string err;
-    const int fd = connectUnix(opts.unixPath, &err);
+    const int fd = connectUnix(path, &err);
     ASSERT_GE(fd, 0) << err;
     // A frame header promising far more than the bound: the server
     // must refuse it from the length word alone — the payload is
@@ -340,14 +341,14 @@ TEST(ServeTest, HalfWrittenFramesAndGarbageAreContained)
 
     // Half a header, then hangup.
     std::string err;
-    int fd = connectUnix(rig.opts.unixPath, &err);
+    int fd = connectUnix(rig.unixPath, &err);
     ASSERT_GE(fd, 0) << err;
     const char partial[2] = {'G', 'P'};
     ASSERT_TRUE(sendAll(fd, partial, sizeof(partial)));
     closeSocket(fd);
 
     // A full header promising a payload that never arrives.
-    fd = connectUnix(rig.opts.unixPath, &err);
+    fd = connectUnix(rig.unixPath, &err);
     ASSERT_GE(fd, 0) << err;
     {
         store::ByteWriter w;
@@ -363,7 +364,7 @@ TEST(ServeTest, HalfWrittenFramesAndGarbageAreContained)
     closeSocket(fd);
 
     // Garbage that is not a frame at all.
-    fd = connectUnix(rig.opts.unixPath, &err);
+    fd = connectUnix(rig.unixPath, &err);
     ASSERT_GE(fd, 0) << err;
     ASSERT_TRUE(sendAll(fd, "GET / HTTP/1.1\r\n\r\n", 18));
     FrameType type;
@@ -376,7 +377,7 @@ TEST(ServeTest, HalfWrittenFramesAndGarbageAreContained)
     closeSocket(fd);
 
     // A response frame where a request belongs.
-    fd = connectUnix(rig.opts.unixPath, &err);
+    fd = connectUnix(rig.unixPath, &err);
     ASSERT_GE(fd, 0) << err;
     ASSERT_TRUE(writeFrame(fd, FrameType::kDone, ""));
     EXPECT_EQ(readFrame(fd, &type, &body, kMaxFrameBytesDefault,
@@ -386,7 +387,7 @@ TEST(ServeTest, HalfWrittenFramesAndGarbageAreContained)
     closeSocket(fd);
 
     // After all that abuse the server still serves.
-    ServeClient client = ServeClient::overUnix(rig.opts.unixPath);
+    ServeClient client = ServeClient::overUnix(rig.unixPath);
     expectEqual(client.run(rig.req), rig.expected());
 }
 
@@ -424,10 +425,10 @@ TEST(ServeTest, ReadFrameIdleTimeoutIsDistinctFromFailure)
 
 TEST(ServeTest, IdleConnectionsCloseCleanlyAndClientsReconnect)
 {
-    ServerOptions opts;
-    opts.unixPath = freshSocketPath("idle");
-    opts.idleTimeoutSeconds = 0.3;
-    Server server(opts);
+    const std::string path = freshSocketPath("idle");
+    Server server(Endpoint::parse(
+        "unix:" + path + "?idle-timeout=0.3",
+        Endpoint::Role::kServer));
     server.start();
     AnalysisRequest req = testRequest();
     req.kernels = {req.kernels[0]};
@@ -440,7 +441,7 @@ TEST(ServeTest, IdleConnectionsCloseCleanlyAndClientsReconnect)
     // A raw connection idle past the bound is closed CLEANLY: EOF,
     // no kError frame on the wire.
     std::string err;
-    const int fd = connectUnix(opts.unixPath, &err);
+    const int fd = connectUnix(path, &err);
     ASSERT_GE(fd, 0) << err;
     char byte;
     EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
@@ -448,7 +449,7 @@ TEST(ServeTest, IdleConnectionsCloseCleanlyAndClientsReconnect)
 
     // A client whose cached connection the server closed as idle
     // retries transparently on a fresh connection.
-    ServeClient client = ServeClient::overUnix(opts.unixPath);
+    ServeClient client = ServeClient::overUnix(path);
     expectEqual(client.run(req), want);
     std::this_thread::sleep_for(std::chrono::milliseconds(800));
     expectEqual(client.run(req), want);
@@ -464,7 +465,7 @@ TEST(ServeTest, ThrowingCellCallbackDoesNotPoisonTheClient)
     AnalysisRequest streaming = rig.req;
     streaming.exec.delivery = ExecutionPolicy::Delivery::kStream;
 
-    ServeClient client = ServeClient::overUnix(rig.opts.unixPath);
+    ServeClient client = ServeClient::overUnix(rig.unixPath);
     EXPECT_THROW(
         client.run(streaming,
                    [](size_t, const driver::BatchResult &) {
@@ -491,7 +492,7 @@ TEST(ServeTest, ClientDisconnectMidRequestLeavesServerServing)
     // response: the server executes, fails to deliver, and must shrug
     // it off (the disconnect counter is the only trace).
     std::string err;
-    const int fd = connectUnix(rig.opts.unixPath, &err);
+    const int fd = connectUnix(rig.unixPath, &err);
     ASSERT_GE(fd, 0) << err;
     store::ByteWriter w;
     writeRequest(w, rig.req);
@@ -499,7 +500,7 @@ TEST(ServeTest, ClientDisconnectMidRequestLeavesServerServing)
     closeSocket(fd);
 
     // A well-behaved client still gets bit-identical service.
-    ServeClient client = ServeClient::overUnix(rig.opts.unixPath);
+    ServeClient client = ServeClient::overUnix(rig.unixPath);
     expectEqual(client.run(rig.req), rig.expected());
 
     // The abandoned request was executed and its failed delivery
@@ -531,7 +532,7 @@ TEST(ServeTest, ShutdownDeliversInFlightCellsThenRefuses)
     std::thread client_thread([&] {
         try {
             ServeClient client =
-                ServeClient::overUnix(rig.opts.unixPath);
+                ServeClient::overUnix(rig.unixPath);
             got = client.run(req,
                              [&](size_t, const driver::BatchResult &) {
                                  first_cell.store(true);
@@ -557,7 +558,7 @@ TEST(ServeTest, ShutdownDeliversInFlightCellsThenRefuses)
 
     // New connections are refused after stop (the listener is gone).
     std::string err;
-    EXPECT_LT(connectUnix(rig.opts.unixPath, &err), 0);
+    EXPECT_LT(connectUnix(rig.unixPath, &err), 0);
 }
 
 } // namespace

@@ -368,8 +368,9 @@ TEST(AutoEngine, IsBitIdenticalToBothExplicitEnginesEitherWay)
         EXPECT_TRUE(culled == event) << kc.name;
 
         model::AnalysisSession plain(spec);
-        model::AnalysisSession culling(spec, "",
-                                       ReplayEngine::kAuto);
+        model::SessionConfig autoConfig;
+        autoConfig.engine = ReplayEngine::kAuto;
+        model::AnalysisSession culling(spec, autoConfig);
         plain.adoptCalibration(sharedFakeTables());
         culling.adoptCalibration(sharedFakeTables());
         driver::PreparedLaunch a = kc.make();

@@ -5,34 +5,43 @@
  * concurrent clients (gpuperf-worker run --via unix:..., the
  * ServeClient library, or anything speaking the frame protocol in
  * src/api/transport.h), execute them on one shared AnalysisService,
- * and stream results back.
+ * and stream results back. Cells fan out to any registered
+ * `gpuperf-worker serve --via ...` fleet (src/api/dispatch.h) and
+ * fall back to in-process execution when no workers are around.
  *
- *   gpuperf-serve [--unix PATH] [--tcp PORT] [--host ADDR]
- *                 [--store DIR] [--max-clients N]
- *                 [--max-inflight-cells N] [--max-cells-per-request N]
- *                 [--idle-timeout SECONDS]
+ *   gpuperf-serve --via unix:PATH [--via tcp:HOST:PORT]
+ *                 [--store DIR] [--max-clients N] [--max-inflight N]
+ *                 [--max-cells N] [--idle-timeout SEC]
+ *                 [--job-timeout SEC] [--worker-inflight N]
+ *                 [--stats-json]
  *
- * At least one of --unix/--tcp is required. --tcp 0 binds an
+ * Endpoints are api::Endpoint URIs; the option flags share their
+ * spellings with URI query options and with gpuperf-worker (see
+ * tools/cli_common.h). The pre-Endpoint spellings --unix PATH,
+ * --tcp PORT, --host ADDR, --max-inflight-cells and
+ * --max-cells-per-request remain as aliases for one release.
+ *
+ * At least one unix:/tcp: endpoint is required. `tcp:HOST:0` binds an
  * ephemeral port (printed on stdout — scripts parse the "listening"
  * lines). --store forces every request onto one shared store root so
  * all clients hit the same warm calibration/profile/timing caches.
- * --idle-timeout closes connections idle between requests (cleanly;
- * clients reconnect transparently); by default they are kept forever.
+ * --stats-json dumps api::statsToJson(server.stats()) on stdout at
+ * shutdown (fleet counters and per-worker rows included).
  *
  * SIGINT/SIGTERM trigger a graceful stop: in-flight requests finish
  * and deliver their kDone before the process exits.
  */
 
 #include <csignal>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include <poll.h>
 #include <unistd.h>
 
 #include "api/server.h"
+#include "cli_common.h"
 
 using namespace gpuperf;
 
@@ -51,14 +60,17 @@ int
 usage()
 {
     std::cerr
-        << "usage: gpuperf-serve [--unix PATH] [--tcp PORT] "
-           "[--host ADDR]\n"
-           "                     [--store DIR] [--max-clients N]\n"
-           "                     [--max-inflight-cells N] "
-           "[--max-cells-per-request N]\n"
-           "                     [--idle-timeout SECONDS]\n"
-           "at least one of --unix / --tcp is required; "
-           "--tcp 0 binds an ephemeral port\n";
+        << "usage: gpuperf-serve --via unix:PATH|tcp:HOST:PORT "
+           "(repeatable)\n"
+           "                     [--store DIR] [--max-clients N] "
+           "[--max-inflight N]\n"
+           "                     [--max-cells N] [--idle-timeout SEC]\n"
+           "                     [--job-timeout SEC] "
+           "[--worker-inflight N] [--stats-json]\n"
+           "at least one unix:/tcp: endpoint is required; "
+           "tcp:HOST:0 binds an ephemeral port\n"
+           "(legacy aliases --unix PATH / --tcp PORT / --host ADDR "
+           "remain for one release)\n";
     return 1;
 }
 
@@ -67,60 +79,33 @@ usage()
 int
 main(int argc, char **argv)
 {
-    api::ServerOptions opts;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto value = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::cerr << flag << " needs a value\n";
-                return nullptr;
-            }
-            return argv[++i];
-        };
-        const char *v = nullptr;
-        if (arg == "--unix") {
-            if (!(v = value("--unix")))
-                return usage();
-            opts.unixPath = v;
-        } else if (arg == "--tcp") {
-            if (!(v = value("--tcp")))
-                return usage();
-            opts.tcpPort = std::atoi(v);
-        } else if (arg == "--host") {
-            if (!(v = value("--host")))
-                return usage();
-            opts.tcpHost = v;
-        } else if (arg == "--store") {
-            if (!(v = value("--store")))
-                return usage();
-            opts.forceStoreDir = v;
-        } else if (arg == "--max-clients") {
-            if (!(v = value("--max-clients")))
-                return usage();
-            opts.maxClients = static_cast<size_t>(std::atol(v));
-        } else if (arg == "--max-inflight-cells") {
-            if (!(v = value("--max-inflight-cells")))
-                return usage();
-            opts.maxInFlightCells = static_cast<size_t>(std::atol(v));
-        } else if (arg == "--max-cells-per-request") {
-            if (!(v = value("--max-cells-per-request")))
-                return usage();
-            opts.maxCellsPerRequest = static_cast<size_t>(std::atol(v));
-        } else if (arg == "--idle-timeout") {
-            if (!(v = value("--idle-timeout")))
-                return usage();
-            opts.idleTimeoutSeconds = std::atof(v);
-        } else {
-            std::cerr << "unknown argument '" << arg << "'\n";
-            return usage();
-        }
-    }
-    if (opts.unixPath.empty() && opts.tcpPort < 0)
+    cli::CommonArgs args;
+    if (!cli::parseCommonArgs(argc, argv, 1, &args) ||
+        !args.positional.empty())
         return usage();
 
-    const std::string unix_path = opts.unixPath;
-    const std::string tcp_host = opts.tcpHost;
-    api::Server server(std::move(opts));
+    // Fold the legacy listener spellings into --via URIs. --host must
+    // be folded before --tcp, which is why they are parsed first.
+    std::vector<std::string> uris = args.via;
+    if (!args.legacyUnix.empty())
+        uris.push_back("unix:" + args.legacyUnix);
+    if (args.legacyTcpPort >= 0)
+        uris.push_back("tcp:" + args.legacyHost + ":" +
+                       std::to_string(args.legacyTcpPort));
+    if (uris.empty())
+        return usage();
+
+    std::vector<api::Endpoint> endpoints;
+    try {
+        for (const std::string &uri : uris)
+            endpoints.push_back(cli::endpointFor(
+                args, uri, api::Endpoint::Role::kServer));
+    } catch (const std::exception &e) {
+        std::cerr << "gpuperf-serve: " << e.what() << "\n";
+        return usage();
+    }
+
+    api::Server server(endpoints);
     try {
         server.start();
     } catch (const std::exception &e) {
@@ -128,10 +113,11 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (!unix_path.empty())
-        std::cout << "listening unix " << unix_path << "\n";
+    const api::ServerOptions &opts = server.options();
+    if (!opts.unixPath.empty())
+        std::cout << "listening unix " << opts.unixPath << "\n";
     if (server.tcpPort() >= 0)
-        std::cout << "listening tcp " << tcp_host << ":"
+        std::cout << "listening tcp " << opts.tcpHost << ":"
                   << server.tcpPort() << "\n";
     std::cout << "gpuperf-serve ready\n" << std::flush;
 
@@ -151,5 +137,7 @@ main(int argc, char **argv)
               << " failed), " << stats.accepted << " connection(s), "
               << stats.rejectedRequests << " rejected request(s), "
               << stats.disconnects << " disconnect(s)\n";
+    if (args.statsJson)
+        std::cout << api::statsToJson(stats) << "\n";
     return 0;
 }

@@ -1,7 +1,8 @@
 /**
  * @file
  * gpuperf-worker — the command-line face of the AnalysisService API
- * and its spool-worker protocol. One binary, five modes:
+ * and both worker protocols (spool directories and fleet
+ * registration). One binary, five modes:
  *
  *   gpuperf-worker demo-request --out REQ.json [--store DIR]
  *       Emit a small self-contained demo request (case refs over a
@@ -20,35 +21,41 @@
  *       directory; unless --no-wait, block until cooperating workers
  *       answered them all and write the assembled JSON response.
  *
- *   gpuperf-worker serve --spool DIR [--once] [--max-jobs N]
- *                  [--claim-stale-ms MS]
- *       Worker mode: claim jobs (lease protocol, crash-steal
- *       included), execute, write responses. Default drains the
- *       directory — it returns once every job present has a
- *       response; --once does a single claim pass instead.
+ *   gpuperf-worker serve --via SERVER-URI | --spool DIR
+ *                  [--once] [--max-jobs N] [--claim-stale-ms MS]
+ *       Worker mode. With `--via unix:PATH` / `--via tcp:HOST:PORT`,
+ *       REGISTER with that gpuperf-serve daemon and execute the cell
+ *       jobs it dispatches until it hangs up (the fleet protocol —
+ *       see src/api/dispatch.h). With a spool directory (--spool DIR
+ *       or --via spool:DIR), claim jobs through the lease protocol
+ *       (crash-steal included), execute, and write responses; the
+ *       default drains the directory, --once does a single claim
+ *       pass.
  *
  *   gpuperf-worker collect REQ.json --spool DIR --out RESP.json
  *                  [--timeout SEC]
  *       Parent mode without submission: wait for the request's
  *       responses and assemble them.
  *
+ * Every endpoint-tunable flag shares its spelling with gpuperf-serve
+ * and with api::Endpoint query options — see tools/cli_common.h.
+ *
  * Exit status: 0 on success with every cell ok; 2 when the job ran
  * but some cell failed; 1 on usage or I/O errors.
  */
 
-#include <cstdio>
-#include <cstring>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "api/codecs.h"
+#include "api/dispatch.h"
+#include "api/endpoint.h"
 #include "api/registry.h"
 #include "api/request.h"
 #include "api/service.h"
 #include "api/spool.h"
 #include "api/transport.h"
+#include "cli_common.h"
 
 using namespace gpuperf;
 
@@ -64,66 +71,17 @@ usage()
            "[--via URI]\n"
            "  gpuperf-worker submit REQ.json --spool DIR "
            "[--out RESP.json] [--no-wait] [--timeout SEC]\n"
-           "  gpuperf-worker serve --spool DIR [--once] "
-           "[--max-jobs N] [--claim-stale-ms MS]\n"
+           "  gpuperf-worker serve --via SERVER-URI | --spool DIR\n"
+           "                 [--once] [--max-jobs N] "
+           "[--claim-stale-ms MS]\n"
            "  gpuperf-worker collect REQ.json --spool DIR "
-           "--out RESP.json [--timeout SEC]\n";
+           "--out RESP.json [--timeout SEC]\n"
+           "shared option flags (see tools/cli_common.h): --store "
+           "--timeout --idle-timeout\n"
+           "  --job-timeout --max-clients --max-inflight --max-cells "
+           "--max-frame-bytes\n"
+           "  --worker-inflight --max-jobs --claim-stale-ms --json\n";
     return 1;
-}
-
-bool
-readFile(const std::string &path, std::string *out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    *out = ss.str();
-    return true;
-}
-
-bool
-writeFile(const std::string &path, const std::string &content)
-{
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        return false;
-    out << content;
-    return static_cast<bool>(out);
-}
-
-bool
-loadRequestJson(const std::string &path, api::AnalysisRequest *req)
-{
-    std::string text;
-    if (!readFile(path, &text)) {
-        std::cerr << "cannot read request file '" << path << "'\n";
-        return false;
-    }
-    std::string error;
-    if (!api::requestFromJson(text, req, &error)) {
-        std::cerr << "malformed request '" << path << "': " << error
-                  << "\n";
-        return false;
-    }
-    return true;
-}
-
-/** 0 when every cell is ok, 2 otherwise (reported on stderr). */
-int
-cellStatus(const api::AnalysisResponse &resp)
-{
-    int failed = 0;
-    for (const driver::BatchResult &cell : resp.cells) {
-        if (!cell.ok) {
-            ++failed;
-            std::cerr << "cell " << cell.kernelName << " x "
-                      << cell.specName << " FAILED: " << cell.error
-                      << "\n";
-        }
-    }
-    return failed == 0 ? 0 : 2;
 }
 
 /**
@@ -165,80 +123,30 @@ demoRequest(const std::string &store_dir)
     return req;
 }
 
-struct Args
+/**
+ * The spool directory named by --spool or a spool: --via URI ("" when
+ * neither is present).
+ */
+std::string
+spoolDir(const cli::CommonArgs &args)
 {
-    std::string positional;
-    std::string out;
-    std::string spool;
-    std::string store;
-    std::string via;
-    bool noWait = false;
-    bool once = false;
-    size_t maxJobs = 0;
-    long claimStaleMs = -1;
-    double timeoutSec = 600.0;
-};
-
-bool
-parseArgs(int argc, char **argv, int first, Args *args)
-{
-    for (int i = first; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto value = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::cerr << flag << " needs a value\n";
-                return nullptr;
-            }
-            return argv[++i];
-        };
-        if (arg == "--out") {
-            const char *v = value("--out");
-            if (!v)
-                return false;
-            args->out = v;
-        } else if (arg == "--spool") {
-            const char *v = value("--spool");
-            if (!v)
-                return false;
-            args->spool = v;
-        } else if (arg == "--store") {
-            const char *v = value("--store");
-            if (!v)
-                return false;
-            args->store = v;
-        } else if (arg == "--via") {
-            const char *v = value("--via");
-            if (!v)
-                return false;
-            args->via = v;
-        } else if (arg == "--timeout") {
-            const char *v = value("--timeout");
-            if (!v)
-                return false;
-            args->timeoutSec = std::atof(v);
-        } else if (arg == "--max-jobs") {
-            const char *v = value("--max-jobs");
-            if (!v)
-                return false;
-            args->maxJobs = static_cast<size_t>(std::atol(v));
-        } else if (arg == "--claim-stale-ms") {
-            const char *v = value("--claim-stale-ms");
-            if (!v)
-                return false;
-            args->claimStaleMs = std::atol(v);
-        } else if (arg == "--no-wait") {
-            args->noWait = true;
-        } else if (arg == "--once") {
-            args->once = true;
-        } else if (!arg.empty() && arg[0] != '-' &&
-                   args->positional.empty()) {
-            args->positional = arg;
-        } else {
-            std::cerr << "unknown argument '" << arg << "'\n";
-            return false;
-        }
+    if (!args.spool.empty())
+        return args.spool;
+    for (const std::string &uri : args.via) {
+        const api::Endpoint ep = api::Endpoint::parse(uri);
+        if (ep.scheme == api::Endpoint::Scheme::kSpool)
+            return ep.path;
     }
-    return true;
+    return "";
+}
+
+/** Collect options from the shared flags (--timeout et al.). */
+api::SpoolOptions
+collectOptions(const cli::CommonArgs &args, const std::string &dir)
+{
+    return api::spoolOptionsFor(
+        cli::endpointFor(args, "spool:" + dir,
+                         api::Endpoint::Role::kClient));
 }
 
 } // namespace
@@ -249,8 +157,8 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string mode = argv[1];
-    Args args;
-    if (!parseArgs(argc, argv, 2, &args))
+    cli::CommonArgs args;
+    if (!cli::parseCommonArgs(argc, argv, 2, &args))
         return usage();
 
     try {
@@ -258,7 +166,7 @@ main(int argc, char **argv)
             if (args.out.empty())
                 return usage();
             const api::AnalysisRequest req = demoRequest(args.store);
-            if (!writeFile(args.out, api::requestToJson(req))) {
+            if (!cli::writeFile(args.out, api::requestToJson(req))) {
                 std::cerr << "cannot write '" << args.out << "'\n";
                 return 1;
             }
@@ -272,52 +180,77 @@ main(int argc, char **argv)
             if (args.positional.empty() || args.out.empty())
                 return usage();
             api::AnalysisRequest req;
-            if (!loadRequestJson(args.positional, &req))
+            if (!cli::loadRequestJson(args.positional, &req))
                 return 1;
-            const auto transport = api::makeTransport(args.via);
+            const std::string uri =
+                args.via.empty() ? "inproc:" : args.via.front();
+            const auto transport = api::makeTransport(
+                cli::endpointFor(args, uri,
+                                 api::Endpoint::Role::kClient));
             const api::AnalysisResponse resp = transport->run(req);
-            if (!writeFile(args.out, api::responseToJson(resp))) {
+            if (!cli::writeFile(args.out, api::responseToJson(resp))) {
                 std::cerr << "cannot write '" << args.out << "'\n";
                 return 1;
             }
             std::cout << "ran " << resp.cells.size() << " cells via "
                       << transport->describe() << ", response at "
                       << args.out << "\n";
-            return cellStatus(resp);
+            return cli::cellStatus(resp);
         }
 
         if (mode == "submit") {
-            if (args.positional.empty() || args.spool.empty())
+            const std::string dir = spoolDir(args);
+            if (args.positional.empty() || dir.empty())
                 return usage();
             api::AnalysisRequest req;
-            if (!loadRequestJson(args.positional, &req))
+            if (!cli::loadRequestJson(args.positional, &req))
                 return 1;
-            const auto ids = api::spoolSubmit(args.spool, req);
+            const auto ids = api::spoolSubmit(dir, req);
             std::cout << "spooled " << ids.size() << " job(s) into "
-                      << args.spool << "\n";
+                      << dir << "\n";
             if (args.noWait)
                 return 0;
             const api::AnalysisResponse resp =
-                api::spoolCollect(args.spool, req, args.timeoutSec);
+                api::spoolCollect(dir, req, collectOptions(args, dir));
             if (!args.out.empty() &&
-                !writeFile(args.out, api::responseToJson(resp))) {
+                !cli::writeFile(args.out, api::responseToJson(resp))) {
                 std::cerr << "cannot write '" << args.out << "'\n";
                 return 1;
             }
-            return cellStatus(resp);
+            return cli::cellStatus(resp);
         }
 
         if (mode == "serve") {
-            if (args.spool.empty())
-                return usage();
             api::AnalysisService service;
-            api::ServeOptions opts;
+
+            // Fleet registration: serve --via unix:SOCK / tcp:H:P.
+            if (!args.via.empty() && args.spool.empty()) {
+                const api::Endpoint server = cli::endpointFor(
+                    args, args.via.front(),
+                    api::Endpoint::Role::kWorker);
+                if (server.scheme == api::Endpoint::Scheme::kUnix ||
+                    server.scheme == api::Endpoint::Scheme::kTcp) {
+                    api::WorkerLoopOptions opts;
+                    opts.maxJobs = server.limits.maxJobs;
+                    const api::WorkerLoopStats stats =
+                        api::workerServe(server, service, nullptr,
+                                         opts);
+                    std::cout << "worker executed " << stats.executed
+                              << " job(s), " << stats.failedCells
+                              << " failed cell(s)\n";
+                    return 0;
+                }
+            }
+
+            const std::string dir = spoolDir(args);
+            if (dir.empty())
+                return usage();
+            const api::Endpoint ep = cli::endpointFor(
+                args, "spool:" + dir, api::Endpoint::Role::kWorker);
+            api::ServeOptions opts = api::spoolServeOptionsFor(ep);
             opts.drain = !args.once;
-            opts.maxJobs = args.maxJobs;
-            if (args.claimStaleMs >= 0)
-                opts.claimStaleAfterMs = args.claimStaleMs;
             const api::ServeStats stats =
-                api::spoolServe(args.spool, service, opts);
+                api::spoolServe(dir, service, opts);
             std::cout << "worker executed " << stats.executed
                       << " job(s), " << stats.failedCells
                       << " failed cell(s)\n";
@@ -325,21 +258,22 @@ main(int argc, char **argv)
         }
 
         if (mode == "collect") {
-            if (args.positional.empty() || args.spool.empty() ||
+            const std::string dir = spoolDir(args);
+            if (args.positional.empty() || dir.empty() ||
                 args.out.empty())
                 return usage();
             api::AnalysisRequest req;
-            if (!loadRequestJson(args.positional, &req))
+            if (!cli::loadRequestJson(args.positional, &req))
                 return 1;
             const api::AnalysisResponse resp =
-                api::spoolCollect(args.spool, req, args.timeoutSec);
-            if (!writeFile(args.out, api::responseToJson(resp))) {
+                api::spoolCollect(dir, req, collectOptions(args, dir));
+            if (!cli::writeFile(args.out, api::responseToJson(resp))) {
                 std::cerr << "cannot write '" << args.out << "'\n";
                 return 1;
             }
             std::cout << "collected " << resp.cells.size()
                       << " cell(s) into " << args.out << "\n";
-            return cellStatus(resp);
+            return cli::cellStatus(resp);
         }
     } catch (const std::exception &e) {
         std::cerr << "gpuperf-worker " << mode << ": " << e.what()
