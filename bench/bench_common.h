@@ -11,9 +11,12 @@
 #ifndef GPUPERF_BENCH_BENCH_COMMON_H
 #define GPUPERF_BENCH_BENCH_COMMON_H
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "model/session.h"
@@ -59,6 +62,66 @@ emit(const Table &t, const BenchOptions &opts)
     else
         t.print(std::cout);
 }
+
+/**
+ * Nearest-rank percentile of @p samples (unsorted is fine; 0.0 on an
+ * empty set). One definition for every bench, so p50/p99 columns in
+ * different bench_*.json files are comparable.
+ */
+inline double
+percentileMs(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+/** {"count": N, "p50": X, "p99": Y} for one latency sample set. */
+inline std::string
+latencyClassJson(const std::vector<double> &ms)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %zu, \"p50\": %.2f, \"p99\": %.2f}",
+                  ms.size(), percentileMs(ms, 0.50),
+                  percentileMs(ms, 0.99));
+    return buf;
+}
+
+/**
+ * Per-size-class latency recorder: mixed-load benches tag each
+ * request small or large and report the tails separately — a combined
+ * p99 hides exactly the thing scheduling policies change (how long
+ * SMALL work waits behind big work).
+ */
+struct LatencyBreakdown
+{
+    std::vector<double> smallMs;
+    std::vector<double> largeMs;
+
+    void add(bool large, double ms)
+    {
+        (large ? largeMs : smallMs).push_back(ms);
+    }
+
+    std::vector<double> all() const
+    {
+        std::vector<double> both = smallMs;
+        both.insert(both.end(), largeMs.begin(), largeMs.end());
+        return both;
+    }
+
+    /** {"all": {...}, "small": {...}, "large": {...}} */
+    std::string json() const
+    {
+        return "{\"all\": " + latencyClassJson(all()) +
+               ", \"small\": " + latencyClassJson(smallMs) +
+               ", \"large\": " + latencyClassJson(largeMs) + "}";
+    }
+};
 
 /** Calibration cache file for a spec (shared across binaries). */
 inline std::string

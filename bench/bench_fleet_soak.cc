@@ -101,23 +101,21 @@ spawnWorker(const std::string &bin, const std::string &uri)
     _exit(127); // exec failed
 }
 
+/** The small half of the mixed load: one kernel instead of three. */
+api::AnalysisRequest
+smallRequest(const api::AnalysisRequest &full)
+{
+    api::AnalysisRequest req = full;
+    req.kernels.resize(1);
+    return req;
+}
+
 struct ClientResult
 {
-    std::vector<double> latenciesMs;
+    bench::LatencyBreakdown latencies;
     size_t mismatches = 0;
     std::string error;
 };
-
-double
-percentile(std::vector<double> sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    std::sort(sorted.begin(), sorted.end());
-    const size_t idx = static_cast<size_t>(
-        p * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(idx, sorted.size() - 1)];
-}
 
 } // namespace
 
@@ -151,6 +149,12 @@ main(int argc, char **argv)
     api::AnalysisRequest ref_req = req;
     ref_req.store.storeDir = root + "/store";
     const api::AnalysisResponse want = reference.run(ref_req);
+    // The mixed load's small half (one kernel), with its own
+    // reference: small/large latency classes describe real size
+    // differences, not labels on identical requests.
+    const api::AnalysisRequest small_req = smallRequest(req);
+    const api::AnalysisResponse want_small =
+        reference.run(smallRequest(ref_req));
 
     const char *bin_env = std::getenv("GPUPERF_WORKER_BIN");
     const std::string worker_bin =
@@ -186,13 +190,16 @@ main(int argc, char **argv)
                 api::ServeClient client =
                     api::ServeClient::overUnix(sock_path);
                 for (int r = 0; r < requests_per_client; ++r) {
+                    const bool large = r % 2 == 0;
                     const auto start =
                         std::chrono::steady_clock::now();
-                    const api::AnalysisResponse got = client.run(req);
+                    const api::AnalysisResponse got =
+                        client.run(large ? req : small_req);
                     const std::chrono::duration<double, std::milli>
                         ms = std::chrono::steady_clock::now() - start;
-                    out.latenciesMs.push_back(ms.count());
-                    if (!api::responsesEqual(got, want))
+                    out.latencies.add(large, ms.count());
+                    if (!api::responsesEqual(
+                            got, large ? want : want_small))
                         ++out.mismatches;
                     ++answered_so_far;
                 }
@@ -218,18 +225,21 @@ main(int argc, char **argv)
         std::chrono::steady_clock::now() - t0;
 
     size_t answered = 0, mismatches = 0, errors = 0;
-    std::vector<double> all_ms;
+    bench::LatencyBreakdown by_size;
     for (int c = 0; c < clients; ++c) {
-        answered += results[c].latenciesMs.size();
+        answered += results[c].latencies.all().size();
         mismatches += results[c].mismatches;
         if (!results[c].error.empty()) {
             ++errors;
             std::cerr << "client " << c << ": " << results[c].error
                       << "\n";
         }
-        all_ms.insert(all_ms.end(), results[c].latenciesMs.begin(),
-                      results[c].latenciesMs.end());
+        for (double ms : results[c].latencies.smallMs)
+            by_size.add(false, ms);
+        for (double ms : results[c].latencies.largeMs)
+            by_size.add(true, ms);
     }
+    const std::vector<double> all_ms = by_size.all();
     const size_t expected_answers =
         static_cast<size_t>(clients) * requests_per_client;
 
@@ -282,17 +292,18 @@ main(int argc, char **argv)
             "  \"cells_redispatched\": %llu,\n"
             "  \"cells_local\": %llu,\n"
             "  \"wall_seconds\": %.2f,\n"
-            "  \"latency_ms\": {\"p50\": %.2f, \"p99\": %.2f},\n"
-            "  \"cells_per_worker\": [",
+            "  \"latency_ms\": {\"p50\": %.2f, \"p99\": %.2f},\n",
             gate_ok ? "pass" : "fail", clients, requests_per_client,
             kWorkers, answered, mismatches, errors,
             static_cast<unsigned long long>(stats.fleet.workerDeaths),
             static_cast<unsigned long long>(
                 stats.fleet.cellsRedispatched),
             static_cast<unsigned long long>(stats.fleet.cellsLocal),
-            wall.count(), percentile(all_ms, 0.50),
-            percentile(all_ms, 0.99));
+            wall.count(), bench::percentileMs(all_ms, 0.50),
+            bench::percentileMs(all_ms, 0.99));
         json << buf;
+        json << "  \"latency_by_size\": " << by_size.json() << ",\n"
+             << "  \"cells_per_worker\": [";
         for (size_t w = 0; w < stats.fleet.workers.size(); ++w) {
             const api::WorkerStat &ws = stats.fleet.workers[w];
             std::snprintf(buf, sizeof(buf),

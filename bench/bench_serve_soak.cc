@@ -74,23 +74,21 @@ soakRequest()
     return req;
 }
 
+/** The small half of the mixed load: one kernel instead of three. */
+api::AnalysisRequest
+smallRequest(const api::AnalysisRequest &full)
+{
+    api::AnalysisRequest req = full;
+    req.kernels.resize(1);
+    return req;
+}
+
 struct ClientResult
 {
-    std::vector<double> latenciesMs;
+    bench::LatencyBreakdown latencies;
     size_t mismatches = 0;
     std::string error;
 };
-
-double
-percentile(std::vector<double> sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    std::sort(sorted.begin(), sorted.end());
-    const size_t idx = static_cast<size_t>(
-        p * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(idx, sorted.size() - 1)];
-}
 
 } // namespace
 
@@ -116,11 +114,17 @@ main(int argc, char **argv)
     for (const arch::GpuSpec &spec : req.specs)
         server.service().adoptCalibration(req, spec, tables);
 
-    // The in-process reference every served response must match.
+    // The mixed load: clients alternate the full three-kernel batch
+    // with a one-kernel request, so the small/large latency classes
+    // in the report describe genuinely different work.
+    const api::AnalysisRequest small_req = smallRequest(req);
+
+    // The in-process references every served response must match.
     api::AnalysisService reference;
     for (const arch::GpuSpec &spec : req.specs)
         reference.adoptCalibration(req, spec, tables);
     const api::AnalysisResponse want = reference.run(req);
+    const api::AnalysisResponse want_small = reference.run(small_req);
 
     std::vector<ClientResult> results(clients);
     const auto t0 = std::chrono::steady_clock::now();
@@ -137,13 +141,16 @@ main(int argc, char **argv)
                         : api::ServeClient::overTcp(
                               "127.0.0.1", server.tcpPort());
                 for (int r = 0; r < requests_per_client; ++r) {
+                    const bool large = r % 2 == 0;
                     const auto start =
                         std::chrono::steady_clock::now();
-                    const api::AnalysisResponse got = client.run(req);
+                    const api::AnalysisResponse got =
+                        client.run(large ? req : small_req);
                     const std::chrono::duration<double, std::milli>
                         ms = std::chrono::steady_clock::now() - start;
-                    out.latenciesMs.push_back(ms.count());
-                    if (!api::responsesEqual(got, want))
+                    out.latencies.add(large, ms.count());
+                    if (!api::responsesEqual(
+                            got, large ? want : want_small))
                         ++out.mismatches;
                 }
             } catch (const std::exception &e) {
@@ -158,8 +165,11 @@ main(int argc, char **argv)
 
     size_t answered = 0, mismatches = 0, errors = 0;
     std::vector<double> unix_ms, tcp_ms;
+    bench::LatencyBreakdown by_size;
     for (int c = 0; c < clients; ++c) {
-        answered += results[c].latenciesMs.size();
+        const std::vector<double> client_ms =
+            results[c].latencies.all();
+        answered += client_ms.size();
         mismatches += results[c].mismatches;
         if (!results[c].error.empty()) {
             ++errors;
@@ -167,8 +177,12 @@ main(int argc, char **argv)
                       << "\n";
         }
         auto &bucket = (c % 2 == 0) ? unix_ms : tcp_ms;
-        bucket.insert(bucket.end(), results[c].latenciesMs.begin(),
-                      results[c].latenciesMs.end());
+        bucket.insert(bucket.end(), client_ms.begin(),
+                      client_ms.end());
+        for (double ms : results[c].latencies.smallMs)
+            by_size.add(false, ms);
+        for (double ms : results[c].latencies.largeMs)
+            by_size.add(true, ms);
     }
     const size_t expected_answers =
         static_cast<size_t>(clients) * requests_per_client;
@@ -186,11 +200,11 @@ main(int argc, char **argv)
               << want.cells.size() << " cells each\n";
     Table t({"transport", "requests", "p50 ms", "p99 ms"});
     t.addRow({"unix", Table::num(unix_ms.size(), 0),
-              Table::num(percentile(unix_ms, 0.50), 1),
-              Table::num(percentile(unix_ms, 0.99), 1)});
+              Table::num(bench::percentileMs(unix_ms, 0.50), 1),
+              Table::num(bench::percentileMs(unix_ms, 0.99), 1)});
     t.addRow({"tcp", Table::num(tcp_ms.size(), 0),
-              Table::num(percentile(tcp_ms, 0.50), 1),
-              Table::num(percentile(tcp_ms, 0.99), 1)});
+              Table::num(bench::percentileMs(tcp_ms, 0.50), 1),
+              Table::num(bench::percentileMs(tcp_ms, 0.99), 1)});
     bench::emit(t, opts);
     std::cout << "\n"
               << answered << "/" << expected_answers
@@ -211,13 +225,16 @@ main(int argc, char **argv)
             "  \"requests_per_sec\": %.1f,\n"
             "  \"latency_ms\": {\"unix\": {\"p50\": %.2f, "
             "\"p99\": %.2f}, \"tcp\": {\"p50\": %.2f, "
-            "\"p99\": %.2f}}\n}\n",
+            "\"p99\": %.2f}},\n",
             gate_ok ? "pass" : "fail", clients, requests_per_client,
             answered, mismatches, errors,
             static_cast<unsigned long long>(stats.disconnects), rps,
-            percentile(unix_ms, 0.50), percentile(unix_ms, 0.99),
-            percentile(tcp_ms, 0.50), percentile(tcp_ms, 0.99));
+            bench::percentileMs(unix_ms, 0.50),
+            bench::percentileMs(unix_ms, 0.99),
+            bench::percentileMs(tcp_ms, 0.50),
+            bench::percentileMs(tcp_ms, 0.99));
         json << buf;
+        json << "  \"latency_by_size\": " << by_size.json() << "\n}\n";
     }
     return gate_ok ? 0 : 1;
 }

@@ -3,7 +3,7 @@
 # gtest suite. Fails on any compile error or test failure. Future PRs
 # run this before merging.
 #
-# Usage: scripts/check.sh [--sanitize | --api-smoke | --serve-smoke | --fleet-smoke] [build-dir] [build-type]
+# Usage: scripts/check.sh [--sanitize | --api-smoke | --serve-smoke | --fleet-smoke | --sched-smoke] [build-dir] [build-type]
 #   --sanitize  ASan+UBSan run: Debug build with
 #               -fsanitize=address,undefined, leak detection on, tests
 #               only (the perf gates measure nothing useful under a
@@ -40,6 +40,16 @@
 #               in-process run. The full (flagless) run executes this
 #               and the bench_fleet_soak gate as well; artifacts land
 #               in <build-dir>/fleet-smoke/.
+#   --sched-smoke
+#               Build, then run ONLY the scheduling-policy smoke: a
+#               gpuperf-serve daemon running --sched sjf with one
+#               fleet worker serves 2 concurrent clients carrying
+#               distinct --client ids; every response is byte-diffed
+#               against an in-process (FIFO) run of the same request —
+#               policies reorder work, never results. The full
+#               (flagless) run executes this and the
+#               bench_sched_fairness gate as well; artifacts land in
+#               <build-dir>/sched-smoke/.
 #   build-dir   default: build (build-asan with --sanitize)
 #   build-type  Debug | Release | RelWithDebInfo | ... (default: the
 #               build dir's existing type, or CMake's default).
@@ -55,6 +65,7 @@ SANITIZE=0
 API_SMOKE_ONLY=0
 SERVE_SMOKE_ONLY=0
 FLEET_SMOKE_ONLY=0
+SCHED_SMOKE_ONLY=0
 if [[ "${1:-}" == "--sanitize" ]]; then
     SANITIZE=1
     shift
@@ -66,6 +77,9 @@ elif [[ "${1:-}" == "--serve-smoke" ]]; then
     shift
 elif [[ "${1:-}" == "--fleet-smoke" ]]; then
     FLEET_SMOKE_ONLY=1
+    shift
+elif [[ "${1:-}" == "--sched-smoke" ]]; then
+    SCHED_SMOKE_ONLY=1
     shift
 fi
 
@@ -266,6 +280,65 @@ run_fleet_smoke() {
     echo "fleet-smoke: 2 clients over a 2-worker fleet (1 killed mid-run) byte-identical to the in-process run"
 }
 
+# Scheduling-policy end-to-end: an SJF daemon with a shared store and
+# one fleet worker serves two clients carrying distinct --client ids;
+# both JSON responses must be byte-identical to an in-process (FIFO)
+# run — the policy reorders work, never results.
+run_sched_smoke() {
+    local SMOKE="$BUILD_DIR/sched-smoke"
+    local W="$BUILD_DIR/gpuperf-worker"
+    local S="$BUILD_DIR/gpuperf-serve"
+    local SOCK="$SMOKE/serve.sock"
+    rm -rf "$SMOKE"
+    mkdir -p "$SMOKE"
+
+    "$S" --via "unix:$SOCK" --sched sjf --store "$SMOKE/store-fleet" \
+        --stats-json > "$SMOKE/serve.log" 2>&1 &
+    local SERVE_PID=$!
+    trap 'kill "$SERVE_PID" 2>/dev/null || true' RETURN
+    for _ in $(seq 1 100); do
+        [[ -S "$SOCK" ]] && grep -q "ready" "$SMOKE/serve.log" && break
+        sleep 0.1
+    done
+    [[ -S "$SOCK" ]] || { echo "sched-smoke: daemon never bound $SOCK" >&2
+                          cat "$SMOKE/serve.log" >&2; return 1; }
+
+    "$W" serve --via "unix:$SOCK" > "$SMOKE/worker.log" 2>&1 &
+    local WORKER_PID=$!
+
+    # The reference: in-process execution IS the fifo ordering.
+    "$W" demo-request --out "$SMOKE/request-ref.json" \
+        --store "$SMOKE/store-ref"
+    "$W" run "$SMOKE/request-ref.json" --out "$SMOKE/response-ref.json"
+
+    "$W" demo-request --out "$SMOKE/request.json"
+    local PIDS=()
+    for i in 1 2; do
+        "$W" run "$SMOKE/request.json" \
+            --out "$SMOKE/response-$i.json" \
+            --via "unix:$SOCK" --client "client-$i" \
+            > "$SMOKE/client-$i.log" 2>&1 &
+        PIDS+=($!)
+    done
+    local PID
+    for PID in "${PIDS[@]}"; do
+        wait "$PID"
+    done
+    for i in 1 2; do
+        diff "$SMOKE/response-ref.json" "$SMOKE/response-$i.json"
+    done
+
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    wait "$WORKER_PID" 2>/dev/null || true
+    grep -q '"sched_policy": "sjf"' "$SMOKE/serve.log" || {
+        echo "sched-smoke: daemon stats never reported sched_policy sjf" >&2
+        cat "$SMOKE/serve.log" >&2
+        return 1
+    }
+    echo "sched-smoke: sjf-scheduled responses byte-identical to the in-process fifo run"
+}
+
 if [[ "$API_SMOKE_ONLY" == 1 ]]; then
     run_api_smoke
     echo "check.sh: api-smoke green"
@@ -281,6 +354,12 @@ fi
 if [[ "$FLEET_SMOKE_ONLY" == 1 ]]; then
     run_fleet_smoke
     echo "check.sh: fleet-smoke green"
+    exit 0
+fi
+
+if [[ "$SCHED_SMOKE_ONLY" == 1 ]]; then
+    run_sched_smoke
+    echo "check.sh: sched-smoke green"
     exit 0
 fi
 
@@ -321,8 +400,17 @@ fi
 # bench_fleet_soak.json.
 (cd "$BUILD_DIR" && ./bench_fleet_soak)
 
+# Scheduling-fairness gate: per policy, a bulk client floods a
+# 2-worker fleet while an interactive client trickles small requests;
+# every response must be bit-identical to the fifo run, and the
+# interactive p99 under sjf/fair-share must beat fifo by the factors
+# in bench_sched_fairness.json (latency gate report-only in Debug
+# builds or with GPUPERF_SCHED_GATE=report, like bench_funcsim).
+(cd "$BUILD_DIR" && ./bench_sched_fairness)
+
 run_api_smoke
 run_serve_smoke
 run_fleet_smoke
+run_sched_smoke
 
 echo "check.sh: all green"

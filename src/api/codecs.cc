@@ -390,6 +390,7 @@ writeRequest(ByteWriter &w, const AnalysisRequest &req)
 {
     w.u32(req.schemaVersion);
     w.str(req.jobName);
+    w.str(req.clientId);
     w.u64(req.kernels.size());
     for (const KernelJob &job : req.kernels)
         writeJobBin(w, job);
@@ -416,6 +417,7 @@ readRequest(ByteReader &r, AnalysisRequest *req)
         return false;
     }
     req->jobName = r.str();
+    req->clientId = r.str();
     const uint64_t kernels = r.u64();
     if (!r.ok() || kernels > (1u << 20)) {
         r.fail();
@@ -1628,6 +1630,7 @@ requestToJson(const AnalysisRequest &req)
     Json j = Json::object();
     j.set("schema", Json::number(req.schemaVersion));
     j.set("job", Json::str(req.jobName));
+    j.set("client", Json::str(req.clientId));
     Json kernels = Json::array();
     for (const KernelJob &job : req.kernels)
         kernels.push(kernelJobToJson(job));
@@ -1678,6 +1681,11 @@ requestFromJson(const std::string &text, AnalysisRequest *req,
     req->schemaVersion = static_cast<uint32_t>(schema);
     if (!getString(j, "job", &req->jobName, error))
         return false;
+    // Optional for hand-authored requests; the writer always emits it.
+    if (j.find("client") &&
+        !getString(j, "client", &req->clientId, error)) {
+        return false;
+    }
     const Json *kernels = getArray(j, "kernels", error);
     if (!kernels)
         return false;

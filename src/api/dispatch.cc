@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "api/cell_cost.h"
 #include "api/codecs.h"
 #include "api/spool.h"
 #include "common/socket.h"
@@ -35,7 +36,8 @@ failedCell(const AnalysisRequest &cell, const std::string &error)
 } // namespace
 
 Dispatcher::Dispatcher(AnalysisService &local, DispatchOptions opts)
-    : local_(local), opts_(opts)
+    : local_(local), opts_(opts),
+      queue_(sched::PendingQueue<Job *>(opts.policy))
 {
 }
 
@@ -58,6 +60,11 @@ Dispatcher::stats() const
     std::lock_guard<std::mutex> lock(mutex_);
     DispatchStats s = stats_;
     s.workersLive = workers_.size();
+    s.schedPolicy = sched::schedPolicyName(opts_.policy);
+    s.queueDepth = queue_.size();
+    s.clientShares = queue_.shares();
+    s.costErrorAbsMsSum = costModel_.predictionErrorAbsSum();
+    s.costErrorSamples = costModel_.predictionSamples();
     for (const auto &kv : workers_) {
         WorkerStat w;
         w.id = kv.second->id;
@@ -81,7 +88,34 @@ Dispatcher::requeueLocked(Job *job)
     job->assignedWorker = 0;
     ++job->redispatches;
     ++stats_.cellsRedispatched;
-    queue_.push_back(job);
+    job->queuedAt = Clock::now();
+    queue_.push(job, job->cost, job->cell.clientId);
+    if (queue_.size() > stats_.queueDepthPeak)
+        stats_.queueDepthPeak = queue_.size();
+}
+
+void
+Dispatcher::observeJob(const Job &job, double ms)
+{
+    costModel_.observe(job.costKey, job.features, ms);
+}
+
+void
+Dispatcher::accountWaitLocked(const Job &job)
+{
+    const double wait_ms =
+        secondsSince(job.queuedAt, Clock::now()) * 1000.0;
+    if (job.large) {
+        stats_.waitLargeMsTotal += wait_ms;
+        if (wait_ms > stats_.waitLargeMsMax)
+            stats_.waitLargeMsMax = wait_ms;
+        ++stats_.waitLargeCount;
+    } else {
+        stats_.waitSmallMsTotal += wait_ms;
+        if (wait_ms > stats_.waitSmallMsMax)
+            stats_.waitSmallMsMax = wait_ms;
+        ++stats_.waitSmallCount;
+    }
 }
 
 void
@@ -94,8 +128,7 @@ Dispatcher::completeLocked(std::unique_lock<std::mutex> &lock, Job *job,
     const uint64_t id = job->id;
     b->resp.cells[index] = std::move(cell);
     jobs_.erase(id);
-    queue_.erase(std::remove(queue_.begin(), queue_.end(), job),
-                 queue_.end());
+    queue_.erase(job);
     // A stolen job may linger in its old worker's in-flight set until
     // that worker's death is noticed; retire it everywhere.
     for (auto &kv : workers_)
@@ -150,8 +183,8 @@ Dispatcher::pump()
             }
             if (!w)
                 return; // every worker full (or none) — results pump
-            Job *job = queue_.front();
-            queue_.pop_front();
+            Job *job = queue_.pop();
+            accountWaitLocked(*job);
             job->assignedWorker = w->id;
             job->dispatchedAt = Clock::now();
             w->inFlight.insert(job->id);
@@ -177,7 +210,7 @@ Dispatcher::pump()
                     Job *job = it->second;
                     job->assignedWorker = 0;
                     w->inFlight.erase(job_id);
-                    queue_.push_front(job);
+                    queue_.pushUrgent(job);
                 }
             }
             // Wake the worker's reader thread so it notices the
@@ -217,6 +250,12 @@ Dispatcher::handleResult(uint64_t worker_id, const std::string &payload)
     ++stats_.cellsCompletedRemote;
     if (wit != workers_.end())
         ++wit->second->cellsDone;
+    // Refine the cost model with the measured wall time (send to
+    // result; includes the worker's own queue, which is what the next
+    // prediction should price in).
+    observeJob(*jit->second,
+               secondsSince(jit->second->dispatchedAt, Clock::now()) *
+                   1000.0);
     completeLocked(lock, jit->second, std::move(one.cells[0]));
     return true;
 }
@@ -239,8 +278,9 @@ Dispatcher::removeWorker(uint64_t id)
         dead.live = false;
         dead.cellsDone = w->cellsDone;
         dead_workers_.push_back(std::move(dead));
-        // Steal its in-flight jobs back: the head of the queue, so
-        // already-dispatched-once work finishes first.
+        // Steal its in-flight jobs back: urgent, so
+        // already-dispatched-once work finishes first under every
+        // policy.
         for (const uint64_t job_id : w->inFlight) {
             auto jit = jobs_.find(job_id);
             if (jit == jobs_.end() || jit->second->done)
@@ -249,7 +289,8 @@ Dispatcher::removeWorker(uint64_t id)
             job->assignedWorker = 0;
             ++job->redispatches;
             ++stats_.cellsRedispatched;
-            queue_.push_front(job);
+            job->queuedAt = Clock::now();
+            queue_.pushUrgent(job);
         }
         w->inFlight.clear();
     }
@@ -329,24 +370,42 @@ Dispatcher::execute(const AnalysisRequest &req, const CellCallback &onCell)
 
     std::vector<std::unique_ptr<Job>> jobs;
     jobs.reserve(nk * ns);
+    // Price every cell BEFORE taking mutex_ (ref materialization on a
+    // cold feature cache can be milliseconds).
+    for (size_t ki = 0; ki < nk; ++ki) {
+        for (size_t si = 0; si < ns; ++si) {
+            auto job = std::make_unique<Job>();
+            job->cell = cellRequest(req, ki, si);
+            job->index = ki * ns + si;
+            job->batch = &batch;
+            job->costKey = cellCostKey(job->cell);
+            job->features = cellCostFeatures(job->cell);
+            job->cost = costModel_.estimate(job->costKey,
+                                            job->features);
+            jobs.push_back(std::move(job));
+        }
+    }
+    // The small/large wait-class split is relative to THIS batch: a
+    // job costing more than its batch's mean counts as large.
+    double mean_cost = 0.0;
+    for (const auto &job : jobs)
+        mean_cost += job->cost;
+    mean_cost /= jobs.empty() ? 1.0 : jobs.size();
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        for (size_t ki = 0; ki < nk; ++ki) {
-            for (size_t si = 0; si < ns; ++si) {
-                auto job = std::make_unique<Job>();
-                job->id = ++job_counter_;
-                job->cell = cellRequest(req, ki, si);
-                store::ByteWriter pw;
-                pw.u64(job->id);
-                writeRequest(pw, job->cell);
-                job->payload = pw.bytes();
-                job->index = ki * ns + si;
-                job->batch = &batch;
-                jobs_.emplace(job->id, job.get());
-                queue_.push_back(job.get());
-                jobs.push_back(std::move(job));
-            }
+        for (auto &job : jobs) {
+            job->id = ++job_counter_;
+            store::ByteWriter pw;
+            pw.u64(job->id);
+            writeRequest(pw, job->cell);
+            job->payload = pw.bytes();
+            job->large = job->cost > mean_cost;
+            job->queuedAt = Clock::now();
+            jobs_.emplace(job->id, job.get());
+            queue_.push(job.get(), job->cost, job->cell.clientId);
         }
+        if (queue_.size() > stats_.queueDepthPeak)
+            stats_.queueDepthPeak = queue_.size();
     }
     pump();
 
@@ -357,21 +416,31 @@ Dispatcher::execute(const AnalysisRequest &req, const CellCallback &onCell)
         // Local takeover: a queued job nobody can run (no live
         // workers) or that keeps bouncing (the re-dispatch bound)
         // executes on this request's own thread — forward progress
-        // never depends on fleet health.
+        // never depends on fleet health. Live-but-BUSY workers are
+        // NOT a reason to take over: a full fleet is backpressure,
+        // not failure, and running the cell on this connection's
+        // thread would serialize the client behind it.
         Job *take = nullptr;
-        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-            Job *job = *it;
-            if (job->batch != &batch)
+        const bool no_workers = liveWorkersLocked() == 0;
+        for (auto &kv : jobs_) {
+            Job *job = kv.second;
+            if (job->batch != &batch || job->done ||
+                job->assignedWorker != 0)
                 continue;
-            if (liveWorkersLocked() == 0 ||
-                job->redispatches >= kMaxRedispatches) {
+            if (no_workers || job->redispatches >= kMaxRedispatches) {
                 take = job;
-                queue_.erase(it);
+                queue_.erase(job);
                 break;
             }
         }
         if (take) {
             ++stats_.cellsLocal;
+            if (no_workers)
+                ++stats_.cellsLocalNoWorkers;
+            else
+                ++stats_.cellsLocalExhausted;
+            take->dispatchedAt = Clock::now();
+            accountWaitLocked(*take);
             const uint64_t take_id = take->id;
             const AnalysisRequest cell_req = take->cell;
             lock.unlock();
@@ -389,6 +458,9 @@ Dispatcher::execute(const AnalysisRequest &req, const CellCallback &onCell)
                 cell = failedCell(cell_req, e.what());
             }
             lock.lock();
+            observeJob(*take,
+                       secondsSince(take->dispatchedAt, Clock::now()) *
+                           1000.0);
             auto jit = jobs_.find(take_id);
             // A late remote result may have won while we executed;
             // first completion wins either way.
@@ -398,16 +470,35 @@ Dispatcher::execute(const AnalysisRequest &req, const CellCallback &onCell)
         }
 
         // Re-dispatch jobs a live-but-silent worker has sat on past
-        // the deadline (SIGSTOP'd, wedged, or just lost).
+        // the deadline (SIGSTOP'd, wedged, or just lost) — but only
+        // when some worker (the slow holder itself included: its
+        // pipeline slots still drain in order) has a free slot to
+        // actually take the steal. Stealing into a COMPLETELY full
+        // fleet just burns the re-dispatch budget until the
+        // local-takeover bound fires on a merely-busy fleet.
         const Clock::time_point now = Clock::now();
+        const auto spareSlot = [this] {
+            for (const auto &kv : workers_) {
+                if (kv.second->inFlight.size() <
+                    opts_.maxInFlightPerWorker)
+                    return true;
+            }
+            return false;
+        };
         bool stole = false;
         for (auto &kv : jobs_) {
             Job *job = kv.second;
             if (job->batch != &batch || job->done ||
                 job->assignedWorker == 0)
                 continue;
-            if (secondsSince(job->dispatchedAt, now) >
-                opts_.jobTimeoutSeconds) {
+            const double waited =
+                secondsSince(job->dispatchedAt, now);
+            // Past 3x the deadline with still nowhere else to go,
+            // the holder is wedged, not busy — steal anyway so a
+            // single stuck worker cannot hang the request forever.
+            if (waited > opts_.jobTimeoutSeconds &&
+                (spareSlot() ||
+                 waited > 3.0 * opts_.jobTimeoutSeconds)) {
                 requeueLocked(job);
                 stole = true;
             }

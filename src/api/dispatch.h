@@ -62,6 +62,8 @@
 #include "api/endpoint.h"
 #include "api/service.h"
 #include "api/transport.h"
+#include "sched/cost.h"
+#include "sched/policy.h"
 
 namespace gpuperf {
 namespace api {
@@ -74,6 +76,12 @@ struct DispatchOptions
     double jobTimeoutSeconds = 600.0;
     /** Bound accepted on worker result frames. */
     uint64_t maxFrameBytes = kMaxFrameBytesDefault;
+    /**
+     * Pending-queue order (`?sched=` endpoint option). Changes which
+     * queued job the next free worker slot takes — never the
+     * response, which stays bit-identical to kFifo.
+     */
+    sched::SchedPolicy policy = sched::SchedPolicy::kFifo;
 };
 
 /** One worker's health, as seen by Server::stats(). */
@@ -96,9 +104,31 @@ struct DispatchStats
     uint64_t cellsCompletedRemote = 0; ///< results accepted from workers
     uint64_t cellsRedispatched = 0; ///< jobs stolen back (death/timeout)
     uint64_t cellsLocal = 0;        ///< cells executed by the fallback
+    /** cellsLocal split: taken because NO worker was live... */
+    uint64_t cellsLocalNoWorkers = 0;
+    /** ...vs. taken after exhausting the re-dispatch bound. */
+    uint64_t cellsLocalExhausted = 0;
     uint64_t requestsLocalFallback = 0; ///< whole requests run locally
     uint64_t duplicateResults = 0;  ///< late/duplicate results dropped
     uint64_t malformedResults = 0;  ///< result frames that failed to parse
+
+    // --- Scheduler telemetry ------------------------------------------
+    const char *schedPolicy = "fifo"; ///< active pending-queue policy
+    size_t queueDepth = 0;            ///< jobs waiting right now
+    size_t queueDepthPeak = 0;        ///< high-water mark
+    /** Queue wait of dispatched jobs, split small/large by predicted
+     *  cost relative to the job's own batch (per-class tail). */
+    double waitSmallMsTotal = 0.0;
+    double waitSmallMsMax = 0.0;
+    uint64_t waitSmallCount = 0;
+    double waitLargeMsTotal = 0.0;
+    double waitLargeMsMax = 0.0;
+    uint64_t waitLargeCount = 0;
+    /** |predicted - measured| wall time accumulation. */
+    double costErrorAbsMsSum = 0.0;
+    uint64_t costErrorSamples = 0;
+    /** Per-client fair-share accounting (queued/popped/cost). */
+    std::vector<sched::ClientShare> clientShares;
     /** Live workers first, then dead ones (totals preserved). */
     std::vector<WorkerStat> workers;
 };
@@ -149,9 +179,16 @@ class Dispatcher
         size_t index = 0;    ///< kernel-major slot in the batch
         Batch *batch = nullptr;
         uint64_t assignedWorker = 0; ///< 0 = queued/unassigned
+        std::chrono::steady_clock::time_point queuedAt;
         std::chrono::steady_clock::time_point dispatchedAt;
         int redispatches = 0;
         bool done = false;
+        /** Cost-model observation key (cell content hash). */
+        std::string costKey;
+        sched::CostFeatures features;
+        double cost = 0.0; ///< predicted cost at enqueue, ms
+        /** Predicted cost above its batch's mean (wait-class split). */
+        bool large = false;
     };
 
     struct Worker
@@ -185,6 +222,10 @@ class Dispatcher
 
     /** Assign queued jobs to free workers and send (outside mutex_). */
     void pump();
+    /** Record a job's measured wall time into the cost model. */
+    void observeJob(const Job &job, double ms);
+    /** Account a popped job's queue wait. Caller holds mutex_. */
+    void accountWaitLocked(const Job &job);
     /** One kCell result from @p worker_id. False = kill the worker. */
     bool handleResult(uint64_t worker_id, const std::string &payload);
     /** Unregister, steal its in-flight jobs back onto the queue. */
@@ -203,7 +244,11 @@ class Dispatcher
     std::map<uint64_t, std::shared_ptr<Worker>> workers_;
     std::vector<WorkerStat> dead_workers_;
     std::map<uint64_t, Job *> jobs_; ///< every un-retired job, by id
-    std::deque<Job *> queue_;        ///< unassigned jobs, FIFO
+    /** Unassigned jobs, ordered by opts_.policy (crash-stolen jobs
+     *  re-enter urgent, FIFO ahead of everything). */
+    sched::PendingQueue<Job *> queue_;
+    /** In-process cost history driving queue_'s predictions. */
+    sched::CostModel costModel_;
     uint64_t job_counter_ = 0;
     uint64_t worker_counter_ = 0;
     DispatchStats stats_;

@@ -86,6 +86,13 @@ applyOption(Endpoint *ep, const std::string &key,
             static_cast<int64_t>(parseU64(key, value, uri));
     else if (key == "json")
         ep->jsonRequests = parseBool(key, value, uri);
+    else if (key == "sched") {
+        if (!sched::parseSchedPolicy(value, &ep->schedPolicy))
+            throw std::runtime_error(
+                "option 'sched' must be fifo, biggest-first, sjf or "
+                "fair-share in '" + uri + "'");
+    } else if (key == "client")
+        ep->clientId = value;
     else
         throw std::runtime_error("unknown endpoint option '" + key +
                                  "' in '" + uri + "'");

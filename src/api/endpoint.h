@@ -31,6 +31,9 @@
  *     max-jobs         spool serve: stop after N jobs (0 = unlimited)
  *     claim-stale-ms   spool claim staleness (crash-steal latency)
  *     json             client sends JSON requests (1/0)
+ *     sched            scheduling policy: fifo | biggest-first |
+ *                      sjf | fair-share (see src/sched/policy.h)
+ *     client           client identity for fair-share accounting
  */
 
 #ifndef GPUPERF_API_ENDPOINT_H
@@ -40,6 +43,7 @@
 #include <memory>
 #include <string>
 
+#include "sched/policy.h"
 #include "store/lease.h"
 
 namespace gpuperf {
@@ -87,6 +91,21 @@ struct Endpoint
 
     /** Client wire preference: send requests as JSON, not binary. */
     bool jsonRequests = false;
+
+    /**
+     * Scheduling policy for this seam: how a server's dispatcher
+     * orders pending jobs, how spoolServe orders claims, and which
+     * ready order the local executor's task graph uses. Changes
+     * execution ORDER only — responses stay bit-identical to kFifo.
+     */
+    sched::SchedPolicy schedPolicy = sched::SchedPolicy::kFifo;
+
+    /**
+     * Client identity stamped onto submitted requests ("" = the
+     * anonymous tenant); the fair-share policy accounts work per
+     * identity.
+     */
+    std::string clientId;
 
     struct Limits
     {

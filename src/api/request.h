@@ -39,7 +39,7 @@ namespace api {
  * change to the schema structs or their codecs; readers reject other
  * versions and the caller re-issues the job.
  */
-constexpr uint32_t kSchemaVersion = 1;
+constexpr uint32_t kSchemaVersion = 2;
 
 /**
  * A kernel case by reference: a registry factory name plus its
@@ -157,6 +157,15 @@ struct AnalysisRequest
     uint32_t schemaVersion = kSchemaVersion;
     /** Display name, echoed in responses and spool job ids. */
     std::string jobName;
+    /**
+     * Client identity for per-tenant fair-share scheduling ("" = the
+     * anonymous default tenant). Set from the `?client=` endpoint
+     * option; the fair-share dispatcher accounts each tenant's work
+     * against it. Responses do not echo it and result-store keys do
+     * not include it, so identical work stays shared (and
+     * bit-identical) across tenants.
+     */
+    std::string clientId;
 
     std::vector<KernelJob> kernels;
     std::vector<arch::GpuSpec> specs;

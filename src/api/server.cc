@@ -31,6 +31,7 @@ dispatchOptionsFor(const ServerOptions &opts)
     d.maxInFlightPerWorker = opts.maxWorkerInFlight;
     d.jobTimeoutSeconds = opts.jobTimeoutSeconds;
     d.maxFrameBytes = opts.maxFrameBytes;
+    d.policy = opts.schedPolicy;
     return d;
 }
 
@@ -52,6 +53,7 @@ serverOptionsFor(const std::vector<Endpoint> &endpoints)
     opts.idleTimeoutSeconds = first.timeouts.idleSeconds;
     opts.jobTimeoutSeconds = first.timeouts.jobSeconds;
     opts.forceStoreDir = first.storeDir;
+    opts.schedPolicy = first.schedPolicy;
     for (const Endpoint &ep : endpoints) {
         switch (ep.scheme) {
         case Endpoint::Scheme::kUnix:
@@ -75,6 +77,9 @@ Server::Server(ServerOptions opts)
     : opts_(std::move(opts)),
       dispatcher_(service_, dispatchOptionsFor(opts_))
 {
+    // One policy drives both halves: the dispatcher's pending queue
+    // (fleet path) and the local service's task-graph ready order.
+    service_.setSchedPolicy(opts_.schedPolicy);
 }
 
 Server::Server(const Endpoint &endpoint)
@@ -198,6 +203,41 @@ statsToJson(const ServerStats &stats)
                   f.requestsLocalFallback, f.duplicateResults,
                   f.malformedResults);
     out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"cells_local_no_workers\": %" PRIu64 ",\n"
+                  "  \"cells_local_exhausted\": %" PRIu64 ",\n"
+                  "  \"sched_policy\": \"%s\",\n"
+                  "  \"queue_depth\": %zu,\n"
+                  "  \"queue_depth_peak\": %zu,\n",
+                  f.cellsLocalNoWorkers, f.cellsLocalExhausted,
+                  f.schedPolicy, f.queueDepth, f.queueDepthPeak);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"wait_small_ms_total\": %.3f,\n"
+                  "  \"wait_small_ms_max\": %.3f,\n"
+                  "  \"wait_small_count\": %" PRIu64 ",\n"
+                  "  \"wait_large_ms_total\": %.3f,\n"
+                  "  \"wait_large_ms_max\": %.3f,\n"
+                  "  \"wait_large_count\": %" PRIu64 ",\n"
+                  "  \"cost_error_abs_ms_sum\": %.3f,\n"
+                  "  \"cost_error_samples\": %" PRIu64 ",\n",
+                  f.waitSmallMsTotal, f.waitSmallMsMax,
+                  f.waitSmallCount, f.waitLargeMsTotal,
+                  f.waitLargeMsMax, f.waitLargeCount,
+                  f.costErrorAbsMsSum, f.costErrorSamples);
+    out += buf;
+    out += "  \"clients\": [";
+    for (size_t i = 0; i < f.clientShares.size(); ++i) {
+        const sched::ClientShare &c = f.clientShares[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n    {\"client\": \"%s\", \"queued\": %zu, "
+                      "\"popped\": %" PRIu64
+                      ", \"cost_charged\": %.3f, \"deficit\": %.3f}",
+                      i ? "," : "", c.client.c_str(), c.queued,
+                      c.popped, c.costCharged, c.deficit);
+        out += buf;
+    }
+    out += f.clientShares.empty() ? "],\n" : "\n  ],\n";
     out += "  \"workers\": [";
     for (size_t i = 0; i < f.workers.size(); ++i) {
         const WorkerStat &w = f.workers[i];

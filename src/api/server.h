@@ -101,6 +101,12 @@ struct ServerOptions
     size_t maxWorkerInFlight = 4;
     /** Dispatch: re-dispatch a worker-held cell after this. */
     double jobTimeoutSeconds = 600.0;
+    /**
+     * Scheduling policy (`?sched=`) for the dispatcher's pending
+     * queue AND the local executor's task-graph ready order.
+     * Responses stay bit-identical to kFifo under every policy.
+     */
+    sched::SchedPolicy schedPolicy = sched::SchedPolicy::kFifo;
 };
 
 /**

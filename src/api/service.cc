@@ -174,17 +174,21 @@ AnalysisService::executorOptions(const AnalysisRequest &req)
 std::shared_ptr<driver::BatchRunner>
 AnalysisService::executorHandleFor(const AnalysisRequest &req)
 {
-    const driver::BatchRunner::Options opts = executorOptions(req);
+    driver::BatchRunner::Options opts = executorOptions(req);
+    std::lock_guard<std::mutex> lock(mutex_);
+    opts.schedPolicy = schedPolicy_;
     // Executors are shared per distinct policy so repeated requests
-    // reuse in-memory memos; the key serializes every option field.
+    // reuse in-memory memos; the key serializes every option field
+    // (the service-level sched policy included, so a mid-life switch
+    // builds a fresh executor instead of mutating a running one).
     const std::string key =
         std::to_string(opts.numThreads) + "|" + opts.storeDir + "|" +
         opts.calibrationCacheDir + "|" +
         (opts.shareProfiles ? "S" : "s") +
         (opts.reuseStoredResults ? "R" : "r") +
         (opts.shareTiming ? "T" : "t") +
-        std::to_string(static_cast<int>(opts.engine));
-    std::lock_guard<std::mutex> lock(mutex_);
+        std::to_string(static_cast<int>(opts.engine)) + "|" +
+        sched::schedPolicyName(opts.schedPolicy);
     Executor &executor = executors_[key];
     if (!executor.runner)
         executor.runner = std::make_shared<driver::BatchRunner>(opts);
@@ -264,6 +268,20 @@ AnalysisService::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     executors_.clear();
+}
+
+void
+AnalysisService::setSchedPolicy(sched::SchedPolicy policy)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    schedPolicy_ = policy;
+}
+
+sched::SchedPolicy
+AnalysisService::schedPolicy() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return schedPolicy_;
 }
 
 void

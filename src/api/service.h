@@ -29,6 +29,7 @@
 
 #include "api/request.h"
 #include "driver/batch_runner.h"
+#include "sched/policy.h"
 
 namespace gpuperf {
 namespace api {
@@ -121,6 +122,19 @@ class AnalysisService
      */
     void reset();
 
+    /**
+     * Ready-order policy for every executor this service builds
+     * (`?sched=` on a server endpoint). A SERVICE-level knob, not a
+     * request field: the daemon operator picks the policy, clients
+     * cannot override it per request. Takes effect for executors
+     * created after the call (policy participates in the cache key,
+     * so switching mid-life builds fresh executors rather than
+     * mutating running ones). Results stay bit-identical under every
+     * policy.
+     */
+    void setSchedPolicy(sched::SchedPolicy policy);
+    sched::SchedPolicy schedPolicy() const;
+
   private:
     struct Executor
     {
@@ -137,9 +151,10 @@ class AnalysisService
     std::shared_ptr<driver::BatchRunner>
     executorHandleFor(const AnalysisRequest &req);
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::map<std::string, Executor> executors_;
     uint64_t useCounter_ = 0;
+    sched::SchedPolicy schedPolicy_ = sched::SchedPolicy::kFifo;
 };
 
 /**

@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <stdexcept>
 #include <thread>
 
+#include "api/cell_cost.h"
 #include "api/codecs.h"
 #include "api/endpoint.h"
 #include "common/fnv.h"
@@ -114,6 +116,7 @@ cellRequest(const AnalysisRequest &req, size_t ki, size_t si)
     AnalysisRequest cell;
     cell.schemaVersion = req.schemaVersion;
     cell.jobName = req.jobName;
+    cell.clientId = req.clientId;
     cell.kernels = {req.kernels[ki]};
     cell.specs = {req.specs[si]};
     cell.sweep = req.sweep;
@@ -187,10 +190,47 @@ spoolServe(const std::string &dir, AnalysisService &service,
            const ServeOptions &opts)
 {
     ServeStats stats;
+    // Claim-order pricing: job files are content-addressed and
+    // immutable, so an id priced once stays priced across passes.
+    // Pricing never executes anything — a job file that fails to
+    // deserialize costs 0 here and produces its failure response at
+    // claim time like before.
+    std::map<std::string, double> costs;
+    sched::CostModel costModel;
+    const bool costed = opts.policy != sched::SchedPolicy::kFifo;
     for (;;) {
         bool executedThisPass = false;
         bool allAnswered = true;
-        for (const std::string &id : listJobs(dir)) {
+        std::vector<std::string> ids = listJobs(dir);
+        if (costed) {
+            for (const std::string &id : ids) {
+                if (costs.count(id) ||
+                    fileExists(responsePath(dir, id)))
+                    continue;
+                AnalysisRequest cell;
+                double cost = 0.0;
+                if (loadRequestFile(jobPath(dir, id), &cell, id))
+                    cost = estimateCellCost(costModel, cell);
+                costs.emplace(id, cost);
+            }
+            const bool biggest =
+                opts.policy == sched::SchedPolicy::kBiggestFirst;
+            // stable_sort over the sorted listing: ties (answered
+            // jobs, equal costs) keep deterministic id order.
+            std::stable_sort(
+                ids.begin(), ids.end(),
+                [&costs, biggest](const std::string &a,
+                                  const std::string &b) {
+                    const auto ia = costs.find(a);
+                    const auto ib = costs.find(b);
+                    const double ca =
+                        ia == costs.end() ? 0.0 : ia->second;
+                    const double cb =
+                        ib == costs.end() ? 0.0 : ib->second;
+                    return biggest ? ca > cb : ca < cb;
+                });
+        }
+        for (const std::string &id : ids) {
             if (opts.maxJobs && stats.executed >= opts.maxJobs)
                 return stats;
             if (fileExists(responsePath(dir, id)))
@@ -370,6 +410,7 @@ spoolServeOptionsFor(const Endpoint &ep)
     ServeOptions opts;
     opts.maxJobs = ep.limits.maxJobs;
     opts.claimStaleAfterMs = ep.timeouts.claimStaleMs;
+    opts.policy = ep.schedPolicy;
     return opts;
 }
 

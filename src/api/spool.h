@@ -39,6 +39,7 @@
 
 #include "api/request.h"
 #include "api/service.h"
+#include "sched/policy.h"
 #include "store/lease.h"
 
 namespace gpuperf {
@@ -129,6 +130,15 @@ struct ServeOptions
     int64_t claimStaleAfterMs = store::kLeaseStaleAfterMsDefault;
     /** Seconds between scans while other workers hold the claims. */
     double idlePollSeconds = 0.05;
+    /**
+     * Claim order within each scan (`?sched=`): kSjf claims the
+     * cheapest-predicted unanswered job first, kBiggestFirst the
+     * dearest; kFairShare degrades to kSjf (a pull-based worker has
+     * no client queue to arbitrate). Costs are predicted from the
+     * job file's launch shape (api/cell_cost.h); responses stay
+     * bit-identical to kFifo — only the claim order moves.
+     */
+    sched::SchedPolicy policy = sched::SchedPolicy::kFifo;
 };
 
 struct ServeStats

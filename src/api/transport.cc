@@ -188,17 +188,56 @@ class SpoolTransport : public Transport
     SpoolOptions opts_;
 };
 
+/**
+ * Decorator stamping the endpoint's `?client=` identity onto every
+ * request whose own clientId is empty — how one process impersonates
+ * one tenant of a shared daemon without touching request-building
+ * code. An explicit request-level clientId wins.
+ */
+class ClientTagTransport : public Transport
+{
+  public:
+    ClientTagTransport(std::unique_ptr<Transport> inner,
+                       std::string client)
+        : inner_(std::move(inner)), client_(std::move(client))
+    {
+    }
+
+    AnalysisResponse run(const AnalysisRequest &req,
+                         const CellCallback &onCell) override
+    {
+        if (req.clientId.empty()) {
+            AnalysisRequest tagged = req;
+            tagged.clientId = client_;
+            return inner_->run(tagged, onCell);
+        }
+        return inner_->run(req, onCell);
+    }
+
+    std::string describe() const override
+    {
+        return inner_->describe();
+    }
+
+  private:
+    std::unique_ptr<Transport> inner_;
+    std::string client_;
+};
+
 } // namespace
 
 std::unique_ptr<Transport>
 makeTransport(const Endpoint &ep, AnalysisService *local)
 {
+    std::unique_ptr<Transport> transport;
     switch (ep.scheme) {
     case Endpoint::Scheme::kInproc:
-        return std::make_unique<InProcessTransport>(local);
+        transport = std::make_unique<InProcessTransport>(local);
+        break;
     case Endpoint::Scheme::kSpool:
-        return std::make_unique<SpoolTransport>(ep.path, local,
-                                                spoolOptionsFor(ep));
+        transport = std::make_unique<SpoolTransport>(
+            ep.path, local, spoolOptionsFor(ep));
+        break;
     case Endpoint::Scheme::kUnix:
     case Endpoint::Scheme::kTcp: {
         auto client = std::make_unique<ServeClient>(
@@ -208,10 +247,16 @@ makeTransport(const Endpoint &ep, AnalysisService *local)
         client->setJsonRequests(ep.jsonRequests);
         client->setMaxFrameBytes(ep.limits.maxFrameBytes);
         client->setResponseTimeout(ep.timeouts.responseSeconds);
-        return client;
+        transport = std::move(client);
+        break;
     }
     }
-    throw std::runtime_error("unhandled endpoint scheme");
+    if (!transport)
+        throw std::runtime_error("unhandled endpoint scheme");
+    if (!ep.clientId.empty())
+        return std::make_unique<ClientTagTransport>(
+            std::move(transport), ep.clientId);
+    return transport;
 }
 
 std::unique_ptr<Transport>

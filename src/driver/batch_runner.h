@@ -60,6 +60,7 @@
 #include "driver/sweep.h"
 #include "funcsim/profile.h"
 #include "model/session.h"
+#include "sched/policy.h"
 #include "store/lease.h"
 
 namespace gpuperf {
@@ -178,6 +179,17 @@ class BatchRunner
          */
         timing::ReplayEngine engine =
             timing::ReplayEngine::kEventDriven;
+        /**
+         * Order in which READY task-graph nodes are claimed by pool
+         * workers (`?sched=`): kSjf/kFairShare run cheapest-predicted
+         * analyze nodes first, kBiggestFirst the dearest. Costs come
+         * from the TimingStore's observation side-channel — EWMA wall
+         * times per (profile key, timing fingerprint) recorded by
+         * earlier runs — falling back to a static launch-size
+         * estimate. Changes scheduling only; results stay
+         * bit-identical to kFifo.
+         */
+        sched::SchedPolicy schedPolicy = sched::SchedPolicy::kFifo;
     };
 
     BatchRunner(); ///< default Options

@@ -337,7 +337,7 @@ forgedInlineRequestJson(const std::string &instr_tuple, int regs)
         }
         return std::string("{}");
     }();
-    return "{\"schema\": 1, \"job\": \"forged\", \"kernels\": ["
+    return "{\"schema\": 2, \"job\": \"forged\", \"kernels\": ["
            "{\"name\": \"bad\", \"inline\": {\"kernel\": "
            "{\"name\": \"bad\", \"registers\": " +
            std::to_string(regs) +

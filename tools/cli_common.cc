@@ -118,6 +118,8 @@ parseCommonArgs(int argc, char **argv, int first, CommonArgs *args)
             {"--worker-inflight", "worker-inflight"},
             {"--max-jobs", "max-jobs"},
             {"--claim-stale-ms", "claim-stale-ms"},
+            {"--sched", "sched"},
+            {"--client", "client"},
             // One-release aliases for the pre-unification spellings.
             {"--max-inflight-cells", "max-inflight"},
             {"--max-cells-per-request", "max-cells"},

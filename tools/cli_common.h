@@ -20,6 +20,9 @@
  *   --worker-inflight N per-worker job bound    (`worker-inflight`)
  *   --max-jobs N        serve-at-most bound            (`max-jobs`)
  *   --claim-stale-ms MS spool crash-steal bound   (`claim-stale-ms`)
+ *   --sched POLICY      scheduling policy fifo|biggest-first|sjf|
+ *                       fair-share                        (`sched`)
+ *   --client ID         client identity for fair-share   (`client`)
  *   --json              send JSON requests                 (`json`)
  *
  * plus the non-endpoint flags --out, --spool, --no-wait, --once,
