@@ -38,6 +38,7 @@
 #include "bench/bench_common.h"
 #include "common/thread_pool.h"
 #include "store/profile_store.h"
+#include "store/stats.h"
 
 using namespace gpuperf;
 
@@ -416,7 +417,7 @@ main(int argc, char **argv)
             "\"shared_warm\": %.1f, \"warm_results\": %.1f},\n"
             "  \"streaming\": {\"first_result_sec\": %.3f, "
             "\"last_calibration_sec\": %.3f, \"total_sec\": %.3f, "
-            "\"blocking_first_result_sec\": %.3f}\n}\n",
+            "\"blocking_first_result_sec\": %.3f},\n",
             share_gate_ok && thread_gate_ok && stream_gate_ok
                 ? "pass"
                 : "fail",
@@ -426,6 +427,11 @@ main(int argc, char **argv)
             stream_stats.lastCalibrationSeconds,
             stream_stats.totalSeconds, stream_stats.totalSeconds);
         json << buf;
+        // Store cache-health counters across every study above (the
+        // warm legs show up as hits, the cold legs as misses+writes).
+        json << "  \"store\": "
+             << store::storeLayerStatsJson(service.storeStats(), "  ")
+             << "\n}\n";
     }
 
     if (!share_gate_ok)

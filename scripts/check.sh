@@ -3,7 +3,7 @@
 # gtest suite. Fails on any compile error or test failure. Future PRs
 # run this before merging.
 #
-# Usage: scripts/check.sh [--sanitize | --api-smoke | --serve-smoke | --fleet-smoke | --sched-smoke] [build-dir] [build-type]
+# Usage: scripts/check.sh [--sanitize | --api-smoke | --serve-smoke | --fleet-smoke | --sched-smoke | --store-smoke] [build-dir] [build-type]
 #   --sanitize  ASan+UBSan run: Debug build with
 #               -fsanitize=address,undefined, leak detection on, tests
 #               only (the perf gates measure nothing useful under a
@@ -50,6 +50,16 @@
 #               (flagless) run executes this and the
 #               bench_sched_fairness gate as well; artifacts land in
 #               <build-dir>/sched-smoke/.
+#   --store-smoke
+#               Build, then run ONLY the store-lifecycle smoke: a cold
+#               run populates a store, one entry is deliberately
+#               bit-flipped on disk (`gpuperf-worker verify` must exit
+#               2 and quarantine it), the store is force-compacted
+#               into segment files, and a warm run over the compacted
+#               store must produce a byte-identical response; a GC
+#               dry-run and the disk-usage scan round out the admin
+#               verbs. The full (flagless) run executes this step as
+#               well; artifacts land in <build-dir>/store-smoke/.
 #   build-dir   default: build (build-asan with --sanitize)
 #   build-type  Debug | Release | RelWithDebInfo | ... (default: the
 #               build dir's existing type, or CMake's default).
@@ -66,6 +76,7 @@ API_SMOKE_ONLY=0
 SERVE_SMOKE_ONLY=0
 FLEET_SMOKE_ONLY=0
 SCHED_SMOKE_ONLY=0
+STORE_SMOKE_ONLY=0
 if [[ "${1:-}" == "--sanitize" ]]; then
     SANITIZE=1
     shift
@@ -80,6 +91,9 @@ elif [[ "${1:-}" == "--fleet-smoke" ]]; then
     shift
 elif [[ "${1:-}" == "--sched-smoke" ]]; then
     SCHED_SMOKE_ONLY=1
+    shift
+elif [[ "${1:-}" == "--store-smoke" ]]; then
+    STORE_SMOKE_ONLY=1
     shift
 fi
 
@@ -339,6 +353,62 @@ run_sched_smoke() {
     echo "sched-smoke: sjf-scheduled responses byte-identical to the in-process fifo run"
 }
 
+# Store-lifecycle end-to-end: corruption is quarantined (verify exits
+# 2, then 0), compaction folds the store into segment files, and a
+# warm run over the compacted store stays byte-identical to the cold
+# run. Exercises the gc|verify|compact|stats admin verbs for real.
+run_store_smoke() {
+    local SMOKE="$BUILD_DIR/store-smoke"
+    local W="$BUILD_DIR/gpuperf-worker"
+    local STORE="$SMOKE/store"
+    rm -rf "$SMOKE"
+    mkdir -p "$SMOKE"
+
+    "$W" demo-request --out "$SMOKE/request.json" --store "$STORE"
+    "$W" run "$SMOKE/request.json" --out "$SMOKE/response-cold.json"
+
+    # Corrupt a stored profile (trailing garbage breaks the entry
+    # framing): verify must exit 2 and quarantine it.
+    local VICTIM
+    VICTIM="$(ls "$STORE/profiles/"*.profile | head -n 1)"
+    printf 'CORRUPTION' >> "$VICTIM"
+    local RC=0
+    "$W" verify --store "$STORE" > "$SMOKE/verify-corrupt.json" || RC=$?
+    [[ "$RC" == 2 ]] || {
+        echo "store-smoke: verify expected exit 2 on corruption, got $RC" >&2
+        cat "$SMOKE/verify-corrupt.json" >&2
+        return 1
+    }
+    grep -q '"quarantined": 1' "$SMOKE/verify-corrupt.json" || {
+        echo "store-smoke: corrupt entry was not quarantined" >&2
+        cat "$SMOKE/verify-corrupt.json" >&2
+        return 1
+    }
+    "$W" verify --store "$STORE" > "$SMOKE/verify-clean.json"
+
+    # Fold everything into segment files; the loose entries vanish
+    # but a warm run must stay byte-identical to the cold one (the
+    # quarantined profile is simply recomputed). Entries younger than
+    # the compactor's min-age guard stay loose, so backdate the
+    # just-written store first.
+    find "$STORE" -type f -exec touch -t 202001010000 {} +
+    "$W" compact --store "$STORE" --force --min-loose 1 \
+        > "$SMOKE/compact.json"
+    "$W" stats --store "$STORE" > "$SMOKE/stats.json"
+    grep -q '"segment_files": [1-9]' "$SMOKE/stats.json" || {
+        echo "store-smoke: compaction produced no segment files" >&2
+        cat "$SMOKE/compact.json" "$SMOKE/stats.json" >&2
+        return 1
+    }
+    "$W" run "$SMOKE/request.json" --out "$SMOKE/response-warm.json"
+    diff "$SMOKE/response-cold.json" "$SMOKE/response-warm.json"
+
+    # GC dry-run over the compacted store reports without touching.
+    "$W" gc --store "$STORE" --gc-bytes 1 --dry-run > "$SMOKE/gc.json"
+    grep -q '"ok": true' "$SMOKE/gc.json"
+    echo "store-smoke: corruption quarantined, compacted warm run byte-identical"
+}
+
 if [[ "$API_SMOKE_ONLY" == 1 ]]; then
     run_api_smoke
     echo "check.sh: api-smoke green"
@@ -360,6 +430,12 @@ fi
 if [[ "$SCHED_SMOKE_ONLY" == 1 ]]; then
     run_sched_smoke
     echo "check.sh: sched-smoke green"
+    exit 0
+fi
+
+if [[ "$STORE_SMOKE_ONLY" == 1 ]]; then
+    run_store_smoke
+    echo "check.sh: store-smoke green"
     exit 0
 fi
 
@@ -412,5 +488,6 @@ run_api_smoke
 run_serve_smoke
 run_fleet_smoke
 run_sched_smoke
+run_store_smoke
 
 echo "check.sh: all green"

@@ -84,6 +84,12 @@ applyOption(Endpoint *ep, const std::string &key,
     else if (key == "claim-stale-ms")
         ep->timeouts.claimStaleMs =
             static_cast<int64_t>(parseU64(key, value, uri));
+    else if (key == "gc-bytes")
+        ep->limits.gcBytes = parseU64(key, value, uri);
+    else if (key == "gc-age")
+        ep->timeouts.gcAgeSeconds = parseDouble(key, value, uri);
+    else if (key == "gc-interval")
+        ep->timeouts.gcIntervalSeconds = parseDouble(key, value, uri);
     else if (key == "json")
         ep->jsonRequests = parseBool(key, value, uri);
     else if (key == "sched") {

@@ -30,6 +30,11 @@
  *     worker-inflight  cells in flight per registered worker
  *     max-jobs         spool serve: stop after N jobs (0 = unlimited)
  *     claim-stale-ms   spool claim staleness (crash-steal latency)
+ *     gc-bytes         server: GC the forced store to this live-byte
+ *                      budget (0 = no size bound; see store/lifecycle)
+ *     gc-age           server: GC entries idle longer than, seconds
+ *                      (0 = no age bound)
+ *     gc-interval      server: seconds between GC sweeps
  *     json             client sends JSON requests (1/0)
  *     sched            scheduling policy: fifo | biggest-first |
  *                      sjf | fair-share (see src/sched/policy.h)
@@ -118,6 +123,8 @@ struct Endpoint
         size_t maxWorkerInFlight = 4;
         /** Spool serve: stop after N executed jobs (0 = unlimited). */
         size_t maxJobs = 0;
+        /** Server GC: live-byte budget for the forced store (0 = off). */
+        uint64_t gcBytes = 0;
     };
 
     struct Timeouts
@@ -135,6 +142,10 @@ struct Endpoint
         double pollMaxSeconds = 0.25;
         /** Spool claim staleness threshold, milliseconds. */
         int64_t claimStaleMs = store::kLeaseStaleAfterMsDefault;
+        /** Server GC: evict entries idle longer than, seconds (0 = off). */
+        double gcAgeSeconds = 0.0;
+        /** Server GC: seconds between sweeps (with a bound set). */
+        double gcIntervalSeconds = 300.0;
     };
 
     Limits limits;

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 #include "api/codecs.h"
 #include "common/logging.h"
 #include "common/socket.h"
+#include "store/lifecycle/gc.h"
 #include "store/serializer.h"
 
 namespace gpuperf {
@@ -54,6 +56,9 @@ serverOptionsFor(const std::vector<Endpoint> &endpoints)
     opts.jobTimeoutSeconds = first.timeouts.jobSeconds;
     opts.forceStoreDir = first.storeDir;
     opts.schedPolicy = first.schedPolicy;
+    opts.gcBytes = first.limits.gcBytes;
+    opts.gcAgeSeconds = first.timeouts.gcAgeSeconds;
+    opts.gcIntervalSeconds = first.timeouts.gcIntervalSeconds;
     for (const Endpoint &ep : endpoints) {
         switch (ep.scheme) {
         case Endpoint::Scheme::kUnix:
@@ -125,6 +130,36 @@ Server::start()
     }
     for (const int fd : listen_fds_)
         accept_threads_.emplace_back([this, fd] { acceptLoop(fd); });
+    // Store maintenance: with a GC bound and a forced store root, a
+    // background thread keeps the shared store within budget while
+    // the daemon serves (lease-aware — see store/lifecycle/gc.h).
+    if (!opts_.forceStoreDir.empty() &&
+        (opts_.gcBytes > 0 || opts_.gcAgeSeconds > 0))
+        gc_thread_ = std::thread([this] { gcLoop(); });
+}
+
+void
+Server::gcLoop()
+{
+    store::GcOptions gc;
+    gc.maxBytes = opts_.gcBytes;
+    gc.maxAgeMs =
+        static_cast<int64_t>(opts_.gcAgeSeconds * 1000.0);
+    const double interval_s =
+        opts_.gcIntervalSeconds > 0 ? opts_.gcIntervalSeconds : 300.0;
+    const auto interval = std::chrono::duration<double>(interval_s);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_.load()) {
+        lock.unlock();
+        const store::GcReport report =
+            store::runGc(opts_.forceStoreDir, gc);
+        lock.lock();
+        ++stats_.gcRuns;
+        stats_.gcEvicted += report.evicted;
+        stats_.gcEvictedBytes += report.evictedBytes;
+        gc_cv_.wait_for(lock, interval,
+                        [this] { return stopping_.load(); });
+    }
 }
 
 void
@@ -134,6 +169,9 @@ Server::stop()
         return;
     stopping_.store(true);
     admission_cv_.notify_all();
+    gc_cv_.notify_all();
+    if (gc_thread_.joinable())
+        gc_thread_.join();
     for (std::thread &t : accept_threads_)
         if (t.joinable())
             t.join();
@@ -165,6 +203,7 @@ Server::stats() const
         s = stats_;
     }
     s.fleet = dispatcher_.stats();
+    s.store = service_.storeStats();
     return s;
 }
 
@@ -226,6 +265,15 @@ statsToJson(const ServerStats &stats)
                   f.waitLargeMsMax, f.waitLargeCount,
                   f.costErrorAbsMsSum, f.costErrorSamples);
     out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"gc_runs\": %" PRIu64 ",\n"
+                  "  \"gc_evicted\": %" PRIu64 ",\n"
+                  "  \"gc_evicted_bytes\": %" PRIu64 ",\n",
+                  stats.gcRuns, stats.gcEvicted,
+                  stats.gcEvictedBytes);
+    out += buf;
+    out += "  \"store\": " +
+           store::storeLayerStatsJson(stats.store, "  ") + ",\n";
     out += "  \"clients\": [";
     for (size_t i = 0; i < f.clientShares.size(); ++i) {
         const sched::ClientShare &c = f.clientShares[i];

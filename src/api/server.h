@@ -50,6 +50,7 @@
 #include "api/endpoint.h"
 #include "api/service.h"
 #include "api/transport.h"
+#include "store/stats.h"
 
 namespace gpuperf {
 namespace api {
@@ -101,6 +102,17 @@ struct ServerOptions
     size_t maxWorkerInFlight = 4;
     /** Dispatch: re-dispatch a worker-held cell after this. */
     double jobTimeoutSeconds = 600.0;
+
+    /**
+     * Background store GC (`?gc-bytes=` / `?gc-age=`): with a bound
+     * set AND a forced store root, a maintenance thread sweeps the
+     * store every gcIntervalSeconds (store/lifecycle/gc.h — LRU,
+     * lease-aware, never touches in-flight entries). Both bounds 0
+     * (the default) means no GC thread at all.
+     */
+    uint64_t gcBytes = 0;
+    double gcAgeSeconds = 0.0;
+    double gcIntervalSeconds = 300.0;
     /**
      * Scheduling policy (`?sched=`) for the dispatcher's pending
      * queue AND the local executor's task-graph ready order.
@@ -128,6 +140,11 @@ struct ServerStats
     uint64_t cells = 0;          ///< cells delivered (ok or failed)
     uint64_t failedCells = 0;    ///< delivered cells with ok == false
     uint64_t disconnects = 0;    ///< streams broken mid-exchange
+    uint64_t gcRuns = 0;         ///< maintenance-thread GC sweeps
+    uint64_t gcEvicted = 0;      ///< entries those sweeps evicted
+    uint64_t gcEvictedBytes = 0;
+    /** Store cache health across the shared service's executors. */
+    store::StoreLayerStats store;
     /** Fleet health: the dispatcher's counters and per-worker rows. */
     DispatchStats fleet;
 };
@@ -190,6 +207,7 @@ class Server
     };
 
     void acceptLoop(int listen_fd);
+    void gcLoop();
     void serveConnection(int fd);
     /** One request -> one kDone/kError exchange. False = drop conn. */
     bool serveExchange(int fd, FrameType type,
@@ -205,6 +223,8 @@ class Server
     std::vector<int> listen_fds_;
     int bound_tcp_port_ = -1;
     std::vector<std::thread> accept_threads_;
+    std::thread gc_thread_;
+    std::condition_variable gc_cv_;
 
     std::atomic<bool> stopping_{false};
     std::atomic<bool> started_{false};

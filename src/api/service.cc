@@ -209,6 +209,10 @@ AnalysisService::executorHandleFor(const AnalysisRequest &req)
         }
         if (victim == executors_.end())
             break;
+        // Fold the doomed executor's store counters into the retired
+        // accumulator: eviction must never make a stats() counter go
+        // backwards.
+        retired_ += victim->second.runner->storeStats();
         executors_.erase(victim);
     }
     return executor.runner;
@@ -267,7 +271,19 @@ void
 AnalysisService::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &entry : executors_)
+        retired_ += entry.second.runner->storeStats();
     executors_.clear();
+}
+
+store::StoreLayerStats
+AnalysisService::storeStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    store::StoreLayerStats s = retired_;
+    for (const auto &entry : executors_)
+        s += entry.second.runner->storeStats();
+    return s;
 }
 
 void

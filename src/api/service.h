@@ -30,6 +30,7 @@
 #include "api/request.h"
 #include "driver/batch_runner.h"
 #include "sched/policy.h"
+#include "store/stats.h"
 
 namespace gpuperf {
 namespace api {
@@ -135,6 +136,15 @@ class AnalysisService
     void setSchedPolicy(sched::SchedPolicy policy);
     sched::SchedPolicy schedPolicy() const;
 
+    /**
+     * Store cache-health counters summed across every executor this
+     * service has EVER built: live cache entries plus an accumulator
+     * of the executors the LRU bound evicted, so a counter never
+     * drops when an executor is retired. What Server::stats() (and
+     * thus `--stats-json`) reports as the "store" section.
+     */
+    store::StoreLayerStats storeStats() const;
+
   private:
     struct Executor
     {
@@ -153,6 +163,8 @@ class AnalysisService
 
     mutable std::mutex mutex_;
     std::map<std::string, Executor> executors_;
+    /** Counters of executors the LRU bound (or reset()) retired. */
+    store::StoreLayerStats retired_;
     uint64_t useCounter_ = 0;
     sched::SchedPolicy schedPolicy_ = sched::SchedPolicy::kFifo;
 };

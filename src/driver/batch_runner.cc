@@ -334,6 +334,21 @@ BatchRunner::BatchRunner(Options options)
 
 BatchRunner::~BatchRunner() = default;
 
+store::StoreLayerStats
+BatchRunner::storeStats() const
+{
+    store::StoreLayerStats s;
+    if (profileStore_)
+        s.profiles = profileStore_->stats();
+    if (calibrationStore_)
+        s.calibrations = calibrationStore_->stats();
+    if (timingStore_)
+        s.timings = timingStore_->stats();
+    if (resultStore_)
+        s.results = resultStore_->stats();
+    return s;
+}
+
 std::string
 BatchRunner::specKey(const arch::GpuSpec &spec)
 {

@@ -62,6 +62,7 @@
 #include "model/session.h"
 #include "sched/policy.h"
 #include "store/lease.h"
+#include "store/stats.h"
 
 namespace gpuperf {
 
@@ -380,6 +381,13 @@ class BatchRunner
     {
         return timingStore_.get();
     }
+
+    /**
+     * The four stores' cache-health counters side by side (all zero
+     * when storeDir is unset) — what this executor did to the shared
+     * store: hit/miss traffic, bytes moved, publishes, lease steals.
+     */
+    store::StoreLayerStats storeStats() const;
 
   private:
     /** Memoization key: the spec's full fingerprint. */

@@ -1,6 +1,7 @@
 #include "store/calibration_store.h"
 
 #include "store/codecs.h"
+#include "store/lifecycle/segment.h"
 #include "store/serializer.h"
 
 namespace gpuperf {
@@ -24,17 +25,18 @@ CalibrationStore::load(const arch::GpuSpec &spec) const
 {
     const std::string key = spec.fingerprint();
     std::string payload;
-    if (!readEntryFile(path(spec, key), kFormatVersion, key, &payload)) {
-        ++misses_;
+    if (!readStoreEntry(dir_, fileStem(spec.name, key) + ".calibration",
+                        kFormatVersion, key, &payload, &counters_)) {
+        counters_.miss();
         return nullptr;
     }
     auto tables = std::make_shared<model::CalibrationTables>();
     ByteReader r(payload);
     if (!readTables(r, tables.get()) || !r.atEnd()) {
-        ++misses_;
+        counters_.miss();
         return nullptr;
     }
-    ++hits_;
+    counters_.hit();
     return tables;
 }
 
@@ -46,7 +48,7 @@ CalibrationStore::save(const arch::GpuSpec &spec,
     ByteWriter w;
     writeTables(w, tables);
     return writeEntryFile(path(spec, key), kFormatVersion, key,
-                          w.bytes());
+                          w.bytes(), &counters_);
 }
 
 bool
@@ -83,7 +85,7 @@ CalibrationStore::saveBenchResults(const arch::GpuSpec &spec,
     }
     return writeEntryFile(dir_ + "/" + fileStem(spec.name, key) +
                               ".bench",
-                          kFormatVersion, key, w.bytes());
+                          kFormatVersion, key, w.bytes(), &counters_);
 }
 
 std::string
@@ -96,7 +98,8 @@ CalibrationStore::leasePath(const arch::GpuSpec &spec) const
 CalibrationLease
 CalibrationStore::tryAcquireLease(const arch::GpuSpec &spec) const
 {
-    return store::tryAcquireLease(leasePath(spec), leaseStaleAfterMs_);
+    return store::tryAcquireLease(leasePath(spec), leaseStaleAfterMs_,
+                                  &counters_);
 }
 
 bool
@@ -110,8 +113,8 @@ CalibrationStore::loadBenchResults(const arch::GpuSpec &spec) const
 {
     const std::string key = "bench|" + spec.fingerprint();
     std::string payload;
-    if (!readEntryFile(dir_ + "/" + fileStem(spec.name, key) + ".bench",
-                       kFormatVersion, key, &payload)) {
+    if (!readStoreEntry(dir_, fileStem(spec.name, key) + ".bench",
+                        kFormatVersion, key, &payload, &counters_)) {
         return {};
     }
     ByteReader r(payload);

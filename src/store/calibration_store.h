@@ -10,7 +10,6 @@
 #ifndef GPUPERF_STORE_CALIBRATION_STORE_H
 #define GPUPERF_STORE_CALIBRATION_STORE_H
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -22,6 +21,7 @@
 #include "arch/gpu_spec.h"
 #include "model/calibration.h"
 #include "store/lease.h"
+#include "store/stats.h"
 
 namespace gpuperf {
 namespace store {
@@ -77,8 +77,13 @@ class CalibrationStore
     std::vector<BenchEntry>
     loadBenchResults(const arch::GpuSpec &spec) const;
 
-    uint64_t hits() const { return hits_.load(); }
-    uint64_t misses() const { return misses_.load(); }
+    uint64_t hits() const { return counters_.hits(); }
+    uint64_t misses() const { return counters_.misses(); }
+
+    /** Full cache-health snapshot (hits, misses, bytes, steals...). */
+    StoreStats stats() const { return counters_.snapshot(); }
+
+    const std::string &dir() const { return dir_; }
 
     // --- Cross-process calibration lease ------------------------------
     //
@@ -128,8 +133,7 @@ class CalibrationStore
 
     std::string dir_;
     int64_t leaseStaleAfterMs_ = kLeaseStaleAfterMsDefault;
-    mutable std::atomic<uint64_t> hits_{0};
-    mutable std::atomic<uint64_t> misses_{0};
+    mutable StoreCounters counters_;
 };
 
 } // namespace store

@@ -138,7 +138,8 @@ leaseFresh(const std::string &marker_path, int64_t stale_after_ms)
 }
 
 Lease
-tryAcquireLease(const std::string &marker_path, int64_t stale_after_ms)
+tryAcquireLease(const std::string &marker_path, int64_t stale_after_ms,
+                StoreCounters *counters)
 {
     for (int attempt = 0; attempt < 2; ++attempt) {
         const int fd = ::open(marker_path.c_str(),
@@ -169,6 +170,8 @@ tryAcquireLease(const std::string &marker_path, int64_t stale_after_ms)
             return Lease(std::string(), /*held=*/false);
         // Stale: break it and retry the exclusive create once. Two
         // breakers can race; O_EXCL arbitrates, the loser waits.
+        if (counters)
+            counters->stoleLease();
         ::unlink(marker_path.c_str());
     }
     return Lease(std::string(), /*held=*/false);

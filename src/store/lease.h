@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <string>
 
+#include "store/stats.h"
+
 namespace gpuperf {
 namespace store {
 
@@ -64,7 +66,8 @@ class Lease
     void release();
 
   private:
-    friend Lease tryAcquireLease(const std::string &, int64_t);
+    friend Lease tryAcquireLease(const std::string &, int64_t,
+                                 StoreCounters *);
     Lease(std::string path, bool held)
         : path_(std::move(path)), held_(held)
     {
@@ -78,10 +81,12 @@ class Lease
  * Try to take the lease at @p marker_path. Returns a held lease on
  * success; an empty (not held) one while another LIVE process holds
  * it. A stale marker — older than @p stale_after_ms, or written by a
- * dead same-host pid — is broken and re-acquired.
+ * dead same-host pid — is broken and re-acquired; each break bumps
+ * @p counters (optional) lease-steal telemetry.
  */
 Lease tryAcquireLease(const std::string &marker_path,
-                      int64_t stale_after_ms = kLeaseStaleAfterMsDefault);
+                      int64_t stale_after_ms = kLeaseStaleAfterMsDefault,
+                      StoreCounters *counters = nullptr);
 
 /**
  * True while some process (possibly this one) holds a fresh lease at

@@ -1,6 +1,7 @@
 #include "store/profile_store.h"
 
 #include "store/codecs.h"
+#include "store/lifecycle/segment.h"
 #include "store/serializer.h"
 
 namespace gpuperf {
@@ -24,19 +25,20 @@ ProfileStore::load(const funcsim::ProfileKey &key) const
 {
     const std::string key_str = key.str();
     std::string payload;
-    if (!readEntryFile(path(key, key_str), kFormatVersion, key_str,
-                       &payload)) {
-        ++misses_;
+    if (!readStoreEntry(dir_, fileStem("profile", key_str) + ".profile",
+                        kFormatVersion, key_str, &payload,
+                        &counters_)) {
+        counters_.miss();
         return nullptr;
     }
     auto profile = std::make_shared<funcsim::KernelProfile>();
     ByteReader r(payload);
     if (!readProfile(r, profile.get()) || !r.atEnd() ||
         profile->key != key) {
-        ++misses_;
+        counters_.miss();
         return nullptr;
     }
-    ++hits_;
+    counters_.hit();
     return profile;
 }
 
@@ -44,7 +46,9 @@ bool
 ProfileStore::readKey(const funcsim::ProfileKey &key) const
 {
     const std::string key_str = key.str();
-    return readEntryHeader(path(key, key_str), kFormatVersion, key_str);
+    return storeEntryExists(dir_,
+                            fileStem("profile", key_str) + ".profile",
+                            kFormatVersion, key_str, &counters_);
 }
 
 std::string
@@ -56,7 +60,8 @@ ProfileStore::leasePath(const funcsim::ProfileKey &key) const
 Lease
 ProfileStore::tryAcquireLease(const funcsim::ProfileKey &key) const
 {
-    return store::tryAcquireLease(leasePath(key), leaseStaleAfterMs_);
+    return store::tryAcquireLease(leasePath(key), leaseStaleAfterMs_,
+                                  &counters_);
 }
 
 bool
@@ -72,7 +77,7 @@ ProfileStore::save(const funcsim::KernelProfile &profile) const
     ByteWriter w;
     writeProfile(w, profile);
     return writeEntryFile(path(profile.key, key_str), kFormatVersion,
-                          key_str, w.bytes());
+                          key_str, w.bytes(), &counters_);
 }
 
 } // namespace store

@@ -16,7 +16,6 @@
 #ifndef GPUPERF_STORE_PROFILE_STORE_H
 #define GPUPERF_STORE_PROFILE_STORE_H
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -24,6 +23,7 @@
 
 #include "funcsim/profile.h"
 #include "store/lease.h"
+#include "store/stats.h"
 
 namespace gpuperf {
 namespace store {
@@ -65,9 +65,12 @@ class ProfileStore
     const std::string &dir() const { return dir_; }
 
     /** Successful loads since construction. */
-    uint64_t hits() const { return hits_.load(); }
+    uint64_t hits() const { return counters_.hits(); }
     /** Failed loads (absent, stale or corrupt entry). */
-    uint64_t misses() const { return misses_.load(); }
+    uint64_t misses() const { return counters_.misses(); }
+
+    /** Full cache-health snapshot (hits, misses, bytes, steals...). */
+    StoreStats stats() const { return counters_.snapshot(); }
 
     // --- Cross-process in-flight lease --------------------------------
     //
@@ -108,8 +111,7 @@ class ProfileStore
 
     std::string dir_;
     int64_t leaseStaleAfterMs_ = kLeaseStaleAfterMsDefault;
-    mutable std::atomic<uint64_t> hits_{0};
-    mutable std::atomic<uint64_t> misses_{0};
+    mutable StoreCounters counters_;
 };
 
 } // namespace store

@@ -1,6 +1,7 @@
 #include "store/result_store.h"
 
 #include "store/codecs.h"
+#include "store/lifecycle/segment.h"
 #include "store/serializer.h"
 
 namespace gpuperf {
@@ -63,21 +64,22 @@ std::unique_ptr<driver::BatchResult>
 ResultStore::load(const std::string &key) const
 {
     std::string payload;
-    if (!readEntryFile(path(key), kFormatVersion, key, &payload)) {
-        ++misses_;
+    if (!readStoreEntry(dir_, fileStem("result", key) + ".result",
+                        kFormatVersion, key, &payload, &counters_)) {
+        counters_.miss();
         return nullptr;
     }
     auto result = std::make_unique<driver::BatchResult>();
     ByteReader r(payload);
     if (!readBatchResult(r, result.get()) || !r.atEnd()) {
-        ++misses_;
+        counters_.miss();
         return nullptr;
     }
     // Only ok results are ever persisted; re-stamp that on the way
     // out (the payload codec carries no ok/error framing).
     result->ok = true;
     result->error.clear();
-    ++hits_;
+    counters_.hit();
     return result;
 }
 
@@ -87,7 +89,8 @@ ResultStore::save(const std::string &key,
 {
     ByteWriter w;
     writeBatchResult(w, result);
-    return writeEntryFile(path(key), kFormatVersion, key, w.bytes());
+    return writeEntryFile(path(key), kFormatVersion, key, w.bytes(),
+                          &counters_);
 }
 
 } // namespace store

@@ -15,13 +15,13 @@
 #ifndef GPUPERF_STORE_RESULT_STORE_H
 #define GPUPERF_STORE_RESULT_STORE_H
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "driver/batch_runner.h"
 #include "store/serializer.h"
+#include "store/stats.h"
 
 namespace gpuperf {
 namespace store {
@@ -60,15 +60,19 @@ class ResultStore
     bool save(const std::string &key,
               const driver::BatchResult &result) const;
 
-    uint64_t hits() const { return hits_.load(); }
-    uint64_t misses() const { return misses_.load(); }
+    uint64_t hits() const { return counters_.hits(); }
+    uint64_t misses() const { return counters_.misses(); }
+
+    /** Full cache-health snapshot (hits, misses, bytes, steals...). */
+    StoreStats stats() const { return counters_.snapshot(); }
+
+    const std::string &dir() const { return dir_; }
 
   private:
     std::string path(const std::string &key) const;
 
     std::string dir_;
-    mutable std::atomic<uint64_t> hits_{0};
-    mutable std::atomic<uint64_t> misses_{0};
+    mutable StoreCounters counters_;
 };
 
 } // namespace store

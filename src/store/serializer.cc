@@ -22,6 +22,30 @@ namespace {
 /** "GPUPERFS" as little-endian bytes. */
 constexpr uint64_t kMagic = 0x53465245'50555047ull;
 
+/** "GPUPERFC" as little-endian bytes — opens the checksum trailer. */
+constexpr uint64_t kChecksumMagic = 0x43465245'50555047ull;
+
+/**
+ * Split an entry body (everything after the payload-length field)
+ * into payload and optional trailer. @p size is the declared payload
+ * length. True when the body is exactly a payload (legacy) or a
+ * payload plus a valid checksum trailer.
+ */
+bool
+checkEntryBody(const std::string &body, uint64_t size)
+{
+    if (body.size() == size)
+        return true; // legacy trailer-less entry
+    if (body.size() != size + kChecksumTrailerBytes)
+        return false;
+    const std::string trailer = body.substr(size);
+    ByteReader t(trailer);
+    const uint64_t magic = t.u64();
+    const uint64_t sum = t.u64();
+    return t.ok() && magic == kChecksumMagic &&
+           sum == fnv1a64(body.data(), size);
+}
+
 } // namespace
 
 void
@@ -143,15 +167,50 @@ ByteReader::rest()
     return s;
 }
 
+std::string
+encodeEntryBlob(uint32_t version, const std::string &key,
+                const std::string &payload)
+{
+    ByteWriter w;
+    w.u64(kMagic);
+    w.u32(version);
+    w.str(key);
+    w.u64(payload.size());
+    std::string blob = w.bytes();
+    blob.append(payload);
+    ByteWriter trailer;
+    trailer.u64(kChecksumMagic);
+    trailer.u64(fnv1a64(payload.data(), payload.size()));
+    blob.append(trailer.bytes());
+    return blob;
+}
+
+bool
+parseEntryBlob(const std::string &blob, uint32_t version,
+               std::string *key, std::string *payload)
+{
+    ByteReader r(blob);
+    if (r.u64() != kMagic || r.u32() != version)
+        return false;
+    std::string stored_key = r.str();
+    const uint64_t size = r.u64();
+    if (!r.ok())
+        return false;
+    std::string body = r.rest();
+    if (!checkEntryBody(body, size))
+        return false;
+    body.resize(size);
+    *key = std::move(stored_key);
+    *payload = std::move(body);
+    return true;
+}
+
 bool
 writeEntryFile(const std::string &path, uint32_t version,
-               const std::string &key, const std::string &payload)
+               const std::string &key, const std::string &payload,
+               StoreCounters *counters)
 {
-    ByteWriter header;
-    header.u64(kMagic);
-    header.u32(version);
-    header.str(key);
-    header.u64(payload.size());
+    const std::string blob = encodeEntryBlob(version, key, payload);
 
     // Unique per process AND per call: concurrent writers of the
     // same entry (e.g. two batch cells sharing a profile key) must
@@ -164,29 +223,35 @@ writeEntryFile(const std::string &path, uint32_t version,
     std::ofstream out(tmp, std::ios::binary);
     if (!out) {
         warn("store: cannot write '%s'", path.c_str());
+        if (counters)
+            counters->writeFailed();
         return false;
     }
-    out.write(header.bytes().data(),
-              static_cast<std::streamsize>(header.bytes().size()));
-    out.write(payload.data(),
-              static_cast<std::streamsize>(payload.size()));
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
     out.close();
     if (!out) {
         warn("store: short write to '%s'", path.c_str());
         std::remove(tmp.c_str());
+        if (counters)
+            counters->writeFailed();
         return false;
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         warn("store: cannot move entry into '%s'", path.c_str());
         std::remove(tmp.c_str());
+        if (counters)
+            counters->writeFailed();
         return false;
     }
+    if (counters)
+        counters->wrote(blob.size());
     return true;
 }
 
 bool
 readEntryFile(const std::string &path, uint32_t version,
-              const std::string &key, std::string *payload)
+              const std::string &key, std::string *payload,
+              StoreCounters *counters)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -200,19 +265,16 @@ readEntryFile(const std::string &path, uint32_t version,
     in.read(&data[0], file_size);
     if (!in)
         return false;
-    ByteReader r(data);
-    if (r.u64() != kMagic || r.u32() != version || r.str() != key)
-        return false;
-    const uint64_t size = r.u64();
-    if (!r.ok())
-        return false;
-    *payload = r.rest();
-    return payload->size() == size;
+    if (counters)
+        counters->read(data.size());
+    std::string stored_key;
+    return parseEntryBlob(data, version, &stored_key, payload) &&
+           stored_key == key;
 }
 
 bool
 readEntryHeader(const std::string &path, uint32_t version,
-                const std::string &key)
+                const std::string &key, StoreCounters *counters)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -226,18 +288,25 @@ readEntryHeader(const std::string &path, uint32_t version,
     in.read(&data[0], static_cast<std::streamsize>(header_size));
     if (in.gcount() != static_cast<std::streamsize>(header_size))
         return false;
+    if (counters)
+        counters->read(header_size);
     ByteReader r(data);
     if (r.u64() != kMagic || r.u32() != version || r.str() != key)
         return false;
     // Payload length must be consistent with what is actually there
-    // (a truncated entry is a miss, exactly as in readEntryFile).
+    // (a truncated entry is a miss, exactly as in readEntryFile);
+    // entries written before the checksum trailer existed are 16
+    // bytes shorter and stay readable.
     const uint64_t size = r.u64();
     if (!r.ok())
         return false;
     in.seekg(0, std::ios::end);
     const std::streamoff file_size = in.tellg();
-    return file_size >= 0 &&
-           static_cast<uint64_t>(file_size) == header_size + size;
+    if (file_size < 0)
+        return false;
+    const uint64_t actual = static_cast<uint64_t>(file_size);
+    return actual == header_size + size ||
+           actual == header_size + size + kChecksumTrailerBytes;
 }
 
 std::string

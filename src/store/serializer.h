@@ -13,6 +13,13 @@
  * wrong magic, unknown version, or a key that differs from the one
  * requested (hash-collision safety) — and the caller recomputes; a
  * stale or foreign cache entry can therefore never be served.
+ *
+ * Entries written since the lifecycle subsystem additionally carry a
+ * 16-byte checksum trailer after the payload (a trailer magic plus
+ * the payload's FNV-1a hash), so a torn or bit-flipped entry is
+ * detected as a miss instead of decoding to garbage, and
+ * store::Verifier can scan a store without knowing any keys. Old
+ * trailer-less entries remain readable — readers accept both sizes.
  */
 
 #ifndef GPUPERF_STORE_SERIALIZER_H
@@ -20,6 +27,8 @@
 
 #include <cstdint>
 #include <string>
+
+#include "store/stats.h"
 
 namespace gpuperf {
 namespace store {
@@ -84,31 +93,61 @@ class ByteReader
     bool ok_ = true;
 };
 
+/** Bytes the checksum trailer adds to an entry blob. */
+constexpr size_t kChecksumTrailerBytes = 16;
+
 /**
- * Write magic + version + key + payload to @p path atomically
- * (temp file + rename, like the calibration cache). Returns false and
- * warns on I/O failure — a store write error degrades to a cache miss
- * next time, never to corrupt data.
+ * Write magic + version + key + payload + checksum trailer to @p path
+ * atomically (pid- and sequence-unique temp file + rename). Returns
+ * false and warns on I/O failure — a store write error degrades to a
+ * cache miss next time, never to corrupt data. @p counters (optional)
+ * receives the write / write-failure / bytes-written bumps.
  */
 bool writeEntryFile(const std::string &path, uint32_t version,
-                    const std::string &key, const std::string &payload);
+                    const std::string &key, const std::string &payload,
+                    StoreCounters *counters = nullptr);
 
 /**
  * Read an entry previously written by writeEntryFile(). Returns false
  * (a miss) unless the file exists, carries the expected magic and
- * @p version, and stores exactly @p key.
+ * @p version, stores exactly @p key, and — when a checksum trailer is
+ * present — the payload hash matches. @p counters (optional) receives
+ * the bytes-read bump (hit/miss semantics stay with the store, which
+ * knows whether a failed read means recompute).
  */
 bool readEntryFile(const std::string &path, uint32_t version,
-                   const std::string &key, std::string *payload);
+                   const std::string &key, std::string *payload,
+                   StoreCounters *counters = nullptr);
 
 /**
  * Validate an entry's header only — magic, @p version, stored key ==
- * @p key, and a payload length consistent with the file size — without
- * reading the payload into memory. The cheap existence check behind
- * key-only paths such as ProfileStore::readKey().
+ * @p key, and a payload length consistent with the file size (with or
+ * without trailer) — without reading the payload into memory. The
+ * cheap existence check behind key-only paths such as
+ * ProfileStore::readKey().
  */
 bool readEntryHeader(const std::string &path, uint32_t version,
-                     const std::string &key);
+                     const std::string &key,
+                     StoreCounters *counters = nullptr);
+
+/**
+ * Encode one entry (header + payload + checksum trailer) as the exact
+ * bytes writeEntryFile() would put on disk. Segment files concatenate
+ * these blobs verbatim, so a segment read is byte-identical to a
+ * loose-file read.
+ */
+std::string encodeEntryBlob(uint32_t version, const std::string &key,
+                            const std::string &payload);
+
+/**
+ * Parse one entry blob (a whole loose file or a segment slice)
+ * without knowing its key in advance: validates magic, @p version,
+ * internal lengths, and the checksum trailer when present, and
+ * returns the stored key and payload. The primitive behind
+ * readEntryFile(), segment read-through, and the Verifier scan.
+ */
+bool parseEntryBlob(const std::string &blob, uint32_t version,
+                    std::string *key, std::string *payload);
 
 /**
  * Short, filesystem-safe file stem for a store key: a sanitized prefix

@@ -2,6 +2,7 @@
 
 #include "sched/cost.h"
 #include "store/codecs.h"
+#include "store/lifecycle/segment.h"
 #include "store/serializer.h"
 
 namespace gpuperf {
@@ -24,20 +25,20 @@ TimingStore::load(const funcsim::ProfileKey &key,
                   const arch::TimingFingerprint &fp) const
 {
     const std::string key_str = keyFor(key, fp);
-    const std::string path =
-        dir_ + "/" + fileStem("timing", key_str) + ".timing";
     std::string payload;
-    if (!readEntryFile(path, kFormatVersion, key_str, &payload)) {
-        ++misses_;
+    if (!readStoreEntry(dir_, fileStem("timing", key_str) + ".timing",
+                        kFormatVersion, key_str, &payload,
+                        &counters_)) {
+        counters_.miss();
         return nullptr;
     }
     auto result = std::make_shared<timing::TimingResult>();
     ByteReader r(payload);
     if (!readTiming(r, result.get()) || !r.atEnd()) {
-        ++misses_;
+        counters_.miss();
         return nullptr;
     }
-    ++hits_;
+    counters_.hit();
     return result;
 }
 
@@ -46,9 +47,9 @@ TimingStore::exists(const funcsim::ProfileKey &key,
                     const arch::TimingFingerprint &fp) const
 {
     const std::string key_str = keyFor(key, fp);
-    return readEntryHeader(dir_ + "/" + fileStem("timing", key_str) +
-                               ".timing",
-                           kFormatVersion, key_str);
+    return storeEntryExists(dir_,
+                            fileStem("timing", key_str) + ".timing",
+                            kFormatVersion, key_str, &counters_);
 }
 
 std::string
@@ -62,7 +63,7 @@ TimingStore::tryAcquireLease(const funcsim::ProfileKey &key,
                              const arch::TimingFingerprint &fp) const
 {
     return store::tryAcquireLease(leasePath(keyFor(key, fp)),
-                                  leaseStaleAfterMs_);
+                                  leaseStaleAfterMs_, &counters_);
 }
 
 bool
@@ -78,13 +79,16 @@ TimingStore::recordObservationMs(const funcsim::ProfileKey &key,
                                  double ms) const
 {
     const std::string key_str = keyFor(key, fp);
-    const std::string path =
-        dir_ + "/" + fileStem("obs", key_str) + ".obs";
+    const std::string name = fileStem("obs", key_str) + ".obs";
     double ewma = 0.0;
     uint64_t count = 0;
     std::string payload;
-    if (readEntryFile(path, kObservationFormatVersion, key_str,
-                      &payload)) {
+    // Read through segments (a compacted .obs history keeps merging)
+    // but ALWAYS write loose: the atomic loose write is the
+    // last-write-wins arbiter, and the compactor folds it back in
+    // later.
+    if (readStoreEntry(dir_, name, kObservationFormatVersion, key_str,
+                       &payload, &counters_)) {
         ByteReader r(payload);
         const double storedEwma = r.f64();
         const uint64_t storedCount = r.u64();
@@ -98,8 +102,8 @@ TimingStore::recordObservationMs(const funcsim::ProfileKey &key,
     ByteWriter w;
     w.f64(ewma);
     w.u64(count);
-    return writeEntryFile(path, kObservationFormatVersion, key_str,
-                          w.bytes());
+    return writeEntryFile(dir_ + "/" + name, kObservationFormatVersion,
+                          key_str, w.bytes(), &counters_);
 }
 
 bool
@@ -108,11 +112,10 @@ TimingStore::loadObservationMs(const funcsim::ProfileKey &key,
                                double *ms, uint64_t *count) const
 {
     const std::string key_str = keyFor(key, fp);
-    const std::string path =
-        dir_ + "/" + fileStem("obs", key_str) + ".obs";
     std::string payload;
-    if (!readEntryFile(path, kObservationFormatVersion, key_str,
-                       &payload))
+    if (!readStoreEntry(dir_, fileStem("obs", key_str) + ".obs",
+                        kObservationFormatVersion, key_str, &payload,
+                        &counters_))
         return false;
     ByteReader r(payload);
     const double ewma = r.f64();
@@ -136,7 +139,8 @@ TimingStore::save(const funcsim::ProfileKey &key,
         dir_ + "/" + fileStem("timing", key_str) + ".timing";
     ByteWriter w;
     writeTiming(w, result);
-    return writeEntryFile(path, kFormatVersion, key_str, w.bytes());
+    return writeEntryFile(path, kFormatVersion, key_str, w.bytes(),
+                          &counters_);
 }
 
 } // namespace store

@@ -18,7 +18,6 @@
 #ifndef GPUPERF_STORE_TIMING_STORE_H
 #define GPUPERF_STORE_TIMING_STORE_H
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -27,6 +26,7 @@
 #include "arch/gpu_spec.h"
 #include "funcsim/profile.h"
 #include "store/lease.h"
+#include "store/stats.h"
 #include "timing/simulator.h"
 
 namespace gpuperf {
@@ -77,9 +77,12 @@ class TimingStore
     const std::string &dir() const { return dir_; }
 
     /** Successful loads since construction. */
-    uint64_t hits() const { return hits_.load(); }
+    uint64_t hits() const { return counters_.hits(); }
     /** Failed loads (absent, stale or corrupt entry). */
-    uint64_t misses() const { return misses_.load(); }
+    uint64_t misses() const { return counters_.misses(); }
+
+    /** Full cache-health snapshot (hits, misses, bytes, steals...). */
+    StoreStats stats() const { return counters_.snapshot(); }
 
     // --- Cross-process in-flight lease --------------------------------
     //
@@ -134,8 +137,7 @@ class TimingStore
 
     std::string dir_;
     int64_t leaseStaleAfterMs_ = kLeaseStaleAfterMsDefault;
-    mutable std::atomic<uint64_t> hits_{0};
-    mutable std::atomic<uint64_t> misses_{0};
+    mutable StoreCounters counters_;
 };
 
 } // namespace store

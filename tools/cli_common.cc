@@ -72,6 +72,25 @@ parseCommonArgs(int argc, char **argv, int first, CommonArgs *args)
             args->statsJson = true;
             continue;
         }
+        if (arg == "--dry-run") {
+            args->dryRun = true;
+            continue;
+        }
+        if (arg == "--force") {
+            args->force = true;
+            continue;
+        }
+        if (arg == "--report-only") {
+            args->reportOnly = true;
+            continue;
+        }
+        if (arg == "--min-loose") {
+            const char *v = value("--min-loose");
+            if (!v)
+                return false;
+            args->minLoose = std::strtoull(v, nullptr, 10);
+            continue;
+        }
         if (arg == "--unix") {
             const char *v = value("--unix");
             if (!v)
@@ -118,6 +137,9 @@ parseCommonArgs(int argc, char **argv, int first, CommonArgs *args)
             {"--worker-inflight", "worker-inflight"},
             {"--max-jobs", "max-jobs"},
             {"--claim-stale-ms", "claim-stale-ms"},
+            {"--gc-bytes", "gc-bytes"},
+            {"--gc-age", "gc-age"},
+            {"--gc-interval", "gc-interval"},
             {"--sched", "sched"},
             {"--client", "client"},
             // One-release aliases for the pre-unification spellings.

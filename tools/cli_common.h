@@ -20,13 +20,18 @@
  *   --worker-inflight N per-worker job bound    (`worker-inflight`)
  *   --max-jobs N        serve-at-most bound            (`max-jobs`)
  *   --claim-stale-ms MS spool crash-steal bound   (`claim-stale-ms`)
+ *   --gc-bytes N        store GC live-byte budget        (`gc-bytes`)
+ *   --gc-age SEC        store GC idle-age bound            (`gc-age`)
+ *   --gc-interval SEC   server GC sweep period        (`gc-interval`)
  *   --sched POLICY      scheduling policy fifo|biggest-first|sjf|
  *                       fair-share                        (`sched`)
  *   --client ID         client identity for fair-share   (`client`)
  *   --json              send JSON requests                 (`json`)
  *
  * plus the non-endpoint flags --out, --spool, --no-wait, --once,
- * --stats-json, and gpuperf-serve's legacy listener aliases
+ * --stats-json, the admin-verb flags --dry-run/--force/--min-loose/
+ * --report-only (gpuperf-worker gc|verify|compact|stats), and
+ * gpuperf-serve's legacy listener aliases
  * --unix/--tcp/--host (kept one release; --via supersedes them).
  * The old --max-inflight-cells/--max-cells-per-request spellings
  * remain as aliases for one release.
@@ -58,6 +63,12 @@ struct CommonArgs
     bool once = false;
     bool statsJson = false;
     bool json = false;
+
+    /** Admin verbs (gpuperf-worker gc|verify|compact). */
+    bool dryRun = false;      ///< gc: report, touch nothing
+    bool force = false;       ///< compact: ignore the size thresholds
+    bool reportOnly = false;  ///< verify: scan without fixing
+    uint64_t minLoose = 0;    ///< compact: fold threshold (0 = default)
 
     /** Legacy gpuperf-serve listener spellings (one release). */
     std::string legacyUnix;

@@ -37,6 +37,19 @@
  *       Parent mode without submission: wait for the request's
  *       responses and assemble them.
  *
+ *   gpuperf-worker gc --store DIR [--gc-bytes N] [--gc-age SEC]
+ *                  [--dry-run]
+ *   gpuperf-worker verify --store DIR [--report-only]
+ *   gpuperf-worker compact --store DIR [--force] [--min-loose N]
+ *   gpuperf-worker stats --store DIR
+ *       Store lifecycle admin verbs (src/store/lifecycle/): bound the
+ *       shared store's size/age (lease-aware LRU eviction), scan and
+ *       quarantine corrupt entries, fold loose entry files into
+ *       indexed segments, and dump the disk-side usage scan. All are
+ *       safe against a live fleet sharing the store; each prints its
+ *       JSON report on stdout. `verify` exits 2 when it found
+ *       corruption (quarantined or not), so cron can alarm on it.
+ *
  * Every endpoint-tunable flag shares its spelling with gpuperf-serve
  * and with api::Endpoint query options — see tools/cli_common.h.
  *
@@ -56,6 +69,10 @@
 #include "api/spool.h"
 #include "api/transport.h"
 #include "cli_common.h"
+#include "store/lifecycle/compactor.h"
+#include "store/lifecycle/gc.h"
+#include "store/lifecycle/lifecycle.h"
+#include "store/lifecycle/verifier.h"
 
 using namespace gpuperf;
 
@@ -76,6 +93,12 @@ usage()
            "[--claim-stale-ms MS]\n"
            "  gpuperf-worker collect REQ.json --spool DIR "
            "--out RESP.json [--timeout SEC]\n"
+           "  gpuperf-worker gc --store DIR [--gc-bytes N] "
+           "[--gc-age SEC] [--dry-run]\n"
+           "  gpuperf-worker verify --store DIR [--report-only]\n"
+           "  gpuperf-worker compact --store DIR [--force] "
+           "[--min-loose N]\n"
+           "  gpuperf-worker stats --store DIR\n"
            "shared option flags (see tools/cli_common.h): --store "
            "--timeout --idle-timeout\n"
            "  --job-timeout --max-clients --max-inflight --max-cells "
@@ -254,6 +277,57 @@ main(int argc, char **argv)
             std::cout << "worker executed " << stats.executed
                       << " job(s), " << stats.failedCells
                       << " failed cell(s)\n";
+            return 0;
+        }
+
+        // Store lifecycle admin verbs: the flags travel as endpoint
+        // options (one vocabulary), so parse them off an inproc URI.
+        if (mode == "gc" || mode == "verify" || mode == "compact" ||
+            mode == "stats") {
+            const api::Endpoint ep = cli::endpointFor(
+                args, "inproc:", api::Endpoint::Role::kClient);
+            const std::string root =
+                ep.storeDir.empty() ? args.store : ep.storeDir;
+            if (root.empty()) {
+                std::cerr << "gpuperf-worker " << mode
+                          << " needs --store DIR\n";
+                return usage();
+            }
+            if (mode == "gc") {
+                store::GcOptions gc;
+                gc.maxBytes = ep.limits.gcBytes;
+                gc.maxAgeMs = static_cast<int64_t>(
+                    ep.timeouts.gcAgeSeconds * 1000.0);
+                gc.dryRun = args.dryRun;
+                const store::GcReport report = store::runGc(root, gc);
+                std::cout << report.json() << "\n";
+                return report.ok ? 0 : 1;
+            }
+            if (mode == "verify") {
+                store::VerifyOptions vo;
+                vo.fix = !args.reportOnly;
+                const store::VerifyReport report =
+                    store::runVerify(root, vo);
+                std::cout << report.json() << "\n";
+                // 2 = ran but found corruption, mirroring the failed-
+                // cell convention; 1 = a fix failed to apply.
+                if (!report.ok)
+                    return 1;
+                return report.clean() ? 0 : 2;
+            }
+            if (mode == "compact") {
+                store::CompactOptions co;
+                co.force = args.force;
+                if (args.minLoose > 0)
+                    co.minLooseEntries = args.minLoose;
+                const store::CompactReport report =
+                    store::runCompact(root, co);
+                std::cout << report.json() << "\n";
+                return report.ok ? 0 : 1;
+            }
+            const store::StoreUsage usage_scan =
+                store::scanStoreUsage(root);
+            std::cout << store::storeUsageJson(usage_scan) << "\n";
             return 0;
         }
 
